@@ -1,0 +1,521 @@
+//! The BRAT standoff format: data model, parser, serializer, validation.
+//!
+//! Standoff annotations live in a `.ann` file beside the `.txt` document.
+//! Supported line kinds (the full set BRAT produces):
+//!
+//! ```text
+//! T1\tSign_symptom 10 15\tfever          # text-bound
+//! R1\tBEFORE Arg1:T1 Arg2:T2             # binary relation
+//! E1\tTherapeutic_procedure:T3 Theme:T1  # event frame
+//! A1\tNegated T1                         # binary attribute
+//! A2\tSeverity T1 severe                 # valued attribute
+//! N1\tReference T1 UMLS:C0015967\tfever  # normalization
+//! #1\tAnnotatorNotes T1\tdiscussed…      # note
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A text-bound annotation (`T` line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextBoundAnn {
+    /// Id without the `T` prefix.
+    pub id: u32,
+    /// Type label (e.g. `Sign_symptom`).
+    pub type_name: String,
+    /// Start byte offset.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// Covered text.
+    pub text: String,
+}
+
+/// A binary relation (`R` line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationAnn {
+    /// Id without the `R` prefix.
+    pub id: u32,
+    /// Relation label (e.g. `BEFORE`).
+    pub type_name: String,
+    /// Arg1 text-bound id.
+    pub arg1: u32,
+    /// Arg2 text-bound id.
+    pub arg2: u32,
+}
+
+/// An event frame (`E` line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventAnn {
+    /// Id without the `E` prefix.
+    pub id: u32,
+    /// Event type label.
+    pub type_name: String,
+    /// Trigger text-bound id.
+    pub trigger: u32,
+    /// `(role, T-id)` arguments.
+    pub args: Vec<(String, u32)>,
+}
+
+/// An attribute (`A` line), binary or valued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeAnn {
+    /// Id without the `A` prefix.
+    pub id: u32,
+    /// Attribute name.
+    pub type_name: String,
+    /// Target annotation id (`T`/`E`).
+    pub target: u32,
+    /// Optional value for multi-valued attributes.
+    pub value: Option<String>,
+}
+
+/// A normalization (`N` line) binding a mention to an external resource —
+/// here, ontology CUIs (`UMLS:C0015967`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizationAnn {
+    /// Id without the `N` prefix.
+    pub id: u32,
+    /// Target text-bound id.
+    pub target: u32,
+    /// Resource name (e.g. `UMLS`).
+    pub resource: String,
+    /// External id within the resource (e.g. `C0015967`).
+    pub external_id: String,
+    /// Preferred term text.
+    pub preferred: String,
+}
+
+/// An annotator note (`#` line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoteAnn {
+    /// Id without the `#` prefix.
+    pub id: u32,
+    /// Target annotation id.
+    pub target: u32,
+    /// Free-text note.
+    pub note: String,
+}
+
+/// Any annotation line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Annotation {
+    /// `T` line.
+    TextBound(TextBoundAnn),
+    /// `R` line.
+    Relation(RelationAnn),
+    /// `E` line.
+    Event(EventAnn),
+    /// `A` line.
+    Attribute(AttributeAnn),
+    /// `N` line.
+    Normalization(NormalizationAnn),
+    /// `#` line.
+    Note(NoteAnn),
+}
+
+/// A parsed `.ann` document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BratDocument {
+    /// Text-bound annotations in file order.
+    pub text_bounds: Vec<TextBoundAnn>,
+    /// Relations.
+    pub relations: Vec<RelationAnn>,
+    /// Events.
+    pub events: Vec<EventAnn>,
+    /// Attributes.
+    pub attributes: Vec<AttributeAnn>,
+    /// Normalizations.
+    pub normalizations: Vec<NormalizationAnn>,
+    /// Notes.
+    pub notes: Vec<NoteAnn>,
+}
+
+/// Parse/validation errors with line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BratError {
+    /// 1-based line number (0 for document-level errors).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for BratError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "brat error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BratError {}
+
+fn err(line: usize, message: impl Into<String>) -> BratError {
+    BratError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_id(token: &str, prefix: char, line: usize) -> Result<u32, BratError> {
+    let rest = token
+        .strip_prefix(prefix)
+        .ok_or_else(|| err(line, format!("expected id with prefix {prefix}: {token:?}")))?;
+    rest.parse::<u32>()
+        .map_err(|_| err(line, format!("invalid id: {token:?}")))
+}
+
+impl BratDocument {
+    /// Parses a `.ann` file body. Unknown line kinds are an error; blank
+    /// lines are skipped.
+    pub fn parse(input: &str) -> Result<BratDocument, BratError> {
+        let mut doc = BratDocument::default();
+        for (lineno, raw) in input.lines().enumerate() {
+            let line_num = lineno + 1;
+            let line = raw.trim_end_matches('\r');
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let id_token = parts.next().expect("split yields at least one");
+            let body = parts
+                .next()
+                .ok_or_else(|| err(line_num, "missing tab-separated body"))?;
+            let tail = parts.next();
+            match id_token.chars().next() {
+                Some('T') => {
+                    let id = parse_id(id_token, 'T', line_num)?;
+                    // body = "Type start end" (discontinuous spans
+                    // "start end;start end" are normalized to their hull).
+                    let mut fields = body.split_whitespace();
+                    let type_name = fields
+                        .next()
+                        .ok_or_else(|| err(line_num, "missing type"))?
+                        .to_string();
+                    let offsets: Vec<&str> = fields.collect();
+                    if offsets.len() < 2 {
+                        return Err(err(line_num, "missing offsets"));
+                    }
+                    let parse_off = |s: &str| -> Result<usize, BratError> {
+                        s.trim_end_matches(';')
+                            .parse::<usize>()
+                            .map_err(|_| err(line_num, format!("bad offset {s:?}")))
+                    };
+                    let start = parse_off(offsets[0])?;
+                    let end = parse_off(offsets[offsets.len() - 1])?;
+                    if start > end {
+                        return Err(err(line_num, "start > end"));
+                    }
+                    doc.text_bounds.push(TextBoundAnn {
+                        id,
+                        type_name,
+                        start,
+                        end,
+                        text: tail.unwrap_or_default().to_string(),
+                    });
+                }
+                Some('R') => {
+                    let id = parse_id(id_token, 'R', line_num)?;
+                    let mut fields = body.split_whitespace();
+                    let type_name = fields
+                        .next()
+                        .ok_or_else(|| err(line_num, "missing relation type"))?
+                        .to_string();
+                    let mut arg1 = None;
+                    let mut arg2 = None;
+                    for f in fields {
+                        if let Some(v) = f.strip_prefix("Arg1:") {
+                            arg1 = Some(parse_id(v, 'T', line_num)?);
+                        } else if let Some(v) = f.strip_prefix("Arg2:") {
+                            arg2 = Some(parse_id(v, 'T', line_num)?);
+                        }
+                    }
+                    doc.relations.push(RelationAnn {
+                        id,
+                        type_name,
+                        arg1: arg1.ok_or_else(|| err(line_num, "missing Arg1"))?,
+                        arg2: arg2.ok_or_else(|| err(line_num, "missing Arg2"))?,
+                    });
+                }
+                Some('E') => {
+                    let id = parse_id(id_token, 'E', line_num)?;
+                    let mut fields = body.split_whitespace();
+                    let head = fields.next().ok_or_else(|| err(line_num, "empty event"))?;
+                    let (type_name, trigger) = head
+                        .split_once(':')
+                        .ok_or_else(|| err(line_num, "event head needs Type:Tn"))?;
+                    let trigger = parse_id(trigger, 'T', line_num)?;
+                    let mut args = Vec::new();
+                    for f in fields {
+                        let (role, target) = f
+                            .split_once(':')
+                            .ok_or_else(|| err(line_num, "event arg needs Role:Tn"))?;
+                        args.push((role.to_string(), parse_id(target, 'T', line_num)?));
+                    }
+                    doc.events.push(EventAnn {
+                        id,
+                        type_name: type_name.to_string(),
+                        trigger,
+                        args,
+                    });
+                }
+                Some('A') | Some('M') => {
+                    let id = parse_id(
+                        id_token,
+                        id_token.chars().next().expect("checked"),
+                        line_num,
+                    )?;
+                    let fields: Vec<&str> = body.split_whitespace().collect();
+                    if fields.len() < 2 {
+                        return Err(err(line_num, "attribute needs name and target"));
+                    }
+                    let target_token = fields[1];
+                    let target = target_token[1..]
+                        .parse::<u32>()
+                        .map_err(|_| err(line_num, format!("bad target {target_token:?}")))?;
+                    doc.attributes.push(AttributeAnn {
+                        id,
+                        type_name: fields[0].to_string(),
+                        target,
+                        value: fields.get(2).map(|s| s.to_string()),
+                    });
+                }
+                Some('N') => {
+                    let id = parse_id(id_token, 'N', line_num)?;
+                    let fields: Vec<&str> = body.split_whitespace().collect();
+                    if fields.len() < 3 {
+                        return Err(err(line_num, "normalization needs 3 fields"));
+                    }
+                    let target = parse_id(fields[1], 'T', line_num)?;
+                    let (resource, external_id) = fields[2]
+                        .split_once(':')
+                        .ok_or_else(|| err(line_num, "normalization ref needs Resource:Id"))?;
+                    doc.normalizations.push(NormalizationAnn {
+                        id,
+                        target,
+                        resource: resource.to_string(),
+                        external_id: external_id.to_string(),
+                        preferred: tail.unwrap_or_default().to_string(),
+                    });
+                }
+                Some('#') => {
+                    let id = id_token[1..]
+                        .parse::<u32>()
+                        .map_err(|_| err(line_num, "bad note id"))?;
+                    let fields: Vec<&str> = body.split_whitespace().collect();
+                    if fields.len() < 2 {
+                        return Err(err(line_num, "note needs kind and target"));
+                    }
+                    let target = fields[1][1..]
+                        .parse::<u32>()
+                        .map_err(|_| err(line_num, "bad note target"))?;
+                    doc.notes.push(NoteAnn {
+                        id,
+                        target,
+                        note: tail.unwrap_or_default().to_string(),
+                    });
+                }
+                _ => return Err(err(line_num, format!("unknown line kind: {id_token:?}"))),
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Serializes back to `.ann` format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        for t in &self.text_bounds {
+            out.push_str(&format!(
+                "T{}\t{} {} {}\t{}\n",
+                t.id, t.type_name, t.start, t.end, t.text
+            ));
+        }
+        for e in &self.events {
+            out.push_str(&format!("E{}\t{}:T{}", e.id, e.type_name, e.trigger));
+            for (role, target) in &e.args {
+                out.push_str(&format!(" {role}:T{target}"));
+            }
+            out.push('\n');
+        }
+        for r in &self.relations {
+            out.push_str(&format!(
+                "R{}\t{} Arg1:T{} Arg2:T{}\n",
+                r.id, r.type_name, r.arg1, r.arg2
+            ));
+        }
+        for a in &self.attributes {
+            match &a.value {
+                Some(v) => {
+                    out.push_str(&format!("A{}\t{} T{} {}\n", a.id, a.type_name, a.target, v))
+                }
+                None => out.push_str(&format!("A{}\t{} T{}\n", a.id, a.type_name, a.target)),
+            }
+        }
+        for n in &self.normalizations {
+            out.push_str(&format!(
+                "N{}\tReference T{} {}:{}\t{}\n",
+                n.id, n.target, n.resource, n.external_id, n.preferred
+            ));
+        }
+        for note in &self.notes {
+            out.push_str(&format!(
+                "#{}\tAnnotatorNotes T{}\t{}\n",
+                note.id, note.target, note.note
+            ));
+        }
+        out
+    }
+
+    /// Validates against the source text: spans in bounds, covered text
+    /// matches, relation/normalization targets exist, ids unique.
+    pub fn validate(&self, text: &str) -> Result<(), BratError> {
+        let mut ids = HashMap::new();
+        for t in &self.text_bounds {
+            if ids.insert(t.id, ()).is_some() {
+                return Err(err(0, format!("duplicate T id {}", t.id)));
+            }
+            if t.end > text.len()
+                || !text.is_char_boundary(t.start)
+                || !text.is_char_boundary(t.end)
+            {
+                return Err(err(
+                    0,
+                    format!("T{} span {}..{} invalid", t.id, t.start, t.end),
+                ));
+            }
+            if !t.text.is_empty() && text[t.start..t.end] != t.text {
+                return Err(err(
+                    0,
+                    format!(
+                        "T{} text mismatch: file has {:?}, document has {:?}",
+                        t.id,
+                        t.text,
+                        &text[t.start..t.end]
+                    ),
+                ));
+            }
+        }
+        let exists = |id: u32| ids.contains_key(&id);
+        for r in &self.relations {
+            if !exists(r.arg1) || !exists(r.arg2) {
+                return Err(err(0, format!("R{} references missing T", r.id)));
+            }
+        }
+        for e in &self.events {
+            if !exists(e.trigger) || e.args.iter().any(|(_, t)| !exists(*t)) {
+                return Err(err(0, format!("E{} references missing T", e.id)));
+            }
+        }
+        for n in &self.normalizations {
+            if !exists(n.target) {
+                return Err(err(0, format!("N{} references missing T", n.id)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Next free text-bound id (1-based, BRAT convention).
+    pub fn next_text_bound_id(&self) -> u32 {
+        self.text_bounds.iter().map(|t| t.id).max().unwrap_or(0) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "T1\tSign_symptom 16 21\tfever\nT2\tSign_symptom 26 31\tcough\nR1\tOVERLAP Arg1:T1 Arg2:T2\nN1\tReference T1 UMLS:C0010005\tfever\nA1\tNegated T2\n#1\tAnnotatorNotes T1\tclassic presentation\n";
+    const TEXT: &str = "The patient had fever and cough.";
+
+    #[test]
+    fn parses_all_line_kinds() {
+        let doc = BratDocument::parse(SAMPLE).unwrap();
+        assert_eq!(doc.text_bounds.len(), 2);
+        assert_eq!(doc.relations.len(), 1);
+        assert_eq!(doc.normalizations.len(), 1);
+        assert_eq!(doc.attributes.len(), 1);
+        assert_eq!(doc.notes.len(), 1);
+        assert_eq!(doc.text_bounds[0].text, "fever");
+        assert_eq!(doc.relations[0].type_name, "OVERLAP");
+        assert_eq!(doc.normalizations[0].external_id, "C0010005");
+    }
+
+    #[test]
+    fn parses_events() {
+        let input = "T1\tTherapeutic_procedure 0 7\tsurgery\nT2\tDisease_disorder 12 17\ttumor\nE1\tTherapeutic_procedure:T1 Theme:T2\n";
+        let doc = BratDocument::parse(input).unwrap();
+        assert_eq!(doc.events.len(), 1);
+        assert_eq!(doc.events[0].trigger, 1);
+        assert_eq!(doc.events[0].args, vec![("Theme".to_string(), 2)]);
+    }
+
+    #[test]
+    fn round_trips() {
+        let doc = BratDocument::parse(SAMPLE).unwrap();
+        let re = BratDocument::parse(&doc.serialize()).unwrap();
+        assert_eq!(doc, re);
+    }
+
+    #[test]
+    fn validates_against_text() {
+        let doc = BratDocument::parse(SAMPLE).unwrap();
+        assert!(doc.validate(TEXT).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_text_mismatch() {
+        let doc = BratDocument::parse(SAMPLE).unwrap();
+        let wrong = "The patient had chill and cough.";
+        assert!(doc.validate(wrong).is_err());
+    }
+
+    #[test]
+    fn validation_catches_missing_relation_target() {
+        let input = "T1\tSign_symptom 0 5\tfever\nR1\tBEFORE Arg1:T1 Arg2:T9\n";
+        let doc = BratDocument::parse(input).unwrap();
+        assert!(doc.validate("fever").is_err());
+    }
+
+    #[test]
+    fn validation_catches_duplicate_ids() {
+        let input = "T1\tA 0 1\tf\nT1\tB 1 2\te\n";
+        let doc = BratDocument::parse(input).unwrap();
+        assert!(doc
+            .validate("fever")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn discontinuous_spans_take_hull() {
+        let input = "T1\tSign_symptom 0 4;10 15\tpain spasms\n";
+        let doc = BratDocument::parse(input).unwrap();
+        assert_eq!((doc.text_bounds[0].start, doc.text_bounds[0].end), (0, 15));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "X1\tWhat 0 1\tx",
+            "T1\tOnlyType\tx",
+            "Tx\tA 0 1\tx",
+            "R1\tBEFORE Arg1:T1",
+            "T1 no tabs at all",
+        ] {
+            assert!(BratDocument::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn blank_lines_and_crlf_ok() {
+        let input = "T1\tSign_symptom 0 5\tfever\r\n\r\nT2\tSign_symptom 6 11\tcough\r\n";
+        let doc = BratDocument::parse(input).unwrap();
+        assert_eq!(doc.text_bounds.len(), 2);
+    }
+
+    #[test]
+    fn next_id_counts_up() {
+        let doc = BratDocument::parse(SAMPLE).unwrap();
+        assert_eq!(doc.next_text_bound_id(), 3);
+        assert_eq!(BratDocument::default().next_text_bound_id(), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Conversion between corpus gold annotations and BRAT standoff documents.
+//!
+//! Enables the paper's annotation workflow: machine-generated annotations
+//! exported for expert review in BRAT (Fig. 4), and reviewed `.ann` files
+//! imported back as gold data.
+
+use crate::brat::{BratDocument, EventAnn, NormalizationAnn, RelationAnn, TextBoundAnn};
+use create_corpus::report::{GoldEntity, GoldRelation};
+use create_corpus::CaseReport;
+use create_ontology::{ConceptId, EntityType, RelationType};
+use create_text::Span;
+
+/// Exports a case report's gold annotations to a BRAT document. Concepts
+/// are carried as `N` normalization lines against the `UMLS` resource name
+/// (our built-in ontology uses the same CUI shape); EVENT-type mentions
+/// additionally get an `E` frame with the text-bound as trigger, matching
+/// the schema's EVENT/ENTITY split (Section III-B).
+pub fn case_report_to_brat(report: &CaseReport) -> BratDocument {
+    let mut doc = BratDocument::default();
+    for (i, e) in report.entities.iter().enumerate() {
+        doc.text_bounds.push(TextBoundAnn {
+            id: i as u32 + 1,
+            type_name: e.etype.label().to_string(),
+            start: e.span.start,
+            end: e.span.end,
+            text: e.text.clone(),
+        });
+        if e.etype.is_event() {
+            doc.events.push(EventAnn {
+                id: doc.events.len() as u32 + 1,
+                type_name: e.etype.label().to_string(),
+                trigger: i as u32 + 1,
+                args: Vec::new(),
+            });
+        }
+        if let Some(cui) = e.concept {
+            doc.normalizations.push(NormalizationAnn {
+                id: doc.normalizations.len() as u32 + 1,
+                target: i as u32 + 1,
+                resource: "UMLS".to_string(),
+                external_id: cui.to_string(),
+                preferred: e.text.clone(),
+            });
+        }
+    }
+    for (ri, r) in report.relations.iter().enumerate() {
+        doc.relations.push(RelationAnn {
+            id: ri as u32 + 1,
+            type_name: r.rtype.label().to_string(),
+            arg1: r.source as u32 + 1,
+            arg2: r.target as u32 + 1,
+        });
+    }
+    doc
+}
+
+/// Errors importing a BRAT document as gold annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// A `T` line used a type outside the clinical schema.
+    UnknownEntityType(String),
+    /// An `R` line used a relation outside the schema.
+    UnknownRelationType(String),
+    /// A relation referenced a `T` id that was not present.
+    DanglingRelation(u32),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::UnknownEntityType(t) => write!(f, "unknown entity type {t:?}"),
+            ImportError::UnknownRelationType(t) => write!(f, "unknown relation type {t:?}"),
+            ImportError::DanglingRelation(id) => write!(f, "relation references missing T{id}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Imports a BRAT document as `(entities, relations)` gold annotations.
+/// Entities come back sorted by span start; relation indices refer to the
+/// sorted order. Timeline steps are unknown to BRAT and come back as
+/// `None`.
+pub fn brat_to_gold(
+    doc: &BratDocument,
+) -> Result<(Vec<GoldEntity>, Vec<GoldRelation>), ImportError> {
+    // Map T-id → (sorted index) after sorting by span.
+    let mut order: Vec<usize> = (0..doc.text_bounds.len()).collect();
+    order.sort_by_key(|&i| (doc.text_bounds[i].start, doc.text_bounds[i].end));
+    let mut id_to_index = std::collections::HashMap::new();
+    let mut entities = Vec::with_capacity(doc.text_bounds.len());
+    for (sorted_idx, &orig_idx) in order.iter().enumerate() {
+        let t = &doc.text_bounds[orig_idx];
+        let etype: EntityType = t
+            .type_name
+            .parse()
+            .map_err(|_| ImportError::UnknownEntityType(t.type_name.clone()))?;
+        let concept = doc
+            .normalizations
+            .iter()
+            .find(|n| n.target == t.id)
+            .and_then(|n| ConceptId::parse(&n.external_id));
+        id_to_index.insert(t.id, sorted_idx);
+        entities.push(GoldEntity {
+            span: Span::new(t.start, t.end),
+            text: t.text.clone(),
+            etype,
+            concept,
+            time_step: None,
+        });
+    }
+    let mut relations = Vec::with_capacity(doc.relations.len());
+    for r in &doc.relations {
+        let rtype: RelationType = r
+            .type_name
+            .parse()
+            .map_err(|_| ImportError::UnknownRelationType(r.type_name.clone()))?;
+        let source = *id_to_index
+            .get(&r.arg1)
+            .ok_or(ImportError::DanglingRelation(r.arg1))?;
+        let target = *id_to_index
+            .get(&r.arg2)
+            .ok_or(ImportError::DanglingRelation(r.arg2))?;
+        relations.push(GoldRelation {
+            source,
+            target,
+            rtype,
+        });
+    }
+    Ok((entities, relations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_corpus::{CorpusConfig, Generator};
+
+    fn sample_report() -> CaseReport {
+        Generator::new(CorpusConfig {
+            num_reports: 1,
+            seed: 33,
+            ..Default::default()
+        })
+        .generate()
+        .remove(0)
+    }
+
+    #[test]
+    fn export_validates_against_text() {
+        let report = sample_report();
+        let doc = case_report_to_brat(&report);
+        assert!(doc.validate(&report.text).is_ok());
+        assert_eq!(doc.text_bounds.len(), report.entities.len());
+        assert_eq!(doc.relations.len(), report.relations.len());
+    }
+
+    #[test]
+    fn export_carries_cuis_as_normalizations() {
+        let report = sample_report();
+        let doc = case_report_to_brat(&report);
+        let with_concepts = report
+            .entities
+            .iter()
+            .filter(|e| e.concept.is_some())
+            .count();
+        assert_eq!(doc.normalizations.len(), with_concepts);
+        assert!(doc.normalizations.iter().all(|n| n.resource == "UMLS"));
+    }
+
+    #[test]
+    fn round_trip_preserves_annotations() {
+        let report = sample_report();
+        let doc = case_report_to_brat(&report);
+        let serialized = doc.serialize();
+        let reparsed = BratDocument::parse(&serialized).unwrap();
+        let (entities, relations) = brat_to_gold(&reparsed).unwrap();
+        assert_eq!(entities.len(), report.entities.len());
+        assert_eq!(relations.len(), report.relations.len());
+        // Entities come back span-sorted; the generator already emits them
+        // sorted, so fields must line up exactly.
+        for (a, b) in report.entities.iter().zip(&entities) {
+            assert_eq!(a.span, b.span);
+            assert_eq!(a.etype, b.etype);
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.concept, b.concept);
+        }
+        for (a, b) in report.relations.iter().zip(&relations) {
+            assert_eq!(a.rtype, b.rtype);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.target, b.target);
+        }
+    }
+
+    #[test]
+    fn events_get_e_frames() {
+        let report = sample_report();
+        let doc = case_report_to_brat(&report);
+        let event_mentions = report
+            .entities
+            .iter()
+            .filter(|e| e.etype.is_event())
+            .count();
+        assert_eq!(doc.events.len(), event_mentions);
+        // Triggers point at valid text-bounds of the same type.
+        for ev in &doc.events {
+            let t = doc
+                .text_bounds
+                .iter()
+                .find(|t| t.id == ev.trigger)
+                .expect("trigger exists");
+            assert_eq!(t.type_name, ev.type_name);
+        }
+    }
+
+    #[test]
+    fn import_rejects_unknown_types() {
+        let input = "T1\tMade_up_type 0 5\tfever\n";
+        let doc = BratDocument::parse(input).unwrap();
+        assert!(matches!(
+            brat_to_gold(&doc),
+            Err(ImportError::UnknownEntityType(_))
+        ));
+    }
+
+    #[test]
+    fn import_rejects_dangling_relations() {
+        let input = "T1\tSign_symptom 0 5\tfever\nR1\tBEFORE Arg1:T1 Arg2:T7\n";
+        let doc = BratDocument::parse(input).unwrap();
+        assert_eq!(
+            brat_to_gold(&doc).unwrap_err(),
+            ImportError::DanglingRelation(7)
+        );
+    }
+
+    #[test]
+    fn import_sorts_entities_by_span() {
+        let input = "T1\tSign_symptom 10 15\tlater\nT2\tSign_symptom 0 5\tearly\nR1\tBEFORE Arg1:T2 Arg2:T1\n";
+        let doc = BratDocument::parse(input).unwrap();
+        let (entities, relations) = brat_to_gold(&doc).unwrap();
+        assert_eq!(entities[0].text, "early");
+        assert_eq!(relations[0].source, 0);
+        assert_eq!(relations[0].target, 1);
+    }
+}

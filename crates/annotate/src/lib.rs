@@ -1,0 +1,18 @@
+//! BRAT standoff annotation support (Section III-B, Fig. 4).
+//!
+//! The paper embeds the brat rapid annotation tool for "creating, editing,
+//! and visualizing document annotations" under its clinical typing schema.
+//! This crate implements the BRAT standoff file format (`.ann`) from
+//! scratch: text-bound annotations (`T`), relations (`R`), events (`E`),
+//! attributes (`A`), normalizations (`N` — used here to carry ontology
+//! CUIs), and notes (`#`), with a parser, serializer, validation, and
+//! conversion to/from the corpus gold annotations.
+
+pub mod brat;
+pub mod convert;
+
+pub use brat::{
+    Annotation, AttributeAnn, BratDocument, BratError, EventAnn, NormalizationAnn, NoteAnn,
+    RelationAnn, TextBoundAnn,
+};
+pub use convert::{brat_to_gold, case_report_to_brat};

@@ -1,0 +1,43 @@
+//! Criterion: analyzer throughput (E8 timing side) — standard vs n-gram
+//! chains on clinical prose.
+
+use create_bench::corpus;
+use create_text::Analyzer;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_analyzers(c: &mut Criterion) {
+    let reports = corpus(50, 1);
+    let text: String = reports
+        .iter()
+        .map(|r| r.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let bytes = text.len() as u64;
+
+    let mut group = c.benchmark_group("analyzers");
+    group.throughput(Throughput::Bytes(bytes));
+    let standard = Analyzer::clinical_standard();
+    group.bench_function("clinical_standard", |b| {
+        b.iter(|| black_box(standard.analyze(black_box(&text))))
+    });
+    let ngram = Analyzer::clinical_ngram();
+    group.bench_function("clinical_ngram_3_25", |b| {
+        b.iter(|| black_box(ngram.analyze(black_box(&text))))
+    });
+    let simple = Analyzer::simple();
+    group.bench_function("simple", |b| {
+        b.iter(|| black_box(simple.analyze(black_box(&text))))
+    });
+    group.finish();
+
+    let mut sent = c.benchmark_group("sentence_split");
+    sent.throughput(Throughput::Bytes(bytes));
+    sent.bench_function("split_sentences", |b| {
+        b.iter(|| black_box(create_text::split_sentences(black_box(&text))))
+    });
+    sent.finish();
+}
+
+criterion_group!(benches, bench_analyzers);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion: document-store costs — JSON parse/serialize and filtered
+//! queries (the MongoDB substrate's hot paths).
+
+use create_bench::corpus;
+use create_docstore::json::{obj, parse_json};
+use create_docstore::{DocStore, Filter};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_docstore(c: &mut Criterion) {
+    // JSON round-trip on a realistic report document.
+    let reports = corpus(20, 10);
+    let doc = obj([
+        ("_id", reports[0].id.clone().into()),
+        ("title", reports[0].title.clone().into()),
+        ("text", reports[0].text.clone().into()),
+        ("year", (reports[0].metadata.year as i64).into()),
+        (
+            "authors",
+            reports[0]
+                .metadata
+                .authors
+                .iter()
+                .map(|a| a.as_str())
+                .collect::<Vec<_>>()
+                .into(),
+        ),
+    ]);
+    let serialized = doc.to_json();
+    let mut json = c.benchmark_group("json");
+    json.throughput(Throughput::Bytes(serialized.len() as u64));
+    json.bench_function("serialize_report_doc", |b| {
+        b.iter(|| black_box(doc.to_json()))
+    });
+    json.bench_function("parse_report_doc", |b| {
+        b.iter(|| black_box(parse_json(black_box(&serialized)).expect("valid")))
+    });
+    json.finish();
+
+    // Filtered queries over 2 000 documents.
+    let store = DocStore::in_memory();
+    let big = corpus(2_000, 11);
+    for r in &big {
+        store
+            .insert(
+                "reports",
+                obj([
+                    ("_id", r.id.clone().into()),
+                    ("title", r.title.clone().into()),
+                    ("category", r.category.coarse_label().into()),
+                    ("year", (r.metadata.year as i64).into()),
+                ]),
+            )
+            .expect("insert");
+    }
+    let mut queries = c.benchmark_group("docstore_query_2k");
+    queries.bench_function("get_by_id", |b| {
+        b.iter(|| black_box(store.get("reports", &big[500].id)))
+    });
+    queries.bench_function("filter_eq_category", |b| {
+        let f = Filter::eq("category", "cardiovascular");
+        b.iter(|| black_box(store.count("reports", black_box(&f))))
+    });
+    queries.bench_function("filter_and_range_contains", |b| {
+        let f = Filter::And(vec![
+            Filter::Gte("year".into(), 2015.0),
+            Filter::contains("title", "case"),
+        ]);
+        b.iter(|| black_box(store.find("reports", black_box(&f)).len()))
+    });
+    queries.finish();
+}
+
+criterion_group!(benches, bench_docstore);
+criterion_main!(benches);

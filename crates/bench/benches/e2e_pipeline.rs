@@ -1,0 +1,58 @@
+//! Criterion: end-to-end system costs (E10) — ingest throughput and full
+//! CREATe-IR search latency per merge policy.
+
+use create_bench::{corpus, loaded_create};
+use create_core::{Create, CreateConfig, MergePolicy};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut ingest = c.benchmark_group("e2e_ingest");
+    ingest.sample_size(10);
+    let reports = corpus(100, 8);
+    ingest.bench_function("ingest_100_gold_reports", |b| {
+        b.iter_batched(
+            || Create::new(CreateConfig::default()),
+            |mut system| {
+                for r in &reports {
+                    system.ingest_gold(r).expect("ingest");
+                }
+                black_box(system)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    ingest.finish();
+
+    let (system, _) = loaded_create(1_000, 9);
+    let queries = [
+        "A patient was admitted to the hospital because of fever and cough.",
+        "fever before syncope",
+        "myocardial infarction treated with aspirin",
+        "chest pain",
+    ];
+    let mut search = c.benchmark_group("e2e_search_1k_docs");
+    for policy in [
+        MergePolicy::Neo4jFirst,
+        MergePolicy::EsOnly,
+        MergePolicy::GraphOnly,
+    ] {
+        search.bench_function(format!("{policy:?}"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(system.search_with_policy(q, 10, policy));
+                }
+            })
+        });
+    }
+    search.finish();
+
+    let mut parse = c.benchmark_group("query_ie");
+    parse.bench_function("parse_paper_query", |b| {
+        b.iter(|| black_box(system.parse_query(black_box(queries[0]))))
+    });
+    parse.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion: property-graph ingest and Cypher/graph-search latency
+//! (E4 graph side).
+
+use create_bench::loaded_create;
+use create_core::search::GraphSearcher;
+use create_graphdb::exec::run;
+use create_graphdb::{parse_query, PropertyGraph};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_graph(c: &mut Criterion) {
+    let (mut system, _) = loaded_create(500, 5);
+
+    let mut cypher = c.benchmark_group("cypher");
+    cypher.bench_function("parse_two_hop_query", |b| {
+        b.iter(|| {
+            black_box(parse_query(
+                "MATCH (a:Concept {label: 'fever'})<-[:MENTIONS]-(r:Report) \
+                 WHERE r.year >= 2010 RETURN r.reportId LIMIT 10",
+            ))
+        })
+    });
+    cypher.bench_function("exec_mentions_lookup", |b| {
+        b.iter(|| {
+            black_box(
+                run(
+                    system.graph_mut(),
+                    "MATCH (c:Concept {label: 'fever'})<-[:MENTIONS]-(r:Report) RETURN r.reportId LIMIT 20",
+                )
+                .expect("query"),
+            )
+        })
+    });
+    cypher.bench_function("exec_temporal_chain", |b| {
+        b.iter(|| {
+            black_box(
+                run(
+                    system.graph_mut(),
+                    "MATCH (a:Event)-[:BEFORE]->(b:Event) WHERE a.label CONTAINS 'fever' \
+                     RETURN a.reportId LIMIT 20",
+                )
+                .expect("query"),
+            )
+        })
+    });
+    cypher.finish();
+
+    let mut engine = c.benchmark_group("graph_engine");
+    let parsed =
+        system.parse_query("A patient was admitted to the hospital because of fever and cough.");
+    let searcher = GraphSearcher::from_graph(system.graph());
+    engine.bench_function("concept_and_pattern_search", |b| {
+        b.iter(|| black_box(searcher.search(system.graph(), black_box(&parsed), 10)))
+    });
+    engine.bench_function("searcher_rebuild", |b| {
+        b.iter(|| black_box(GraphSearcher::from_graph(system.graph())))
+    });
+    engine.finish();
+
+    let mut ingest = c.benchmark_group("graph_ingest");
+    ingest.sample_size(10);
+    ingest.bench_function("node_edge_creation_1k", |b| {
+        b.iter(|| {
+            let mut g = PropertyGraph::new();
+            let mut prev = None;
+            for i in 0..1_000u32 {
+                let n = g.create_node(
+                    ["Event"],
+                    vec![("step", create_docstore::Value::Number(i as f64))],
+                );
+                if let Some(p) = prev {
+                    g.create_edge::<&str>(p, n, "BEFORE", vec![]);
+                }
+                prev = Some(n);
+            }
+            black_box(g)
+        })
+    });
+    ingest.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion: PDF write/extract and TEI generation (E9 timing side).
+
+use create_bench::corpus;
+use create_grobid::{extract_text, process_pdf, write_pdf, PdfSource};
+use create_text::split_sentences;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sample_pdf() -> (PdfSource, Vec<u8>) {
+    let reports = corpus(3, 12);
+    let r = &reports[0];
+    let mut body_lines = vec!["Abstract".to_string()];
+    for s in split_sentences(&r.text) {
+        body_lines.push(s.slice(&r.text).to_string());
+    }
+    let src = PdfSource {
+        title: r.title.clone(),
+        authors: r.metadata.authors.join(", "),
+        affiliation: "Department of Medicine, Example University Hospital".to_string(),
+        body_lines,
+    };
+    let bytes = write_pdf(&src);
+    (src, bytes)
+}
+
+fn bench_grobid(c: &mut Criterion) {
+    let (src, bytes) = sample_pdf();
+    let mut group = c.benchmark_group("grobid");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("write_pdf", |b| {
+        b.iter(|| black_box(write_pdf(black_box(&src))))
+    });
+    group.bench_function("extract_text", |b| {
+        b.iter(|| black_box(extract_text(black_box(&bytes)).expect("valid pdf")))
+    });
+    group.bench_function("process_pdf_full", |b| {
+        b.iter(|| black_box(process_pdf(black_box(&bytes)).expect("valid pdf")))
+    });
+    let doc = process_pdf(&bytes).expect("valid");
+    group.bench_function("to_tei_serialize", |b| {
+        b.iter(|| black_box(doc.to_tei().serialize()))
+    });
+    let tei = doc.to_tei().serialize();
+    group.bench_function("parse_tei_xml", |b| {
+        b.iter(|| black_box(create_grobid::parse_xml(black_box(&tei)).expect("valid xml")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grobid);
+criterion_main!(benches);

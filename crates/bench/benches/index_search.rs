@@ -1,0 +1,78 @@
+//! Criterion: inverted-index build and query latency (E4/E10 keyword side).
+
+use create_bench::corpus;
+use create_index::{Index, QueryNode, Scorer};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn build_index(n: usize) -> Index {
+    let reports = corpus(n, 2);
+    let mut index = Index::clinical();
+    for r in &reports {
+        index
+            .add_document(
+                &r.id,
+                &[
+                    ("title", r.title.as_str()),
+                    ("body", r.text.as_str()),
+                    ("body_ngram", r.text.as_str()),
+                ],
+            )
+            .expect("index");
+    }
+    index
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut build = c.benchmark_group("index_build");
+    build.sample_size(10);
+    build.bench_function("build_200_docs", |b| {
+        let reports = corpus(200, 3);
+        b.iter_batched(
+            Index::clinical,
+            |mut index| {
+                for r in &reports {
+                    index
+                        .add_document(
+                            &r.id,
+                            &[
+                                ("title", r.title.as_str()),
+                                ("body", r.text.as_str()),
+                                ("body_ngram", r.text.as_str()),
+                            ],
+                        )
+                        .expect("index");
+                }
+                index
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    build.finish();
+
+    let index = build_index(1_000);
+    let mut search = c.benchmark_group("index_search_1k_docs");
+    let term = QueryNode::term("body", "fever");
+    search.bench_function("single_term_bm25", |b| {
+        b.iter(|| black_box(index.search(black_box(&term), 10, Scorer::default())))
+    });
+    let multi = QueryNode::query_string(&index, "body", "fever cough chest pain hospital");
+    search.bench_function("query_string_5_terms", |b| {
+        b.iter(|| black_box(index.search(black_box(&multi), 10, Scorer::default())))
+    });
+    let phrase = QueryNode::phrase("body", &["chest", "pain"]);
+    search.bench_function("phrase", |b| {
+        b.iter(|| black_box(index.search(black_box(&phrase), 10, Scorer::default())))
+    });
+    let fuzzy = QueryNode::fuzzy("body", "amiodaron", 1);
+    search.bench_function("fuzzy_edit1", |b| {
+        b.iter(|| black_box(index.search(black_box(&fuzzy), 10, Scorer::default())))
+    });
+    search.bench_function("tfidf_scorer", |b| {
+        b.iter(|| black_box(index.search(black_box(&multi), 10, Scorer::TfIdf)))
+    });
+    search.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion: force-directed layout and SVG rendering (E7 timing side).
+
+use create_util::Rng;
+use create_viz::{render_svg, ForceLayout, LayoutConfig, SvgOptions, VizEdge, VizGraph, VizNode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn random_graph(n: usize, seed: u64) -> (Vec<(usize, usize)>, VizGraph) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 1..n {
+        edges.push((rng.below(i), i));
+    }
+    for _ in 0..n / 2 {
+        let a = rng.below(n);
+        let b = rng.below(n);
+        if a != b {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    let graph = VizGraph {
+        nodes: (0..n)
+            .map(|i| VizNode {
+                label: format!("event {i}"),
+                kind: "Sign_symptom".to_string(),
+            })
+            .collect(),
+        edges: edges
+            .iter()
+            .map(|&(a, b)| VizEdge {
+                source: a,
+                target: b,
+                label: "BEFORE".to_string(),
+            })
+            .collect(),
+    };
+    (edges, graph)
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("force_layout");
+    for &n in &[10usize, 30, 100] {
+        let (edges, _) = random_graph(n, 3);
+        group.bench_with_input(BenchmarkId::new("run_200_iters", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut layout = ForceLayout::new(n, edges.clone(), LayoutConfig::default());
+                black_box(layout.run())
+            })
+        });
+    }
+    group.finish();
+
+    let mut render = c.benchmark_group("svg_render");
+    for &n in &[10usize, 50] {
+        let (_, graph) = random_graph(n, 4);
+        render.bench_with_input(BenchmarkId::new("render_svg", n), &graph, |b, graph| {
+            b.iter(|| black_box(render_svg(black_box(graph), &SvgOptions::default())))
+        });
+    }
+    render.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion: NER tagging throughput (E2 timing side) — gazetteer vs HMM
+//! vs CRF vs CRF+C-FLAIR on held-out sentences.
+
+use create_bench::{corpus, train_tagger};
+use create_ner::{FlairFeatures, GazetteerTagger, HmmTagger, LabelSet, NerDataset};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_ner(c: &mut Criterion) {
+    let reports = corpus(80, 6);
+    let dataset = NerDataset::from_reports(&reports, LabelSet::ner_targets());
+    let (train, test) = dataset.split(0.8);
+    let sentences: Vec<&str> = test.sentences.iter().map(|s| s.text.as_str()).collect();
+    let total_bytes: u64 = sentences.iter().map(|s| s.len() as u64).sum();
+
+    let ontology = Arc::new(create_ontology::clinical_ontology());
+    let gaz = GazetteerTagger::new(&ontology, LabelSet::ner_targets());
+    let hmm = HmmTagger::train(&train);
+    let crf = train_tagger(&train, Some(Arc::clone(&ontology)), None, 3);
+    let flair = Arc::new(FlairFeatures::pretrain(&train.raw_text(), 9));
+    let crf_flair = train_tagger(&train, Some(Arc::clone(&ontology)), Some(flair), 3);
+
+    let mut group = c.benchmark_group("ner_tagging");
+    group.throughput(Throughput::Bytes(total_bytes));
+    group.bench_function("gazetteer", |b| {
+        b.iter(|| {
+            for s in &sentences {
+                black_box(gaz.tag(s));
+            }
+        })
+    });
+    group.bench_function("hmm", |b| {
+        b.iter(|| {
+            for s in &sentences {
+                black_box(hmm.tag(s));
+            }
+        })
+    });
+    group.bench_function("crf", |b| {
+        b.iter(|| {
+            for s in &sentences {
+                black_box(crf.tag(s));
+            }
+        })
+    });
+    group.bench_function("crf_flair", |b| {
+        b.iter(|| {
+            for s in &sentences {
+                black_box(crf_flair.tag(s));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ner);
+criterion_main!(benches);

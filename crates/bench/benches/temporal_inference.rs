@@ -1,0 +1,99 @@
+//! Criterion: temporal module costs (E3/E5 timing side) — pairwise
+//! prediction, global inference repair, and transitive closure.
+
+use create_corpus::temporal_data::i2b2_like;
+use create_ontology::RelationType;
+use create_temporal::global::global_inference;
+use create_temporal::model::{TemporalModel, TrainMode, TrainOptions};
+use create_temporal::TemporalGraph;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_temporal(c: &mut Criterion) {
+    let dataset = i2b2_like(1, 80);
+    let (train, test) = dataset.split(0.8);
+    let model = TemporalModel::train(
+        &train,
+        &dataset.labels,
+        &TrainOptions {
+            mode: TrainMode::PslRegularized,
+            epochs: 6,
+            ..Default::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("temporal");
+    group.bench_function("predict_doc_with_global_inference", |b| {
+        b.iter(|| {
+            for doc in &test {
+                black_box(model.predict_doc(doc));
+            }
+        })
+    });
+
+    // Isolated global inference on a synthetic distribution set.
+    let doc = &test[0];
+    let pairs: Vec<(usize, usize)> = doc.pairs.iter().map(|&(i, j, _)| (i, j)).collect();
+    let probs: Vec<Vec<f64>> = pairs
+        .iter()
+        .map(|&(i, j)| model.pair_proba(doc, i, j))
+        .collect();
+    group.bench_function("global_inference_single_doc", |b| {
+        b.iter(|| {
+            black_box(global_inference(
+                black_box(&pairs),
+                black_box(&probs),
+                model.labels(),
+            ))
+        })
+    });
+
+    // Transitive closure on a 40-event chain graph.
+    let mut graph = TemporalGraph::new((0..40).map(|i| format!("e{i}")).collect());
+    for i in 0..39 {
+        graph.add_edge(i, i + 1, RelationType::Before);
+    }
+    group.bench_function("closure_40_event_chain", |b| {
+        b.iter(|| black_box(graph.closure()))
+    });
+    group.bench_function("fig5_inference", |b| {
+        let g = TemporalGraph::fig5_example();
+        b.iter(|| black_box(g.infer(1, 5)))
+    });
+    group.finish();
+
+    let mut training = c.benchmark_group("temporal_training");
+    training.sample_size(10);
+    let small = i2b2_like(2, 20);
+    let (small_train, _) = small.split(0.9);
+    training.bench_function("train_local_20_docs", |b| {
+        b.iter(|| {
+            black_box(TemporalModel::train(
+                &small_train,
+                &small.labels,
+                &TrainOptions {
+                    mode: TrainMode::Local,
+                    epochs: 4,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    training.bench_function("train_psl_20_docs", |b| {
+        b.iter(|| {
+            black_box(TemporalModel::train(
+                &small_train,
+                &small.labels,
+                &TrainOptions {
+                    mode: TrainMode::PslRegularized,
+                    epochs: 4,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    training.finish();
+}
+
+criterion_group!(benches, bench_temporal);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E2 extension — C-FLAIR configuration ablation (DESIGN.md ablation #4).
+//!
+//! Sweeps the character-LM order and the hashed n-gram embedding dimension
+//! of the C-FLAIR feature block on the noisy-submissions dataset (the
+//! regime where the embeddings matter), reporting the span-F1 delta over
+//! the no-embedding CRF averaged across seeds.
+
+use create_bench::{f4, train_tagger, Table};
+use create_corpus::{CorpusConfig, Generator};
+use create_ml::embed::EmbedConfig;
+use create_ner::eval::span_f1;
+use create_ner::{FlairFeatures, LabelSet, NerDataset};
+use std::sync::Arc;
+
+const SEEDS: [u64; 3] = [11, 22, 33];
+const EPOCHS: usize = 6;
+
+fn main() {
+    let configs: Vec<(&str, usize, usize)> = vec![
+        // (label, lm order, ngram dim)
+        ("order=2, dim=48", 2, 48),
+        ("order=4, dim=24", 4, 24),
+        ("order=4, dim=48 (default)", 4, 48),
+        ("order=4, dim=96", 4, 96),
+        ("order=6, dim=48", 6, 48),
+    ];
+    let mut table = Table::new(&["config", "CRF baseline F1", "CRF+C-FLAIR F1", "delta"]);
+
+    for (label, order, dim) in configs {
+        eprintln!("[{label}]…");
+        let mut base_sum = 0.0;
+        let mut flair_sum = 0.0;
+        for &seed in &SEEDS {
+            let reports = Generator::new(CorpusConfig {
+                num_reports: 250,
+                seed,
+                typo_rate: 0.18,
+                ..Default::default()
+            })
+            .generate();
+            let dataset = NerDataset::from_reports(&reports, LabelSet::ner_targets());
+            let (train, test) = dataset.split(0.13);
+            let crf = train_tagger(&train, None, None, EPOCHS);
+            base_sum += span_f1(&crf, &test).0.f1;
+            let flair = Arc::new(FlairFeatures::pretrain_with(
+                &train.raw_text(),
+                7,
+                order,
+                EmbedConfig {
+                    ngram_dim: dim,
+                    ..Default::default()
+                },
+            ));
+            let crf_flair = train_tagger(&train, None, Some(flair), EPOCHS);
+            flair_sum += span_f1(&crf_flair, &test).0.f1;
+        }
+        let n = SEEDS.len() as f64;
+        table.row(vec![
+            label.to_string(),
+            f4(base_sum / n),
+            f4(flair_sum / n),
+            format!("{:+.2}", (flair_sum - base_sum) / n * 100.0),
+        ]);
+    }
+    table.print("E2 extension — C-FLAIR order/dimension sweep (noisy dataset, mean of 3 seeds)");
+}

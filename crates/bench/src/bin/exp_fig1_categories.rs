@@ -1,0 +1,76 @@
+//! Experiment E1 — Figure 1: case-report category distribution.
+//!
+//! Paper claim: "Cardiovascular disease accounts for 20% of all case
+//! reports, and is the 2nd largest category of case reports after cancer."
+//! We generate 100k report metadata records and measure the category
+//! shares, including the six CVD areas of Section III-A.
+
+use create_bench::{pct, Table};
+use create_corpus::{CorpusConfig, Generator};
+use std::collections::BTreeMap;
+
+fn main() {
+    let n = 100_000;
+    println!("generating {n} case-report metadata records (seed 1)…");
+    let generator = Generator::new(CorpusConfig {
+        num_reports: n,
+        seed: 1,
+        ..Default::default()
+    });
+    let reports = generator.generate();
+
+    let mut coarse: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut cvd_areas: BTreeMap<String, usize> = BTreeMap::new();
+    for r in &reports {
+        *coarse.entry(r.category.coarse_label()).or_default() += 1;
+        if let create_ontology::CaseCategory::Cardiovascular(area) = r.category {
+            *cvd_areas.entry(area.label().to_string()).or_default() += 1;
+        }
+    }
+
+    let mut shares: Vec<(&str, usize)> = coarse.into_iter().collect();
+    shares.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    let mut table = Table::new(&["category", "reports", "share"]);
+    for (label, count) in &shares {
+        table.row(vec![
+            label.to_string(),
+            count.to_string(),
+            pct(*count as f64 / n as f64),
+        ]);
+    }
+    table.print("Figure 1 — case-report category distribution");
+
+    let cvd_total: usize = cvd_areas.values().sum();
+    let mut areas = Table::new(&["CVD area (III-A)", "reports", "share of CVD"]);
+    let mut sorted_areas: Vec<_> = cvd_areas.into_iter().collect();
+    sorted_areas.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    for (label, count) in sorted_areas {
+        areas.row(vec![
+            label,
+            count.to_string(),
+            pct(count as f64 / cvd_total as f64),
+        ]);
+    }
+    areas.print("CVD breakdown (the paper's six PubMed query areas)");
+
+    // Paper-shape checks.
+    let cvd_share = cvd_total as f64 / n as f64;
+    let cancer_share = shares
+        .iter()
+        .find(|(l, _)| *l == "cancer")
+        .map(|(_, c)| *c as f64 / n as f64)
+        .unwrap_or(0.0);
+    println!(
+        "paper shape: CVD ≈ 20% → measured {:.1}%",
+        cvd_share * 100.0
+    );
+    println!(
+        "paper shape: cancer is largest, CVD 2nd → cancer {:.1}% > CVD {:.1}% > rest: {}",
+        cancer_share * 100.0,
+        cvd_share * 100.0,
+        shares
+            .iter()
+            .filter(|(l, _)| *l != "cancer" && *l != "cardiovascular")
+            .all(|(_, c)| (*c as f64 / n as f64) < cvd_share)
+    );
+}

@@ -1,0 +1,95 @@
+//! Experiment E6 — Figure 6: the search workflow's merge policy.
+//!
+//! The paper's default places Neo4j (graph) results on top, followed by
+//! ElasticSearch results. This ablation compares all five policies on the
+//! judged workload, split by query family — the paper's choice should win
+//! on relation/temporal queries and tie on keyword queries.
+
+use create_bench::{f4, loaded_create, Table};
+use create_core::eval::{ndcg_at_k, precision_at_k, reciprocal_rank, IrMetrics};
+use create_core::MergePolicy;
+use create_corpus::{QueryFamily, QuerySet};
+
+fn main() {
+    let (system, reports) = loaded_create(1_500, 1618);
+    let queries = QuerySet::generate(&reports, 17, 100);
+    eprintln!(
+        "system: {} reports; {} judged queries",
+        reports.len(),
+        queries.queries.len()
+    );
+
+    let policies = [
+        ("neo4j_first (paper)", MergePolicy::Neo4jFirst),
+        ("es_first", MergePolicy::EsFirst),
+        ("interleave", MergePolicy::Interleave),
+        ("graph_only", MergePolicy::GraphOnly),
+        ("es_only (solr)", MergePolicy::EsOnly),
+    ];
+
+    let mut overall = Table::new(&["policy", "P@10", "MRR", "nDCG@10"]);
+    for (name, policy) in policies {
+        let per_query: Vec<(f64, f64, f64)> = queries
+            .queries
+            .iter()
+            .map(|q| {
+                let ids: Vec<String> = system
+                    .search_with_policy(&q.text, 10, policy)
+                    .into_iter()
+                    .map(|h| h.report_id)
+                    .collect();
+                (
+                    precision_at_k(&ids, &q.judgments, 10),
+                    reciprocal_rank(&ids, &q.judgments),
+                    ndcg_at_k(&ids, &q.judgments, 10),
+                )
+            })
+            .collect();
+        let m = IrMetrics::aggregate(&per_query);
+        overall.row(vec![
+            name.to_string(),
+            f4(m.p_at_10),
+            f4(m.mrr),
+            f4(m.ndcg_at_10),
+        ]);
+    }
+    overall.print("E6 — merge-policy ablation (all queries)");
+
+    let mut per_family = Table::new(&[
+        "family",
+        "neo4j_first",
+        "es_first",
+        "interleave",
+        "graph_only",
+        "es_only",
+    ]);
+    for family in [
+        QueryFamily::Keyword,
+        QueryFamily::Entity,
+        QueryFamily::Relation,
+        QueryFamily::Temporal,
+    ] {
+        let fam = queries.of_family(family);
+        let mut cells = vec![format!("{} (n={})", family.label(), fam.len())];
+        for (_, policy) in policies {
+            let mean: f64 = fam
+                .iter()
+                .map(|q| {
+                    let ids: Vec<String> = system
+                        .search_with_policy(&q.text, 10, policy)
+                        .into_iter()
+                        .map(|h| h.report_id)
+                        .collect();
+                    ndcg_at_k(&ids, &q.judgments, 10)
+                })
+                .sum::<f64>()
+                / fam.len().max(1) as f64;
+            cells.push(f4(mean));
+        }
+        per_family.row(cells);
+    }
+    per_family.print("E6 — nDCG@10 per query family");
+    println!(
+        "paper shape: neo4j_first ≥ es_first / es_only overall, driven by relation+temporal families"
+    );
+}

@@ -1,0 +1,89 @@
+//! Experiment E9 — the PDF submission service (the paper's Grobid-based
+//! converter: "Metadata such as title, author, affiliation information can
+//! be automatically extracted").
+//!
+//! 200 case reports are rendered to real PDF bytes with known metadata,
+//! then pushed through the extraction pipeline; we measure exact-match
+//! accuracy of title/author/affiliation recovery, section segmentation,
+//! and body-text fidelity.
+
+use create_bench::{corpus, f4, Table};
+use create_grobid::{process_pdf, write_pdf, PdfSource};
+use create_text::split_sentences;
+
+fn main() {
+    let reports = corpus(200, 31415);
+    let mut title_ok = 0usize;
+    let mut authors_ok = 0usize;
+    let mut affiliation_ok = 0usize;
+    let mut sections_ok = 0usize;
+    let mut body_chars_total = 0usize;
+    let mut body_chars_recovered = 0usize;
+    let affiliation = "Department of Medicine, Example University Hospital";
+
+    for r in &reports {
+        // Render the report as a sectioned PDF.
+        let mut body_lines = vec!["Abstract".to_string()];
+        let sentences: Vec<&str> = split_sentences(&r.text)
+            .into_iter()
+            .map(|s| s.slice(&r.text))
+            .collect();
+        body_lines.push(sentences.first().copied().unwrap_or("").to_string());
+        body_lines.push("Case report".to_string());
+        for s in sentences.iter().skip(1) {
+            body_lines.push(s.to_string());
+        }
+        body_lines.push("Conclusion".to_string());
+        body_lines.push("The case highlights an unusual presentation.".to_string());
+
+        let src = PdfSource {
+            title: r.title.clone(),
+            authors: r.metadata.authors.join(", "),
+            affiliation: affiliation.to_string(),
+            body_lines,
+        };
+        let bytes = write_pdf(&src);
+        let doc = match process_pdf(&bytes) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("extraction failed for {}: {e}", r.id);
+                continue;
+            }
+        };
+        // ASCII degradation is part of the pipeline (Helvetica subset), so
+        // compare against the degraded expectation.
+        let ascii = |s: &str| -> String {
+            s.chars()
+                .map(|c| if c.is_ascii() { c } else { '?' })
+                .collect()
+        };
+        title_ok += usize::from(doc.title == ascii(&r.title));
+        authors_ok += usize::from(
+            doc.authors
+                == r.metadata
+                    .authors
+                    .iter()
+                    .map(|a| ascii(a))
+                    .collect::<Vec<_>>(),
+        );
+        affiliation_ok += usize::from(doc.affiliation.contains("Example University Hospital"));
+        let headings: Vec<&str> = doc.sections.iter().map(|(h, _)| h.as_str()).collect();
+        sections_ok +=
+            usize::from(headings.contains(&"Case report") && headings.contains(&"Conclusion"));
+        body_chars_total += r.text.len();
+        body_chars_recovered += doc.body_text().len().min(r.text.len() + 100);
+    }
+
+    let n = reports.len() as f64;
+    let mut table = Table::new(&["field", "exact-match accuracy"]);
+    table.row(vec!["title".into(), f4(title_ok as f64 / n)]);
+    table.row(vec!["authors".into(), f4(authors_ok as f64 / n)]);
+    table.row(vec!["affiliation".into(), f4(affiliation_ok as f64 / n)]);
+    table.row(vec!["section structure".into(), f4(sections_ok as f64 / n)]);
+    table.row(vec![
+        "body text volume".into(),
+        f4(body_chars_recovered as f64 / body_chars_total as f64),
+    ]);
+    table.print("E9 — PDF → XML metadata extraction over 200 generated PDFs");
+    println!("paper shape: header metadata is recovered automatically from PDF bytes");
+}

@@ -1,0 +1,129 @@
+//! Experiment E2 — NER F1 across three datasets (Section III-C claim:
+//! C-FLAIR-powered NER "outperforms the state-of-the-art methods by 1.5%
+//! on average F1").
+//!
+//! Ladder of systems on each dataset (span-level strict micro F1,
+//! averaged over three corpus seeds):
+//!   gazetteer < HMM < CRF (the "state of the art" stand-in)
+//!   vs CRF + C-FLAIR features (the paper's system).
+//!
+//! Training uses a deliberately small labeled set (13% of each corpus) so
+//! the test set contains surface forms never seen in training — the regime
+//! where contextual character embeddings have something to add. Both CRF
+//! variants run *without* dictionary (gazetteer) features: our gazetteer
+//! is built from the same lexicon that generates the corpus, which would
+//! leak labels and mask the embedding effect.
+//!
+//! The reproduced claim is the *direction and consistency* of the
+//! CRF→CRF+C-FLAIR delta; magnitudes are discussed in EXPERIMENTS.md.
+
+use create_bench::{f4, train_tagger, Table};
+use create_corpus::{CorpusConfig, Generator};
+use create_ner::eval::{span_f1, span_f1_with};
+use create_ner::{FlairFeatures, GazetteerTagger, HmmTagger, LabelSet, NerDataset};
+use create_ontology::clinical_ontology;
+use std::sync::Arc;
+
+struct DatasetSpec {
+    name: &'static str,
+    typo_rate: f64,
+    cardio_only: bool,
+}
+
+const SEEDS: [u64; 3] = [11, 22, 33];
+const TRAIN_FRACTION: f64 = 0.13;
+const EPOCHS: usize = 6;
+
+fn main() {
+    let ontology = Arc::new(clinical_ontology());
+    let specs = [
+        DatasetSpec {
+            name: "cardio-reports",
+            typo_rate: 0.0,
+            cardio_only: true,
+        },
+        DatasetSpec {
+            name: "general-med",
+            typo_rate: 0.08,
+            cardio_only: false,
+        },
+        DatasetSpec {
+            name: "noisy-submissions",
+            typo_rate: 0.18,
+            cardio_only: false,
+        },
+    ];
+
+    let mut table = Table::new(&[
+        "dataset",
+        "gazetteer",
+        "HMM",
+        "CRF (SOTA stand-in)",
+        "CRF + C-FLAIR",
+        "delta",
+    ]);
+    let mut deltas = Vec::new();
+
+    for spec in &specs {
+        eprintln!("[{}] {} seeds…", spec.name, SEEDS.len());
+        let mut sums = [0.0f64; 4]; // gaz, hmm, crf, flair
+        for &seed in &SEEDS {
+            let cvd: Vec<create_ontology::CaseCategory> = create_ontology::CvdArea::all()
+                .iter()
+                .map(|a| create_ontology::CaseCategory::Cardiovascular(*a))
+                .collect();
+            let reports = Generator::new(CorpusConfig {
+                num_reports: 250,
+                seed,
+                typo_rate: spec.typo_rate,
+                category_filter: spec.cardio_only.then_some(cvd),
+                ..Default::default()
+            })
+            .generate();
+            let dataset = NerDataset::from_reports(&reports, LabelSet::ner_targets());
+            let (train, test) = dataset.split(TRAIN_FRACTION);
+
+            let gaz = GazetteerTagger::new(&ontology, LabelSet::ner_targets());
+            sums[0] += span_f1_with(|s| gaz.tag(s), &test).0.f1;
+
+            let hmm = HmmTagger::train(&train);
+            sums[1] += span_f1_with(|s| hmm.tag(s), &test).0.f1;
+
+            let crf = train_tagger(&train, None, None, EPOCHS);
+            sums[2] += span_f1(&crf, &test).0.f1;
+
+            // C-FLAIR pre-trained on the *training* raw text only.
+            let flair = Arc::new(FlairFeatures::pretrain(&train.raw_text(), 7));
+            let crf_flair = train_tagger(&train, None, Some(flair), EPOCHS);
+            sums[3] += span_f1(&crf_flair, &test).0.f1;
+        }
+        let n = SEEDS.len() as f64;
+        let (gaz, hmm, crf, flair) = (sums[0] / n, sums[1] / n, sums[2] / n, sums[3] / n);
+        let delta = flair - crf;
+        deltas.push(delta);
+        table.row(vec![
+            spec.name.to_string(),
+            f4(gaz),
+            f4(hmm),
+            f4(crf),
+            f4(flair),
+            format!("{:+.2}", delta * 100.0),
+        ]);
+    }
+
+    table.print("E2 — NER span F1 (strict), mean of 3 seeds per dataset");
+    let avg_delta = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    println!(
+        "paper shape: C-FLAIR beats the best baseline by ~1.5 F1 on average → measured {:+.2} F1 (per-dataset: {})",
+        avg_delta * 100.0,
+        deltas
+            .iter()
+            .map(|d| format!("{:+.2}", d * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "note: at laptop scale with a templated synthetic corpus, handcrafted affix+context \
+         features already capture most of what the embeddings add; see EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,79 @@
+//! Experiment E3 — temporal relation extraction (Section III-C claim:
+//! the PSL-regularized approach "significantly outperforms baseline
+//! methods by 1.98% and 2.01% per F1 score" on I2B2-2012 and TB-Dense).
+//!
+//! Ladder on each dataset (pairwise micro F1):
+//!   local classifier (baseline)
+//!   < local + global inference only
+//!   < PSL-regularized training (no global inference)
+//!   ≤ PSL + global inference (the paper's full system).
+//!
+//! Also prints the λ (PSL weight) sweep — the ablation DESIGN.md calls out.
+
+use create_bench::{f4, Table};
+use create_corpus::temporal_data::{i2b2_like, tbdense_like, TemporalDataset};
+use create_temporal::model::{TemporalModel, TrainMode, TrainOptions};
+
+fn eval_variant(dataset: &TemporalDataset, mode: TrainMode, global: bool, psl_weight: f64) -> f64 {
+    let (train, test) = dataset.split(0.8);
+    let mut model = TemporalModel::train(
+        &train,
+        &dataset.labels,
+        &TrainOptions {
+            mode,
+            psl_weight,
+            ..Default::default()
+        },
+    );
+    model.set_global_inference(global);
+    model.evaluate(&test).0
+}
+
+fn main() {
+    let datasets = vec![
+        ("i2b2-2012-like", i2b2_like(42, 300)),
+        ("tb-dense-like", tbdense_like(43, 250)),
+    ];
+
+    let mut table = Table::new(&[
+        "dataset",
+        "pairs",
+        "local",
+        "local+GI",
+        "PSL",
+        "PSL+GI (full)",
+        "delta(full-local)",
+    ]);
+    let mut full_deltas = Vec::new();
+    for (name, ds) in &datasets {
+        eprintln!("[{name}] training 4 variants…");
+        let local = eval_variant(ds, TrainMode::Local, false, 0.0);
+        let local_gi = eval_variant(ds, TrainMode::Local, true, 0.0);
+        let psl = eval_variant(ds, TrainMode::PslRegularized, false, 1.0);
+        let full = eval_variant(ds, TrainMode::PslRegularized, true, 1.0);
+        full_deltas.push((name, (full - local) * 100.0));
+        table.row(vec![
+            name.to_string(),
+            ds.num_pairs().to_string(),
+            f4(local),
+            f4(local_gi),
+            f4(psl),
+            f4(full),
+            format!("{:+.2}", (full - local) * 100.0),
+        ]);
+    }
+    table.print("E3 — temporal relation extraction, pairwise micro F1");
+    println!("paper shape: PSL+global beats local by ≈ +1.98 (I2B2) / +2.01 (TB-Dense) F1");
+    for (name, d) in &full_deltas {
+        println!("  measured on {name}: {d:+.2} F1");
+    }
+
+    // λ sweep ablation on the I2B2-like dataset.
+    let ds = &datasets[0].1;
+    let mut sweep = Table::new(&["psl_weight λ", "micro F1 (PSL+GI)"]);
+    for &lambda in &[0.0, 0.1, 0.25, 0.5, 1.0, 2.0] {
+        let f1 = eval_variant(ds, TrainMode::PslRegularized, true, lambda);
+        sweep.row(vec![format!("{lambda}"), f4(f1)]);
+    }
+    sweep.print("E3 ablation — PSL loss weight sweep (i2b2-2012-like)");
+}

@@ -1,0 +1,155 @@
+//! Retrieval evaluation metrics for experiment E4 (CREATe-IR vs Solr).
+//!
+//! Standard graded-judgment metrics: precision@k (grade ≥ Partial counts
+//! as relevant), mean reciprocal rank of the first relevant hit, and
+//! nDCG@k with gains 2 (High) / 1 (Partial) / 0.
+
+use create_corpus::queries::RelevanceGrade;
+use std::collections::HashMap;
+
+/// Judgments: report id → grade (absent = irrelevant).
+pub type Judgments = HashMap<String, RelevanceGrade>;
+
+/// Precision at `k`: fraction of the top-k that is relevant. When fewer
+/// than `k` results were returned the denominator stays `k` (missing
+/// results are misses, as in TREC).
+pub fn precision_at_k(ranked: &[String], judgments: &Judgments, k: usize) -> f64 {
+    assert!(k > 0);
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|id| judgments.contains_key(*id))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Reciprocal rank of the first relevant result (0 when none).
+pub fn reciprocal_rank(ranked: &[String], judgments: &Judgments) -> f64 {
+    ranked
+        .iter()
+        .position(|id| judgments.contains_key(id))
+        .map(|p| 1.0 / (p + 1) as f64)
+        .unwrap_or(0.0)
+}
+
+/// nDCG@k with graded gains and log2 discounting.
+pub fn ndcg_at_k(ranked: &[String], judgments: &Judgments, k: usize) -> f64 {
+    assert!(k > 0);
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, id)| {
+            let gain = judgments.get(id).map(|g| g.gain()).unwrap_or(0.0);
+            gain / ((i + 2) as f64).log2()
+        })
+        .sum();
+    // Ideal ordering: all High first, then Partial.
+    let mut ideal_gains: Vec<f64> = judgments.values().map(|g| g.gain()).collect();
+    ideal_gains.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let idcg: f64 = ideal_gains
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, g)| g / ((i + 2) as f64).log2())
+        .sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Aggregated metrics over a query workload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IrMetrics {
+    /// Mean precision@10.
+    pub p_at_10: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Mean nDCG@10.
+    pub ndcg_at_10: f64,
+    /// Number of queries aggregated.
+    pub queries: usize,
+}
+
+impl IrMetrics {
+    /// Averages per-query metric triples.
+    pub fn aggregate(per_query: &[(f64, f64, f64)]) -> IrMetrics {
+        let n = per_query.len();
+        if n == 0 {
+            return IrMetrics::default();
+        }
+        IrMetrics {
+            p_at_10: per_query.iter().map(|m| m.0).sum::<f64>() / n as f64,
+            mrr: per_query.iter().map(|m| m.1).sum::<f64>() / n as f64,
+            ndcg_at_10: per_query.iter().map(|m| m.2).sum::<f64>() / n as f64,
+            queries: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn judgments() -> Judgments {
+        let mut j = HashMap::new();
+        j.insert("a".to_string(), RelevanceGrade::High);
+        j.insert("b".to_string(), RelevanceGrade::Partial);
+        j
+    }
+
+    fn ids(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn precision_counts_relevant() {
+        let j = judgments();
+        assert_eq!(precision_at_k(&ids(&["a", "x", "b", "y"]), &j, 2), 0.5);
+        assert_eq!(precision_at_k(&ids(&["a", "b"]), &j, 2), 1.0);
+        assert_eq!(precision_at_k(&ids(&["x"]), &j, 1), 0.0);
+    }
+
+    #[test]
+    fn precision_penalizes_short_lists() {
+        let j = judgments();
+        // Only one result returned but k=10: 1/10.
+        assert_eq!(precision_at_k(&ids(&["a"]), &j, 10), 0.1);
+    }
+
+    #[test]
+    fn mrr_finds_first_relevant() {
+        let j = judgments();
+        assert_eq!(reciprocal_rank(&ids(&["x", "y", "a"]), &j), 1.0 / 3.0);
+        assert_eq!(reciprocal_rank(&ids(&["a"]), &j), 1.0);
+        assert_eq!(reciprocal_rank(&ids(&["x"]), &j), 0.0);
+    }
+
+    #[test]
+    fn ndcg_rewards_high_grades_early() {
+        let j = judgments();
+        let good = ndcg_at_k(&ids(&["a", "b", "x"]), &j, 3);
+        let worse = ndcg_at_k(&ids(&["b", "a", "x"]), &j, 3);
+        let bad = ndcg_at_k(&ids(&["x", "b", "a"]), &j, 3);
+        assert!(good > worse, "{good} vs {worse}");
+        assert!(worse > bad);
+        assert!((good - 1.0).abs() < 1e-12, "ideal order is 1.0, got {good}");
+    }
+
+    #[test]
+    fn ndcg_empty_judgments_is_zero() {
+        assert_eq!(ndcg_at_k(&ids(&["x"]), &HashMap::new(), 10), 0.0);
+    }
+
+    #[test]
+    fn aggregate_averages() {
+        let m = IrMetrics::aggregate(&[(1.0, 1.0, 1.0), (0.0, 0.5, 0.5)]);
+        assert_eq!(m.p_at_10, 0.5);
+        assert_eq!(m.mrr, 0.75);
+        assert_eq!(m.ndcg_at_10, 0.75);
+        assert_eq!(m.queries, 2);
+        assert_eq!(IrMetrics::aggregate(&[]), IrMetrics::default());
+    }
+}

@@ -1,0 +1,30 @@
+//! CREATe-IR: the end-to-end clinical case-report platform (the paper's
+//! primary contribution).
+//!
+//! This crate wires every substrate into the system of Fig. 3: reports are
+//! ingested (from gold-annotated corpus entries, raw text, or PDF
+//! submissions via the Grobid substrate), their entities and temporal
+//! relations extracted, then stored three ways — the document store
+//! (MongoDB role), the property graph (Neo4j role), and the inverted index
+//! (ElasticSearch role). Queries run through the same information
+//! extraction ("A patient was admitted to the hospital because of fever
+//! and cough." → hospital/Nonbiological_location, fever+cough/Sign_symptom,
+//! OVERLAP(fever, cough)), are answered by both engines, and merged with
+//! the Neo4j-first policy of Fig. 6.
+//!
+//! * [`pipeline`] — ingestion: annotation sourcing (gold vs. automatic
+//!   tagging), sentence/timeline assignment, query information extraction;
+//! * [`graph_build`] — report → property-graph projection;
+//! * [`search`] — keyword engine, graph engine, merge policies;
+//! * [`eval`] — retrieval metrics (P@k, MRR, nDCG@k);
+//! * [`system`] — the [`Create`] facade tying it all together.
+
+pub mod eval;
+pub mod graph_build;
+pub mod pipeline;
+pub mod search;
+pub mod system;
+
+pub use pipeline::{ExtractedAnnotations, QueryIE};
+pub use search::{MergePolicy, SearchHit, SearchSource};
+pub use system::{Create, CreateConfig};

@@ -1,0 +1,656 @@
+//! The [`Create`] facade — the public API of the platform.
+//!
+//! Owns the three stores (document store, property graph, inverted index),
+//! the ontology, and optionally a trained NER tagger, and exposes the
+//! user-facing operations of the demo: ingest (gold corpus entries, raw
+//! text, or PDF submissions), CREATe-IR search with a merge policy,
+//! report/annotation retrieval, and Fig-7 visualization.
+
+use crate::graph_build::{GraphBuilder, ReportMeta};
+use crate::pipeline::{ExtractedAnnotations, QueryIE};
+use crate::search::{keyword_search, GraphSearcher, MergePolicy, SearchHit};
+use create_annotate::{case_report_to_brat, BratDocument};
+use create_corpus::CaseReport;
+use create_docstore::{json::obj, DocStore, Filter, Value};
+use create_graphdb::PropertyGraph;
+use create_grobid::{process_pdf, ExtractedDocument, PdfError};
+use create_index::Index;
+use create_ner::CrfTagger;
+use create_ontology::Ontology;
+use create_viz::{render_svg, SvgOptions, VizEdge, VizGraph, VizNode};
+use std::sync::Arc;
+
+/// System configuration.
+#[derive(Debug, Clone)]
+pub struct CreateConfig {
+    /// Default merge policy (the paper's default is Neo4j-first).
+    pub merge_policy: MergePolicy,
+    /// Default result count.
+    pub default_k: usize,
+}
+
+impl Default for CreateConfig {
+    fn default() -> Self {
+        CreateConfig {
+            merge_policy: MergePolicy::Neo4jFirst,
+            default_k: 10,
+        }
+    }
+}
+
+/// Counts describing the system state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Stored reports.
+    pub reports: usize,
+    /// Property-graph nodes.
+    pub graph_nodes: usize,
+    /// Property-graph edges.
+    pub graph_edges: usize,
+    /// Distinct index terms across fields.
+    pub index_terms: usize,
+}
+
+/// The CREATe platform.
+pub struct Create {
+    config: CreateConfig,
+    ontology: Arc<Ontology>,
+    store: DocStore,
+    graph: PropertyGraph,
+    graph_builder: GraphBuilder,
+    index: Index,
+    tagger: Option<CrfTagger>,
+}
+
+impl std::fmt::Debug for Create {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Create")
+            .field("reports", &stats.reports)
+            .field("graph_nodes", &stats.graph_nodes)
+            .field("tagger", &self.tagger.is_some())
+            .finish()
+    }
+}
+
+impl Create {
+    /// Builds an empty in-memory platform over the built-in clinical
+    /// ontology.
+    pub fn new(config: CreateConfig) -> Create {
+        Create {
+            config,
+            ontology: Arc::new(create_ontology::clinical_ontology()),
+            store: DocStore::in_memory(),
+            graph: PropertyGraph::new(),
+            graph_builder: GraphBuilder::new(),
+            index: Index::clinical(),
+            tagger: None,
+        }
+    }
+
+    /// Opens a disk-backed platform: the document store loads from `dir`,
+    /// and the property graph and inverted index are rebuilt from the
+    /// persisted documents and their stored extractions (the same recovery
+    /// MongoDB-backed deployments perform — the derived stores are caches
+    /// over the durable one).
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+        config: CreateConfig,
+    ) -> Result<Create, IngestError> {
+        let store = DocStore::open(dir).map_err(|e| IngestError::Store(e.to_string()))?;
+        let mut system = Create {
+            config,
+            ontology: Arc::new(create_ontology::clinical_ontology()),
+            store,
+            graph: PropertyGraph::new(),
+            graph_builder: GraphBuilder::new(),
+            index: Index::clinical(),
+            tagger: None,
+        };
+        let reports = system.store.find("reports", &Filter::All);
+        for doc in reports {
+            let (Some(id), Some(title), Some(text)) = (
+                doc.get("_id").and_then(Value::as_str),
+                doc.get("title").and_then(Value::as_str),
+                doc.get("text").and_then(Value::as_str),
+            ) else {
+                return Err(IngestError::Store("malformed stored report".to_string()));
+            };
+            let year = doc.get("year").and_then(Value::as_i64).unwrap_or(2020) as u32;
+            let category = doc
+                .get("category")
+                .and_then(Value::as_str)
+                .unwrap_or("other")
+                .to_string();
+            let annotations = system
+                .store
+                .get("extractions", id)
+                .and_then(|e| {
+                    e.get("extraction")
+                        .and_then(ExtractedAnnotations::from_json)
+                })
+                .unwrap_or_default();
+            system.graph_builder.add_report(
+                &mut system.graph,
+                &system.ontology,
+                &ReportMeta {
+                    report_id: id.to_string(),
+                    title: title.to_string(),
+                    year,
+                    category,
+                },
+                &annotations,
+            );
+            system
+                .index
+                .add_document(
+                    id,
+                    &[("title", title), ("body", text), ("body_ngram", text)],
+                )
+                .map_err(|e| IngestError::Store(e.to_string()))?;
+        }
+        Ok(system)
+    }
+
+    /// Persists the document store (reports, annotations, extractions) to
+    /// its backing directory. No-op for in-memory instances.
+    pub fn flush(&self) -> Result<(), IngestError> {
+        self.store
+            .flush()
+            .map_err(|e| IngestError::Store(e.to_string()))
+    }
+
+    /// The shared ontology (for training taggers against the same concept
+    /// inventory).
+    pub fn ontology(&self) -> Arc<Ontology> {
+        Arc::clone(&self.ontology)
+    }
+
+    /// Attaches a trained NER tagger, enabling automatic extraction for
+    /// raw-text/PDF ingestion and model-based query parsing.
+    pub fn attach_tagger(&mut self, tagger: CrfTagger) {
+        self.tagger = Some(tagger);
+    }
+
+    /// Read-only access to the property graph (for Cypher-level queries
+    /// and diagnostics).
+    pub fn graph(&self) -> &PropertyGraph {
+        &self.graph
+    }
+
+    /// Mutable graph access (for the Cypher executor which may CREATE).
+    pub fn graph_mut(&mut self) -> &mut PropertyGraph {
+        &mut self.graph
+    }
+
+    /// Read-only access to the inverted index.
+    pub fn index(&self) -> &Index {
+        &self.index
+    }
+
+    /// Ingests a gold-annotated corpus report (the curated literature
+    /// path): stores the document and its BRAT export, projects the graph,
+    /// and indexes the text.
+    pub fn ingest_gold(&mut self, report: &CaseReport) -> Result<(), IngestError> {
+        let annotations = ExtractedAnnotations::from_gold(report);
+        let brat = case_report_to_brat(report);
+        self.ingest_common(
+            &report.id,
+            &report.title,
+            &report.text,
+            report.metadata.year,
+            report.category.coarse_label(),
+            &report
+                .metadata
+                .authors
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
+            annotations,
+            Some(brat),
+        )
+    }
+
+    /// Ingests raw text with automatic extraction (requires a tagger).
+    pub fn ingest_text(
+        &mut self,
+        id: &str,
+        title: &str,
+        text: &str,
+        year: u32,
+    ) -> Result<(), IngestError> {
+        let tagger = self.tagger.as_ref().ok_or(IngestError::NoTagger)?;
+        let annotations = ExtractedAnnotations::from_text(text, tagger, &self.ontology);
+        let brat = annotations.to_brat();
+        self.ingest_common(id, title, text, year, "user", &[], annotations, Some(brat))
+    }
+
+    /// Ingests a PDF submission: Grobid-style extraction, then the raw
+    /// text path. Returns the extracted header/sections for display.
+    pub fn ingest_pdf(&mut self, id: &str, bytes: &[u8]) -> Result<ExtractedDocument, IngestError> {
+        let doc = process_pdf(bytes).map_err(IngestError::Pdf)?;
+        let body = doc.body_text();
+        self.ingest_text(id, &doc.title, &body, 2020)?;
+        // Attach extracted metadata to the stored document.
+        self.store
+            .update(
+                "reports",
+                &Filter::eq("_id", id),
+                &obj([
+                    (
+                        "authors",
+                        Value::Array(
+                            doc.authors
+                                .iter()
+                                .map(|a| Value::String(a.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    ("affiliation", doc.affiliation.clone().into()),
+                    ("source", "pdf".into()),
+                ]),
+            )
+            .map_err(|e| IngestError::Store(e.to_string()))?;
+        Ok(doc)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ingest_common(
+        &mut self,
+        id: &str,
+        title: &str,
+        text: &str,
+        year: u32,
+        category: &str,
+        authors: &[&str],
+        annotations: ExtractedAnnotations,
+        brat: Option<BratDocument>,
+    ) -> Result<(), IngestError> {
+        if self.store.get("reports", id).is_some() {
+            return Err(IngestError::Duplicate(id.to_string()));
+        }
+        // 1) Document store.
+        let doc = obj([
+            ("_id", id.into()),
+            ("title", title.into()),
+            ("text", text.into()),
+            ("year", (year as i64).into()),
+            ("category", category.into()),
+            (
+                "authors",
+                Value::Array(
+                    authors
+                        .iter()
+                        .map(|a| Value::String(a.to_string()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        self.store
+            .insert("reports", doc)
+            .map_err(|e| IngestError::Store(e.to_string()))?;
+        if let Some(brat) = &brat {
+            self.store
+                .insert(
+                    "annotations",
+                    obj([("_id", id.into()), ("ann", brat.serialize().into())]),
+                )
+                .map_err(|e| IngestError::Store(e.to_string()))?;
+        }
+        self.store
+            .insert(
+                "extractions",
+                obj([("_id", id.into()), ("extraction", annotations.to_json())]),
+            )
+            .map_err(|e| IngestError::Store(e.to_string()))?;
+        // 2) Property graph.
+        self.graph_builder.add_report(
+            &mut self.graph,
+            &self.ontology,
+            &ReportMeta {
+                report_id: id.to_string(),
+                title: title.to_string(),
+                year,
+                category: category.to_string(),
+            },
+            &annotations,
+        );
+        // 3) Inverted index.
+        self.index
+            .add_document(
+                id,
+                &[("title", title), ("body", text), ("body_ngram", text)],
+            )
+            .map_err(|e| IngestError::Store(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Parses a query through the IE pipeline (model-based when a tagger is
+    /// attached, gazetteer otherwise).
+    pub fn parse_query(&self, query: &str) -> QueryIE {
+        match &self.tagger {
+            Some(t) => QueryIE::parse(query, t, &self.ontology),
+            None => QueryIE::parse_gazetteer(query, &self.ontology),
+        }
+    }
+
+    /// CREATe-IR search with the configured default policy.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        self.search_with_policy(query, k, self.config.merge_policy)
+    }
+
+    /// CREATe-IR search with an explicit merge policy (Fig. 6 ablation).
+    pub fn search_with_policy(&self, query: &str, k: usize, policy: MergePolicy) -> Vec<SearchHit> {
+        let parsed = self.parse_query(query);
+        let graph_hits = match policy {
+            MergePolicy::EsOnly => Vec::new(),
+            _ => GraphSearcher::from_graph(&self.graph).search(&self.graph, &parsed, k),
+        };
+        let keyword_hits = match policy {
+            MergePolicy::GraphOnly => Vec::new(),
+            _ => keyword_search(&self.index, query, k),
+        };
+        crate::search::merge(graph_hits, keyword_hits, policy, k)
+    }
+
+    /// Fetches a stored report document.
+    pub fn report(&self, id: &str) -> Option<Value> {
+        self.store.get("reports", id)
+    }
+
+    /// Fetches a report's BRAT annotation export.
+    pub fn annotations(&self, id: &str) -> Option<BratDocument> {
+        let doc = self.store.get("annotations", id)?;
+        let ann = doc.get("ann")?.as_str()?;
+        BratDocument::parse(ann).ok()
+    }
+
+    /// Renders the Fig-7 network-graph visualization of a report's events.
+    pub fn visualize(&self, id: &str) -> Option<String> {
+        let report_node = self
+            .graph
+            .nodes_with_label("Report")
+            .into_iter()
+            .find(|&n| {
+                self.graph
+                    .node(n)
+                    .and_then(|node| node.props.get("reportId"))
+                    .and_then(|v| v.as_str())
+                    .is_some_and(|rid| rid == id)
+            })?;
+        let events: Vec<_> = self
+            .graph
+            .outgoing(report_node)
+            .into_iter()
+            .filter(|e| e.rel_type == "CONTAINS")
+            .map(|e| e.target)
+            .collect();
+        if events.is_empty() {
+            return None;
+        }
+        let mut viz = VizGraph::default();
+        let mut node_index = std::collections::HashMap::new();
+        for &ev in &events {
+            let node = self.graph.node(ev)?;
+            node_index.insert(ev, viz.nodes.len());
+            viz.nodes.push(VizNode {
+                label: node
+                    .props
+                    .get("label")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string(),
+                kind: node
+                    .props
+                    .get("entityType")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("Other")
+                    .to_string(),
+            });
+        }
+        for &ev in &events {
+            for edge in self.graph.outgoing(ev) {
+                if edge.rel_type != "BEFORE" && edge.rel_type != "OVERLAP" {
+                    continue;
+                }
+                let (Some(&s), Some(&t)) = (node_index.get(&ev), node_index.get(&edge.target))
+                else {
+                    continue;
+                };
+                viz.edges.push(VizEdge {
+                    source: s,
+                    target: t,
+                    label: edge.rel_type.clone(),
+                });
+            }
+        }
+        Some(render_svg(&viz, &SvgOptions::default()))
+    }
+
+    /// System counters.
+    pub fn stats(&self) -> SystemStats {
+        SystemStats {
+            reports: self.store.count("reports", &Filter::All),
+            graph_nodes: self.graph.node_count(),
+            graph_edges: self.graph.edge_count(),
+            index_terms: self.index.vocabulary_size("body")
+                + self.index.vocabulary_size("title")
+                + self.index.vocabulary_size("body_ngram"),
+        }
+    }
+}
+
+/// Ingestion errors.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Raw-text ingestion attempted without an attached tagger.
+    NoTagger,
+    /// Report id already ingested.
+    Duplicate(String),
+    /// PDF parsing failed.
+    Pdf(PdfError),
+    /// Storage layer failure.
+    Store(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::NoTagger => write!(f, "no NER tagger attached"),
+            IngestError::Duplicate(id) => write!(f, "report {id:?} already ingested"),
+            IngestError::Pdf(e) => write!(f, "{e}"),
+            IngestError::Store(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_corpus::{CorpusConfig, Generator, QuerySet};
+    use create_grobid::{write_pdf, PdfSource};
+
+    fn loaded_system(n: usize, seed: u64) -> (Create, Vec<CaseReport>) {
+        let generator = Generator::new(CorpusConfig {
+            num_reports: n,
+            seed,
+            ..Default::default()
+        });
+        let reports = generator.generate();
+        let mut system = Create::new(CreateConfig::default());
+        for r in &reports {
+            system.ingest_gold(r).unwrap();
+        }
+        (system, reports)
+    }
+
+    #[test]
+    fn ingest_populates_all_stores() {
+        let (system, reports) = loaded_system(20, 1);
+        let stats = system.stats();
+        assert_eq!(stats.reports, 20);
+        assert!(stats.graph_nodes > 20);
+        assert!(stats.graph_edges > 20);
+        assert!(stats.index_terms > 100);
+        assert!(system.report(&reports[0].id).is_some());
+    }
+
+    #[test]
+    fn duplicate_ingest_rejected() {
+        let (mut system, reports) = loaded_system(1, 2);
+        assert!(matches!(
+            system.ingest_gold(&reports[0]),
+            Err(IngestError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn annotations_round_trip() {
+        let (system, reports) = loaded_system(3, 3);
+        let brat = system.annotations(&reports[0].id).expect("brat stored");
+        assert_eq!(brat.text_bounds.len(), reports[0].entities.len());
+        assert!(brat.validate(&reports[0].text).is_ok());
+    }
+
+    #[test]
+    fn search_returns_relevant_reports() {
+        let (system, _) = loaded_system(60, 4);
+        let queries = QuerySet::generate(
+            &Generator::new(CorpusConfig {
+                num_reports: 60,
+                seed: 4,
+                ..Default::default()
+            })
+            .generate(),
+            5,
+            8,
+        );
+        let mut any_relevant = 0;
+        for q in &queries.queries {
+            let hits = system.search(&q.text, 10);
+            if hits.iter().any(|h| q.judgments.contains_key(&h.report_id)) {
+                any_relevant += 1;
+            }
+        }
+        assert!(
+            any_relevant >= queries.queries.len() / 2,
+            "only {any_relevant}/{} queries found a relevant doc",
+            queries.queries.len()
+        );
+    }
+
+    #[test]
+    fn graph_only_requires_all_concepts() {
+        let (system, _) = loaded_system(40, 5);
+        let hits = system.search_with_policy("fever and cough", 10, MergePolicy::GraphOnly);
+        for h in &hits {
+            let doc = system.report(&h.report_id).unwrap();
+            let text = doc.get("text").unwrap().as_str().unwrap().to_lowercase();
+            // Every graph hit mentions both concepts (by some surface form,
+            // so check via the graph instead of raw text when absent).
+            assert!(
+                text.contains("fever") || text.contains("pyrexia") || text.contains("febrile"),
+                "graph hit without fever: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn visualize_produces_svg() {
+        let (system, reports) = loaded_system(3, 6);
+        let svg = system.visualize(&reports[0].id).expect("svg");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn pdf_ingestion_extracts_metadata() {
+        let mut system = Create::new(CreateConfig::default());
+        // A gazetteer-less system cannot auto-extract; attach a tiny tagger.
+        let reports = Generator::new(CorpusConfig {
+            num_reports: 15,
+            seed: 7,
+            ..Default::default()
+        })
+        .generate();
+        let dataset =
+            create_ner::NerDataset::from_reports(&reports, create_ner::LabelSet::ner_targets());
+        let tagger = CrfTagger::train(
+            &dataset,
+            create_ner::CrfTaggerConfig {
+                feature_bits: 16,
+                train: create_ml::CrfTrainConfig {
+                    epochs: 2,
+                    ..Default::default()
+                },
+                gazetteer_features: true,
+            },
+            Some(system.ontology()),
+            None,
+        );
+        system.attach_tagger(tagger);
+        let pdf = write_pdf(&PdfSource {
+            title: "Myocarditis after infection: a case report".into(),
+            authors: "Chen W, Smith J".into(),
+            affiliation: "Department of Cardiology, Example University".into(),
+            body_lines: vec![
+                "Abstract".into(),
+                "A patient presented with fever and chest pain.".into(),
+                "Case report".into(),
+                "An echocardiogram revealed myocarditis. The patient recovered.".into(),
+            ],
+        });
+        let extracted = system.ingest_pdf("user:pdf1", &pdf).unwrap();
+        assert_eq!(extracted.authors, vec!["Chen W", "Smith J"]);
+        let stored = system.report("user:pdf1").unwrap();
+        assert_eq!(
+            stored.get("title").unwrap().as_str().unwrap(),
+            "Myocarditis after infection: a case report"
+        );
+        assert_eq!(stored.get("source").unwrap().as_str(), Some("pdf"));
+        // The ingested report is searchable.
+        let hits = system.search("fever chest pain", 5);
+        assert!(hits.iter().any(|h| h.report_id == "user:pdf1"));
+    }
+
+    #[test]
+    fn text_ingest_without_tagger_errors() {
+        let mut system = Create::new(CreateConfig::default());
+        assert!(matches!(
+            system.ingest_text("x", "t", "body", 2020),
+            Err(IngestError::NoTagger)
+        ));
+    }
+
+    #[test]
+    fn temporal_query_prefers_pattern_matches() {
+        let (system, reports) = loaded_system(80, 8);
+        // Build a temporal query from a report with a BEFORE pair.
+        let queries = QuerySet::generate(&reports, 9, 16);
+        let temporal: Vec<_> = queries
+            .of_family(create_corpus::QueryFamily::Temporal)
+            .into_iter()
+            .cloned()
+            .collect();
+        assert!(!temporal.is_empty());
+        let mut checked = false;
+        for q in &temporal {
+            let hits = system.search_with_policy(&q.text, 10, MergePolicy::GraphOnly);
+            if let Some(top) = hits.first() {
+                if top.pattern_matched {
+                    checked = true;
+                    // Pattern-matched hits must outrank non-matched ones.
+                    for later in &hits[1..] {
+                        assert!(top.score >= later.score);
+                    }
+                }
+            }
+        }
+        assert!(
+            checked,
+            "no temporal query produced a pattern-matched top hit"
+        );
+    }
+}

@@ -1,0 +1,945 @@
+//! The case-report generator.
+//!
+//! Produces [`CaseReport`]s whose narratives follow the canonical clinical
+//! course (presentation → history → diagnostics → diagnosis → treatment →
+//! course → outcome) over a latent timeline of integer steps. Entity spans,
+//! semantic relations (MODIFY, IDENTICAL), and timeline-consistent temporal
+//! relations (BEFORE/AFTER/OVERLAP) are produced alongside the text.
+//!
+//! The category mix defaults to the Fig-1 calibration (cancer largest, CVD
+//! ≈ 20% split over the six areas of Section III-A).
+
+use crate::narrative::{capitalize, count_phrase, NarrativeBuilder};
+use crate::report::{CaseReport, GoldRelation, ReportMetadata};
+use create_ontology::{
+    clinical_ontology, lexicon, CaseCategory, Concept, EntityType, Ontology, RelationType,
+};
+use create_util::Rng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Number of reports to generate.
+    pub num_reports: usize,
+    /// Fraction of reports marked as user submissions (`user:` ids) rather
+    /// than literature (`pmid:` ids).
+    pub user_submission_rate: f64,
+    /// Probability that an entity surface receives a single-character typo
+    /// (models OCR/user noise; used by the "noisy" NER dataset).
+    pub typo_rate: f64,
+    /// Category mix; defaults to [`CaseCategory::weighted_mix`].
+    pub category_mix: Vec<(CaseCategory, f64)>,
+    /// When set, restrict generation to these categories (reweighted); used
+    /// for the cardio-only NER dataset.
+    pub category_filter: Option<Vec<CaseCategory>>,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 0xC0FFEE,
+            num_reports: 100,
+            user_submission_rate: 0.05,
+            typo_rate: 0.0,
+            category_mix: CaseCategory::weighted_mix(),
+            category_filter: None,
+        }
+    }
+}
+
+/// Vocabulary slices materialized from the ontology for fast sampling.
+#[derive(Debug)]
+struct Vocab {
+    symptoms: Vec<Concept>,
+    medications: Vec<Concept>,
+    diagnostics: Vec<Concept>,
+    therapeutics: Vec<Concept>,
+    locations: Vec<Concept>,
+    occupations: Vec<Concept>,
+    severities: Vec<Concept>,
+    outcomes: Vec<Concept>,
+    labs: Vec<Concept>,
+}
+
+/// The case-report generator. Holds the ontology and sampling tables.
+///
+/// ```
+/// use create_corpus::{CorpusConfig, Generator};
+/// let reports = Generator::new(CorpusConfig { num_reports: 2, seed: 7, ..Default::default() })
+///     .generate();
+/// assert_eq!(reports.len(), 2);
+/// assert!(reports[0].validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct Generator {
+    config: CorpusConfig,
+    ontology: Ontology,
+    vocab: Vocab,
+}
+
+const SURNAMES: &[&str] = &[
+    "Smith", "Chen", "Garcia", "Johnson", "Kim", "Patel", "Müller", "Rossi", "Tanaka", "Nguyen",
+    "Kowalski", "Okafor", "Silva", "Ivanov", "Haddad", "Lindgren", "Novak", "Costa", "Yamamoto",
+    "Olsen", "Dubois", "Moreau", "Ricci", "Sato", "Khan", "Ali", "Park", "Lee", "Wang", "Zhang",
+];
+
+const INITIALS: &[&str] = &[
+    "A", "B", "C", "D", "E", "F", "G", "H", "J", "K", "L", "M", "N", "P", "R", "S", "T", "W", "Y",
+];
+
+const JOURNALS: &[&str] = &[
+    "Journal of Medical Case Reports",
+    "BMC Cardiovascular Disorders",
+    "Case Reports in Cardiology",
+    "European Heart Journal Case Reports",
+    "Clinical Case Reports",
+    "American Journal of Case Reports",
+    "Oxford Medical Case Reports",
+    "BMJ Case Reports",
+    "Journal of Cardiology Cases",
+    "Respiratory Medicine Case Reports",
+];
+
+/// Preferred presenting symptoms per coarse category (mixed 70/30 with
+/// random draws for variety).
+fn preferred_symptoms(cat: CaseCategory) -> &'static [&'static str] {
+    match cat.coarse_label() {
+        "cardiovascular" => &[
+            "chest pain",
+            "dyspnea",
+            "palpitations",
+            "syncope",
+            "edema",
+            "fatigue",
+            "diaphoresis",
+            "orthopnea",
+        ],
+        "cancer" => &[
+            "weight loss",
+            "fatigue",
+            "lymphadenopathy",
+            "anorexia",
+            "bruising",
+        ],
+        "infectious" => &[
+            "fever",
+            "cough",
+            "chills",
+            "malaise",
+            "sore throat",
+            "rhinorrhea",
+        ],
+        "neurological" => &[
+            "headache",
+            "seizure",
+            "hemiparesis",
+            "aphasia",
+            "dizziness",
+            "tremor",
+            "confusion",
+        ],
+        "respiratory" => &["dyspnea", "cough", "wheezing", "hemoptysis", "stridor"],
+        "gastrointestinal" => &[
+            "abdominal pain",
+            "nausea",
+            "vomiting",
+            "diarrhea",
+            "jaundice",
+            "melena",
+        ],
+        "endocrine" => &["fatigue", "polyuria", "polydipsia", "weight loss"],
+        "renal" => &["oliguria", "edema", "hematuria", "fatigue"],
+        _ => &["fatigue", "fever", "malaise", "arthralgia", "rash"],
+    }
+}
+
+fn lab_unit(analyte: &str) -> &'static str {
+    match analyte {
+        "troponin" => "ng/mL",
+        "creatine kinase" => "U/L",
+        "b-type natriuretic peptide" => "pg/mL",
+        "creatinine" => "mg/dL",
+        "hemoglobin" => "g/dL",
+        "white blood cell count" => "x10^9/L",
+        "platelet count" => "x10^9/L",
+        "c-reactive protein" => "mg/L",
+        "erythrocyte sedimentation rate" => "mm/hr",
+        "d-dimer" => "µg/mL",
+        "lactate" => "mmol/L",
+        "glucose" => "mg/dL",
+        "hemoglobin a1c" => "%",
+        "thyroid stimulating hormone" => "mIU/L",
+        "potassium" => "mmol/L",
+        "sodium" => "mmol/L",
+        "alanine aminotransferase" => "U/L",
+        "aspartate aminotransferase" => "U/L",
+        "bilirubin" => "mg/dL",
+        "ejection fraction" => "%",
+        _ => "units",
+    }
+}
+
+impl Generator {
+    /// Creates a generator over the built-in clinical ontology.
+    pub fn new(config: CorpusConfig) -> Generator {
+        let ontology = clinical_ontology();
+        let slice = |t: EntityType| -> Vec<Concept> {
+            let mut v: Vec<Concept> = ontology.of_type(t).cloned().collect();
+            v.sort_by_key(|c| c.id);
+            v
+        };
+        let vocab = Vocab {
+            symptoms: slice(EntityType::SignSymptom),
+            medications: slice(EntityType::Medication),
+            diagnostics: slice(EntityType::DiagnosticProcedure),
+            therapeutics: slice(EntityType::TherapeuticProcedure),
+            locations: slice(EntityType::NonbiologicalLocation),
+            occupations: slice(EntityType::Occupation),
+            severities: slice(EntityType::Severity),
+            outcomes: slice(EntityType::Outcome),
+            labs: slice(EntityType::LabValue),
+        };
+        Generator {
+            config,
+            ontology,
+            vocab,
+        }
+    }
+
+    /// Shared ontology reference.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// Generates the full corpus.
+    pub fn generate(&self) -> Vec<CaseReport> {
+        let mut rng = Rng::seed_from_u64(self.config.seed);
+        (0..self.config.num_reports)
+            .map(|i| {
+                let mut child = rng.fork();
+                self.generate_one(&mut child, i)
+            })
+            .collect()
+    }
+
+    fn pick_category(&self, rng: &mut Rng) -> CaseCategory {
+        let mix: Vec<(CaseCategory, f64)> = match &self.config.category_filter {
+            Some(allowed) => self
+                .config
+                .category_mix
+                .iter()
+                .filter(|(c, _)| allowed.contains(c))
+                .cloned()
+                .collect(),
+            None => self.config.category_mix.clone(),
+        };
+        assert!(!mix.is_empty(), "category filter excluded everything");
+        let weights: Vec<f64> = mix.iter().map(|(_, w)| *w).collect();
+        mix[rng.choose_weighted(&weights)].0
+    }
+
+    /// Picks a symptom concept, biased toward the category's presentation.
+    fn pick_symptom(&self, rng: &mut Rng, cat: CaseCategory, exclude: &[u32]) -> Concept {
+        for _ in 0..16 {
+            let c = if rng.chance(0.7) {
+                let name = rng.choose(preferred_symptoms(cat));
+                self.ontology
+                    .lookup(name)
+                    .unwrap_or_else(|| panic!("preferred symptom {name} missing from lexicon"))
+                    .clone()
+            } else {
+                rng.choose(&self.vocab.symptoms).clone()
+            };
+            if !exclude.contains(&c.id.0) {
+                return c;
+            }
+        }
+        rng.choose(&self.vocab.symptoms).clone()
+    }
+
+    /// Picks a surface string for a concept (preferred name or synonym),
+    /// optionally injecting a typo.
+    fn surface(&self, rng: &mut Rng, c: &Concept) -> String {
+        let s = if !c.synonyms.is_empty() && rng.chance(0.3) {
+            rng.choose(&c.synonyms).clone()
+        } else {
+            c.preferred.clone()
+        };
+        if self.config.typo_rate > 0.0 && rng.chance(self.config.typo_rate) {
+            inject_typo(rng, &s)
+        } else {
+            s
+        }
+    }
+
+    /// Generates one report. The per-report RNG makes reports independent:
+    /// report `i` is identical no matter how many others are generated.
+    pub fn generate_one(&self, rng: &mut Rng, index: usize) -> CaseReport {
+        let category = self.pick_category(rng);
+        let diseases = lexicon::diseases_for(category);
+        let disease_name = *rng.choose(&diseases);
+        let disease = self
+            .ontology
+            .lookup(disease_name)
+            .expect("lexicon disease must be in ontology")
+            .clone();
+
+        let age = rng.range(18, 92);
+        let (sex_word, subj, poss) = *rng.choose(&[
+            ("woman", "she", "her"),
+            ("man", "he", "his"),
+            ("female", "she", "her"),
+            ("male", "he", "his"),
+        ]);
+
+        let mut b = NarrativeBuilder::new();
+        let mut relations: Vec<GoldRelation> = Vec::new();
+        // Events per timeline step, for temporal relation emission.
+        let mut steps: Vec<Vec<usize>> = Vec::new();
+        let step_events = |steps: &mut Vec<Vec<usize>>, step: u32, idx: usize| {
+            while steps.len() <= step as usize {
+                steps.push(Vec::new());
+            }
+            steps[step as usize].push(idx);
+        };
+
+        // ---- Presentation (timeline step 1) ----
+        b.text("A ");
+        b.entity(&format!("{age}-year-old"), EntityType::Age, None, None);
+        b.text(" ");
+        b.entity(sex_word, EntityType::Sex, None, None);
+        if rng.chance(0.35) {
+            let occ = rng.choose(&self.vocab.occupations).clone();
+            b.text(", a ");
+            let surface = self.surface(rng, &occ);
+            b.entity(&surface, EntityType::Occupation, Some(occ.id), None);
+            b.text(",");
+        }
+        let admission_verb = *rng.choose(&[
+            "presented to",
+            "was admitted to",
+            "was brought to",
+            "was referred to",
+        ]);
+        b.text(&format!(" {admission_verb} the "));
+        let loc = rng.choose(&self.vocab.locations).clone();
+        let loc_surface = self.surface(rng, &loc);
+        let _loc_idx = b.entity(
+            &loc_surface,
+            EntityType::NonbiologicalLocation,
+            Some(loc.id),
+            None,
+        );
+        b.text(" with ");
+
+        let n_symptoms = rng.count_geometric(0.55, 3);
+        let mut symptom_ids: Vec<u32> = Vec::new();
+        let mut presenting: Vec<usize> = Vec::new();
+        let mut first_symptom_concept: Option<Concept> = None;
+        for k in 0..n_symptoms {
+            if k > 0 {
+                b.text(if k + 1 == n_symptoms { " and " } else { ", " });
+            }
+            // Optional severity modifier.
+            let mut severity_idx = None;
+            if rng.chance(0.4) {
+                let sev = rng.choose(&self.vocab.severities).clone();
+                let surface = self.surface(rng, &sev);
+                severity_idx = Some(b.entity(&surface, EntityType::Severity, Some(sev.id), None));
+                b.text(" ");
+            }
+            let sym = self.pick_symptom(rng, category, &symptom_ids);
+            symptom_ids.push(sym.id.0);
+            let surface = self.surface(rng, &sym);
+            let idx = b.entity(&surface, EntityType::SignSymptom, Some(sym.id), Some(1));
+            if first_symptom_concept.is_none() {
+                first_symptom_concept = Some(sym.clone());
+            }
+            presenting.push(idx);
+            step_events(&mut steps, 1, idx);
+            if let Some(sev_idx) = severity_idx {
+                relations.push(GoldRelation {
+                    source: sev_idx,
+                    target: idx,
+                    rtype: RelationType::Modify,
+                });
+            }
+        }
+        let duration_phrase = *rng.choose(&[
+            "for the past two days",
+            "for one week",
+            "of three days' duration",
+            "since the previous evening",
+        ]);
+        if rng.chance(0.5) {
+            b.text(" ");
+            b.entity(duration_phrase, EntityType::Duration, None, None);
+        }
+        b.text(". ");
+
+        // ---- History (timeline step 0) ----
+        if rng.chance(0.8) {
+            let opener = *rng.choose(&[
+                "had a history of",
+                "had been diagnosed years earlier with",
+                "reported long-term use of",
+                "had a known history of",
+            ]);
+            b.text(&format!("{} {opener} ", capitalize(subj)));
+            let hist_idx = if opener.contains("use of") {
+                let med = rng.choose(&self.vocab.medications).clone();
+                let surface = self.surface(rng, &med);
+                b.entity(&surface, EntityType::Medication, Some(med.id), Some(0))
+            } else {
+                // A different disease as history.
+                let hist_category = self.pick_category(rng);
+                let mut hist_disease = rng
+                    .choose(&lexicon::diseases_for(hist_category))
+                    .to_string();
+                if hist_disease == disease.preferred {
+                    hist_disease = "hypertension symptoms".to_string();
+                }
+                let concept = self.ontology.lookup(&hist_disease).map(|c| c.id);
+                b.entity(&hist_disease, EntityType::DiseaseDisorder, concept, Some(0))
+            };
+            step_events(&mut steps, 0, hist_idx);
+            b.text(". ");
+        }
+
+        // ---- Diagnostics (timeline step 2) ----
+        let n_diag = rng.range(1, 3);
+        for _ in 0..n_diag {
+            let proc = rng.choose(&self.vocab.diagnostics).clone();
+            let proc_surface = self.surface(rng, &proc);
+            let template = rng.below(3);
+            match template {
+                0 => {
+                    let cap = capitalize(&proc_surface);
+                    let p_idx = b.entity(
+                        &cap,
+                        EntityType::DiagnosticProcedure,
+                        Some(proc.id),
+                        Some(2),
+                    );
+                    step_events(&mut steps, 2, p_idx);
+                    b.text(&format!(
+                        " {} ",
+                        rng.choose(&["revealed", "demonstrated", "showed", "was notable for"])
+                    ));
+                    let finding = self.pick_symptom(rng, category, &symptom_ids);
+                    let fsurface = self.surface(rng, &finding);
+                    let f_idx = b.entity(
+                        &fsurface,
+                        EntityType::SignSymptom,
+                        Some(finding.id),
+                        Some(2),
+                    );
+                    step_events(&mut steps, 2, f_idx);
+                    b.text(". ");
+                }
+                1 => {
+                    b.text("On arrival, ");
+                    let p_idx = b.entity(
+                        &proc_surface,
+                        EntityType::DiagnosticProcedure,
+                        Some(proc.id),
+                        Some(2),
+                    );
+                    step_events(&mut steps, 2, p_idx);
+                    b.text(" was performed. ");
+                }
+                _ => {
+                    b.text("Laboratory testing showed a ");
+                    let lab = rng.choose(&self.vocab.labs).clone();
+                    let value = format!(
+                        "{} of {:.1} {}",
+                        lab.preferred,
+                        rng.f64_range(0.5, 60.0),
+                        lab_unit(&lab.preferred)
+                    );
+                    let l_idx = b.entity(&value, EntityType::LabValue, Some(lab.id), Some(2));
+                    step_events(&mut steps, 2, l_idx);
+                    b.text(". ");
+                }
+            }
+        }
+
+        // ---- Diagnosis (timeline step 3) ----
+        let disease_surface = self.surface(rng, &disease);
+        let diag_template = rng.below(3);
+        let d_idx = match diag_template {
+            0 => {
+                b.text("A diagnosis of ");
+                let idx = b.entity(
+                    &disease_surface,
+                    EntityType::DiseaseDisorder,
+                    Some(disease.id),
+                    Some(3),
+                );
+                b.text(" was made. ");
+                idx
+            }
+            1 => {
+                b.text(&format!("{} was confirmed with ", capitalize(subj)));
+                let idx = b.entity(
+                    &disease_surface,
+                    EntityType::DiseaseDisorder,
+                    Some(disease.id),
+                    Some(3),
+                );
+                b.text(". ");
+                idx
+            }
+            _ => {
+                b.text("These findings were consistent with ");
+                let idx = b.entity(
+                    &disease_surface,
+                    EntityType::DiseaseDisorder,
+                    Some(disease.id),
+                    Some(3),
+                );
+                b.text(". ");
+                idx
+            }
+        };
+        step_events(&mut steps, 3, d_idx);
+
+        // ---- Treatment (timeline step 4) ----
+        let mut anaphor_source: Option<usize> = None;
+        if rng.chance(0.85) {
+            if rng.chance(0.6) {
+                let med = rng.choose(&self.vocab.medications).clone();
+                let med_surface = self.surface(rng, &med);
+                b.text(&format!(
+                    "The patient was {} ",
+                    rng.choose(&["started on", "treated with", "given", "commenced on"])
+                ));
+                let m_idx = b.entity(&med_surface, EntityType::Medication, Some(med.id), Some(4));
+                step_events(&mut steps, 4, m_idx);
+                if rng.chance(0.6) {
+                    b.text(" ");
+                    let dose = format!(
+                        "{} mg {}",
+                        [5, 10, 20, 25, 40, 50, 75, 100, 200, 500][rng.below(10)],
+                        rng.choose(&["daily", "twice daily", "every 8 hours", "at bedtime"])
+                    );
+                    let dose_idx = b.entity(&dose, EntityType::Dosage, None, None);
+                    relations.push(GoldRelation {
+                        source: dose_idx,
+                        target: m_idx,
+                        rtype: RelationType::Modify,
+                    });
+                }
+                // Optional coreference back to the first presenting symptom.
+                if let (Some(first), true) = (first_symptom_concept.as_ref(), rng.chance(0.5)) {
+                    b.text(" to control the ");
+                    let ana_idx = b.entity(
+                        &first.preferred,
+                        EntityType::SignSymptom,
+                        Some(first.id),
+                        Some(1),
+                    );
+                    relations.push(GoldRelation {
+                        source: ana_idx,
+                        target: presenting[0],
+                        rtype: RelationType::Identical,
+                    });
+                    anaphor_source = Some(ana_idx);
+                }
+                b.text(". ");
+            } else {
+                let proc = rng.choose(&self.vocab.therapeutics).clone();
+                let proc_surface = capitalize(&self.surface(rng, &proc));
+                let p_idx = b.entity(
+                    &proc_surface,
+                    EntityType::TherapeuticProcedure,
+                    Some(proc.id),
+                    Some(4),
+                );
+                step_events(&mut steps, 4, p_idx);
+                b.text(&format!(
+                    " was {}. ",
+                    rng.choose(&["performed", "undertaken", "carried out"])
+                ));
+            }
+        }
+        let _ = anaphor_source;
+
+        // ---- Clinical course (timeline steps 5..) ----
+        let mut step = 5u32;
+        let n_course = rng.below(3);
+        for _ in 0..n_course {
+            let cue = *rng.choose(&[
+                "A day later",
+                "Two days later",
+                "On hospital day three",
+                "The following week",
+                "Shortly afterwards",
+            ]);
+            let t_idx = b.entity(cue, EntityType::Time, None, Some(step));
+            step_events(&mut steps, step, t_idx);
+            b.text(&format!(
+                ", {subj} {} ",
+                rng.choose(&["developed", "began to have", "experienced"])
+            ));
+            let sym = self.pick_symptom(rng, category, &symptom_ids);
+            symptom_ids.push(sym.id.0);
+            let surface = self.surface(rng, &sym);
+            let s_idx = b.entity(&surface, EntityType::SignSymptom, Some(sym.id), Some(step));
+            step_events(&mut steps, step, s_idx);
+            b.text(". ");
+            step += 1;
+        }
+
+        // ---- Outcome (final step) ----
+        let outcome = rng.choose(&self.vocab.outcomes).clone();
+        let outcome_surface = self.surface(rng, &outcome);
+        b.text(&format!(
+            "After {} weeks of treatment, the patient was ",
+            count_phrase(rng.range(1, 5) as u32)
+        ));
+        let o_idx = b.entity(
+            &outcome_surface,
+            EntityType::Outcome,
+            Some(outcome.id),
+            Some(step),
+        );
+        step_events(&mut steps, step, o_idx);
+        b.text(&format!(
+            ". {} follow-up was unremarkable.",
+            capitalize(poss)
+        ));
+
+        let (text, entities) = b.finish();
+
+        // ---- Temporal relations from the timeline ----
+        self.emit_temporal_relations(rng, &steps, &mut relations);
+
+        let is_user = rng.chance(self.config.user_submission_rate);
+        let id = if is_user {
+            format!("user:{index:06}")
+        } else {
+            format!("pmid:{}", 30_000_000 + index as u64)
+        };
+        let title = match rng.below(3) {
+            0 => format!(
+                "{} in a {age}-year-old {sex_word}: a case report",
+                capitalize(&disease.preferred)
+            ),
+            1 => format!(
+                "A rare presentation of {}: case report and literature review",
+                disease.preferred
+            ),
+            _ => format!(
+                "Case report: {} complicated by {}",
+                disease.preferred,
+                entities
+                    .iter()
+                    .find(|e| e.etype == EntityType::SignSymptom)
+                    .map(|e| e.text.clone())
+                    .unwrap_or_else(|| "multiorgan involvement".to_string())
+            ),
+        };
+        let n_authors = rng.range(1, 7);
+        let authors = (0..n_authors)
+            .map(|_| {
+                let surname = *rng.choose(SURNAMES);
+                let initial = *rng.choose(INITIALS);
+                format!("{surname} {initial}")
+            })
+            .collect();
+        let metadata = ReportMetadata {
+            authors,
+            journal: rng.choose(JOURNALS).to_string(),
+            year: rng.range(2000, 2021) as u32,
+            mesh_terms: vec![
+                category.coarse_label().to_string(),
+                disease.preferred.clone(),
+                "case reports".to_string(),
+            ],
+        };
+
+        let report = CaseReport {
+            id,
+            title,
+            category,
+            metadata,
+            text,
+            entities,
+            relations,
+        };
+        debug_assert_eq!(report.validate(), Ok(()));
+        report
+    }
+
+    /// Emits timeline-consistent temporal relations: same-step OVERLAPs,
+    /// adjacent-step BEFOREs, some long-range pairs (transitivity
+    /// structure), and a few reversed AFTER pairs for label balance.
+    fn emit_temporal_relations(
+        &self,
+        rng: &mut Rng,
+        steps: &[Vec<usize>],
+        relations: &mut Vec<GoldRelation>,
+    ) {
+        // Same-step OVERLAP chains.
+        for events in steps {
+            for w in events.windows(2) {
+                relations.push(GoldRelation {
+                    source: w[0],
+                    target: w[1],
+                    rtype: RelationType::Overlap,
+                });
+            }
+        }
+        // Adjacent non-empty steps: one BEFORE each.
+        let non_empty: Vec<usize> = (0..steps.len()).filter(|&i| !steps[i].is_empty()).collect();
+        for w in non_empty.windows(2) {
+            let src = *rng.choose(&steps[w[0]]);
+            let dst = *rng.choose(&steps[w[1]]);
+            if rng.chance(0.8) {
+                relations.push(GoldRelation {
+                    source: src,
+                    target: dst,
+                    rtype: RelationType::Before,
+                });
+            } else {
+                relations.push(GoldRelation {
+                    source: dst,
+                    target: src,
+                    rtype: RelationType::After,
+                });
+            }
+        }
+        // Long-range pairs spanning at least two steps.
+        if non_empty.len() >= 3 {
+            for _ in 0..2 {
+                let i = rng.below(non_empty.len() - 2);
+                let j = rng.range(i + 2, non_empty.len());
+                let src = *rng.choose(&steps[non_empty[i]]);
+                let dst = *rng.choose(&steps[non_empty[j]]);
+                relations.push(GoldRelation {
+                    source: src,
+                    target: dst,
+                    rtype: RelationType::Before,
+                });
+            }
+        }
+        // Dedup (same pair may be drawn twice).
+        relations.sort_by_key(|r| (r.source, r.target, r.rtype.label()));
+        relations.dedup_by_key(|r| (r.source, r.target, r.rtype));
+    }
+}
+
+/// Injects a single character-level typo (swap, drop, or duplicate).
+fn inject_typo(rng: &mut Rng, s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 4 {
+        return s.to_string();
+    }
+    let pos = rng.range(1, chars.len() - 1);
+    let mut out = chars.clone();
+    match rng.below(3) {
+        0 => {
+            out.swap(pos, pos - 1);
+        }
+        1 => {
+            out.remove(pos);
+        }
+        _ => {
+            let c = out[pos];
+            out.insert(pos, c);
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus(n: usize, seed: u64) -> Vec<CaseReport> {
+        Generator::new(CorpusConfig {
+            num_reports: n,
+            seed,
+            ..Default::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn reports_validate() {
+        for r in small_corpus(50, 1) {
+            assert_eq!(r.validate(), Ok(()), "report {} invalid", r.id);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_corpus(10, 99);
+        let b = small_corpus(10, 99);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.relations, y.relations);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_corpus(5, 1);
+        let b = small_corpus(5, 2);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.text != y.text));
+    }
+
+    #[test]
+    fn every_report_has_entities_and_relations() {
+        for r in small_corpus(30, 3) {
+            assert!(r.entities.len() >= 5, "{} too few entities", r.id);
+            assert!(!r.relations.is_empty(), "{} has no relations", r.id);
+            assert!(
+                r.relations.iter().any(|rel| rel.rtype.is_temporal()),
+                "{} has no temporal relations",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn category_mix_approximates_fig1() {
+        let reports = small_corpus(3000, 7);
+        let cvd = reports
+            .iter()
+            .filter(|r| r.category.coarse_label() == "cardiovascular")
+            .count() as f64
+            / reports.len() as f64;
+        let cancer = reports
+            .iter()
+            .filter(|r| r.category.coarse_label() == "cancer")
+            .count() as f64
+            / reports.len() as f64;
+        assert!((cvd - 0.20).abs() < 0.03, "CVD share {cvd}");
+        assert!(cancer > cvd, "cancer {cancer} vs cvd {cvd}");
+    }
+
+    #[test]
+    fn category_filter_restricts() {
+        let cats: Vec<CaseCategory> = create_ontology::CvdArea::all()
+            .iter()
+            .map(|a| CaseCategory::Cardiovascular(*a))
+            .collect();
+        let g = Generator::new(CorpusConfig {
+            num_reports: 20,
+            category_filter: Some(cats),
+            ..Default::default()
+        });
+        for r in g.generate() {
+            assert_eq!(r.category.coarse_label(), "cardiovascular");
+        }
+    }
+
+    #[test]
+    fn typo_rate_produces_unnormalized_surfaces() {
+        let clean = Generator::new(CorpusConfig {
+            num_reports: 40,
+            typo_rate: 0.0,
+            seed: 5,
+            ..Default::default()
+        })
+        .generate();
+        let noisy = Generator::new(CorpusConfig {
+            num_reports: 40,
+            typo_rate: 0.5,
+            seed: 5,
+            ..Default::default()
+        })
+        .generate();
+        let clean_text: String = clean.iter().map(|r| r.text.clone()).collect();
+        let noisy_text: String = noisy.iter().map(|r| r.text.clone()).collect();
+        assert_ne!(clean_text, noisy_text);
+        for r in noisy {
+            assert_eq!(r.validate(), Ok(()), "typos must not break spans");
+        }
+    }
+
+    #[test]
+    fn ids_mix_literature_and_user() {
+        let g = Generator::new(CorpusConfig {
+            num_reports: 300,
+            user_submission_rate: 0.3,
+            ..Default::default()
+        });
+        let reports = g.generate();
+        let users = reports.iter().filter(|r| r.id.starts_with("user:")).count();
+        let pmids = reports.iter().filter(|r| r.id.starts_with("pmid:")).count();
+        assert!(users > 30, "only {users} user submissions");
+        assert!(pmids > 150);
+    }
+
+    #[test]
+    fn temporal_relations_are_consistent_with_timeline() {
+        for r in small_corpus(40, 11) {
+            for rel in &r.relations {
+                if rel.rtype.is_temporal() {
+                    assert_eq!(
+                        r.timeline_relation(rel.source, rel.target),
+                        Some(rel.rtype),
+                        "{}: relation disagrees with timeline",
+                        r.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_range_relations_exist_for_transitivity() {
+        let reports = small_corpus(50, 13);
+        let has_long_range = reports.iter().any(|r| {
+            r.relations.iter().any(|rel| {
+                if !rel.rtype.is_temporal() {
+                    return false;
+                }
+                match (
+                    r.entities[rel.source].time_step,
+                    r.entities[rel.target].time_step,
+                ) {
+                    (Some(a), Some(b)) => a.abs_diff(b) >= 2,
+                    _ => false,
+                }
+            })
+        });
+        assert!(has_long_range);
+    }
+
+    #[test]
+    fn metadata_is_plausible() {
+        for r in small_corpus(20, 17) {
+            assert!(!r.metadata.authors.is_empty());
+            assert!((2000..=2021).contains(&r.metadata.year));
+            assert!(r.metadata.mesh_terms.contains(&"case reports".to_string()));
+            assert!(!r.title.is_empty());
+        }
+    }
+
+    #[test]
+    fn narrative_is_sentence_splittable() {
+        for r in small_corpus(10, 19) {
+            let sentences = create_text::split_sentences(&r.text);
+            assert!(sentences.len() >= 4, "{}: {:?}", r.id, r.text);
+        }
+    }
+
+    #[test]
+    fn inject_typo_changes_long_strings() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut changed = 0;
+        for _ in 0..20 {
+            if inject_typo(&mut rng, "amiodarone") != "amiodarone" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 15);
+        assert_eq!(inject_typo(&mut rng, "ab"), "ab");
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic clinical case-report corpus with gold annotations.
+//!
+//! The paper's data source is ~118k PubMed cardiovascular case reports plus
+//! curated depositions (Section III-A) — access-gated and unannotatable at
+//! reproduction scale. This crate is the substitution (DESIGN.md S1): a
+//! seeded generator that produces case reports whose narratives follow the
+//! clinical-course structure the paper describes (presentation → history →
+//! diagnostics → diagnosis → treatment → course → outcome), with **gold**
+//! entity spans, semantic/temporal relations, and a latent event timeline.
+//! Because the gold labels come with the text, every downstream experiment
+//! (NER F1, temporal F1, retrieval quality) can be scored exactly.
+//!
+//! Modules:
+//! * [`report`] — the annotated case-report data model;
+//! * [`narrative`] — the span-tracking narrative builder;
+//! * [`generator`] — the case-report generator (Fig-1 category mix,
+//!   PubMed-like metadata);
+//! * [`temporal_data`] — I2B2-2012-like and TB-Dense-like pairwise
+//!   temporal-relation datasets with controlled transitivity structure;
+//! * [`queries`] — the retrieval workload: natural-language queries with
+//!   graded gold relevance.
+
+pub mod generator;
+pub mod narrative;
+pub mod queries;
+pub mod report;
+pub mod temporal_data;
+
+pub use generator::{CorpusConfig, Generator};
+pub use queries::{QueryFamily, QuerySet, RelevanceGrade};
+pub use report::{CaseReport, GoldEntity, GoldRelation, ReportMetadata};

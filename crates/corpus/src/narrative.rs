@@ -1,0 +1,152 @@
+//! The span-tracking narrative builder.
+//!
+//! Templates append plain text and annotated mentions to a growing
+//! narrative; the builder records exact byte spans as it goes, so gold
+//! annotations are correct by construction — no post-hoc string searching.
+
+use crate::report::GoldEntity;
+use create_ontology::{ConceptId, EntityType};
+use create_text::Span;
+
+/// Accumulates narrative text plus gold mentions.
+#[derive(Debug, Default)]
+pub struct NarrativeBuilder {
+    text: String,
+    entities: Vec<GoldEntity>,
+}
+
+impl NarrativeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> NarrativeBuilder {
+        NarrativeBuilder::default()
+    }
+
+    /// Appends plain (unannotated) text.
+    pub fn text(&mut self, s: &str) -> &mut Self {
+        self.text.push_str(s);
+        self
+    }
+
+    /// Appends an annotated mention and returns its entity index.
+    pub fn entity(
+        &mut self,
+        surface: &str,
+        etype: EntityType,
+        concept: Option<ConceptId>,
+        time_step: Option<u32>,
+    ) -> usize {
+        let start = self.text.len();
+        self.text.push_str(surface);
+        let span = Span::new(start, self.text.len());
+        self.entities.push(GoldEntity {
+            span,
+            text: surface.to_string(),
+            etype,
+            concept,
+            time_step,
+        });
+        self.entities.len() - 1
+    }
+
+    /// Current text length in bytes.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Number of mentions so far.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Read-only view of the mentions so far.
+    pub fn entities(&self) -> &[GoldEntity] {
+        &self.entities
+    }
+
+    /// Finalizes into `(text, entities)`.
+    pub fn finish(self) -> (String, Vec<GoldEntity>) {
+        (self.text, self.entities)
+    }
+}
+
+/// Uppercases the first character of a sentence in place (used when a
+/// template begins with an entity mention — the *span* keeps the
+/// capitalized surface so gold and text agree).
+pub fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Renders a number as an English count phrase for small n ("two", "three",
+/// …), falling back to digits.
+pub fn count_phrase(n: u32) -> String {
+    match n {
+        1 => "one".to_string(),
+        2 => "two".to_string(),
+        3 => "three".to_string(),
+        4 => "four".to_string(),
+        5 => "five".to_string(),
+        6 => "six".to_string(),
+        7 => "seven".to_string(),
+        n => n.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_spans() {
+        let mut b = NarrativeBuilder::new();
+        b.text("The patient had ");
+        let fever = b.entity("fever", EntityType::SignSymptom, None, Some(1));
+        b.text(" and ");
+        let cough = b.entity("cough", EntityType::SignSymptom, None, Some(1));
+        b.text(".");
+        let (text, entities) = b.finish();
+        assert_eq!(text, "The patient had fever and cough.");
+        assert_eq!(entities[fever].span.slice(&text), "fever");
+        assert_eq!(entities[cough].span.slice(&text), "cough");
+        assert_eq!(entities[fever].time_step, Some(1));
+    }
+
+    #[test]
+    fn entity_indices_are_sequential() {
+        let mut b = NarrativeBuilder::new();
+        let a = b.entity("a", EntityType::Other, None, None);
+        let c = b.entity("b", EntityType::Other, None, None);
+        assert_eq!((a, c), (0, 1));
+        assert_eq!(b.entity_count(), 2);
+    }
+
+    #[test]
+    fn unicode_surfaces_are_tracked() {
+        let mut b = NarrativeBuilder::new();
+        b.text("Le patient avait de la ");
+        let e = b.entity("fièvre", EntityType::SignSymptom, None, Some(1));
+        let (text, entities) = b.finish();
+        assert_eq!(entities[e].span.slice(&text), "fièvre");
+    }
+
+    #[test]
+    fn capitalize_works() {
+        assert_eq!(capitalize("fever"), "Fever");
+        assert_eq!(capitalize(""), "");
+        assert_eq!(capitalize("échо"), "Échо");
+    }
+
+    #[test]
+    fn count_phrase_words_and_digits() {
+        assert_eq!(count_phrase(2), "two");
+        assert_eq!(count_phrase(11), "11");
+    }
+}

@@ -1,0 +1,405 @@
+//! The retrieval workload: queries with graded gold relevance.
+//!
+//! Experiment E4 (CREATe-IR vs Solr) needs queries *and* judgments. Queries
+//! are generated from target reports so that relevance is known exactly:
+//!
+//! * grade 2 (High): the report contains **all** queried concepts and, for
+//!   temporal queries, a pair of mentions whose timeline relation matches
+//!   the queried relation;
+//! * grade 1 (Partial): the report contains all queried concepts but not
+//!   the temporal pattern (or the query has no temporal pattern and the
+//!   match is via synonyms only — still all concepts present).
+//!
+//! Four families mirror the system's search modes (Section III-D): keyword,
+//! entity, relation, temporal.
+
+use crate::report::CaseReport;
+use create_ontology::{ConceptId, RelationType};
+use create_util::Rng;
+use std::collections::HashMap;
+
+/// Which search mode a query exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryFamily {
+    /// Free-text keyword bag (what Solr handles well).
+    Keyword,
+    /// One or two normalized clinical concepts.
+    Entity,
+    /// Concepts plus an OVERLAP co-occurrence requirement.
+    Relation,
+    /// Concepts plus an explicit BEFORE/AFTER temporal pattern.
+    Temporal,
+}
+
+impl QueryFamily {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryFamily::Keyword => "keyword",
+            QueryFamily::Entity => "entity",
+            QueryFamily::Relation => "relation",
+            QueryFamily::Temporal => "temporal",
+        }
+    }
+}
+
+/// Graded relevance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RelevanceGrade {
+    /// All concepts present.
+    Partial = 1,
+    /// All concepts present and temporal/relational pattern matched.
+    High = 2,
+}
+
+impl RelevanceGrade {
+    /// Numeric gain used by nDCG.
+    pub fn gain(&self) -> f64 {
+        *self as u8 as f64
+    }
+}
+
+/// A generated query with gold judgments.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// Natural-language query text.
+    pub text: String,
+    /// Family.
+    pub family: QueryFamily,
+    /// The concepts the query requires.
+    pub concepts: Vec<ConceptId>,
+    /// Temporal pattern `(earlier concept, later concept, relation)`, for
+    /// Relation/Temporal families.
+    pub pattern: Option<(ConceptId, ConceptId, RelationType)>,
+    /// report id → grade; absent ids are grade 0.
+    pub judgments: HashMap<String, RelevanceGrade>,
+}
+
+/// A full query workload.
+#[derive(Debug, Clone)]
+pub struct QuerySet {
+    /// Queries in generation order.
+    pub queries: Vec<GeneratedQuery>,
+}
+
+impl QuerySet {
+    /// Generates `n` queries against `corpus`, cycling through the four
+    /// families.
+    pub fn generate(corpus: &[CaseReport], seed: u64, n: usize) -> QuerySet {
+        assert!(!corpus.is_empty(), "query generation needs a corpus");
+        let mut rng = Rng::seed_from_u64(seed);
+        let families = [
+            QueryFamily::Keyword,
+            QueryFamily::Entity,
+            QueryFamily::Relation,
+            QueryFamily::Temporal,
+        ];
+        let mut queries = Vec::with_capacity(n);
+        let mut attempts = 0usize;
+        while queries.len() < n && attempts < n * 50 {
+            attempts += 1;
+            let family = families[queries.len() % families.len()];
+            let target = rng.choose(corpus);
+            if let Some(q) = build_query(&mut rng, corpus, target, family) {
+                if !q.judgments.is_empty() {
+                    queries.push(q);
+                }
+            }
+        }
+        QuerySet { queries }
+    }
+
+    /// Queries of one family.
+    pub fn of_family(&self, family: QueryFamily) -> Vec<&GeneratedQuery> {
+        self.queries.iter().filter(|q| q.family == family).collect()
+    }
+}
+
+/// Picks up to `k` distinct event concepts from a report (symptoms,
+/// diseases, medications — the concept kinds users query by).
+fn pick_concepts(rng: &mut Rng, report: &CaseReport, k: usize) -> Vec<(usize, ConceptId, String)> {
+    use create_ontology::EntityType;
+    // Lab values are excluded: their gold surfaces embed numeric readings
+    // ("troponin of 3.5 ng/mL"), which no user would type verbatim.
+    let queryable = |t: EntityType| {
+        matches!(
+            t,
+            EntityType::SignSymptom
+                | EntityType::DiseaseDisorder
+                | EntityType::Medication
+                | EntityType::DiagnosticProcedure
+                | EntityType::TherapeuticProcedure
+                | EntityType::Outcome
+        )
+    };
+    let mut candidates: Vec<(usize, ConceptId, String)> = report
+        .entities
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| queryable(e.etype) && e.concept.is_some() && e.time_step.is_some())
+        .map(|(i, e)| (i, e.concept.expect("filtered"), e.text.clone()))
+        .collect();
+    // Distinct by concept.
+    candidates.sort_by_key(|(_, c, _)| *c);
+    candidates.dedup_by_key(|(_, c, _)| *c);
+    rng.shuffle(&mut candidates);
+    candidates.truncate(k);
+    candidates
+}
+
+fn build_query(
+    rng: &mut Rng,
+    corpus: &[CaseReport],
+    target: &CaseReport,
+    family: QueryFamily,
+) -> Option<GeneratedQuery> {
+    match family {
+        QueryFamily::Keyword => {
+            let picks = pick_concepts(rng, target, 2);
+            if picks.is_empty() {
+                return None;
+            }
+            let words: Vec<String> = picks.iter().map(|(_, _, t)| t.clone()).collect();
+            let concepts: Vec<ConceptId> = picks.iter().map(|(_, c, _)| *c).collect();
+            let text = words.join(" ");
+            Some(finish(corpus, text, family, concepts, None))
+        }
+        QueryFamily::Entity => {
+            let picks = pick_concepts(rng, target, 2);
+            if picks.len() < 2 {
+                return None;
+            }
+            let text = format!("case reports describing {} with {}", picks[0].2, picks[1].2);
+            let concepts = vec![picks[0].1, picks[1].1];
+            Some(finish(corpus, text, family, concepts, None))
+        }
+        QueryFamily::Relation => {
+            // Two concepts required to co-occur (OVERLAP — same step).
+            let pair = overlap_pair(rng, target)?;
+            let text = format!(
+                "A patient was admitted to the hospital because of {} and {}.",
+                pair.0 .1, pair.1 .1
+            );
+            let concepts = vec![pair.0 .0, pair.1 .0];
+            let pattern = Some((pair.0 .0, pair.1 .0, RelationType::Overlap));
+            Some(finish(corpus, text, family, concepts, pattern))
+        }
+        QueryFamily::Temporal => {
+            let pair = before_pair(rng, target)?;
+            let templates = [
+                format!("{} before {}", pair.0 .1, pair.1 .1),
+                format!("patients who developed {} after {}", pair.1 .1, pair.0 .1),
+                format!(
+                    "A patient had {} and later developed {}.",
+                    pair.0 .1, pair.1 .1
+                ),
+            ];
+            let text = rng.choose(&templates).clone();
+            let concepts = vec![pair.0 .0, pair.1 .0];
+            let pattern = Some((pair.0 .0, pair.1 .0, RelationType::Before));
+            Some(finish(corpus, text, family, concepts, pattern))
+        }
+    }
+}
+
+type ConceptPick = (ConceptId, String);
+
+/// Finds two same-step event concepts in the report.
+fn overlap_pair(rng: &mut Rng, report: &CaseReport) -> Option<(ConceptPick, ConceptPick)> {
+    let picks = pick_concepts(rng, report, 6);
+    for a in 0..picks.len() {
+        for b in (a + 1)..picks.len() {
+            let (ia, ca, ref ta) = picks[a];
+            let (ib, cb, ref tb) = picks[b];
+            if report.timeline_relation(ia, ib) == Some(RelationType::Overlap) && ca != cb {
+                return Some(((ca, ta.clone()), (cb, tb.clone())));
+            }
+        }
+    }
+    None
+}
+
+/// Finds an (earlier, later) event concept pair.
+fn before_pair(rng: &mut Rng, report: &CaseReport) -> Option<(ConceptPick, ConceptPick)> {
+    let picks = pick_concepts(rng, report, 6);
+    for a in 0..picks.len() {
+        for b in 0..picks.len() {
+            if a == b {
+                continue;
+            }
+            let (ia, ca, ref ta) = picks[a];
+            let (ib, cb, ref tb) = picks[b];
+            if report.timeline_relation(ia, ib) == Some(RelationType::Before) && ca != cb {
+                return Some(((ca, ta.clone()), (cb, tb.clone())));
+            }
+        }
+    }
+    None
+}
+
+/// Computes judgments over the whole corpus and assembles the query.
+fn finish(
+    corpus: &[CaseReport],
+    text: String,
+    family: QueryFamily,
+    concepts: Vec<ConceptId>,
+    pattern: Option<(ConceptId, ConceptId, RelationType)>,
+) -> GeneratedQuery {
+    let mut judgments = HashMap::new();
+    for report in corpus {
+        let has_all = concepts
+            .iter()
+            .all(|c| report.entities.iter().any(|e| e.concept == Some(*c)));
+        if !has_all {
+            continue;
+        }
+        let grade = match pattern {
+            Some((c1, c2, rel)) => {
+                if pattern_matches(report, c1, c2, rel) {
+                    RelevanceGrade::High
+                } else {
+                    RelevanceGrade::Partial
+                }
+            }
+            None => RelevanceGrade::High,
+        };
+        judgments.insert(report.id.clone(), grade);
+    }
+    GeneratedQuery {
+        text,
+        family,
+        concepts,
+        pattern,
+        judgments,
+    }
+}
+
+/// True when some mention pair with the given concepts stands in `rel` on
+/// the report's timeline.
+pub fn pattern_matches(
+    report: &CaseReport,
+    c1: ConceptId,
+    c2: ConceptId,
+    rel: RelationType,
+) -> bool {
+    let of = |c: ConceptId| -> Vec<usize> {
+        report
+            .entities
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.concept == Some(c))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    for &a in &of(c1) {
+        for &b in &of(c2) {
+            if report.timeline_relation(a, b) == Some(rel) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusConfig, Generator};
+
+    fn corpus() -> Vec<CaseReport> {
+        Generator::new(CorpusConfig {
+            num_reports: 120,
+            seed: 21,
+            ..Default::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let c = corpus();
+        let qs = QuerySet::generate(&c, 1, 40);
+        assert_eq!(qs.queries.len(), 40);
+    }
+
+    #[test]
+    fn all_families_appear() {
+        let c = corpus();
+        let qs = QuerySet::generate(&c, 2, 40);
+        for f in [
+            QueryFamily::Keyword,
+            QueryFamily::Entity,
+            QueryFamily::Relation,
+            QueryFamily::Temporal,
+        ] {
+            assert!(!qs.of_family(f).is_empty(), "missing family {}", f.label());
+        }
+    }
+
+    #[test]
+    fn every_query_has_relevant_docs() {
+        let c = corpus();
+        let qs = QuerySet::generate(&c, 3, 30);
+        for q in &qs.queries {
+            assert!(!q.judgments.is_empty(), "query {:?} unjudged", q.text);
+        }
+    }
+
+    #[test]
+    fn temporal_queries_have_high_and_only_valid_grades() {
+        let c = corpus();
+        let qs = QuerySet::generate(&c, 4, 40);
+        for q in qs.of_family(QueryFamily::Temporal) {
+            // The target report matched the pattern, so at least one High.
+            assert!(
+                q.judgments.values().any(|g| *g == RelevanceGrade::High),
+                "temporal query without a High judgment: {:?}",
+                q.text
+            );
+            let (c1, c2, rel) = q.pattern.expect("temporal queries carry a pattern");
+            for (id, grade) in &q.judgments {
+                let report = c.iter().find(|r| &r.id == id).expect("judged id exists");
+                let matched = pattern_matches(report, c1, c2, rel);
+                assert_eq!(
+                    *grade == RelevanceGrade::High,
+                    matched,
+                    "grade/pattern mismatch on {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn judgments_require_all_concepts() {
+        let c = corpus();
+        let qs = QuerySet::generate(&c, 5, 20);
+        for q in &qs.queries {
+            for id in q.judgments.keys() {
+                let report = c.iter().find(|r| &r.id == id).expect("exists");
+                for concept in &q.concepts {
+                    assert!(
+                        report.entities.iter().any(|e| e.concept == Some(*concept)),
+                        "judged doc {id} missing concept {concept}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = corpus();
+        let a = QuerySet::generate(&c, 6, 12);
+        let b = QuerySet::generate(&c, 6, 12);
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.text, y.text);
+        }
+    }
+
+    #[test]
+    fn grades_order() {
+        assert!(RelevanceGrade::High > RelevanceGrade::Partial);
+        assert_eq!(RelevanceGrade::High.gain(), 2.0);
+        assert_eq!(RelevanceGrade::Partial.gain(), 1.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The annotated case-report data model.
+
+use create_ontology::{CaseCategory, ConceptId, EntityType, RelationType};
+use create_text::Span;
+
+/// A gold-standard entity/event mention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldEntity {
+    /// Byte span into [`CaseReport::text`].
+    pub span: Span,
+    /// Surface text (redundant with the span; kept for convenience).
+    pub text: String,
+    /// Schema type.
+    pub etype: EntityType,
+    /// Normalized ontology concept, when the mention maps to one.
+    pub concept: Option<ConceptId>,
+    /// Chronological step of the event on the latent timeline; `None` for
+    /// non-temporal ENTITY mentions (ages, severities, …). Step 0 is the
+    /// patient's pre-admission history.
+    pub time_step: Option<u32>,
+}
+
+/// A gold-standard relation between two mentions (indices into
+/// [`CaseReport::entities`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldRelation {
+    /// Source entity index.
+    pub source: usize,
+    /// Target entity index.
+    pub target: usize,
+    /// Relation label.
+    pub rtype: RelationType,
+}
+
+/// PubMed-like bibliographic metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportMetadata {
+    /// "Last FM" style author names.
+    pub authors: Vec<String>,
+    /// Journal name.
+    pub journal: String,
+    /// Publication year.
+    pub year: u32,
+    /// MeSH-ish subject terms.
+    pub mesh_terms: Vec<String>,
+}
+
+/// A fully annotated synthetic case report.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Stable identifier (`pmid:<n>` for "literature" reports,
+    /// `user:<n>` for simulated user submissions).
+    pub id: String,
+    /// Report title.
+    pub title: String,
+    /// Disease category (drives the Fig-1 distribution).
+    pub category: CaseCategory,
+    /// Bibliographic metadata.
+    pub metadata: ReportMetadata,
+    /// The narrative text.
+    pub text: String,
+    /// Gold mentions, ordered by span start.
+    pub entities: Vec<GoldEntity>,
+    /// Gold relations between mentions.
+    pub relations: Vec<GoldRelation>,
+}
+
+impl CaseReport {
+    /// Entities of a given type.
+    pub fn entities_of(&self, t: EntityType) -> impl Iterator<Item = (usize, &GoldEntity)> {
+        self.entities
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.etype == t)
+    }
+
+    /// EVENT mentions with their timeline steps, in index order.
+    pub fn events(&self) -> impl Iterator<Item = (usize, &GoldEntity)> {
+        self.entities
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.etype.is_event() && e.time_step.is_some())
+    }
+
+    /// Gold temporal relation between two events derived from the latent
+    /// timeline: same step → OVERLAP, earlier step → BEFORE, later → AFTER.
+    /// `None` when either mention has no timeline position.
+    pub fn timeline_relation(&self, a: usize, b: usize) -> Option<RelationType> {
+        let sa = self.entities.get(a)?.time_step?;
+        let sb = self.entities.get(b)?.time_step?;
+        Some(match sa.cmp(&sb) {
+            std::cmp::Ordering::Less => RelationType::Before,
+            std::cmp::Ordering::Greater => RelationType::After,
+            std::cmp::Ordering::Equal => RelationType::Overlap,
+        })
+    }
+
+    /// Verifies internal consistency; used by generator tests and
+    /// proptests. Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, e) in self.entities.iter().enumerate() {
+            if e.span.end > self.text.len() {
+                return Err(format!("entity {i} span {} out of bounds", e.span));
+            }
+            if !self.text.is_char_boundary(e.span.start) || !self.text.is_char_boundary(e.span.end)
+            {
+                return Err(format!("entity {i} span {} splits a char", e.span));
+            }
+            if e.span.slice(&self.text) != e.text {
+                return Err(format!(
+                    "entity {i} text mismatch: span has {:?}, field has {:?}",
+                    e.span.slice(&self.text),
+                    e.text
+                ));
+            }
+        }
+        for w in self.entities.windows(2) {
+            if w[1].span.start < w[0].span.start {
+                return Err("entities not ordered by span start".to_string());
+            }
+        }
+        for (i, r) in self.relations.iter().enumerate() {
+            if r.source >= self.entities.len() || r.target >= self.entities.len() {
+                return Err(format!("relation {i} references missing entity"));
+            }
+            if r.source == r.target {
+                return Err(format!("relation {i} is reflexive"));
+            }
+            // Temporal gold labels must agree with the latent timeline.
+            if r.rtype.is_temporal() && r.rtype != RelationType::Vague {
+                if let Some(expected) = self.timeline_relation(r.source, r.target) {
+                    if expected != r.rtype {
+                        return Err(format!(
+                            "relation {i} ({}) contradicts timeline ({expected})",
+                            r.rtype
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> CaseReport {
+        let text = "Fever began. Cough followed.".to_string();
+        CaseReport {
+            id: "pmid:1".into(),
+            title: "test".into(),
+            category: CaseCategory::Other,
+            metadata: ReportMetadata {
+                authors: vec!["Smith J".into()],
+                journal: "J Test".into(),
+                year: 2020,
+                mesh_terms: vec![],
+            },
+            entities: vec![
+                GoldEntity {
+                    span: Span::new(0, 5),
+                    text: "Fever".into(),
+                    etype: EntityType::SignSymptom,
+                    concept: None,
+                    time_step: Some(1),
+                },
+                GoldEntity {
+                    span: Span::new(13, 18),
+                    text: "Cough".into(),
+                    etype: EntityType::SignSymptom,
+                    concept: None,
+                    time_step: Some(2),
+                },
+            ],
+            relations: vec![GoldRelation {
+                source: 0,
+                target: 1,
+                rtype: RelationType::Before,
+            }],
+            text,
+        }
+    }
+
+    #[test]
+    fn valid_report_passes() {
+        assert_eq!(tiny_report().validate(), Ok(()));
+    }
+
+    #[test]
+    fn timeline_relation_derivation() {
+        let r = tiny_report();
+        assert_eq!(r.timeline_relation(0, 1), Some(RelationType::Before));
+        assert_eq!(r.timeline_relation(1, 0), Some(RelationType::After));
+        assert_eq!(r.timeline_relation(0, 0), Some(RelationType::Overlap));
+    }
+
+    #[test]
+    fn validate_catches_span_mismatch() {
+        let mut r = tiny_report();
+        r.entities[0].text = "Wrong".into();
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_relation_target() {
+        let mut r = tiny_report();
+        r.relations.push(GoldRelation {
+            source: 0,
+            target: 99,
+            rtype: RelationType::Overlap,
+        });
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_timeline_contradiction() {
+        let mut r = tiny_report();
+        r.relations[0].rtype = RelationType::After; // timeline says Before
+        assert!(r.validate().unwrap_err().contains("contradicts timeline"));
+    }
+
+    #[test]
+    fn events_iterator_filters() {
+        let r = tiny_report();
+        assert_eq!(r.events().count(), 2);
+        assert_eq!(r.entities_of(EntityType::SignSymptom).count(), 2);
+        assert_eq!(r.entities_of(EntityType::Medication).count(), 0);
+    }
+}

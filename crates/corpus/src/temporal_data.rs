@@ -1,0 +1,431 @@
+//! Synthetic temporal-relation datasets (I2B2-2012-like and TB-Dense-like).
+//!
+//! The paper evaluates its temporal module on I2B2-2012 and TB-Dense, both
+//! license-gated (DESIGN.md substitution S3). These generators keep what
+//! drives the paper's claim: gold pairwise labels **derived from a latent
+//! interval timeline** (hence globally consistent under transitivity and
+//! symmetry), with *noisy textual cues* as the only local evidence — so a
+//! purely local classifier makes dependency-violating errors that PSL
+//! regularization and global inference can repair.
+//!
+//! * `i2b2_like` — 3 labels (BEFORE/AFTER/OVERLAP), pairs within a text
+//!   window, clinically flavored event surfaces;
+//! * `tbdense_like` — 6 labels (adds VAGUE/INCLUDES/IS_INCLUDED), dense
+//!   pairs as in TB-Dense.
+
+use create_ontology::RelationType;
+use create_util::Rng;
+
+/// One event mention in a temporal document, in text order.
+#[derive(Debug, Clone)]
+pub struct TemporalEvent {
+    /// Surface form (an event head like "admitted", "fever").
+    pub surface: String,
+    /// The connective that precedes this event in the narrative ("", "then",
+    /// "previously", …) — the observable cue.
+    pub cue_before: String,
+    /// Sentence index in the document.
+    pub sentence: usize,
+    /// Latent time interval (start, end). Exposed for oracle baselines and
+    /// tests only; real features must not touch it.
+    pub interval: (f64, f64),
+}
+
+/// A document: events in text order and labeled pairs `(i, j, label)` with
+/// `i < j` in text order (label reads "event i is `label` event j").
+#[derive(Debug, Clone)]
+pub struct TemporalDoc {
+    /// Event mentions in text order.
+    pub events: Vec<TemporalEvent>,
+    /// Gold labeled pairs.
+    pub pairs: Vec<(usize, usize, RelationType)>,
+}
+
+/// A full dataset with its label inventory.
+#[derive(Debug, Clone)]
+pub struct TemporalDataset {
+    /// Documents.
+    pub docs: Vec<TemporalDoc>,
+    /// The label set (3 for I2B2-like, 6 for TB-Dense-like).
+    pub labels: Vec<RelationType>,
+    /// Dataset display name.
+    pub name: &'static str,
+}
+
+impl TemporalDataset {
+    /// Total number of labeled pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.docs.iter().map(|d| d.pairs.len()).sum()
+    }
+
+    /// Splits into (train, test) by document index.
+    pub fn split(&self, train_fraction: f64) -> (Vec<&TemporalDoc>, Vec<&TemporalDoc>) {
+        let cut = ((self.docs.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.docs.len().saturating_sub(1).max(1));
+        (
+            self.docs[..cut].iter().collect(),
+            self.docs[cut..].iter().collect(),
+        )
+    }
+}
+
+const EVENT_SURFACES: &[&str] = &[
+    "admitted",
+    "fever",
+    "cough",
+    "intubated",
+    "transferred",
+    "chest pain",
+    "discharged",
+    "biopsy",
+    "surgery",
+    "chemotherapy",
+    "seizure",
+    "extubated",
+    "dialysis",
+    "transfusion",
+    "stroke",
+    "arrest",
+    "resuscitated",
+    "catheterization",
+    "ablation",
+    "relapse",
+    "remission",
+    "vomiting",
+    "hypotension",
+    "sepsis",
+    "recovery",
+];
+
+/// Cue connectives by true relation of (previous-in-text event → this
+/// event). The generator samples the *true* cue with probability
+/// `1 - noise`, otherwise a misleading or vacuous cue.
+#[allow(clippy::explicit_auto_deref)]
+fn cue_for(rng: &mut Rng, rel: RelationType, noise: f64) -> &'static str {
+    const BEFORE_CUES: &[&str] = &[
+        "then",
+        "later",
+        "subsequently",
+        "after which",
+        "followed by",
+    ];
+    const AFTER_CUES: &[&str] = &["previously", "before that", "earlier", "prior to this"];
+    const OVERLAP_CUES: &[&str] = &[
+        "meanwhile",
+        "at the same time",
+        "concurrently",
+        "during which",
+    ];
+    const VACUOUS: &[&str] = &["and", "also", "notably", ""];
+    if rng.chance(noise) {
+        // Misleading or vacuous.
+        let pools: [&[&str]; 4] = [BEFORE_CUES, AFTER_CUES, OVERLAP_CUES, VACUOUS];
+        let k = rng.below(4);
+        return *rng.choose(pools[k]);
+    }
+    match rel {
+        // prev BEFORE cur → cur happened after prev → forward-flow cue
+        RelationType::Before => *rng.choose(BEFORE_CUES),
+        RelationType::After => *rng.choose(AFTER_CUES),
+        RelationType::Overlap | RelationType::Includes | RelationType::IsIncluded => {
+            *rng.choose(OVERLAP_CUES)
+        }
+        _ => *rng.choose(VACUOUS),
+    }
+}
+
+/// Derives a 3-way interval relation.
+fn relation3(a: (f64, f64), b: (f64, f64)) -> RelationType {
+    if a.1 < b.0 {
+        RelationType::Before
+    } else if b.1 < a.0 {
+        RelationType::After
+    } else {
+        RelationType::Overlap
+    }
+}
+
+/// Derives a 6-way (TB-Dense style) interval relation.
+fn relation6(a: (f64, f64), b: (f64, f64)) -> RelationType {
+    if a.1 < b.0 {
+        RelationType::Before
+    } else if b.1 < a.0 {
+        RelationType::After
+    } else if a.0 <= b.0 && b.1 <= a.1 && (a.0 < b.0 || b.1 < a.1) {
+        RelationType::Includes
+    } else if b.0 <= a.0 && a.1 <= b.1 && (b.0 < a.0 || a.1 < b.1) {
+        RelationType::IsIncluded
+    } else {
+        RelationType::Overlap
+    }
+}
+
+fn generate_doc(rng: &mut Rng, six_way: bool, noise: f64, vague_rate: f64) -> TemporalDoc {
+    let n = rng.range(5, 10);
+    // Latent intervals along a timeline; durations vary so containment
+    // happens naturally.
+    let mut intervals: Vec<(f64, f64)> = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        t += rng.f64_range(0.2, 2.0);
+        let dur = if rng.chance(0.25) {
+            rng.f64_range(2.0, 6.0) // long episode (enables INCLUDES)
+        } else {
+            rng.f64_range(0.1, 1.0)
+        };
+        intervals.push((t, t + dur));
+    }
+    // Text order: mostly chronological (by start), with local disorder —
+    // narratives flash back ("previously, ...").
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| intervals[a].0.partial_cmp(&intervals[b].0).expect("finite"));
+    for i in 1..n {
+        if rng.chance(0.22) {
+            order.swap(i - 1, i);
+        }
+    }
+    // Build events in text order with cues reflecting the relation between
+    // the previous-in-text and current event.
+    let rel_of = |a: usize, b: usize| -> RelationType {
+        if six_way {
+            relation6(intervals[a], intervals[b])
+        } else {
+            relation3(intervals[a], intervals[b])
+        }
+    };
+    let mut events = Vec::with_capacity(n);
+    let mut sentence = 0usize;
+    for (text_pos, &ev) in order.iter().enumerate() {
+        let cue = if text_pos == 0 {
+            ""
+        } else {
+            cue_for(rng, rel_of(order[text_pos - 1], ev), noise)
+        };
+        if rng.chance(0.4) {
+            sentence += 1;
+        }
+        events.push(TemporalEvent {
+            surface: rng.choose(EVENT_SURFACES).to_string(),
+            cue_before: cue.to_string(),
+            sentence,
+            interval: intervals[ev],
+        });
+    }
+    // Pairs: I2B2-like annotates a window (distance ≤ 3); TB-Dense-like is
+    // dense (all pairs).
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !six_way && j - i > 3 {
+                continue;
+            }
+            let mut label = if six_way {
+                relation6(events[i].interval, events[j].interval)
+            } else {
+                relation3(events[i].interval, events[j].interval)
+            };
+            if six_way && rng.chance(vague_rate) {
+                label = RelationType::Vague;
+            }
+            pairs.push((i, j, label));
+        }
+    }
+    TemporalDoc { events, pairs }
+}
+
+/// Generates the I2B2-2012-like dataset: 3 labels, windowed pairs.
+pub fn i2b2_like(seed: u64, num_docs: usize) -> TemporalDataset {
+    i2b2_like_with_noise(seed, num_docs, 0.35)
+}
+
+/// I2B2-like with an explicit cue-noise rate (for ablations).
+pub fn i2b2_like_with_noise(seed: u64, num_docs: usize, noise: f64) -> TemporalDataset {
+    let mut rng = Rng::seed_from_u64(seed);
+    let docs = (0..num_docs)
+        .map(|_| {
+            let mut child = rng.fork();
+            generate_doc(&mut child, false, noise, 0.0)
+        })
+        .collect();
+    TemporalDataset {
+        docs,
+        labels: RelationType::i2b2_labels().to_vec(),
+        name: "i2b2-2012-like",
+    }
+}
+
+/// Generates the TB-Dense-like dataset: 6 labels, dense pairs.
+pub fn tbdense_like(seed: u64, num_docs: usize) -> TemporalDataset {
+    let mut rng = Rng::seed_from_u64(seed);
+    let docs = (0..num_docs)
+        .map(|_| {
+            let mut child = rng.fork();
+            generate_doc(&mut child, true, 0.35, 0.08)
+        })
+        .collect();
+    TemporalDataset {
+        docs,
+        labels: RelationType::tbdense_labels().to_vec(),
+        name: "tb-dense-like",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i2b2_labels_are_three_way() {
+        let ds = i2b2_like(1, 20);
+        assert_eq!(ds.labels.len(), 3);
+        for d in &ds.docs {
+            for &(i, j, l) in &d.pairs {
+                assert!(i < j);
+                assert!(ds.labels.contains(&l), "unexpected label {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn tbdense_has_all_six_labels_present() {
+        let ds = tbdense_like(2, 200);
+        let mut seen = std::collections::HashSet::new();
+        for d in &ds.docs {
+            for &(_, _, l) in &d.pairs {
+                seen.insert(l);
+            }
+        }
+        for l in RelationType::tbdense_labels() {
+            assert!(seen.contains(l), "label {l} never generated");
+        }
+    }
+
+    #[test]
+    fn gold_is_transitively_consistent() {
+        // BEFORE must be transitive over the gold pairs (excluding VAGUE).
+        let ds = i2b2_like(3, 50);
+        for d in &ds.docs {
+            use std::collections::HashMap;
+            let mut label: HashMap<(usize, usize), RelationType> = HashMap::new();
+            for &(i, j, l) in &d.pairs {
+                label.insert((i, j), l);
+            }
+            let n = d.events.len();
+            for a in 0..n {
+                for b in 0..n {
+                    for c in 0..n {
+                        let (Some(&ab), Some(&bc), Some(&ac)) =
+                            (label.get(&(a, b)), label.get(&(b, c)), label.get(&(a, c)))
+                        else {
+                            continue;
+                        };
+                        if ab == RelationType::Before && bc == RelationType::Before {
+                            assert_eq!(ac, RelationType::Before, "transitivity violated in gold");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cues_correlate_with_labels() {
+        // With zero noise, a BEFORE-in-text-order pair's cue comes from the
+        // forward-flow pool.
+        let ds = i2b2_like_with_noise(5, 100, 0.0);
+        let mut fwd_cue_given_before = 0usize;
+        let mut before_adjacent = 0usize;
+        for d in &ds.docs {
+            for &(i, j, l) in &d.pairs {
+                if j == i + 1 && l == RelationType::Before {
+                    before_adjacent += 1;
+                    if [
+                        "then",
+                        "later",
+                        "subsequently",
+                        "after which",
+                        "followed by",
+                    ]
+                    .contains(&d.events[j].cue_before.as_str())
+                    {
+                        fwd_cue_given_before += 1;
+                    }
+                }
+            }
+        }
+        assert!(before_adjacent > 50);
+        assert_eq!(
+            fwd_cue_given_before, before_adjacent,
+            "noise-free cues must be faithful"
+        );
+    }
+
+    #[test]
+    fn noise_corrupts_cues() {
+        let clean = i2b2_like_with_noise(7, 50, 0.0);
+        let noisy = i2b2_like_with_noise(7, 50, 0.9);
+        let faithful = |ds: &TemporalDataset| -> f64 {
+            let mut ok = 0usize;
+            let mut total = 0usize;
+            for d in &ds.docs {
+                for &(i, j, l) in &d.pairs {
+                    if j == i + 1 && l == RelationType::Before {
+                        total += 1;
+                        if [
+                            "then",
+                            "later",
+                            "subsequently",
+                            "after which",
+                            "followed by",
+                        ]
+                        .contains(&d.events[j].cue_before.as_str())
+                        {
+                            ok += 1;
+                        }
+                    }
+                }
+            }
+            ok as f64 / total.max(1) as f64
+        };
+        assert!(faithful(&clean) > faithful(&noisy) + 0.3);
+    }
+
+    #[test]
+    fn split_partitions_docs() {
+        let ds = i2b2_like(9, 10);
+        let (train, test) = ds.split(0.8);
+        assert_eq!(train.len() + test.len(), 10);
+        assert!(!train.is_empty() && !test.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tbdense_like(11, 5);
+        let b = tbdense_like(11, 5);
+        for (x, y) in a.docs.iter().zip(&b.docs) {
+            assert_eq!(x.pairs, y.pairs);
+            assert_eq!(
+                x.events.iter().map(|e| &e.surface).collect::<Vec<_>>(),
+                y.events.iter().map(|e| &e.surface).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn text_order_mostly_chronological() {
+        let ds = i2b2_like(13, 50);
+        let mut before = 0usize;
+        let mut after = 0usize;
+        for d in &ds.docs {
+            for &(_, _, l) in &d.pairs {
+                match l {
+                    RelationType::Before => before += 1,
+                    RelationType::After => after += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(before > after, "narratives should flow mostly forward");
+        assert!(after > 0, "some flashbacks must exist");
+    }
+}

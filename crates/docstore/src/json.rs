@@ -1,0 +1,700 @@
+//! JSON value model, parser, and serializer.
+//!
+//! Implemented from scratch because the JSON document model is the document
+//! store's core data structure (DESIGN.md: no serde). The parser accepts
+//! RFC 8259 JSON: objects, arrays, strings with all escapes including
+//! `\uXXXX` and surrogate pairs, numbers, booleans, null. Object key order
+//! is preserved via an ordered map so serialized documents are stable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// All JSON numbers, stored as `f64` (integral values serialize without
+    /// a fractional part).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. `BTreeMap` keeps a deterministic key order.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an empty object.
+    pub fn object() -> Value {
+        Value::Object(BTreeMap::new())
+    }
+
+    /// Returns the object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable object access.
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as i64 when it is integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && n.is_finite() => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the bool, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field access (shallow).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Dot-path access: `get_path("patient.age")` descends through nested
+    /// objects; numeric segments index arrays.
+    pub fn get_path(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = match cur {
+                Value::Object(m) => m.get(seg)?,
+                Value::Array(items) => items.get(seg.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Inserts a field, assuming (or making) this value an object.
+    /// Panics if called on a non-object.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.as_object_mut()
+            .expect("Value::set on non-object")
+            .insert(key.into(), value.into());
+        self
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(*n, out),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Value::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write_json(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; store as null like MongoDB's strict mode.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(n: i32) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// A JSON parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset where the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+///
+/// ```
+/// use create_docstore::parse_json;
+/// let v = parse_json(r#"{"title": "case report", "year": 2020}"#).unwrap();
+/// assert_eq!(v.get("year").unwrap().as_i64(), Some(2020));
+/// ```
+pub fn parse_json(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            position: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("invalid literal (expected {kw})")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.parse_hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require \uXXXX low surrogate.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("missing low surrogate"));
+                            }
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let code =
+                                0x10000 + (((hi - 0xD800) as u32) << 10) + (lo - 0xDC00) as u32;
+                            char::from_u32(code).ok_or_else(|| self.err("invalid code point"))?
+                        } else if (0xDC00..0xE000).contains(&hi) {
+                            return Err(self.err("unexpected low surrogate"));
+                        } else {
+                            char::from_u32(hi as u32)
+                                .ok_or_else(|| self.err("invalid code point"))?
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8"))?;
+                        let start = self.pos - 1;
+                        let end = start + len;
+                        if end > self.bytes.len() {
+                            return Err(self.err("truncated UTF-8"));
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, JsonError> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            v = (v << 4) | digit as u16;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+/// Builds an object from key/value pairs — the main ergonomic constructor
+/// used across the workspace.
+///
+/// ```
+/// use create_docstore::json::obj;
+/// let doc = obj([("title", "case 1".into()), ("year", 2020i64.into())]);
+/// assert_eq!(doc.get("year").unwrap().as_i64(), Some(2020));
+/// ```
+pub fn obj<const N: usize>(pairs: [(&str, Value); N]) -> Value {
+    let mut map = BTreeMap::new();
+    for (k, v) in pairs {
+        map.insert(k.to_string(), v);
+    }
+    Value::Object(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse_json("null").unwrap(), Value::Null);
+        assert_eq!(parse_json("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse_json("42").unwrap(), Value::Number(42.0));
+        assert_eq!(parse_json("-3.5e2").unwrap(), Value::Number(-350.0));
+        assert_eq!(
+            parse_json("\"hi\"").unwrap(),
+            Value::String("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn parse_nested_structure() {
+        let v = parse_json(r#"{"a": [1, 2, {"b": null}], "c": "d"}"#).unwrap();
+        assert_eq!(v.get_path("a.2.b"), Some(&Value::Null));
+        assert_eq!(v.get_path("c").unwrap().as_str(), Some("d"));
+    }
+
+    #[test]
+    fn parse_escapes() {
+        let v = parse_json(r#""line\nbreak \"quoted\" tab\t""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "line\nbreak \"quoted\" tab\t");
+    }
+
+    #[test]
+    fn parse_unicode_escapes_and_surrogates() {
+        assert_eq!(parse_json(r#""é""#).unwrap().as_str(), Some("é"));
+        // U+1F600 as a surrogate pair.
+        assert_eq!(parse_json(r#""😀""#).unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn parse_raw_utf8() {
+        let v = parse_json("\"fièvre\"").unwrap();
+        assert_eq!(v.as_str(), Some("fièvre"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "\"\\ud800\"",
+            "01x",
+        ] {
+            assert!(parse_json(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"{"arr":[1,2.5,true,null],"nested":{"s":"x\"y"},"n":-7}"#;
+        let v = parse_json(src).unwrap();
+        let re = parse_json(&v.to_json()).unwrap();
+        assert_eq!(v, re);
+    }
+
+    #[test]
+    fn roundtrip_pretty() {
+        let v = obj([
+            ("title", "case".into()),
+            ("tags", vec!["a", "b"].into()),
+            ("empty", Value::object()),
+        ]);
+        let re = parse_json(&v.to_json_pretty()).unwrap();
+        assert_eq!(v, re);
+    }
+
+    #[test]
+    fn integers_serialize_without_fraction() {
+        assert_eq!(Value::Number(3.0).to_json(), "3");
+        assert_eq!(Value::Number(3.25).to_json(), "3.25");
+    }
+
+    #[test]
+    fn nonfinite_serializes_as_null() {
+        assert_eq!(Value::Number(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Number(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn control_chars_escaped_on_output() {
+        let v = Value::String("\u{01}".to_string());
+        assert_eq!(v.to_json(), "\"\\u0001\"");
+        assert_eq!(parse_json(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = obj([("n", 4i64.into()), ("b", true.into())]);
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(4));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(4.0));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert!(v.get("missing").is_none());
+        assert_eq!(Value::Number(1.5).as_i64(), None);
+    }
+
+    #[test]
+    fn set_builds_objects() {
+        let mut v = Value::object();
+        v.set("a", 1i64).set("b", "two");
+        assert_eq!(v.to_json(), r#"{"a":1,"b":"two"}"#);
+    }
+
+    #[test]
+    fn get_path_misses_gracefully() {
+        let v = parse_json(r#"{"a": {"b": 1}}"#).unwrap();
+        assert!(v.get_path("a.b.c").is_none());
+        assert!(v.get_path("x").is_none());
+        assert!(v.get_path("a.0").is_none());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_json("{\"a\": tru}").unwrap_err();
+        assert!(err.position >= 6);
+        assert!(err.to_string().contains("byte"));
+    }
+}

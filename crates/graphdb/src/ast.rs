@@ -1,0 +1,125 @@
+//! Abstract syntax of the Cypher-like query language.
+
+use create_docstore::Value;
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `MATCH <patterns> [WHERE <expr>] RETURN [DISTINCT] <items>
+    /// [ORDER BY var.prop [DESC]] [LIMIT n]`
+    Match {
+        /// Comma-separated path patterns, joined on shared variables.
+        patterns: Vec<PathPattern>,
+        /// Optional filter.
+        where_clause: Option<Expr>,
+        /// Projection.
+        ret: Vec<ReturnItem>,
+        /// Deduplicate projected rows.
+        distinct: bool,
+        /// Sort key `(var, prop, descending)`.
+        order_by: Option<(String, String, bool)>,
+        /// Row limit.
+        limit: Option<usize>,
+    },
+    /// `CREATE <pattern>` — creates the nodes/edges of one path pattern.
+    Create {
+        /// The pattern to instantiate.
+        pattern: PathPattern,
+    },
+}
+
+/// A linear path: `(a)-[r:T]->(b)<-[:U]-(c) …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPattern {
+    /// First node.
+    pub start: NodePattern,
+    /// Subsequent `(relationship, node)` hops.
+    pub hops: Vec<(RelPattern, NodePattern)>,
+}
+
+/// Direction of a relationship pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `-[..]->`
+    Out,
+    /// `<-[..]-`
+    In,
+    /// `-[..]-`
+    Both,
+}
+
+/// `(var:Label {key: value, …})`
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodePattern {
+    /// Binding variable.
+    pub var: Option<String>,
+    /// Required labels.
+    pub labels: Vec<String>,
+    /// Required property equalities.
+    pub props: Vec<(String, Value)>,
+}
+
+/// `-[var:TYPE {key: value}]->`
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelPattern {
+    /// Binding variable.
+    pub var: Option<String>,
+    /// Required relationship type.
+    pub rel_type: Option<String>,
+    /// Required property equalities.
+    pub props: Vec<(String, Value)>,
+    /// Direction.
+    pub direction: Direction,
+}
+
+/// A boolean filter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `var.prop <op> literal`
+    Cmp {
+        /// Variable name.
+        var: String,
+        /// Property key.
+        key: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal operand.
+        value: Value,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `CONTAINS` (case-insensitive substring on strings)
+    Contains,
+}
+
+/// A projected column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnItem {
+    /// A bound variable (node or relationship).
+    Var(String),
+    /// `var.prop`
+    Prop(String, String),
+    /// `COUNT(*)`
+    CountStar,
+}

@@ -1,0 +1,707 @@
+//! The pattern-match executor.
+//!
+//! Executes [`crate::ast::Query`] against a [`PropertyGraph`] with
+//! backtracking: seed candidates for the first node pattern come from the
+//! property or label index when available; each hop expands along the
+//! adjacency lists, respecting direction, relationship type, and property
+//! constraints; `WHERE` filters evaluated bindings; `RETURN` projects.
+
+use crate::ast::*;
+use crate::store::{EdgeId, NodeId, PropertyGraph};
+use create_docstore::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A value in a result row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultValue {
+    /// A bound node.
+    Node(NodeId),
+    /// A bound relationship.
+    Edge(EdgeId),
+    /// A projected property or count.
+    Value(Value),
+}
+
+/// Query output: column names plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// Column headers (the RETURN items, rendered).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<ResultValue>>,
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// RETURN/WHERE referenced an unbound variable.
+    UnboundVariable(String),
+    /// CREATE pattern reused a variable (unsupported).
+    InvalidCreate(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnboundVariable(v) => write!(f, "unbound variable {v:?}"),
+            ExecError::InvalidCreate(m) => write!(f, "invalid CREATE: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Binding {
+    Node(NodeId),
+    Edge(EdgeId),
+}
+
+type Bindings = HashMap<String, Binding>;
+
+/// Executes a query.
+pub fn execute(graph: &mut PropertyGraph, query: &Query) -> Result<QueryOutput, ExecError> {
+    match query {
+        Query::Create { pattern } => execute_create(graph, pattern),
+        Query::Match {
+            patterns,
+            where_clause,
+            ret,
+            distinct,
+            order_by,
+            limit,
+        } => execute_match(
+            graph,
+            patterns,
+            where_clause.as_ref(),
+            ret,
+            *distinct,
+            order_by.as_ref(),
+            *limit,
+        ),
+    }
+}
+
+fn execute_create(
+    graph: &mut PropertyGraph,
+    pattern: &PathPattern,
+) -> Result<QueryOutput, ExecError> {
+    let mut created_nodes = 0usize;
+    let mut created_edges = 0usize;
+    let mut prev = graph.create_node(
+        pattern.start.labels.iter().cloned(),
+        pattern.start.props.clone(),
+    );
+    created_nodes += 1;
+    for (rel, node) in &pattern.hops {
+        let rel_type = rel
+            .rel_type
+            .clone()
+            .ok_or_else(|| ExecError::InvalidCreate("CREATE edges need a type".to_string()))?;
+        let next = graph.create_node(node.labels.iter().cloned(), node.props.clone());
+        created_nodes += 1;
+        match rel.direction {
+            Direction::Out | Direction::Both => {
+                graph.create_edge(prev, next, rel_type, rel.props.clone());
+            }
+            Direction::In => {
+                graph.create_edge(next, prev, rel_type, rel.props.clone());
+            }
+        }
+        created_edges += 1;
+        prev = next;
+    }
+    Ok(QueryOutput {
+        columns: vec!["nodes_created".to_string(), "edges_created".to_string()],
+        rows: vec![vec![
+            ResultValue::Value(Value::Number(created_nodes as f64)),
+            ResultValue::Value(Value::Number(created_edges as f64)),
+        ]],
+    })
+}
+
+fn node_matches(graph: &PropertyGraph, id: NodeId, pattern: &NodePattern) -> bool {
+    let node = graph.node(id).expect("candidate exists");
+    pattern
+        .labels
+        .iter()
+        .all(|l| node.labels.iter().any(|nl| nl == l))
+        && pattern
+            .props
+            .iter()
+            .all(|(k, v)| node.props.get(k) == Some(v))
+}
+
+fn seed_candidates(graph: &PropertyGraph, pattern: &NodePattern) -> Vec<NodeId> {
+    // Best index: (label, prop) pair; then label; then full scan.
+    if let Some(label) = pattern.labels.first() {
+        if let Some((k, v)) = pattern.props.first() {
+            return graph
+                .nodes_with_prop(label, k, v)
+                .into_iter()
+                .filter(|&id| node_matches(graph, id, pattern))
+                .collect();
+        }
+        return graph
+            .nodes_with_label(label)
+            .into_iter()
+            .filter(|&id| node_matches(graph, id, pattern))
+            .collect();
+    }
+    graph
+        .nodes()
+        .map(|n| n.id)
+        .filter(|&id| node_matches(graph, id, pattern))
+        .collect()
+}
+
+fn bind_node(bindings: &mut Bindings, var: &Option<String>, id: NodeId) -> bool {
+    if let Some(name) = var {
+        match bindings.get(name) {
+            Some(Binding::Node(existing)) => return *existing == id,
+            Some(_) => return false,
+            None => {
+                bindings.insert(name.clone(), Binding::Node(id));
+            }
+        }
+    }
+    true
+}
+
+/// Recursively matches the hop list starting from `current`.
+fn match_hops(
+    graph: &PropertyGraph,
+    current: NodeId,
+    hops: &[(RelPattern, NodePattern)],
+    bindings: &Bindings,
+    out: &mut Vec<Bindings>,
+) {
+    let Some(((rel, node), rest)) = hops.split_first() else {
+        out.push(bindings.clone());
+        return;
+    };
+    let mut candidates: Vec<(EdgeId, NodeId)> = Vec::new();
+    if matches!(rel.direction, Direction::Out | Direction::Both) {
+        for e in graph.outgoing(current) {
+            candidates.push((e.id, e.target));
+        }
+    }
+    if matches!(rel.direction, Direction::In | Direction::Both) {
+        for e in graph.incoming(current) {
+            candidates.push((e.id, e.source));
+        }
+    }
+    for (edge_id, next_node) in candidates {
+        let edge = graph.edge(edge_id).expect("edge exists");
+        if let Some(required) = &rel.rel_type {
+            if &edge.rel_type != required {
+                continue;
+            }
+        }
+        if !rel.props.iter().all(|(k, v)| edge.props.get(k) == Some(v)) {
+            continue;
+        }
+        if !node_matches(graph, next_node, node) {
+            continue;
+        }
+        let mut next_bindings = bindings.clone();
+        if let Some(rvar) = &rel.var {
+            match next_bindings.get(rvar) {
+                Some(Binding::Edge(existing)) if *existing == edge_id => {}
+                Some(_) => continue,
+                None => {
+                    next_bindings.insert(rvar.clone(), Binding::Edge(edge_id));
+                }
+            }
+        }
+        if !bind_node(&mut next_bindings, &node.var, next_node) {
+            continue;
+        }
+        match_hops(graph, next_node, rest, &next_bindings, out);
+    }
+}
+
+fn match_pattern(
+    graph: &PropertyGraph,
+    pattern: &PathPattern,
+    seeds: &[Bindings],
+) -> Vec<Bindings> {
+    let mut results = Vec::new();
+    for base in seeds {
+        // If the start var is already bound, restrict to it.
+        let candidates: Vec<NodeId> = match pattern.start.var.as_ref().and_then(|v| base.get(v)) {
+            Some(Binding::Node(id)) if node_matches(graph, *id, &pattern.start) => vec![*id],
+            Some(_) => Vec::new(),
+            None => seed_candidates(graph, &pattern.start),
+        };
+        for start in candidates {
+            let mut bindings = base.clone();
+            if !bind_node(&mut bindings, &pattern.start.var, start) {
+                continue;
+            }
+            match_hops(graph, start, &pattern.hops, &bindings, &mut results);
+        }
+    }
+    results
+}
+
+fn prop_of(graph: &PropertyGraph, binding: Binding, key: &str) -> Value {
+    match binding {
+        Binding::Node(id) => graph
+            .node(id)
+            .and_then(|n| n.props.get(key).cloned())
+            .unwrap_or(Value::Null),
+        Binding::Edge(id) => {
+            let edge = graph.edge(id).expect("bound edge exists");
+            if key == "type" {
+                Value::String(edge.rel_type.clone())
+            } else {
+                edge.props.get(key).cloned().unwrap_or(Value::Null)
+            }
+        }
+    }
+}
+
+fn eval_expr(graph: &PropertyGraph, expr: &Expr, bindings: &Bindings) -> Result<bool, ExecError> {
+    match expr {
+        Expr::And(a, b) => Ok(eval_expr(graph, a, bindings)? && eval_expr(graph, b, bindings)?),
+        Expr::Or(a, b) => Ok(eval_expr(graph, a, bindings)? || eval_expr(graph, b, bindings)?),
+        Expr::Not(inner) => Ok(!eval_expr(graph, inner, bindings)?),
+        Expr::Cmp {
+            var,
+            key,
+            op,
+            value,
+        } => {
+            let binding = *bindings
+                .get(var)
+                .ok_or_else(|| ExecError::UnboundVariable(var.clone()))?;
+            let actual = prop_of(graph, binding, key);
+            Ok(compare(&actual, *op, value))
+        }
+    }
+}
+
+fn compare(actual: &Value, op: CmpOp, expected: &Value) -> bool {
+    match op {
+        CmpOp::Eq => actual == expected,
+        CmpOp::Ne => actual != expected,
+        CmpOp::Contains => match (actual, expected) {
+            (Value::String(a), Value::String(b)) => a.to_lowercase().contains(&b.to_lowercase()),
+            _ => false,
+        },
+        numeric => match (actual.as_f64(), expected.as_f64()) {
+            (Some(a), Some(b)) => match numeric {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                _ => unreachable!("handled above"),
+            },
+            _ => false,
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_match(
+    graph: &PropertyGraph,
+    patterns: &[PathPattern],
+    where_clause: Option<&Expr>,
+    ret: &[ReturnItem],
+    distinct: bool,
+    order_by: Option<&(String, String, bool)>,
+    limit: Option<usize>,
+) -> Result<QueryOutput, ExecError> {
+    let mut bindings: Vec<Bindings> = vec![Bindings::new()];
+    for pattern in patterns {
+        bindings = match_pattern(graph, pattern, &bindings);
+        if bindings.is_empty() {
+            break;
+        }
+    }
+    let mut filtered = Vec::new();
+    for b in bindings {
+        match where_clause {
+            Some(expr) => {
+                if eval_expr(graph, expr, &b)? {
+                    filtered.push(b);
+                }
+            }
+            None => filtered.push(b),
+        }
+    }
+    if let Some((var, key, descending)) = order_by {
+        // Sort bindings by the projected property; missing values sort
+        // last in either direction. Numbers compare numerically, strings
+        // lexicographically, mixed values by their JSON rendering.
+        let mut keyed: Vec<(Option<Value>, Bindings)> = Vec::with_capacity(filtered.len());
+        for b in filtered {
+            let sort_value = b
+                .get(var)
+                .map(|binding| prop_of(graph, *binding, key))
+                .filter(|v| !v.is_null());
+            keyed.push((sort_value, b));
+        }
+        keyed.sort_by(|(a, _), (b, _)| {
+            let ord = match (a, b) {
+                (None, None) => std::cmp::Ordering::Equal,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (Some(x), Some(y)) => match (x.as_f64(), y.as_f64()) {
+                    (Some(nx), Some(ny)) => {
+                        nx.partial_cmp(&ny).unwrap_or(std::cmp::Ordering::Equal)
+                    }
+                    _ => x.to_json().cmp(&y.to_json()),
+                },
+            };
+            // Missing values stay last regardless of direction.
+            if *descending && a.is_some() && b.is_some() {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        filtered = keyed.into_iter().map(|(_, b)| b).collect();
+    }
+
+    let columns: Vec<String> = ret
+        .iter()
+        .map(|item| match item {
+            ReturnItem::Var(v) => v.clone(),
+            ReturnItem::Prop(v, k) => format!("{v}.{k}"),
+            ReturnItem::CountStar => "COUNT(*)".to_string(),
+        })
+        .collect();
+
+    if ret.iter().any(|r| matches!(r, ReturnItem::CountStar)) {
+        return Ok(QueryOutput {
+            columns,
+            rows: vec![vec![ResultValue::Value(Value::Number(
+                filtered.len() as f64
+            ))]],
+        });
+    }
+
+    let mut rows = Vec::new();
+    let mut seen_rows: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for b in filtered {
+        let mut row = Vec::with_capacity(ret.len());
+        for item in ret {
+            match item {
+                ReturnItem::Var(v) => {
+                    let binding = b
+                        .get(v)
+                        .ok_or_else(|| ExecError::UnboundVariable(v.clone()))?;
+                    row.push(match binding {
+                        Binding::Node(id) => ResultValue::Node(*id),
+                        Binding::Edge(id) => ResultValue::Edge(*id),
+                    });
+                }
+                ReturnItem::Prop(v, k) => {
+                    let binding = *b
+                        .get(v)
+                        .ok_or_else(|| ExecError::UnboundVariable(v.clone()))?;
+                    row.push(ResultValue::Value(prop_of(graph, binding, k)));
+                }
+                ReturnItem::CountStar => unreachable!("handled above"),
+            }
+        }
+        if distinct {
+            let fingerprint = format!("{row:?}");
+            if !seen_rows.insert(fingerprint) {
+                continue;
+            }
+        }
+        rows.push(row);
+        if let Some(l) = limit {
+            if rows.len() >= l {
+                break;
+            }
+        }
+    }
+    Ok(QueryOutput { columns, rows })
+}
+
+/// Parses and executes a query string — the "via cypher query" entry point.
+///
+/// ```
+/// use create_graphdb::{PropertyGraph, exec::run};
+/// let mut g = PropertyGraph::new();
+/// run(&mut g, "CREATE (a:Concept {label: 'fever'})-[:BEFORE]->(b:Concept {label: 'death'})").unwrap();
+/// let out = run(&mut g, "MATCH (a)-[:BEFORE]->(b) RETURN a.label, b.label").unwrap();
+/// assert_eq!(out.rows.len(), 1);
+/// ```
+pub fn run(graph: &mut PropertyGraph, query: &str) -> Result<QueryOutput, String> {
+    let parsed = crate::parser::parse_query(query).map_err(|e| e.to_string())?;
+    execute(graph, &parsed).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn sample_graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let s = |x: &str| Value::String(x.to_string());
+        let fever = g.create_node(
+            ["Concept"],
+            vec![("label", s("fever")), ("entityType", s("Sign_symptom"))],
+        );
+        let cough = g.create_node(
+            ["Concept"],
+            vec![("label", s("cough")), ("entityType", s("Sign_symptom"))],
+        );
+        let death = g.create_node(
+            ["Concept"],
+            vec![("label", s("died")), ("entityType", s("Outcome"))],
+        );
+        let r1 = g.create_node(
+            ["Report"],
+            vec![("reportId", s("pmid:1")), ("year", Value::Number(2020.0))],
+        );
+        let r2 = g.create_node(
+            ["Report"],
+            vec![("reportId", s("pmid:2")), ("year", Value::Number(2015.0))],
+        );
+        g.create_edge::<&str>(fever, cough, "OVERLAP", vec![]);
+        g.create_edge::<&str>(cough, death, "BEFORE", vec![]);
+        g.create_edge::<&str>(r1, fever, "MENTIONS", vec![]);
+        g.create_edge::<&str>(r1, cough, "MENTIONS", vec![]);
+        g.create_edge::<&str>(r2, cough, "MENTIONS", vec![]);
+        g
+    }
+
+    fn run_q(g: &mut PropertyGraph, q: &str) -> QueryOutput {
+        let parsed = parse_query(q).unwrap();
+        execute(g, &parsed).unwrap()
+    }
+
+    #[test]
+    fn match_by_label() {
+        let mut g = sample_graph();
+        let out = run_q(&mut g, "MATCH (c:Concept) RETURN c");
+        assert_eq!(out.rows.len(), 3);
+    }
+
+    #[test]
+    fn match_by_property() {
+        let mut g = sample_graph();
+        let out = run_q(
+            &mut g,
+            "MATCH (c:Concept {label: 'fever'}) RETURN c.entityType",
+        );
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(
+            out.rows[0][0],
+            ResultValue::Value(Value::String("Sign_symptom".into()))
+        );
+    }
+
+    #[test]
+    fn match_one_hop() {
+        let mut g = sample_graph();
+        let out = run_q(
+            &mut g,
+            "MATCH (a:Concept {label: 'fever'})-[:OVERLAP]->(b) RETURN b.label",
+        );
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(
+            out.rows[0][0],
+            ResultValue::Value(Value::String("cough".into()))
+        );
+    }
+
+    #[test]
+    fn match_two_hops_finds_temporal_chain() {
+        let mut g = sample_graph();
+        let out = run_q(
+            &mut g,
+            "MATCH (a:Concept {label: 'fever'})-[:OVERLAP]->(b)-[:BEFORE]->(c) RETURN c.label",
+        );
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(
+            out.rows[0][0],
+            ResultValue::Value(Value::String("died".into()))
+        );
+    }
+
+    #[test]
+    fn incoming_direction() {
+        let mut g = sample_graph();
+        let out = run_q(
+            &mut g,
+            "MATCH (c:Concept {label: 'cough'})<-[:MENTIONS]-(r:Report) RETURN r.reportId",
+        );
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn undirected_matches_both() {
+        let mut g = sample_graph();
+        let out = run_q(
+            &mut g,
+            "MATCH (c:Concept {label: 'cough'})-[:OVERLAP]-(x) RETURN x.label",
+        );
+        assert_eq!(out.rows.len(), 1); // fever via incoming
+    }
+
+    #[test]
+    fn where_filters_rows() {
+        let mut g = sample_graph();
+        let out = run_q(
+            &mut g,
+            "MATCH (r:Report) WHERE r.year >= 2018 RETURN r.reportId",
+        );
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(
+            out.rows[0][0],
+            ResultValue::Value(Value::String("pmid:1".into()))
+        );
+    }
+
+    #[test]
+    fn where_contains() {
+        let mut g = sample_graph();
+        let out = run_q(
+            &mut g,
+            "MATCH (c:Concept) WHERE c.label CONTAINS 'FEV' RETURN c.label",
+        );
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn count_star() {
+        let mut g = sample_graph();
+        let out = run_q(&mut g, "MATCH (c:Concept) RETURN COUNT(*)");
+        assert_eq!(out.rows[0][0], ResultValue::Value(Value::Number(3.0)));
+    }
+
+    #[test]
+    fn limit_caps_rows() {
+        let mut g = sample_graph();
+        let out = run_q(&mut g, "MATCH (c:Concept) RETURN c LIMIT 2");
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn multi_pattern_join_on_shared_variable() {
+        let mut g = sample_graph();
+        // Reports mentioning both fever and cough.
+        let out = run_q(
+            &mut g,
+            "MATCH (r:Report)-[:MENTIONS]->(a:Concept {label: 'fever'}), (r)-[:MENTIONS]->(b:Concept {label: 'cough'}) RETURN r.reportId",
+        );
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(
+            out.rows[0][0],
+            ResultValue::Value(Value::String("pmid:1".into()))
+        );
+    }
+
+    #[test]
+    fn relationship_variable_projects_type() {
+        let mut g = sample_graph();
+        let out = run_q(
+            &mut g,
+            "MATCH (a:Concept {label: 'cough'})-[r:BEFORE]->(b) RETURN r.type",
+        );
+        assert_eq!(
+            out.rows[0][0],
+            ResultValue::Value(Value::String("BEFORE".into()))
+        );
+    }
+
+    #[test]
+    fn create_builds_nodes_and_edges() {
+        let mut g = PropertyGraph::new();
+        let out = run_q(
+            &mut g,
+            "CREATE (a:Concept {label: 'fever'})-[:BEFORE]->(b:Concept {label: 'death'})",
+        );
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(out.columns, vec!["nodes_created", "edges_created"]);
+        let found = run_q(&mut g, "MATCH (a)-[:BEFORE]->(b) RETURN a.label, b.label");
+        assert_eq!(found.rows.len(), 1);
+    }
+
+    #[test]
+    fn unbound_variable_is_error() {
+        let mut g = sample_graph();
+        let parsed = parse_query("MATCH (a:Concept) RETURN z").unwrap();
+        assert!(matches!(
+            execute(&mut g, &parsed),
+            Err(ExecError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let mut g = sample_graph();
+        let out = run_q(&mut g, "MATCH (c:Concept {label: 'nothing'}) RETURN c");
+        assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn order_by_sorts_numeric_and_string() {
+        let mut g = sample_graph();
+        let out = run_q(
+            &mut g,
+            "MATCH (r:Report) RETURN r.reportId ORDER BY r.year DESC",
+        );
+        assert_eq!(
+            out.rows[0][0],
+            ResultValue::Value(Value::String("pmid:1".into())),
+            "2020 should sort before 2015 descending"
+        );
+        let out = run_q(&mut g, "MATCH (c:Concept) RETURN c.label ORDER BY c.label");
+        let labels: Vec<String> = out
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                ResultValue::Value(Value::String(s)) => s.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        assert_eq!(labels, sorted);
+    }
+
+    #[test]
+    fn order_by_with_limit_takes_top() {
+        let mut g = sample_graph();
+        let out = run_q(
+            &mut g,
+            "MATCH (r:Report) RETURN r.year ORDER BY r.year DESC LIMIT 1",
+        );
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], ResultValue::Value(Value::Number(2020.0)));
+    }
+
+    #[test]
+    fn distinct_dedupes_rows() {
+        let mut g = sample_graph();
+        // Each concept's entityType appears multiple times without DISTINCT.
+        let plain = run_q(&mut g, "MATCH (c:Concept) RETURN c.entityType");
+        let distinct = run_q(&mut g, "MATCH (c:Concept) RETURN DISTINCT c.entityType");
+        assert_eq!(plain.rows.len(), 3);
+        assert_eq!(distinct.rows.len(), 2); // Sign_symptom, Outcome
+    }
+
+    #[test]
+    fn order_by_rejects_missing_by() {
+        let mut g = sample_graph();
+        assert!(run(&mut g, "MATCH (r:Report) RETURN r ORDER r.year").is_err());
+    }
+
+    #[test]
+    fn run_helper_reports_parse_errors() {
+        let mut g = sample_graph();
+        assert!(run(&mut g, "NOT A QUERY").is_err());
+        assert!(run(&mut g, "MATCH (c:Concept) RETURN COUNT(*)").is_ok());
+    }
+}

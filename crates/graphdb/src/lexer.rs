@@ -1,0 +1,319 @@
+//! Tokenizer for the Cypher-like language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword or identifier (keywords are recognized case-insensitively
+    /// by the parser).
+    Ident(String),
+    /// String literal (single or double quoted; `\\` escapes).
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `-`
+    Dash,
+    /// `->`
+    ArrowRight,
+    /// `<-`
+    ArrowLeft,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `*`
+    Star,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte position.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a query string.
+pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Tok::RBracket);
+                i += 1;
+            }
+            '{' => {
+                out.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Tok::RBrace);
+                i += 1;
+            }
+            ':' => {
+                out.push(Tok::Colon);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Tok::ArrowRight);
+                    i += 2;
+                } else if i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit() {
+                    // Negative number literal.
+                    let (tok, next) = lex_number(input, i)?;
+                    out.push(tok);
+                    i = next;
+                } else {
+                    out.push(Tok::Dash);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    out.push(Tok::ArrowLeft);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Tok::Ne);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while j < bytes.len() {
+                    let cj = input[j..].chars().next().expect("in bounds");
+                    if cj == '\\' && j + 1 < bytes.len() {
+                        let esc = input[j + 1..].chars().next().expect("in bounds");
+                        s.push(esc);
+                        j += 1 + esc.len_utf8();
+                    } else if cj == quote {
+                        closed = true;
+                        j += 1;
+                        break;
+                    } else {
+                        s.push(cj);
+                        j += cj.len_utf8();
+                    }
+                }
+                if !closed {
+                    return Err(LexError {
+                        position: i,
+                        message: "unterminated string".to_string(),
+                    });
+                }
+                out.push(Tok::Str(s));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(input, i)?;
+                out.push(tok);
+                i = next;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                // `c` is only the first *byte* cast to char; decode the real
+                // character to decide (multibyte symbols whose lead byte
+                // looks alphabetic must not start an identifier).
+                let mut j = i;
+                while j < bytes.len() {
+                    let cj = input[j..].chars().next().expect("in bounds");
+                    if cj.is_alphanumeric() || cj == '_' {
+                        j += cj.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                if j == i {
+                    let real = input[i..].chars().next().expect("in bounds");
+                    return Err(LexError {
+                        position: i,
+                        message: format!("unexpected character {real:?}"),
+                    });
+                }
+                out.push(Tok::Ident(input[i..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Tok, usize), LexError> {
+    let bytes = input.as_bytes();
+    let mut j = start;
+    if bytes[j] == b'-' {
+        j += 1;
+    }
+    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+        j += 1;
+    }
+    if j < bytes.len()
+        && bytes[j] == b'.'
+        && j + 1 < bytes.len()
+        && (bytes[j + 1] as char).is_ascii_digit()
+    {
+        j += 1;
+        while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+            j += 1;
+        }
+    }
+    input[start..j]
+        .parse::<f64>()
+        .map(|n| (Tok::Num(n), j))
+        .map_err(|_| LexError {
+            position: start,
+            message: "invalid number".to_string(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_match_query() {
+        let toks = lex("MATCH (a:Concept {label: 'fever'})-[r:BEFORE]->(b) RETURN a, b").unwrap();
+        assert!(toks.contains(&Tok::Ident("MATCH".into())));
+        assert!(toks.contains(&Tok::Str("fever".into())));
+        assert!(toks.contains(&Tok::ArrowRight));
+        assert!(toks.contains(&Tok::Colon));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = lex("a.x >= 2 AND b.y <> 'z' <- ->").unwrap();
+        assert!(toks.contains(&Tok::Ge));
+        assert!(toks.contains(&Tok::Ne));
+        assert!(toks.contains(&Tok::ArrowLeft));
+        assert!(toks.contains(&Tok::ArrowRight));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let toks = lex("1 2.5 -3").unwrap();
+        assert_eq!(toks, vec![Tok::Num(1.0), Tok::Num(2.5), Tok::Num(-3.0)]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex(r#"'it\'s' "a\"b""#).unwrap();
+        assert_eq!(toks, vec![Tok::Str("it's".into()), Tok::Str("a\"b".into())]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn rejects_strange_chars() {
+        assert!(lex("MATCH @").is_err());
+    }
+
+    #[test]
+    fn multibyte_symbol_is_error_not_hang() {
+        // '∀' has a lead byte that casts to an alphabetic char; the lexer
+        // must reject it instead of looping on an empty identifier.
+        assert!(lex("MATCH ∀").is_err());
+        assert!(lex("∀").is_err());
+        // Genuine multibyte letters are valid identifier chars.
+        let toks = lex("étude").unwrap();
+        assert_eq!(toks, vec![Tok::Ident("étude".into())]);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = lex("'fièvre'").unwrap();
+        assert_eq!(toks, vec![Tok::Str("fièvre".into())]);
+    }
+}

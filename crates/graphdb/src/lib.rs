@@ -1,0 +1,23 @@
+//! Property-graph database substrate (the reproduction's Neo4j).
+//!
+//! Section III-D: "In Neo4j, data is saved as a graph of nodes and edges …
+//! A particular node will contain a nodeId, a label and an entityType …
+//! all nodes and edges are put into Neo4j via cypher query." This crate
+//! implements that role from scratch:
+//!
+//! * [`store`] — the property graph: labeled nodes/edges with JSON
+//!   property maps, label and property indexes, adjacency lists;
+//! * [`ast`], [`lexer`], [`parser`] — a Cypher-like query language
+//!   (`MATCH (a:Label {k: v})-[r:TYPE]->(b) WHERE … RETURN … LIMIT n`,
+//!   plus `CREATE`);
+//! * [`exec`] — the backtracking pattern-match executor.
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod store;
+
+pub use exec::{QueryOutput, ResultValue};
+pub use parser::parse_query;
+pub use store::{EdgeId, NodeId, PropertyGraph};

@@ -1,0 +1,270 @@
+//! The property graph store.
+//!
+//! Nodes carry labels (e.g. `Concept`, `Report`) and a JSON property map;
+//! edges carry a relationship type (e.g. `BEFORE`, `MENTIONS`) and
+//! properties. Label and `(label, key, value)` indexes accelerate the
+//! pattern-match executor's seed lookups; adjacency lists drive expansion.
+
+use create_docstore::Value;
+use std::collections::{BTreeMap, HashMap};
+
+/// Node identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+/// Edge identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u64);
+
+/// A stored node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Identifier.
+    pub id: NodeId,
+    /// Labels, sorted.
+    pub labels: Vec<String>,
+    /// Properties.
+    pub props: BTreeMap<String, Value>,
+}
+
+/// A stored edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Identifier.
+    pub id: EdgeId,
+    /// Source node.
+    pub source: NodeId,
+    /// Target node.
+    pub target: NodeId,
+    /// Relationship type.
+    pub rel_type: String,
+    /// Properties.
+    pub props: BTreeMap<String, Value>,
+}
+
+/// The in-memory property graph.
+#[derive(Debug, Default)]
+pub struct PropertyGraph {
+    nodes: BTreeMap<u64, Node>,
+    edges: BTreeMap<u64, Edge>,
+    next_node: u64,
+    next_edge: u64,
+    /// label → node ids.
+    label_index: HashMap<String, Vec<NodeId>>,
+    /// (label, key, serialized value) → node ids.
+    prop_index: HashMap<(String, String, String), Vec<NodeId>>,
+    /// node → outgoing edge ids.
+    outgoing: HashMap<NodeId, Vec<EdgeId>>,
+    /// node → incoming edge ids.
+    incoming: HashMap<NodeId, Vec<EdgeId>>,
+}
+
+impl PropertyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> PropertyGraph {
+        PropertyGraph::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Creates a node with labels and properties; returns its id.
+    pub fn create_node<L, K>(&mut self, labels: L, props: Vec<(K, Value)>) -> NodeId
+    where
+        L: IntoIterator,
+        L::Item: Into<String>,
+        K: Into<String>,
+    {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        let mut label_vec: Vec<String> = labels.into_iter().map(Into::into).collect();
+        label_vec.sort();
+        label_vec.dedup();
+        let props: BTreeMap<String, Value> =
+            props.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        for label in &label_vec {
+            self.label_index.entry(label.clone()).or_default().push(id);
+            for (k, v) in &props {
+                self.prop_index
+                    .entry((label.clone(), k.clone(), v.to_json()))
+                    .or_default()
+                    .push(id);
+            }
+        }
+        self.nodes.insert(
+            id.0,
+            Node {
+                id,
+                labels: label_vec,
+                props,
+            },
+        );
+        id
+    }
+
+    /// Creates a directed edge; panics if either endpoint is missing.
+    pub fn create_edge<K>(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        rel_type: impl Into<String>,
+        props: Vec<(K, Value)>,
+    ) -> EdgeId
+    where
+        K: Into<String>,
+    {
+        assert!(self.nodes.contains_key(&source.0), "missing source node");
+        assert!(self.nodes.contains_key(&target.0), "missing target node");
+        let id = EdgeId(self.next_edge);
+        self.next_edge += 1;
+        self.edges.insert(
+            id.0,
+            Edge {
+                id,
+                source,
+                target,
+                rel_type: rel_type.into(),
+                props: props.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+            },
+        );
+        self.outgoing.entry(source).or_default().push(id);
+        self.incoming.entry(target).or_default().push(id);
+        id
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(&id.0)
+    }
+
+    /// Edge accessor.
+    pub fn edge(&self, id: EdgeId) -> Option<&Edge> {
+        self.edges.get(&id.0)
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
+    /// All edges, in id order.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.values()
+    }
+
+    /// Nodes carrying a label.
+    pub fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+        self.label_index.get(label).cloned().unwrap_or_default()
+    }
+
+    /// Index lookup: nodes with `label` whose property `key` equals `value`.
+    pub fn nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Vec<NodeId> {
+        self.prop_index
+            .get(&(label.to_string(), key.to_string(), value.to_json()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Outgoing edges of a node.
+    pub fn outgoing(&self, node: NodeId) -> Vec<&Edge> {
+        self.outgoing
+            .get(&node)
+            .map(|ids| ids.iter().map(|e| &self.edges[&e.0]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Incoming edges of a node.
+    pub fn incoming(&self, node: NodeId) -> Vec<&Edge> {
+        self.incoming
+            .get(&node)
+            .map(|ids| ids.iter().map(|e| &self.edges[&e.0]).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+
+    fn tiny() -> (PropertyGraph, NodeId, NodeId, NodeId) {
+        let mut g = PropertyGraph::new();
+        let fever = g.create_node(
+            ["Concept"],
+            vec![("label", v("fever")), ("entityType", v("Sign_symptom"))],
+        );
+        let cough = g.create_node(
+            ["Concept"],
+            vec![("label", v("cough")), ("entityType", v("Sign_symptom"))],
+        );
+        let report = g.create_node(["Report"], vec![("reportId", v("pmid:1"))]);
+        g.create_edge::<&str>(fever, cough, "OVERLAP", vec![]);
+        g.create_edge(
+            report,
+            fever,
+            "MENTIONS",
+            vec![("weight", Value::Number(1.0))],
+        );
+        (g, fever, cough, report)
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let (g, fever, _, report) = tiny();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node(fever).unwrap().props["label"], v("fever"));
+        assert_eq!(g.node(report).unwrap().labels, vec!["Report"]);
+    }
+
+    #[test]
+    fn label_index() {
+        let (g, ..) = tiny();
+        assert_eq!(g.nodes_with_label("Concept").len(), 2);
+        assert_eq!(g.nodes_with_label("Report").len(), 1);
+        assert!(g.nodes_with_label("Missing").is_empty());
+    }
+
+    #[test]
+    fn prop_index() {
+        let (g, fever, ..) = tiny();
+        let hits = g.nodes_with_prop("Concept", "label", &v("fever"));
+        assert_eq!(hits, vec![fever]);
+        assert!(g.nodes_with_prop("Concept", "label", &v("nope")).is_empty());
+    }
+
+    #[test]
+    fn adjacency() {
+        let (g, fever, cough, report) = tiny();
+        let out: Vec<NodeId> = g.outgoing(fever).iter().map(|e| e.target).collect();
+        assert_eq!(out, vec![cough]);
+        let inc: Vec<NodeId> = g.incoming(fever).iter().map(|e| e.source).collect();
+        assert_eq!(inc, vec![report]);
+        assert_eq!(g.outgoing(fever)[0].rel_type, "OVERLAP");
+    }
+
+    #[test]
+    fn labels_are_sorted_and_deduped() {
+        let mut g = PropertyGraph::new();
+        let n = g.create_node(["B", "A", "B"], Vec::<(&str, Value)>::new());
+        assert_eq!(g.node(n).unwrap().labels, vec!["A", "B"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing source")]
+    fn edge_requires_endpoints() {
+        let mut g = PropertyGraph::new();
+        let n = g.create_node(["X"], Vec::<(&str, Value)>::new());
+        g.create_edge::<&str>(NodeId(99), n, "T", vec![]);
+    }
+}

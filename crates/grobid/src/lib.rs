@@ -1,0 +1,23 @@
+//! PDF submission service substrate (the reproduction's Grobid).
+//!
+//! The paper's PDF submission service "convert\[s\] the publications in PDF
+//! format into well organized XML format", auto-extracting title, author,
+//! and affiliation metadata. This crate implements the whole path on real
+//! bytes (DESIGN.md substitution S7):
+//!
+//! * [`pdf`] — a writer for a minimal, valid, uncompressed PDF subset
+//!   (used to fabricate test inputs from case reports) and a parser that
+//!   recovers page text from content streams (`BT`/`ET`, `Tj`, `TJ`, `Td`,
+//!   string escapes);
+//! * [`xml`] — a small XML parser/serializer (elements, attributes, text,
+//!   comments, entities);
+//! * [`tei`] — Grobid-style header and section extraction from page text,
+//!   and TEI XML generation.
+
+pub mod pdf;
+pub mod tei;
+pub mod xml;
+
+pub use pdf::{extract_text, write_pdf, PdfError, PdfSource};
+pub use tei::{process_pdf, ExtractedDocument};
+pub use xml::{parse_xml, XmlElement, XmlError, XmlNode};

@@ -1,0 +1,468 @@
+//! Minimal PDF writer and text extractor.
+//!
+//! The writer emits a valid uncompressed PDF 1.4 file: catalog → page tree
+//! → pages, each page with a literal content stream of text-showing
+//! operators, a Helvetica font resource, and a correct xref table. The
+//! extractor is independent code that scans content streams and interprets
+//! the text operators (`BT`/`ET`, `Tf`, `Td`/`TD`/`T*`, `Tj`, `TJ`, `'`),
+//! decoding literal-string escapes — so the round-trip genuinely exercises
+//! a parse of the binary format, not a string passthrough.
+
+use std::fmt;
+
+/// Logical source for PDF generation: a title block plus body lines.
+#[derive(Debug, Clone, Default)]
+pub struct PdfSource {
+    /// Title (rendered at larger font).
+    pub title: String,
+    /// Author line (comma-separated names).
+    pub authors: String,
+    /// Affiliation line.
+    pub affiliation: String,
+    /// Body lines, already wrapped; blank strings become vertical space.
+    pub body_lines: Vec<String>,
+}
+
+/// PDF parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PdfError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PDF error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PdfError {}
+
+fn err(message: impl Into<String>) -> PdfError {
+    PdfError {
+        message: message.into(),
+    }
+}
+
+/// Escapes a string for a PDF literal string `(…)`.
+fn escape_pdf_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '(' => out.push_str("\\("),
+            ')' => out.push_str("\\)"),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if c.is_ascii() => out.push(c),
+            // Non-ASCII: degrade to '?' — the simple font model here is
+            // WinAnsi-less Helvetica; metadata accuracy tests use ASCII.
+            _ => out.push('?'),
+        }
+    }
+    out
+}
+
+const LINES_PER_PAGE: usize = 48;
+
+/// Renders a [`PdfSource`] into PDF bytes. Long documents flow onto
+/// multiple pages.
+pub fn write_pdf(source: &PdfSource) -> Vec<u8> {
+    // Assemble per-page content streams.
+    // (text, font size)
+    let mut all_lines: Vec<(String, u32)> = vec![
+        (source.title.clone(), 16),
+        (source.authors.clone(), 11),
+        (source.affiliation.clone(), 10),
+        (String::new(), 10),
+    ];
+    for line in &source.body_lines {
+        all_lines.push((line.clone(), 10));
+    }
+    let pages: Vec<&[(String, u32)]> = all_lines.chunks(LINES_PER_PAGE).collect();
+    let num_pages = pages.len().max(1);
+
+    // Object layout: 1 catalog, 2 pages root, 3 font, then per page i:
+    // (4 + 2i) page object, (5 + 2i) content stream.
+    let mut objects: Vec<(u32, String)> = Vec::new();
+    let kids: Vec<String> = (0..num_pages)
+        .map(|i| format!("{} 0 R", 4 + 2 * i))
+        .collect();
+    objects.push((1, "<< /Type /Catalog /Pages 2 0 R >>".to_string()));
+    objects.push((
+        2,
+        format!(
+            "<< /Type /Pages /Kids [{}] /Count {} >>",
+            kids.join(" "),
+            num_pages
+        ),
+    ));
+    objects.push((
+        3,
+        "<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica >>".to_string(),
+    ));
+    for (i, page_lines) in pages.iter().enumerate() {
+        let page_obj = 4 + 2 * i as u32;
+        let content_obj = page_obj + 1;
+        objects.push((
+            page_obj,
+            format!(
+                "<< /Type /Page /Parent 2 0 R /MediaBox [0 0 612 792] \
+                 /Resources << /Font << /F1 3 0 R >> >> /Contents {content_obj} 0 R >>"
+            ),
+        ));
+        let mut stream = String::new();
+        stream.push_str("BT\n/F1 10 Tf\n72 760 Td\n14 TL\n");
+        let mut current_size = 10;
+        for (text, size) in page_lines.iter() {
+            if *size != current_size {
+                stream.push_str(&format!("/F1 {size} Tf\n"));
+                current_size = *size;
+            }
+            stream.push_str(&format!("({}) Tj\nT*\n", escape_pdf_string(text)));
+        }
+        stream.push_str("ET\n");
+        objects.push((
+            content_obj,
+            format!("<< /Length {} >>\nstream\n{stream}endstream", stream.len()),
+        ));
+    }
+
+    // Serialize with a correct xref.
+    let mut out = Vec::new();
+    out.extend_from_slice(b"%PDF-1.4\n");
+    let mut offsets = vec![0usize; objects.len() + 1];
+    for (id, body) in &objects {
+        offsets[*id as usize] = out.len();
+        out.extend_from_slice(format!("{id} 0 obj\n{body}\nendobj\n").as_bytes());
+    }
+    let xref_offset = out.len();
+    out.extend_from_slice(format!("xref\n0 {}\n", objects.len() + 1).as_bytes());
+    out.extend_from_slice(b"0000000000 65535 f \n");
+    for offset in offsets.iter().skip(1) {
+        out.extend_from_slice(format!("{offset:010} 00000 n \n").as_bytes());
+    }
+    out.extend_from_slice(
+        format!(
+            "trailer\n<< /Size {} /Root 1 0 R >>\nstartxref\n{xref_offset}\n%%EOF\n",
+            objects.len() + 1
+        )
+        .as_bytes(),
+    );
+    out
+}
+
+/// Extracts text lines per page from PDF bytes.
+///
+/// Understands the uncompressed subset this crate writes plus common
+/// variations: multiple content streams, `TD`/`Td`/`T*` line movement,
+/// `'` (move-and-show), literal-string escapes including octal.
+pub fn extract_text(bytes: &[u8]) -> Result<Vec<Vec<String>>, PdfError> {
+    if !bytes.starts_with(b"%PDF-") {
+        return Err(err("missing %PDF header"));
+    }
+    let mut pages = Vec::new();
+    let mut i = 0;
+    while let Some(start) = find(bytes, b"stream", i) {
+        // Stream data begins after "stream" + EOL.
+        let mut data_start = start + b"stream".len();
+        if bytes.get(data_start) == Some(&b'\r') {
+            data_start += 1;
+        }
+        if bytes.get(data_start) == Some(&b'\n') {
+            data_start += 1;
+        }
+        let end =
+            find(bytes, b"endstream", data_start).ok_or_else(|| err("unterminated stream"))?;
+        let stream = &bytes[data_start..end];
+        let lines = parse_content_stream(stream)?;
+        if !lines.is_empty() {
+            pages.push(lines);
+        }
+        i = end + b"endstream".len();
+    }
+    if pages.is_empty() {
+        return Err(err("no text content streams found"));
+    }
+    Ok(pages)
+}
+
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Interprets the text operators in one content stream.
+fn parse_content_stream(stream: &[u8]) -> Result<Vec<String>, PdfError> {
+    let mut lines: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut in_text = false;
+    let mut i = 0;
+    let mut pending_strings: Vec<String> = Vec::new();
+    let flush_line = |lines: &mut Vec<String>, current: &mut String| {
+        lines.push(std::mem::take(current));
+    };
+    while i < stream.len() {
+        let c = stream[i];
+        match c {
+            b'(' => {
+                let (s, next) = parse_literal_string(stream, i)?;
+                pending_strings.push(s);
+                i = next;
+            }
+            b'[' => {
+                // TJ array: collect strings until ']'.
+                i += 1;
+            }
+            b']' => {
+                i += 1;
+            }
+            b'B' if stream[i..].starts_with(b"BT") => {
+                in_text = true;
+                i += 2;
+            }
+            b'E' if stream[i..].starts_with(b"ET") => {
+                in_text = false;
+                if !current.is_empty() {
+                    flush_line(&mut lines, &mut current);
+                }
+                i += 2;
+            }
+            b'T' => {
+                let op = stream.get(i + 1).copied().unwrap_or(0);
+                match op {
+                    b'j' | b'J' => {
+                        // Show text: append pending strings to current line.
+                        for s in pending_strings.drain(..) {
+                            current.push_str(&s);
+                        }
+                        i += 2;
+                    }
+                    b'd' | b'D' | b'*' => {
+                        // Line movement: emit the current line.
+                        if in_text {
+                            flush_line(&mut lines, &mut current);
+                        }
+                        pending_strings.clear();
+                        i += 2;
+                    }
+                    _ => i += 1,
+                }
+            }
+            b'\'' => {
+                // Move to next line and show.
+                if in_text {
+                    flush_line(&mut lines, &mut current);
+                }
+                for s in pending_strings.drain(..) {
+                    current.push_str(&s);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if !current.is_empty() {
+        lines.push(current);
+    }
+    // Trim trailing empties from T* after the last Tj.
+    while lines.last().map(|l| l.is_empty()).unwrap_or(false) {
+        lines.pop();
+    }
+    // Leading empty from the initial Td.
+    while lines.first().map(|l| l.is_empty()).unwrap_or(false) && lines.len() > 1 {
+        lines.remove(0);
+    }
+    Ok(lines)
+}
+
+/// Parses a literal string starting at the `(`; returns `(text, index past
+/// the closing paren)`.
+fn parse_literal_string(stream: &[u8], start: usize) -> Result<(String, usize), PdfError> {
+    debug_assert_eq!(stream[start], b'(');
+    let mut out = String::new();
+    let mut depth = 1;
+    let mut i = start + 1;
+    while i < stream.len() {
+        match stream[i] {
+            b'\\' => {
+                let esc = *stream.get(i + 1).ok_or_else(|| err("dangling escape"))?;
+                match esc {
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'(' => out.push('('),
+                    b')' => out.push(')'),
+                    b'\\' => out.push('\\'),
+                    b'0'..=b'7' => {
+                        // Up to three octal digits.
+                        let mut val = 0u32;
+                        let mut n = 0;
+                        while n < 3 {
+                            match stream.get(i + 1 + n) {
+                                Some(&d) if (b'0'..=b'7').contains(&d) => {
+                                    val = val * 8 + (d - b'0') as u32;
+                                    n += 1;
+                                }
+                                _ => break,
+                            }
+                        }
+                        out.push(char::from_u32(val).unwrap_or('?'));
+                        i += n - 1; // plus the 2 below
+                    }
+                    _ => out.push(esc as char),
+                }
+                i += 2;
+            }
+            b'(' => {
+                depth += 1;
+                out.push('(');
+                i += 1;
+            }
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((out, i + 1));
+                }
+                out.push(')');
+                i += 1;
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    Err(err("unterminated literal string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_source() -> PdfSource {
+        PdfSource {
+            title: "Takotsubo cardiomyopathy in a 62-year-old woman: a case report".into(),
+            authors: "Chen W, Garcia M, Smith J".into(),
+            affiliation: "Department of Cardiology, Example University Hospital".into(),
+            body_lines: vec![
+                "Abstract".into(),
+                "A 62-year-old woman presented with chest pain (acute onset).".into(),
+                "".into(),
+                "Introduction".into(),
+                "Stress cardiomyopathy mimics myocardial infarction.".into(),
+            ],
+        }
+    }
+
+    #[test]
+    fn writes_valid_header_and_eof() {
+        let bytes = write_pdf(&sample_source());
+        assert!(bytes.starts_with(b"%PDF-1.4"));
+        assert!(bytes.windows(5).any(|w| w == b"%%EOF"));
+        assert!(bytes.windows(4).any(|w| w == b"xref"));
+    }
+
+    #[test]
+    fn round_trips_text() {
+        let bytes = write_pdf(&sample_source());
+        let pages = extract_text(&bytes).unwrap();
+        assert_eq!(pages.len(), 1);
+        let lines = &pages[0];
+        assert_eq!(
+            lines[0],
+            "Takotsubo cardiomyopathy in a 62-year-old woman: a case report"
+        );
+        assert_eq!(lines[1], "Chen W, Garcia M, Smith J");
+        assert!(lines.iter().any(|l| l.contains("chest pain (acute onset)")));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let src = PdfSource {
+            title: "Parens (and) back\\slash".into(),
+            authors: "A".into(),
+            affiliation: "B".into(),
+            body_lines: vec![],
+        };
+        let pages = extract_text(&write_pdf(&src)).unwrap();
+        assert_eq!(pages[0][0], "Parens (and) back\\slash");
+    }
+
+    #[test]
+    fn multi_page_flow() {
+        let src = PdfSource {
+            title: "Long report".into(),
+            authors: "A".into(),
+            affiliation: "B".into(),
+            body_lines: (0..120).map(|i| format!("Body line {i}")).collect(),
+        };
+        let pages = extract_text(&write_pdf(&src)).unwrap();
+        assert!(
+            pages.len() >= 2,
+            "expected multiple pages, got {}",
+            pages.len()
+        );
+        let all: Vec<String> = pages.concat();
+        assert!(all.contains(&"Body line 119".to_string()));
+    }
+
+    #[test]
+    fn xref_offsets_are_correct() {
+        // Every xref entry must point at "N 0 obj".
+        let bytes = write_pdf(&sample_source());
+        let text = String::from_utf8_lossy(&bytes);
+        let xref_pos = text.find("xref\n").unwrap();
+        let entries: Vec<&str> = text[xref_pos..]
+            .lines()
+            .skip(2) // "xref", "0 N"
+            .take_while(|l| l.ends_with("n ") || l.ends_with("f "))
+            .collect();
+        for (i, entry) in entries.iter().enumerate().skip(1) {
+            let offset: usize = entry[..10].parse().unwrap();
+            let at = &bytes[offset..offset + 12.min(bytes.len() - offset)];
+            let at = String::from_utf8_lossy(at);
+            assert!(
+                at.starts_with(&format!("{i} 0 obj")),
+                "xref {i} points at {at:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_pdf() {
+        assert!(extract_text(b"not a pdf").is_err());
+        assert!(extract_text(b"%PDF-1.4\nno streams here").is_err());
+    }
+
+    #[test]
+    fn non_ascii_degrades_not_panics() {
+        let src = PdfSource {
+            title: "Fièvre aiguë".into(),
+            authors: "Müller K".into(),
+            affiliation: "Hôpital".into(),
+            body_lines: vec![],
+        };
+        let pages = extract_text(&write_pdf(&src)).unwrap();
+        assert!(pages[0][0].starts_with("Fi?vre"));
+    }
+
+    #[test]
+    fn octal_escape_parses() {
+        let (s, next) = parse_literal_string(b"(a\\101b)", 0).unwrap();
+        assert_eq!(s, "aAb");
+        assert_eq!(next, 8);
+    }
+
+    #[test]
+    fn nested_parens_in_strings() {
+        let (s, _) = parse_literal_string(b"(a (nested) b)", 0).unwrap();
+        assert_eq!(s, "a (nested) b");
+    }
+}

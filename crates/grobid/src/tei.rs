@@ -1,0 +1,382 @@
+//! Grobid-style header/section extraction and TEI generation.
+//!
+//! Takes the page text recovered by [`crate::pdf::extract_text`] and
+//! applies layout heuristics in the spirit of Grobid's header model:
+//! title first, then the author line (comma-separated proper names),
+//! then affiliation lines (institution keywords), then the abstract
+//! (after an "Abstract" heading) and body sections split on recognized
+//! headings. The result serializes to TEI XML, the format Grobid emits.
+
+use crate::pdf::{extract_text, PdfError};
+use crate::xml::XmlElement;
+
+/// Structured output of the submission pipeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExtractedDocument {
+    /// Document title.
+    pub title: String,
+    /// Author names.
+    pub authors: Vec<String>,
+    /// Affiliation string.
+    pub affiliation: String,
+    /// Abstract text (empty when absent).
+    pub abstract_text: String,
+    /// `(heading, paragraph text)` body sections.
+    pub sections: Vec<(String, String)>,
+}
+
+const AFFILIATION_KEYWORDS: &[&str] = &[
+    "university",
+    "hospital",
+    "department",
+    "institute",
+    "college",
+    "school of",
+    "center",
+    "centre",
+    "clinic",
+];
+
+const SECTION_HEADINGS: &[&str] = &[
+    "introduction",
+    "background",
+    "case report",
+    "case presentation",
+    "case description",
+    "methods",
+    "results",
+    "discussion",
+    "conclusion",
+    "conclusions",
+    "acknowledgement",
+    "acknowledgements",
+    "references",
+];
+
+fn looks_like_affiliation(line: &str) -> bool {
+    let lower = line.to_lowercase();
+    AFFILIATION_KEYWORDS.iter().any(|k| lower.contains(k))
+}
+
+fn looks_like_author_line(line: &str) -> bool {
+    // Comma-separated groups, each a couple of capitalized words, no
+    // affiliation keywords.
+    if looks_like_affiliation(line) || line.is_empty() {
+        return false;
+    }
+    let groups: Vec<&str> = line.split(',').map(str::trim).collect();
+    if groups.is_empty() {
+        return false;
+    }
+    let authorish = groups
+        .iter()
+        .filter(|g| {
+            let words: Vec<&str> = g.split_whitespace().collect();
+            !words.is_empty()
+                && words.len() <= 4
+                && words
+                    .iter()
+                    .all(|w| w.chars().next().is_some_and(char::is_uppercase))
+        })
+        .count();
+    authorish * 2 >= groups.len().max(1)
+}
+
+fn is_heading(line: &str) -> Option<String> {
+    let trimmed = line.trim().trim_end_matches(['.', ':']);
+    let lower = trimmed.to_lowercase();
+    // Strip "1." / "IV)" style enumeration prefixes: the first word must be
+    // all digits or roman numerals and carry (or imply) a separator.
+    let candidate = match lower.split_once(' ') {
+        Some((first, rest)) => {
+            let core = first.trim_end_matches(['.', ')']);
+            let numeric = !core.is_empty()
+                && core
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || matches!(c, 'i' | 'v' | 'x'));
+            let has_separator = first.ends_with('.')
+                || first.ends_with(')')
+                || core.chars().all(|c| c.is_ascii_digit());
+            if numeric && has_separator {
+                rest.trim().to_string()
+            } else {
+                lower.clone()
+            }
+        }
+        None => lower.clone(),
+    };
+    if SECTION_HEADINGS.contains(&candidate.as_str()) {
+        Some(trimmed.to_string())
+    } else {
+        None
+    }
+}
+
+/// Extracts structure from page text lines.
+pub fn extract_structure(pages: &[Vec<String>]) -> ExtractedDocument {
+    let lines: Vec<&String> = pages.iter().flatten().collect();
+    let mut doc = ExtractedDocument::default();
+    let mut i = 0;
+    // Title: first non-empty line (possibly continued until the author
+    // line).
+    while i < lines.len() && lines[i].trim().is_empty() {
+        i += 1;
+    }
+    let mut title_parts = Vec::new();
+    while i < lines.len()
+        && !lines[i].trim().is_empty()
+        && !looks_like_author_line(lines[i])
+        && title_parts.len() < 3
+    {
+        title_parts.push(lines[i].trim().to_string());
+        i += 1;
+    }
+    doc.title = title_parts.join(" ");
+    // Authors.
+    if i < lines.len() && looks_like_author_line(lines[i]) {
+        doc.authors = lines[i]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        i += 1;
+    }
+    // Affiliations (possibly multiple lines).
+    let mut affiliations = Vec::new();
+    while i < lines.len() && looks_like_affiliation(lines[i]) {
+        affiliations.push(lines[i].trim().to_string());
+        i += 1;
+    }
+    doc.affiliation = affiliations.join("; ");
+
+    // Abstract and sections.
+    let mut current_heading: Option<String> = None;
+    let mut current_body: Vec<String> = Vec::new();
+    let mut in_abstract = false;
+    let flush = |doc: &mut ExtractedDocument,
+                 heading: &mut Option<String>,
+                 body: &mut Vec<String>,
+                 in_abstract: &mut bool| {
+        let text = body.join(" ").trim().to_string();
+        if *in_abstract {
+            doc.abstract_text = text;
+            *in_abstract = false;
+        } else if let Some(h) = heading.take() {
+            doc.sections.push((h, text));
+        } else if !text.is_empty() {
+            doc.sections.push(("Body".to_string(), text));
+        }
+        body.clear();
+    };
+    while i < lines.len() {
+        let line = lines[i].trim();
+        if line.eq_ignore_ascii_case("abstract") {
+            flush(
+                &mut doc,
+                &mut current_heading,
+                &mut current_body,
+                &mut in_abstract,
+            );
+            in_abstract = true;
+        } else if let Some(h) = is_heading(line) {
+            flush(
+                &mut doc,
+                &mut current_heading,
+                &mut current_body,
+                &mut in_abstract,
+            );
+            current_heading = Some(h);
+        } else if !line.is_empty() {
+            current_body.push(line.to_string());
+        }
+        i += 1;
+    }
+    flush(
+        &mut doc,
+        &mut current_heading,
+        &mut current_body,
+        &mut in_abstract,
+    );
+    doc
+}
+
+/// Full pipeline: PDF bytes → structured document.
+pub fn process_pdf(bytes: &[u8]) -> Result<ExtractedDocument, PdfError> {
+    let pages = extract_text(bytes)?;
+    Ok(extract_structure(&pages))
+}
+
+impl ExtractedDocument {
+    /// Serializes to TEI XML (the Grobid output format).
+    pub fn to_tei(&self) -> XmlElement {
+        let mut title_stmt = XmlElement::new("titleStmt").child(
+            XmlElement::new("title")
+                .attr("level", "a")
+                .text(&self.title),
+        );
+        for author in &self.authors {
+            title_stmt = title_stmt.child(
+                XmlElement::new("author")
+                    .child(XmlElement::new("persName").text(author))
+                    .child(XmlElement::new("affiliation").text(&self.affiliation)),
+            );
+        }
+        let header = XmlElement::new("teiHeader").child(
+            XmlElement::new("fileDesc").child(title_stmt).child(
+                XmlElement::new("profileDesc")
+                    .child(XmlElement::new("abstract").text(&self.abstract_text)),
+            ),
+        );
+        let mut body = XmlElement::new("body");
+        for (heading, text) in &self.sections {
+            body = body.child(
+                XmlElement::new("div")
+                    .child(XmlElement::new("head").text(heading))
+                    .child(XmlElement::new("p").text(text)),
+            );
+        }
+        XmlElement::new("TEI")
+            .attr("xmlns", "http://www.tei-c.org/ns/1.0")
+            .child(header)
+            .child(XmlElement::new("text").child(body))
+    }
+
+    /// Parses a TEI document back into the structured form (round-trip
+    /// support and API for user-supplied TEI).
+    pub fn from_tei(root: &XmlElement) -> ExtractedDocument {
+        let mut doc = ExtractedDocument::default();
+        if let Some(title) = root.descendants("title").first() {
+            doc.title = title.text_content();
+        }
+        for author in root.descendants("persName") {
+            doc.authors.push(author.text_content());
+        }
+        if let Some(aff) = root.descendants("affiliation").first() {
+            doc.affiliation = aff.text_content();
+        }
+        if let Some(abs) = root.descendants("abstract").first() {
+            doc.abstract_text = abs.text_content();
+        }
+        for div in root.descendants("div") {
+            let head = div
+                .find("head")
+                .map(|h| h.text_content())
+                .unwrap_or_default();
+            let p = div.find("p").map(|p| p.text_content()).unwrap_or_default();
+            doc.sections.push((head, p));
+        }
+        doc
+    }
+
+    /// Plain text of the body (abstract + sections) — what the ingestion
+    /// pipeline indexes.
+    pub fn body_text(&self) -> String {
+        let mut out = String::new();
+        if !self.abstract_text.is_empty() {
+            out.push_str(&self.abstract_text);
+            out.push_str("\n\n");
+        }
+        for (_, text) in &self.sections {
+            out.push_str(text);
+            out.push_str("\n\n");
+        }
+        out.trim_end().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdf::{write_pdf, PdfSource};
+    use crate::xml::parse_xml;
+
+    fn sample_pdf() -> Vec<u8> {
+        write_pdf(&PdfSource {
+            title: "Recurrent syncope in Brugada syndrome: a case report".into(),
+            authors: "Tanaka H, Rossi F".into(),
+            affiliation: "Department of Cardiology, Example University Hospital".into(),
+            body_lines: vec![
+                "Abstract".into(),
+                "We report recurrent syncope in a 41-year-old man.".into(),
+                "Introduction".into(),
+                "Brugada syndrome is an inherited arrhythmia disorder.".into(),
+                "Case report".into(),
+                "The patient presented after a syncopal episode.".into(),
+                "An ICD was implanted.".into(),
+                "Conclusion".into(),
+                "Prompt recognition prevents sudden death.".into(),
+            ],
+        })
+    }
+
+    #[test]
+    fn extracts_header_fields() {
+        let doc = process_pdf(&sample_pdf()).unwrap();
+        assert_eq!(
+            doc.title,
+            "Recurrent syncope in Brugada syndrome: a case report"
+        );
+        assert_eq!(doc.authors, vec!["Tanaka H", "Rossi F"]);
+        assert!(doc.affiliation.contains("Example University Hospital"));
+    }
+
+    #[test]
+    fn extracts_abstract_and_sections() {
+        let doc = process_pdf(&sample_pdf()).unwrap();
+        assert!(doc.abstract_text.contains("recurrent syncope"));
+        let headings: Vec<&str> = doc.sections.iter().map(|(h, _)| h.as_str()).collect();
+        assert_eq!(headings, vec!["Introduction", "Case report", "Conclusion"]);
+        assert!(doc.sections[1].1.contains("ICD was implanted"));
+    }
+
+    #[test]
+    fn tei_round_trip() {
+        let doc = process_pdf(&sample_pdf()).unwrap();
+        let tei = doc.to_tei();
+        let reparsed = parse_xml(&tei.serialize()).unwrap();
+        let recovered = ExtractedDocument::from_tei(&reparsed);
+        assert_eq!(recovered.title, doc.title);
+        assert_eq!(recovered.authors, doc.authors);
+        assert_eq!(recovered.abstract_text, doc.abstract_text);
+        assert_eq!(recovered.sections, doc.sections);
+    }
+
+    #[test]
+    fn body_text_concatenates() {
+        let doc = process_pdf(&sample_pdf()).unwrap();
+        let body = doc.body_text();
+        assert!(body.contains("recurrent syncope"));
+        assert!(body.contains("Prompt recognition"));
+    }
+
+    #[test]
+    fn heading_detection() {
+        assert!(is_heading("Introduction").is_some());
+        assert!(is_heading("1. Introduction").is_some());
+        assert!(is_heading("DISCUSSION").is_some());
+        assert!(is_heading("Case Presentation").is_some());
+        assert!(is_heading("The patient improved").is_none());
+    }
+
+    #[test]
+    fn author_line_heuristic() {
+        assert!(looks_like_author_line("Smith J, Chen W, Patel K"));
+        assert!(!looks_like_author_line(
+            "Department of Medicine, Example University"
+        ));
+        assert!(!looks_like_author_line("the patient was admitted"));
+    }
+
+    #[test]
+    fn documents_without_abstract_still_parse() {
+        let pdf = write_pdf(&PdfSource {
+            title: "No abstract here".into(),
+            authors: "Solo A".into(),
+            affiliation: "Tiny Clinic".into(),
+            body_lines: vec!["Introduction".into(), "Text.".into()],
+        });
+        let doc = process_pdf(&pdf).unwrap();
+        assert!(doc.abstract_text.is_empty());
+        assert_eq!(doc.sections.len(), 1);
+    }
+}

@@ -1,0 +1,470 @@
+//! A small XML parser and serializer.
+//!
+//! Covers what the TEI pipeline needs: elements with attributes, text
+//! nodes, self-closing tags, comments, processing instructions/prolog,
+//! CDATA, and the five predefined entities. No DTDs or namespace
+//! resolution (prefixes are kept verbatim in names).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An XML node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmlNode {
+    /// Child element.
+    Element(XmlElement),
+    /// Text content (entities decoded).
+    Text(String),
+}
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct XmlElement {
+    /// Tag name (prefix preserved, e.g. `tei:title`).
+    pub name: String,
+    /// Attributes in document order (BTreeMap for stable serialization).
+    pub attrs: BTreeMap<String, String>,
+    /// Children.
+    pub children: Vec<XmlNode>,
+}
+
+impl XmlElement {
+    /// Creates an element.
+    pub fn new(name: impl Into<String>) -> XmlElement {
+        XmlElement {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: sets an attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
+
+    /// Builder: appends a child element.
+    pub fn child(mut self, child: XmlElement) -> Self {
+        self.children.push(XmlNode::Element(child));
+        self
+    }
+
+    /// Builder: appends a text node.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(XmlNode::Text(text.into()));
+        self
+    }
+
+    /// First child element with the given name.
+    pub fn find(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find_map(|c| match c {
+            XmlNode::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements with the given name.
+    pub fn find_all(&self, name: &str) -> Vec<&XmlElement> {
+        self.children
+            .iter()
+            .filter_map(|c| match c {
+                XmlNode::Element(e) if e.name == name => Some(e),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Recursive descendant search (document order).
+    pub fn descendants(&self, name: &str) -> Vec<&XmlElement> {
+        let mut out = Vec::new();
+        for c in &self.children {
+            if let XmlNode::Element(e) = c {
+                if e.name == name {
+                    out.push(e);
+                }
+                out.extend(e.descendants(name));
+            }
+        }
+        out
+    }
+
+    /// Concatenated text content of this subtree.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            match c {
+                XmlNode::Text(t) => out.push_str(t),
+                XmlNode::Element(e) => out.push_str(&e.text_content()),
+            }
+        }
+        out
+    }
+
+    /// Serializes to an XML string (no declaration).
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v, true));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for c in &self.children {
+            match c {
+                XmlNode::Text(t) => out.push_str(&escape(t, false)),
+                XmlNode::Element(e) => e.write(out),
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+fn escape(s: &str, in_attr: bool) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// XML parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte position.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses a document; returns the root element.
+pub fn parse_xml(input: &str) -> Result<XmlElement, XmlError> {
+    let mut p = XmlParser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc();
+    let root = p.element()?;
+    p.skip_misc();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn err(&self, message: &str) -> XmlError {
+        XmlError {
+            position: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, PIs, declarations, and DOCTYPE.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with("<!--") {
+                match self.input[self.pos..].find("-->") {
+                    Some(end) => self.pos += end + 3,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else if self.input[self.pos..].starts_with("<?")
+                || self.input[self.pos..].starts_with("<!DOCTYPE")
+            {
+                match self.input[self.pos..].find('>') {
+                    Some(end) => self.pos += end + 1,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let c = b as char;
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | ':' | '.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected name"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn element(&mut self) -> Result<XmlElement, XmlError> {
+        if self.bytes.get(self.pos) != Some(&b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut element = XmlElement::new(name);
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) != Some(&b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.bytes.get(self.pos) {
+                        Some(&q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != quote) {
+                        self.pos += 1;
+                    }
+                    if self.bytes.get(self.pos) != Some(&quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let value = decode_entities(&self.input[start..self.pos]);
+                    self.pos += 1;
+                    element.attrs.insert(key, value);
+                }
+                None => return Err(self.err("unexpected end in tag")),
+            }
+        }
+        // Children until matching close tag.
+        loop {
+            if self.input[self.pos..].starts_with("<!--") {
+                match self.input[self.pos..].find("-->") {
+                    Some(end) => self.pos += end + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+                continue;
+            }
+            if self.input[self.pos..].starts_with("<![CDATA[") {
+                let start = self.pos + 9;
+                match self.input[start..].find("]]>") {
+                    Some(end) => {
+                        element
+                            .children
+                            .push(XmlNode::Text(self.input[start..start + end].to_string()));
+                        self.pos = start + end + 3;
+                    }
+                    None => return Err(self.err("unterminated CDATA")),
+                }
+                continue;
+            }
+            if self.input[self.pos..].starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != element.name {
+                    return Err(self.err(&format!(
+                        "mismatched close tag: expected {}, got {close}",
+                        element.name
+                    )));
+                }
+                self.skip_ws();
+                if self.bytes.get(self.pos) != Some(&b'>') {
+                    return Err(self.err("expected '>' in close tag"));
+                }
+                self.pos += 1;
+                return Ok(element);
+            }
+            match self.bytes.get(self.pos) {
+                Some(b'<') => {
+                    let child = self.element()?;
+                    element.children.push(XmlNode::Element(child));
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != b'<') {
+                        self.pos += 1;
+                    }
+                    let text = decode_entities(&self.input[start..self.pos]);
+                    if !text.trim().is_empty() {
+                        element.children.push(XmlNode::Text(text));
+                    }
+                }
+                None => return Err(self.err("unexpected end inside element")),
+            }
+        }
+    }
+}
+
+fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let end = rest.find(';').unwrap_or(0);
+        if end == 0 || end > 10 {
+            out.push('&');
+            rest = &rest[1..];
+            continue;
+        }
+        let entity = &rest[1..end];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            e if e.starts_with("#x") || e.starts_with("#X") => {
+                if let Ok(v) = u32::from_str_radix(&e[2..], 16) {
+                    out.push(char::from_u32(v).unwrap_or('\u{FFFD}'));
+                }
+            }
+            e if e.starts_with('#') => {
+                if let Ok(v) = e[1..].parse::<u32>() {
+                    out.push(char::from_u32(v).unwrap_or('\u{FFFD}'));
+                }
+            }
+            other => {
+                out.push('&');
+                out.push_str(other);
+                out.push(';');
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let root = parse_xml("<a><b x=\"1\">hi</b><c/></a>").unwrap();
+        assert_eq!(root.name, "a");
+        assert_eq!(root.find("b").unwrap().attrs["x"], "1");
+        assert_eq!(root.find("b").unwrap().text_content(), "hi");
+        assert!(root.find("c").unwrap().children.is_empty());
+    }
+
+    #[test]
+    fn skips_prolog_doctype_comments() {
+        let doc = "<?xml version=\"1.0\"?><!DOCTYPE tei><!-- note --><root>x</root>";
+        let root = parse_xml(doc).unwrap();
+        assert_eq!(root.text_content(), "x");
+    }
+
+    #[test]
+    fn decodes_entities() {
+        let root = parse_xml("<t a='&quot;q&quot;'>&lt;&amp;&gt; &#65;&#x42;</t>").unwrap();
+        assert_eq!(root.attrs["a"], "\"q\"");
+        assert_eq!(root.text_content(), "<&> AB");
+    }
+
+    #[test]
+    fn cdata_preserved() {
+        let root = parse_xml("<t><![CDATA[a<b&c]]></t>").unwrap();
+        assert_eq!(root.text_content(), "a<b&c");
+    }
+
+    #[test]
+    fn round_trip() {
+        let e = XmlElement::new("teiHeader")
+            .attr("type", "case report")
+            .child(XmlElement::new("title").text("MI & recovery <fast>"));
+        let re = parse_xml(&e.serialize()).unwrap();
+        assert_eq!(re, e);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(parse_xml("<a><b></a></b>").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn descendants_search() {
+        let root = parse_xml("<a><b><c>1</c></b><c>2</c></a>").unwrap();
+        let cs = root.descendants("c");
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].text_content(), "1");
+    }
+
+    #[test]
+    fn namespaced_names_kept() {
+        let root = parse_xml("<tei:TEI xmlns:tei=\"http://x\"><tei:text/></tei:TEI>").unwrap();
+        assert_eq!(root.name, "tei:TEI");
+        assert!(root.find("tei:text").is_some());
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let root = parse_xml("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(root.children.len(), 1);
+    }
+}

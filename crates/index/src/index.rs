@@ -1,0 +1,361 @@
+//! The multi-field inverted index.
+//!
+//! Each field owns an analyzer and a term dictionary of positional
+//! postings. Documents are addressed internally by dense `u32` ids and
+//! externally by caller-supplied string ids (`pmid:…`).
+
+use create_text::Analyzer;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One posting: a document and the term's occurrences in it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// Internal document id.
+    pub doc: u32,
+    /// Token positions of the term within the field.
+    pub positions: Vec<u32>,
+}
+
+impl Posting {
+    /// Term frequency in the document.
+    pub fn tf(&self) -> u32 {
+        self.positions.len() as u32
+    }
+}
+
+/// A field's configuration.
+pub struct FieldConfig {
+    /// Field name.
+    pub name: String,
+    /// Analyzer used at both index and query time.
+    pub analyzer: Arc<Analyzer>,
+    /// Score multiplier at query time.
+    pub boost: f64,
+}
+
+/// Per-field index data.
+pub(crate) struct FieldIndex {
+    pub(crate) analyzer: Arc<Analyzer>,
+    pub(crate) boost: f64,
+    /// term → postings sorted by doc id.
+    pub(crate) dict: HashMap<String, Vec<Posting>>,
+    /// token count per document (0 when the doc lacks the field).
+    pub(crate) doc_len: Vec<u32>,
+    pub(crate) total_len: u64,
+}
+
+impl FieldIndex {
+    pub(crate) fn avg_len(&self) -> f64 {
+        let docs_with_field = self.doc_len.iter().filter(|&&l| l > 0).count();
+        if docs_with_field == 0 {
+            0.0
+        } else {
+            self.total_len as f64 / docs_with_field as f64
+        }
+    }
+}
+
+/// The inverted index.
+pub struct Index {
+    pub(crate) fields: HashMap<String, FieldIndex>,
+    /// Internal id → external id.
+    external_ids: Vec<String>,
+    /// External id → internal id.
+    id_map: HashMap<String, u32>,
+}
+
+impl std::fmt::Debug for Index {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Index")
+            .field("docs", &self.external_ids.len())
+            .field("fields", &self.fields.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Index {
+    /// Creates an index with the given fields.
+    pub fn new(fields: Vec<FieldConfig>) -> Index {
+        let mut map = HashMap::new();
+        for f in fields {
+            map.insert(
+                f.name.clone(),
+                FieldIndex {
+                    analyzer: f.analyzer,
+                    boost: f.boost,
+                    dict: HashMap::new(),
+                    doc_len: Vec::new(),
+                    total_len: 0,
+                },
+            );
+        }
+        assert!(!map.is_empty(), "index needs at least one field");
+        Index {
+            fields: map,
+            external_ids: Vec::new(),
+            id_map: HashMap::new(),
+        }
+    }
+
+    /// A convenient two-field clinical index: `body` (standard analyzer)
+    /// and `body_ngram` (the paper's 3–25 n-gram analyzer, lower boost).
+    pub fn clinical() -> Index {
+        Index::new(vec![
+            FieldConfig {
+                name: "title".to_string(),
+                analyzer: Arc::new(Analyzer::clinical_standard()),
+                boost: 2.0,
+            },
+            FieldConfig {
+                name: "body".to_string(),
+                analyzer: Arc::new(Analyzer::clinical_standard()),
+                boost: 1.0,
+            },
+            FieldConfig {
+                name: "body_ngram".to_string(),
+                analyzer: Arc::new(Analyzer::clinical_ngram()),
+                boost: 0.25,
+            },
+        ])
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.external_ids.len()
+    }
+
+    /// External id of an internal doc id.
+    pub fn external_id(&self, doc: u32) -> Option<&str> {
+        self.external_ids.get(doc as usize).map(String::as_str)
+    }
+
+    /// Internal id for an external id.
+    pub fn internal_id(&self, external: &str) -> Option<u32> {
+        self.id_map.get(external).copied()
+    }
+
+    /// Indexes a document: `(field, text)` pairs. Unknown fields are an
+    /// error; re-adding an existing external id is an error (the CREATe
+    /// pipeline never re-indexes in place). Returns the internal id.
+    pub fn add_document(
+        &mut self,
+        external_id: &str,
+        field_texts: &[(&str, &str)],
+    ) -> Result<u32, IndexError> {
+        if self.id_map.contains_key(external_id) {
+            return Err(IndexError::DuplicateDocument(external_id.to_string()));
+        }
+        for (field, _) in field_texts {
+            if !self.fields.contains_key(*field) {
+                return Err(IndexError::UnknownField((*field).to_string()));
+            }
+        }
+        let doc = self.external_ids.len() as u32;
+        self.external_ids.push(external_id.to_string());
+        self.id_map.insert(external_id.to_string(), doc);
+        // Every field gets a length slot for this doc.
+        for fi in self.fields.values_mut() {
+            fi.doc_len.push(0);
+        }
+        for (field, text) in field_texts {
+            let fi = self.fields.get_mut(*field).expect("checked above");
+            let tokens = fi.analyzer.analyze(text);
+            fi.doc_len[doc as usize] = tokens.len() as u32;
+            fi.total_len += tokens.len() as u64;
+            for token in tokens {
+                // Tokenizer-assigned positions survive filtering, so a
+                // dropped stopword still advances the position counter —
+                // phrase queries then respect the original word distance
+                // (Lucene's position-increment behaviour).
+                let pos = token.position as u32;
+                let postings = fi.dict.entry(token.text).or_default();
+                match postings.last_mut() {
+                    Some(last) if last.doc == doc => last.positions.push(pos),
+                    _ => postings.push(Posting {
+                        doc,
+                        positions: vec![pos],
+                    }),
+                }
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Number of distinct terms in a field.
+    pub fn vocabulary_size(&self, field: &str) -> usize {
+        self.fields.get(field).map(|f| f.dict.len()).unwrap_or(0)
+    }
+
+    /// Document frequency of a term in a field (term must already be
+    /// analyzed/normalized).
+    pub fn doc_freq(&self, field: &str, term: &str) -> usize {
+        self.fields
+            .get(field)
+            .and_then(|f| f.dict.get(term))
+            .map(|p| p.len())
+            .unwrap_or(0)
+    }
+
+    /// Postings accessor (analyzed term).
+    pub fn postings(&self, field: &str, term: &str) -> Option<&[Posting]> {
+        self.fields
+            .get(field)
+            .and_then(|f| f.dict.get(term))
+            .map(Vec::as_slice)
+    }
+
+    /// Approximate memory footprint of the postings (bytes) — used by the
+    /// E8 index-size comparison.
+    pub fn postings_bytes(&self) -> usize {
+        self.fields
+            .values()
+            .map(|f| {
+                f.dict
+                    .iter()
+                    .map(|(term, postings)| {
+                        term.len()
+                            + postings
+                                .iter()
+                                .map(|p| 8 + 4 * p.positions.len())
+                                .sum::<usize>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Terms of a field within a length band — used for fuzzy expansion.
+    pub(crate) fn terms_of_field(&self, field: &str) -> impl Iterator<Item = &String> {
+        self.fields
+            .get(field)
+            .into_iter()
+            .flat_map(|f| f.dict.keys())
+    }
+}
+
+/// Indexing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// Field name not configured.
+    UnknownField(String),
+    /// External id already present.
+    DuplicateDocument(String),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::UnknownField(name) => write!(f, "unknown field {name:?}"),
+            IndexError::DuplicateDocument(id) => write!(f, "duplicate document {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body_index() -> Index {
+        Index::new(vec![FieldConfig {
+            name: "body".to_string(),
+            analyzer: Arc::new(Analyzer::clinical_standard()),
+            boost: 1.0,
+        }])
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut idx = body_index();
+        let d0 = idx
+            .add_document("pmid:1", &[("body", "Fever and cough persisted.")])
+            .unwrap();
+        assert_eq!(d0, 0);
+        assert_eq!(idx.num_docs(), 1);
+        assert_eq!(idx.external_id(0), Some("pmid:1"));
+        assert_eq!(idx.internal_id("pmid:1"), Some(0));
+        // "fever" is stemmed to "fever".
+        assert_eq!(idx.doc_freq("body", "fever"), 1);
+        // Stopword "and" never enters the dictionary.
+        assert_eq!(idx.doc_freq("body", "and"), 0);
+    }
+
+    #[test]
+    fn positions_are_recorded() {
+        let mut idx = body_index();
+        idx.add_document("d", &[("body", "fever then fever again")])
+            .unwrap();
+        let postings = idx.postings("body", "fever").unwrap();
+        assert_eq!(postings[0].tf(), 2);
+        assert_eq!(postings[0].positions, vec![0, 2]);
+    }
+
+    #[test]
+    fn stemming_unifies_inflections() {
+        let mut idx = body_index();
+        idx.add_document("a", &[("body", "admitted to hospital")])
+            .unwrap();
+        idx.add_document("b", &[("body", "admitting physician")])
+            .unwrap();
+        // Both stem to "admit".
+        assert_eq!(idx.doc_freq("body", "admit"), 2);
+    }
+
+    #[test]
+    fn duplicate_document_rejected() {
+        let mut idx = body_index();
+        idx.add_document("x", &[("body", "one")]).unwrap();
+        assert_eq!(
+            idx.add_document("x", &[("body", "two")]),
+            Err(IndexError::DuplicateDocument("x".to_string()))
+        );
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let mut idx = body_index();
+        assert_eq!(
+            idx.add_document("x", &[("nope", "text")]),
+            Err(IndexError::UnknownField("nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn clinical_index_has_ngram_field() {
+        let mut idx = Index::clinical();
+        idx.add_document(
+            "d",
+            &[
+                ("title", "Amiodarone-induced toxicity"),
+                ("body", "The patient received amiodarone."),
+                ("body_ngram", "The patient received amiodarone."),
+            ],
+        )
+        .unwrap();
+        // Partial-string gram lookup hits.
+        assert_eq!(idx.doc_freq("body_ngram", "amioda"), 1);
+        assert_eq!(idx.doc_freq("body_ngram", "darone"), 1);
+    }
+
+    #[test]
+    fn postings_bytes_grows_with_content() {
+        let mut idx = body_index();
+        let before = idx.postings_bytes();
+        idx.add_document("d", &[("body", "troponin elevation observed")])
+            .unwrap();
+        assert!(idx.postings_bytes() > before);
+    }
+
+    #[test]
+    fn avg_len_ignores_docs_without_field() {
+        let mut idx = Index::clinical();
+        idx.add_document("a", &[("body", "one two three four")])
+            .unwrap();
+        idx.add_document("b", &[("title", "only a title")]).unwrap();
+        let body = idx.fields.get("body").unwrap();
+        assert!(body.avg_len() > 0.0);
+        assert_eq!(body.doc_len[1], 0);
+    }
+}

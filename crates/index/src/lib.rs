@@ -1,0 +1,22 @@
+//! Full-text search substrate (the reproduction's ElasticSearch, and — via
+//! plain keyword BM25 — the Solr baseline the paper compares against).
+//!
+//! Section III-D: ElasticSearch handles keyword search with a customized
+//! analyzer (asciifolding/lowercase/snowball/stop/stemmer filters and an
+//! N-gram tokenizer with min_gram=3, max_gram=25). This crate implements
+//! the engine from scratch:
+//!
+//! * [`index`] — multi-field inverted index with positional postings,
+//!   built over `create-text` analyzers;
+//! * [`query`] — term, phrase, fuzzy, and boolean queries plus a
+//!   query-string convenience;
+//! * [`score`] — BM25 (default, k1=1.2, b=0.75) and TF-IDF scoring with
+//!   top-k heap retrieval.
+
+pub mod index;
+pub mod query;
+pub mod score;
+
+pub use index::{FieldConfig, Index};
+pub use query::QueryNode;
+pub use score::{ScoredDoc, Scorer};

@@ -1,0 +1,170 @@
+//! Query model: term, phrase, fuzzy, and boolean composition.
+
+use crate::index::Index;
+use create_text::distance::levenshtein_bounded;
+
+/// A query tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryNode {
+    /// Single analyzed term in a field.
+    Term {
+        /// Field name.
+        field: String,
+        /// Analyzed term text.
+        term: String,
+    },
+    /// Exact phrase (consecutive positions) in a field.
+    Phrase {
+        /// Field name.
+        field: String,
+        /// Analyzed terms, in order.
+        terms: Vec<String>,
+    },
+    /// Term with edit-distance tolerance; expanded against the dictionary.
+    Fuzzy {
+        /// Field name.
+        field: String,
+        /// Analyzed term text.
+        term: String,
+        /// Maximum edit distance (1 or 2).
+        max_edits: usize,
+    },
+    /// Boolean combination.
+    Bool {
+        /// All must match (AND).
+        must: Vec<QueryNode>,
+        /// At least one should match and contributes score (OR).
+        should: Vec<QueryNode>,
+        /// None may match.
+        must_not: Vec<QueryNode>,
+    },
+}
+
+impl QueryNode {
+    /// Term convenience.
+    pub fn term(field: &str, term: &str) -> QueryNode {
+        QueryNode::Term {
+            field: field.to_string(),
+            term: term.to_string(),
+        }
+    }
+
+    /// Phrase convenience.
+    pub fn phrase(field: &str, terms: &[&str]) -> QueryNode {
+        QueryNode::Phrase {
+            field: field.to_string(),
+            terms: terms.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Fuzzy convenience.
+    pub fn fuzzy(field: &str, term: &str, max_edits: usize) -> QueryNode {
+        QueryNode::Fuzzy {
+            field: field.to_string(),
+            term: term.to_string(),
+            max_edits,
+        }
+    }
+
+    /// Builds the default keyword query for raw user text against a field:
+    /// the field's analyzer splits the text and the resulting terms are
+    /// OR-combined — exactly what Solr's default handler does.
+    pub fn query_string(index: &Index, field: &str, text: &str) -> QueryNode {
+        let terms = index
+            .fields
+            .get(field)
+            .map(|f| f.analyzer.terms(text))
+            .unwrap_or_default();
+        QueryNode::Bool {
+            must: Vec::new(),
+            should: terms
+                .into_iter()
+                .map(|t| QueryNode::Term {
+                    field: field.to_string(),
+                    term: t,
+                })
+                .collect(),
+            must_not: Vec::new(),
+        }
+    }
+
+    /// Expands fuzzy nodes against the index dictionary, returning the
+    /// matching `(term, distance)` pairs.
+    pub fn expand_fuzzy<'a>(
+        index: &'a Index,
+        field: &str,
+        term: &str,
+        max_edits: usize,
+    ) -> Vec<(&'a String, usize)> {
+        index
+            .terms_of_field(field)
+            .filter_map(|t| levenshtein_bounded(term, t, max_edits).map(|d| (t, d)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{FieldConfig, Index};
+    use create_text::Analyzer;
+    use std::sync::Arc;
+
+    fn index() -> Index {
+        let mut idx = Index::new(vec![FieldConfig {
+            name: "body".to_string(),
+            analyzer: Arc::new(Analyzer::clinical_standard()),
+            boost: 1.0,
+        }]);
+        idx.add_document("a", &[("body", "fever and amiodarone toxicity")])
+            .unwrap();
+        idx.add_document("b", &[("body", "cough only")]).unwrap();
+        idx
+    }
+
+    #[test]
+    fn query_string_analyzes_and_ors() {
+        let idx = index();
+        let q = QueryNode::query_string(&idx, "body", "The Fevers");
+        let QueryNode::Bool { should, .. } = q else {
+            panic!()
+        };
+        // "the" is a stopword; "Fevers" normalizes to "fever".
+        assert_eq!(should.len(), 1);
+        assert_eq!(should[0], QueryNode::term("body", "fever"));
+    }
+
+    #[test]
+    fn fuzzy_expansion_finds_neighbors() {
+        let idx = index();
+        let hits = QueryNode::expand_fuzzy(&idx, "body", "amiodaron", 1);
+        assert!(hits
+            .iter()
+            .any(|(t, d)| t.as_str() == "amiodaron" || *d <= 1));
+        assert!(hits
+            .iter()
+            .any(|(t, _)| t.as_str().starts_with("amiodaron")));
+    }
+
+    #[test]
+    fn fuzzy_expansion_respects_bound() {
+        let idx = index();
+        let hits = QueryNode::expand_fuzzy(&idx, "body", "zzzzzz", 1);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn conveniences_build_expected_shapes() {
+        assert_eq!(
+            QueryNode::phrase("body", &["chest", "pain"]),
+            QueryNode::Phrase {
+                field: "body".into(),
+                terms: vec!["chest".into(), "pain".into()]
+            }
+        );
+        assert!(matches!(
+            QueryNode::fuzzy("body", "x", 2),
+            QueryNode::Fuzzy { max_edits: 2, .. }
+        ));
+    }
+}

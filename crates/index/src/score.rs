@@ -1,0 +1,441 @@
+//! Scoring and top-k retrieval.
+//!
+//! BM25 with the Lucene-standard parameters (`k1 = 1.2`, `b = 0.75`) is the
+//! default; TF-IDF is provided for the ranking ablation (E4 extension).
+//! Query execution walks the query tree, accumulating per-document scores
+//! into a map, then selects the top-k with a heap.
+
+use crate::index::Index;
+use crate::query::QueryNode;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Ranking function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scorer {
+    /// Okapi BM25.
+    Bm25 {
+        /// Term-frequency saturation.
+        k1: f64,
+        /// Length normalization.
+        b: f64,
+    },
+    /// Classic lnc-style TF-IDF.
+    TfIdf,
+}
+
+impl Default for Scorer {
+    fn default() -> Self {
+        Scorer::Bm25 { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// One ranked hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredDoc {
+    /// Internal doc id.
+    pub doc: u32,
+    /// External id.
+    pub external_id: String,
+    /// Relevance score.
+    pub score: f64,
+}
+
+impl Index {
+    /// Runs a query and returns the top-`k` hits, highest score first.
+    /// Ties break on internal doc id for determinism.
+    pub fn search(&self, query: &QueryNode, k: usize, scorer: Scorer) -> Vec<ScoredDoc> {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        let mut exclusions: HashSet<u32> = HashSet::new();
+        self.score_node(query, scorer, &mut scores, &mut exclusions, true);
+        for doc in exclusions {
+            scores.remove(&doc);
+        }
+        // Top-k selection with a max-heap over (score, -doc).
+        #[derive(PartialEq)]
+        struct Entry(f64, u32);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0
+                    .partial_cmp(&other.0)
+                    .expect("scores are finite")
+                    .then(other.1.cmp(&self.1))
+            }
+        }
+        let mut heap: BinaryHeap<Entry> = scores
+            .into_iter()
+            .filter(|(_, s)| *s > 0.0)
+            .map(|(d, s)| Entry(s, d))
+            .collect();
+        let mut out = Vec::with_capacity(k.min(heap.len()));
+        while out.len() < k {
+            let Some(Entry(score, doc)) = heap.pop() else {
+                break;
+            };
+            out.push(ScoredDoc {
+                doc,
+                external_id: self
+                    .external_id(doc)
+                    .expect("scored doc exists")
+                    .to_string(),
+                score,
+            });
+        }
+        out
+    }
+
+    /// Scores a node into `scores`. `positive` is false under `must_not`.
+    fn score_node(
+        &self,
+        node: &QueryNode,
+        scorer: Scorer,
+        scores: &mut HashMap<u32, f64>,
+        exclusions: &mut HashSet<u32>,
+        positive: bool,
+    ) {
+        match node {
+            QueryNode::Term { field, term } => {
+                for (doc, score) in self.term_scores(field, term, scorer) {
+                    if positive {
+                        *scores.entry(doc).or_insert(0.0) += score;
+                    } else {
+                        exclusions.insert(doc);
+                    }
+                }
+            }
+            QueryNode::Fuzzy {
+                field,
+                term,
+                max_edits,
+            } => {
+                let expansions: Vec<(String, usize)> =
+                    QueryNode::expand_fuzzy(self, field, term, *max_edits)
+                        .into_iter()
+                        .map(|(t, d)| (t.clone(), d))
+                        .collect();
+                for (expanded, dist) in expansions {
+                    // Damp matches by edit distance, like Lucene's fuzzy
+                    // similarity boost.
+                    let damp = 1.0 / (1.0 + dist as f64);
+                    for (doc, score) in self.term_scores(field, &expanded, scorer) {
+                        if positive {
+                            *scores.entry(doc).or_insert(0.0) += score * damp;
+                        } else {
+                            exclusions.insert(doc);
+                        }
+                    }
+                }
+            }
+            QueryNode::Phrase { field, terms } => {
+                for (doc, score) in self.phrase_scores(field, terms, scorer) {
+                    if positive {
+                        *scores.entry(doc).or_insert(0.0) += score;
+                    } else {
+                        exclusions.insert(doc);
+                    }
+                }
+            }
+            QueryNode::Bool {
+                must,
+                should,
+                must_not,
+            } => {
+                if !positive {
+                    // Under must_not, every matching doc is excluded.
+                    for sub in must.iter().chain(should) {
+                        self.score_node(sub, scorer, scores, exclusions, false);
+                    }
+                    return;
+                }
+                // must: docs must match every clause — intersect.
+                if !must.is_empty() {
+                    let mut per_clause: Vec<HashMap<u32, f64>> = Vec::new();
+                    for sub in must {
+                        let mut sub_scores = HashMap::new();
+                        let mut sub_excl = HashSet::new();
+                        self.score_node(sub, scorer, &mut sub_scores, &mut sub_excl, true);
+                        for d in sub_excl {
+                            sub_scores.remove(&d);
+                        }
+                        per_clause.push(sub_scores);
+                    }
+                    if let Some((first, rest)) = per_clause.split_first() {
+                        for (doc, base) in first {
+                            let mut total = *base;
+                            let everywhere = rest
+                                .iter()
+                                .all(|m| m.get(doc).map(|s| total += s).is_some());
+                            if everywhere {
+                                *scores.entry(*doc).or_insert(0.0) += total;
+                            }
+                        }
+                    }
+                }
+                for sub in should {
+                    self.score_node(sub, scorer, scores, exclusions, true);
+                }
+                for sub in must_not {
+                    self.score_node(sub, scorer, scores, exclusions, false);
+                }
+            }
+        }
+    }
+
+    fn idf(&self, field: &str, term: &str) -> f64 {
+        let n = self.num_docs() as f64;
+        let df = self.doc_freq(field, term) as f64;
+        if df == 0.0 {
+            return 0.0;
+        }
+        // BM25+ style idf, floored at a small positive value.
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    fn term_scores(&self, field: &str, term: &str, scorer: Scorer) -> Vec<(u32, f64)> {
+        let Some(fi) = self.fields.get(field) else {
+            return Vec::new();
+        };
+        let Some(postings) = fi.dict.get(term) else {
+            return Vec::new();
+        };
+        let idf = self.idf(field, term);
+        let avg_len = fi.avg_len().max(1.0);
+        postings
+            .iter()
+            .map(|p| {
+                let tf = p.tf() as f64;
+                let len = fi.doc_len[p.doc as usize] as f64;
+                let score = match scorer {
+                    Scorer::Bm25 { k1, b } => {
+                        idf * (tf * (k1 + 1.0)) / (tf + k1 * (1.0 - b + b * len / avg_len))
+                    }
+                    Scorer::TfIdf => (1.0 + tf.ln()) * idf / len.max(1.0).sqrt(),
+                };
+                (p.doc, score * fi.boost)
+            })
+            .collect()
+    }
+
+    fn phrase_scores(&self, field: &str, terms: &[String], scorer: Scorer) -> Vec<(u32, f64)> {
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        if terms.len() == 1 {
+            return self.term_scores(field, &terms[0], scorer);
+        }
+        let Some(fi) = self.fields.get(field) else {
+            return Vec::new();
+        };
+        let mut postings_lists = Vec::with_capacity(terms.len());
+        for t in terms {
+            match fi.dict.get(t) {
+                Some(p) => postings_lists.push(p),
+                None => return Vec::new(),
+            }
+        }
+        // Intersect docs; check consecutive positions.
+        let mut out = Vec::new();
+        let first = postings_lists[0];
+        for posting in first {
+            let doc = posting.doc;
+            let mut doc_postings = Vec::with_capacity(terms.len());
+            doc_postings.push(posting);
+            let mut all = true;
+            for list in &postings_lists[1..] {
+                match list.iter().find(|p| p.doc == doc) {
+                    Some(p) => doc_postings.push(p),
+                    None => {
+                        all = false;
+                        break;
+                    }
+                }
+            }
+            if !all {
+                continue;
+            }
+            let matches = doc_postings[0]
+                .positions
+                .iter()
+                .filter(|&&start| {
+                    doc_postings[1..]
+                        .iter()
+                        .enumerate()
+                        .all(|(offset, p)| p.positions.contains(&(start + offset as u32 + 1)))
+                })
+                .count();
+            if matches > 0 {
+                // Score the phrase as the sum of member-term scores plus a
+                // per-occurrence proximity bonus.
+                let mut score = 0.0;
+                for t in terms {
+                    score += self
+                        .term_scores(field, t, scorer)
+                        .into_iter()
+                        .find(|(d, _)| *d == doc)
+                        .map(|(_, s)| s)
+                        .unwrap_or(0.0);
+                }
+                out.push((doc, score * (1.0 + 0.5 * matches as f64)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{FieldConfig, Index};
+    use create_text::Analyzer;
+    use std::sync::Arc;
+
+    fn index() -> Index {
+        let mut idx = Index::new(vec![FieldConfig {
+            name: "body".to_string(),
+            analyzer: Arc::new(Analyzer::clinical_standard()),
+            boost: 1.0,
+        }]);
+        idx.add_document("d1", &[("body", "fever cough fever chest pain")])
+            .unwrap();
+        idx.add_document("d2", &[("body", "fever only briefly mentioned")])
+            .unwrap();
+        idx.add_document("d3", &[("body", "entirely unrelated cardiac procedure")])
+            .unwrap();
+        idx.add_document("d4", &[("body", "pain chest discomfort persistent")])
+            .unwrap();
+        idx
+    }
+
+    #[test]
+    fn term_search_ranks_by_tf() {
+        let idx = index();
+        let hits = idx.search(&QueryNode::term("body", "fever"), 10, Scorer::default());
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].external_id, "d1", "doc with tf=2 ranks first");
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn missing_term_returns_empty() {
+        let idx = index();
+        assert!(idx
+            .search(&QueryNode::term("body", "zzz"), 10, Scorer::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn phrase_requires_adjacency() {
+        let idx = index();
+        let hits = idx.search(
+            &QueryNode::phrase("body", &["chest", "pain"]),
+            10,
+            Scorer::default(),
+        );
+        // d1 has "chest pain" consecutively; d4 has "pain chest" (reversed).
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].external_id, "d1");
+    }
+
+    #[test]
+    fn bool_must_intersects() {
+        let idx = index();
+        let q = QueryNode::Bool {
+            must: vec![
+                QueryNode::term("body", "fever"),
+                QueryNode::term("body", "cough"),
+            ],
+            should: vec![],
+            must_not: vec![],
+        };
+        let hits = idx.search(&q, 10, Scorer::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].external_id, "d1");
+    }
+
+    #[test]
+    fn bool_should_unions() {
+        let idx = index();
+        let q = QueryNode::Bool {
+            must: vec![],
+            should: vec![
+                QueryNode::term("body", "fever"),
+                QueryNode::term("body", "cardiac"),
+            ],
+            must_not: vec![],
+        };
+        let hits = idx.search(&q, 10, Scorer::default());
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn must_not_excludes() {
+        let idx = index();
+        let q = QueryNode::Bool {
+            must: vec![],
+            should: vec![QueryNode::term("body", "fever")],
+            must_not: vec![QueryNode::term("body", "cough")],
+        };
+        let hits = idx.search(&q, 10, Scorer::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].external_id, "d2");
+    }
+
+    #[test]
+    fn fuzzy_matches_typos() {
+        let idx = index();
+        let hits = idx.search(&QueryNode::fuzzy("body", "fevr", 1), 10, Scorer::default());
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].external_id, "d1");
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let idx = index();
+        let q = QueryNode::query_string(&idx, "body", "fever cough chest pain cardiac");
+        let hits = idx.search(&q, 2, Scorer::default());
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn tfidf_scorer_works() {
+        let idx = index();
+        let hits = idx.search(&QueryNode::term("body", "fever"), 10, Scorer::TfIdf);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].external_id, "d1");
+    }
+
+    #[test]
+    fn determinism_on_ties() {
+        let mut idx = Index::new(vec![FieldConfig {
+            name: "body".to_string(),
+            analyzer: Arc::new(Analyzer::clinical_standard()),
+            boost: 1.0,
+        }]);
+        idx.add_document("a", &[("body", "fever")]).unwrap();
+        idx.add_document("b", &[("body", "fever")]).unwrap();
+        let hits = idx.search(&QueryNode::term("body", "fever"), 10, Scorer::default());
+        assert_eq!(hits[0].external_id, "a", "ties break by doc id");
+    }
+
+    #[test]
+    fn idf_prefers_rare_terms() {
+        let idx = index();
+        let q = QueryNode::Bool {
+            must: vec![],
+            should: vec![
+                QueryNode::term("body", "fever"),   // df=2
+                QueryNode::term("body", "cardiac"), // df=1
+            ],
+            must_not: vec![],
+        };
+        let hits = idx.search(&q, 10, Scorer::default());
+        let d3 = hits.iter().find(|h| h.external_id == "d3").unwrap();
+        let d2 = hits.iter().find(|h| h.external_id == "d2").unwrap();
+        assert!(d3.score > d2.score, "rare term should outweigh common term");
+    }
+}

@@ -1,0 +1,247 @@
+//! Character n-gram language models — the "C-FLAIR" stand-in.
+//!
+//! The paper pre-trains C-FLAIR, a contextualized character-level language
+//! model, for a week on a V100 to provide "rich token embeddings for
+//! knowledge extraction". The reproduction keeps the architecture's *role*
+//! — a forward LM and a backward LM over characters whose states summarize
+//! left and right context — at laptop scale: order-`k` count-based n-gram
+//! models with Witten–Bell-style interpolation. [`crate::embed`] turns
+//! their surprisal profiles plus hashed character n-grams into token
+//! embeddings.
+
+use std::collections::HashMap;
+
+/// A count-based character n-gram LM of a fixed order, with backoff
+/// interpolation down to the unigram level.
+#[derive(Debug, Clone)]
+pub struct CharLm {
+    order: usize,
+    /// For each context length `0..order`, maps context string → (char →
+    /// count, total).
+    tables: Vec<HashMap<String, CharDist>>,
+    vocab_size: usize,
+    reversed: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CharDist {
+    counts: HashMap<char, u64>,
+    total: u64,
+}
+
+impl CharLm {
+    /// Creates an untrained forward LM with contexts of up to `order - 1`
+    /// characters (order ≥ 1).
+    pub fn new(order: usize) -> CharLm {
+        assert!(order >= 1, "order must be at least 1");
+        CharLm {
+            order,
+            tables: vec![HashMap::new(); order],
+            vocab_size: 0,
+            reversed: false,
+        }
+    }
+
+    /// Creates a backward LM: text is reversed before counting and scoring,
+    /// so it models right-to-left context.
+    pub fn new_backward(order: usize) -> CharLm {
+        let mut lm = CharLm::new(order);
+        lm.reversed = true;
+        lm
+    }
+
+    /// Model order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Trains incrementally on one text.
+    pub fn train(&mut self, text: &str) {
+        let chars: Vec<char> = if self.reversed {
+            text.chars().rev().collect()
+        } else {
+            text.chars().collect()
+        };
+        let mut seen: std::collections::HashSet<char> = self.tables[0]
+            .get("")
+            .map(|d| d.counts.keys().copied().collect())
+            .unwrap_or_default();
+        for i in 0..chars.len() {
+            let c = chars[i];
+            seen.insert(c);
+            for ctx_len in 0..self.order {
+                if i < ctx_len {
+                    continue;
+                }
+                let ctx: String = chars[i - ctx_len..i].iter().collect();
+                let dist = self.tables[ctx_len].entry(ctx).or_default();
+                *dist.counts.entry(c).or_insert(0) += 1;
+                dist.total += 1;
+            }
+        }
+        self.vocab_size = seen.len().max(self.vocab_size);
+    }
+
+    /// Interpolated probability `p(c | context)`. The context is the
+    /// *preceding* characters in model direction; longer contexts are
+    /// truncated to the model order.
+    pub fn prob(&self, context: &str, c: char) -> f64 {
+        let v = self.vocab_size.max(1) as f64;
+        let ctx_chars: Vec<char> = if self.reversed {
+            context.chars().rev().collect()
+        } else {
+            context.chars().collect()
+        };
+        // Uniform base.
+        let mut p = 1.0 / (v + 1.0);
+        // Interpolate from short to long contexts (Witten–Bell style:
+        // lambda = total / (total + distinct)).
+        for ctx_len in 0..self.order {
+            if ctx_chars.len() < ctx_len {
+                break;
+            }
+            let start = ctx_chars.len() - ctx_len;
+            let ctx: String = ctx_chars[start..].iter().collect();
+            if let Some(dist) = self.tables[ctx_len].get(&ctx) {
+                let distinct = dist.counts.len() as f64;
+                let total = dist.total as f64;
+                let lambda = total / (total + distinct.max(1.0));
+                let count = dist.counts.get(&c).copied().unwrap_or(0) as f64;
+                let ml = count / total;
+                p = lambda * ml + (1.0 - lambda) * p;
+            }
+        }
+        p.max(1e-12)
+    }
+
+    /// Negative log2 probability of `c` given `context`.
+    pub fn surprisal(&self, context: &str, c: char) -> f64 {
+        -self.prob(context, c).log2()
+    }
+
+    /// Mean per-character surprisal (bits) of `text`, scoring each char
+    /// against its in-text context. For backward models the text is scored
+    /// right-to-left.
+    pub fn mean_surprisal(&self, text: &str) -> f64 {
+        let chars: Vec<char> = if self.reversed {
+            text.chars().rev().collect()
+        } else {
+            text.chars().collect()
+        };
+        if chars.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for i in 0..chars.len() {
+            let start = i.saturating_sub(self.order - 1);
+            let ctx: String = chars[start..i].iter().collect();
+            // self.prob re-reverses for backward models, so hand it the
+            // context in reading order.
+            let ctx = if self.reversed {
+                ctx.chars().rev().collect()
+            } else {
+                ctx
+            };
+            total += self.surprisal(&ctx, chars[i]);
+        }
+        total / chars.len() as f64
+    }
+
+    /// Perplexity of `text` under the model.
+    pub fn perplexity(&self, text: &str) -> f64 {
+        2f64.powf(self.mean_surprisal(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: &str = "the patient presented with fever and cough. \
+        the patient was admitted to the hospital. fever resolved after treatment. \
+        the cough persisted for three days. the patient recovered fully.";
+
+    #[test]
+    fn probabilities_sum_to_at_most_one() {
+        let mut lm = CharLm::new(3);
+        lm.train(CORPUS);
+        // Over the observed vocabulary, conditional probabilities should be
+        // close to (and never exceed) a proper distribution.
+        let vocab: std::collections::HashSet<char> = CORPUS.chars().collect();
+        let total: f64 = vocab.iter().map(|&c| lm.prob("th", c)).sum();
+        assert!(total <= 1.0 + 1e-9, "sums to {total}");
+        assert!(total > 0.8, "sums to only {total}");
+    }
+
+    #[test]
+    fn trained_model_prefers_seen_continuations() {
+        let mut lm = CharLm::new(3);
+        lm.train(CORPUS);
+        // After "th", 'e' is much more likely than 'q'.
+        assert!(lm.prob("th", 'e') > 10.0 * lm.prob("th", 'q'));
+    }
+
+    #[test]
+    fn surprisal_is_lower_for_in_domain_text() {
+        let mut lm = CharLm::new(4);
+        lm.train(CORPUS);
+        let med = lm.mean_surprisal("the patient had fever");
+        let junk = lm.mean_surprisal("zxqj vvkw qqqq");
+        assert!(
+            med < junk,
+            "in-domain {med} should be less surprising than junk {junk}"
+        );
+    }
+
+    #[test]
+    fn backward_model_uses_right_context() {
+        let mut fwd = CharLm::new(3);
+        let mut bwd = CharLm::new_backward(3);
+        fwd.train(CORPUS);
+        bwd.train(CORPUS);
+        // The models should behave sensibly and differently.
+        let f = fwd.mean_surprisal("fever");
+        let b = bwd.mean_surprisal("fever");
+        assert!(f > 0.0 && b > 0.0);
+        assert!((f - b).abs() > 1e-6, "fwd and bwd should differ");
+    }
+
+    #[test]
+    fn perplexity_decreases_with_more_training() {
+        let mut lm = CharLm::new(4);
+        lm.train(CORPUS);
+        let before = lm.perplexity("the patient was admitted");
+        for _ in 0..5 {
+            lm.train(CORPUS);
+        }
+        let after = lm.perplexity("the patient was admitted");
+        assert!(after <= before + 1e-9);
+    }
+
+    #[test]
+    fn untrained_model_is_uniformish() {
+        let lm = CharLm::new(3);
+        let p = lm.prob("ab", 'c');
+        assert!(p > 0.0 && p <= 1.0);
+    }
+
+    #[test]
+    fn empty_text_has_zero_surprisal() {
+        let mut lm = CharLm::new(3);
+        lm.train(CORPUS);
+        assert_eq!(lm.mean_surprisal(""), 0.0);
+    }
+
+    #[test]
+    fn higher_order_fits_training_data_better() {
+        let mut lm2 = CharLm::new(2);
+        let mut lm5 = CharLm::new(5);
+        lm2.train(CORPUS);
+        lm5.train(CORPUS);
+        let sample = "the patient presented with fever";
+        assert!(
+            lm5.mean_surprisal(sample) < lm2.mean_surprisal(sample),
+            "higher order should fit better"
+        );
+    }
+}

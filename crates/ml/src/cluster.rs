@@ -1,0 +1,186 @@
+//! K-means clustering over token embeddings.
+//!
+//! The CRF consumes discrete features, so dense C-FLAIR-style embeddings
+//! are injected as cluster-id features (the classic Brown-cluster recipe:
+//! cluster the vocabulary offline, then use `cluster(w)` as a feature).
+//! K-means++ seeding keeps it deterministic given the seed.
+
+use create_util::Rng;
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids, `k × dim`.
+    centroids: Vec<Vec<f64>>,
+}
+
+impl KMeans {
+    /// Fits k-means with k-means++ initialization. `points` must be
+    /// non-empty and rectangular; `k` is clamped to the number of points.
+    pub fn fit(points: &[Vec<f64>], k: usize, iters: usize, seed: u64) -> KMeans {
+        assert!(!points.is_empty(), "k-means needs data");
+        let dim = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+        let k = k.clamp(1, points.len());
+        let mut rng = Rng::seed_from_u64(seed);
+
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(points[rng.below(points.len())].clone());
+        let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+        while centroids.len() < k {
+            let total: f64 = dists.iter().sum();
+            let next = if total <= 0.0 {
+                rng.below(points.len())
+            } else {
+                rng.choose_weighted(&dists)
+            };
+            centroids.push(points[next].clone());
+            for (i, p) in points.iter().enumerate() {
+                let d = sq_dist(p, centroids.last().expect("just pushed"));
+                if d < dists[i] {
+                    dists[i] = d;
+                }
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assign = vec![0usize; points.len()];
+        for _ in 0..iters {
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let best = nearest(p, &centroids).0;
+                if assign[i] != best {
+                    assign[i] = best;
+                    changed = true;
+                }
+            }
+            let mut sums = vec![vec![0.0; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, p) in points.iter().enumerate() {
+                counts[assign[i]] += 1;
+                for (s, x) in sums[assign[i]].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count > 0 {
+                    for (ci, si) in c.iter_mut().zip(sum) {
+                        *ci = si / *count as f64;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        KMeans { centroids }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Assigns a point to its nearest centroid.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        nearest(point, &self.centroids).0
+    }
+
+    /// Distance to the assigned centroid.
+    pub fn distance(&self, point: &[f64]) -> f64 {
+        nearest(point, &self.centroids).1.sqrt()
+    }
+
+    /// Total within-cluster sum of squares for a dataset.
+    pub fn inertia(&self, points: &[Vec<f64>]) -> f64 {
+        points.iter().map(|p| nearest(p, &self.centroids).1).sum()
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(p, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut pts = Vec::new();
+        for &(cx, cy) in &[(0.0, 0.0), (10.0, 10.0), (0.0, 10.0)] {
+            for _ in 0..30 {
+                pts.push(vec![cx + rng.normal() * 0.5, cy + rng.normal() * 0.5]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let pts = blobs();
+        let km = KMeans::fit(&pts, 3, 50, 42);
+        // All points in each blob share a cluster id.
+        for blob in 0..3 {
+            let ids: std::collections::HashSet<usize> =
+                (0..30).map(|i| km.assign(&pts[blob * 30 + i])).collect();
+            assert_eq!(ids.len(), 1, "blob {blob} split across clusters");
+        }
+        // And the three blobs get three different ids.
+        let ids: std::collections::HashSet<usize> =
+            [0, 30, 60].iter().map(|&i| km.assign(&pts[i])).collect();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let km = KMeans::fit(&pts, 10, 10, 0);
+        assert!(km.k() <= 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs();
+        let a = KMeans::fit(&pts, 3, 25, 7);
+        let b = KMeans::fit(&pts, 3, 25, 7);
+        for p in &pts {
+            assert_eq!(a.assign(p), b.assign(p));
+        }
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let pts = blobs();
+        let km1 = KMeans::fit(&pts, 1, 25, 3);
+        let km3 = KMeans::fit(&pts, 3, 25, 3);
+        assert!(km3.inertia(&pts) < km1.inertia(&pts));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_input_panics() {
+        let _ = KMeans::fit(&[], 3, 10, 0);
+    }
+
+    #[test]
+    fn distance_is_zero_at_centroid() {
+        let pts = vec![vec![1.0, 1.0]];
+        let km = KMeans::fit(&pts, 1, 5, 0);
+        assert!(km.distance(&[1.0, 1.0]) < 1e-12);
+    }
+}

@@ -1,0 +1,503 @@
+//! Linear-chain conditional random field.
+//!
+//! The sequence labeler behind the named entity recognizer (Section III-C).
+//! Emission scores come from hashed sparse features per position; transition
+//! scores are a dense `L × L` matrix plus start/end potentials. Training
+//! minimizes the exact negative conditional log-likelihood by SGD: the
+//! gradient is `E_model[features] - E_gold[features]`, with model
+//! expectations computed by the log-space forward–backward algorithm.
+//! Decoding is Viterbi.
+
+use crate::features::SparseVec;
+use create_util::Rng;
+
+/// A labeled training sequence: per-position feature vectors and gold
+/// label ids in `0..num_labels`.
+#[derive(Debug, Clone)]
+pub struct CrfExample {
+    /// Feature vector for each position.
+    pub features: Vec<SparseVec>,
+    /// Gold label id for each position.
+    pub labels: Vec<usize>,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct CrfTrainConfig {
+    /// Passes over the training data.
+    pub epochs: usize,
+    /// Base learning rate (decayed 1/(1+decay*t)).
+    pub learning_rate: f64,
+    /// Learning-rate decay factor per example.
+    pub decay: f64,
+    /// L2 strength applied lazily per update.
+    pub l2: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for CrfTrainConfig {
+    fn default() -> Self {
+        CrfTrainConfig {
+            epochs: 8,
+            learning_rate: 0.1,
+            decay: 1e-4,
+            l2: 1e-7,
+            seed: 7,
+        }
+    }
+}
+
+/// A linear-chain CRF model.
+#[derive(Debug, Clone)]
+pub struct Crf {
+    num_labels: usize,
+    dim: usize,
+    /// Emission weights, `w[feature * L + label]`.
+    emit: Vec<f64>,
+    /// Transition weights, `t[prev * L + next]`.
+    trans: Vec<f64>,
+    /// Start potentials per label.
+    start: Vec<f64>,
+    /// End potentials per label.
+    end: Vec<f64>,
+}
+
+impl Crf {
+    /// Creates a zero-initialized CRF over a hashed emission feature space
+    /// of `dim` dimensions and `num_labels` labels.
+    pub fn new(dim: usize, num_labels: usize) -> Crf {
+        assert!(num_labels >= 2);
+        assert!(dim > 0);
+        Crf {
+            num_labels,
+            dim,
+            emit: vec![0.0; dim * num_labels],
+            trans: vec![0.0; num_labels * num_labels],
+            start: vec![0.0; num_labels],
+            end: vec![0.0; num_labels],
+        }
+    }
+
+    /// Number of labels.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Emission score matrix for a sequence: `scores[pos][label]`.
+    fn emissions(&self, seq: &[SparseVec]) -> Vec<Vec<f64>> {
+        seq.iter()
+            .map(|x| {
+                let mut row = vec![0.0; self.num_labels];
+                for &(i, v) in x.entries() {
+                    let base = (i as usize % self.dim) * self.num_labels;
+                    for (l, r) in row.iter_mut().enumerate() {
+                        *r += self.emit[base + l] * v;
+                    }
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Viterbi decoding: most probable label sequence.
+    pub fn decode(&self, seq: &[SparseVec]) -> Vec<usize> {
+        let n = seq.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let l = self.num_labels;
+        let emissions = self.emissions(seq);
+        let mut delta = vec![f64::NEG_INFINITY; n * l];
+        let mut back = vec![0usize; n * l];
+        for y in 0..l {
+            delta[y] = self.start[y] + emissions[0][y];
+        }
+        for t in 1..n {
+            for y in 0..l {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_prev = 0;
+                for prev in 0..l {
+                    let s = delta[(t - 1) * l + prev] + self.trans[prev * l + y];
+                    if s > best {
+                        best = s;
+                        best_prev = prev;
+                    }
+                }
+                delta[t * l + y] = best + emissions[t][y];
+                back[t * l + y] = best_prev;
+            }
+        }
+        let mut best_last = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for y in 0..l {
+            let s = delta[(n - 1) * l + y] + self.end[y];
+            if s > best_score {
+                best_score = s;
+                best_last = y;
+            }
+        }
+        let mut path = vec![0usize; n];
+        path[n - 1] = best_last;
+        for t in (1..n).rev() {
+            path[t - 1] = back[t * l + path[t]];
+        }
+        path
+    }
+
+    /// Log-space forward algorithm; returns (alphas, logZ).
+    fn forward(&self, emissions: &[Vec<f64>]) -> (Vec<f64>, f64) {
+        let n = emissions.len();
+        let l = self.num_labels;
+        let mut alpha = vec![f64::NEG_INFINITY; n * l];
+        for y in 0..l {
+            alpha[y] = self.start[y] + emissions[0][y];
+        }
+        let mut scratch = vec![0.0; l];
+        for t in 1..n {
+            for y in 0..l {
+                for prev in 0..l {
+                    scratch[prev] = alpha[(t - 1) * l + prev] + self.trans[prev * l + y];
+                }
+                alpha[t * l + y] = log_sum_exp(&scratch) + emissions[t][y];
+            }
+        }
+        let mut final_scores = vec![0.0; l];
+        for y in 0..l {
+            final_scores[y] = alpha[(n - 1) * l + y] + self.end[y];
+        }
+        let log_z = log_sum_exp(&final_scores);
+        (alpha, log_z)
+    }
+
+    /// Log-space backward algorithm.
+    fn backward(&self, emissions: &[Vec<f64>]) -> Vec<f64> {
+        let n = emissions.len();
+        let l = self.num_labels;
+        let mut beta = vec![f64::NEG_INFINITY; n * l];
+        for y in 0..l {
+            beta[(n - 1) * l + y] = self.end[y];
+        }
+        let mut scratch = vec![0.0; l];
+        for t in (0..n - 1).rev() {
+            for y in 0..l {
+                for next in 0..l {
+                    scratch[next] = self.trans[y * l + next]
+                        + emissions[t + 1][next]
+                        + beta[(t + 1) * l + next];
+                }
+                beta[t * l + y] = log_sum_exp(&scratch);
+            }
+        }
+        beta
+    }
+
+    /// Sequence log-likelihood `log p(labels | seq)`.
+    pub fn log_likelihood(&self, example: &CrfExample) -> f64 {
+        assert_eq!(example.features.len(), example.labels.len());
+        if example.features.is_empty() {
+            return 0.0;
+        }
+        let emissions = self.emissions(&example.features);
+        let (_, log_z) = self.forward(&emissions);
+        let mut score = self.start[example.labels[0]] + emissions[0][example.labels[0]];
+        for t in 1..example.labels.len() {
+            score += self.trans[example.labels[t - 1] * self.num_labels + example.labels[t]]
+                + emissions[t][example.labels[t]];
+        }
+        score += self.end[*example.labels.last().expect("non-empty")];
+        score - log_z
+    }
+
+    /// One SGD step on a single example; returns its NLL before the step.
+    fn sgd_step(&mut self, example: &CrfExample, lr: f64, l2: f64) -> f64 {
+        let n = example.features.len();
+        let l = self.num_labels;
+        if n == 0 {
+            return 0.0;
+        }
+        let emissions = self.emissions(&example.features);
+        let (alpha, log_z) = self.forward(&emissions);
+        let beta = self.backward(&emissions);
+
+        // Position marginals p(y_t = y | x).
+        let mut marginal = vec![0.0; n * l];
+        for t in 0..n {
+            for y in 0..l {
+                marginal[t * l + y] = (alpha[t * l + y] + beta[t * l + y] - log_z).exp();
+            }
+        }
+
+        // Emission gradient: (marginal - gold) per feature.
+        for t in 0..n {
+            let gold = example.labels[t];
+            for &(i, v) in example.features[t].entries() {
+                let base = (i as usize % self.dim) * l;
+                for y in 0..l {
+                    let g = (marginal[t * l + y] - f64::from(y == gold)) * v;
+                    let idx = base + y;
+                    self.emit[idx] -= lr * (g + l2 * self.emit[idx]);
+                }
+            }
+        }
+
+        // Transition gradient via edge marginals.
+        for t in 1..n {
+            for prev in 0..l {
+                for next in 0..l {
+                    let log_edge = alpha[(t - 1) * l + prev]
+                        + self.trans[prev * l + next]
+                        + emissions[t][next]
+                        + beta[t * l + next]
+                        - log_z;
+                    let p_edge = log_edge.exp();
+                    let gold =
+                        f64::from(example.labels[t - 1] == prev && example.labels[t] == next);
+                    let idx = prev * l + next;
+                    self.trans[idx] -= lr * ((p_edge - gold) + l2 * self.trans[idx]);
+                }
+            }
+        }
+
+        // Start/end gradients.
+        for y in 0..l {
+            let g_start = marginal[y] - f64::from(example.labels[0] == y);
+            self.start[y] -= lr * (g_start + l2 * self.start[y]);
+            let g_end = marginal[(n - 1) * l + y] - f64::from(example.labels[n - 1] == y);
+            self.end[y] -= lr * (g_end + l2 * self.end[y]);
+        }
+
+        // NLL of the gold path (pre-step, using already-computed pieces).
+        let mut gold_score = self.start_score_of(example, &emissions);
+        gold_score -= log_z;
+        -gold_score
+    }
+
+    fn start_score_of(&self, example: &CrfExample, emissions: &[Vec<f64>]) -> f64 {
+        let l = self.num_labels;
+        let mut score = self.start[example.labels[0]] + emissions[0][example.labels[0]];
+        for t in 1..example.labels.len() {
+            score += self.trans[example.labels[t - 1] * l + example.labels[t]]
+                + emissions[t][example.labels[t]];
+        }
+        score + self.end[*example.labels.last().expect("non-empty")]
+    }
+
+    /// Trains by SGD over the examples; returns the mean NLL per sequence
+    /// of the final epoch.
+    pub fn train(&mut self, examples: &[CrfExample], config: &CrfTrainConfig) -> f64 {
+        assert!(!examples.is_empty());
+        for e in examples {
+            assert_eq!(e.features.len(), e.labels.len(), "ragged example");
+            assert!(
+                e.labels.iter().all(|&y| y < self.num_labels),
+                "label id out of range"
+            );
+        }
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut step = 0usize;
+        let mut last_nll = 0.0;
+        for _ in 0..config.epochs {
+            rng.shuffle(&mut order);
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for &idx in &order {
+                let lr = config.learning_rate / (1.0 + config.decay * step as f64);
+                total += self.sgd_step(&examples[idx], lr, config.l2);
+                count += 1;
+                step += 1;
+            }
+            last_nll = total / count as f64;
+        }
+        last_nll
+    }
+
+    /// Token-level accuracy on a labeled set.
+    pub fn token_accuracy(&self, examples: &[CrfExample]) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for e in examples {
+            let pred = self.decode(&e.features);
+            for (p, g) in pred.iter().zip(&e.labels) {
+                correct += usize::from(p == g);
+                total += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+/// Log-sum-exp of a slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    max + xs.iter().map(|&x| (x - max).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureHasher;
+
+    fn feats(names: &[&str]) -> SparseVec {
+        let mut h = FeatureHasher::new(12);
+        for n in names {
+            h.add(n);
+        }
+        h.finish()
+    }
+
+    /// A toy BIO task: label "fever"/"cough" tokens as 1 (entity), rest 0.
+    fn toy_sequences() -> Vec<CrfExample> {
+        let mut out = Vec::new();
+        let sents: Vec<Vec<(&str, usize)>> = vec![
+            vec![("the", 0), ("patient", 0), ("had", 0), ("fever", 1)],
+            vec![("fever", 1), ("and", 0), ("cough", 1), ("developed", 0)],
+            vec![("she", 0), ("reported", 0), ("cough", 1)],
+            vec![("no", 0), ("fever", 1), ("was", 0), ("noted", 0)],
+            vec![("cough", 1), ("persisted", 0)],
+            vec![("examination", 0), ("was", 0), ("normal", 0)],
+        ];
+        for s in sents {
+            out.push(CrfExample {
+                features: s.iter().map(|(w, _)| feats(&[&format!("w={w}")])).collect(),
+                labels: s.iter().map(|(_, y)| *y).collect(),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable() {
+        assert!((log_sum_exp(&[0.0, 0.0]) - 2.0f64.ln()).abs() < 1e-12);
+        assert!((log_sum_exp(&[1000.0, 1000.0]) - (1000.0 + 2.0f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn untrained_log_likelihood_is_uniform() {
+        let crf = Crf::new(1 << 12, 3);
+        let e = CrfExample {
+            features: vec![feats(&["a"]), feats(&["b"])],
+            labels: vec![0, 1],
+        };
+        // With zero weights every path has equal probability: ll = -2*ln(3).
+        let ll = crf.log_likelihood(&e);
+        assert!((ll + 2.0 * 3.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_reduces_nll_and_learns() {
+        let data = toy_sequences();
+        let mut crf = Crf::new(1 << 12, 2);
+        let before: f64 = data.iter().map(|e| -crf.log_likelihood(e)).sum();
+        let final_nll = crf.train(&data, &CrfTrainConfig::default());
+        let after: f64 = data.iter().map(|e| -crf.log_likelihood(e)).sum();
+        assert!(after < before, "NLL did not decrease: {before} -> {after}");
+        assert!(final_nll < 1.0);
+        assert!(crf.token_accuracy(&data) > 0.9, "accuracy too low");
+    }
+
+    #[test]
+    fn decode_matches_gold_after_training() {
+        let data = toy_sequences();
+        let mut crf = Crf::new(1 << 12, 2);
+        crf.train(
+            &data,
+            &CrfTrainConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
+        let test = CrfExample {
+            features: vec![
+                feats(&["w=patient"]),
+                feats(&["w=had"]),
+                feats(&["w=cough"]),
+            ],
+            labels: vec![0, 0, 1],
+        };
+        assert_eq!(crf.decode(&test.features), test.labels);
+    }
+
+    #[test]
+    fn decode_empty_sequence() {
+        let crf = Crf::new(1 << 10, 2);
+        assert!(crf.decode(&[]).is_empty());
+    }
+
+    #[test]
+    fn transitions_are_learned() {
+        // Task where emission features are useless and only transitions
+        // disambiguate: label alternates 0,1,0,1...
+        let e = CrfExample {
+            features: vec![feats(&["x"]); 6],
+            labels: vec![0, 1, 0, 1, 0, 1],
+        };
+        let mut crf = Crf::new(1 << 10, 2);
+        crf.train(
+            std::slice::from_ref(&e),
+            &CrfTrainConfig {
+                epochs: 60,
+                learning_rate: 0.3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(crf.decode(&e.features), e.labels);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let data = toy_sequences();
+        let cfg = CrfTrainConfig::default();
+        let mut a = Crf::new(1 << 12, 2);
+        let mut b = Crf::new(1 << 12, 2);
+        a.train(&data, &cfg);
+        b.train(&data, &cfg);
+        assert_eq!(a.emit, b.emit);
+        assert_eq!(a.trans, b.trans);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged example")]
+    fn rejects_ragged_examples() {
+        let mut crf = Crf::new(1 << 10, 2);
+        let bad = CrfExample {
+            features: vec![feats(&["a"])],
+            labels: vec![0, 1],
+        };
+        crf.train(&[bad], &CrfTrainConfig::default());
+    }
+
+    #[test]
+    fn likelihoods_are_normalized() {
+        // Sum of p(y|x) over all 4 label paths of length 2 must be 1.
+        let mut crf = Crf::new(1 << 10, 2);
+        crf.train(
+            &toy_sequences(),
+            &CrfTrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
+        let features = vec![feats(&["w=fever"]), feats(&["w=and"])];
+        let mut total = 0.0;
+        for y0 in 0..2 {
+            for y1 in 0..2 {
+                let e = CrfExample {
+                    features: features.clone(),
+                    labels: vec![y0, y1],
+                };
+                total += crf.log_likelihood(&e).exp();
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-9, "paths sum to {total}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Token embeddings from hashed character n-grams plus char-LM context
+//! features.
+//!
+//! This is the bridge between the pre-trained character language models
+//! ([`crate::charlm`]) and the CRF tagger: each token gets a dense vector
+//! built from
+//!
+//! 1. a fixed random projection of its character n-grams (so misspelled or
+//!    unseen medication names land near their neighbors — the "rich token
+//!    embedding" role of C-FLAIR), and
+//! 2. surprisal statistics of the token under the forward and backward LMs
+//!    given its sentence context (the "contextualized" part).
+//!
+//! Dense vectors are consumed either directly (k-means clustering in
+//! [`crate::cluster`], whose cluster ids become CRF features) or as
+//! bucketed features.
+
+use crate::charlm::CharLm;
+use crate::features::fnv1a;
+
+/// Configuration for the embedder.
+#[derive(Debug, Clone)]
+pub struct EmbedConfig {
+    /// Dimension of the hashed char-n-gram projection.
+    pub ngram_dim: usize,
+    /// Character n-gram sizes to extract.
+    pub ngram_sizes: (usize, usize),
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        EmbedConfig {
+            ngram_dim: 48,
+            ngram_sizes: (2, 4),
+        }
+    }
+}
+
+/// Produces token embeddings. Holds the trained forward/backward char LMs.
+#[derive(Debug, Clone)]
+pub struct TokenEmbedder {
+    forward: CharLm,
+    backward: CharLm,
+    config: EmbedConfig,
+}
+
+impl TokenEmbedder {
+    /// Builds an embedder with untrained LMs of the given order.
+    pub fn new(order: usize, config: EmbedConfig) -> TokenEmbedder {
+        TokenEmbedder {
+            forward: CharLm::new(order),
+            backward: CharLm::new_backward(order),
+            config,
+        }
+    }
+
+    /// "Pre-trains" the char LMs on raw corpus text (the analogue of the
+    /// paper's week-long V100 pre-training, at laptop scale).
+    pub fn pretrain(&mut self, text: &str) {
+        self.forward.train(text);
+        self.backward.train(text);
+    }
+
+    /// Total embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.config.ngram_dim + 6
+    }
+
+    /// Embeds `token` in context: `left` is the text preceding the token in
+    /// its sentence, `right` the text following it.
+    pub fn embed(&self, token: &str, left: &str, right: &str) -> Vec<f64> {
+        let mut v = vec![0.0; self.dim()];
+        let lower = token.to_lowercase();
+        // 1) Hashed char n-gram projection with ± signs (feature hashing
+        //    with a sign hash keeps expectation zero).
+        let d = self.config.ngram_dim;
+        let chars: Vec<char> = format!("<{lower}>").chars().collect();
+        let (lo, hi) = self.config.ngram_sizes;
+        let mut grams = 0usize;
+        for n in lo..=hi {
+            if chars.len() < n {
+                continue;
+            }
+            for w in chars.windows(n) {
+                let s: String = w.iter().collect();
+                let h = fnv1a(s.as_bytes());
+                let idx = (h % d as u64) as usize;
+                let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+                v[idx] += sign;
+                grams += 1;
+            }
+        }
+        if grams > 0 {
+            let norm = (grams as f64).sqrt();
+            for x in v.iter_mut().take(d) {
+                *x /= norm;
+            }
+        }
+        // 2) Contextual LM features.
+        let fwd_ctx: String = left
+            .chars()
+            .rev()
+            .take(8)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        let bwd_ctx: String = right.chars().take(8).collect();
+        let first = lower.chars().next().unwrap_or(' ');
+        let last = lower.chars().next_back().unwrap_or(' ');
+        v[d] = self.forward.surprisal(&fwd_ctx, first) / 16.0;
+        v[d + 1] = self.backward.surprisal(&bwd_ctx, last) / 16.0;
+        v[d + 2] = self.forward.mean_surprisal(&lower) / 16.0;
+        v[d + 3] = self.backward.mean_surprisal(&lower) / 16.0;
+        v[d + 4] = (token.chars().count() as f64).min(20.0) / 20.0;
+        v[d + 5] = if token
+            .chars()
+            .next()
+            .map(char::is_uppercase)
+            .unwrap_or(false)
+        {
+            1.0
+        } else {
+            0.0
+        };
+        v
+    }
+
+    /// Context-free embedding (used to build the clustering vocabulary).
+    pub fn embed_isolated(&self, token: &str) -> Vec<f64> {
+        self.embed(token, "", "")
+    }
+}
+
+/// Cosine similarity between two equal-length vectors.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedder() -> TokenEmbedder {
+        let mut e = TokenEmbedder::new(4, EmbedConfig::default());
+        e.pretrain(
+            "the patient received amiodarone for atrial fibrillation. \
+             amiodarone was continued. metoprolol was added later. \
+             fever and cough resolved.",
+        );
+        e
+    }
+
+    #[test]
+    fn embedding_has_declared_dim() {
+        let e = embedder();
+        assert_eq!(e.embed_isolated("fever").len(), e.dim());
+    }
+
+    #[test]
+    fn similar_surfaces_embed_nearby() {
+        let e = embedder();
+        let a = e.embed_isolated("amiodarone");
+        let b = e.embed_isolated("amiodaron"); // typo
+        let c = e.embed_isolated("xylophone");
+        assert!(
+            cosine(&a, &b) > cosine(&a, &c),
+            "typo should be closer than unrelated word"
+        );
+    }
+
+    #[test]
+    fn context_changes_embedding() {
+        let e = embedder();
+        let with_ctx = e.embed("fever", "the patient had ", " and cough");
+        let without = e.embed_isolated("fever");
+        assert_ne!(with_ctx, without);
+        // But the n-gram part is identical.
+        let d = EmbedConfig::default().ngram_dim;
+        assert_eq!(&with_ctx[..d], &without[..d]);
+    }
+
+    #[test]
+    fn capitalization_feature() {
+        let e = embedder();
+        let cap = e.embed_isolated("Fever");
+        let low = e.embed_isolated("fever");
+        let d = e.dim();
+        assert_eq!(cap[d - 1], 1.0);
+        assert_eq!(low[d - 1], 0.0);
+    }
+
+    #[test]
+    fn empty_token_does_not_panic() {
+        let e = embedder();
+        let v = e.embed_isolated("");
+        assert_eq!(v.len(), e.dim());
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+}

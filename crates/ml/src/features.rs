@@ -1,0 +1,228 @@
+//! Sparse feature vectors and the hashing trick.
+//!
+//! All linear models in the workspace consume [`SparseVec`]s: sorted
+//! `(index, value)` pairs in a fixed-dimension hashed feature space. String
+//! feature names ("w=fever", "suffix3=ver") are mapped to indices with
+//! FNV-1a; collisions are tolerated, as is standard for hashed linear
+//! models.
+
+/// A sparse feature vector: strictly increasing indices with values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVec {
+    /// Creates an empty vector.
+    pub fn new() -> SparseVec {
+        SparseVec::default()
+    }
+
+    /// Builds from unsorted entries, merging duplicate indices by summing.
+    pub fn from_entries(mut entries: Vec<(u32, f64)>) -> SparseVec {
+        entries.sort_unstable_by_key(|(i, _)| *i);
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            match merged.last_mut() {
+                Some((last_i, last_v)) if *last_i == i => *last_v += v,
+                _ => merged.push((i, v)),
+            }
+        }
+        merged.retain(|(_, v)| *v != 0.0);
+        SparseVec { entries: merged }
+    }
+
+    /// The `(index, value)` pairs, sorted by index.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Number of non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when all-zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Dot product with a dense weight slice; indices beyond the slice are
+    /// wrapped (they cannot occur if both sides use the same hasher).
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        let n = dense.len();
+        debug_assert!(n > 0);
+        self.entries
+            .iter()
+            .map(|&(i, v)| dense[i as usize % n] * v)
+            .sum()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Scales all values in place.
+    pub fn scale(&mut self, s: f64) {
+        for (_, v) in &mut self.entries {
+            *v *= s;
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash of a byte string.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Maps string feature names into a `2^bits`-dimensional hashed space and
+/// accumulates a [`SparseVec`].
+#[derive(Debug)]
+pub struct FeatureHasher {
+    mask: u32,
+    entries: Vec<(u32, f64)>,
+}
+
+impl FeatureHasher {
+    /// Creates a hasher with dimension `2^bits` (8 ≤ bits ≤ 30).
+    pub fn new(bits: u32) -> FeatureHasher {
+        assert!((8..=30).contains(&bits), "bits {bits} out of range");
+        FeatureHasher {
+            mask: (1u32 << bits) - 1,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Dimension of the hashed space.
+    pub fn dim(&self) -> usize {
+        self.mask as usize + 1
+    }
+
+    /// Adds a binary feature by name.
+    pub fn add(&mut self, name: &str) {
+        self.add_weighted(name, 1.0);
+    }
+
+    /// Adds a real-valued feature by name.
+    pub fn add_weighted(&mut self, name: &str, value: f64) {
+        let idx = (fnv1a(name.as_bytes()) as u32) & self.mask;
+        self.entries.push((idx, value));
+    }
+
+    /// Adds a feature from parts without allocating a joined string.
+    pub fn add2(&mut self, prefix: &str, value_part: &str) {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in prefix.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= b'=' as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        for &b in value_part.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.entries.push(((h as u32) & self.mask, 1.0));
+    }
+
+    /// Finalizes into a [`SparseVec`], clearing the accumulator for reuse.
+    pub fn finish(&mut self) -> SparseVec {
+        SparseVec::from_entries(std::mem::take(&mut self.entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_entries_sorts_and_merges() {
+        let v = SparseVec::from_entries(vec![(5, 1.0), (2, 2.0), (5, 3.0)]);
+        assert_eq!(v.entries(), &[(2, 2.0), (5, 4.0)]);
+    }
+
+    #[test]
+    fn zero_values_dropped() {
+        let v = SparseVec::from_entries(vec![(1, 1.0), (1, -1.0), (2, 3.0)]);
+        assert_eq!(v.entries(), &[(2, 3.0)]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let v = SparseVec::from_entries(vec![(0, 2.0), (3, 1.0)]);
+        let w = [1.0, 0.0, 0.0, 4.0];
+        assert_eq!(v.dot(&w), 6.0);
+    }
+
+    #[test]
+    fn norm_and_scale() {
+        let mut v = SparseVec::from_entries(vec![(0, 3.0), (1, 4.0)]);
+        assert!((v.norm() - 5.0).abs() < 1e-12);
+        v.scale(2.0);
+        assert!((v.norm() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let mut h1 = FeatureHasher::new(16);
+        h1.add("w=fever");
+        let v1 = h1.finish();
+        let mut h2 = FeatureHasher::new(16);
+        h2.add("w=fever");
+        let v2 = h2.finish();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn add2_matches_joined_name() {
+        let mut h1 = FeatureHasher::new(18);
+        h1.add("w=fever");
+        let v1 = h1.finish();
+        let mut h2 = FeatureHasher::new(18);
+        h2.add2("w", "fever");
+        let v2 = h2.finish();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn different_features_usually_differ() {
+        let mut h = FeatureHasher::new(20);
+        h.add("a");
+        let va = h.finish();
+        h.add("b");
+        let vb = h.finish();
+        assert_ne!(va.entries()[0].0, vb.entries()[0].0);
+    }
+
+    #[test]
+    fn finish_resets_accumulator() {
+        let mut h = FeatureHasher::new(12);
+        h.add("x");
+        let _ = h.finish();
+        let v = h.finish();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn indices_stay_in_dim() {
+        let mut h = FeatureHasher::new(10);
+        for i in 0..1000 {
+            h.add(&format!("f{i}"));
+        }
+        let v = h.finish();
+        assert!(v.entries().iter().all(|&(i, _)| (i as usize) < h.dim()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_tiny_dims() {
+        let _ = FeatureHasher::new(4);
+    }
+}

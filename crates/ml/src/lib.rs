@@ -1,0 +1,39 @@
+//! Machine-learning substrate for CREATe, implemented from scratch.
+//!
+//! The paper's two extraction modules are learned models: a named entity
+//! recognizer over "deep contextualized token representations" (C-FLAIR)
+//! and a temporal relation classifier regularized with probabilistic soft
+//! logic (Section III-C). The reproduction has no GPU model zoo, so this
+//! crate provides laptop-scale equivalents with the same roles
+//! (DESIGN.md substitutions S2/S3):
+//!
+//! * [`features`] — sparse feature vectors with the hashing trick;
+//! * [`logreg`] — multiclass logistic regression with AdaGrad, exposing
+//!   per-logit gradient hooks so callers (the PSL trainer) can add custom
+//!   loss terms;
+//! * [`crf`] — a linear-chain CRF trained by SGD on the exact conditional
+//!   log-likelihood (log-space forward–backward) with Viterbi decoding;
+//! * [`charlm`] — forward/backward character n-gram language models: the
+//!   "C-FLAIR" stand-in that turns raw corpus text into contextual token
+//!   representations;
+//! * [`embed`] — hashed character-n-gram token embeddings combined with
+//!   char-LM surprisal features;
+//! * [`cluster`] — k-means over token embeddings, yielding Brown-cluster
+//!   style discrete features for the CRF;
+//! * [`metrics`] — precision/recall/F1 (micro and macro) and confusion
+//!   matrices.
+
+pub mod charlm;
+pub mod cluster;
+pub mod crf;
+pub mod embed;
+pub mod features;
+pub mod logreg;
+pub mod metrics;
+
+pub use charlm::CharLm;
+pub use crf::{Crf, CrfTrainConfig};
+pub use embed::TokenEmbedder;
+pub use features::{FeatureHasher, SparseVec};
+pub use logreg::{LogReg, LogRegTrainConfig};
+pub use metrics::{ClassificationReport, ConfusionMatrix};

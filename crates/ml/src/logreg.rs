@@ -1,0 +1,285 @@
+//! Multiclass logistic regression with AdaGrad.
+//!
+//! Used by the temporal relation classifier (Section III-C). The public
+//! surface deliberately exposes logits and a raw per-logit gradient
+//! application, because the PSL-regularized trainer in `create-temporal`
+//! needs to add its own soft-constraint gradient terms on top of the
+//! cross-entropy gradient.
+
+use crate::features::SparseVec;
+use create_util::Rng;
+
+/// A trained (or in-training) multiclass linear model. Weights live in a
+/// `dim × num_classes` row-major matrix indexed `w[feature * C + class]`,
+/// plus per-class biases.
+#[derive(Debug, Clone)]
+pub struct LogReg {
+    num_classes: usize,
+    dim: usize,
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    /// AdaGrad accumulators (same layout as weights/bias).
+    g2_weights: Vec<f64>,
+    g2_bias: Vec<f64>,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct LogRegTrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// AdaGrad base learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength (applied per-update, scaled by lr).
+    pub l2: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LogRegTrainConfig {
+    fn default() -> Self {
+        LogRegTrainConfig {
+            epochs: 20,
+            learning_rate: 0.2,
+            l2: 1e-6,
+            seed: 42,
+        }
+    }
+}
+
+impl LogReg {
+    /// Creates a zero-initialized model over a hashed feature space of
+    /// `dim` dimensions.
+    pub fn new(dim: usize, num_classes: usize) -> LogReg {
+        assert!(num_classes >= 2, "need at least two classes");
+        assert!(dim > 0);
+        LogReg {
+            num_classes,
+            dim,
+            weights: vec![0.0; dim * num_classes],
+            bias: vec![0.0; num_classes],
+            g2_weights: vec![1e-8; dim * num_classes],
+            g2_bias: vec![1e-8; num_classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Feature-space dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Raw class scores.
+    pub fn logits(&self, x: &SparseVec) -> Vec<f64> {
+        let mut out = self.bias.clone();
+        for &(i, v) in x.entries() {
+            let base = (i as usize % self.dim) * self.num_classes;
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += self.weights[base + c] * v;
+            }
+        }
+        out
+    }
+
+    /// Softmax probabilities.
+    pub fn predict_proba(&self, x: &SparseVec) -> Vec<f64> {
+        softmax(&self.logits(x))
+    }
+
+    /// Most probable class.
+    pub fn predict(&self, x: &SparseVec) -> usize {
+        argmax(&self.logits(x))
+    }
+
+    /// Applies one AdaGrad step given `dloss_dlogit` — the gradient of an
+    /// arbitrary scalar loss with respect to each class logit at `x`. For
+    /// plain cross-entropy with gold class `y` that gradient is
+    /// `p - onehot(y)`; PSL regularizers add their own terms before calling
+    /// this.
+    pub fn apply_logit_gradient(&mut self, x: &SparseVec, dloss_dlogit: &[f64], lr: f64, l2: f64) {
+        debug_assert_eq!(dloss_dlogit.len(), self.num_classes);
+        for &(i, v) in x.entries() {
+            let base = (i as usize % self.dim) * self.num_classes;
+            for (c, &g_logit) in dloss_dlogit.iter().enumerate() {
+                let idx = base + c;
+                let g = g_logit * v + l2 * self.weights[idx];
+                self.g2_weights[idx] += g * g;
+                self.weights[idx] -= lr * g / self.g2_weights[idx].sqrt();
+            }
+        }
+        for (c, &g_logit) in dloss_dlogit.iter().enumerate() {
+            let g = g_logit + l2 * self.bias[c];
+            self.g2_bias[c] += g * g;
+            self.bias[c] -= lr * g / self.g2_bias[c].sqrt();
+        }
+    }
+
+    /// Cross-entropy loss of one example (for monitoring).
+    pub fn nll(&self, x: &SparseVec, y: usize) -> f64 {
+        let p = self.predict_proba(x);
+        -(p[y].max(1e-12)).ln()
+    }
+
+    /// Trains on `(features, label)` pairs with plain cross-entropy.
+    /// Returns the average training NLL of the final epoch.
+    pub fn train(&mut self, examples: &[(SparseVec, usize)], config: &LogRegTrainConfig) -> f64 {
+        assert!(!examples.is_empty(), "no training examples");
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut last_epoch_nll = 0.0;
+        for _ in 0..config.epochs {
+            rng.shuffle(&mut order);
+            let mut total = 0.0;
+            for &idx in &order {
+                let (x, y) = &examples[idx];
+                let mut grad = self.predict_proba(x);
+                total -= grad[*y].max(1e-12).ln();
+                grad[*y] -= 1.0;
+                self.apply_logit_gradient(x, &grad, config.learning_rate, config.l2);
+            }
+            last_epoch_nll = total / examples.len() as f64;
+        }
+        last_epoch_nll
+    }
+
+    /// Accuracy over a labeled set.
+    pub fn accuracy(&self, examples: &[(SparseVec, usize)]) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let correct = examples
+            .iter()
+            .filter(|(x, y)| self.predict(x) == *y)
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Index of the largest element (first on ties).
+pub fn argmax(xs: &[f64]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureHasher;
+
+    fn feat(names: &[&str]) -> SparseVec {
+        let mut h = FeatureHasher::new(12);
+        for n in names {
+            h.add(n);
+        }
+        h.finish()
+    }
+
+    fn toy_dataset() -> Vec<(SparseVec, usize)> {
+        // Three separable classes driven by distinctive features.
+        let mut data = Vec::new();
+        for i in 0..30 {
+            data.push((feat(&["fever", &format!("noise{}", i % 5)]), 0));
+            data.push((feat(&["cough", &format!("noise{}", i % 7)]), 1));
+            data.push((feat(&["rash", &format!("noise{}", i % 3)]), 2));
+        }
+        data
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untrained_model_is_uniform() {
+        let m = LogReg::new(1 << 12, 3);
+        let p = m.predict_proba(&feat(&["anything"]));
+        for pi in p {
+            assert!((pi - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let data = toy_dataset();
+        let mut m = LogReg::new(1 << 12, 3);
+        let nll = m.train(&data, &LogRegTrainConfig::default());
+        assert!(nll < 0.2, "final NLL {nll} too high");
+        assert!(m.accuracy(&data) > 0.95);
+        assert_eq!(m.predict(&feat(&["fever"])), 0);
+        assert_eq!(m.predict(&feat(&["cough"])), 1);
+        assert_eq!(m.predict(&feat(&["rash"])), 2);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let data = toy_dataset();
+        let cfg = LogRegTrainConfig::default();
+        let mut a = LogReg::new(1 << 12, 3);
+        let mut b = LogReg::new(1 << 12, 3);
+        let na = a.train(&data, &cfg);
+        let nb = b.train(&data, &cfg);
+        assert_eq!(na, nb);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn logit_gradient_moves_probability() {
+        let mut m = LogReg::new(1 << 12, 2);
+        let x = feat(&["f1", "f2"]);
+        // Push class 0 upward repeatedly.
+        for _ in 0..50 {
+            let mut g = m.predict_proba(&x);
+            g[0] -= 1.0;
+            m.apply_logit_gradient(&x, &g, 0.5, 0.0);
+        }
+        assert!(m.predict_proba(&x)[0] > 0.9);
+    }
+
+    #[test]
+    fn nll_decreases_with_training() {
+        let data = toy_dataset();
+        let mut m = LogReg::new(1 << 12, 3);
+        let before: f64 = data.iter().map(|(x, y)| m.nll(x, *y)).sum();
+        m.train(
+            &data,
+            &LogRegTrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
+        let after: f64 = data.iter().map(|(x, y)| m.nll(x, *y)).sum();
+        assert!(after < before);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 1.0, 0.5]), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Classification metrics: confusion matrices, precision/recall/F1.
+//!
+//! Both extraction experiments (E2 NER, E3 temporal) report F1 scores;
+//! this module centralizes the definitions. Span-level (entity) F1 lives in
+//! `create-ner`, built on the same primitives.
+
+/// A `C × C` confusion matrix over class ids.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    num_classes: usize,
+    /// `counts[gold * C + pred]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new(num_classes: usize) -> ConfusionMatrix {
+        assert!(num_classes > 0);
+        ConfusionMatrix {
+            num_classes,
+            counts: vec![0; num_classes * num_classes],
+        }
+    }
+
+    /// Records one (gold, predicted) observation.
+    pub fn record(&mut self, gold: usize, pred: usize) {
+        assert!(gold < self.num_classes && pred < self.num_classes);
+        self.counts[gold * self.num_classes + pred] += 1;
+    }
+
+    /// Count at a cell.
+    pub fn get(&self, gold: usize, pred: usize) -> u64 {
+        self.counts[gold * self.num_classes + pred]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.num_classes).map(|c| self.get(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class precision/recall/F1.
+    pub fn class_prf(&self, class: usize) -> Prf {
+        let tp = self.get(class, class);
+        let fp: u64 = (0..self.num_classes)
+            .filter(|&g| g != class)
+            .map(|g| self.get(g, class))
+            .sum();
+        let fn_: u64 = (0..self.num_classes)
+            .filter(|&p| p != class)
+            .map(|p| self.get(class, p))
+            .sum();
+        Prf::from_counts(tp, fp, fn_)
+    }
+
+    /// Micro-averaged P/R/F1 over the given classes (e.g. excluding a
+    /// NONE/negative class, as is standard for relation extraction).
+    pub fn micro_prf(&self, classes: &[usize]) -> Prf {
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut fn_ = 0;
+        for &c in classes {
+            tp += self.get(c, c);
+            fp += (0..self.num_classes)
+                .filter(|&g| g != c)
+                .map(|g| self.get(g, c))
+                .sum::<u64>();
+            fn_ += (0..self.num_classes)
+                .filter(|&p| p != c)
+                .map(|p| self.get(c, p))
+                .sum::<u64>();
+        }
+        Prf::from_counts(tp, fp, fn_)
+    }
+
+    /// Macro-averaged F1 over the given classes.
+    pub fn macro_f1(&self, classes: &[usize]) -> f64 {
+        if classes.is_empty() {
+            return 0.0;
+        }
+        classes.iter().map(|&c| self.class_prf(c).f1).sum::<f64>() / classes.len() as f64
+    }
+}
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    /// Precision: tp / (tp + fp); 0 when undefined.
+    pub precision: f64,
+    /// Recall: tp / (tp + fn); 0 when undefined.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when undefined.
+    pub f1: f64,
+}
+
+impl Prf {
+    /// Computes the triple from raw counts.
+    pub fn from_counts(tp: u64, fp: u64, fn_: u64) -> Prf {
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// A printable multi-class evaluation report.
+#[derive(Debug, Clone)]
+pub struct ClassificationReport {
+    /// Class display names, indexed by class id.
+    pub class_names: Vec<String>,
+    /// The underlying confusion matrix.
+    pub matrix: ConfusionMatrix,
+}
+
+impl ClassificationReport {
+    /// Builds a report by scoring parallel gold/pred label sequences.
+    pub fn from_pairs(
+        class_names: Vec<String>,
+        pairs: impl IntoIterator<Item = (usize, usize)>,
+    ) -> ClassificationReport {
+        let mut matrix = ConfusionMatrix::new(class_names.len());
+        for (g, p) in pairs {
+            matrix.record(g, p);
+        }
+        ClassificationReport {
+            class_names,
+            matrix,
+        }
+    }
+
+    /// Renders an aligned text table (per-class P/R/F1 + micro/macro).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>9} {:>9} {:>9}\n",
+            "class", "precision", "recall", "f1", "support"
+        ));
+        let all: Vec<usize> = (0..self.class_names.len()).collect();
+        for (c, name) in self.class_names.iter().enumerate() {
+            let prf = self.matrix.class_prf(c);
+            let support: u64 = (0..self.class_names.len())
+                .map(|p| self.matrix.get(c, p))
+                .sum();
+            out.push_str(&format!(
+                "{:<28} {:>9.4} {:>9.4} {:>9.4} {:>9}\n",
+                name, prf.precision, prf.recall, prf.f1, support
+            ));
+        }
+        let micro = self.matrix.micro_prf(&all);
+        out.push_str(&format!(
+            "{:<28} {:>9.4} {:>9.4} {:>9.4} {:>9}\n",
+            "micro avg",
+            micro.precision,
+            micro.recall,
+            micro.f1,
+            self.matrix.total()
+        ));
+        out.push_str(&format!(
+            "{:<28} {:>29.4}\n",
+            "macro f1",
+            self.matrix.macro_f1(&all)
+        ));
+        out.push_str(&format!(
+            "{:<28} {:>29.4}\n",
+            "accuracy",
+            self.matrix.accuracy()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prf_from_counts() {
+        let p = Prf::from_counts(8, 2, 2);
+        assert!((p.precision - 0.8).abs() < 1e-12);
+        assert!((p.recall - 0.8).abs() < 1e-12);
+        assert!((p.f1 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prf_degenerate_cases() {
+        let p = Prf::from_counts(0, 0, 0);
+        assert_eq!((p.precision, p.recall, p.f1), (0.0, 0.0, 0.0));
+        let p = Prf::from_counts(0, 5, 0);
+        assert_eq!(p.precision, 0.0);
+    }
+
+    #[test]
+    fn confusion_accuracy() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 0);
+        m.record(0, 0);
+        m.record(1, 1);
+        m.record(1, 0);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn per_class_prf() {
+        let mut m = ConfusionMatrix::new(3);
+        // gold 0: predicted 0,0,1
+        m.record(0, 0);
+        m.record(0, 0);
+        m.record(0, 1);
+        // gold 1: predicted 1
+        m.record(1, 1);
+        // gold 2: predicted 2,0
+        m.record(2, 2);
+        m.record(2, 0);
+        let p0 = m.class_prf(0);
+        assert!((p0.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p0.recall - 2.0 / 3.0).abs() < 1e-12);
+        let p1 = m.class_prf(1);
+        assert!((p1.precision - 0.5).abs() < 1e-12);
+        assert!((p1.recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_excluding_negative_class() {
+        let mut m = ConfusionMatrix::new(2);
+        // Class 0 is "NONE": 10 true negatives should not inflate micro F1
+        // computed over class 1 only.
+        for _ in 0..10 {
+            m.record(0, 0);
+        }
+        m.record(1, 1);
+        m.record(1, 0);
+        let micro = m.micro_prf(&[1]);
+        assert!((micro.recall - 0.5).abs() < 1e-12);
+        assert!((micro.precision - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_averages_classes_equally() {
+        let mut m = ConfusionMatrix::new(2);
+        for _ in 0..99 {
+            m.record(0, 0);
+        }
+        m.record(1, 0); // class 1 fully missed
+        let macro_f1 = m.macro_f1(&[0, 1]);
+        assert!(macro_f1 < 0.6, "macro should punish the missed class");
+    }
+
+    #[test]
+    fn report_renders() {
+        let report = ClassificationReport::from_pairs(
+            vec!["NONE".into(), "BEFORE".into()],
+            vec![(0, 0), (1, 1), (1, 0)],
+        );
+        let text = report.render();
+        assert!(text.contains("BEFORE"));
+        assert!(text.contains("micro avg"));
+        assert!(text.contains("accuracy"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn record_out_of_range_panics() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(2, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! BIO label codec.
+//!
+//! Maps between entity-typed spans and per-token `O` / `B-type` / `I-type`
+//! label ids. Label id 0 is always `O`; type `k` gets `B = 1 + 2k`,
+//! `I = 2 + 2k`.
+
+use create_ontology::EntityType;
+use create_text::{Span, Token};
+
+/// A typed mention produced by a tagger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mention {
+    /// Byte span into the tagged sentence.
+    pub span: Span,
+    /// Predicted type.
+    pub etype: EntityType,
+    /// Surface text.
+    pub text: String,
+}
+
+/// The label inventory for a tagging task.
+#[derive(Debug, Clone)]
+pub struct LabelSet {
+    types: Vec<EntityType>,
+}
+
+impl LabelSet {
+    /// Builds a label set over the given types.
+    pub fn new(types: Vec<EntityType>) -> LabelSet {
+        assert!(!types.is_empty());
+        LabelSet { types }
+    }
+
+    /// The paper's NER target types.
+    pub fn ner_targets() -> LabelSet {
+        LabelSet::new(EntityType::ner_targets().to_vec())
+    }
+
+    /// Number of label ids (2 per type + O).
+    pub fn num_labels(&self) -> usize {
+        1 + 2 * self.types.len()
+    }
+
+    /// The covered types.
+    pub fn types(&self) -> &[EntityType] {
+        &self.types
+    }
+
+    /// The `O` label id.
+    pub fn outside(&self) -> usize {
+        0
+    }
+
+    /// `B-type` id, if the type is covered.
+    pub fn begin(&self, t: EntityType) -> Option<usize> {
+        self.types.iter().position(|x| *x == t).map(|k| 1 + 2 * k)
+    }
+
+    /// `I-type` id, if the type is covered.
+    pub fn inside(&self, t: EntityType) -> Option<usize> {
+        self.types.iter().position(|x| *x == t).map(|k| 2 + 2 * k)
+    }
+
+    /// Decodes a label id into `(is_begin, type)`; `None` for `O`.
+    pub fn decode_label(&self, id: usize) -> Option<(bool, EntityType)> {
+        if id == 0 || id >= self.num_labels() {
+            return None;
+        }
+        let k = (id - 1) / 2;
+        Some(((id - 1).is_multiple_of(2), self.types[k]))
+    }
+
+    /// Human-readable label name.
+    pub fn label_name(&self, id: usize) -> String {
+        match self.decode_label(id) {
+            None => "O".to_string(),
+            Some((true, t)) => format!("B-{}", t.label()),
+            Some((false, t)) => format!("I-{}", t.label()),
+        }
+    }
+
+    /// Encodes gold mention spans as per-token labels. A token belongs to a
+    /// mention when its span is fully contained in the mention span;
+    /// mentions whose types are not covered, or that cover no token, are
+    /// skipped.
+    pub fn encode(&self, tokens: &[Token], mentions: &[(Span, EntityType)]) -> Vec<usize> {
+        let mut labels = vec![0usize; tokens.len()];
+        for (span, etype) in mentions {
+            let (Some(b), Some(i_label)) = (self.begin(*etype), self.inside(*etype)) else {
+                continue;
+            };
+            let mut first = true;
+            for (ti, tok) in tokens.iter().enumerate() {
+                if span.contains(&tok.span) {
+                    labels[ti] = if first { b } else { i_label };
+                    first = false;
+                }
+            }
+        }
+        labels
+    }
+
+    /// Decodes per-token labels back into mention spans. An `I` without a
+    /// preceding compatible `B`/`I` is treated as `B` (standard lenient
+    /// decoding).
+    pub fn decode(&self, sentence: &str, tokens: &[Token], labels: &[usize]) -> Vec<Mention> {
+        assert_eq!(tokens.len(), labels.len());
+        let mut mentions = Vec::new();
+        let mut current: Option<(Span, EntityType)> = None;
+        for (tok, &label) in tokens.iter().zip(labels) {
+            match self.decode_label(label) {
+                None => {
+                    if let Some((span, etype)) = current.take() {
+                        mentions.push(make_mention(sentence, span, etype));
+                    }
+                }
+                Some((is_begin, etype)) => match current {
+                    Some((span, cur_type)) if !is_begin && cur_type == etype => {
+                        current = Some((span.cover(&tok.span), cur_type));
+                    }
+                    Some((span, cur_type)) => {
+                        mentions.push(make_mention(sentence, span, cur_type));
+                        current = Some((tok.span, etype));
+                    }
+                    None => {
+                        current = Some((tok.span, etype));
+                    }
+                },
+            }
+        }
+        if let Some((span, etype)) = current {
+            mentions.push(make_mention(sentence, span, etype));
+        }
+        mentions
+    }
+}
+
+fn make_mention(sentence: &str, span: Span, etype: EntityType) -> Mention {
+    Mention {
+        span,
+        etype,
+        text: span.slice(sentence).to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_text::{StandardTokenizer, Tokenizer};
+
+    fn label_set() -> LabelSet {
+        LabelSet::new(vec![EntityType::SignSymptom, EntityType::Medication])
+    }
+
+    #[test]
+    fn label_ids_are_consistent() {
+        let ls = label_set();
+        assert_eq!(ls.num_labels(), 5);
+        assert_eq!(ls.begin(EntityType::SignSymptom), Some(1));
+        assert_eq!(ls.inside(EntityType::SignSymptom), Some(2));
+        assert_eq!(ls.begin(EntityType::Medication), Some(3));
+        assert_eq!(ls.begin(EntityType::Age), None);
+        assert_eq!(ls.decode_label(0), None);
+        assert_eq!(ls.decode_label(1), Some((true, EntityType::SignSymptom)));
+        assert_eq!(ls.decode_label(4), Some((false, EntityType::Medication)));
+    }
+
+    #[test]
+    fn label_names() {
+        let ls = label_set();
+        assert_eq!(ls.label_name(0), "O");
+        assert_eq!(ls.label_name(1), "B-Sign_symptom");
+        assert_eq!(ls.label_name(2), "I-Sign_symptom");
+    }
+
+    #[test]
+    fn encode_multi_token_mention() {
+        let ls = label_set();
+        let text = "severe chest pain treated with aspirin";
+        let tokens = StandardTokenizer.tokenize(text);
+        let mentions = vec![
+            (Span::new(7, 17), EntityType::SignSymptom), // "chest pain"
+            (Span::new(31, 38), EntityType::Medication), // "aspirin"
+        ];
+        let labels = ls.encode(&tokens, &mentions);
+        let names: Vec<String> = labels.iter().map(|&l| ls.label_name(l)).collect();
+        assert_eq!(
+            names,
+            vec![
+                "O",
+                "B-Sign_symptom",
+                "I-Sign_symptom",
+                "O",
+                "O",
+                "B-Medication"
+            ]
+        );
+    }
+
+    #[test]
+    fn encode_skips_uncovered_types() {
+        let ls = label_set();
+        let text = "the hospital";
+        let tokens = StandardTokenizer.tokenize(text);
+        let mentions = vec![(Span::new(4, 12), EntityType::NonbiologicalLocation)];
+        let labels = ls.encode(&tokens, &mentions);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn round_trip_encode_decode() {
+        let ls = label_set();
+        let text = "fever and chest pain after aspirin";
+        let tokens = StandardTokenizer.tokenize(text);
+        let gold = vec![
+            (Span::new(0, 5), EntityType::SignSymptom),
+            (Span::new(10, 20), EntityType::SignSymptom),
+            (Span::new(27, 34), EntityType::Medication),
+        ];
+        let labels = ls.encode(&tokens, &gold);
+        let decoded = ls.decode(text, &tokens, &labels);
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0].text, "fever");
+        assert_eq!(decoded[1].text, "chest pain");
+        assert_eq!(decoded[2].text, "aspirin");
+        assert_eq!(decoded[2].etype, EntityType::Medication);
+    }
+
+    #[test]
+    fn decode_handles_orphan_inside() {
+        let ls = label_set();
+        let text = "fever cough";
+        let tokens = StandardTokenizer.tokenize(text);
+        // I-Sign_symptom without B: lenient decoding starts a mention.
+        let labels = vec![2, 0];
+        let decoded = ls.decode(text, &tokens, &labels);
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].text, "fever");
+    }
+
+    #[test]
+    fn decode_splits_adjacent_entities_on_b() {
+        let ls = label_set();
+        let text = "fever cough";
+        let tokens = StandardTokenizer.tokenize(text);
+        let labels = vec![1, 1]; // B B → two separate mentions
+        let decoded = ls.decode(text, &tokens, &labels);
+        assert_eq!(decoded.len(), 2);
+    }
+
+    #[test]
+    fn decode_type_change_splits() {
+        let ls = label_set();
+        let text = "fever aspirin";
+        let tokens = StandardTokenizer.tokenize(text);
+        let labels = vec![1, 4]; // B-Sign, I-Med (type change)
+        let decoded = ls.decode(text, &tokens, &labels);
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[1].etype, EntityType::Medication);
+    }
+}

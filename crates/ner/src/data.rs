@@ -1,0 +1,209 @@
+//! Building token-level NER datasets from corpus gold annotations.
+
+use crate::bio::LabelSet;
+use create_corpus::CaseReport;
+use create_ontology::EntityType;
+use create_text::{split_sentences, Span, StandardTokenizer, Token, Tokenizer};
+
+/// One tokenized, labeled sentence.
+#[derive(Debug, Clone)]
+pub struct NerSentence {
+    /// Sentence text (offsets below are sentence-local).
+    pub text: String,
+    /// Tokens with sentence-local spans.
+    pub tokens: Vec<Token>,
+    /// Gold label ids, parallel to `tokens`.
+    pub labels: Vec<usize>,
+}
+
+/// A labeled dataset plus its label inventory.
+#[derive(Debug, Clone)]
+pub struct NerDataset {
+    /// Sentences.
+    pub sentences: Vec<NerSentence>,
+    /// Label set shared by all sentences.
+    pub labels: LabelSet,
+}
+
+impl NerDataset {
+    /// Builds a dataset from annotated case reports: sentence-splits each
+    /// narrative, re-anchors gold entity spans to sentence-local offsets,
+    /// and encodes BIO labels. Entities crossing sentence boundaries are
+    /// dropped (the generator never produces them).
+    pub fn from_reports(reports: &[CaseReport], labels: LabelSet) -> NerDataset {
+        let tokenizer = StandardTokenizer;
+        let mut sentences = Vec::new();
+        for report in reports {
+            for sspan in split_sentences(&report.text) {
+                let text = sspan.slice(&report.text).to_string();
+                let tokens = tokenizer.tokenize(&text);
+                if tokens.is_empty() {
+                    continue;
+                }
+                let mentions: Vec<(Span, EntityType)> = report
+                    .entities
+                    .iter()
+                    .filter(|e| sspan.contains(&e.span))
+                    .map(|e| {
+                        (
+                            Span::new(e.span.start - sspan.start, e.span.end - sspan.start),
+                            e.etype,
+                        )
+                    })
+                    .collect();
+                let label_ids = labels.encode(&tokens, &mentions);
+                sentences.push(NerSentence {
+                    text,
+                    tokens,
+                    labels: label_ids,
+                });
+            }
+        }
+        NerDataset { sentences, labels }
+    }
+
+    /// Number of sentences.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    /// Total token count.
+    pub fn num_tokens(&self) -> usize {
+        self.sentences.iter().map(|s| s.tokens.len()).sum()
+    }
+
+    /// Number of non-O gold labels.
+    pub fn num_entity_tokens(&self) -> usize {
+        self.sentences
+            .iter()
+            .map(|s| s.labels.iter().filter(|&&l| l != 0).count())
+            .sum()
+    }
+
+    /// Concatenated raw text — the char-LM pre-training stream.
+    pub fn raw_text(&self) -> String {
+        let mut out = String::new();
+        for s in &self.sentences {
+            out.push_str(&s.text);
+            out.push(' ');
+        }
+        out
+    }
+
+    /// Splits into `(train, test)` at a sentence boundary aligned fraction.
+    pub fn split(&self, train_fraction: f64) -> (NerDataset, NerDataset) {
+        let cut = ((self.sentences.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.sentences.len().saturating_sub(1).max(1));
+        (
+            NerDataset {
+                sentences: self.sentences[..cut].to_vec(),
+                labels: self.labels.clone(),
+            },
+            NerDataset {
+                sentences: self.sentences[cut..].to_vec(),
+                labels: self.labels.clone(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_corpus::{CorpusConfig, Generator};
+
+    fn dataset() -> NerDataset {
+        let reports = Generator::new(CorpusConfig {
+            num_reports: 12,
+            seed: 5,
+            ..Default::default()
+        })
+        .generate();
+        NerDataset::from_reports(&reports, LabelSet::ner_targets())
+    }
+
+    #[test]
+    fn builds_nonempty_dataset() {
+        let ds = dataset();
+        assert!(ds.len() > 30, "only {} sentences", ds.len());
+        assert!(ds.num_entity_tokens() > 50);
+    }
+
+    #[test]
+    fn labels_parallel_tokens() {
+        for s in &dataset().sentences {
+            assert_eq!(s.tokens.len(), s.labels.len());
+        }
+    }
+
+    #[test]
+    fn gold_entities_survive_alignment() {
+        // Most generator entities are fully within a sentence and should
+        // produce non-O labels; check a healthy ratio.
+        let reports = Generator::new(CorpusConfig {
+            num_reports: 10,
+            seed: 9,
+            ..Default::default()
+        })
+        .generate();
+        let target_types = LabelSet::ner_targets();
+        let gold_mentions: usize = reports
+            .iter()
+            .map(|r| {
+                r.entities
+                    .iter()
+                    .filter(|e| target_types.types().contains(&e.etype))
+                    .count()
+            })
+            .sum();
+        let ds = NerDataset::from_reports(&reports, LabelSet::ner_targets());
+        let b_labels: usize = ds
+            .sentences
+            .iter()
+            .map(|s| {
+                s.labels
+                    .iter()
+                    .filter(|&&l| ds.labels.decode_label(l).map(|(b, _)| b).unwrap_or(false))
+                    .count()
+            })
+            .sum();
+        assert!(
+            b_labels as f64 > gold_mentions as f64 * 0.8,
+            "only {b_labels} B-labels for {gold_mentions} gold mentions"
+        );
+    }
+
+    #[test]
+    fn decoded_mentions_match_surfaces() {
+        let ds = dataset();
+        let mut checked = 0;
+        for s in &ds.sentences {
+            for m in ds.labels.decode(&s.text, &s.tokens, &s.labels) {
+                assert_eq!(m.span.slice(&s.text), m.text);
+                checked += 1;
+            }
+        }
+        assert!(checked > 20);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let ds = dataset();
+        let (train, test) = ds.split(0.8);
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert!(!train.is_empty() && !test.is_empty());
+    }
+
+    #[test]
+    fn raw_text_contains_sentences() {
+        let ds = dataset();
+        let raw = ds.raw_text();
+        assert!(raw.len() > 500);
+        assert!(raw.contains(&ds.sentences[0].text));
+    }
+}

@@ -1,0 +1,170 @@
+//! Strict span-level NER evaluation (seqeval-style).
+//!
+//! A predicted mention counts as a true positive only when its span *and*
+//! type exactly match a gold mention — the standard used by the shared
+//! tasks the paper evaluates against.
+
+use crate::bio::Mention;
+use crate::crf_tagger::CrfTagger;
+use crate::data::NerDataset;
+use create_ml::metrics::Prf;
+use create_ontology::EntityType;
+use std::collections::HashMap;
+
+/// Per-type and overall span-level scores.
+#[derive(Debug, Clone)]
+pub struct SpanScores {
+    /// Per-type precision/recall/F1.
+    pub per_type: HashMap<EntityType, Prf>,
+    /// Micro-averaged counts across types.
+    pub micro: Prf,
+}
+
+/// Scores predicted mentions against gold mentions for one sentence batch.
+/// Inputs are `(sentence index, mention)` pairs so cross-sentence
+/// duplicates cannot collide.
+pub fn score_mentions(gold: &[(usize, Mention)], predicted: &[(usize, Mention)]) -> SpanScores {
+    use std::collections::HashSet;
+    let gold_set: HashSet<(usize, usize, usize, EntityType)> = gold
+        .iter()
+        .map(|(i, m)| (*i, m.span.start, m.span.end, m.etype))
+        .collect();
+    let pred_set: HashSet<(usize, usize, usize, EntityType)> = predicted
+        .iter()
+        .map(|(i, m)| (*i, m.span.start, m.span.end, m.etype))
+        .collect();
+
+    let mut per_type_counts: HashMap<EntityType, (u64, u64, u64)> = HashMap::new();
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut fn_ = 0u64;
+    for p in &pred_set {
+        let entry = per_type_counts.entry(p.3).or_default();
+        if gold_set.contains(p) {
+            tp += 1;
+            entry.0 += 1;
+        } else {
+            fp += 1;
+            entry.1 += 1;
+        }
+    }
+    for g in &gold_set {
+        if !pred_set.contains(g) {
+            fn_ += 1;
+            per_type_counts.entry(g.3).or_default().2 += 1;
+        }
+    }
+    SpanScores {
+        per_type: per_type_counts
+            .into_iter()
+            .map(|(t, (tp, fp, fn_))| (t, Prf::from_counts(tp, fp, fn_)))
+            .collect(),
+        micro: Prf::from_counts(tp, fp, fn_),
+    }
+}
+
+/// Evaluates a CRF tagger over a labeled dataset; returns the micro scores
+/// and the full per-type breakdown.
+pub fn span_f1(tagger: &CrfTagger, dataset: &NerDataset) -> (Prf, SpanScores) {
+    let mut gold = Vec::new();
+    let mut pred = Vec::new();
+    for (i, s) in dataset.sentences.iter().enumerate() {
+        for m in dataset.labels.decode(&s.text, &s.tokens, &s.labels) {
+            gold.push((i, m));
+        }
+        for m in tagger.tag_sentence(s) {
+            pred.push((i, m));
+        }
+    }
+    let scores = score_mentions(&gold, &pred);
+    (scores.micro, scores)
+}
+
+/// Evaluates any mention-producing function over a labeled dataset.
+pub fn span_f1_with<F>(tag: F, dataset: &NerDataset) -> (Prf, SpanScores)
+where
+    F: Fn(&str) -> Vec<Mention>,
+{
+    let mut gold = Vec::new();
+    let mut pred = Vec::new();
+    for (i, s) in dataset.sentences.iter().enumerate() {
+        for m in dataset.labels.decode(&s.text, &s.tokens, &s.labels) {
+            gold.push((i, m));
+        }
+        for m in tag(&s.text) {
+            pred.push((i, m));
+        }
+    }
+    let scores = score_mentions(&gold, &pred);
+    (scores.micro, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_text::Span;
+
+    fn m(start: usize, end: usize, etype: EntityType) -> Mention {
+        Mention {
+            span: Span::new(start, end),
+            etype,
+            text: String::new(),
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let gold = vec![(0, m(0, 5, EntityType::SignSymptom))];
+        let pred = gold.clone();
+        let s = score_mentions(&gold, &pred);
+        assert_eq!(s.micro.f1, 1.0);
+    }
+
+    #[test]
+    fn wrong_type_is_fp_and_fn() {
+        let gold = vec![(0, m(0, 5, EntityType::SignSymptom))];
+        let pred = vec![(0, m(0, 5, EntityType::Medication))];
+        let s = score_mentions(&gold, &pred);
+        assert_eq!(s.micro.f1, 0.0);
+        assert_eq!(s.per_type[&EntityType::Medication].precision, 0.0);
+        assert_eq!(s.per_type[&EntityType::SignSymptom].recall, 0.0);
+    }
+
+    #[test]
+    fn wrong_boundary_is_no_credit() {
+        let gold = vec![(0, m(0, 10, EntityType::SignSymptom))];
+        let pred = vec![(0, m(0, 5, EntityType::SignSymptom))];
+        let s = score_mentions(&gold, &pred);
+        assert_eq!(s.micro.f1, 0.0);
+    }
+
+    #[test]
+    fn sentence_index_disambiguates() {
+        let gold = vec![(0, m(0, 5, EntityType::SignSymptom))];
+        let pred = vec![(1, m(0, 5, EntityType::SignSymptom))];
+        let s = score_mentions(&gold, &pred);
+        assert_eq!(s.micro.f1, 0.0);
+    }
+
+    #[test]
+    fn partial_credit_micro() {
+        let gold = vec![
+            (0, m(0, 5, EntityType::SignSymptom)),
+            (0, m(10, 15, EntityType::Medication)),
+        ];
+        let pred = vec![
+            (0, m(0, 5, EntityType::SignSymptom)),
+            (0, m(20, 25, EntityType::Medication)),
+        ];
+        let s = score_mentions(&gold, &pred);
+        assert!((s.micro.precision - 0.5).abs() < 1e-12);
+        assert!((s.micro.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = score_mentions(&[], &[]);
+        assert_eq!(s.micro.f1, 0.0);
+        assert!(s.per_type.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Longest-match dictionary tagger over the ontology.
+//!
+//! The weakest E2 baseline: scan each sentence for the longest ontology
+//! surface form starting at every token, emitting a mention when one of the
+//! target types matches. No context, no generalization — exactly the
+//! failure mode learned taggers improve on (misspellings, unseen synonyms,
+//! ambiguous surfaces).
+
+use crate::bio::{LabelSet, Mention};
+use create_ontology::Ontology;
+use create_text::{Span, StandardTokenizer, Tokenizer};
+
+/// Dictionary tagger.
+#[derive(Debug)]
+pub struct GazetteerTagger<'a> {
+    ontology: &'a Ontology,
+    labels: LabelSet,
+    /// Longest dictionary entry, in tokens, to bound the match window.
+    max_words: usize,
+}
+
+impl<'a> GazetteerTagger<'a> {
+    /// Builds the tagger; scans the ontology once for the longest surface.
+    pub fn new(ontology: &'a Ontology, labels: LabelSet) -> GazetteerTagger<'a> {
+        let max_words = ontology
+            .iter()
+            .flat_map(|c| {
+                std::iter::once(&c.preferred)
+                    .chain(c.synonyms.iter())
+                    .map(|s| s.split_whitespace().count())
+            })
+            .max()
+            .unwrap_or(1);
+        GazetteerTagger {
+            ontology,
+            labels,
+            max_words,
+        }
+    }
+
+    /// Tags one sentence.
+    pub fn tag(&self, sentence: &str) -> Vec<Mention> {
+        let tokens = StandardTokenizer.tokenize(sentence);
+        let mut mentions = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut matched = None;
+            let upper = (i + self.max_words).min(tokens.len());
+            // Longest match first.
+            for j in (i..upper).rev() {
+                let span = Span::new(tokens[i].span.start, tokens[j].span.end);
+                let surface = span.slice(sentence);
+                if let Some(c) = self.ontology.lookup(surface) {
+                    if self.labels.types().contains(&c.semantic_type) {
+                        matched = Some((j, span, c.semantic_type));
+                        break;
+                    }
+                }
+            }
+            match matched {
+                Some((j, span, etype)) => {
+                    mentions.push(Mention {
+                        span,
+                        etype,
+                        text: span.slice(sentence).to_string(),
+                    });
+                    i = j + 1;
+                }
+                None => i += 1,
+            }
+        }
+        mentions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_ontology::{clinical_ontology, EntityType};
+
+    fn tagger(o: &Ontology) -> GazetteerTagger<'_> {
+        GazetteerTagger::new(o, LabelSet::ner_targets())
+    }
+
+    #[test]
+    fn finds_known_terms() {
+        let o = clinical_ontology();
+        let t = tagger(&o);
+        let mentions = t.tag("The patient had fever and was given aspirin.");
+        let texts: Vec<&str> = mentions.iter().map(|m| m.text.as_str()).collect();
+        assert!(texts.contains(&"fever"));
+        assert!(texts.contains(&"aspirin"));
+    }
+
+    #[test]
+    fn prefers_longest_match() {
+        let o = clinical_ontology();
+        let t = tagger(&o);
+        let mentions = t.tag("She reported chest pain overnight.");
+        assert!(mentions.iter().any(|m| m.text == "chest pain"));
+        // "pain" alone must not also be reported.
+        assert!(!mentions.iter().any(|m| m.text == "pain"));
+    }
+
+    #[test]
+    fn matches_synonyms_case_insensitively() {
+        let o = clinical_ontology();
+        let t = tagger(&o);
+        let mentions = t.tag("An EKG revealed shortness of breath issues.");
+        assert!(mentions
+            .iter()
+            .any(|m| m.text == "EKG" && m.etype == EntityType::DiagnosticProcedure));
+        assert!(mentions
+            .iter()
+            .any(|m| m.text == "shortness of breath" && m.etype == EntityType::SignSymptom));
+    }
+
+    #[test]
+    fn misses_misspellings() {
+        // Documents the gazetteer's known weakness the learned taggers fix.
+        let o = clinical_ontology();
+        let t = tagger(&o);
+        let mentions = t.tag("Patient received amiodaron for the arrhythmia.");
+        assert!(!mentions.iter().any(|m| m.text.starts_with("amiodaron")));
+    }
+
+    #[test]
+    fn ignores_uncovered_types() {
+        let o = clinical_ontology();
+        let t = GazetteerTagger::new(&o, LabelSet::new(vec![EntityType::Medication]));
+        let mentions = t.tag("fever treated with aspirin");
+        assert_eq!(mentions.len(), 1);
+        assert_eq!(mentions[0].text, "aspirin");
+    }
+
+    #[test]
+    fn empty_sentence_is_empty() {
+        let o = clinical_ontology();
+        assert!(tagger(&o).tag("").is_empty());
+    }
+}

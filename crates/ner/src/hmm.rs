@@ -1,0 +1,249 @@
+//! Bigram hidden-Markov tagger.
+//!
+//! The classical-baseline rung on the E2 ladder: maximum-likelihood
+//! transition and emission counts with add-k smoothing, Viterbi decoding,
+//! and a suffix-based unknown-word model. Stronger than the gazetteer
+//! (it uses sentence context), weaker than the CRF (no overlapping
+//! features).
+
+use crate::bio::{LabelSet, Mention};
+use crate::data::NerDataset;
+use create_text::{StandardTokenizer, Tokenizer};
+use std::collections::HashMap;
+
+/// A trained HMM tagger.
+#[derive(Debug)]
+pub struct HmmTagger {
+    labels: LabelSet,
+    num_labels: usize,
+    /// log p(label | prev label), row-major.
+    log_trans: Vec<f64>,
+    /// log p(label) for the first token.
+    log_start: Vec<f64>,
+    /// word (lowercase) → per-label log emission probability.
+    log_emit: HashMap<String, Vec<f64>>,
+    /// 3-char suffix → per-label log emission for unknown words.
+    log_suffix: HashMap<String, Vec<f64>>,
+    /// Fallback for fully unknown words.
+    log_unknown: Vec<f64>,
+}
+
+fn suffix_of(word: &str) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    chars[chars.len().saturating_sub(3)..].iter().collect()
+}
+
+impl HmmTagger {
+    /// Trains by MLE with add-k smoothing from a labeled dataset.
+    pub fn train(dataset: &NerDataset) -> HmmTagger {
+        let num_labels = dataset.labels.num_labels();
+        let k = 0.1f64;
+        let mut trans = vec![k; num_labels * num_labels];
+        let mut start = vec![k; num_labels];
+        let mut emit: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut suffix: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut label_totals = vec![0.0f64; num_labels];
+
+        for s in &dataset.sentences {
+            for (pos, (tok, &label)) in s.tokens.iter().zip(&s.labels).enumerate() {
+                let word = tok.text.to_lowercase();
+                emit.entry(word).or_insert_with(|| vec![k; num_labels])[label] += 1.0;
+                suffix
+                    .entry(suffix_of(&tok.text.to_lowercase()))
+                    .or_insert_with(|| vec![k; num_labels])[label] += 1.0;
+                label_totals[label] += 1.0;
+                if pos == 0 {
+                    start[label] += 1.0;
+                } else {
+                    let prev = s.labels[pos - 1];
+                    trans[prev * num_labels + label] += 1.0;
+                }
+            }
+        }
+
+        // Normalize into log space. Emissions are p(word | label), computed
+        // column-wise against label totals.
+        let log_norm_rows = |m: &mut Vec<f64>, rows: usize, cols: usize| {
+            for r in 0..rows {
+                let total: f64 = m[r * cols..(r + 1) * cols].iter().sum();
+                for c in 0..cols {
+                    m[r * cols + c] = (m[r * cols + c] / total).ln();
+                }
+            }
+        };
+        log_norm_rows(&mut trans, num_labels, num_labels);
+        let start_total: f64 = start.iter().sum();
+        let log_start: Vec<f64> = start.iter().map(|x| (x / start_total).ln()).collect();
+
+        let to_log_emit = |counts: &HashMap<String, Vec<f64>>| -> HashMap<String, Vec<f64>> {
+            counts
+                .iter()
+                .map(|(w, per_label)| {
+                    let logs: Vec<f64> = per_label
+                        .iter()
+                        .enumerate()
+                        .map(|(l, c)| (c / (label_totals[l] + 1.0)).ln())
+                        .collect();
+                    (w.clone(), logs)
+                })
+                .collect()
+        };
+        let log_emit = to_log_emit(&emit);
+        let log_suffix = to_log_emit(&suffix);
+        // Unknown words: uniform small emission, slightly favoring O (it is
+        // by far the most common label).
+        let log_unknown: Vec<f64> = (0..num_labels)
+            .map(|l| {
+                let p = (label_totals[l] + 1.0) / (label_totals.iter().sum::<f64>() + 2.0);
+                (p * 1e-4).ln()
+            })
+            .collect();
+
+        HmmTagger {
+            labels: dataset.labels.clone(),
+            num_labels,
+            log_trans: trans,
+            log_start,
+            log_emit,
+            log_suffix,
+            log_unknown,
+        }
+    }
+
+    fn emission(&self, word: &str) -> Vec<f64> {
+        let lower = word.to_lowercase();
+        if let Some(e) = self.log_emit.get(&lower) {
+            return e.clone();
+        }
+        if let Some(e) = self.log_suffix.get(&suffix_of(&lower)) {
+            return e.clone();
+        }
+        self.log_unknown.clone()
+    }
+
+    /// Viterbi-decodes label ids for a token sequence.
+    pub fn decode_tokens(&self, words: &[&str]) -> Vec<usize> {
+        let n = words.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let l = self.num_labels;
+        let mut delta = vec![f64::NEG_INFINITY; n * l];
+        let mut back = vec![0usize; n * l];
+        let e0 = self.emission(words[0]);
+        for y in 0..l {
+            delta[y] = self.log_start[y] + e0[y];
+        }
+        for t in 1..n {
+            let et = self.emission(words[t]);
+            for y in 0..l {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_prev = 0;
+                for prev in 0..l {
+                    let s = delta[(t - 1) * l + prev] + self.log_trans[prev * l + y];
+                    if s > best {
+                        best = s;
+                        best_prev = prev;
+                    }
+                }
+                delta[t * l + y] = best + et[y];
+                back[t * l + y] = best_prev;
+            }
+        }
+        let mut last = 0;
+        let mut best = f64::NEG_INFINITY;
+        for y in 0..l {
+            if delta[(n - 1) * l + y] > best {
+                best = delta[(n - 1) * l + y];
+                last = y;
+            }
+        }
+        let mut path = vec![0usize; n];
+        path[n - 1] = last;
+        for t in (1..n).rev() {
+            path[t - 1] = back[t * l + path[t]];
+        }
+        path
+    }
+
+    /// Tags one raw sentence.
+    pub fn tag(&self, sentence: &str) -> Vec<Mention> {
+        let tokens = StandardTokenizer.tokenize(sentence);
+        let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        let labels = self.decode_tokens(&words);
+        self.labels.decode(sentence, &tokens, &labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bio::LabelSet;
+    use create_corpus::{CorpusConfig, Generator};
+    use create_ontology::EntityType;
+
+    fn small_dataset() -> NerDataset {
+        let reports = Generator::new(CorpusConfig {
+            num_reports: 40,
+            seed: 77,
+            ..Default::default()
+        })
+        .generate();
+        NerDataset::from_reports(&reports, LabelSet::ner_targets())
+    }
+
+    #[test]
+    fn learns_training_vocabulary() {
+        let ds = small_dataset();
+        let hmm = HmmTagger::train(&ds);
+        // Token accuracy on training data should beat the all-O baseline.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        let mut non_o_correct = 0usize;
+        let mut non_o_total = 0usize;
+        for s in &ds.sentences {
+            let words: Vec<&str> = s.tokens.iter().map(|t| t.text.as_str()).collect();
+            let pred = hmm.decode_tokens(&words);
+            for (p, g) in pred.iter().zip(&s.labels) {
+                total += 1;
+                correct += usize::from(p == g);
+                if *g != 0 {
+                    non_o_total += 1;
+                    non_o_correct += usize::from(p == g);
+                }
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.9);
+        assert!(
+            non_o_correct as f64 / non_o_total as f64 > 0.6,
+            "entity recall too low: {non_o_correct}/{non_o_total}"
+        );
+    }
+
+    #[test]
+    fn tags_known_entities_in_new_sentences() {
+        let ds = small_dataset();
+        let hmm = HmmTagger::train(&ds);
+        let mentions = hmm.tag("The patient presented with chest pain and fever.");
+        assert!(
+            mentions.iter().any(|m| m.etype == EntityType::SignSymptom),
+            "got {mentions:?}"
+        );
+    }
+
+    #[test]
+    fn empty_sentence() {
+        let ds = small_dataset();
+        let hmm = HmmTagger::train(&ds);
+        assert!(hmm.tag("").is_empty());
+        assert!(hmm.decode_tokens(&[]).is_empty());
+    }
+
+    #[test]
+    fn unknown_words_default_to_o() {
+        let ds = small_dataset();
+        let hmm = HmmTagger::train(&ds);
+        let labels = hmm.decode_tokens(&["zzgloop", "qqfnord"]);
+        assert!(labels.iter().all(|&l| l == 0), "got {labels:?}");
+    }
+}

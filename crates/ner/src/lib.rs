@@ -1,0 +1,33 @@
+//! Named entity recognition for clinical narratives (Section III-C).
+//!
+//! The paper's NER module locates and classifies clinical terminology into
+//! the predefined schema categories ("diagnostic procedure, disease
+//! disorder, severity, medication, medication dosage, sign symptom, …"),
+//! powered by C-FLAIR contextual embeddings. This crate implements the
+//! full recipe at reproduction scale plus the baselines the experiment
+//! compares against:
+//!
+//! * [`bio`] — the BIO label codec over the schema's type inventory;
+//! * [`data`] — building token-level NER datasets from corpus gold;
+//! * [`gazetteer`] — longest-match dictionary tagger over the ontology
+//!   (the weakest baseline);
+//! * [`hmm`] — a bigram hidden-Markov tagger (classical baseline);
+//! * [`crf_tagger`] — the main tagger: linear-chain CRF over hand-crafted
+//!   features, optionally augmented with C-FLAIR cluster + surprisal
+//!   features (the paper's "+1.5% F1" delta is the with/without-embedding
+//!   comparison, experiment E2);
+//! * [`eval`] — strict span-level precision/recall/F1 (seqeval-style).
+
+pub mod bio;
+pub mod crf_tagger;
+pub mod data;
+pub mod eval;
+pub mod gazetteer;
+pub mod hmm;
+
+pub use bio::{LabelSet, Mention};
+pub use crf_tagger::{CrfTagger, CrfTaggerConfig, FlairFeatures};
+pub use data::{NerDataset, NerSentence};
+pub use eval::span_f1;
+pub use gazetteer::GazetteerTagger;
+pub use hmm::HmmTagger;

@@ -1,0 +1,298 @@
+//! Concepts, CUI identifiers, and the ontology dictionary with
+//! normalization.
+//!
+//! The paper "standardizes [extracted concepts] against existing biomedical
+//! ontology to make the metadata interoperable" — in UMLS terms, mapping a
+//! surface mention like "heart attack" to a concept-unique identifier whose
+//! preferred name is "myocardial infarction". [`Ontology`] implements that
+//! lookup with exact, case-folded, synonym, and bounded-edit-distance
+//! fallbacks.
+
+use crate::types::EntityType;
+use create_text::distance::levenshtein_bounded;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A concept-unique identifier, formatted like a UMLS CUI (`C0027051`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConceptId(pub u32);
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{:07}", self.0)
+    }
+}
+
+impl ConceptId {
+    /// Parses a `C0000000`-style identifier.
+    pub fn parse(s: &str) -> Option<ConceptId> {
+        let rest = s.strip_prefix('C')?;
+        rest.parse::<u32>().ok().map(ConceptId)
+    }
+}
+
+/// A normalized biomedical concept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Concept {
+    /// Unique identifier.
+    pub id: ConceptId,
+    /// Preferred (canonical) name, lowercase.
+    pub preferred: String,
+    /// Semantic type under the clinical schema.
+    pub semantic_type: EntityType,
+    /// Alternative surface forms, lowercase.
+    pub synonyms: Vec<String>,
+}
+
+/// The result of normalizing a surface mention against the ontology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedMention {
+    /// The matched concept id.
+    pub concept: ConceptId,
+    /// Preferred name of the matched concept.
+    pub preferred: String,
+    /// Semantic type of the concept.
+    pub semantic_type: EntityType,
+    /// Match confidence in `(0, 1]`: 1.0 exact/synonym, lower for fuzzy.
+    pub confidence: f64,
+}
+
+/// An in-memory concept dictionary with normalization.
+#[derive(Debug, Default)]
+pub struct Ontology {
+    concepts: Vec<Concept>,
+    by_id: HashMap<ConceptId, usize>,
+    /// Lowercased surface form (preferred or synonym) → concept index.
+    by_name: HashMap<String, usize>,
+}
+
+impl Ontology {
+    /// Creates an empty ontology.
+    pub fn new() -> Ontology {
+        Ontology::default()
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// True when no concepts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Inserts a concept. Panics on duplicate ids; duplicate surface forms
+    /// keep the first registration (earlier concepts win), which makes the
+    /// built-in lexicon order authoritative.
+    pub fn insert(&mut self, concept: Concept) {
+        assert!(
+            !self.by_id.contains_key(&concept.id),
+            "duplicate concept id {}",
+            concept.id
+        );
+        let idx = self.concepts.len();
+        self.by_id.insert(concept.id, idx);
+        self.by_name
+            .entry(concept.preferred.to_lowercase())
+            .or_insert(idx);
+        for syn in &concept.synonyms {
+            self.by_name.entry(syn.to_lowercase()).or_insert(idx);
+        }
+        self.concepts.push(concept);
+    }
+
+    /// Convenience constructor used by the lexicon builder.
+    pub fn add(&mut self, id: u32, preferred: &str, semantic_type: EntityType, synonyms: &[&str]) {
+        self.insert(Concept {
+            id: ConceptId(id),
+            preferred: preferred.to_lowercase(),
+            semantic_type,
+            synonyms: synonyms.iter().map(|s| s.to_lowercase()).collect(),
+        });
+    }
+
+    /// Fetch by id.
+    pub fn get(&self, id: ConceptId) -> Option<&Concept> {
+        self.by_id.get(&id).map(|&i| &self.concepts[i])
+    }
+
+    /// Exact (case-insensitive) surface lookup across preferred names and
+    /// synonyms.
+    pub fn lookup(&self, surface: &str) -> Option<&Concept> {
+        self.by_name
+            .get(&surface.to_lowercase())
+            .map(|&i| &self.concepts[i])
+    }
+
+    /// All concepts of a given semantic type.
+    pub fn of_type(&self, t: EntityType) -> impl Iterator<Item = &Concept> {
+        self.concepts.iter().filter(move |c| c.semantic_type == t)
+    }
+
+    /// Iterates all concepts.
+    pub fn iter(&self) -> impl Iterator<Item = &Concept> {
+        self.concepts.iter()
+    }
+
+    /// Normalizes a mention: exact/synonym match first, then bounded fuzzy
+    /// match (edit distance ≤ 1 for short mentions, ≤ 2 for longer ones)
+    /// against concepts, preferring the same semantic type when `hint` is
+    /// given.
+    ///
+    /// ```
+    /// use create_ontology::clinical_ontology;
+    /// let o = clinical_ontology();
+    /// // "heart attack" is a synonym of the preferred term.
+    /// let n = o.normalize("heart attack", None).unwrap();
+    /// assert_eq!(n.preferred, "myocardial infarction");
+    /// ```
+    pub fn normalize(&self, surface: &str, hint: Option<EntityType>) -> Option<NormalizedMention> {
+        let lower = surface.to_lowercase();
+        if let Some(c) = self.lookup(&lower) {
+            return Some(NormalizedMention {
+                concept: c.id,
+                preferred: c.preferred.clone(),
+                semantic_type: c.semantic_type,
+                confidence: 1.0,
+            });
+        }
+        let max_edits = if lower.chars().count() <= 6 { 1 } else { 2 };
+        let mut best: Option<(usize, usize, bool)> = None; // (dist, idx, type_match)
+        for (name, &idx) in &self.by_name {
+            if let Some(d) = levenshtein_bounded(&lower, name, max_edits) {
+                let type_match = hint
+                    .map(|h| self.concepts[idx].semantic_type == h)
+                    .unwrap_or(true);
+                let candidate = (d, idx, type_match);
+                best = match best {
+                    None => Some(candidate),
+                    Some(cur) => {
+                        // Prefer smaller distance; break ties by type match,
+                        // then by concept index for determinism.
+                        let better =
+                            (candidate.0, !candidate.2, candidate.1) < (cur.0, !cur.2, cur.1);
+                        Some(if better { candidate } else { cur })
+                    }
+                };
+            }
+        }
+        best.map(|(d, idx, _)| {
+            let c = &self.concepts[idx];
+            let len = lower.chars().count().max(1);
+            NormalizedMention {
+                concept: c.id,
+                preferred: c.preferred.clone(),
+                semantic_type: c.semantic_type,
+                confidence: (1.0 - d as f64 / len as f64).max(0.1),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ontology {
+        let mut o = Ontology::new();
+        o.add(
+            27051,
+            "myocardial infarction",
+            EntityType::DiseaseDisorder,
+            &["heart attack", "MI"],
+        );
+        o.add(
+            15967,
+            "fever",
+            EntityType::SignSymptom,
+            &["pyrexia", "febrile"],
+        );
+        o.add(
+            4057,
+            "aspirin",
+            EntityType::Medication,
+            &["acetylsalicylic acid"],
+        );
+        o
+    }
+
+    #[test]
+    fn cui_formatting_round_trips() {
+        let id = ConceptId(27051);
+        assert_eq!(id.to_string(), "C0027051");
+        assert_eq!(ConceptId::parse("C0027051"), Some(id));
+        assert_eq!(ConceptId::parse("X123"), None);
+    }
+
+    #[test]
+    fn exact_lookup_by_preferred_and_synonym() {
+        let o = sample();
+        assert_eq!(o.lookup("fever").unwrap().id, ConceptId(15967));
+        assert_eq!(o.lookup("pyrexia").unwrap().id, ConceptId(15967));
+        assert_eq!(o.lookup("HEART ATTACK").unwrap().id, ConceptId(27051));
+        assert!(o.lookup("no such thing").is_none());
+    }
+
+    #[test]
+    fn normalize_exact_has_confidence_one() {
+        let o = sample();
+        let n = o.normalize("Heart Attack", None).unwrap();
+        assert_eq!(n.concept, ConceptId(27051));
+        assert_eq!(n.preferred, "myocardial infarction");
+        assert_eq!(n.confidence, 1.0);
+    }
+
+    #[test]
+    fn normalize_fuzzy_typo() {
+        let o = sample();
+        let n = o.normalize("feverr", None).unwrap();
+        assert_eq!(n.concept, ConceptId(15967));
+        assert!(n.confidence < 1.0);
+    }
+
+    #[test]
+    fn normalize_respects_type_hint_on_ties() {
+        let mut o = Ontology::new();
+        o.add(1, "aspirin", EntityType::Medication, &[]);
+        o.add(2, "aspirix", EntityType::SignSymptom, &[]);
+        // "aspirik" is distance 1 from both; hint should pick the Medication.
+        let n = o
+            .normalize("aspirik", Some(EntityType::Medication))
+            .unwrap();
+        assert_eq!(n.concept, ConceptId(1));
+        let n = o
+            .normalize("aspirik", Some(EntityType::SignSymptom))
+            .unwrap();
+        assert_eq!(n.concept, ConceptId(2));
+    }
+
+    #[test]
+    fn normalize_misses_when_too_far() {
+        let o = sample();
+        assert!(o.normalize("zzzzzzzz", None).is_none());
+    }
+
+    #[test]
+    fn of_type_filters() {
+        let o = sample();
+        let meds: Vec<_> = o.of_type(EntityType::Medication).collect();
+        assert_eq!(meds.len(), 1);
+        assert_eq!(meds[0].preferred, "aspirin");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate concept id")]
+    fn duplicate_id_panics() {
+        let mut o = sample();
+        o.add(15967, "duplicate", EntityType::Other, &[]);
+    }
+
+    #[test]
+    fn first_registration_wins_surface_conflicts() {
+        let mut o = Ontology::new();
+        o.add(1, "ablation", EntityType::TherapeuticProcedure, &[]);
+        o.add(2, "something", EntityType::Other, &["ablation"]);
+        assert_eq!(o.lookup("ablation").unwrap().id, ConceptId(1));
+    }
+}

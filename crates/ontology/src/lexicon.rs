@@ -1,0 +1,966 @@
+//! Built-in clinical vocabulary and the case-report category taxonomy.
+//!
+//! This is the reproduction's stand-in for UMLS/MeSH (DESIGN.md substitution
+//! S1). The vocabulary covers the entity types the paper's NER targets and
+//! the disease areas its corpus spans — with the six cardiovascular areas
+//! from Section III-A (cardiomyopathy, ischemic heart disease,
+//! cerebrovascular accidents, arrhythmias, congenital heart disease, valve
+//! disease) modeled explicitly, plus the category mix of Fig. 1 in which
+//! cancer is the largest category and cardiovascular disease accounts for
+//! roughly 20% of all case reports.
+
+use crate::concept::Ontology;
+use crate::types::EntityType;
+use std::fmt;
+
+/// The six cardiovascular areas the paper queries PubMed for (III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CvdArea {
+    /// Diseases of the heart muscle.
+    Cardiomyopathy,
+    /// Coronary artery disease and myocardial infarction.
+    IschemicHeartDisease,
+    /// Stroke and TIA.
+    CerebrovascularAccident,
+    /// Rhythm disorders.
+    Arrhythmia,
+    /// Structural defects present from birth.
+    CongenitalHeartDisease,
+    /// Valvular disease.
+    ValveDisease,
+}
+
+impl CvdArea {
+    /// All six areas.
+    pub fn all() -> &'static [CvdArea] {
+        use CvdArea::*;
+        &[
+            Cardiomyopathy,
+            IschemicHeartDisease,
+            CerebrovascularAccident,
+            Arrhythmia,
+            CongenitalHeartDisease,
+            ValveDisease,
+        ]
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        use CvdArea::*;
+        match self {
+            Cardiomyopathy => "cardiomyopathy",
+            IschemicHeartDisease => "ischemic heart disease",
+            CerebrovascularAccident => "cerebrovascular accident",
+            Arrhythmia => "arrhythmia",
+            CongenitalHeartDisease => "congenital heart disease",
+            ValveDisease => "valve disease",
+        }
+    }
+}
+
+impl fmt::Display for CvdArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Top-level case-report categories (the slices of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CaseCategory {
+    /// Oncology — the largest category in Fig. 1.
+    Cancer,
+    /// Cardiovascular disease — ~20% of reports, 2nd largest.
+    Cardiovascular(CvdArea),
+    /// Infectious disease.
+    Infectious,
+    /// Neurology.
+    Neurological,
+    /// Pulmonology.
+    Respiratory,
+    /// Gastroenterology.
+    Gastrointestinal,
+    /// Endocrinology.
+    Endocrine,
+    /// Nephrology.
+    Renal,
+    /// Everything else.
+    Other,
+}
+
+impl CaseCategory {
+    /// Coarse label (all CVD areas collapse to "cardiovascular"), matching
+    /// the Fig-1 pie slices.
+    pub fn coarse_label(&self) -> &'static str {
+        use CaseCategory::*;
+        match self {
+            Cancer => "cancer",
+            Cardiovascular(_) => "cardiovascular",
+            Infectious => "infectious",
+            Neurological => "neurological",
+            Respiratory => "respiratory",
+            Gastrointestinal => "gastrointestinal",
+            Endocrine => "endocrine",
+            Renal => "renal",
+            Other => "other",
+        }
+    }
+
+    /// The Fig-1 category mix: `(representative category, weight)` pairs.
+    /// Weights are calibrated so cancer ≈ 24% is the largest slice and
+    /// cardiovascular ≈ 20% is second, as stated in the paper.
+    pub fn weighted_mix() -> Vec<(CaseCategory, f64)> {
+        use CaseCategory::*;
+        let mut mix = vec![
+            (Cancer, 24.0),
+            (Infectious, 12.0),
+            (Neurological, 10.0),
+            (Respiratory, 8.0),
+            (Gastrointestinal, 8.0),
+            (Endocrine, 6.0),
+            (Renal, 5.0),
+            (Other, 7.0),
+        ];
+        // The six CVD areas together get 20%; within CVD, weights reflect
+        // relative PubMed volume (ischemic and arrhythmia dominate).
+        let cvd_weights = [
+            (CvdArea::Cardiomyopathy, 3.5),
+            (CvdArea::IschemicHeartDisease, 5.0),
+            (CvdArea::CerebrovascularAccident, 3.5),
+            (CvdArea::Arrhythmia, 4.0),
+            (CvdArea::CongenitalHeartDisease, 1.5),
+            (CvdArea::ValveDisease, 2.5),
+        ];
+        for (area, w) in cvd_weights {
+            mix.push((Cardiovascular(area), w));
+        }
+        mix
+    }
+}
+
+impl fmt::Display for CaseCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseCategory::Cardiovascular(area) => write!(f, "cardiovascular/{area}"),
+            other => f.write_str(other.coarse_label()),
+        }
+    }
+}
+
+/// Signs and symptoms: `(preferred, synonyms…)`.
+const SIGN_SYMPTOMS: &[(&str, &[&str])] = &[
+    ("chest pain", &["thoracic pain", "chest discomfort"]),
+    ("dyspnea", &["shortness of breath", "breathlessness"]),
+    ("palpitations", &[]),
+    ("syncope", &["fainting", "loss of consciousness"]),
+    ("fever", &["pyrexia", "febrile"]),
+    ("cough", &[]),
+    ("fatigue", &["tiredness", "lethargy"]),
+    ("nausea", &[]),
+    ("vomiting", &["emesis"]),
+    ("dizziness", &["vertigo", "lightheadedness"]),
+    ("headache", &["cephalgia"]),
+    ("edema", &["swelling", "oedema"]),
+    ("diaphoresis", &["sweating", "night sweats"]),
+    ("hemoptysis", &["coughing up blood"]),
+    ("orthopnea", &[]),
+    ("weight loss", &[]),
+    ("abdominal pain", &["stomach pain", "epigastric pain"]),
+    ("diarrhea", &["diarrhoea"]),
+    ("constipation", &[]),
+    ("jaundice", &["icterus"]),
+    ("rash", &["skin eruption"]),
+    ("pruritus", &["itching"]),
+    ("arthralgia", &["joint pain"]),
+    ("myalgia", &["muscle pain"]),
+    ("back pain", &[]),
+    ("dysphagia", &["difficulty swallowing"]),
+    ("hematuria", &["blood in urine"]),
+    ("oliguria", &[]),
+    ("polyuria", &[]),
+    ("polydipsia", &["excessive thirst"]),
+    ("paresthesia", &["tingling", "numbness"]),
+    ("hemiparesis", &["unilateral weakness"]),
+    ("aphasia", &["speech difficulty"]),
+    ("dysarthria", &["slurred speech"]),
+    ("seizure", &["convulsion", "fit"]),
+    ("confusion", &["altered mental status", "disorientation"]),
+    ("tremor", &[]),
+    ("ataxia", &["gait instability"]),
+    ("blurred vision", &["visual disturbance"]),
+    ("diplopia", &["double vision"]),
+    ("tinnitus", &[]),
+    ("epistaxis", &["nosebleed"]),
+    ("sore throat", &["pharyngitis symptoms", "odynophagia"]),
+    ("nasal congestion", &["stuffy nose"]),
+    ("rhinorrhea", &["runny nose"]),
+    ("wheezing", &[]),
+    ("stridor", &[]),
+    ("cyanosis", &[]),
+    ("pallor", &[]),
+    ("bradycardia", &["slow heart rate"]),
+    ("tachycardia", &["rapid heart rate", "fast heart rate"]),
+    ("hypotension", &["low blood pressure"]),
+    ("hypertension symptoms", &["elevated blood pressure"]),
+    ("anorexia", &["loss of appetite"]),
+    ("malaise", &["general discomfort"]),
+    ("chills", &["rigors"]),
+    ("hematemesis", &["vomiting blood"]),
+    ("melena", &["black stools"]),
+    ("dysuria", &["painful urination"]),
+    ("claudication", &["leg pain on walking"]),
+    ("bruising", &["ecchymosis"]),
+    ("lymphadenopathy", &["swollen lymph nodes"]),
+    ("hepatomegaly", &["enlarged liver"]),
+    ("splenomegaly", &["enlarged spleen"]),
+    ("ascites", &[]),
+    ("anosmia", &["loss of smell"]),
+    ("insomnia", &["sleeplessness"]),
+];
+
+/// Diseases grouped for category-aware generation. Field order:
+/// `(preferred, synonyms, coarse category key)` where the key selects which
+/// [`CaseCategory`] a disease belongs to.
+const DISEASES: &[(&str, &[&str], &str)] = &[
+    // Cardiomyopathy
+    ("dilated cardiomyopathy", &["DCM"], "cvd:cardiomyopathy"),
+    (
+        "hypertrophic cardiomyopathy",
+        &["HCM", "HOCM"],
+        "cvd:cardiomyopathy",
+    ),
+    ("restrictive cardiomyopathy", &[], "cvd:cardiomyopathy"),
+    (
+        "takotsubo cardiomyopathy",
+        &["stress cardiomyopathy", "broken heart syndrome"],
+        "cvd:cardiomyopathy",
+    ),
+    (
+        "arrhythmogenic right ventricular cardiomyopathy",
+        &["ARVC"],
+        "cvd:cardiomyopathy",
+    ),
+    ("peripartum cardiomyopathy", &[], "cvd:cardiomyopathy"),
+    (
+        "myocarditis",
+        &["inflammatory cardiomyopathy"],
+        "cvd:cardiomyopathy",
+    ),
+    // Ischemic heart disease
+    (
+        "myocardial infarction",
+        &["heart attack", "MI", "STEMI", "NSTEMI"],
+        "cvd:ischemic",
+    ),
+    ("unstable angina", &[], "cvd:ischemic"),
+    ("stable angina", &["angina pectoris"], "cvd:ischemic"),
+    (
+        "coronary artery disease",
+        &["CAD", "coronary atherosclerosis"],
+        "cvd:ischemic",
+    ),
+    ("coronary artery dissection", &["SCAD"], "cvd:ischemic"),
+    (
+        "coronary vasospasm",
+        &["prinzmetal angina", "variant angina"],
+        "cvd:ischemic",
+    ),
+    // Cerebrovascular
+    (
+        "ischemic stroke",
+        &["cerebral infarction", "brain attack"],
+        "cvd:cva",
+    ),
+    (
+        "hemorrhagic stroke",
+        &["intracerebral hemorrhage"],
+        "cvd:cva",
+    ),
+    (
+        "transient ischemic attack",
+        &["TIA", "mini stroke"],
+        "cvd:cva",
+    ),
+    ("subarachnoid hemorrhage", &["SAH"], "cvd:cva"),
+    ("cerebral venous thrombosis", &["CVT"], "cvd:cva"),
+    ("carotid artery stenosis", &[], "cvd:cva"),
+    // Arrhythmia
+    ("atrial fibrillation", &["AF", "afib"], "cvd:arrhythmia"),
+    ("atrial flutter", &[], "cvd:arrhythmia"),
+    (
+        "ventricular tachycardia",
+        &["VT", "v-tach"],
+        "cvd:arrhythmia",
+    ),
+    (
+        "ventricular fibrillation",
+        &["VF", "v-fib"],
+        "cvd:arrhythmia",
+    ),
+    ("supraventricular tachycardia", &["SVT"], "cvd:arrhythmia"),
+    (
+        "complete heart block",
+        &["third-degree AV block"],
+        "cvd:arrhythmia",
+    ),
+    (
+        "sick sinus syndrome",
+        &["sinus node dysfunction"],
+        "cvd:arrhythmia",
+    ),
+    ("long QT syndrome", &["LQTS"], "cvd:arrhythmia"),
+    ("brugada syndrome", &[], "cvd:arrhythmia"),
+    ("wolff-parkinson-white syndrome", &["WPW"], "cvd:arrhythmia"),
+    // Congenital
+    ("atrial septal defect", &["ASD"], "cvd:congenital"),
+    ("ventricular septal defect", &["VSD"], "cvd:congenital"),
+    ("tetralogy of fallot", &["TOF"], "cvd:congenital"),
+    ("patent ductus arteriosus", &["PDA"], "cvd:congenital"),
+    ("coarctation of the aorta", &[], "cvd:congenital"),
+    ("ebstein anomaly", &[], "cvd:congenital"),
+    // Valve disease
+    ("aortic stenosis", &["AS"], "cvd:valve"),
+    (
+        "aortic regurgitation",
+        &["aortic insufficiency"],
+        "cvd:valve",
+    ),
+    ("mitral stenosis", &[], "cvd:valve"),
+    (
+        "mitral regurgitation",
+        &["mitral insufficiency"],
+        "cvd:valve",
+    ),
+    ("mitral valve prolapse", &["MVP"], "cvd:valve"),
+    (
+        "infective endocarditis",
+        &["bacterial endocarditis"],
+        "cvd:valve",
+    ),
+    ("tricuspid regurgitation", &[], "cvd:valve"),
+    // Cancer
+    (
+        "lung adenocarcinoma",
+        &["pulmonary adenocarcinoma"],
+        "cancer",
+    ),
+    ("small cell lung cancer", &["SCLC"], "cancer"),
+    ("breast carcinoma", &["breast cancer"], "cancer"),
+    (
+        "colorectal carcinoma",
+        &["colon cancer", "rectal cancer"],
+        "cancer",
+    ),
+    (
+        "hepatocellular carcinoma",
+        &["HCC", "liver cancer"],
+        "cancer",
+    ),
+    (
+        "pancreatic adenocarcinoma",
+        &["pancreatic cancer"],
+        "cancer",
+    ),
+    ("gastric carcinoma", &["stomach cancer"], "cancer"),
+    ("renal cell carcinoma", &["RCC", "kidney cancer"], "cancer"),
+    ("prostate adenocarcinoma", &["prostate cancer"], "cancer"),
+    (
+        "glioblastoma",
+        &["GBM", "glioblastoma multiforme"],
+        "cancer",
+    ),
+    ("acute myeloid leukemia", &["AML"], "cancer"),
+    ("chronic lymphocytic leukemia", &["CLL"], "cancer"),
+    ("hodgkin lymphoma", &["hodgkin disease"], "cancer"),
+    ("non-hodgkin lymphoma", &["NHL"], "cancer"),
+    ("multiple myeloma", &[], "cancer"),
+    ("melanoma", &["malignant melanoma"], "cancer"),
+    ("osteosarcoma", &[], "cancer"),
+    ("ovarian carcinoma", &["ovarian cancer"], "cancer"),
+    ("thyroid carcinoma", &["thyroid cancer"], "cancer"),
+    ("cardiac myxoma", &["atrial myxoma"], "cancer"),
+    // Infectious
+    (
+        "covid-19",
+        &["coronavirus disease", "sars-cov-2 infection"],
+        "infectious",
+    ),
+    ("influenza", &["flu"], "infectious"),
+    ("community-acquired pneumonia", &["CAP"], "infectious"),
+    ("tuberculosis", &["TB"], "infectious"),
+    (
+        "sepsis",
+        &["septicemia", "bloodstream infection"],
+        "infectious",
+    ),
+    ("meningitis", &[], "infectious"),
+    ("cellulitis", &[], "infectious"),
+    ("urinary tract infection", &["UTI"], "infectious"),
+    ("hepatitis b", &["HBV infection"], "infectious"),
+    ("malaria", &[], "infectious"),
+    ("lyme disease", &["borreliosis"], "infectious"),
+    ("hiv infection", &["AIDS"], "infectious"),
+    // Neurological
+    ("multiple sclerosis", &["MS"], "neuro"),
+    ("parkinson disease", &["parkinsonism"], "neuro"),
+    (
+        "alzheimer disease",
+        &["dementia of alzheimer type"],
+        "neuro",
+    ),
+    ("epilepsy", &["seizure disorder"], "neuro"),
+    ("guillain-barre syndrome", &["GBS"], "neuro"),
+    ("myasthenia gravis", &[], "neuro"),
+    ("migraine", &[], "neuro"),
+    (
+        "amyotrophic lateral sclerosis",
+        &["ALS", "motor neuron disease"],
+        "neuro",
+    ),
+    // Respiratory
+    ("asthma", &["bronchial asthma"], "resp"),
+    (
+        "chronic obstructive pulmonary disease",
+        &["COPD", "emphysema"],
+        "resp",
+    ),
+    ("pulmonary embolism", &["PE"], "resp"),
+    ("pulmonary fibrosis", &["interstitial lung disease"], "resp"),
+    ("pneumothorax", &["collapsed lung"], "resp"),
+    ("pleural effusion", &[], "resp"),
+    (
+        "respiratory failure",
+        &["acute respiratory distress"],
+        "resp",
+    ),
+    ("sarcoidosis", &[], "resp"),
+    // Gastrointestinal
+    ("crohn disease", &["regional enteritis"], "gi"),
+    ("ulcerative colitis", &["UC"], "gi"),
+    (
+        "peptic ulcer disease",
+        &["gastric ulcer", "duodenal ulcer"],
+        "gi",
+    ),
+    ("acute pancreatitis", &[], "gi"),
+    ("cirrhosis", &["hepatic cirrhosis"], "gi"),
+    ("cholecystitis", &["gallbladder inflammation"], "gi"),
+    ("appendicitis", &[], "gi"),
+    ("celiac disease", &["gluten enteropathy"], "gi"),
+    // Endocrine
+    (
+        "type 2 diabetes mellitus",
+        &["T2DM", "adult-onset diabetes"],
+        "endo",
+    ),
+    ("type 1 diabetes mellitus", &["T1DM"], "endo"),
+    ("hypothyroidism", &["underactive thyroid"], "endo"),
+    (
+        "hyperthyroidism",
+        &["thyrotoxicosis", "graves disease"],
+        "endo",
+    ),
+    ("cushing syndrome", &["hypercortisolism"], "endo"),
+    ("addison disease", &["adrenal insufficiency"], "endo"),
+    ("pheochromocytoma", &[], "endo"),
+    ("diabetic ketoacidosis", &["DKA"], "endo"),
+    // Renal
+    (
+        "acute kidney injury",
+        &["AKI", "acute renal failure"],
+        "renal",
+    ),
+    ("chronic kidney disease", &["CKD"], "renal"),
+    ("nephrotic syndrome", &[], "renal"),
+    ("glomerulonephritis", &[], "renal"),
+    ("renal artery stenosis", &[], "renal"),
+    // Other
+    ("systemic lupus erythematosus", &["SLE", "lupus"], "other"),
+    ("rheumatoid arthritis", &["RA"], "other"),
+    ("gout", &["gouty arthritis"], "other"),
+    ("anaphylaxis", &["anaphylactic shock"], "other"),
+    ("amyloidosis", &[], "other"),
+    ("sickle cell disease", &["sickle cell anemia"], "other"),
+    ("hemophilia a", &["factor viii deficiency"], "other"),
+    ("deep vein thrombosis", &["DVT"], "other"),
+];
+
+const MEDICATIONS: &[(&str, &[&str])] = &[
+    ("aspirin", &["acetylsalicylic acid", "ASA"]),
+    ("clopidogrel", &["plavix"]),
+    ("warfarin", &["coumadin"]),
+    ("apixaban", &["eliquis"]),
+    ("rivaroxaban", &["xarelto"]),
+    ("heparin", &["unfractionated heparin"]),
+    ("enoxaparin", &["lovenox"]),
+    ("metoprolol", &["lopressor", "toprol"]),
+    ("atenolol", &[]),
+    ("carvedilol", &["coreg"]),
+    ("bisoprolol", &[]),
+    ("amiodarone", &["cordarone"]),
+    ("digoxin", &["lanoxin"]),
+    ("diltiazem", &["cardizem"]),
+    ("verapamil", &[]),
+    ("lisinopril", &["prinivil", "zestril"]),
+    ("enalapril", &[]),
+    ("ramipril", &["altace"]),
+    ("losartan", &["cozaar"]),
+    ("valsartan", &["diovan"]),
+    ("sacubitril-valsartan", &["entresto"]),
+    ("furosemide", &["lasix"]),
+    ("spironolactone", &["aldactone"]),
+    ("hydrochlorothiazide", &["HCTZ"]),
+    ("atorvastatin", &["lipitor"]),
+    ("rosuvastatin", &["crestor"]),
+    ("simvastatin", &["zocor"]),
+    ("metformin", &["glucophage"]),
+    ("insulin glargine", &["lantus"]),
+    ("empagliflozin", &["jardiance"]),
+    ("liraglutide", &["victoza"]),
+    ("levothyroxine", &["synthroid"]),
+    ("prednisone", &[]),
+    ("prednisolone", &[]),
+    ("methylprednisolone", &["solu-medrol"]),
+    ("dexamethasone", &["decadron"]),
+    ("hydrocortisone", &[]),
+    ("azathioprine", &["imuran"]),
+    ("methotrexate", &[]),
+    ("cyclophosphamide", &["cytoxan"]),
+    ("rituximab", &["rituxan"]),
+    ("trastuzumab", &["herceptin"]),
+    ("pembrolizumab", &["keytruda"]),
+    ("nivolumab", &["opdivo"]),
+    ("cisplatin", &[]),
+    ("carboplatin", &[]),
+    ("paclitaxel", &["taxol"]),
+    ("doxorubicin", &["adriamycin"]),
+    ("imatinib", &["gleevec"]),
+    ("amoxicillin", &[]),
+    ("amoxicillin-clavulanate", &["augmentin"]),
+    ("ceftriaxone", &["rocephin"]),
+    ("vancomycin", &[]),
+    ("piperacillin-tazobactam", &["zosyn"]),
+    ("azithromycin", &["zithromax"]),
+    ("levofloxacin", &["levaquin"]),
+    ("ciprofloxacin", &["cipro"]),
+    ("doxycycline", &[]),
+    ("metronidazole", &["flagyl"]),
+    ("oseltamivir", &["tamiflu"]),
+    ("remdesivir", &["veklury"]),
+    ("acyclovir", &["zovirax"]),
+    ("fluconazole", &["diflucan"]),
+    ("omeprazole", &["prilosec"]),
+    ("pantoprazole", &["protonix"]),
+    ("ondansetron", &["zofran"]),
+    ("morphine", &[]),
+    ("fentanyl", &[]),
+    ("acetaminophen", &["paracetamol", "tylenol"]),
+    ("ibuprofen", &["advil", "motrin"]),
+    ("naloxone", &["narcan"]),
+    ("epinephrine", &["adrenaline"]),
+    ("norepinephrine", &["levophed"]),
+    ("dobutamine", &[]),
+    ("nitroglycerin", &["glyceryl trinitrate", "GTN"]),
+    ("alteplase", &["tPA", "tissue plasminogen activator"]),
+    ("glucocorticoids", &["corticosteroids", "steroids"]),
+];
+
+const DIAGNOSTIC_PROCEDURES: &[(&str, &[&str])] = &[
+    ("electrocardiogram", &["ECG", "EKG", "12-lead ECG"]),
+    (
+        "echocardiogram",
+        &["echocardiography", "cardiac echo", "TTE"],
+    ),
+    ("transesophageal echocardiogram", &["TEE"]),
+    (
+        "coronary angiography",
+        &["cardiac catheterization", "coronary angiogram"],
+    ),
+    ("cardiac MRI", &["cardiovascular magnetic resonance", "CMR"]),
+    ("chest radiograph", &["chest x-ray", "CXR"]),
+    ("computed tomography", &["CT scan", "CT"]),
+    ("CT angiography", &["CTA"]),
+    ("magnetic resonance imaging", &["MRI"]),
+    ("positron emission tomography", &["PET scan", "PET-CT"]),
+    ("ultrasound", &["ultrasonography", "sonography"]),
+    ("doppler ultrasound", &["duplex ultrasonography"]),
+    ("holter monitoring", &["ambulatory ECG", "24-hour holter"]),
+    (
+        "exercise stress test",
+        &["treadmill test", "stress testing"],
+    ),
+    ("electroencephalogram", &["EEG"]),
+    ("electromyography", &["EMG"]),
+    ("lumbar puncture", &["spinal tap", "CSF analysis"]),
+    ("bone marrow biopsy", &["marrow aspiration"]),
+    ("endomyocardial biopsy", &[]),
+    ("skin biopsy", &[]),
+    ("liver biopsy", &[]),
+    ("colonoscopy", &[]),
+    (
+        "upper endoscopy",
+        &["esophagogastroduodenoscopy", "EGD", "gastroscopy"],
+    ),
+    ("bronchoscopy", &[]),
+    ("complete blood count", &["CBC", "full blood count"]),
+    ("basic metabolic panel", &["BMP", "chemistry panel"]),
+    ("liver function tests", &["LFTs", "hepatic panel"]),
+    ("arterial blood gas", &["ABG"]),
+    ("blood culture", &["blood cultures"]),
+    ("urinalysis", &["urine analysis"]),
+    ("polymerase chain reaction", &["PCR test", "PCR"]),
+    ("antibody test", &["serology", "antibody testing"]),
+    ("genetic testing", &["gene panel", "genomic sequencing"]),
+    ("pulmonary function tests", &["spirometry", "PFTs"]),
+    ("carotid doppler", &["carotid ultrasound"]),
+    ("tilt table test", &[]),
+    ("electrophysiology study", &["EP study"]),
+    ("mammography", &["mammogram"]),
+];
+
+const THERAPEUTIC_PROCEDURES: &[(&str, &[&str])] = &[
+    (
+        "percutaneous coronary intervention",
+        &["PCI", "angioplasty", "stent placement"],
+    ),
+    (
+        "coronary artery bypass grafting",
+        &["CABG", "bypass surgery"],
+    ),
+    (
+        "catheter ablation",
+        &["radiofrequency ablation", "RF ablation"],
+    ),
+    ("electrical cardioversion", &["DC cardioversion"]),
+    ("defibrillation", &[]),
+    (
+        "pacemaker implantation",
+        &["permanent pacemaker", "PPM insertion"],
+    ),
+    (
+        "implantable cardioverter-defibrillator placement",
+        &["ICD implantation"],
+    ),
+    (
+        "valve replacement",
+        &["aortic valve replacement", "AVR", "TAVR"],
+    ),
+    ("valve repair", &["mitral valve repair", "mitraclip"]),
+    ("heart transplantation", &["cardiac transplant"]),
+    ("extracorporeal membrane oxygenation", &["ECMO"]),
+    ("intra-aortic balloon pump", &["IABP"]),
+    ("thrombolysis", &["thrombolytic therapy", "fibrinolysis"]),
+    (
+        "thrombectomy",
+        &["mechanical thrombectomy", "clot retrieval"],
+    ),
+    ("craniotomy", &[]),
+    ("chemotherapy", &["systemic chemotherapy"]),
+    ("radiation therapy", &["radiotherapy", "RT"]),
+    ("immunotherapy", &["checkpoint inhibitor therapy"]),
+    ("surgical resection", &["tumor resection", "excision"]),
+    ("mastectomy", &[]),
+    ("colectomy", &[]),
+    ("appendectomy", &[]),
+    ("cholecystectomy", &["gallbladder removal"]),
+    ("hemodialysis", &["dialysis"]),
+    ("kidney transplantation", &["renal transplant"]),
+    (
+        "mechanical ventilation",
+        &["intubation", "ventilatory support"],
+    ),
+    ("oxygen therapy", &["supplemental oxygen"]),
+    (
+        "blood transfusion",
+        &["transfusion", "packed red blood cells"],
+    ),
+    ("plasmapheresis", &["plasma exchange"]),
+    ("pericardiocentesis", &[]),
+    ("chest tube placement", &["thoracostomy"]),
+    (
+        "stem cell transplantation",
+        &["bone marrow transplant", "HSCT"],
+    ),
+];
+
+const LOCATIONS: &[(&str, &[&str])] = &[
+    ("hospital", &["medical center", "tertiary care center"]),
+    (
+        "emergency department",
+        &["emergency room", "ED", "ER", "A&E"],
+    ),
+    ("intensive care unit", &["ICU", "critical care unit"]),
+    ("coronary care unit", &["CCU", "cardiac care unit"]),
+    ("operating room", &["operating theatre", "OR"]),
+    ("outpatient clinic", &["clinic", "ambulatory clinic"]),
+    ("cardiology ward", &["cardiac ward", "telemetry unit"]),
+    ("rehabilitation facility", &["rehab center"]),
+    ("nursing home", &["long-term care facility"]),
+    (
+        "primary care office",
+        &["general practice", "family medicine clinic"],
+    ),
+    ("catheterization laboratory", &["cath lab"]),
+    ("home", &["residence"]),
+];
+
+const OCCUPATIONS: &[(&str, &[&str])] = &[
+    ("cotton farmer", &[]),
+    ("farmer", &["agricultural worker"]),
+    ("teacher", &["schoolteacher"]),
+    ("construction worker", &["builder"]),
+    ("nurse", &[]),
+    ("physician", &["doctor"]),
+    ("office worker", &["clerk", "accountant"]),
+    ("truck driver", &["lorry driver"]),
+    ("retired worker", &["retiree", "pensioner"]),
+    ("factory worker", &["assembly line worker"]),
+    ("chef", &["cook"]),
+    ("miner", &["coal miner"]),
+    ("firefighter", &[]),
+    ("athlete", &["professional athlete", "marathon runner"]),
+    ("fisherman", &[]),
+    ("electrician", &[]),
+    ("student", &["university student"]),
+    ("software engineer", &["programmer"]),
+];
+
+const SEVERITIES: &[(&str, &[&str])] = &[
+    ("mild", &["slight", "minimal"]),
+    ("moderate", &[]),
+    ("severe", &["marked", "profound"]),
+    ("critical", &["life-threatening"]),
+    ("acute", &["sudden-onset"]),
+    ("chronic", &["long-standing"]),
+    ("progressive", &["worsening"]),
+    ("intermittent", &["episodic", "recurrent"]),
+    ("persistent", &["refractory", "ongoing"]),
+    ("transient", &["self-limiting", "temporary"]),
+];
+
+const OUTCOMES: &[(&str, &[&str])] = &[
+    ("discharged", &["discharged home", "released from hospital"]),
+    ("recovered", &["full recovery", "complete resolution"]),
+    ("improved", &["clinical improvement", "symptoms improved"]),
+    (
+        "stabilized",
+        &["hemodynamically stable", "condition stabilized"],
+    ),
+    ("died", &["death", "deceased", "expired"]),
+    ("transferred", &["transferred to another facility"]),
+    ("readmitted", &["readmission"]),
+    ("lost to follow-up", &[]),
+];
+
+const LAB_ANALYTES: &[(&str, &[&str])] = &[
+    ("troponin", &["troponin I", "troponin T", "hs-troponin"]),
+    ("creatine kinase", &["CK", "CK-MB"]),
+    ("b-type natriuretic peptide", &["BNP", "NT-proBNP"]),
+    ("creatinine", &["serum creatinine"]),
+    ("hemoglobin", &["Hb", "haemoglobin"]),
+    ("white blood cell count", &["WBC", "leukocyte count"]),
+    ("platelet count", &["platelets"]),
+    ("c-reactive protein", &["CRP"]),
+    ("erythrocyte sedimentation rate", &["ESR"]),
+    ("d-dimer", &[]),
+    ("lactate", &["serum lactate"]),
+    ("glucose", &["blood glucose", "blood sugar"]),
+    ("hemoglobin a1c", &["HbA1c", "glycated hemoglobin"]),
+    ("thyroid stimulating hormone", &["TSH"]),
+    ("potassium", &["serum potassium"]),
+    ("sodium", &["serum sodium"]),
+    ("alanine aminotransferase", &["ALT"]),
+    ("aspartate aminotransferase", &["AST"]),
+    ("bilirubin", &["total bilirubin"]),
+    ("ejection fraction", &["EF", "LVEF"]),
+];
+
+/// Builds the full built-in clinical ontology. Concept ids are assigned
+/// deterministically in blocks of 10 000 per semantic type, so tests can
+/// rely on stable CUIs.
+pub fn clinical_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    let mut next = 10_000u32;
+    let add_block =
+        |o: &mut Ontology, entries: &[(&str, &[&str])], t: EntityType, base: &mut u32| {
+            for (preferred, synonyms) in entries {
+                o.add(*base, preferred, t, synonyms);
+                *base += 1;
+            }
+            *base = (*base / 10_000 + 1) * 10_000;
+        };
+    add_block(&mut o, SIGN_SYMPTOMS, EntityType::SignSymptom, &mut next);
+    // Diseases carry a category tag handled separately below.
+    for (preferred, synonyms, _) in DISEASES {
+        o.add(next, preferred, EntityType::DiseaseDisorder, synonyms);
+        next += 1;
+    }
+    next = (next / 10_000 + 1) * 10_000;
+    add_block(&mut o, MEDICATIONS, EntityType::Medication, &mut next);
+    add_block(
+        &mut o,
+        DIAGNOSTIC_PROCEDURES,
+        EntityType::DiagnosticProcedure,
+        &mut next,
+    );
+    add_block(
+        &mut o,
+        THERAPEUTIC_PROCEDURES,
+        EntityType::TherapeuticProcedure,
+        &mut next,
+    );
+    add_block(
+        &mut o,
+        LOCATIONS,
+        EntityType::NonbiologicalLocation,
+        &mut next,
+    );
+    add_block(&mut o, OCCUPATIONS, EntityType::Occupation, &mut next);
+    add_block(&mut o, SEVERITIES, EntityType::Severity, &mut next);
+    add_block(&mut o, OUTCOMES, EntityType::Outcome, &mut next);
+    add_block(&mut o, LAB_ANALYTES, EntityType::LabValue, &mut next);
+    o
+}
+
+/// Returns the disease preferred names belonging to a category, for the
+/// generator to sample from.
+pub fn diseases_for(category: CaseCategory) -> Vec<&'static str> {
+    let key = match category {
+        CaseCategory::Cancer => "cancer",
+        CaseCategory::Cardiovascular(CvdArea::Cardiomyopathy) => "cvd:cardiomyopathy",
+        CaseCategory::Cardiovascular(CvdArea::IschemicHeartDisease) => "cvd:ischemic",
+        CaseCategory::Cardiovascular(CvdArea::CerebrovascularAccident) => "cvd:cva",
+        CaseCategory::Cardiovascular(CvdArea::Arrhythmia) => "cvd:arrhythmia",
+        CaseCategory::Cardiovascular(CvdArea::CongenitalHeartDisease) => "cvd:congenital",
+        CaseCategory::Cardiovascular(CvdArea::ValveDisease) => "cvd:valve",
+        CaseCategory::Infectious => "infectious",
+        CaseCategory::Neurological => "neuro",
+        CaseCategory::Respiratory => "resp",
+        CaseCategory::Gastrointestinal => "gi",
+        CaseCategory::Endocrine => "endo",
+        CaseCategory::Renal => "renal",
+        CaseCategory::Other => "other",
+    };
+    DISEASES
+        .iter()
+        .filter(|(_, _, k)| *k == key)
+        .map(|(name, _, _)| *name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_is_populated() {
+        let o = clinical_ontology();
+        assert!(o.len() > 300, "expected a rich lexicon, got {}", o.len());
+    }
+
+    #[test]
+    fn key_paper_terms_resolve() {
+        let o = clinical_ontology();
+        // Terms from the paper's running example (Figs 5 and 7).
+        for term in [
+            "fever",
+            "cough",
+            "nasal congestion",
+            "hospital",
+            "glucocorticoids",
+            "covid-19",
+            "antibody test",
+            "respiratory failure",
+            "died",
+        ] {
+            assert!(o.lookup(term).is_some(), "missing: {term}");
+        }
+        // The ENTITY example from III-B.
+        assert!(o.lookup("cotton farmer").is_some());
+    }
+
+    #[test]
+    fn synonyms_map_to_preferred() {
+        let o = clinical_ontology();
+        let mi = o.lookup("heart attack").unwrap();
+        assert_eq!(mi.preferred, "myocardial infarction");
+        let ecg = o.lookup("EKG").unwrap();
+        assert_eq!(ecg.preferred, "electrocardiogram");
+    }
+
+    #[test]
+    fn every_cvd_area_has_diseases() {
+        for area in CvdArea::all() {
+            let ds = diseases_for(CaseCategory::Cardiovascular(*area));
+            assert!(ds.len() >= 3, "area {area} has only {} diseases", ds.len());
+        }
+    }
+
+    #[test]
+    fn every_category_has_diseases() {
+        for (cat, _) in CaseCategory::weighted_mix() {
+            assert!(!diseases_for(cat).is_empty(), "no diseases for {cat}");
+        }
+    }
+
+    #[test]
+    fn fig1_mix_shape() {
+        // Cancer is the largest coarse slice, CVD second at ~20%.
+        let mix = CaseCategory::weighted_mix();
+        let total: f64 = mix.iter().map(|(_, w)| w).sum();
+        let share = |label: &str| -> f64 {
+            mix.iter()
+                .filter(|(c, _)| c.coarse_label() == label)
+                .map(|(_, w)| w)
+                .sum::<f64>()
+                / total
+        };
+        let cvd = share("cardiovascular");
+        let cancer = share("cancer");
+        assert!((cvd - 0.20).abs() < 0.01, "CVD share {cvd}");
+        assert!(cancer > cvd, "cancer {cancer} must exceed CVD {cvd}");
+        for label in [
+            "infectious",
+            "neurological",
+            "respiratory",
+            "gastrointestinal",
+            "endocrine",
+            "renal",
+            "other",
+        ] {
+            assert!(share(label) < cvd, "{label} should be below CVD");
+        }
+    }
+
+    #[test]
+    fn concept_types_are_consistent() {
+        let o = clinical_ontology();
+        assert_eq!(
+            o.lookup("amiodarone").unwrap().semantic_type,
+            EntityType::Medication
+        );
+        assert_eq!(
+            o.lookup("echocardiogram").unwrap().semantic_type,
+            EntityType::DiagnosticProcedure
+        );
+        assert_eq!(
+            o.lookup("severe").unwrap().semantic_type,
+            EntityType::Severity
+        );
+    }
+
+    #[test]
+    fn id_blocks_are_stable() {
+        let o = clinical_ontology();
+        // Sign/symptoms start at 10000 in insertion order.
+        assert_eq!(o.lookup("chest pain").unwrap().id.0, 10_000);
+    }
+
+    #[test]
+    fn normalization_handles_misspelled_medication() {
+        let o = clinical_ontology();
+        let n = o
+            .normalize("amiodaron", Some(EntityType::Medication))
+            .unwrap();
+        assert_eq!(n.preferred, "amiodarone");
+    }
+}

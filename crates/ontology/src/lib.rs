@@ -1,0 +1,26 @@
+//! The clinical typing schema and concept ontology for CREATe.
+//!
+//! Section III-B of the paper annotates case reports with a "comprehensive
+//! typing schema for information extraction from clinical narratives"
+//! (Caufield et al. — the MACCROBAT schema): EVENTS (text elements that
+//! trigger a progression in the clinical course, e.g. *dyspnea* as
+//! Sign/Symptom), ENTITIES (non-trigger semantic elements, e.g. *cotton
+//! farmer* as Occupation), and RELATIONS between them — temporal
+//! (BEFORE/AFTER/OVERLAP) and semantic (IDENTICAL/MODIFY).
+//!
+//! This crate provides:
+//! * [`types`] — the entity/event/relation type system;
+//! * [`concept`] — concepts with CUI-style identifiers, synonyms, and an
+//!   [`concept::Ontology`] dictionary with normalization (the paper
+//!   "standardizes concepts against existing biomedical ontology");
+//! * [`lexicon`] — the built-in clinical vocabulary (the stand-in for UMLS;
+//!   see DESIGN.md substitution S1) and disease-category taxonomy used for
+//!   the Fig-1 corpus mix.
+
+pub mod concept;
+pub mod lexicon;
+pub mod types;
+
+pub use concept::{Concept, ConceptId, NormalizedMention, Ontology};
+pub use lexicon::{clinical_ontology, CaseCategory, CvdArea};
+pub use types::{EntityType, RelationType};

@@ -1,0 +1,491 @@
+//! Entity, event, and relation types of the clinical typing schema.
+//!
+//! The type inventory follows the MACCROBAT clinical-narrative schema the
+//! paper cites: EVENT types are "situations or conditions that trigger a
+//! progression in a patient's clinical course"; ENTITY types are
+//! "non-trigger text elements which play a semantic role". Relations are
+//! split into temporal (BEFORE/AFTER/OVERLAP) and semantic
+//! (IDENTICAL/MODIFY, plus the schema's SUB_PROCEDURE).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// All mention types of the clinical typing schema.
+///
+/// The `is_event` method partitions the inventory into EVENTS and ENTITIES
+/// as defined in Section III-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum EntityType {
+    // ---- EVENT types: trigger clinical-course progression ----
+    /// A sign observed or symptom reported (e.g. "dyspnea", "chest pain").
+    SignSymptom,
+    /// A named disease or disorder (e.g. "dilated cardiomyopathy").
+    DiseaseDisorder,
+    /// A procedure performed to diagnose (e.g. "echocardiogram").
+    DiagnosticProcedure,
+    /// A procedure performed to treat (e.g. "catheter ablation").
+    TherapeuticProcedure,
+    /// A laboratory result mention (e.g. "troponin 3.5 ng/mL").
+    LabValue,
+    /// A drug (e.g. "amiodarone").
+    Medication,
+    /// Outcome of the clinical course (e.g. "discharged", "died").
+    Outcome,
+    /// A generic clinical event that none of the above capture
+    /// (e.g. "admitted to the hospital").
+    ClinicalEvent,
+    /// Activity of the patient (e.g. "jogging", "heavy lifting").
+    Activity,
+
+    // ---- ENTITY types: non-trigger semantic roles ----
+    /// Patient age (e.g. "47-year-old").
+    Age,
+    /// Patient sex (e.g. "woman", "male").
+    Sex,
+    /// Patient occupation (e.g. "cotton farmer").
+    Occupation,
+    /// Personal/medical history mention (e.g. "long-term use of
+    /// glucocorticoids").
+    History,
+    /// Family history mention.
+    FamilyHistory,
+    /// A non-biological location (e.g. "hospital", "ICU").
+    NonbiologicalLocation,
+    /// An anatomical structure (e.g. "left ventricle").
+    BiologicalStructure,
+    /// Severity qualifier (e.g. "mild", "severe").
+    Severity,
+    /// Medication dosage (e.g. "200 mg").
+    Dosage,
+    /// Administration route/frequency (e.g. "twice daily", "intravenous").
+    Administration,
+    /// A date expression (e.g. "October 2020").
+    Date,
+    /// A duration expression (e.g. "for three weeks").
+    Duration,
+    /// A relative time expression (e.g. "a day later").
+    Time,
+    /// Frequency of an event (e.g. "recurrent").
+    Frequency,
+    /// Detailed descriptive modifier that refines another mention.
+    DetailedDescription,
+    /// Distance/size measurements (e.g. "2 cm").
+    Distance,
+    /// Volume measurements.
+    Volume,
+    /// Area measurements.
+    Area,
+    /// Color descriptor (dermatology, pathology).
+    Color,
+    /// Shape descriptor.
+    Shape,
+    /// Texture descriptor.
+    Texture,
+    /// Body mass (e.g. "82 kg").
+    Mass,
+    /// Patient height.
+    Height,
+    /// Patient weight.
+    Weight,
+    /// A qualitative concept not otherwise covered.
+    QualitativeConcept,
+    /// A quantitative concept not otherwise covered.
+    QuantitativeConcept,
+    /// The subject of a clause when it is not the patient (e.g. "her
+    /// brother").
+    Subject,
+    /// Personal background (ethnicity, origin).
+    PersonalBackground,
+    /// Coreference mention (pronouns referring to prior mentions).
+    Coreference,
+    /// Anything else.
+    Other,
+}
+
+impl EntityType {
+    /// True for EVENT types (clinical-course triggers), false for ENTITY
+    /// types (non-trigger semantic roles).
+    pub fn is_event(&self) -> bool {
+        use EntityType::*;
+        matches!(
+            self,
+            SignSymptom
+                | DiseaseDisorder
+                | DiagnosticProcedure
+                | TherapeuticProcedure
+                | LabValue
+                | Medication
+                | Outcome
+                | ClinicalEvent
+                | Activity
+        )
+    }
+
+    /// Canonical BRAT/schema label (CamelCase with underscores, as used in
+    /// the MACCROBAT annotation files).
+    pub fn label(&self) -> &'static str {
+        use EntityType::*;
+        match self {
+            SignSymptom => "Sign_symptom",
+            DiseaseDisorder => "Disease_disorder",
+            DiagnosticProcedure => "Diagnostic_procedure",
+            TherapeuticProcedure => "Therapeutic_procedure",
+            LabValue => "Lab_value",
+            Medication => "Medication",
+            Outcome => "Outcome",
+            ClinicalEvent => "Clinical_event",
+            Activity => "Activity",
+            Age => "Age",
+            Sex => "Sex",
+            Occupation => "Occupation",
+            History => "History",
+            FamilyHistory => "Family_history",
+            NonbiologicalLocation => "Nonbiological_location",
+            BiologicalStructure => "Biological_structure",
+            Severity => "Severity",
+            Dosage => "Dosage",
+            Administration => "Administration",
+            Date => "Date",
+            Duration => "Duration",
+            Time => "Time",
+            Frequency => "Frequency",
+            DetailedDescription => "Detailed_description",
+            Distance => "Distance",
+            Volume => "Volume",
+            Area => "Area",
+            Color => "Color",
+            Shape => "Shape",
+            Texture => "Texture",
+            Mass => "Mass",
+            Height => "Height",
+            Weight => "Weight",
+            QualitativeConcept => "Qualitative_concept",
+            QuantitativeConcept => "Quantitative_concept",
+            Subject => "Subject",
+            PersonalBackground => "Personal_background",
+            Coreference => "Coreference",
+            Other => "Other",
+        }
+    }
+
+    /// Every type in the schema, in a stable order. Useful for building
+    /// label maps for the taggers.
+    pub fn all() -> &'static [EntityType] {
+        use EntityType::*;
+        &[
+            SignSymptom,
+            DiseaseDisorder,
+            DiagnosticProcedure,
+            TherapeuticProcedure,
+            LabValue,
+            Medication,
+            Outcome,
+            ClinicalEvent,
+            Activity,
+            Age,
+            Sex,
+            Occupation,
+            History,
+            FamilyHistory,
+            NonbiologicalLocation,
+            BiologicalStructure,
+            Severity,
+            Dosage,
+            Administration,
+            Date,
+            Duration,
+            Time,
+            Frequency,
+            DetailedDescription,
+            Distance,
+            Volume,
+            Area,
+            Color,
+            Shape,
+            Texture,
+            Mass,
+            Height,
+            Weight,
+            QualitativeConcept,
+            QuantitativeConcept,
+            Subject,
+            PersonalBackground,
+            Coreference,
+            Other,
+        ]
+    }
+
+    /// The subset of types the NER experiments tag (the paper lists
+    /// "diagnostic procedure, disease disorder, severity, medication,
+    /// medication dosage, and sign symptom" as the predefined categories,
+    /// which we extend with the location/lab/time types the query example
+    /// needs).
+    pub fn ner_targets() -> &'static [EntityType] {
+        use EntityType::*;
+        &[
+            SignSymptom,
+            DiseaseDisorder,
+            DiagnosticProcedure,
+            TherapeuticProcedure,
+            Medication,
+            Dosage,
+            Severity,
+            LabValue,
+            NonbiologicalLocation,
+            Outcome,
+            Age,
+            Sex,
+            Time,
+        ]
+    }
+}
+
+impl fmt::Display for EntityType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for EntityType {
+    type Err = UnknownTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EntityType::all()
+            .iter()
+            .find(|t| t.label().eq_ignore_ascii_case(s))
+            .copied()
+            .ok_or_else(|| UnknownTypeError(s.to_string()))
+    }
+}
+
+/// Error for unknown type labels in parsed annotation files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTypeError(pub String);
+
+impl fmt::Display for UnknownTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown clinical type label: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownTypeError {}
+
+/// Relation types between mentions.
+///
+/// Temporal relations order events in time; semantic relations reflect
+/// meaning between words (Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RelationType {
+    /// Source event happens strictly before the target event.
+    Before,
+    /// Source event happens strictly after the target event.
+    After,
+    /// Source and target overlap in time.
+    Overlap,
+    /// Two mentions denote the same real-world concept.
+    Identical,
+    /// Source mention modifies/refines the target mention.
+    Modify,
+    /// Source procedure is a sub-procedure of the target.
+    SubProcedure,
+    /// Temporal relation exists but cannot be determined (TB-Dense's VAGUE).
+    Vague,
+    /// TB-Dense's INCLUDES: source interval contains target.
+    Includes,
+    /// TB-Dense's IS_INCLUDED: source interval is contained in target.
+    IsIncluded,
+}
+
+impl RelationType {
+    /// True for relations that order or position events in time.
+    pub fn is_temporal(&self) -> bool {
+        use RelationType::*;
+        matches!(
+            self,
+            Before | After | Overlap | Vague | Includes | IsIncluded
+        )
+    }
+
+    /// True for meaning-level relations.
+    pub fn is_semantic(&self) -> bool {
+        !self.is_temporal()
+    }
+
+    /// The inverse relation under argument swap, where defined:
+    /// `a BEFORE b  ⇔  b AFTER a`, `OVERLAP`/`IDENTICAL` are symmetric,
+    /// `INCLUDES ⇔ IS_INCLUDED`. `MODIFY`/`SUB_PROCEDURE` have no inverse
+    /// label and return `None`.
+    pub fn inverse(&self) -> Option<RelationType> {
+        use RelationType::*;
+        match self {
+            Before => Some(After),
+            After => Some(Before),
+            Overlap => Some(Overlap),
+            Identical => Some(Identical),
+            Vague => Some(Vague),
+            Includes => Some(IsIncluded),
+            IsIncluded => Some(Includes),
+            Modify | SubProcedure => None,
+        }
+    }
+
+    /// True when the relation is its own inverse.
+    pub fn is_symmetric(&self) -> bool {
+        self.inverse() == Some(*self)
+    }
+
+    /// Canonical label as used in BRAT files and the query language.
+    pub fn label(&self) -> &'static str {
+        use RelationType::*;
+        match self {
+            Before => "BEFORE",
+            After => "AFTER",
+            Overlap => "OVERLAP",
+            Identical => "IDENTICAL",
+            Modify => "MODIFY",
+            SubProcedure => "SUB_PROCEDURE",
+            Vague => "VAGUE",
+            Includes => "INCLUDES",
+            IsIncluded => "IS_INCLUDED",
+        }
+    }
+
+    /// All relation types in stable order.
+    pub fn all() -> &'static [RelationType] {
+        use RelationType::*;
+        &[
+            Before,
+            After,
+            Overlap,
+            Identical,
+            Modify,
+            SubProcedure,
+            Vague,
+            Includes,
+            IsIncluded,
+        ]
+    }
+
+    /// The I2B2-2012 label set used by experiment E3.
+    pub fn i2b2_labels() -> &'static [RelationType] {
+        use RelationType::*;
+        &[Before, After, Overlap]
+    }
+
+    /// The TB-Dense label set used by experiment E3.
+    pub fn tbdense_labels() -> &'static [RelationType] {
+        use RelationType::*;
+        &[Before, After, Overlap, Vague, Includes, IsIncluded]
+    }
+}
+
+impl fmt::Display for RelationType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for RelationType {
+    type Err = UnknownTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        RelationType::all()
+            .iter()
+            .find(|t| t.label().eq_ignore_ascii_case(s))
+            .copied()
+            .ok_or_else(|| UnknownTypeError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_entity_partition_matches_paper_examples() {
+        // "dyspnea as Sign/Symptom" is an EVENT; "cotton farmer as
+        // Occupation" is an ENTITY.
+        assert!(EntityType::SignSymptom.is_event());
+        assert!(!EntityType::Occupation.is_event());
+        assert!(EntityType::Medication.is_event());
+        assert!(!EntityType::Severity.is_event());
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for t in EntityType::all() {
+            let parsed: EntityType = t.label().parse().unwrap();
+            assert_eq!(parsed, *t);
+        }
+        for r in RelationType::all() {
+            let parsed: RelationType = r.label().parse().unwrap();
+            assert_eq!(parsed, *r);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(
+            "sign_symptom".parse::<EntityType>().unwrap(),
+            EntityType::SignSymptom
+        );
+        assert_eq!(
+            "before".parse::<RelationType>().unwrap(),
+            RelationType::Before
+        );
+    }
+
+    #[test]
+    fn unknown_label_is_error() {
+        assert!("Not_a_type".parse::<EntityType>().is_err());
+        assert!("NEARBY".parse::<RelationType>().is_err());
+    }
+
+    #[test]
+    fn temporal_semantic_partition() {
+        assert!(RelationType::Before.is_temporal());
+        assert!(RelationType::Overlap.is_temporal());
+        assert!(RelationType::Identical.is_semantic());
+        assert!(RelationType::Modify.is_semantic());
+    }
+
+    #[test]
+    fn inverses_are_involutive() {
+        for r in RelationType::all() {
+            if let Some(inv) = r.inverse() {
+                assert_eq!(inv.inverse(), Some(*r), "{r} inverse not involutive");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_flags() {
+        assert!(RelationType::Overlap.is_symmetric());
+        assert!(RelationType::Identical.is_symmetric());
+        assert!(!RelationType::Before.is_symmetric());
+        assert!(!RelationType::Includes.is_symmetric());
+    }
+
+    #[test]
+    fn label_sets_match_datasets() {
+        assert_eq!(RelationType::i2b2_labels().len(), 3);
+        assert_eq!(RelationType::tbdense_labels().len(), 6);
+    }
+
+    #[test]
+    fn ner_targets_are_schema_types() {
+        for t in EntityType::ner_targets() {
+            assert!(EntityType::all().contains(t));
+        }
+    }
+
+    #[test]
+    fn all_types_have_unique_labels() {
+        let mut labels: Vec<&str> = EntityType::all().iter().map(|t| t.label()).collect();
+        labels.sort_unstable();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(before, labels.len());
+    }
+}

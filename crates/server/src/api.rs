@@ -1,0 +1,304 @@
+//! The CREATe REST API.
+//!
+//! Endpoints (the demo's service surface):
+//!
+//! | Method | Path                          | Description |
+//! |--------|-------------------------------|-------------|
+//! | GET    | `/health`                     | liveness |
+//! | GET    | `/stats`                      | store/graph/index counters |
+//! | GET    | `/search?q=…&k=…&policy=…`    | CREATe-IR search |
+//! | GET    | `/reports/:id`                | stored report document |
+//! | GET    | `/reports/:id/annotations`    | BRAT standoff export |
+//! | GET    | `/reports/:id/graph.svg`      | Fig-7 visualization |
+//! | POST   | `/submit`                     | raw-text submission (JSON) |
+
+use crate::http::{Response, Status};
+use crate::router::Router;
+use create_core::{Create, MergePolicy};
+use create_docstore::json::{obj, parse_json, Value};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+fn policy_from(name: Option<&str>) -> Result<MergePolicy, String> {
+    match name.unwrap_or("neo4j_first") {
+        "neo4j_first" => Ok(MergePolicy::Neo4jFirst),
+        "es_first" => Ok(MergePolicy::EsFirst),
+        "es_only" => Ok(MergePolicy::EsOnly),
+        "graph_only" => Ok(MergePolicy::GraphOnly),
+        "interleave" => Ok(MergePolicy::Interleave),
+        other => Err(format!("unknown policy {other:?}")),
+    }
+}
+
+/// Builds the API router over a shared platform instance.
+pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
+    let mut router = Router::new();
+
+    router.route("GET", "/health", |_, _| {
+        Response::json(Status::Ok, obj([("status", "ok".into())]).to_json())
+    });
+
+    {
+        let system = Arc::clone(&system);
+        router.route("GET", "/stats", move |_, _| {
+            let stats = system.read().stats();
+            let doc = obj([
+                ("reports", (stats.reports as i64).into()),
+                ("graph_nodes", (stats.graph_nodes as i64).into()),
+                ("graph_edges", (stats.graph_edges as i64).into()),
+                ("index_terms", (stats.index_terms as i64).into()),
+            ]);
+            Response::json(Status::Ok, doc.to_json())
+        });
+    }
+
+    {
+        let system = Arc::clone(&system);
+        router.route("GET", "/search", move |req, _| {
+            let Some(q) = req.param("q") else {
+                return Response::error(Status::BadRequest, "missing q parameter");
+            };
+            let k = req
+                .param("k")
+                .and_then(|k| k.parse::<usize>().ok())
+                .unwrap_or(10)
+                .clamp(1, 100);
+            let policy = match policy_from(req.param("policy")) {
+                Ok(p) => p,
+                Err(m) => return Response::error(Status::BadRequest, &m),
+            };
+            let guard = system.read();
+            let parsed = guard.parse_query(q);
+            let hits = guard.search_with_policy(q, k, policy);
+            let hits_json: Vec<Value> = hits
+                .iter()
+                .map(|h| {
+                    obj([
+                        ("reportId", h.report_id.clone().into()),
+                        ("score", h.score.into()),
+                        (
+                            "source",
+                            match h.source {
+                                create_core::SearchSource::Graph => "graph".into(),
+                                create_core::SearchSource::Keyword => "keyword".into(),
+                            },
+                        ),
+                        ("patternMatched", h.pattern_matched.into()),
+                    ])
+                })
+                .collect();
+            let mentions: Vec<Value> = parsed
+                .mentions
+                .iter()
+                .map(|m| {
+                    obj([
+                        ("text", m.text.clone().into()),
+                        ("type", m.etype.label().into()),
+                        (
+                            "concept",
+                            m.concept
+                                .map(|c| Value::String(c.to_string()))
+                                .unwrap_or(Value::Null),
+                        ),
+                    ])
+                })
+                .collect();
+            let doc = obj([
+                ("query", q.into()),
+                ("mentions", Value::Array(mentions)),
+                (
+                    "pattern",
+                    parsed
+                        .pattern
+                        .map(|(c1, c2, rel)| {
+                            obj([
+                                ("from", c1.to_string().into()),
+                                ("to", c2.to_string().into()),
+                                ("relation", rel.label().into()),
+                            ])
+                        })
+                        .unwrap_or(Value::Null),
+                ),
+                ("hits", Value::Array(hits_json)),
+            ]);
+            Response::json(Status::Ok, doc.to_json())
+        });
+    }
+
+    {
+        let system = Arc::clone(&system);
+        router.route("GET", "/reports/:id", move |_, params| {
+            match system.read().report(&params["id"]) {
+                Some(doc) => Response::json(Status::Ok, doc.to_json()),
+                None => Response::error(Status::NotFound, "no such report"),
+            }
+        });
+    }
+
+    {
+        let system = Arc::clone(&system);
+        router.route(
+            "GET",
+            "/reports/:id/annotations",
+            move |_, params| match system.read().annotations(&params["id"]) {
+                Some(brat) => Response::text(Status::Ok, brat.serialize()),
+                None => Response::error(Status::NotFound, "no annotations"),
+            },
+        );
+    }
+
+    {
+        let system = Arc::clone(&system);
+        router.route(
+            "GET",
+            "/reports/:id/graph.svg",
+            move |_, params| match system.read().visualize(&params["id"]) {
+                Some(svg) => Response::svg(svg),
+                None => Response::error(Status::NotFound, "no graph for report"),
+            },
+        );
+    }
+
+    {
+        let system = Arc::clone(&system);
+        router.route("POST", "/submit", move |req, _| {
+            let Some(body) = req.body_str() else {
+                return Response::error(Status::BadRequest, "body must be UTF-8");
+            };
+            let parsed = match parse_json(body) {
+                Ok(v) => v,
+                Err(e) => return Response::error(Status::BadRequest, &e.to_string()),
+            };
+            let (Some(id), Some(title), Some(text)) = (
+                parsed.get("id").and_then(Value::as_str),
+                parsed.get("title").and_then(Value::as_str),
+                parsed.get("text").and_then(Value::as_str),
+            ) else {
+                return Response::error(Status::BadRequest, "need id, title, text fields");
+            };
+            let year = parsed.get("year").and_then(Value::as_i64).unwrap_or(2020) as u32;
+            match system.write().ingest_text(id, title, text, year) {
+                Ok(()) => Response::json(Status::Created, obj([("ingested", id.into())]).to_json()),
+                Err(e) => Response::error(Status::BadRequest, &e.to_string()),
+            }
+        });
+    }
+
+    router
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Request;
+    use create_core::CreateConfig;
+    use create_corpus::{CorpusConfig, Generator};
+    use std::collections::HashMap;
+
+    fn system() -> Arc<RwLock<Create>> {
+        let mut create = Create::new(CreateConfig::default());
+        for r in Generator::new(CorpusConfig {
+            num_reports: 15,
+            seed: 77,
+            ..Default::default()
+        })
+        .generate()
+        {
+            create.ingest_gold(&r).unwrap();
+        }
+        Arc::new(RwLock::new(create))
+    }
+
+    fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn health_and_stats() {
+        let api = build_api(system());
+        let h = api.dispatch(&get("/health", &[]));
+        assert_eq!(h.status, Status::Ok);
+        let s = api.dispatch(&get("/stats", &[]));
+        let doc = parse_json(std::str::from_utf8(&s.body).unwrap()).unwrap();
+        assert_eq!(doc.get("reports").unwrap().as_i64(), Some(15));
+    }
+
+    #[test]
+    fn search_endpoint_returns_hits_and_ie() {
+        let api = build_api(system());
+        let resp = api.dispatch(&get("/search", &[("q", "fever and cough"), ("k", "5")]));
+        assert_eq!(resp.status, Status::Ok);
+        let doc = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(doc.get("hits").unwrap().as_array().is_some());
+        assert!(!doc.get("mentions").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn search_requires_q() {
+        let api = build_api(system());
+        let resp = api.dispatch(&get("/search", &[]));
+        assert_eq!(resp.status, Status::BadRequest);
+    }
+
+    #[test]
+    fn search_rejects_unknown_policy() {
+        let api = build_api(system());
+        let resp = api.dispatch(&get("/search", &[("q", "x"), ("policy", "bogus")]));
+        assert_eq!(resp.status, Status::BadRequest);
+    }
+
+    #[test]
+    fn report_endpoints() {
+        let sys = system();
+        let id = {
+            let guard = sys.read();
+            let hits = guard.search("fever", 1);
+            hits.first()
+                .map(|h| h.report_id.clone())
+                .unwrap_or_else(|| "pmid:30000000".to_string())
+        };
+        let api = build_api(sys);
+        let report = api.dispatch(&get(&format!("/reports/{id}"), &[]));
+        assert_eq!(report.status, Status::Ok, "report {id} should exist");
+        let ann = api.dispatch(&get(&format!("/reports/{id}/annotations"), &[]));
+        assert_eq!(ann.status, Status::Ok);
+        assert!(String::from_utf8(ann.body).unwrap().starts_with('T'));
+        let svg = api.dispatch(&get(&format!("/reports/{id}/graph.svg"), &[]));
+        assert_eq!(svg.status, Status::Ok);
+        assert_eq!(svg.content_type, "image/svg+xml");
+        let missing = api.dispatch(&get("/reports/nope", &[]));
+        assert_eq!(missing.status, Status::NotFound);
+    }
+
+    #[test]
+    fn submit_without_tagger_fails_cleanly() {
+        let api = build_api(system());
+        let mut req = get("/submit", &[]);
+        req.method = "POST".to_string();
+        req.body = br#"{"id": "user:1", "title": "t", "text": "fever."}"#.to_vec();
+        let resp = api.dispatch(&req);
+        // No tagger attached in this fixture → 400 with a clear error.
+        assert_eq!(resp.status, Status::BadRequest);
+        assert!(String::from_utf8(resp.body).unwrap().contains("tagger"));
+    }
+
+    #[test]
+    fn submit_validates_json() {
+        let api = build_api(system());
+        let mut req = get("/submit", &[]);
+        req.method = "POST".to_string();
+        req.body = b"{not json".to_vec();
+        assert_eq!(api.dispatch(&req).status, Status::BadRequest);
+        req.body = br#"{"id": "x"}"#.to_vec();
+        assert_eq!(api.dispatch(&req).status, Status::BadRequest);
+    }
+}

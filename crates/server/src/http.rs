@@ -1,0 +1,293 @@
+//! HTTP/1.1 request parsing and response serialization.
+//!
+//! Supports what a REST JSON API needs: request line, headers,
+//! `Content-Length`-framed bodies, percent-decoded query strings, and
+//! keep-alive-free one-shot responses.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// HTTP status codes used by the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200
+    Ok,
+    /// 201
+    Created,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+    /// 500
+    InternalServerError,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(&self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::Created => 201,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
+            Status::InternalServerError => 500,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Created => "Created",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::InternalServerError => "Internal Server Error",
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method verb (uppercase).
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+    /// Lowercased header names → values.
+    pub headers: HashMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Query parameter accessor.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+
+    /// Body as UTF-8.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status line code.
+    pub status: Status,
+    /// Content type.
+    pub content_type: String,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// JSON response.
+    pub fn json(status: Status, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json".to_string(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// SVG response.
+    pub fn svg(body: impl Into<String>) -> Response {
+        Response {
+            status: Status::Ok,
+            content_type: "image/svg+xml".to_string(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Plain-text response.
+    pub fn text(status: Status, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Standard error envelope.
+    pub fn error(status: Status, message: &str) -> Response {
+        let doc = create_docstore::json::obj([("error", message.into())]);
+        Response::json(status, doc.to_json())
+    }
+
+    /// Serializes the full HTTP response.
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status.code(),
+            self.status.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// Percent-decodes a URL component (plus `+` → space).
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses one request from a stream.
+pub fn parse_request(stream: &mut impl Read) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read error: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_uppercase();
+    let target = parts.next().ok_or("missing target")?;
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let mut query = HashMap::new();
+    for pair in query_string.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        query.insert(url_decode(k), url_decode(v));
+    }
+    let mut headers = HashMap::new();
+    loop {
+        let mut header_line = String::new();
+        reader
+            .read_line(&mut header_line)
+            .map_err(|e| format!("read error: {e}"))?;
+        let trimmed = header_line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            headers.insert(k.trim().to_lowercase(), v.trim().to_string());
+        }
+    }
+    let content_length: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("body read error: {e}"))?;
+    }
+    Ok(Request {
+        method,
+        path: url_decode(&path),
+        query,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = b"GET /search?q=fever+and%20cough&k=5 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = parse_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.param("q"), Some("fever and cough"));
+        assert_eq!(req.param("k"), Some("5"));
+    }
+
+    #[test]
+    fn parses_post_body() {
+        let raw = b"POST /submit HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+        let req = parse_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body_str(), Some("hello world"));
+    }
+
+    #[test]
+    fn header_names_lowercased() {
+        let raw = b"GET / HTTP/1.1\r\nX-Custom-Header: Value\r\n\r\n";
+        let req = parse_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.headers.get("x-custom-header").unwrap(), "Value");
+    }
+
+    #[test]
+    fn url_decode_handles_percent_and_plus() {
+        assert_eq!(url_decode("a%20b+c"), "a b c");
+        assert_eq!(url_decode("100%"), "100%");
+        assert_eq!(url_decode("f%C3%A8vre"), "fèvre");
+    }
+
+    #[test]
+    fn response_serializes() {
+        let mut out = Vec::new();
+        Response::json(Status::Ok, "{\"ok\":true}")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json"));
+        assert!(text.contains("Content-Length: 11"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_envelope() {
+        let r = Response::error(Status::NotFound, "missing");
+        assert_eq!(r.status.code(), 404);
+        assert_eq!(
+            String::from_utf8(r.body).unwrap(),
+            "{\"error\":\"missing\"}"
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let raw = b"\r\n";
+        assert!(parse_request(&mut &raw[..]).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! REST API substrate (the Express backend + Nginx of Fig. 2/3, reduced to
+//! its computational content).
+//!
+//! A dependency-free HTTP/1.1 server over `std::net` exposing the CREATe
+//! service surface: search, report retrieval, BRAT annotation export,
+//! Fig-7 SVG visualization, raw-text submission, and system stats.
+//!
+//! * [`http`] — request parsing / response serialization;
+//! * [`router`] — path routing with `:param` captures;
+//! * [`api`] — the CREATe endpoint handlers over a shared [`create_core::Create`];
+//! * [`server`] — the TCP accept loop (thread-per-connection, graceful
+//!   shutdown).
+
+pub mod api;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use api::build_api;
+pub use http::{Request, Response, Status};
+pub use router::Router;
+pub use server::Server;

@@ -1,0 +1,175 @@
+//! Path routing with `:param` captures.
+
+use crate::http::{Request, Response, Status};
+use std::collections::HashMap;
+
+/// Captured path parameters.
+pub type PathParams = HashMap<String, String>;
+
+type Handler = Box<dyn Fn(&Request, &PathParams) -> Response + Send + Sync>;
+
+struct Route {
+    method: String,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+/// A method+path router.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Router({} routes)", self.routes.len())
+    }
+}
+
+fn parse_segments(pattern: &str) -> Vec<Segment> {
+    pattern
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            if let Some(name) = s.strip_prefix(':') {
+                Segment::Param(name.to_string())
+            } else {
+                Segment::Literal(s.to_string())
+            }
+        })
+        .collect()
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Registers a route. Patterns use `:name` for parameters
+    /// (`/reports/:id/annotations`).
+    pub fn route(
+        &mut self,
+        method: &str,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.routes.push(Route {
+            method: method.to_uppercase(),
+            segments: parse_segments(pattern),
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Dispatches a request; 404 when no path matches, 405 when the path
+    /// matches under a different method.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        let path_segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let mut path_matched = false;
+        for route in &self.routes {
+            let Some(params) = match_segments(&route.segments, &path_segments) else {
+                continue;
+            };
+            path_matched = true;
+            if route.method == request.method {
+                return (route.handler)(request, &params);
+            }
+        }
+        if path_matched {
+            Response::error(Status::MethodNotAllowed, "method not allowed")
+        } else {
+            Response::error(Status::NotFound, "no such route")
+        }
+    }
+}
+
+fn match_segments(pattern: &[Segment], path: &[&str]) -> Option<PathParams> {
+    if pattern.len() != path.len() {
+        return None;
+    }
+    let mut params = PathParams::new();
+    for (seg, &actual) in pattern.iter().zip(path) {
+        match seg {
+            Segment::Literal(expected) if expected == actual => {}
+            Segment::Literal(_) => return None,
+            Segment::Param(name) => {
+                params.insert(name.clone(), actual.to_string());
+            }
+        }
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: HashMap::new(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        r.route("GET", "/health", |_, _| Response::text(Status::Ok, "ok"));
+        r.route("GET", "/reports/:id", |_, p| {
+            Response::text(Status::Ok, format!("report {}", p["id"]))
+        });
+        r.route("GET", "/reports/:id/annotations", |_, p| {
+            Response::text(Status::Ok, format!("ann {}", p["id"]))
+        });
+        r.route("POST", "/submit", |req, _| {
+            Response::text(Status::Created, format!("got {}", req.body.len()))
+        });
+        r
+    }
+
+    #[test]
+    fn literal_route() {
+        let r = router();
+        let resp = r.dispatch(&get("/health"));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.body, b"ok");
+    }
+
+    #[test]
+    fn param_capture() {
+        let r = router();
+        let resp = r.dispatch(&get("/reports/pmid:123"));
+        assert_eq!(String::from_utf8(resp.body).unwrap(), "report pmid:123");
+    }
+
+    #[test]
+    fn nested_param_route() {
+        let r = router();
+        let resp = r.dispatch(&get("/reports/x/annotations"));
+        assert_eq!(String::from_utf8(resp.body).unwrap(), "ann x");
+    }
+
+    #[test]
+    fn not_found_vs_method_not_allowed() {
+        let r = router();
+        assert_eq!(r.dispatch(&get("/nope")).status, Status::NotFound);
+        let mut post = get("/health");
+        post.method = "POST".to_string();
+        assert_eq!(r.dispatch(&post).status, Status::MethodNotAllowed);
+    }
+
+    #[test]
+    fn segment_count_must_match() {
+        let r = router();
+        assert_eq!(r.dispatch(&get("/reports")).status, Status::NotFound);
+        assert_eq!(r.dispatch(&get("/reports/a/b/c")).status, Status::NotFound);
+    }
+}

@@ -1,0 +1,208 @@
+//! The TCP accept loop.
+//!
+//! Thread-per-connection with a shutdown flag; `Connection: close`
+//! semantics (one request per connection) keep the protocol layer simple,
+//! which is plenty for the demo and the latency benchmarks.
+
+use crate::http::{parse_request, Response, Status};
+use crate::router::Router;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A running HTTP server.
+pub struct Server {
+    listener: TcpListener,
+    router: Arc<Router>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Server({:?})", self.local_addr())
+    }
+}
+
+/// Handle used to stop a serving loop from another thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: std::net::SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Signals the server to stop and pokes it with a connection so the
+    /// accept loop observes the flag.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds to an address (`127.0.0.1:0` picks a free port).
+    pub fn bind(addr: impl ToSocketAddrs, router: Router) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            router: Arc::new(router),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// A handle that can stop [`Server::serve`].
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Serves until the shutdown handle fires. Each connection is handled
+    /// on its own thread.
+    pub fn serve(&self) {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let router = Arc::clone(&self.router);
+            std::thread::spawn(move || handle_connection(stream, &router));
+        }
+    }
+
+    /// Handles exactly one connection on the current thread (useful in
+    /// tests and benches).
+    pub fn serve_one(&self) -> std::io::Result<()> {
+        let (stream, _) = self.listener.accept()?;
+        handle_connection(stream, &self.router);
+        Ok(())
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, router: &Router) {
+    let response = match parse_request(&mut stream) {
+        Ok(request) => router.dispatch(&request),
+        Err(message) => Response::error(Status::BadRequest, &message),
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Minimal test/bench client: sends one request, returns `(status, body)`.
+pub fn http_get(
+    addr: std::net::SocketAddr,
+    path_and_query: &str,
+) -> std::io::Result<(u16, String)> {
+    use std::io::{Read, Write};
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path_and_query} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Minimal POST client.
+pub fn http_post(
+    addr: std::net::SocketAddr,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    use std::io::{Read, Write};
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let response_body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, response_body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Response;
+
+    fn test_router() -> Router {
+        let mut r = Router::new();
+        r.route("GET", "/ping", |_, _| Response::text(Status::Ok, "pong"));
+        r.route("POST", "/echo", |req, _| {
+            Response::text(Status::Ok, String::from_utf8_lossy(&req.body).into_owned())
+        });
+        r
+    }
+
+    #[test]
+    fn serves_one_request() {
+        let server = Server::bind("127.0.0.1:0", test_router()).unwrap();
+        let addr = server.local_addr();
+        let t = std::thread::spawn(move || {
+            server.serve_one().unwrap();
+        });
+        let (status, body) = http_get(addr, "/ping").unwrap();
+        t.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "pong");
+    }
+
+    #[test]
+    fn serves_post_and_shutdown() {
+        let server = Server::bind("127.0.0.1:0", test_router()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let t = std::thread::spawn(move || server.serve());
+        let (status, body) = http_post(addr, "/echo", "hello").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "hello");
+        // Unknown route → 404.
+        let (status, _) = http_get(addr, "/missing").unwrap();
+        assert_eq!(status, 404);
+        handle.shutdown();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let server = Server::bind("127.0.0.1:0", test_router()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let t = std::thread::spawn(move || server.serve());
+        let mut clients = Vec::new();
+        for _ in 0..8 {
+            clients.push(std::thread::spawn(move || http_get(addr, "/ping").unwrap()));
+        }
+        for c in clients {
+            let (status, body) = c.join().unwrap();
+            assert_eq!((status, body.as_str()), (200, "pong"));
+        }
+        handle.shutdown();
+        t.join().unwrap();
+    }
+}

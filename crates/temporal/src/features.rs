@@ -1,0 +1,111 @@
+//! Pairwise feature extraction for temporal relation classification.
+//!
+//! Features for an event pair `(i, j)` (text order, `i < j`): the cue
+//! connectives appearing between the two mentions (with the one directly
+//! preceding `j` distinguished), token/sentence distance buckets, the event
+//! surfaces, and a reversal flag when the pair is presented as `(j, i)` for
+//! symmetry training. Latent intervals are never consulted.
+
+use create_corpus::temporal_data::TemporalDoc;
+use create_ml::features::{FeatureHasher, SparseVec};
+
+/// Feature-space size (2^bits).
+pub const FEATURE_BITS: u32 = 18;
+
+/// Extracts features for the ordered pair `(a, b)` of event indices in
+/// `doc` (not necessarily in text order — a reversed presentation gets
+/// mirrored features plus a `rev` flag).
+pub fn pair_features(doc: &TemporalDoc, a: usize, b: usize) -> SparseVec {
+    let mut h = FeatureHasher::new(FEATURE_BITS);
+    let (lo, hi, reversed) = if a < b { (a, b, false) } else { (b, a, true) };
+    let e_lo = &doc.events[lo];
+    let e_hi = &doc.events[hi];
+
+    if reversed {
+        h.add("rev");
+    }
+    // Surfaces, direction-sensitive.
+    let (first, second) = if reversed {
+        (&e_hi.surface, &e_lo.surface)
+    } else {
+        (&e_lo.surface, &e_hi.surface)
+    };
+    h.add2("e1", first);
+    h.add2("e2", second);
+    h.add2("pair", &format!("{first}|{second}"));
+
+    // Cues between the mentions (text order); the cue immediately before
+    // the later mention carries the most signal.
+    for k in (lo + 1)..=hi {
+        let cue = &doc.events[k].cue_before;
+        if !cue.is_empty() {
+            h.add2("cue", cue);
+            if reversed {
+                h.add2("cue_rev", cue);
+            }
+        }
+    }
+    let nearest = &doc.events[hi].cue_before;
+    if !nearest.is_empty() {
+        h.add2("cuej", nearest);
+        h.add2(
+            "cuej_dir",
+            &format!("{nearest}|{}", if reversed { "r" } else { "f" }),
+        );
+    }
+
+    // Distance buckets.
+    let dist = hi - lo;
+    h.add2("dist", &dist.min(4).to_string());
+    let sent_dist = e_hi.sentence.saturating_sub(e_lo.sentence);
+    h.add2("sdist", &sent_dist.min(3).to_string());
+    if sent_dist == 0 {
+        h.add("same_sentence");
+    }
+    h.add("bias");
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_corpus::temporal_data::i2b2_like;
+
+    #[test]
+    fn features_are_nonempty_and_deterministic() {
+        let ds = i2b2_like(1, 3);
+        let doc = &ds.docs[0];
+        let f1 = pair_features(doc, 0, 1);
+        let f2 = pair_features(doc, 0, 1);
+        assert!(!f1.is_empty());
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn reversed_pair_differs() {
+        let ds = i2b2_like(2, 3);
+        let doc = &ds.docs[0];
+        assert_ne!(pair_features(doc, 0, 1), pair_features(doc, 1, 0));
+    }
+
+    #[test]
+    fn distance_affects_features() {
+        let ds = i2b2_like(3, 3);
+        let doc = ds.docs.iter().find(|d| d.events.len() >= 4).expect("doc");
+        assert_ne!(pair_features(doc, 0, 1), pair_features(doc, 0, 3));
+    }
+
+    #[test]
+    fn no_interval_leakage() {
+        // Two docs with identical surfaces/cues but different intervals must
+        // produce identical features.
+        let ds = i2b2_like(4, 2);
+        let mut doc = ds.docs[0].clone();
+        let before = pair_features(&doc, 0, 1);
+        for e in &mut doc.events {
+            e.interval = (999.0, 1000.0);
+        }
+        let after = pair_features(&doc, 0, 1);
+        assert_eq!(before, after);
+    }
+}

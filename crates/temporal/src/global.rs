@@ -1,0 +1,242 @@
+//! Prediction-time global inference.
+//!
+//! Given local class distributions for every annotated pair of a document,
+//! finds a label assignment that (approximately) maximizes total
+//! log-probability subject to the transitivity dependencies. The solver is
+//! greedy violation repair: start from the local argmax, enumerate violated
+//! transitivity triples, and at each step apply the single label flip that
+//! removes a violation at the smallest log-probability cost. This is the
+//! "global inference" stage that, stacked on PSL-regularized training,
+//! yields the paper's reported gains.
+
+use crate::psl::transitivity_rules;
+use create_ml::logreg::argmax;
+use create_ontology::RelationType;
+use std::collections::HashMap;
+
+/// Runs global inference. `pairs[k]` is the ordered event pair scored by
+/// `probs[k]` (a distribution over `labels`). Returns one label index per
+/// pair.
+pub fn global_inference(
+    pairs: &[(usize, usize)],
+    probs: &[Vec<f64>],
+    labels: &[RelationType],
+) -> Vec<usize> {
+    assert_eq!(pairs.len(), probs.len());
+    let mut assignment: Vec<usize> = probs.iter().map(|p| argmax(p)).collect();
+    if pairs.is_empty() {
+        return assignment;
+    }
+    let index: HashMap<(usize, usize), usize> = pairs
+        .iter()
+        .enumerate()
+        .map(|(k, &(a, b))| ((a, b), k))
+        .collect();
+    let label_idx = |r: RelationType| labels.iter().position(|x| *x == r);
+
+    // Materialize the triples once.
+    let mut triples: Vec<(usize, usize, usize)> = Vec::new(); // pair indices (ab, bc, ac)
+    let events: std::collections::BTreeSet<usize> =
+        pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let events: Vec<usize> = events.into_iter().collect();
+    for (ai, &a) in events.iter().enumerate() {
+        for &b in &events[ai + 1..] {
+            let Some(&ab) = index.get(&(a, b)) else {
+                continue;
+            };
+            for &c in &events {
+                if c <= b {
+                    continue;
+                }
+                let (Some(&bc), Some(&ac)) = (index.get(&(b, c)), index.get(&(a, c))) else {
+                    continue;
+                };
+                triples.push((ab, bc, ac));
+            }
+        }
+    }
+
+    let log_p = |k: usize, l: usize| probs[k][l].max(1e-9).ln();
+
+    // Collect violated rules under the current assignment.
+    let violated = |assignment: &[usize]| -> Vec<(usize, usize, usize, usize)> {
+        // (ab, bc, ac, required head label)
+        let mut out = Vec::new();
+        for &(ab, bc, ac) in &triples {
+            for &(r1, r2, r3) in transitivity_rules() {
+                let (Some(i1), Some(i2), Some(i3)) = (label_idx(r1), label_idx(r2), label_idx(r3))
+                else {
+                    continue;
+                };
+                if assignment[ab] == i1 && assignment[bc] == i2 && assignment[ac] != i3 {
+                    out.push((ab, bc, ac, i3));
+                }
+            }
+        }
+        out
+    };
+
+    // Greedy repair: bounded iterations (each flip strictly reduces the
+    // violation count or we stop).
+    for _ in 0..(triples.len() * 2 + 8) {
+        let broken = violated(&assignment);
+        if broken.is_empty() {
+            break;
+        }
+        // Candidate repairs for the first violation: flip the head to the
+        // required label, or flip either body to its own argmax-2 …; choose
+        // the repair with the least log-prob loss.
+        let (ab, bc, ac, head) = broken[0];
+        let mut best: Option<(f64, usize, usize)> = None; // (cost, pair, new label)
+                                                          // Repair 1: set head pair to the required label.
+        let cost_head = log_p(ac, assignment[ac]) - log_p(ac, head);
+        consider(&mut best, cost_head, ac, head);
+        // Repair 2/3: move a body pair to its next-best alternative label.
+        for &body in &[ab, bc] {
+            let current = assignment[body];
+            for (l, _) in probs[body].iter().enumerate() {
+                if l == current {
+                    continue;
+                }
+                let cost = log_p(body, current) - log_p(body, l);
+                consider(&mut best, cost, body, l);
+            }
+        }
+        match best {
+            Some((_, pair, new_label)) => assignment[pair] = new_label,
+            None => break,
+        }
+    }
+    assignment
+}
+
+fn consider(best: &mut Option<(f64, usize, usize)>, cost: f64, pair: usize, label: usize) {
+    match best {
+        Some((c, _, _)) if *c <= cost => {}
+        _ => *best = Some((cost, pair, label)),
+    }
+}
+
+/// Counts transitivity violations of a hard assignment; exposed for the
+/// experiment diagnostics ("how many violations did global inference
+/// remove?").
+pub fn count_violations(
+    pairs: &[(usize, usize)],
+    assignment: &[usize],
+    labels: &[RelationType],
+) -> usize {
+    let index: HashMap<(usize, usize), usize> = pairs
+        .iter()
+        .enumerate()
+        .map(|(k, &(a, b))| ((a, b), k))
+        .collect();
+    let label_idx = |r: RelationType| labels.iter().position(|x| *x == r);
+    let events: std::collections::BTreeSet<usize> =
+        pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let events: Vec<usize> = events.into_iter().collect();
+    let mut count = 0;
+    for (ai, &a) in events.iter().enumerate() {
+        for &b in &events[ai + 1..] {
+            let Some(&ab) = index.get(&(a, b)) else {
+                continue;
+            };
+            for &c in &events {
+                if c <= b {
+                    continue;
+                }
+                let (Some(&bc), Some(&ac)) = (index.get(&(b, c)), index.get(&(a, c))) else {
+                    continue;
+                };
+                for &(r1, r2, r3) in transitivity_rules() {
+                    let (Some(i1), Some(i2), Some(i3)) =
+                        (label_idx(r1), label_idx(r2), label_idx(r3))
+                    else {
+                        continue;
+                    };
+                    if assignment[ab] == i1 && assignment[bc] == i2 && assignment[ac] != i3 {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use RelationType::*;
+
+    const LABELS: [RelationType; 3] = [Before, After, Overlap];
+
+    #[test]
+    fn consistent_input_is_unchanged() {
+        let pairs = vec![(0, 1), (1, 2), (0, 2)];
+        let probs = vec![
+            vec![0.9, 0.05, 0.05],
+            vec![0.9, 0.05, 0.05],
+            vec![0.9, 0.05, 0.05],
+        ];
+        let out = global_inference(&pairs, &probs, &LABELS);
+        assert_eq!(out, vec![0, 0, 0]);
+        assert_eq!(count_violations(&pairs, &out, &LABELS), 0);
+    }
+
+    #[test]
+    fn repairs_weak_head() {
+        // ab=BEFORE (confident), bc=BEFORE (confident), ac=AFTER (barely):
+        // the cheapest repair is flipping ac to BEFORE.
+        let pairs = vec![(0, 1), (1, 2), (0, 2)];
+        let probs = vec![
+            vec![0.95, 0.02, 0.03],
+            vec![0.95, 0.02, 0.03],
+            vec![0.40, 0.45, 0.15],
+        ];
+        let out = global_inference(&pairs, &probs, &LABELS);
+        assert_eq!(out[2], 0, "head should flip to BEFORE");
+        assert_eq!(count_violations(&pairs, &out, &LABELS), 0);
+    }
+
+    #[test]
+    fn repairs_weak_body_when_head_is_confident() {
+        // ab=BEFORE barely, bc=BEFORE confident, ac=AFTER confident:
+        // cheaper to flip ab than the confident head.
+        let pairs = vec![(0, 1), (1, 2), (0, 2)];
+        let probs = vec![
+            vec![0.40, 0.35, 0.25],
+            vec![0.95, 0.02, 0.03],
+            vec![0.02, 0.95, 0.03],
+        ];
+        let out = global_inference(&pairs, &probs, &LABELS);
+        assert_ne!(
+            (out[0], out[1], out[2]),
+            (0, 0, 1),
+            "violation must be repaired"
+        );
+        assert_eq!(count_violations(&pairs, &out, &LABELS), 0);
+        assert_eq!(out[2], 1, "confident head should survive");
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = global_inference(&[], &[], &LABELS);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn count_violations_detects() {
+        let pairs = vec![(0, 1), (1, 2), (0, 2)];
+        // BEFORE, BEFORE, AFTER → violated.
+        assert_eq!(count_violations(&pairs, &[0, 0, 1], &LABELS), 1);
+        assert_eq!(count_violations(&pairs, &[0, 0, 0], &LABELS), 0);
+    }
+
+    #[test]
+    fn mixed_overlap_rules_apply() {
+        let pairs = vec![(0, 1), (1, 2), (0, 2)];
+        // OVERLAP, BEFORE → head must be BEFORE.
+        assert_eq!(count_violations(&pairs, &[2, 0, 0], &LABELS), 0);
+        assert_eq!(count_violations(&pairs, &[2, 0, 1], &LABELS), 1);
+    }
+}

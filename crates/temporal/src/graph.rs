@@ -1,0 +1,314 @@
+//! The temporal graph of a clinical document (Fig. 5).
+//!
+//! Nodes are clinical events/entities; directed edges carry temporal
+//! relations. The graph supports the paper's transitivity reasoning
+//! ("given that b happened before d, e happened after d and e happened
+//! simultaneously with f, we can infer … that b was before f"),
+//! consistency checking, and export for visualization (Fig. 7).
+
+use create_ontology::RelationType;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A temporal graph over `n` events.
+///
+/// ```
+/// use create_temporal::TemporalGraph;
+/// use create_ontology::RelationType;
+/// // The paper's Fig-5 inference: b BEFORE d, e AFTER d, e OVERLAP f
+/// // ⇒ b BEFORE f by transitivity.
+/// let g = TemporalGraph::fig5_example();
+/// assert_eq!(g.infer(1, 5), Some(RelationType::Before));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TemporalGraph {
+    labels: Vec<String>,
+    /// Directed edges `(source, target, relation)`; temporal relations
+    /// only (BEFORE/AFTER normalized to BEFORE, plus OVERLAP).
+    edges: Vec<(usize, usize, RelationType)>,
+}
+
+impl TemporalGraph {
+    /// Creates a graph with the given node labels.
+    pub fn new(labels: Vec<String>) -> TemporalGraph {
+        TemporalGraph {
+            labels,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Node labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Raw edges as stored (post-normalization).
+    pub fn edges(&self) -> &[(usize, usize, RelationType)] {
+        &self.edges
+    }
+
+    /// Adds a temporal edge. AFTER edges are normalized to BEFORE with the
+    /// arguments swapped; OVERLAP is stored with the smaller index first.
+    /// Non-temporal relations are rejected.
+    pub fn add_edge(&mut self, source: usize, target: usize, rel: RelationType) {
+        assert!(
+            source < self.len() && target < self.len(),
+            "node out of range"
+        );
+        assert!(source != target, "no self loops");
+        assert!(
+            rel.is_temporal(),
+            "temporal graph accepts temporal relations only"
+        );
+        let edge = match rel {
+            RelationType::After => (target, source, RelationType::Before),
+            RelationType::Overlap => (
+                source.min(target),
+                source.max(target),
+                RelationType::Overlap,
+            ),
+            other => (source, target, other),
+        };
+        if !self.edges.contains(&edge) {
+            self.edges.push(edge);
+        }
+    }
+
+    /// Builds the equivalence classes induced by OVERLAP edges
+    /// (events that happen "simultaneously" share a class).
+    fn overlap_classes(&self) -> Vec<usize> {
+        let mut parent: Vec<usize> = (0..self.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for &(a, b, rel) in &self.edges {
+            if rel == RelationType::Overlap {
+                let ra = find(&mut parent, a);
+                let rb = find(&mut parent, b);
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+        (0..self.len()).map(|i| find(&mut parent, i)).collect()
+    }
+
+    /// Infers the relation between two events through transitive closure
+    /// over BEFORE edges lifted to OVERLAP classes — the Fig-5 reasoning.
+    /// Returns `None` when the relation is not derivable.
+    pub fn infer(&self, a: usize, b: usize) -> Option<RelationType> {
+        if a == b {
+            return Some(RelationType::Overlap);
+        }
+        let classes = self.overlap_classes();
+        if classes[a] == classes[b] {
+            return Some(RelationType::Overlap);
+        }
+        // BFS over class-level BEFORE edges.
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(s, t, rel) in &self.edges {
+            if rel == RelationType::Before {
+                adj.entry(classes[s]).or_default().push(classes[t]);
+            }
+        }
+        let reaches = |from: usize, to: usize| -> bool {
+            let mut seen = HashSet::new();
+            let mut queue = VecDeque::from([from]);
+            while let Some(x) = queue.pop_front() {
+                if x == to {
+                    return true;
+                }
+                if !seen.insert(x) {
+                    continue;
+                }
+                for &next in adj.get(&x).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    queue.push_back(next);
+                }
+            }
+            false
+        };
+        if reaches(classes[a], classes[b]) {
+            Some(RelationType::Before)
+        } else if reaches(classes[b], classes[a]) {
+            Some(RelationType::After)
+        } else {
+            None
+        }
+    }
+
+    /// True when the graph is temporally consistent: no OVERLAP class can
+    /// reach itself through one or more BEFORE edges.
+    pub fn is_consistent(&self) -> bool {
+        let classes = self.overlap_classes();
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(s, t, rel) in &self.edges {
+            if rel == RelationType::Before {
+                if classes[s] == classes[t] {
+                    return false; // a BEFORE inside an overlap class
+                }
+                adj.entry(classes[s]).or_default().push(classes[t]);
+            }
+        }
+        // Cycle detection over class DAG.
+        let mut state: HashMap<usize, u8> = HashMap::new(); // 1=visiting, 2=done
+        fn dfs(x: usize, adj: &HashMap<usize, Vec<usize>>, state: &mut HashMap<usize, u8>) -> bool {
+            match state.get(&x) {
+                Some(1) => return false,
+                Some(2) => return true,
+                _ => {}
+            }
+            state.insert(x, 1);
+            for &next in adj.get(&x).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if !dfs(next, adj, state) {
+                    return false;
+                }
+            }
+            state.insert(x, 2);
+            true
+        }
+        let nodes: HashSet<usize> = classes.iter().copied().collect();
+        nodes.into_iter().all(|c| dfs(c, &adj, &mut state))
+    }
+
+    /// All derivable BEFORE pairs (the transitive closure), for diagnostics
+    /// and the Fig-5 experiment.
+    pub fn closure(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for a in 0..self.len() {
+            for b in 0..self.len() {
+                if a != b && self.infer(a, b) == Some(RelationType::Before) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// The worked example of Fig. 5: the COVID-19 case with
+    /// (a) glucocorticoids, (b) confirmed with COVID-19, (c) positive
+    /// antibody test, (d) admitted to the hospital, (e) a day later,
+    /// (f) nasal congestion, (g) a mild cough.
+    pub fn fig5_example() -> TemporalGraph {
+        let mut g = TemporalGraph::new(
+            [
+                "glucocorticoids",          // a = 0
+                "confirmed with COVID-19",  // b = 1
+                "positive of antibody",     // c = 2
+                "admitted to the hospital", // d = 3
+                "a day later",              // e = 4
+                "nasal congestion",         // f = 5
+                "a mild cough",             // g = 6
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        );
+        g.add_edge(0, 1, RelationType::Before); // long-term use precedes dx
+        g.add_edge(1, 2, RelationType::Overlap); // confirmed via antibody
+        g.add_edge(1, 3, RelationType::Before); // b before d
+        g.add_edge(4, 3, RelationType::After); // e after d
+        g.add_edge(4, 5, RelationType::Overlap); // e simultaneous with f
+        g.add_edge(5, 6, RelationType::Overlap); // cough with congestion
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use RelationType::*;
+
+    #[test]
+    fn fig5_inference_matches_paper() {
+        let g = TemporalGraph::fig5_example();
+        // The paper's conclusion: b was before f.
+        assert_eq!(g.infer(1, 5), Some(Before));
+        assert_eq!(g.infer(5, 1), Some(After));
+        // And by the same chain, before the cough too.
+        assert_eq!(g.infer(1, 6), Some(Before));
+        // a (history) precedes everything downstream.
+        assert_eq!(g.infer(0, 6), Some(Before));
+        assert!(g.is_consistent());
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_reflexive() {
+        let g = TemporalGraph::fig5_example();
+        assert_eq!(g.infer(2, 1), Some(Overlap));
+        assert_eq!(g.infer(1, 2), Some(Overlap));
+        assert_eq!(g.infer(3, 3), Some(Overlap));
+    }
+
+    #[test]
+    fn after_normalizes_to_before() {
+        let mut g = TemporalGraph::new(vec!["x".into(), "y".into()]);
+        g.add_edge(0, 1, After);
+        assert_eq!(g.edges(), &[(1, 0, Before)]);
+        assert_eq!(g.infer(0, 1), Some(After));
+    }
+
+    #[test]
+    fn underivable_is_none() {
+        let mut g = TemporalGraph::new(vec!["x".into(), "y".into(), "z".into()]);
+        g.add_edge(0, 1, Before);
+        assert_eq!(g.infer(0, 2), None);
+        assert_eq!(g.infer(2, 1), None);
+    }
+
+    #[test]
+    fn inconsistency_detected_cycle() {
+        let mut g = TemporalGraph::new(vec!["x".into(), "y".into(), "z".into()]);
+        g.add_edge(0, 1, Before);
+        g.add_edge(1, 2, Before);
+        g.add_edge(2, 0, Before);
+        assert!(!g.is_consistent());
+    }
+
+    #[test]
+    fn inconsistency_detected_overlap_before() {
+        let mut g = TemporalGraph::new(vec!["x".into(), "y".into()]);
+        g.add_edge(0, 1, Overlap);
+        g.add_edge(0, 1, Before);
+        assert!(!g.is_consistent());
+    }
+
+    #[test]
+    fn closure_includes_transitive_pairs() {
+        let g = TemporalGraph::fig5_example();
+        let closure = g.closure();
+        assert!(closure.contains(&(1, 5)), "closure {closure:?}");
+        assert!(closure.contains(&(1, 3)));
+        // Every closure pair must be inferable.
+        for (a, b) in closure {
+            assert_eq!(g.infer(a, b), Some(Before));
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g = TemporalGraph::new(vec!["x".into(), "y".into()]);
+        g.add_edge(0, 1, Before);
+        g.add_edge(0, 1, Before);
+        assert_eq!(g.edges().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal relations only")]
+    fn rejects_semantic_relations() {
+        let mut g = TemporalGraph::new(vec!["x".into(), "y".into()]);
+        g.add_edge(0, 1, Modify);
+    }
+}

@@ -1,0 +1,29 @@
+//! Clinical temporal relation extraction (Section III-C, Fig. 5).
+//!
+//! Reproduces the paper's temporal module [Zhou et al., 2020]: a pairwise
+//! relation classifier whose training loss is regularized with
+//! **probabilistic soft logic** terms for the common dependencies among
+//! temporal relations — transitivity (`BEFORE(a,b) ∧ BEFORE(b,c) →
+//! BEFORE(a,c)`) and symmetry (`BEFORE(a,b) ↔ AFTER(b,a)`) — plus a
+//! **global inference** pass that repairs dependency violations at
+//! prediction time. The experiment (E3) compares the local classifier
+//! against the PSL-regularized + globally-inferred model on the
+//! I2B2-2012-like and TB-Dense-like datasets, where the paper reports
+//! +1.98 and +2.01 F1.
+//!
+//! * [`features`] — pairwise feature extraction from temporal documents;
+//! * [`model`] — the classifier with local and PSL training modes;
+//! * [`psl`] — the soft-constraint loss terms (Łukasiewicz relaxation);
+//! * [`global`] — prediction-time global inference (greedy violation
+//!   repair);
+//! * [`graph`] — the temporal graph: transitive closure, consistency
+//!   checking, and the Fig-5 example.
+
+pub mod features;
+pub mod global;
+pub mod graph;
+pub mod model;
+pub mod psl;
+
+pub use graph::TemporalGraph;
+pub use model::{TemporalModel, TrainMode, TrainOptions};

@@ -1,0 +1,184 @@
+//! Probabilistic-soft-logic constraint terms.
+//!
+//! The paper regularizes classifier training by "comput\[ing\] a score to
+//! measure the satisfaction of all dependencies among these predicted
+//! relations" and adding it as an extra loss term. Rules are relaxed with
+//! the Łukasiewicz t-norm: the rule body `P ∧ Q → R` yields the hinge
+//! violation `max(0, p + q − 1 − r)`, differentiable almost everywhere in
+//! the class probabilities.
+//!
+//! Implemented rules over a document's predicted distributions:
+//! * **transitivity**: `BEFORE(a,b) ∧ BEFORE(b,c) → BEFORE(a,c)` and the
+//!   AFTER mirror;
+//! * **symmetry**: `BEFORE(a,b) ↔ AFTER(b,a)` (when both orientations of a
+//!   pair are scored).
+
+use create_ontology::RelationType;
+
+/// A differentiable violation: its value and the gradient `d(violation)/dp`
+/// for each of the three probabilities involved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Violation {
+    /// Hinge value `max(0, p + q − 1 − r)`.
+    pub value: f64,
+    /// d/dp (1 inside the hinge, else 0).
+    pub dp: f64,
+    /// d/dq.
+    pub dq: f64,
+    /// d/dr (−1 inside the hinge).
+    pub dr: f64,
+}
+
+/// Łukasiewicz relaxation of `P ∧ Q → R`.
+pub fn lukasiewicz_implication(p: f64, q: f64, r: f64) -> Violation {
+    let raw = p + q - 1.0 - r;
+    if raw > 0.0 {
+        Violation {
+            value: raw,
+            dp: 1.0,
+            dq: 1.0,
+            dr: -1.0,
+        }
+    } else {
+        Violation {
+            value: 0.0,
+            dp: 0.0,
+            dq: 0.0,
+            dr: 0.0,
+        }
+    }
+}
+
+/// Symmetric difference penalty `|p − q|` for the symmetry rule
+/// `BEFORE(a,b) ↔ AFTER(b,a)`; gradient is `sign` on each side.
+pub fn symmetry_penalty(p: f64, q: f64) -> (f64, f64, f64) {
+    let diff = p - q;
+    if diff > 0.0 {
+        (diff, 1.0, -1.0)
+    } else {
+        (-diff, -1.0, 1.0)
+    }
+}
+
+/// The transitivity rule templates to instantiate over label distributions:
+/// `(body1, body2, head)`. Only the unambiguous compositions are used.
+pub fn transitivity_rules() -> &'static [(RelationType, RelationType, RelationType)] {
+    use RelationType::*;
+    &[
+        (Before, Before, Before),
+        (After, After, After),
+        // Overlap chained with a strict order propagates the order:
+        // a OVERLAP b ∧ b BEFORE c → a BEFORE c (holds for point-like
+        // events sharing a step in our timeline semantics).
+        (Overlap, Before, Before),
+        (Before, Overlap, Before),
+        (Overlap, After, After),
+        (After, Overlap, After),
+    ]
+}
+
+/// Measures the total transitivity violation over a set of scored pairs.
+/// `prob` maps an ordered pair to its class distribution; `label_index`
+/// locates each relation's class id. Used for both the training loss and
+/// the diagnostics in EXPERIMENTS.md.
+pub fn total_violation<F>(
+    triples: &[(usize, usize, usize)],
+    prob: F,
+    label_index: &dyn Fn(RelationType) -> Option<usize>,
+) -> f64
+where
+    F: Fn(usize, usize) -> Option<Vec<f64>>,
+{
+    let mut total = 0.0;
+    for &(a, b, c) in triples {
+        let (Some(p_ab), Some(p_bc), Some(p_ac)) = (prob(a, b), prob(b, c), prob(a, c)) else {
+            continue;
+        };
+        for &(r1, r2, r3) in transitivity_rules() {
+            let (Some(i1), Some(i2), Some(i3)) =
+                (label_index(r1), label_index(r2), label_index(r3))
+            else {
+                continue;
+            };
+            total += lukasiewicz_implication(p_ab[i1], p_bc[i2], p_ac[i3]).value;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implication_satisfied_is_zero() {
+        // p=q=1, r=1 → satisfied.
+        let v = lukasiewicz_implication(1.0, 1.0, 1.0);
+        assert_eq!(v.value, 0.0);
+        assert_eq!(v.dp, 0.0);
+    }
+
+    #[test]
+    fn implication_violated_is_positive() {
+        let v = lukasiewicz_implication(0.9, 0.9, 0.1);
+        assert!((v.value - 0.7).abs() < 1e-12);
+        assert_eq!((v.dp, v.dq, v.dr), (1.0, 1.0, -1.0));
+    }
+
+    #[test]
+    fn implication_weak_body_is_satisfied() {
+        // If either body is weak the hinge stays at zero.
+        let v = lukasiewicz_implication(0.2, 0.3, 0.0);
+        assert_eq!(v.value, 0.0);
+    }
+
+    #[test]
+    fn symmetry_penalty_signs() {
+        let (v, dp, dq) = symmetry_penalty(0.8, 0.3);
+        assert!((v - 0.5).abs() < 1e-12);
+        assert_eq!((dp, dq), (1.0, -1.0));
+        let (v2, dp2, dq2) = symmetry_penalty(0.2, 0.6);
+        assert!((v2 - 0.4).abs() < 1e-12);
+        assert_eq!((dp2, dq2), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn rules_cover_before_after() {
+        let rules = transitivity_rules();
+        assert!(rules.contains(&(
+            RelationType::Before,
+            RelationType::Before,
+            RelationType::Before
+        )));
+        assert!(rules.contains(&(
+            RelationType::After,
+            RelationType::After,
+            RelationType::After
+        )));
+    }
+
+    #[test]
+    fn total_violation_counts_broken_chains() {
+        use RelationType::*;
+        // p(a,b)=p(b,c)=BEFORE with certainty, p(a,c)=AFTER: violated.
+        let labels = [Before, After, Overlap];
+        let idx = |r: RelationType| labels.iter().position(|x| *x == r);
+        let prob = |a: usize, b: usize| -> Option<Vec<f64>> {
+            match (a, b) {
+                (0, 1) | (1, 2) => Some(vec![1.0, 0.0, 0.0]),
+                (0, 2) => Some(vec![0.0, 1.0, 0.0]),
+                _ => None,
+            }
+        };
+        let v = total_violation(&[(0, 1, 2)], prob, &idx);
+        assert!(v >= 1.0, "violation {v}");
+        // And a consistent assignment has none.
+        let prob_ok = |a: usize, b: usize| -> Option<Vec<f64>> {
+            match (a, b) {
+                (0, 1) | (1, 2) | (0, 2) => Some(vec![1.0, 0.0, 0.0]),
+                _ => None,
+            }
+        };
+        assert_eq!(total_violation(&[(0, 1, 2)], prob_ok, &idx), 0.0);
+    }
+}

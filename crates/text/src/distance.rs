@@ -1,0 +1,138 @@
+//! String distances used for fuzzy matching and ontology normalization.
+
+/// Levenshtein edit distance with the classic two-row dynamic program.
+/// Operates on Unicode scalar values.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    if a_chars.is_empty() {
+        return b_chars.len();
+    }
+    if b_chars.is_empty() {
+        return a_chars.len();
+    }
+    let mut prev: Vec<usize> = (0..=b_chars.len()).collect();
+    let mut cur = vec![0usize; b_chars.len() + 1];
+    for (i, ca) in a_chars.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b_chars.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b_chars.len()]
+}
+
+/// Levenshtein distance with an early-exit bound: returns `None` when the
+/// distance certainly exceeds `max`. Much faster for dictionary scans.
+pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    let (la, lb) = (a_chars.len(), b_chars.len());
+    if la.abs_diff(lb) > max {
+        return None;
+    }
+    let mut prev: Vec<usize> = (0..=lb).collect();
+    let mut cur = vec![0usize; lb + 1];
+    for (i, ca) in a_chars.iter().enumerate() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for (j, cb) in b_chars.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[lb];
+    (d <= max).then_some(d)
+}
+
+/// Normalized similarity in `[0, 1]`: `1 - dist / max_len`. Two empty
+/// strings are identical (similarity 1).
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaccard similarity over character bigrams; cheap and robust for long
+/// medication names.
+pub fn bigram_jaccard(a: &str, b: &str) -> f64 {
+    use std::collections::HashSet;
+    fn bigrams(s: &str) -> HashSet<(char, char)> {
+        let chars: Vec<char> = s.chars().collect();
+        chars.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+    let (sa, sb) = (bigrams(a), bigrams(b));
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "ab"), 2);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(
+            levenshtein("amiodarone", "amiodarona"),
+            levenshtein("amiodarona", "amiodarone")
+        );
+    }
+
+    #[test]
+    fn bounded_matches_exact_within_limit() {
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+        assert_eq!(levenshtein_bounded("abc", "abd", 1), Some(1));
+    }
+
+    #[test]
+    fn bounded_short_circuits_on_length() {
+        assert_eq!(levenshtein_bounded("ab", "abcdefgh", 2), None);
+    }
+
+    #[test]
+    fn similarity_range() {
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("abc", "abc"), 1.0);
+        assert!(similarity("fever", "feverish") > 0.5);
+        assert!(similarity("fever", "zzzzz") < 0.2);
+    }
+
+    #[test]
+    fn bigram_jaccard_behaviour() {
+        assert_eq!(bigram_jaccard("ab", "ab"), 1.0);
+        assert!(bigram_jaccard("amiodarone", "amiodaron") > 0.8);
+        assert_eq!(bigram_jaccard("ab", "cd"), 0.0);
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        assert_eq!(levenshtein("fièvre", "fievre"), 1);
+    }
+}

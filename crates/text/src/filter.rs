@@ -1,0 +1,337 @@
+//! Token filters and character filters.
+//!
+//! Mirrors the filter chain of the paper's ElasticSearch analyzer
+//! (Section III-D): `asciifolding`, `lowercase`, `snowball`, `stop`,
+//! `stemmer`. Filters transform a token stream in order; a filter may drop
+//! tokens (stop filter) or rewrite their text (all others). Spans always keep
+//! pointing at the original input.
+
+use crate::stem::porter_stem;
+use crate::token::Token;
+use std::collections::HashSet;
+
+/// A token filter: consumes a token and either rewrites it or drops it.
+pub trait TokenFilter: Send + Sync {
+    /// Transforms one token; returning `None` removes it from the stream.
+    fn apply(&self, token: Token) -> Option<Token>;
+
+    /// Name used in analyzer debugging output.
+    fn name(&self) -> &'static str;
+}
+
+/// Lowercases token text (`lowercase` filter).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LowercaseFilter;
+
+impl TokenFilter for LowercaseFilter {
+    fn apply(&self, mut token: Token) -> Option<Token> {
+        if token.text.chars().any(|c| c.is_uppercase()) {
+            token.text = token.text.to_lowercase();
+        }
+        Some(token)
+    }
+
+    fn name(&self) -> &'static str {
+        "lowercase"
+    }
+}
+
+/// Folds common accented Latin characters to their ASCII base
+/// (`asciifolding` filter). Covers the Latin-1 supplement plus the ligatures
+/// that occur in biomedical text; characters outside the table pass through.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AsciiFoldingFilter;
+
+fn fold_char(c: char, out: &mut String) {
+    match c {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' => out.push('a'),
+        'À' | 'Á' | 'Â' | 'Ã' | 'Ä' | 'Å' | 'Ā' => out.push('A'),
+        'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ĕ' | 'ė' => out.push('e'),
+        'È' | 'É' | 'Ê' | 'Ë' | 'Ē' => out.push('E'),
+        'ì' | 'í' | 'î' | 'ï' | 'ī' => out.push('i'),
+        'Ì' | 'Í' | 'Î' | 'Ï' => out.push('I'),
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' => out.push('o'),
+        'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö' | 'Ø' => out.push('O'),
+        'ù' | 'ú' | 'û' | 'ü' | 'ū' => out.push('u'),
+        'Ù' | 'Ú' | 'Û' | 'Ü' => out.push('U'),
+        'ç' | 'ć' | 'č' => out.push('c'),
+        'Ç' => out.push('C'),
+        'ñ' | 'ń' => out.push('n'),
+        'Ñ' => out.push('N'),
+        'ý' | 'ÿ' => out.push('y'),
+        'š' => out.push('s'),
+        'ž' => out.push('z'),
+        'ß' => out.push_str("ss"),
+        'æ' => out.push_str("ae"),
+        'Æ' => out.push_str("AE"),
+        'œ' => out.push_str("oe"),
+        'Œ' => out.push_str("OE"),
+        'đ' | 'ð' => out.push('d'),
+        'þ' => out.push_str("th"),
+        'ł' => out.push('l'),
+        _ => out.push(c),
+    }
+}
+
+impl TokenFilter for AsciiFoldingFilter {
+    fn apply(&self, mut token: Token) -> Option<Token> {
+        if token.text.is_ascii() {
+            return Some(token);
+        }
+        let mut folded = String::with_capacity(token.text.len());
+        for c in token.text.chars() {
+            fold_char(c, &mut folded);
+        }
+        token.text = folded;
+        Some(token)
+    }
+
+    fn name(&self) -> &'static str {
+        "asciifolding"
+    }
+}
+
+/// Drops stopwords (`stop` filter). Comparison is case-sensitive, so this is
+/// normally placed after [`LowercaseFilter`].
+#[derive(Debug, Clone)]
+pub struct StopFilter {
+    stopwords: HashSet<String>,
+}
+
+/// The default English stopword list (Lucene's classic list).
+pub const ENGLISH_STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is", "it",
+    "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there", "these",
+    "they", "this", "to", "was", "will", "with",
+];
+
+impl StopFilter {
+    /// Builds a stop filter from an explicit word list.
+    pub fn new<I, S>(words: I) -> StopFilter
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        StopFilter {
+            stopwords: words.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The default English list.
+    pub fn english() -> StopFilter {
+        StopFilter::new(ENGLISH_STOPWORDS.iter().copied())
+    }
+
+    /// True if `word` is a stopword under this filter.
+    pub fn is_stopword(&self, word: &str) -> bool {
+        self.stopwords.contains(word)
+    }
+}
+
+impl TokenFilter for StopFilter {
+    fn apply(&self, token: Token) -> Option<Token> {
+        if self.stopwords.contains(&token.text) {
+            None
+        } else {
+            Some(token)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stop"
+    }
+}
+
+/// Porter stemming filter (`snowball`/`stemmer` filters — see
+/// [`crate::stem`]). Expects lowercase input.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StemFilter;
+
+impl TokenFilter for StemFilter {
+    fn apply(&self, mut token: Token) -> Option<Token> {
+        token.text = porter_stem(&token.text);
+        Some(token)
+    }
+
+    fn name(&self) -> &'static str {
+        "stemmer"
+    }
+}
+
+/// Drops tokens shorter than a minimum character length; useful for n-gram
+/// pipelines and as a cheap noise filter.
+#[derive(Debug, Clone, Copy)]
+pub struct LengthFilter {
+    /// Minimum length in chars, inclusive.
+    pub min: usize,
+    /// Maximum length in chars, inclusive.
+    pub max: usize,
+}
+
+impl TokenFilter for LengthFilter {
+    fn apply(&self, token: Token) -> Option<Token> {
+        let len = token.text.chars().count();
+        if len >= self.min && len <= self.max {
+            Some(token)
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "length"
+    }
+}
+
+/// A character filter rewrites raw text before tokenization.
+pub trait CharFilter: Send + Sync {
+    /// Rewrites the input. Implementations must preserve length or accept
+    /// that downstream spans refer to the *filtered* text; CREATe's pipeline
+    /// uses length-preserving filters only, so spans remain valid for the
+    /// original document.
+    fn apply(&self, text: &str) -> String;
+}
+
+/// Replaces HTML-ish markup (`<b>`, `</p>`, `&amp;` …) with spaces,
+/// preserving byte offsets for span alignment. Entities are blanked rather
+/// than decoded for the same reason.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HtmlStripCharFilter;
+
+impl CharFilter for HtmlStripCharFilter {
+    fn apply(&self, text: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        let mut chars = text.char_indices().peekable();
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '<' => {
+                    // Blank until '>' inclusive.
+                    out.push(' ');
+                    for (_, inner) in chars.by_ref() {
+                        push_blank(&mut out, inner);
+                        if inner == '>' {
+                            break;
+                        }
+                    }
+                }
+                '&' => {
+                    // Blank a short entity if one follows; otherwise keep '&'.
+                    let mut lookahead = String::new();
+                    let mut clone = chars.clone();
+                    let mut matched = false;
+                    for (_, inner) in clone.by_ref().take(8) {
+                        lookahead.push(inner);
+                        if inner == ';' {
+                            matched = true;
+                            break;
+                        }
+                        if !inner.is_ascii_alphanumeric() && inner != '#' {
+                            break;
+                        }
+                    }
+                    if matched {
+                        out.push(' ');
+                        for _ in 0..lookahead.chars().count() {
+                            let (_, inner) = chars.next().expect("lookahead counted");
+                            push_blank(&mut out, inner);
+                        }
+                    } else {
+                        out.push('&');
+                    }
+                }
+                _ => out.push(c),
+            }
+        }
+        out
+    }
+}
+
+fn push_blank(out: &mut String, original: char) {
+    // Replace with the same number of bytes to keep offsets stable.
+    for _ in 0..original.len_utf8() {
+        out.push(' ');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn tok(text: &str) -> Token {
+        Token::new(text, Span::new(0, text.len()), 0)
+    }
+
+    #[test]
+    fn lowercase_works() {
+        let t = LowercaseFilter.apply(tok("Fever")).unwrap();
+        assert_eq!(t.text, "fever");
+    }
+
+    #[test]
+    fn asciifolding_folds_accents() {
+        let t = AsciiFoldingFilter.apply(tok("naïve")).unwrap();
+        assert_eq!(t.text, "naive");
+        let t = AsciiFoldingFilter.apply(tok("Sjögren")).unwrap();
+        assert_eq!(t.text, "Sjogren");
+    }
+
+    #[test]
+    fn asciifolding_passes_ascii_untouched() {
+        let t = AsciiFoldingFilter.apply(tok("plain")).unwrap();
+        assert_eq!(t.text, "plain");
+    }
+
+    #[test]
+    fn stop_filter_drops_stopwords() {
+        let f = StopFilter::english();
+        assert!(f.apply(tok("the")).is_none());
+        assert!(f.apply(tok("fever")).is_some());
+    }
+
+    #[test]
+    fn stop_filter_is_case_sensitive() {
+        let f = StopFilter::english();
+        // "The" survives unless lowercased first — documents why ordering in
+        // the analyzer chain matters.
+        assert!(f.apply(tok("The")).is_some());
+    }
+
+    #[test]
+    fn stem_filter_stems() {
+        let t = StemFilter.apply(tok("palpitations")).unwrap();
+        assert_eq!(t.text, "palpit");
+    }
+
+    #[test]
+    fn length_filter_bounds() {
+        let f = LengthFilter { min: 2, max: 4 };
+        assert!(f.apply(tok("a")).is_none());
+        assert!(f.apply(tok("ab")).is_some());
+        assert!(f.apply(tok("abcd")).is_some());
+        assert!(f.apply(tok("abcde")).is_none());
+    }
+
+    #[test]
+    fn html_strip_preserves_length() {
+        let input = "<b>fever</b> &amp; cough";
+        let out = HtmlStripCharFilter.apply(input);
+        assert_eq!(out.len(), input.len());
+        assert!(out.contains("fever"));
+        assert!(!out.contains("<b>"));
+        assert!(!out.contains("&amp;"));
+    }
+
+    #[test]
+    fn html_strip_keeps_lone_ampersand() {
+        let out = HtmlStripCharFilter.apply("salt & water");
+        assert_eq!(out, "salt & water");
+    }
+
+    #[test]
+    fn html_strip_unterminated_tag() {
+        let out = HtmlStripCharFilter.apply("a <unterminated");
+        assert_eq!(out.len(), "a <unterminated".len());
+        assert!(out.starts_with("a "));
+    }
+}

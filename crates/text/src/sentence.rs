@@ -1,0 +1,216 @@
+//! Sentence splitting.
+//!
+//! The ingestion pipeline (Section III-A) organizes parsed report text "into
+//! case report sections and sentences". This splitter is abbreviation-aware:
+//! clinical prose is dense with `Dr.`, `e.g.`, `mg.`, decimal lab values and
+//! initialisms, all of which must not end a sentence.
+
+use crate::span::Span;
+
+/// Common abbreviations that do not terminate a sentence when followed by a
+/// period. Lowercase, without the trailing dot.
+const ABBREVIATIONS: &[&str] = &[
+    "dr", "mr", "mrs", "ms", "prof", "fig", "figs", "e.g", "i.e", "etc", "vs", "al", "st", "no",
+    "approx", "dept", "univ", "inc", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep",
+    "sept", "oct", "nov", "dec",
+];
+
+/// Splits `text` into sentence spans. The spans cover the trimmed sentence
+/// content (no leading/trailing whitespace) and never overlap.
+pub fn split_sentences(text: &str) -> Vec<Span> {
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let n = chars.len();
+    let mut sentences = Vec::new();
+    let mut start = 0usize; // index into chars
+    let mut i = 0usize;
+    while i < n {
+        let (_, c) = chars[i];
+        let is_terminal = matches!(c, '.' | '!' | '?');
+        if is_terminal && !is_abbreviation_dot(text, &chars, i) && !is_decimal_dot(&chars, i) {
+            // Absorb closing quotes/brackets and repeated terminals.
+            let mut end = i + 1;
+            while end < n && matches!(chars[end].1, '.' | '!' | '?' | ')' | ']' | '"' | '\'') {
+                end += 1;
+            }
+            // Sentence boundary confirmed only if followed by whitespace+
+            // uppercase/digit/end, to avoid splitting inside identifiers.
+            let mut k = end;
+            while k < n && chars[k].1.is_whitespace() {
+                k += 1;
+            }
+            let next_starts_sentence =
+                k >= n || chars[k].1.is_uppercase() || chars[k].1.is_numeric();
+            if next_starts_sentence {
+                push_trimmed(text, &chars, start, end, &mut sentences);
+                start = k;
+                i = k;
+                continue;
+            }
+        } else if c == '\n' && i + 1 < n && chars[i + 1].1 == '\n' {
+            // Blank line: hard paragraph boundary.
+            push_trimmed(text, &chars, start, i, &mut sentences);
+            let mut k = i;
+            while k < n && chars[k].1.is_whitespace() {
+                k += 1;
+            }
+            start = k;
+            i = k;
+            continue;
+        }
+        i += 1;
+    }
+    push_trimmed(text, &chars, start, n, &mut sentences);
+    sentences
+}
+
+/// Convenience: split and materialize the sentence strings.
+pub fn sentence_strings(text: &str) -> Vec<&str> {
+    split_sentences(text)
+        .into_iter()
+        .map(|s| s.slice(text))
+        .collect()
+}
+
+fn push_trimmed(
+    text: &str,
+    chars: &[(usize, char)],
+    start: usize,
+    end: usize,
+    out: &mut Vec<Span>,
+) {
+    let mut s = start;
+    let mut e = end;
+    while s < e && chars[s].1.is_whitespace() {
+        s += 1;
+    }
+    while e > s && chars[e - 1].1.is_whitespace() {
+        e -= 1;
+    }
+    if s >= e {
+        return;
+    }
+    let byte_start = chars[s].0;
+    let byte_end = if e < chars.len() {
+        chars[e].0
+    } else {
+        text.len()
+    };
+    out.push(Span::new(byte_start, byte_end));
+}
+
+/// True when the '.' at char index `i` terminates a known abbreviation.
+fn is_abbreviation_dot(text: &str, chars: &[(usize, char)], i: usize) -> bool {
+    if chars[i].1 != '.' {
+        return false;
+    }
+    // Collect the word (letters and internal dots) immediately before.
+    let mut j = i;
+    while j > 0 {
+        let prev = chars[j - 1].1;
+        if prev.is_alphabetic() || prev == '.' {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    if j == i {
+        return false;
+    }
+    let byte_start = chars[j].0;
+    let byte_end = chars[i].0;
+    let word = text[byte_start..byte_end].to_lowercase();
+    if ABBREVIATIONS.contains(&word.as_str()) {
+        return true;
+    }
+    // Single letters ("J. Smith") and dotted initialisms ("U.S") also don't
+    // end sentences.
+    word.chars().filter(|c| *c != '.').count() == 1 || word.contains('.')
+}
+
+/// True when the '.' at char index `i` sits between digits (a decimal).
+fn is_decimal_dot(chars: &[(usize, char)], i: usize) -> bool {
+    chars[i].1 == '.'
+        && i > 0
+        && i + 1 < chars.len()
+        && chars[i - 1].1.is_ascii_digit()
+        && chars[i + 1].1.is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_simple_sentences() {
+        let s = sentence_strings("The patient had fever. She was admitted.");
+        assert_eq!(s, vec!["The patient had fever.", "She was admitted."]);
+    }
+
+    #[test]
+    fn keeps_abbreviations_together() {
+        let s = sentence_strings("Dr. Smith examined the patient. Recovery followed.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].starts_with("Dr. Smith"));
+    }
+
+    #[test]
+    fn keeps_decimals_together() {
+        let s = sentence_strings("Troponin was 3.52 ng/mL. It normalized later.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("3.52"));
+    }
+
+    #[test]
+    fn handles_question_and_exclamation() {
+        let s = sentence_strings("Was it cardiac? Yes! Treatment began.");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn paragraph_break_is_boundary() {
+        let s = sentence_strings("History of smoking\n\nPresented with dyspnea.");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], "History of smoking");
+    }
+
+    #[test]
+    fn no_split_on_lowercase_continuation() {
+        // "vs." style internal dot followed by lowercase must not split.
+        let s = sentence_strings("Compared A vs. b in the trial.");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn initials_do_not_split() {
+        let s = sentence_strings("J. H. Caufield reviewed the case. It was unusual.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("Caufield"));
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   \n\n  ").is_empty());
+    }
+
+    #[test]
+    fn trailing_sentence_without_period() {
+        let s = sentence_strings("Fever resolved. Patient discharged home");
+        assert_eq!(s, vec!["Fever resolved.", "Patient discharged home"]);
+    }
+
+    #[test]
+    fn spans_are_nonoverlapping_and_ordered() {
+        let text = "One. Two. Three ended. Four";
+        let spans = split_sentences(text);
+        for w in spans.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn unicode_safe() {
+        let s = sentence_strings("Le patient avait de la fièvre. Récupération complète.");
+        assert_eq!(s.len(), 2);
+    }
+}

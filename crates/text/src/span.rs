@@ -1,0 +1,140 @@
+//! Byte-offset spans over source text.
+//!
+//! Every annotation in the system (NER mentions, BRAT text-bound
+//! annotations, temporal event anchors) is anchored to the original document
+//! by a half-open byte range, exactly like BRAT standoff offsets.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span; `start` must not exceed `end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        assert!(start <= end, "invalid span {start}..{end}");
+        Span { start, end }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True when `self` and `other` share at least one byte. Empty spans
+    /// cover no bytes and therefore never overlap anything.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
+    }
+
+    /// True when `self` fully contains `other`.
+    pub fn contains(&self, other: &Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// True when the spans are adjacent or overlapping (no gap between them).
+    pub fn touches(&self, other: &Span) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Smallest span covering both inputs.
+    pub fn cover(&self, other: &Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Intersection of two spans, if non-empty.
+    pub fn intersect(&self, other: &Span) -> Option<Span> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(Span::new(start, end))
+        } else {
+            None
+        }
+    }
+
+    /// Returns this span shifted right by `offset` bytes. Used when sentence-
+    /// local annotations are re-anchored onto the whole document.
+    pub fn shift(&self, offset: usize) -> Span {
+        Span::new(self.start + offset, self.end + offset)
+    }
+
+    /// Slices `text` with this span. Panics if out of bounds or not on char
+    /// boundaries, which always indicates an upstream bug.
+    pub fn slice<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.start..self.end]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_cases() {
+        let a = Span::new(0, 5);
+        assert!(a.overlaps(&Span::new(4, 8)));
+        assert!(a.overlaps(&Span::new(0, 1)));
+        assert!(!a.overlaps(&Span::new(5, 8)), "half-open: no shared byte");
+        assert!(!a.overlaps(&Span::new(7, 9)));
+        // Empty spans never overlap, even when positioned inside another.
+        assert!(!a.overlaps(&Span::new(2, 2)));
+        assert!(!Span::new(2, 2).overlaps(&a));
+    }
+
+    #[test]
+    fn touches_includes_adjacency() {
+        let a = Span::new(0, 5);
+        assert!(a.touches(&Span::new(5, 8)));
+        assert!(!a.touches(&Span::new(6, 8)));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Span::new(2, 10);
+        assert!(outer.contains(&Span::new(2, 10)));
+        assert!(outer.contains(&Span::new(3, 9)));
+        assert!(!outer.contains(&Span::new(1, 9)));
+        assert!(!outer.contains(&Span::new(3, 11)));
+    }
+
+    #[test]
+    fn cover_and_intersect() {
+        let a = Span::new(0, 4);
+        let b = Span::new(2, 8);
+        assert_eq!(a.cover(&b), Span::new(0, 8));
+        assert_eq!(a.intersect(&b), Some(Span::new(2, 4)));
+        assert_eq!(a.intersect(&Span::new(4, 8)), None);
+    }
+
+    #[test]
+    fn slice_and_shift() {
+        let text = "chest pain";
+        let s = Span::new(6, 10);
+        assert_eq!(s.slice(text), "pain");
+        assert_eq!(s.shift(2), Span::new(8, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid span")]
+    fn rejects_inverted() {
+        let _ = Span::new(5, 2);
+    }
+}

@@ -1,0 +1,330 @@
+//! Porter stemmer.
+//!
+//! The paper's analyzer chain includes the `snowball` and `stemmer` token
+//! filters; the Snowball English stemmer is a descendant of the Porter
+//! algorithm, which we implement here in full (steps 1a–5b of Porter 1980).
+//! Stems are not required to be dictionary words — only to be stable across
+//! inflectional variants (`admitted`/`admission` family, `fevers`→`fever`).
+
+/// Stems an English word with the Porter algorithm. Input is expected to be
+/// lowercase ASCII; non-ASCII input is returned unchanged.
+///
+/// ```
+/// use create_text::stem::porter_stem;
+/// assert_eq!(porter_stem("palpitations"), "palpit");
+/// assert_eq!(porter_stem("admitted"), porter_stem("admitting"));
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if !word.is_ascii() || word.len() <= 2 {
+        return word.to_string();
+    }
+    let mut w: Vec<u8> = word.bytes().collect();
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    String::from_utf8(w).expect("ASCII preserved throughout")
+}
+
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(w, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Measure of the stem `w[..len]`: the number of VC sequences.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants: one full VC found.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+fn ends_double_consonant(w: &[u8]) -> bool {
+    let n = w.len();
+    n >= 2 && w[n - 1] == w[n - 2] && is_consonant(w, n - 1)
+}
+
+/// cvc test where the final c is not w, x or y — signals a short stem that
+/// should keep/gain an 'e'.
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    let (a, b, c) = (len - 3, len - 2, len - 1);
+    is_consonant(w, a)
+        && !is_consonant(w, b)
+        && is_consonant(w, c)
+        && !matches!(w[c], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    let s = suffix.as_bytes();
+    w.len() >= s.len() && &w[w.len() - s.len()..] == s
+}
+
+/// Replace `suffix` with `replacement` if the measure of the remaining stem
+/// is greater than `min_measure`. Returns true when a substitution happened.
+fn replace_if(w: &mut Vec<u8>, suffix: &str, replacement: &str, min_measure: usize) -> bool {
+    if !ends_with(w, suffix) {
+        return false;
+    }
+    let stem_len = w.len() - suffix.len();
+    if measure(w, stem_len) > min_measure {
+        w.truncate(stem_len);
+        w.extend_from_slice(replacement.as_bytes());
+        true
+    } else {
+        false
+    }
+}
+
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") || ends_with(w, "ies") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, "ss") {
+        // keep
+    } else if ends_with(w, "s") && w.len() > 1 {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    let mut cleanup = false;
+    if ends_with(w, "eed") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 0 {
+            w.truncate(w.len() - 1);
+        }
+    } else if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        cleanup = true;
+    } else if ends_with(w, "ing") && w.len() > 3 && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        cleanup = true;
+    }
+    if cleanup {
+        if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+            w.push(b'e');
+        } else if ends_double_consonant(w) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+            w.truncate(w.len() - 1);
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step1c(w: &mut [u8]) {
+    if ends_with(w, "y") && w.len() > 1 && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+}
+
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suffix, replacement) in RULES {
+        if ends_with(w, suffix) {
+            replace_if(w, suffix, replacement, 0);
+            return;
+        }
+    }
+}
+
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suffix, replacement) in RULES {
+        if ends_with(w, suffix) {
+            replace_if(w, suffix, replacement, 0);
+            return;
+        }
+    }
+}
+
+fn step4(w: &mut Vec<u8>) {
+    const SUFFIXES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // "ion" requires the stem to end in s or t.
+    if ends_with(w, "ion") {
+        let stem_len = w.len() - 3;
+        if stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
+            w.truncate(stem_len);
+        }
+        return;
+    }
+    for suffix in SUFFIXES {
+        if ends_with(w, suffix) {
+            replace_if(w, suffix, "", 1);
+            return;
+        }
+    }
+}
+
+fn step5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && ends_double_consonant(w) && w[w.len() - 1] == b'l' {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(w: &str) -> String {
+        porter_stem(w)
+    }
+
+    #[test]
+    fn plural_reduction() {
+        assert_eq!(s("caresses"), "caress");
+        assert_eq!(s("ponies"), "poni");
+        assert_eq!(s("caress"), "caress");
+        assert_eq!(s("cats"), "cat");
+        assert_eq!(s("fevers"), "fever");
+    }
+
+    #[test]
+    fn ed_ing_reduction() {
+        assert_eq!(s("agreed"), "agre");
+        assert_eq!(s("plastered"), "plaster");
+        assert_eq!(s("motoring"), "motor");
+        assert_eq!(s("sing"), "sing");
+        assert_eq!(s("conflated"), "conflat");
+        assert_eq!(s("troubled"), "troubl");
+        assert_eq!(s("sized"), "size");
+        assert_eq!(s("hopping"), "hop");
+        assert_eq!(s("falling"), "fall");
+        assert_eq!(s("filing"), "file");
+    }
+
+    #[test]
+    fn derivational_suffixes() {
+        assert_eq!(s("relational"), "relat");
+        assert_eq!(s("conditional"), "condit");
+        assert_eq!(s("valenci"), "valenc");
+        assert_eq!(s("digitizer"), "digit");
+        assert_eq!(s("operator"), "oper");
+        assert_eq!(s("feudalism"), "feudal");
+        assert_eq!(s("hopefulness"), "hope");
+        assert_eq!(s("formaliti"), "formal");
+    }
+
+    #[test]
+    fn clinical_family_shares_stems() {
+        // The property the inverted index relies on: inflection families
+        // collapse to one key.
+        assert_eq!(s("admitted"), s("admitting"));
+        assert_eq!(s("presenting"), s("presented"));
+        assert_eq!(s("infections"), s("infection"));
+        assert_eq!(s("diagnoses"), s("diagnose"));
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(s("mi"), "mi");
+        assert_eq!(s("be"), "be");
+        assert_eq!(s("a"), "a");
+    }
+
+    #[test]
+    fn non_ascii_passthrough() {
+        assert_eq!(s("fièvre"), "fièvre");
+    }
+
+    #[test]
+    fn y_to_i() {
+        assert_eq!(s("happy"), "happi");
+        assert_eq!(s("sky"), "sky");
+    }
+
+    #[test]
+    fn ion_requires_s_or_t() {
+        assert_eq!(s("adoption"), "adopt");
+        assert_eq!(s("revision"), "revis");
+    }
+
+    #[test]
+    fn clinical_terms_stem_to_expected_keys() {
+        // Porter is not idempotent in general; what the index needs is that a
+        // fixed surface form always maps to the same key.
+        assert_eq!(s("admission"), "admiss");
+        assert_eq!(s("hypertension"), "hypertens");
+        assert_eq!(s("palpitations"), "palpit");
+        assert_eq!(s("catheterization"), "catheter");
+        assert_eq!(s("medications"), "medic");
+        assert_eq!(s("presenting"), "present");
+    }
+}

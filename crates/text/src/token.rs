@@ -1,0 +1,298 @@
+//! Tokenizers.
+//!
+//! Three tokenizers are provided, mirroring the ElasticSearch configuration
+//! space the paper uses:
+//!
+//! * [`StandardTokenizer`] — Unicode-ish word tokenizer that emits runs of
+//!   alphanumeric characters (keeping internal hyphens/apostrophes inside
+//!   clinical terms like `beta-blocker`), used for general indexing and as
+//!   the NER token stream.
+//! * [`WhitespaceTokenizer`] — trivial splitter, used in tests and as a
+//!   baseline.
+//! * [`NGramTokenizer`] — the paper's customized tokenizer with
+//!   `min_gram=3, max_gram=25`, chosen because "some of the symptoms or
+//!   medications may have longer names" (Section III-D).
+
+use crate::span::Span;
+
+/// A token: its text (owned, possibly rewritten by filters) and the span of
+/// the original document it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text after any filtering.
+    pub text: String,
+    /// Source span in the original input (pre-filter offsets).
+    pub span: Span,
+    /// Ordinal position in the token stream (for phrase queries).
+    pub position: usize,
+}
+
+impl Token {
+    /// Convenience constructor used by tokenizers.
+    pub fn new(text: impl Into<String>, span: Span, position: usize) -> Token {
+        Token {
+            text: text.into(),
+            span,
+            position,
+        }
+    }
+}
+
+/// A tokenizer turns raw text into a token stream.
+pub trait Tokenizer: Send + Sync {
+    /// Tokenizes `text`, producing tokens with byte spans into `text`.
+    fn tokenize(&self, text: &str) -> Vec<Token>;
+}
+
+/// Standard word tokenizer.
+///
+/// A token is a maximal run of alphanumeric characters, where single `-`,
+/// `'` or `.` characters *between* alphanumerics are kept inside the token
+/// (`beta-blocker`, `Dr.`-style abbreviations are handled by the sentence
+/// splitter, `3.5` stays one number token).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StandardTokenizer;
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+impl Tokenizer for StandardTokenizer {
+    fn tokenize(&self, text: &str) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        let bytes: Vec<(usize, char)> = text.char_indices().collect();
+        let n = bytes.len();
+        let mut i = 0;
+        let mut position = 0;
+        while i < n {
+            let (start_byte, c) = bytes[i];
+            if !is_word_char(c) {
+                i += 1;
+                continue;
+            }
+            // Consume the word, allowing single joiners between word chars.
+            let mut j = i + 1;
+            while j < n {
+                let (_, cj) = bytes[j];
+                if is_word_char(cj) {
+                    j += 1;
+                } else if (cj == '-' || cj == '\'' || cj == '.')
+                    && j + 1 < n
+                    && is_word_char(bytes[j + 1].1)
+                {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            let end_byte = if j < n { bytes[j].0 } else { text.len() };
+            let span = Span::new(start_byte, end_byte);
+            tokens.push(Token::new(span.slice(text), span, position));
+            position += 1;
+            i = j;
+        }
+        tokens
+    }
+}
+
+/// Whitespace tokenizer: splits on Unicode whitespace only.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WhitespaceTokenizer;
+
+impl Tokenizer for WhitespaceTokenizer {
+    fn tokenize(&self, text: &str) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        let mut position = 0;
+        let mut start: Option<usize> = None;
+        for (idx, c) in text.char_indices() {
+            if c.is_whitespace() {
+                if let Some(s) = start.take() {
+                    let span = Span::new(s, idx);
+                    tokens.push(Token::new(span.slice(text), span, position));
+                    position += 1;
+                }
+            } else if start.is_none() {
+                start = Some(idx);
+            }
+        }
+        if let Some(s) = start {
+            let span = Span::new(s, text.len());
+            tokens.push(Token::new(span.slice(text), span, position));
+        }
+        tokens
+    }
+}
+
+/// Character N-gram tokenizer (ElasticSearch `ngram` tokenizer).
+///
+/// Emits all character n-grams of each word with lengths in
+/// `[min_gram, max_gram]`. The paper sets `min_gram=3, max_gram=25` so that
+/// long medication names remain findable by partial matches.
+#[derive(Debug, Clone, Copy)]
+pub struct NGramTokenizer {
+    /// Minimum gram length in characters.
+    pub min_gram: usize,
+    /// Maximum gram length in characters.
+    pub max_gram: usize,
+}
+
+impl NGramTokenizer {
+    /// Creates an n-gram tokenizer; `0 < min_gram <= max_gram` required.
+    pub fn new(min_gram: usize, max_gram: usize) -> NGramTokenizer {
+        assert!(
+            min_gram > 0 && min_gram <= max_gram,
+            "invalid ngram bounds {min_gram}..={max_gram}"
+        );
+        NGramTokenizer { min_gram, max_gram }
+    }
+
+    /// The paper's configuration: `min_gram=3, max_gram=25`.
+    pub fn paper_config() -> NGramTokenizer {
+        NGramTokenizer::new(3, 25)
+    }
+}
+
+impl Tokenizer for NGramTokenizer {
+    fn tokenize(&self, text: &str) -> Vec<Token> {
+        // First isolate words with the standard tokenizer, then emit grams
+        // within each word; this is how ES's ngram tokenizer is typically
+        // deployed for term matching (token_chars: letter,digit).
+        let words = StandardTokenizer.tokenize(text);
+        let mut tokens = Vec::new();
+        let mut position = 0;
+        for word in &words {
+            let chars: Vec<(usize, char)> = word.text.char_indices().collect();
+            let n = chars.len();
+            for start in 0..n {
+                let max_len = (n - start).min(self.max_gram);
+                for len in self.min_gram..=max_len {
+                    let byte_start = chars[start].0;
+                    let byte_end = if start + len < n {
+                        chars[start + len].0
+                    } else {
+                        word.text.len()
+                    };
+                    let gram = &word.text[byte_start..byte_end];
+                    let span = Span::new(word.span.start + byte_start, word.span.start + byte_end);
+                    tokens.push(Token::new(gram, span, position));
+                    position += 1;
+                }
+            }
+        }
+        tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_tokenizes_words_and_punct() {
+        let toks = StandardTokenizer.tokenize("Fever, cough; dyspnea.");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Fever", "cough", "dyspnea"]);
+    }
+
+    #[test]
+    fn standard_keeps_internal_hyphen() {
+        let toks = StandardTokenizer.tokenize("started beta-blocker therapy");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["started", "beta-blocker", "therapy"]);
+    }
+
+    #[test]
+    fn standard_keeps_decimal_numbers() {
+        let toks = StandardTokenizer.tokenize("troponin 3.52 ng/mL");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["troponin", "3.52", "ng", "mL"]);
+    }
+
+    #[test]
+    fn standard_handles_trailing_hyphen() {
+        let toks = StandardTokenizer.tokenize("dose- and time-dependent");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["dose", "and", "time-dependent"]);
+    }
+
+    #[test]
+    fn standard_spans_are_correct() {
+        let input = "acute MI";
+        for t in StandardTokenizer.tokenize(input) {
+            assert_eq!(t.span.slice(input), t.text);
+        }
+    }
+
+    #[test]
+    fn standard_positions_are_sequential() {
+        let toks = StandardTokenizer.tokenize("a b c d");
+        let positions: Vec<usize> = toks.iter().map(|t| t.position).collect();
+        assert_eq!(positions, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn whitespace_basic() {
+        let toks = WhitespaceTokenizer.tokenize("  chest   pain ");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["chest", "pain"]);
+    }
+
+    #[test]
+    fn whitespace_keeps_punctuation_attached() {
+        let toks = WhitespaceTokenizer.tokenize("fever, cough");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["fever,", "cough"]);
+    }
+
+    #[test]
+    fn ngram_emits_expected_grams() {
+        let toks = NGramTokenizer::new(2, 3).tokenize("abcd");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["ab", "abc", "bc", "bcd", "cd"]);
+    }
+
+    #[test]
+    fn ngram_skips_words_shorter_than_min() {
+        let toks = NGramTokenizer::new(3, 25).tokenize("an MI");
+        // "an" (2 chars) yields nothing; "MI" likewise.
+        assert!(toks.is_empty());
+    }
+
+    #[test]
+    fn ngram_caps_at_max_gram() {
+        let word = "pseudohypoparathyroidism"; // 24 chars
+        let toks = NGramTokenizer::new(3, 5).tokenize(word);
+        assert!(toks.iter().all(|t| {
+            let len = t.text.chars().count();
+            (3..=5).contains(&len)
+        }));
+    }
+
+    #[test]
+    fn ngram_spans_point_into_source() {
+        let input = "amiodarone therapy";
+        for t in NGramTokenizer::paper_config().tokenize(input) {
+            assert_eq!(t.span.slice(input), t.text);
+        }
+    }
+
+    #[test]
+    fn paper_config_is_3_25() {
+        let t = NGramTokenizer::paper_config();
+        assert_eq!((t.min_gram, t.max_gram), (3, 25));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ngram bounds")]
+    fn ngram_rejects_zero_min() {
+        let _ = NGramTokenizer::new(0, 3);
+    }
+
+    #[test]
+    fn unicode_text_does_not_panic() {
+        let toks = StandardTokenizer.tokenize("fièvre et café — naïve");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["fièvre", "et", "café", "naïve"]);
+        let _ = NGramTokenizer::new(2, 4).tokenize("fièvre");
+    }
+}

@@ -1,0 +1,12 @@
+//! Shared low-level utilities for the CREATe workspace.
+//!
+//! Everything in the reproduction must be deterministic so that experiments
+//! are replayable from a seed. This crate provides the seedable PRNG used by
+//! the corpus generator, the ML trainers, and the benchmarks, plus small
+//! descriptive-statistics helpers used by the experiment harness.
+
+pub mod rng;
+pub mod stats;
+
+pub use rng::Rng;
+pub use stats::Summary;

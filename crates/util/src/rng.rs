@@ -1,0 +1,324 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The whole reproduction is seeded: the synthetic corpus, the train/test
+//! splits, SGD example shuffling, and the benchmark workloads all derive from
+//! explicit `u64` seeds, so every experiment table can be regenerated
+//! bit-for-bit. The generator is xoshiro256++ seeded through SplitMix64,
+//! which is the standard way to expand a single word into the 256-bit
+//! xoshiro state without correlation artifacts.
+
+/// A seedable xoshiro256++ pseudo-random number generator.
+///
+/// Not cryptographically secure; statistical quality is more than adequate
+/// for workload synthesis and stochastic optimization.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// document / epoch / worker its own reproducible stream.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. Uses Lemire's multiply-shift
+    /// rejection method to avoid modulo bias.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "Rng::below requires a positive bound");
+        let bound = bound as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "Rng::range requires lo < hi (got {lo}..{hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal deviate (Box–Muller; one value per call for
+    /// simplicity — the trainers are not bottlenecked on this).
+    pub fn normal(&mut self) -> f64 {
+        // Guard against log(0).
+        let u1 = self.f64().max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Geometric-ish positive count: 1 + number of successes of repeated
+    /// `p`-coin flips, capped at `max`. Used for "how many symptoms does
+    /// this patient have" style draws.
+    pub fn count_geometric(&mut self, p: f64, max: usize) -> usize {
+        let mut n = 1;
+        while n < max && self.chance(p) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Chooses a reference to a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Chooses an index according to non-negative weights (linear scan; the
+    /// weight vectors used here are small).
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0,
+            "choose_weighted requires a positive total weight"
+        );
+        let mut target = self.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (k <= n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        // Partial Fisher–Yates over an index vector; n is small in all of
+        // our call sites (sentence counts, vocabulary slices).
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.range(i, n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with exponent `s`, computed by
+    /// inverse-CDF over precomputed weights. Used for realistic term and
+    /// query frequency skew.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        debug_assert!(n > 0);
+        // For the small n used in corpus generation a linear scan is fine.
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+        }
+        let mut target = self.f64() * total;
+        for k in 1..=n {
+            target -= 1.0 / (k as f64).powf(s);
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[rng.below(10)] += 1;
+        }
+        for &c in &counts {
+            let expected = draws / 10;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.range(5, 15);
+            assert!((5..15).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = Rng::seed_from_u64(13);
+        let sample = rng.sample_indices(100, 20);
+        assert_eq!(sample.len(), 20);
+        let mut dedup = sample.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20);
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = Rng::seed_from_u64(17);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = Rng::seed_from_u64(19);
+        let mut counts = [0usize; 20];
+        for _ in 0..20_000 {
+            counts[rng.zipf(20, 1.1)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[19] * 4);
+    }
+
+    #[test]
+    fn choose_weighted_prefers_heavy() {
+        let mut rng = Rng::seed_from_u64(23);
+        let weights = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.choose_weighted(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    fn count_geometric_within_bounds() {
+        let mut rng = Rng::seed_from_u64(29);
+        for _ in 0..1000 {
+            let c = rng.count_geometric(0.5, 6);
+            assert!((1..=6).contains(&c));
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::seed_from_u64(31);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Descriptive statistics for the experiment harness.
+//!
+//! The benchmark binaries report latency and score distributions; this module
+//! keeps those computations in one tested place instead of re-deriving them
+//! in every `exp_*` binary.
+
+/// Summary statistics over a sample of `f64` observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean; 0.0 for an empty sample.
+    pub mean: f64,
+    /// Population standard deviation; 0.0 for samples of size < 2.
+    pub std_dev: f64,
+    /// Smallest observation; 0.0 for an empty sample.
+    pub min: f64,
+    /// Largest observation; 0.0 for an empty sample.
+    pub max: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of the sample. The input does not need to
+    /// be sorted. NaNs are rejected with a panic because they invariably mean
+    /// a bug upstream in a metric computation.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "Summary::of received NaN observations"
+        );
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN ruled out above"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
+        }
+    }
+}
+
+/// Percentile by linear interpolation between closest ranks; input must be
+/// sorted ascending and non-empty.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A fixed-width histogram used for the Fig-1 style category breakdowns and
+/// latency plots printed by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    /// Observations below `lo` or at/above `hi`.
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi)` with `buckets` equal bins.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
+        assert!(lo < hi && buckets > 0);
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            outliers: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        if v < self.lo || v >= self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let idx = ((v - self.lo) / width) as usize;
+        let idx = idx.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Bucket counts, low to high.
+    pub fn counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total recorded observations, excluding outliers.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Renders a compact ASCII bar chart (used by `exp_*` binaries).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let bin = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+            let lo = self.lo + bin * i as f64;
+            out.push_str(&format!(
+                "{:>10.3} | {:<width$} {}\n",
+                lo,
+                "#".repeat(bar_len),
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_basic_moments() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.p50 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_handles_unsorted_input() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.p50 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn summary_rejects_nan() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert!((percentile_sorted(&sorted, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        h.record(-1.0);
+        h.record(10.0);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.outliers, 2);
+        assert!(h.counts().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn histogram_renders_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(1.6);
+        let rendered = h.render(10);
+        assert!(rendered.contains('#'));
+        assert_eq!(rendered.lines().count(), 2);
+    }
+}

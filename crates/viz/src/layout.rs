@@ -1,0 +1,278 @@
+//! Fruchterman–Reingold force-directed layout.
+//!
+//! Classic FR: repulsive force `k²/d` between all node pairs, attractive
+//! force `d²/k` along edges, displacement capped by a linearly cooling
+//! temperature, positions clamped to the frame. Deterministic given the
+//! seed.
+
+use create_util::Rng;
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+/// Layout parameters.
+#[derive(Debug, Clone)]
+pub struct LayoutConfig {
+    /// Frame width.
+    pub width: f64,
+    /// Frame height.
+    pub height: f64,
+    /// Iterations of force simulation.
+    pub iterations: usize,
+    /// Seed for the initial placement.
+    pub seed: u64,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        LayoutConfig {
+            width: 800.0,
+            height: 600.0,
+            iterations: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// The layout engine.
+#[derive(Debug)]
+pub struct ForceLayout {
+    config: LayoutConfig,
+    positions: Vec<Point>,
+    edges: Vec<(usize, usize)>,
+    k: f64,
+    temperature: f64,
+    initial_temperature: f64,
+}
+
+impl ForceLayout {
+    /// Creates a layout for `n` nodes and the given edges, with random
+    /// initial placement.
+    pub fn new(n: usize, edges: Vec<(usize, usize)>, config: LayoutConfig) -> ForceLayout {
+        for &(a, b) in &edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+        }
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let positions = (0..n)
+            .map(|_| Point {
+                x: rng.f64_range(0.05, 0.95) * config.width,
+                y: rng.f64_range(0.05, 0.95) * config.height,
+            })
+            .collect();
+        let area = config.width * config.height;
+        let k = (area / (n.max(1) as f64)).sqrt();
+        let temperature = config.width / 10.0;
+        ForceLayout {
+            config,
+            positions,
+            edges,
+            k,
+            initial_temperature: temperature,
+            temperature,
+        }
+    }
+
+    /// Node positions.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Overrides a node's position (the drag gesture).
+    pub fn set_position(&mut self, node: usize, p: Point) {
+        self.positions[node] = p;
+    }
+
+    /// One simulation step. Returns the total displacement applied.
+    pub fn step(&mut self) -> f64 {
+        let n = self.positions.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut disp = vec![Point { x: 0.0, y: 0.0 }; n];
+        // Repulsion between every pair.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = self.positions[i].x - self.positions[j].x;
+                let dy = self.positions[i].y - self.positions[j].y;
+                let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+                let force = self.k * self.k / dist;
+                let (fx, fy) = (dx / dist * force, dy / dist * force);
+                disp[i].x += fx;
+                disp[i].y += fy;
+                disp[j].x -= fx;
+                disp[j].y -= fy;
+            }
+        }
+        // Attraction along edges.
+        for &(a, b) in &self.edges {
+            let dx = self.positions[a].x - self.positions[b].x;
+            let dy = self.positions[a].y - self.positions[b].y;
+            let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+            let force = dist * dist / self.k;
+            let (fx, fy) = (dx / dist * force, dy / dist * force);
+            disp[a].x -= fx;
+            disp[a].y -= fy;
+            disp[b].x += fx;
+            disp[b].y += fy;
+        }
+        // Apply, capped by temperature, clamped to frame.
+        let mut total = 0.0;
+        for (pos, d_vec) in self.positions.iter_mut().zip(&disp) {
+            let d = (d_vec.x * d_vec.x + d_vec.y * d_vec.y).sqrt();
+            if d > 0.0 {
+                let limited = d.min(self.temperature);
+                pos.x += d_vec.x / d * limited;
+                pos.y += d_vec.y / d * limited;
+                total += limited;
+            }
+            pos.x = pos.x.clamp(10.0, self.config.width - 10.0);
+            pos.y = pos.y.clamp(10.0, self.config.height - 10.0);
+        }
+        // Linear cooling.
+        self.temperature =
+            (self.temperature - self.initial_temperature / self.config.iterations as f64).max(0.1);
+        total
+    }
+
+    /// Runs the configured number of iterations; returns the per-step total
+    /// displacement trace (the E7 convergence series).
+    pub fn run(&mut self) -> Vec<f64> {
+        (0..self.config.iterations).map(|_| self.step()).collect()
+    }
+
+    /// System "energy": sum of pairwise repulsive potentials plus edge
+    /// spring potentials. Lower is better-spread.
+    pub fn energy(&self) -> f64 {
+        let n = self.positions.len();
+        let mut e = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = self.positions[i].x - self.positions[j].x;
+                let dy = self.positions[i].y - self.positions[j].y;
+                let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+                e += self.k * self.k / dist;
+            }
+        }
+        for &(a, b) in &self.edges {
+            let dx = self.positions[a].x - self.positions[b].x;
+            let dy = self.positions[a].y - self.positions[b].y;
+            let dist = (dx * dx + dy * dy).sqrt();
+            e += dist * dist * dist / (3.0 * self.k);
+        }
+        e
+    }
+
+    /// Smallest pairwise node distance — the E7 overlap check.
+    pub fn min_pair_distance(&self) -> f64 {
+        let n = self.positions.len();
+        let mut min = f64::INFINITY;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = self.positions[i].x - self.positions[j].x;
+                let dy = self.positions[i].y - self.positions[j].y;
+                min = min.min((dx * dx + dy * dy).sqrt());
+            }
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Vec<(usize, usize)> {
+        (0..n - 1).map(|i| (i, i + 1)).collect()
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let mut a = ForceLayout::new(6, chain(6), LayoutConfig::default());
+        let mut b = ForceLayout::new(6, chain(6), LayoutConfig::default());
+        a.run();
+        b.run();
+        assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    fn nodes_stay_in_frame() {
+        let cfg = LayoutConfig::default();
+        let (w, h) = (cfg.width, cfg.height);
+        let mut l = ForceLayout::new(10, chain(10), cfg);
+        l.run();
+        for p in l.positions() {
+            assert!((0.0..=w).contains(&p.x));
+            assert!((0.0..=h).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn displacement_decreases_with_cooling() {
+        let mut l = ForceLayout::new(8, chain(8), LayoutConfig::default());
+        let trace = l.run();
+        let early: f64 = trace[..10].iter().sum();
+        let late: f64 = trace[trace.len() - 10..].iter().sum();
+        assert!(late < early, "no cooling: early {early}, late {late}");
+    }
+
+    #[test]
+    fn nodes_spread_apart() {
+        // Repulsion must separate an initially random cluster well beyond
+        // overlap distance.
+        let mut l = ForceLayout::new(7, chain(7), LayoutConfig::default());
+        l.run();
+        assert!(
+            l.min_pair_distance() > 20.0,
+            "min distance {} too small",
+            l.min_pair_distance()
+        );
+    }
+
+    #[test]
+    fn connected_nodes_closer_than_unconnected() {
+        // A two-cluster graph: intra-cluster edges pull members together.
+        let edges = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)];
+        let mut l = ForceLayout::new(6, edges, LayoutConfig::default());
+        l.run();
+        let p = l.positions();
+        let d = |a: usize, b: usize| ((p[a].x - p[b].x).powi(2) + (p[a].y - p[b].y).powi(2)).sqrt();
+        let intra = (d(0, 1) + d(1, 2) + d(3, 4) + d(4, 5)) / 4.0;
+        let inter = (d(0, 3) + d(1, 4) + d(2, 5)) / 3.0;
+        assert!(
+            intra < inter,
+            "clusters not separated: intra {intra}, inter {inter}"
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let mut l = ForceLayout::new(0, vec![], LayoutConfig::default());
+        assert_eq!(l.run().iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn single_node_centers_somewhere_valid() {
+        let mut l = ForceLayout::new(1, vec![], LayoutConfig::default());
+        l.run();
+        assert_eq!(l.positions().len(), 1);
+    }
+
+    #[test]
+    fn set_position_overrides() {
+        let mut l = ForceLayout::new(2, vec![(0, 1)], LayoutConfig::default());
+        l.set_position(0, Point { x: 33.0, y: 44.0 });
+        assert_eq!(l.positions()[0], Point { x: 33.0, y: 44.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_edges() {
+        let _ = ForceLayout::new(2, vec![(0, 5)], LayoutConfig::default());
+    }
+}

@@ -1,0 +1,19 @@
+//! Network-graph visualization (Section III-E, Fig. 7).
+//!
+//! CREATe-IR renders each case report's entity/event graph "using scalable
+//! vector graphics under a force-directed algorithm, which distributes
+//! nodes and clusters in space to minimize their repulsive energies and
+//! crossing edges", with pan/zoom/drag gestures. This crate implements:
+//!
+//! * [`layout`] — a seeded Fruchterman–Reingold force-directed layout with
+//!   linear cooling and an energy diagnostic (experiment E7 tracks its
+//!   convergence);
+//! * [`svg`] — an SVG renderer (typed node colors, arrowhead edges, edge
+//!   labels) that optionally embeds the pointer-gesture script for
+//!   drag/pan/zoom.
+
+pub mod layout;
+pub mod svg;
+
+pub use layout::{ForceLayout, LayoutConfig, Point};
+pub use svg::{render_svg, SvgOptions, VizEdge, VizGraph, VizNode};

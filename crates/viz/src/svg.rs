@@ -1,0 +1,302 @@
+//! SVG rendering of entity/event graphs.
+//!
+//! Produces the Fig-7 style visualization: circles colored by clinical
+//! type, directed edges with arrowheads and relation labels, node captions,
+//! and (optionally) an embedded pointer-gesture script providing the drag /
+//! pan / zoom interactions described in Section III-E.
+
+use crate::layout::{ForceLayout, LayoutConfig};
+
+/// A node to draw.
+#[derive(Debug, Clone)]
+pub struct VizNode {
+    /// Caption under the circle.
+    pub label: String,
+    /// Clinical type label (drives the fill color).
+    pub kind: String,
+}
+
+/// A directed, labeled edge.
+#[derive(Debug, Clone)]
+pub struct VizEdge {
+    /// Source node index.
+    pub source: usize,
+    /// Target node index.
+    pub target: usize,
+    /// Relation label drawn on the edge.
+    pub label: String,
+}
+
+/// The graph to draw.
+#[derive(Debug, Clone, Default)]
+pub struct VizGraph {
+    /// Nodes.
+    pub nodes: Vec<VizNode>,
+    /// Edges.
+    pub edges: Vec<VizEdge>,
+}
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Layout parameters.
+    pub layout: LayoutConfig,
+    /// Node radius.
+    pub node_radius: f64,
+    /// Embed the pan/zoom/drag gesture script.
+    pub interactive: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            layout: LayoutConfig::default(),
+            node_radius: 14.0,
+            interactive: false,
+        }
+    }
+}
+
+/// Color per clinical type, matching the BRAT-style palette.
+fn color_for(kind: &str) -> &'static str {
+    match kind {
+        "Sign_symptom" => "#e4938f",
+        "Disease_disorder" => "#d9534f",
+        "Medication" => "#7cc47c",
+        "Diagnostic_procedure" => "#8fb9e4",
+        "Therapeutic_procedure" => "#5b9bd5",
+        "Lab_value" => "#c9a0dc",
+        "Nonbiological_location" => "#e8c06f",
+        "Outcome" => "#b0b0b0",
+        "Time" | "Date" | "Duration" => "#f2e394",
+        _ => "#d8d8d8",
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// The pointer-gesture script: node drag, canvas pan, wheel zoom.
+const GESTURE_SCRIPT: &str = r#"
+(function(){
+  var svg=document.currentScript.ownerSVGElement||document.documentElement;
+  var vb=svg.viewBox.baseVal, drag=null, pan=null;
+  svg.addEventListener('mousedown',function(e){
+    var g=e.target.closest('g.node');
+    if(g){drag=g;}else{pan={x:e.clientX,y:e.clientY};}
+  });
+  svg.addEventListener('mousemove',function(e){
+    if(drag){
+      var pt=svg.createSVGPoint();pt.x=e.clientX;pt.y=e.clientY;
+      var p=pt.matrixTransform(svg.getScreenCTM().inverse());
+      drag.setAttribute('transform','translate('+p.x+','+p.y+')');
+    } else if(pan){
+      vb.x-=(e.clientX-pan.x)*vb.width/svg.clientWidth;
+      vb.y-=(e.clientY-pan.y)*vb.height/svg.clientHeight;
+      pan={x:e.clientX,y:e.clientY};
+    }
+  });
+  svg.addEventListener('mouseup',function(){drag=null;pan=null;});
+  svg.addEventListener('wheel',function(e){
+    e.preventDefault();
+    var f=e.deltaY>0?1.1:0.9;
+    vb.x+=vb.width*(1-f)/2; vb.y+=vb.height*(1-f)/2;
+    vb.width*=f; vb.height*=f;
+  });
+})();
+"#;
+
+/// Lays out and renders the graph to an SVG string.
+pub fn render_svg(graph: &VizGraph, options: &SvgOptions) -> String {
+    let edges: Vec<(usize, usize)> = graph.edges.iter().map(|e| (e.source, e.target)).collect();
+    let mut layout = ForceLayout::new(graph.nodes.len(), edges, options.layout.clone());
+    layout.run();
+    render_with_positions(graph, &layout, options)
+}
+
+/// Renders with an existing (possibly user-adjusted) layout.
+pub fn render_with_positions(
+    graph: &VizGraph,
+    layout: &ForceLayout,
+    options: &SvgOptions,
+) -> String {
+    let (w, h) = (options.layout.width, options.layout.height);
+    let r = options.node_radius;
+    let positions = layout.positions();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\">\n"
+    ));
+    out.push_str(
+        "<defs><marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"10\" refY=\"5\" \
+         markerWidth=\"7\" markerHeight=\"7\" orient=\"auto-start-reverse\">\
+         <path d=\"M 0 0 L 10 5 L 0 10 z\" fill=\"#666\"/></marker></defs>\n",
+    );
+    // Edges under nodes.
+    for edge in &graph.edges {
+        let a = positions[edge.source];
+        let b = positions[edge.target];
+        // Shorten the line so the arrowhead meets the circle border.
+        let dx = b.x - a.x;
+        let dy = b.y - a.y;
+        let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+        let (ex, ey) = (b.x - dx / dist * r, b.y - dy / dist * r);
+        let (sx, sy) = (a.x + dx / dist * r, a.y + dy / dist * r);
+        out.push_str(&format!(
+            "<line class=\"edge\" x1=\"{sx:.1}\" y1=\"{sy:.1}\" x2=\"{ex:.1}\" y2=\"{ey:.1}\" \
+             stroke=\"#666\" stroke-width=\"1.5\" marker-end=\"url(#arrow)\"/>\n"
+        ));
+        let (mx, my) = ((a.x + b.x) / 2.0, (a.y + b.y) / 2.0 - 4.0);
+        out.push_str(&format!(
+            "<text class=\"edge-label\" x=\"{mx:.1}\" y=\"{my:.1}\" font-size=\"9\" \
+             fill=\"#444\" text-anchor=\"middle\">{}</text>\n",
+            escape(&edge.label)
+        ));
+    }
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let p = positions[i];
+        out.push_str(&format!(
+            "<g class=\"node\" data-id=\"{i}\" data-kind=\"{}\">\n",
+            escape(&node.kind)
+        ));
+        out.push_str(&format!(
+            "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{r}\" fill=\"{}\" stroke=\"#333\"/>\n",
+            p.x,
+            p.y,
+            color_for(&node.kind)
+        ));
+        out.push_str(&format!(
+            "  <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"middle\">{}</text>\n",
+            p.x,
+            p.y + r + 12.0,
+            escape(&node.label)
+        ));
+        out.push_str("</g>\n");
+    }
+    if options.interactive {
+        out.push_str(&format!("<script>{GESTURE_SCRIPT}</script>\n"));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig7_like_graph() -> VizGraph {
+        VizGraph {
+            nodes: vec![
+                VizNode {
+                    label: "fever".into(),
+                    kind: "Sign_symptom".into(),
+                },
+                VizNode {
+                    label: "cough".into(),
+                    kind: "Sign_symptom".into(),
+                },
+                VizNode {
+                    label: "hospital".into(),
+                    kind: "Nonbiological_location".into(),
+                },
+                VizNode {
+                    label: "respiratory failure".into(),
+                    kind: "Disease_disorder".into(),
+                },
+                VizNode {
+                    label: "death".into(),
+                    kind: "Outcome".into(),
+                },
+            ],
+            edges: vec![
+                VizEdge {
+                    source: 0,
+                    target: 1,
+                    label: "OVERLAP".into(),
+                },
+                VizEdge {
+                    source: 1,
+                    target: 3,
+                    label: "BEFORE".into(),
+                },
+                VizEdge {
+                    source: 3,
+                    target: 4,
+                    label: "BEFORE".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_svg(&fig7_like_graph(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert_eq!(svg.matches("<line").count(), 3);
+        assert!(svg.contains("OVERLAP"));
+        assert!(svg.contains("marker-end=\"url(#arrow)\""));
+    }
+
+    #[test]
+    fn colors_by_type() {
+        let svg = render_svg(&fig7_like_graph(), &SvgOptions::default());
+        assert!(svg.contains(color_for("Sign_symptom")));
+        assert!(svg.contains(color_for("Outcome")));
+    }
+
+    #[test]
+    fn labels_escaped() {
+        let g = VizGraph {
+            nodes: vec![VizNode {
+                label: "a<b & \"c\"".into(),
+                kind: "Other".into(),
+            }],
+            edges: vec![],
+        };
+        let svg = render_svg(&g, &SvgOptions::default());
+        assert!(svg.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn interactive_embeds_script() {
+        let opts = SvgOptions {
+            interactive: true,
+            ..Default::default()
+        };
+        let svg = render_svg(&fig7_like_graph(), &opts);
+        assert!(svg.contains("<script>"));
+        assert!(svg.contains("wheel"));
+        let plain = render_svg(&fig7_like_graph(), &SvgOptions::default());
+        assert!(!plain.contains("<script>"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = render_svg(&fig7_like_graph(), &SvgOptions::default());
+        let b = render_svg(&fig7_like_graph(), &SvgOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_renders_shell() {
+        let svg = render_svg(&VizGraph::default(), &SvgOptions::default());
+        assert!(svg.contains("<svg"));
+        assert!(!svg.contains("<circle"));
+    }
+
+    #[test]
+    fn parses_as_xml() {
+        // The output must be valid XML (modulo the script, which we skip).
+        let svg = render_svg(&fig7_like_graph(), &SvgOptions::default());
+        let parsed = create_grobid::parse_xml(&svg).expect("SVG should be well-formed XML");
+        assert_eq!(parsed.name, "svg");
+        assert_eq!(parsed.descendants("circle").len(), 5);
+    }
+}

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every experiment table (EXPERIMENTS.md source data).
+set -u
+cd /root/repo
+for e in exp_fig1_categories exp_fig5_transitivity exp_fig7_layout exp_grobid_extraction \
+         exp_ngram_analyzer exp_temporal_f1 exp_fig6_merge_policy exp_ir_vs_solr \
+         exp_ner_f1 exp_cflair_ablation exp_scalability; do
+  echo "##### $e"
+  cargo run --release -p create-bench --bin "$e" 2>/dev/null
+done

@@ -1,0 +1,22 @@
+//! Umbrella crate for the CREATe reproduction.
+//!
+//! Re-exports the workspace crates under one roof so the runnable examples in
+//! `examples/` and the integration tests in `tests/` can address the whole
+//! system through a single dependency. Library users should normally depend
+//! on the individual `create-*` crates instead.
+
+pub use create_annotate as annotate;
+pub use create_core as core;
+pub use create_corpus as corpus;
+pub use create_docstore as docstore;
+pub use create_graphdb as graphdb;
+pub use create_grobid as grobid;
+pub use create_index as index;
+pub use create_ml as ml;
+pub use create_ner as ner;
+pub use create_ontology as ontology;
+pub use create_server as server;
+pub use create_temporal as temporal;
+pub use create_text as text;
+pub use create_util as util;
+pub use create_viz as viz;

@@ -1,0 +1,232 @@
+//! End-to-end integration tests spanning the whole workspace: corpus →
+//! ingestion → three stores → search → visualization → REST API.
+
+use create::core::{Create, CreateConfig, MergePolicy};
+use create::corpus::{CorpusConfig, Generator, QueryFamily, QuerySet};
+use create::graphdb::exec::run;
+use create::server::server::{http_get, http_post};
+use create::server::{build_api, Server};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+fn loaded(n: usize, seed: u64) -> (Create, Vec<create::corpus::CaseReport>) {
+    let reports = Generator::new(CorpusConfig {
+        num_reports: n,
+        seed,
+        ..Default::default()
+    })
+    .generate();
+    let mut system = Create::new(CreateConfig::default());
+    for r in &reports {
+        system.ingest_gold(r).expect("ingest");
+    }
+    (system, reports)
+}
+
+#[test]
+fn full_pipeline_search_quality() {
+    let (system, reports) = loaded(150, 42);
+    let queries = QuerySet::generate(&reports, 43, 24);
+    // CREATe-IR should place a relevant document in the top-10 for the
+    // clear majority of queries, and beat the keyword-only baseline on
+    // temporal queries.
+    let mut ir_hits = 0usize;
+    for q in &queries.queries {
+        let ids: Vec<String> = system
+            .search(&q.text, 10)
+            .into_iter()
+            .map(|h| h.report_id)
+            .collect();
+        if ids.iter().any(|id| q.judgments.contains_key(id)) {
+            ir_hits += 1;
+        }
+    }
+    assert!(
+        ir_hits * 3 >= queries.queries.len() * 2,
+        "CREATe-IR found relevant docs for only {ir_hits}/{}",
+        queries.queries.len()
+    );
+
+    let temporal = queries.of_family(QueryFamily::Temporal);
+    let mut ir_better_or_equal = 0usize;
+    for q in &temporal {
+        let count_rel = |policy: MergePolicy| {
+            system
+                .search_with_policy(&q.text, 10, policy)
+                .iter()
+                .filter(|h| q.judgments.contains_key(&h.report_id))
+                .count()
+        };
+        if count_rel(MergePolicy::Neo4jFirst) >= count_rel(MergePolicy::EsOnly) {
+            ir_better_or_equal += 1;
+        }
+    }
+    assert!(
+        ir_better_or_equal * 3 >= temporal.len() * 2,
+        "graph engine underperformed keyword on temporal queries: {ir_better_or_equal}/{}",
+        temporal.len()
+    );
+}
+
+#[test]
+fn graph_is_cypher_queryable_after_ingest() {
+    let (mut system, _) = loaded(30, 7);
+    let out = run(
+        system.graph_mut(),
+        "MATCH (r:Report)-[:MENTIONS]->(c:Concept) RETURN COUNT(*)",
+    )
+    .expect("cypher");
+    let count = match &out.rows[0][0] {
+        create::graphdb::ResultValue::Value(v) => v.as_f64().unwrap(),
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(count > 100.0, "too few MENTIONS edges: {count}");
+
+    // A relation-style query (the Fig-6 graph path) returns rows.
+    let out = run(
+        system.graph_mut(),
+        "MATCH (a:Event)-[:BEFORE]->(b:Event) RETURN a.reportId LIMIT 5",
+    )
+    .expect("cypher");
+    assert!(!out.rows.is_empty());
+}
+
+#[test]
+fn annotations_export_is_valid_brat() {
+    let (system, reports) = loaded(10, 8);
+    for r in &reports {
+        let brat = system.annotations(&r.id).expect("annotation doc");
+        brat.validate(&r.text).expect("valid standoff");
+        // Round-trip through the parser.
+        let reparsed = create::annotate::BratDocument::parse(&brat.serialize()).unwrap();
+        assert_eq!(reparsed.text_bounds.len(), r.entities.len());
+    }
+}
+
+#[test]
+fn visualization_svg_is_wellformed_for_every_report() {
+    let (system, reports) = loaded(10, 9);
+    for r in &reports {
+        let svg = system.visualize(&r.id).expect("svg");
+        let parsed = create::grobid::parse_xml(&svg).expect("well-formed SVG");
+        assert_eq!(parsed.name, "svg");
+        assert!(!parsed.descendants("circle").is_empty());
+    }
+}
+
+#[test]
+fn rest_api_serves_the_whole_surface() {
+    let (system, reports) = loaded(20, 10);
+    let id = reports[0].id.clone();
+    let shared = Arc::new(RwLock::new(system));
+    let server = Server::bind("127.0.0.1:0", build_api(shared)).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let t = std::thread::spawn(move || server.serve());
+
+    let (status, body) = http_get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"reports\":20"));
+
+    let (status, body) = http_get(addr, "/search?q=fever+and+cough&k=5").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"hits\""));
+
+    let (status, _) = http_get(addr, &format!("/reports/{id}")).unwrap();
+    assert_eq!(status, 200);
+    let (status, ann) = http_get(addr, &format!("/reports/{id}/annotations")).unwrap();
+    assert_eq!(status, 200);
+    assert!(ann.starts_with('T'));
+    let (status, svg) = http_get(addr, &format!("/reports/{id}/graph.svg")).unwrap();
+    assert_eq!(status, 200);
+    assert!(svg.starts_with("<svg"));
+
+    // Submitting without a tagger is a clean client error, not a crash.
+    let (status, _) = http_post(
+        addr,
+        "/submit",
+        r#"{"id": "user:t", "title": "x", "text": "fever."}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 400);
+
+    handle.shutdown();
+    t.join().unwrap();
+}
+
+#[test]
+fn docstore_persistence_survives_reload() {
+    use create::docstore::{json::obj, DocStore, Filter};
+    let dir = std::env::temp_dir().join(format!("create-e2e-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let store = DocStore::open(&dir).unwrap();
+        let reports = Generator::new(CorpusConfig {
+            num_reports: 5,
+            seed: 11,
+            ..Default::default()
+        })
+        .generate();
+        for r in &reports {
+            store
+                .insert(
+                    "reports",
+                    obj([
+                        ("_id", r.id.clone().into()),
+                        ("title", r.title.clone().into()),
+                        ("text", r.text.clone().into()),
+                    ]),
+                )
+                .unwrap();
+        }
+        store.flush().unwrap();
+    }
+    let store = DocStore::open(&dir).unwrap();
+    assert_eq!(store.count("reports", &Filter::All), 5);
+    let doc = store
+        .find_one("reports", &Filter::contains("title", "case"))
+        .unwrap();
+    assert!(doc.get("text").is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn platform_persistence_round_trip() {
+    // Ingest into a disk-backed platform, flush, reopen, and verify the
+    // graph/index rebuild reproduces search behaviour.
+    let dir = std::env::temp_dir().join(format!("create-e2e-platform-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let reports = Generator::new(CorpusConfig {
+        num_reports: 25,
+        seed: 77,
+        ..Default::default()
+    })
+    .generate();
+    let query = "A patient was admitted to the hospital because of fever and cough.";
+    let before_hits: Vec<String>;
+    {
+        let mut system = Create::open(&dir, CreateConfig::default()).unwrap();
+        for r in &reports {
+            system.ingest_gold(r).unwrap();
+        }
+        before_hits = system
+            .search(query, 10)
+            .into_iter()
+            .map(|h| h.report_id)
+            .collect();
+        system.flush().unwrap();
+    }
+    let reopened = Create::open(&dir, CreateConfig::default()).unwrap();
+    let stats = reopened.stats();
+    assert_eq!(stats.reports, 25);
+    assert!(stats.graph_nodes > 25, "graph not rebuilt: {stats:?}");
+    let after_hits: Vec<String> = reopened
+        .search(query, 10)
+        .into_iter()
+        .map(|h| h.report_id)
+        .collect();
+    assert_eq!(before_hits, after_hits, "search changed across restart");
+    // Annotations survive too.
+    assert!(reopened.annotations(&reports[0].id).is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,175 @@
+//! Integration tests of the learned extraction stack: NER training with
+//! and without C-FLAIR features, the temporal module's claim shape, and
+//! automatic ingestion driven by trained models.
+
+use create::core::{Create, CreateConfig};
+use create::corpus::temporal_data::i2b2_like;
+use create::corpus::{CorpusConfig, Generator};
+use create::ner::eval::{span_f1, span_f1_with};
+use create::ner::{
+    CrfTagger, CrfTaggerConfig, FlairFeatures, GazetteerTagger, HmmTagger, LabelSet, NerDataset,
+};
+use create::temporal::model::{TemporalModel, TrainMode, TrainOptions};
+use std::sync::Arc;
+
+fn quick_config(epochs: usize) -> CrfTaggerConfig {
+    CrfTaggerConfig {
+        feature_bits: 17,
+        train: create::ml::CrfTrainConfig {
+            epochs,
+            ..Default::default()
+        },
+        gazetteer_features: true,
+    }
+}
+
+#[test]
+fn ner_ladder_orders_as_expected() {
+    // The E2 shape in miniature: CRF beats HMM beats gazetteer on typo'd
+    // data (where exact dictionary lookup suffers).
+    let reports = Generator::new(CorpusConfig {
+        num_reports: 80,
+        seed: 1234,
+        typo_rate: 0.10,
+        ..Default::default()
+    })
+    .generate();
+    let dataset = NerDataset::from_reports(&reports, LabelSet::ner_targets());
+    let (train, test) = dataset.split(0.8);
+    let ontology = Arc::new(create::ontology::clinical_ontology());
+
+    let gaz = GazetteerTagger::new(&ontology, LabelSet::ner_targets());
+    let (gaz_prf, _) = span_f1_with(|s| gaz.tag(s), &test);
+
+    let hmm = HmmTagger::train(&train);
+    let (hmm_prf, _) = span_f1_with(|s| hmm.tag(s), &test);
+
+    let crf = CrfTagger::train(&train, quick_config(5), Some(Arc::clone(&ontology)), None);
+    let (crf_prf, _) = span_f1(&crf, &test);
+
+    assert!(
+        crf_prf.f1 > gaz_prf.f1,
+        "CRF ({:.3}) must beat gazetteer ({:.3}) on noisy data",
+        crf_prf.f1,
+        gaz_prf.f1
+    );
+    assert!(
+        crf_prf.f1 > hmm_prf.f1 - 0.02,
+        "CRF ({:.3}) should not lose to HMM ({:.3})",
+        crf_prf.f1,
+        hmm_prf.f1
+    );
+    assert!(
+        crf_prf.f1 > 0.55,
+        "absolute CRF F1 too low: {:.3}",
+        crf_prf.f1
+    );
+}
+
+#[test]
+fn flair_features_do_not_hurt() {
+    let reports = Generator::new(CorpusConfig {
+        num_reports: 60,
+        seed: 777,
+        typo_rate: 0.08,
+        ..Default::default()
+    })
+    .generate();
+    let dataset = NerDataset::from_reports(&reports, LabelSet::ner_targets());
+    let (train, test) = dataset.split(0.8);
+    let ontology = Arc::new(create::ontology::clinical_ontology());
+
+    let crf = CrfTagger::train(&train, quick_config(4), Some(Arc::clone(&ontology)), None);
+    let (base, _) = span_f1(&crf, &test);
+
+    let flair = Arc::new(FlairFeatures::pretrain(&train.raw_text(), 5));
+    let crf_flair = CrfTagger::train(
+        &train,
+        quick_config(4),
+        Some(Arc::clone(&ontology)),
+        Some(flair),
+    );
+    let (with_flair, _) = span_f1(&crf_flair, &test);
+    assert!(
+        with_flair.f1 >= base.f1 - 0.03,
+        "C-FLAIR features regressed F1: {:.3} vs {:.3}",
+        with_flair.f1,
+        base.f1
+    );
+}
+
+#[test]
+fn temporal_claim_shape_holds() {
+    // E3 in miniature: PSL + global inference ≥ local baseline.
+    let ds = i2b2_like(2024, 120);
+    let (train, test) = ds.split(0.8);
+    let local = TemporalModel::train(
+        &train,
+        &ds.labels,
+        &TrainOptions {
+            mode: TrainMode::Local,
+            epochs: 10,
+            ..Default::default()
+        },
+    );
+    let (local_f1, _) = local.evaluate(&test);
+    let full = TemporalModel::train(
+        &train,
+        &ds.labels,
+        &TrainOptions {
+            mode: TrainMode::PslRegularized,
+            epochs: 10,
+            ..Default::default()
+        },
+    );
+    let (full_f1, _) = full.evaluate(&test);
+    assert!(local_f1 > 0.55, "local baseline too weak: {local_f1:.3}");
+    assert!(
+        full_f1 >= local_f1 - 0.005,
+        "PSL+GI ({full_f1:.3}) must not lose to local ({local_f1:.3})"
+    );
+}
+
+#[test]
+fn automatic_ingestion_builds_searchable_system() {
+    // Train a tagger, ingest *raw text* (no gold annotations), and verify
+    // the resulting system can answer concept queries via the graph.
+    let reports = Generator::new(CorpusConfig {
+        num_reports: 60,
+        seed: 31,
+        ..Default::default()
+    })
+    .generate();
+    let dataset = NerDataset::from_reports(&reports, LabelSet::ner_targets());
+    let mut system = Create::new(CreateConfig::default());
+    let tagger = CrfTagger::train(&dataset, quick_config(5), Some(system.ontology()), None);
+    system.attach_tagger(tagger);
+
+    // Ingest 20 raw narratives through automatic extraction.
+    for (i, r) in reports.iter().take(20).enumerate() {
+        system
+            .ingest_text(&format!("auto:{i}"), &r.title, &r.text, r.metadata.year)
+            .expect("auto ingest");
+    }
+    let stats = system.stats();
+    assert_eq!(stats.reports, 20);
+    assert!(
+        stats.graph_nodes > 40,
+        "auto extraction produced too few graph nodes: {}",
+        stats.graph_nodes
+    );
+
+    // Graph-only search finds documents by extracted concepts.
+    let hits = system.search_with_policy("fever", 10, create::core::MergePolicy::GraphOnly);
+    let fevered = reports
+        .iter()
+        .take(20)
+        .filter(|r| r.text.to_lowercase().contains("fever"))
+        .count();
+    if fevered > 0 {
+        assert!(
+            !hits.is_empty(),
+            "{fevered} ingested docs mention fever but graph search found none"
+        );
+    }
+}

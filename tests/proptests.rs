@@ -1,0 +1,261 @@
+//! Property-based tests over the core data structures and invariants.
+
+use create::annotate::BratDocument;
+use create::docstore::{parse_json, Value};
+use create::ontology::RelationType;
+use create::temporal::TemporalGraph;
+use create::text::stem::porter_stem;
+use create::text::{split_sentences, Span, StandardTokenizer, Tokenizer};
+use proptest::prelude::*;
+
+// ---- JSON ----
+
+fn arb_json(depth: u32) -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1e9f64..1e9f64).prop_map(Value::Number),
+        "[a-zA-Z0-9 _\\-\"\\\\\n\t\u{e9}\u{4e2d}]{0,24}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(depth, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Object),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_round_trips(value in arb_json(3)) {
+        let compact = value.to_json();
+        let reparsed = parse_json(&compact).expect("own output must parse");
+        prop_assert_eq!(&reparsed, &value);
+        let pretty = value.to_json_pretty();
+        prop_assert_eq!(parse_json(&pretty).expect("pretty parses"), value);
+    }
+
+    #[test]
+    fn json_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_json(&input);
+    }
+}
+
+// ---- Text ----
+
+proptest! {
+    #[test]
+    fn tokenizer_spans_always_slice_back(text in ".{0,300}") {
+        for t in StandardTokenizer.tokenize(&text) {
+            prop_assert_eq!(t.span.slice(&text), t.text.as_str());
+        }
+    }
+
+    #[test]
+    fn sentence_spans_are_ordered_and_in_bounds(text in ".{0,400}") {
+        let spans = split_sentences(&text);
+        for w in spans.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        for s in &spans {
+            prop_assert!(s.end <= text.len());
+            prop_assert!(text.is_char_boundary(s.start) && text.is_char_boundary(s.end));
+        }
+    }
+
+    #[test]
+    fn porter_stem_never_grows_much(word in "[a-z]{1,24}") {
+        let stem = porter_stem(&word);
+        // Porter may add at most one char (e.g. conflat+e) but never more.
+        prop_assert!(stem.len() <= word.len() + 1, "{} -> {}", word, stem);
+        prop_assert!(!stem.is_empty());
+    }
+
+    #[test]
+    fn span_algebra_consistent(a in 0usize..100, b in 0usize..100, c in 0usize..100, d in 0usize..100) {
+        let s1 = Span::new(a.min(b), a.max(b));
+        let s2 = Span::new(c.min(d), c.max(d));
+        // overlap ⇒ touches; containment ⇒ overlap-or-empty.
+        if s1.overlaps(&s2) {
+            prop_assert!(s1.touches(&s2));
+            prop_assert!(s1.intersect(&s2).is_some());
+        }
+        if let Some(i) = s1.intersect(&s2) {
+            prop_assert!(s1.contains(&i) && s2.contains(&i));
+        }
+        let cover = s1.cover(&s2);
+        prop_assert!(cover.contains(&s1) && cover.contains(&s2));
+    }
+}
+
+// ---- Corpus / gold-annotation invariants ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn generated_reports_always_validate(seed in 0u64..10_000) {
+        let report = create::corpus::Generator::new(create::corpus::CorpusConfig {
+            num_reports: 1,
+            seed,
+            ..Default::default()
+        })
+        .generate()
+        .remove(0);
+        prop_assert_eq!(report.validate(), Ok(()));
+        // And export to BRAT validates against the text.
+        let brat = create::annotate::case_report_to_brat(&report);
+        prop_assert!(brat.validate(&report.text).is_ok());
+    }
+
+    #[test]
+    fn generated_temporal_gold_is_transitive(seed in 0u64..5_000) {
+        let ds = create::corpus::temporal_data::i2b2_like(seed, 3);
+        for doc in &ds.docs {
+            use std::collections::HashMap;
+            let mut label: HashMap<(usize, usize), RelationType> = HashMap::new();
+            for &(i, j, l) in &doc.pairs {
+                label.insert((i, j), l);
+            }
+            for (&(a, b), &ab) in &label {
+                for (&(b2, c), &bc) in &label {
+                    if b2 != b { continue; }
+                    if let Some(&ac) = label.get(&(a, c)) {
+                        if ab == RelationType::Before && bc == RelationType::Before {
+                            prop_assert_eq!(ac, RelationType::Before);
+                        }
+                        if ab == RelationType::After && bc == RelationType::After {
+                            prop_assert_eq!(ac, RelationType::After);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- Temporal graph ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn timeline_graphs_are_always_consistent(
+        steps in prop::collection::vec(0u32..5, 2..10),
+        edge_selector in prop::collection::vec(any::<bool>(), 45),
+    ) {
+        // Build edges consistent with a latent step assignment; the graph
+        // must be consistent and inference must agree with the steps.
+        let n = steps.len();
+        let mut g = TemporalGraph::new((0..n).map(|i| format!("e{i}")).collect());
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let take = edge_selector.get(k).copied().unwrap_or(false);
+                k += 1;
+                if !take {
+                    continue;
+                }
+                let rel = match steps[i].cmp(&steps[j]) {
+                    std::cmp::Ordering::Less => RelationType::Before,
+                    std::cmp::Ordering::Greater => RelationType::After,
+                    std::cmp::Ordering::Equal => RelationType::Overlap,
+                };
+                g.add_edge(i, j, rel);
+            }
+        }
+        prop_assert!(g.is_consistent());
+        // Whatever is inferred must agree with the latent steps.
+        for a in 0..n {
+            for b in 0..n {
+                if a == b { continue; }
+                match g.infer(a, b) {
+                    Some(RelationType::Before) => prop_assert!(steps[a] < steps[b]),
+                    Some(RelationType::After) => prop_assert!(steps[a] > steps[b]),
+                    Some(RelationType::Overlap) => prop_assert_eq!(steps[a], steps[b]),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+// ---- BRAT ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn brat_serialization_round_trips(
+        n_entities in 1usize..8,
+        seed in 0u64..1_000,
+    ) {
+        // Build a synthetic but well-formed BRAT document.
+        let mut doc = BratDocument::default();
+        let mut rng = create::util::Rng::seed_from_u64(seed);
+        for i in 0..n_entities {
+            let start = rng.below(50);
+            let len = 1 + rng.below(10);
+            doc.text_bounds.push(create::annotate::TextBoundAnn {
+                id: i as u32 + 1,
+                type_name: "Sign_symptom".to_string(),
+                start,
+                end: start + len,
+                text: "x".repeat(len),
+            });
+        }
+        if n_entities >= 2 {
+            doc.relations.push(create::annotate::RelationAnn {
+                id: 1,
+                type_name: "BEFORE".to_string(),
+                arg1: 1,
+                arg2: 2,
+            });
+        }
+        let reparsed = BratDocument::parse(&doc.serialize()).expect("own output parses");
+        prop_assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn brat_parser_never_panics(input in ".{0,200}") {
+        let _ = BratDocument::parse(&input);
+    }
+}
+
+// ---- PDF ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn pdf_text_round_trips_ascii(
+        title in "[a-zA-Z0-9 ,.:()-]{1,60}",
+        lines in prop::collection::vec("[a-zA-Z0-9 ,.;()-]{0,70}", 0..20),
+    ) {
+        let src = create::grobid::PdfSource {
+            title: title.clone(),
+            authors: "Smith J".to_string(),
+            affiliation: "University Hospital".to_string(),
+            body_lines: lines.clone(),
+        };
+        let bytes = create::grobid::write_pdf(&src);
+        let pages = create::grobid::extract_text(&bytes).expect("own PDFs parse");
+        let all: Vec<String> = pages.concat();
+        prop_assert_eq!(all[0].as_str(), title.as_str());
+        // Every non-empty body line must be recovered verbatim.
+        for line in lines.iter().filter(|l| !l.is_empty()) {
+            prop_assert!(all.iter().any(|l| l == line), "missing line {:?}", line);
+        }
+    }
+
+    #[test]
+    fn pdf_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let _ = create::grobid::extract_text(&bytes);
+    }
+}
+
+// ---- Cypher ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn cypher_parser_never_panics(input in ".{0,120}") {
+        let _ = create::graphdb::parse_query(&input);
+    }
+}
