@@ -1,0 +1,121 @@
+//! Batch-ingestion throughput harness (plain Rust, no external bench
+//! framework — the workspace builds offline).
+//!
+//! Ingests N synthetic case reports through the full pipeline (BRAT
+//! export, graph projection, tokenization, segment build + merge) at
+//! several thread counts, verifies every run produces identical system
+//! state, and writes `BENCH_ingest.json` so the perf trajectory is
+//! tracked from PR to PR.
+//!
+//! ```bash
+//! cargo run --release -p create-bench --bin bench_ingest            # 1000 docs
+//! cargo run --release -p create-bench --bin bench_ingest -- 200 out.json
+//! ```
+
+use create_core::{Create, CreateConfig};
+use create_docstore::json::obj;
+use create_docstore::Value;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("N must be an integer"))
+        .unwrap_or(1000);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_ingest.json".to_string());
+
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!("generating {n} synthetic reports ({cpus} cpu(s) available)...");
+    let reports = create_bench::corpus(n, 1234);
+
+    // Per-document baseline: the pre-batch `ingest_gold` path.
+    let started = Instant::now();
+    let mut sequential = Create::new(CreateConfig::default());
+    for r in &reports {
+        sequential.ingest_gold(r).expect("sequential ingest");
+    }
+    let seq_secs = started.elapsed().as_secs_f64();
+    let seq_rate = n as f64 / seq_secs;
+    let reference_stats = sequential.stats();
+    let reference_bytes = sequential.index().postings_bytes();
+    eprintln!("sequential ingest_gold: {seq_rate:.1} docs/sec");
+
+    // Batch path at increasing thread counts; `max` is the machine size
+    // but at least 4 so the scaling row exists on small machines too.
+    let mut thread_counts = vec![1, 2, 4, cpus.max(4)];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    // One untimed warm-up batch so page-fault/allocator/frequency
+    // transients don't bias whichever configuration runs first, then
+    // best-of-R per configuration to shed scheduler noise.
+    let reps: usize = 3;
+    {
+        let mut warmup = Create::new(CreateConfig::default());
+        warmup
+            .ingest_gold_batch(&reports, *thread_counts.last().expect("nonempty"))
+            .expect("warm-up ingest");
+    }
+
+    let mut rates: Vec<(usize, f64)> = Vec::new();
+    for &threads in &thread_counts {
+        let mut best_secs = f64::INFINITY;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let mut system = Create::new(CreateConfig::default());
+            let count = system
+                .ingest_gold_batch(&reports, threads)
+                .expect("batch ingest");
+            let secs = started.elapsed().as_secs_f64();
+            assert_eq!(count, n);
+            // Hard determinism check: every run must be byte-identical.
+            assert_eq!(
+                system.stats(),
+                reference_stats,
+                "stats diverged at {threads} threads"
+            );
+            assert_eq!(
+                system.index().postings_bytes(),
+                reference_bytes,
+                "postings diverged at {threads} threads"
+            );
+            best_secs = best_secs.min(secs);
+        }
+        rates.push((threads, n as f64 / best_secs));
+    }
+
+    let single_thread_rate = rates
+        .iter()
+        .find(|(t, _)| *t == 1)
+        .map(|&(_, r)| r)
+        .expect("thread counts include 1");
+    let rows: Vec<Value> = rates
+        .iter()
+        .map(|&(threads, rate)| {
+            let speedup = rate / single_thread_rate;
+            eprintln!(
+                "batch @ {threads:>2} thread(s): {rate:10.1} docs/sec  (speedup {speedup:.2}x)"
+            );
+            obj([
+                ("threads", (threads as i64).into()),
+                ("docs_per_sec", rate.into()),
+                ("speedup_vs_1_thread", speedup.into()),
+            ])
+        })
+        .collect();
+
+    let report = obj([
+        ("bench", "ingest_gold_batch".into()),
+        ("n_docs", (n as i64).into()),
+        ("corpus_seed", 1234_i64.into()),
+        ("cpus", (cpus as i64).into()),
+        ("sequential_docs_per_sec", seq_rate.into()),
+        ("deterministic", true.into()),
+        ("runs", Value::Array(rows)),
+    ]);
+    std::fs::write(&out_path, report.to_json_pretty()).expect("write bench report");
+    eprintln!("wrote {out_path}");
+}

@@ -27,4 +27,4 @@ pub mod system;
 
 pub use pipeline::{ExtractedAnnotations, QueryIE};
 pub use search::{MergePolicy, SearchHit, SearchSource};
-pub use system::{Create, CreateConfig};
+pub use system::{Create, CreateConfig, IngestError, SystemStats, TextSubmission};

@@ -15,9 +15,12 @@ use create_docstore::{json::obj, DocStore, Filter, Value};
 use create_graphdb::PropertyGraph;
 use create_grobid::{process_pdf, ExtractedDocument, PdfError};
 use create_index::Index;
+use create_index::IndexSegment;
 use create_ner::CrfTagger;
 use create_ontology::Ontology;
+use create_util::ThreadPool;
 use create_viz::{render_svg, SvgOptions, VizEdge, VizGraph, VizNode};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// System configuration.
@@ -254,6 +257,199 @@ impl Create {
         Ok(doc)
     }
 
+    /// Parallel batch ingestion of gold-annotated reports.
+    ///
+    /// The batch is split into `threads` contiguous shards (0 = one shard
+    /// per pool worker). Workers run the expensive per-document stages —
+    /// annotation conversion, BRAT export, tokenization, and shard-local
+    /// [`IndexSegment`] construction — with no shared state; the calling
+    /// thread then applies the completed extractions in document order
+    /// (document store, property graph) and merges the segments in shard
+    /// order. The result is identical to calling [`Create::ingest_gold`]
+    /// per report, for any thread count: same [`SystemStats`], same graph,
+    /// same postings.
+    ///
+    /// The whole batch is validated for duplicates up front, before any
+    /// store mutation. Returns the number of reports ingested.
+    pub fn ingest_gold_batch(
+        &mut self,
+        reports: &[CaseReport],
+        threads: usize,
+    ) -> Result<usize, IngestError> {
+        self.check_batch_ids(reports.iter().map(|r| r.id.as_str()))?;
+        self.ingest_batch_prepared(reports.len(), threads, |i| {
+            let report = &reports[i];
+            PreparedDoc {
+                id: report.id.clone(),
+                title: report.title.clone(),
+                text: report.text.clone(),
+                year: report.metadata.year,
+                category: report.category.coarse_label().to_string(),
+                authors: report.metadata.authors.clone(),
+                annotations: ExtractedAnnotations::from_gold(report),
+                brat: case_report_to_brat(report),
+            }
+        })
+    }
+
+    /// Parallel batch ingestion of raw-text submissions with automatic
+    /// extraction (requires a tagger). CRF NER, ontology normalization,
+    /// and temporal-relation derivation run across workers; the apply
+    /// phase is identical to [`Create::ingest_gold_batch`] and equally
+    /// deterministic.
+    pub fn ingest_text_batch(
+        &mut self,
+        docs: &[TextSubmission],
+        threads: usize,
+    ) -> Result<usize, IngestError> {
+        if self.tagger.is_none() {
+            return Err(IngestError::NoTagger);
+        }
+        self.check_batch_ids(docs.iter().map(|d| d.id.as_str()))?;
+        let tagger = self.tagger.take().expect("checked above");
+        let ontology = Arc::clone(&self.ontology);
+        let result = self.ingest_batch_prepared(docs.len(), threads, |i| {
+            let doc = &docs[i];
+            let annotations = ExtractedAnnotations::from_text(&doc.text, &tagger, &ontology);
+            let brat = annotations.to_brat();
+            PreparedDoc {
+                id: doc.id.clone(),
+                title: doc.title.clone(),
+                text: doc.text.clone(),
+                year: doc.year,
+                category: "user".to_string(),
+                authors: Vec::new(),
+                annotations,
+                brat,
+            }
+        });
+        self.tagger = Some(tagger);
+        result
+    }
+
+    /// Rejects a batch containing an already-ingested or repeated id —
+    /// checked before any mutation so a failed batch leaves the system
+    /// untouched.
+    fn check_batch_ids<'a>(
+        &self,
+        ids: impl Iterator<Item = &'a str>,
+    ) -> Result<(), IngestError> {
+        let mut seen = HashSet::new();
+        for id in ids {
+            if self.store.get("reports", id).is_some() || !seen.insert(id) {
+                return Err(IngestError::Duplicate(id.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The shared batch machinery: fan `prepare` across shards on the
+    /// global pool, then apply results single-writer in document order.
+    fn ingest_batch_prepared<F>(
+        &mut self,
+        n: usize,
+        threads: usize,
+        prepare: F,
+    ) -> Result<usize, IngestError>
+    where
+        F: Fn(usize) -> PreparedDoc + Sync,
+    {
+        if n == 0 {
+            return Ok(0);
+        }
+        let pool = ThreadPool::global();
+        let shards = if threads == 0 { pool.threads() } else { threads };
+        let ranges = shard_ranges(n, shards);
+        // Parallel phase: extraction + shard-local segment build. Only
+        // immutable state is shared; each shard owns its outputs.
+        let index = &self.index;
+        let outputs: Vec<Result<(Vec<PreparedDoc>, IndexSegment), IngestError>> =
+            pool.parallel_map(&ranges, |_, range| {
+                let mut segment = index.segment();
+                let mut prepared = Vec::with_capacity(range.len());
+                for i in range.clone() {
+                    let doc = prepare(i);
+                    segment
+                        .add_document(
+                            &doc.id,
+                            &[
+                                ("title", doc.title.as_str()),
+                                ("body", doc.text.as_str()),
+                                ("body_ngram", doc.text.as_str()),
+                            ],
+                        )
+                        .map_err(|e| IngestError::Store(e.to_string()))?;
+                    prepared.push(doc);
+                }
+                Ok((prepared, segment))
+            });
+        // Apply phase: single writer, deterministic document order. Shard
+        // ranges are contiguous and merged in order, so internal doc ids
+        // and graph node ids come out exactly as sequential ingestion
+        // would assign them.
+        let mut count = 0;
+        for output in outputs {
+            let (prepared, segment) = output?;
+            for doc in prepared {
+                self.apply_prepared(doc)?;
+                count += 1;
+            }
+            self.index
+                .merge_segment(segment)
+                .map_err(|e| IngestError::Store(e.to_string()))?;
+        }
+        Ok(count)
+    }
+
+    /// Applies one prepared document to the store and graph (everything
+    /// but the index, which arrives via segment merge).
+    fn apply_prepared(&mut self, doc: PreparedDoc) -> Result<(), IngestError> {
+        let stored = obj([
+            ("_id", doc.id.clone().into()),
+            ("title", doc.title.clone().into()),
+            ("text", doc.text.into()),
+            ("year", (doc.year as i64).into()),
+            ("category", doc.category.clone().into()),
+            (
+                "authors",
+                Value::Array(doc.authors.into_iter().map(Value::String).collect()),
+            ),
+        ]);
+        self.store
+            .insert("reports", stored)
+            .map_err(|e| IngestError::Store(e.to_string()))?;
+        self.store
+            .insert(
+                "annotations",
+                obj([
+                    ("_id", doc.id.clone().into()),
+                    ("ann", doc.brat.serialize().into()),
+                ]),
+            )
+            .map_err(|e| IngestError::Store(e.to_string()))?;
+        self.store
+            .insert(
+                "extractions",
+                obj([
+                    ("_id", doc.id.clone().into()),
+                    ("extraction", doc.annotations.to_json()),
+                ]),
+            )
+            .map_err(|e| IngestError::Store(e.to_string()))?;
+        self.graph_builder.add_report(
+            &mut self.graph,
+            &self.ontology,
+            &ReportMeta {
+                report_id: doc.id,
+                title: doc.title,
+                year: doc.year,
+                category: doc.category,
+            },
+            &doc.annotations,
+        );
+        Ok(())
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn ingest_common(
         &mut self,
@@ -353,6 +549,27 @@ impl Create {
         crate::search::merge(graph_hits, keyword_hits, policy, k)
     }
 
+    /// Answers a batch of queries in parallel over the global pool with
+    /// the configured default policy. Results are in query order and
+    /// identical to calling [`Create::search`] per query — search is
+    /// read-only, so the fan-out needs no coordination beyond the pool.
+    /// This is how the server amortizes concurrent user queries.
+    pub fn search_many<S: AsRef<str> + Sync>(&self, queries: &[S], k: usize) -> Vec<Vec<SearchHit>> {
+        self.search_many_with_policy(queries, k, self.config.merge_policy)
+    }
+
+    /// Batch search with an explicit merge policy.
+    pub fn search_many_with_policy<S: AsRef<str> + Sync>(
+        &self,
+        queries: &[S],
+        k: usize,
+        policy: MergePolicy,
+    ) -> Vec<Vec<SearchHit>> {
+        ThreadPool::global().parallel_map(queries, |_, q| {
+            self.search_with_policy(q.as_ref(), k, policy)
+        })
+    }
+
     /// Fetches a stored report document.
     pub fn report(&self, id: &str) -> Option<Value> {
         self.store.get("reports", id)
@@ -438,6 +655,40 @@ impl Create {
                 + self.index.vocabulary_size("body_ngram"),
         }
     }
+}
+
+/// A raw-text document queued for batch submission.
+#[derive(Debug, Clone)]
+pub struct TextSubmission {
+    /// External report id (must be unused).
+    pub id: String,
+    /// Title.
+    pub title: String,
+    /// Body text to extract from and index.
+    pub text: String,
+    /// Publication/submission year.
+    pub year: u32,
+}
+
+/// A fully extracted document waiting for the single-writer apply phase.
+struct PreparedDoc {
+    id: String,
+    title: String,
+    text: String,
+    year: u32,
+    category: String,
+    authors: Vec<String>,
+    annotations: ExtractedAnnotations,
+    brat: BratDocument,
+}
+
+/// Splits `0..n` into up to `shards` contiguous, near-equal ranges in
+/// order — contiguity is what keeps parallel doc-id assignment identical
+/// to sequential ingestion.
+fn shard_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.clamp(1, n.max(1));
+    let chunk = n.div_ceil(shards);
+    (0..n).step_by(chunk.max(1)).map(|start| start..(start + chunk).min(n)).collect()
 }
 
 /// Ingestion errors.
@@ -622,6 +873,188 @@ mod tests {
             system.ingest_text("x", "t", "body", 2020),
             Err(IngestError::NoTagger)
         ));
+    }
+
+    /// `Create` is shared behind an `RwLock` by the server and fanned
+    /// across pool workers by `search_many` — it must stay `Sync`.
+    #[test]
+    fn create_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Create>();
+    }
+
+    #[test]
+    fn batch_ingest_matches_sequential_for_any_thread_count() {
+        let (sequential, reports) = loaded_system(40, 21);
+        let seq_stats = sequential.stats();
+        let seq_bytes = sequential.index().postings_bytes();
+        for threads in [1, 2, 8] {
+            let mut batched = Create::new(CreateConfig::default());
+            assert_eq!(batched.ingest_gold_batch(&reports, threads).unwrap(), 40);
+            assert_eq!(batched.stats(), seq_stats, "stats at {threads} threads");
+            assert_eq!(
+                batched.index().postings_bytes(),
+                seq_bytes,
+                "postings at {threads} threads"
+            );
+            for query in ["fever and cough", "myocardial infarction", "headache"] {
+                let a: Vec<(String, u64)> = sequential
+                    .search(query, 10)
+                    .into_iter()
+                    .map(|h| (h.report_id, h.score.to_bits()))
+                    .collect();
+                let b: Vec<(String, u64)> = batched
+                    .search(query, 10)
+                    .into_iter()
+                    .map(|h| (h.report_id, h.score.to_bits()))
+                    .collect();
+                assert_eq!(a, b, "query {query:?} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_ingest_rejects_duplicates_without_mutation() {
+        let (mut system, reports) = loaded_system(5, 22);
+        let before = system.stats();
+        // Re-ingesting an existing report fails the whole batch...
+        assert!(matches!(
+            system.ingest_gold_batch(&reports[..2], 2),
+            Err(IngestError::Duplicate(_))
+        ));
+        // ...as does a repeated id within the batch.
+        let fresh = Generator::new(CorpusConfig {
+            num_reports: 2,
+            seed: 23,
+            ..Default::default()
+        })
+        .generate();
+        let doubled = vec![fresh[0].clone(), fresh[1].clone(), fresh[0].clone()];
+        assert!(matches!(
+            system.ingest_gold_batch(&doubled, 2),
+            Err(IngestError::Duplicate(_))
+        ));
+        assert_eq!(system.stats(), before, "failed batches must not mutate");
+    }
+
+    #[test]
+    fn text_batch_requires_tagger_and_ingests_with_one() {
+        let mut system = Create::new(CreateConfig::default());
+        let submissions = vec![
+            TextSubmission {
+                id: "user:1".into(),
+                title: "Fever case".into(),
+                text: "A patient presented with fever and cough. Later developed myocarditis."
+                    .into(),
+                year: 2021,
+            },
+            TextSubmission {
+                id: "user:2".into(),
+                title: "Chest pain case".into(),
+                text: "Severe chest pain was reported. An echocardiogram was performed.".into(),
+                year: 2022,
+            },
+        ];
+        assert!(matches!(
+            system.ingest_text_batch(&submissions, 2),
+            Err(IngestError::NoTagger)
+        ));
+        let reports = Generator::new(CorpusConfig {
+            num_reports: 15,
+            seed: 24,
+            ..Default::default()
+        })
+        .generate();
+        let dataset =
+            create_ner::NerDataset::from_reports(&reports, create_ner::LabelSet::ner_targets());
+        let tagger = CrfTagger::train(
+            &dataset,
+            create_ner::CrfTaggerConfig {
+                feature_bits: 16,
+                train: create_ml::CrfTrainConfig {
+                    epochs: 2,
+                    ..Default::default()
+                },
+                gazetteer_features: true,
+            },
+            Some(system.ontology()),
+            None,
+        );
+        system.attach_tagger(tagger);
+        assert_eq!(system.ingest_text_batch(&submissions, 2).unwrap(), 2);
+        assert_eq!(system.stats().reports, 2);
+        // Tagger survives the batch (it is moved out and back).
+        assert!(system.ingest_text("user:3", "t", "More fever.", 2023).is_ok());
+        // And the batch path matches the per-document text path.
+        let mut sequential = Create::new(CreateConfig::default());
+        let dataset2 =
+            create_ner::NerDataset::from_reports(&reports, create_ner::LabelSet::ner_targets());
+        let tagger2 = CrfTagger::train(
+            &dataset2,
+            create_ner::CrfTaggerConfig {
+                feature_bits: 16,
+                train: create_ml::CrfTrainConfig {
+                    epochs: 2,
+                    ..Default::default()
+                },
+                gazetteer_features: true,
+            },
+            Some(sequential.ontology()),
+            None,
+        );
+        sequential.attach_tagger(tagger2);
+        for s in &submissions {
+            sequential.ingest_text(&s.id, &s.title, &s.text, s.year).unwrap();
+        }
+        let batched_stats = {
+            let mut fresh = Create::new(CreateConfig::default());
+            let dataset3 =
+                create_ner::NerDataset::from_reports(&reports, create_ner::LabelSet::ner_targets());
+            let tagger3 = CrfTagger::train(
+                &dataset3,
+                create_ner::CrfTaggerConfig {
+                    feature_bits: 16,
+                    train: create_ml::CrfTrainConfig {
+                        epochs: 2,
+                        ..Default::default()
+                    },
+                    gazetteer_features: true,
+                },
+                Some(fresh.ontology()),
+                None,
+            );
+            fresh.attach_tagger(tagger3);
+            fresh.ingest_text_batch(&submissions, 4).unwrap();
+            fresh.stats()
+        };
+        assert_eq!(batched_stats, sequential.stats());
+    }
+
+    #[test]
+    fn search_many_matches_individual_searches() {
+        let (system, _) = loaded_system(30, 25);
+        let queries = ["fever and cough", "chest pain", "syncope after fever", ""];
+        let batched = system.search_many(&queries, 5);
+        assert_eq!(batched.len(), queries.len());
+        for (q, hits) in queries.iter().zip(&batched) {
+            let individual = system.search(q, 5);
+            let a: Vec<(&str, u64)> = individual
+                .iter()
+                .map(|h| (h.report_id.as_str(), h.score.to_bits()))
+                .collect();
+            let b: Vec<(&str, u64)> = hits
+                .iter()
+                .map(|h| (h.report_id.as_str(), h.score.to_bits()))
+                .collect();
+            assert_eq!(a, b, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut system = Create::new(CreateConfig::default());
+        assert_eq!(system.ingest_gold_batch(&[], 4).unwrap(), 0);
+        assert_eq!(system.stats().reports, 0);
     }
 
     #[test]

@@ -3,13 +3,13 @@
 //! Plays MongoDB's role in the CREATe architecture (Fig. 3): the persistent
 //! source of truth that the backend queries. Collections are persisted as
 //! JSONL files (`<collection>.jsonl`, one document per line) under a data
-//! directory and reloaded on open. Access is guarded by a `parking_lot`
+//! directory and reloaded on open. Access is guarded by a `std::sync`
 //! `RwLock` per store so the HTTP layer can serve concurrent readers.
 
 use crate::collection::{Collection, CollectionError, Filter, UpdateResult};
 use crate::json::{parse_json, Value};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::RwLock;
 use std::io::{BufRead, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
@@ -117,26 +117,27 @@ impl DocStore {
 
     /// Lists collection names.
     pub fn collection_names(&self) -> Vec<String> {
-        self.inner.read().keys().cloned().collect()
+        self.inner.read().expect("docstore lock poisoned").keys().cloned().collect()
     }
 
     /// Inserts a document, creating the collection on demand. Returns the
     /// assigned id.
     pub fn insert(&self, collection: &str, doc: Value) -> Result<String, StoreError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("docstore lock poisoned");
         let c = inner.entry(collection.to_string()).or_default();
         Ok(c.insert(doc)?)
     }
 
     /// Fetches a document by id (cloned out of the lock).
     pub fn get(&self, collection: &str, id: &str) -> Option<Value> {
-        self.inner.read().get(collection)?.get(id).cloned()
+        self.inner.read().expect("docstore lock poisoned").get(collection)?.get(id).cloned()
     }
 
     /// Runs a filter query, cloning matches out of the lock.
     pub fn find(&self, collection: &str, filter: &Filter) -> Vec<Value> {
         self.inner
             .read()
+            .expect("docstore lock poisoned")
             .get(collection)
             .map(|c| c.find(filter).into_iter().cloned().collect())
             .unwrap_or_default()
@@ -144,13 +145,14 @@ impl DocStore {
 
     /// First match, if any.
     pub fn find_one(&self, collection: &str, filter: &Filter) -> Option<Value> {
-        self.inner.read().get(collection)?.find_one(filter).cloned()
+        self.inner.read().expect("docstore lock poisoned").get(collection)?.find_one(filter).cloned()
     }
 
     /// Counts matches.
     pub fn count(&self, collection: &str, filter: &Filter) -> usize {
         self.inner
             .read()
+            .expect("docstore lock poisoned")
             .get(collection)
             .map(|c| c.count(filter))
             .unwrap_or(0)
@@ -163,7 +165,7 @@ impl DocStore {
         filter: &Filter,
         set: &Value,
     ) -> Result<UpdateResult, StoreError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("docstore lock poisoned");
         match inner.get_mut(collection) {
             Some(c) => Ok(c.update(filter, set)?),
             None => Ok(UpdateResult {
@@ -175,7 +177,7 @@ impl DocStore {
 
     /// Deletes matching documents; returns the count removed.
     pub fn delete(&self, collection: &str, filter: &Filter) -> usize {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("docstore lock poisoned");
         inner
             .get_mut(collection)
             .map(|c| c.delete(filter))
@@ -189,7 +191,7 @@ impl DocStore {
         let Some(dir) = &self.data_dir else {
             return Ok(());
         };
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("docstore lock poisoned");
         for (name, collection) in inner.iter() {
             let tmp = dir.join(format!("{name}.jsonl.tmp"));
             let final_path = dir.join(format!("{name}.jsonl"));

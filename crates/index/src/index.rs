@@ -43,15 +43,44 @@ pub(crate) struct FieldIndex {
     /// token count per document (0 when the doc lacks the field).
     pub(crate) doc_len: Vec<u32>,
     pub(crate) total_len: u64,
+    /// Documents with at least one token in this field, maintained
+    /// incrementally — `avg_len` sits on the BM25 hot path for every
+    /// query term, so it must not rescan `doc_len`.
+    pub(crate) docs_with_field: usize,
 }
 
 impl FieldIndex {
     pub(crate) fn avg_len(&self) -> f64 {
-        let docs_with_field = self.doc_len.iter().filter(|&&l| l > 0).count();
-        if docs_with_field == 0 {
+        if self.docs_with_field == 0 {
             0.0
         } else {
-            self.total_len as f64 / docs_with_field as f64
+            self.total_len as f64 / self.docs_with_field as f64
+        }
+    }
+
+    /// Tokenizes `text` as document `doc` and appends its postings.
+    /// `doc` must be the newest id (postings stay sorted by doc).
+    pub(crate) fn index_text(&mut self, doc: u32, text: &str) {
+        let tokens = self.analyzer.analyze(text);
+        self.doc_len[doc as usize] = tokens.len() as u32;
+        self.total_len += tokens.len() as u64;
+        if !tokens.is_empty() {
+            self.docs_with_field += 1;
+        }
+        for token in tokens {
+            // Tokenizer-assigned positions survive filtering, so a
+            // dropped stopword still advances the position counter —
+            // phrase queries then respect the original word distance
+            // (Lucene's position-increment behaviour).
+            let pos = token.position as u32;
+            let postings = self.dict.entry(token.text).or_default();
+            match postings.last_mut() {
+                Some(last) if last.doc == doc => last.positions.push(pos),
+                _ => postings.push(Posting {
+                    doc,
+                    positions: vec![pos],
+                }),
+            }
         }
     }
 }
@@ -60,9 +89,9 @@ impl FieldIndex {
 pub struct Index {
     pub(crate) fields: HashMap<String, FieldIndex>,
     /// Internal id → external id.
-    external_ids: Vec<String>,
+    pub(crate) external_ids: Vec<String>,
     /// External id → internal id.
-    id_map: HashMap<String, u32>,
+    pub(crate) id_map: HashMap<String, u32>,
 }
 
 impl std::fmt::Debug for Index {
@@ -87,6 +116,7 @@ impl Index {
                     dict: HashMap::new(),
                     doc_len: Vec::new(),
                     total_len: 0,
+                    docs_with_field: 0,
                 },
             );
         }
@@ -160,24 +190,7 @@ impl Index {
         }
         for (field, text) in field_texts {
             let fi = self.fields.get_mut(*field).expect("checked above");
-            let tokens = fi.analyzer.analyze(text);
-            fi.doc_len[doc as usize] = tokens.len() as u32;
-            fi.total_len += tokens.len() as u64;
-            for token in tokens {
-                // Tokenizer-assigned positions survive filtering, so a
-                // dropped stopword still advances the position counter —
-                // phrase queries then respect the original word distance
-                // (Lucene's position-increment behaviour).
-                let pos = token.position as u32;
-                let postings = fi.dict.entry(token.text).or_default();
-                match postings.last_mut() {
-                    Some(last) if last.doc == doc => last.positions.push(pos),
-                    _ => postings.push(Posting {
-                        doc,
-                        positions: vec![pos],
-                    }),
-                }
-            }
+            fi.index_text(doc, text);
         }
         Ok(doc)
     }

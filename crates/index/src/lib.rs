@@ -8,6 +8,9 @@
 //!
 //! * [`index`] — multi-field inverted index with positional postings,
 //!   built over `create-text` analyzers;
+//! * [`segment`] — shard-local segments for parallel ingestion, merged
+//!   deterministically into one searchable index (the Lucene-segment
+//!   analogue);
 //! * [`query`] — term, phrase, fuzzy, and boolean queries plus a
 //!   query-string convenience;
 //! * [`score`] — BM25 (default, k1=1.2, b=0.75) and TF-IDF scoring with
@@ -16,7 +19,9 @@
 pub mod index;
 pub mod query;
 pub mod score;
+pub mod segment;
 
 pub use index::{FieldConfig, Index};
 pub use query::QueryNode;
 pub use score::{ScoredDoc, Scorer};
+pub use segment::IndexSegment;

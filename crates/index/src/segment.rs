@@ -1,0 +1,319 @@
+//! Shard-local index segments for parallel ingestion.
+//!
+//! The ElasticSearch/Solr engines the paper substitutes both build
+//! per-shard Lucene segments that merge into one searchable index; this
+//! module is our equivalent. A worker thread tokenizes its shard of the
+//! batch into an [`IndexSegment`] — postings over *segment-local* dense
+//! doc ids — with no synchronization. The single-writer apply phase then
+//! merges segments back into the [`Index`] in deterministic shard order.
+//!
+//! Merge invariants (what makes parallel ingestion byte-identical to
+//! sequential):
+//!
+//! 1. **Dense id remapping** — segment-local doc `i` becomes global
+//!    `base + i` where `base` is the index's doc count at merge time, so
+//!    merging shards 0..S in order reproduces exactly the ids sequential
+//!    `add_document` calls would have assigned.
+//! 2. **Sorted-postings concatenation** — every remapped id exceeds every
+//!    id already in the index, so appending a segment's (sorted) postings
+//!    to the index's (sorted) postings needs no re-sort.
+//! 3. **Length-statistics recomposition** — `doc_len` concatenates,
+//!    `total_len` and `docs_with_field` add, so BM25 normalization is
+//!    identical to the sequential build.
+//!
+//! Duplicate external ids (within the segment or against the index) are
+//! rejected before any mutation, keeping the merge atomic.
+
+use crate::index::{FieldConfig, FieldIndex, Index, IndexError};
+use std::collections::HashMap;
+
+/// A shard-local partial index: same fields/analyzers as its parent
+/// [`Index`], documents addressed by segment-local dense ids.
+pub struct IndexSegment {
+    pub(crate) fields: HashMap<String, FieldIndex>,
+    pub(crate) external_ids: Vec<String>,
+    pub(crate) id_map: HashMap<String, u32>,
+}
+
+impl std::fmt::Debug for IndexSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexSegment")
+            .field("docs", &self.external_ids.len())
+            .field("fields", &self.fields.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl IndexSegment {
+    /// Creates a segment with the given fields (analyzer `Arc`s are
+    /// shared, not recompiled).
+    pub fn new(fields: Vec<FieldConfig>) -> IndexSegment {
+        let mut map = HashMap::new();
+        for f in fields {
+            map.insert(
+                f.name.clone(),
+                FieldIndex {
+                    analyzer: f.analyzer,
+                    boost: f.boost,
+                    dict: HashMap::new(),
+                    doc_len: Vec::new(),
+                    total_len: 0,
+                    docs_with_field: 0,
+                },
+            );
+        }
+        IndexSegment {
+            fields: map,
+            external_ids: Vec::new(),
+            id_map: HashMap::new(),
+        }
+    }
+
+    /// Number of documents in the segment.
+    pub fn num_docs(&self) -> usize {
+        self.external_ids.len()
+    }
+
+    /// Indexes a document into the segment; same contract as
+    /// [`Index::add_document`] but ids are segment-local.
+    pub fn add_document(
+        &mut self,
+        external_id: &str,
+        field_texts: &[(&str, &str)],
+    ) -> Result<u32, IndexError> {
+        if self.id_map.contains_key(external_id) {
+            return Err(IndexError::DuplicateDocument(external_id.to_string()));
+        }
+        for (field, _) in field_texts {
+            if !self.fields.contains_key(*field) {
+                return Err(IndexError::UnknownField((*field).to_string()));
+            }
+        }
+        let doc = self.external_ids.len() as u32;
+        self.external_ids.push(external_id.to_string());
+        self.id_map.insert(external_id.to_string(), doc);
+        for fi in self.fields.values_mut() {
+            fi.doc_len.push(0);
+        }
+        for (field, text) in field_texts {
+            let fi = self.fields.get_mut(*field).expect("checked above");
+            fi.index_text(doc, text);
+        }
+        Ok(doc)
+    }
+}
+
+impl Index {
+    /// An empty segment with this index's field configuration, for a
+    /// worker to build its shard against.
+    pub fn segment(&self) -> IndexSegment {
+        IndexSegment {
+            fields: self
+                .fields
+                .iter()
+                .map(|(name, fi)| {
+                    (
+                        name.clone(),
+                        FieldIndex {
+                            analyzer: fi.analyzer.clone(),
+                            boost: fi.boost,
+                            dict: HashMap::new(),
+                            doc_len: Vec::new(),
+                            total_len: 0,
+                            docs_with_field: 0,
+                        },
+                    )
+                })
+                .collect(),
+            external_ids: Vec::new(),
+            id_map: HashMap::new(),
+        }
+    }
+
+    /// Merges a segment into the index, remapping its dense doc ids onto
+    /// the end of the index's id space (see the module docs for the
+    /// invariants). Fails — without mutating the index — if the segment's
+    /// fields differ or any external id is already present.
+    pub fn merge_segment(&mut self, segment: IndexSegment) -> Result<(), IndexError> {
+        for name in segment.fields.keys() {
+            if !self.fields.contains_key(name) {
+                return Err(IndexError::UnknownField(name.clone()));
+            }
+        }
+        for id in &segment.external_ids {
+            if self.id_map.contains_key(id) {
+                return Err(IndexError::DuplicateDocument(id.clone()));
+            }
+        }
+        let base = self.external_ids.len() as u32;
+        for (local, id) in segment.external_ids.iter().enumerate() {
+            self.id_map.insert(id.clone(), base + local as u32);
+        }
+        self.external_ids.extend(segment.external_ids);
+        for (name, seg_field) in segment.fields {
+            let fi = self.fields.get_mut(&name).expect("checked above");
+            fi.doc_len.extend(seg_field.doc_len);
+            fi.total_len += seg_field.total_len;
+            fi.docs_with_field += seg_field.docs_with_field;
+            for (term, seg_postings) in seg_field.dict {
+                let postings = fi.dict.entry(term).or_default();
+                postings.extend(seg_postings.into_iter().map(|mut p| {
+                    p.doc += base;
+                    p
+                }));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_text::Analyzer;
+    use std::sync::Arc;
+
+    const DOCS: &[(&str, &str)] = &[
+        ("pmid:1", "Fever and cough persisted for three days."),
+        ("pmid:2", "The patient developed fever after admission."),
+        ("pmid:3", "Amiodarone-induced pulmonary toxicity was confirmed."),
+        ("pmid:4", "Cough resolved; fever recurred on day five."),
+        ("pmid:5", "Echocardiogram revealed myocarditis."),
+        ("pmid:6", ""),
+    ];
+
+    fn sequential_index() -> Index {
+        let mut idx = Index::clinical();
+        for (id, text) in DOCS {
+            idx.add_document(id, &[("title", id), ("body", text), ("body_ngram", text)])
+                .unwrap();
+        }
+        idx
+    }
+
+    fn sharded_index(shards: usize) -> Index {
+        let mut idx = Index::clinical();
+        let chunk = DOCS.len().div_ceil(shards);
+        let segments: Vec<IndexSegment> = DOCS
+            .chunks(chunk)
+            .map(|docs| {
+                let mut seg = idx.segment();
+                for (id, text) in docs {
+                    seg.add_document(id, &[("title", id), ("body", text), ("body_ngram", text)])
+                        .unwrap();
+                }
+                seg
+            })
+            .collect();
+        for seg in segments {
+            idx.merge_segment(seg).unwrap();
+        }
+        idx
+    }
+
+    fn assert_identical(a: &Index, b: &Index) {
+        assert_eq!(a.num_docs(), b.num_docs());
+        assert_eq!(a.postings_bytes(), b.postings_bytes());
+        for doc in 0..a.num_docs() as u32 {
+            assert_eq!(a.external_id(doc), b.external_id(doc));
+        }
+        for (name, fa) in &a.fields {
+            let fb = b.fields.get(name).expect("same fields");
+            assert_eq!(fa.doc_len, fb.doc_len, "doc_len of {name}");
+            assert_eq!(fa.total_len, fb.total_len, "total_len of {name}");
+            assert_eq!(
+                fa.docs_with_field, fb.docs_with_field,
+                "docs_with_field of {name}"
+            );
+            assert_eq!(fa.dict.len(), fb.dict.len(), "vocab of {name}");
+            for (term, pa) in &fa.dict {
+                assert_eq!(Some(pa), fb.dict.get(term).as_deref(), "postings of {term}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_identical_to_sequential_for_any_shard_count() {
+        let sequential = sequential_index();
+        for shards in 1..=DOCS.len() + 1 {
+            let sharded = sharded_index(shards);
+            assert_identical(&sequential, &sharded);
+        }
+    }
+
+    #[test]
+    fn merged_index_is_searchable() {
+        let idx = sharded_index(3);
+        assert_eq!(idx.doc_freq("body", "fever"), 3);
+        assert_eq!(idx.internal_id("pmid:4"), Some(3));
+        let postings = idx.postings("body", "fever").unwrap();
+        let docs: Vec<u32> = postings.iter().map(|p| p.doc).collect();
+        assert_eq!(docs, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicate_across_segments_rejected_atomically() {
+        let mut idx = Index::clinical();
+        idx.add_document("pmid:1", &[("body", "one")]).unwrap();
+        let before = idx.postings_bytes();
+        let mut seg = idx.segment();
+        seg.add_document("pmid:9", &[("body", "nine")]).unwrap();
+        seg.add_document("pmid:1", &[("body", "dup")]).unwrap();
+        assert_eq!(
+            idx.merge_segment(seg),
+            Err(IndexError::DuplicateDocument("pmid:1".to_string()))
+        );
+        assert_eq!(idx.num_docs(), 1);
+        assert_eq!(idx.postings_bytes(), before);
+    }
+
+    #[test]
+    fn duplicate_within_segment_rejected() {
+        let idx = Index::clinical();
+        let mut seg = idx.segment();
+        seg.add_document("x", &[("body", "one")]).unwrap();
+        assert_eq!(
+            seg.add_document("x", &[("body", "two")]),
+            Err(IndexError::DuplicateDocument("x".to_string()))
+        );
+    }
+
+    #[test]
+    fn segment_unknown_field_rejected() {
+        let idx = Index::clinical();
+        let mut seg = idx.segment();
+        assert_eq!(
+            seg.add_document("x", &[("nope", "text")]),
+            Err(IndexError::UnknownField("nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn standalone_segment_construction() {
+        let mut seg = IndexSegment::new(vec![FieldConfig {
+            name: "body".to_string(),
+            analyzer: Arc::new(Analyzer::clinical_standard()),
+            boost: 1.0,
+        }]);
+        seg.add_document("a", &[("body", "fever")]).unwrap();
+        assert_eq!(seg.num_docs(), 1);
+        let mut idx = Index::new(vec![FieldConfig {
+            name: "body".to_string(),
+            analyzer: Arc::new(Analyzer::clinical_standard()),
+            boost: 1.0,
+        }]);
+        idx.merge_segment(seg).unwrap();
+        assert_eq!(idx.doc_freq("body", "fever"), 1);
+    }
+
+    #[test]
+    fn avg_len_identical_after_merge() {
+        let sequential = sequential_index();
+        let sharded = sharded_index(2);
+        for name in ["title", "body", "body_ngram"] {
+            let a = sequential.fields.get(name).unwrap().avg_len();
+            let b = sharded.fields.get(name).unwrap().avg_len();
+            assert_eq!(a.to_bits(), b.to_bits(), "avg_len of {name}");
+        }
+    }
+}

@@ -11,12 +11,14 @@
 //! | GET    | `/reports/:id/annotations`    | BRAT standoff export |
 //! | GET    | `/reports/:id/graph.svg`      | Fig-7 visualization |
 //! | POST   | `/submit`                     | raw-text submission (JSON) |
+//! | POST   | `/search_batch`               | batched queries, answered in parallel |
+//! | POST   | `/submit_batch`               | batched raw-text submissions, extracted in parallel |
 
 use crate::http::{Response, Status};
 use crate::router::Router;
 use create_core::{Create, MergePolicy};
 use create_docstore::json::{obj, parse_json, Value};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::sync::Arc;
 
 fn policy_from(name: Option<&str>) -> Result<MergePolicy, String> {
@@ -41,7 +43,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
     {
         let system = Arc::clone(&system);
         router.route("GET", "/stats", move |_, _| {
-            let stats = system.read().stats();
+            let stats = system.read().expect("system lock poisoned").stats();
             let doc = obj([
                 ("reports", (stats.reports as i64).into()),
                 ("graph_nodes", (stats.graph_nodes as i64).into()),
@@ -67,26 +69,10 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
                 Ok(p) => p,
                 Err(m) => return Response::error(Status::BadRequest, &m),
             };
-            let guard = system.read();
+            let guard = system.read().expect("system lock poisoned");
             let parsed = guard.parse_query(q);
             let hits = guard.search_with_policy(q, k, policy);
-            let hits_json: Vec<Value> = hits
-                .iter()
-                .map(|h| {
-                    obj([
-                        ("reportId", h.report_id.clone().into()),
-                        ("score", h.score.into()),
-                        (
-                            "source",
-                            match h.source {
-                                create_core::SearchSource::Graph => "graph".into(),
-                                create_core::SearchSource::Keyword => "keyword".into(),
-                            },
-                        ),
-                        ("patternMatched", h.pattern_matched.into()),
-                    ])
-                })
-                .collect();
+            let hits_json: Vec<Value> = hits.iter().map(hit_json).collect();
             let mentions: Vec<Value> = parsed
                 .mentions
                 .iter()
@@ -128,7 +114,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
     {
         let system = Arc::clone(&system);
         router.route("GET", "/reports/:id", move |_, params| {
-            match system.read().report(&params["id"]) {
+            match system.read().expect("system lock poisoned").report(&params["id"]) {
                 Some(doc) => Response::json(Status::Ok, doc.to_json()),
                 None => Response::error(Status::NotFound, "no such report"),
             }
@@ -140,7 +126,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
         router.route(
             "GET",
             "/reports/:id/annotations",
-            move |_, params| match system.read().annotations(&params["id"]) {
+            move |_, params| match system.read().expect("system lock poisoned").annotations(&params["id"]) {
                 Some(brat) => Response::text(Status::Ok, brat.serialize()),
                 None => Response::error(Status::NotFound, "no annotations"),
             },
@@ -152,7 +138,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
         router.route(
             "GET",
             "/reports/:id/graph.svg",
-            move |_, params| match system.read().visualize(&params["id"]) {
+            move |_, params| match system.read().expect("system lock poisoned").visualize(&params["id"]) {
                 Some(svg) => Response::svg(svg),
                 None => Response::error(Status::NotFound, "no graph for report"),
             },
@@ -177,14 +163,119 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
                 return Response::error(Status::BadRequest, "need id, title, text fields");
             };
             let year = parsed.get("year").and_then(Value::as_i64).unwrap_or(2020) as u32;
-            match system.write().ingest_text(id, title, text, year) {
+            match system.write().expect("system lock poisoned").ingest_text(id, title, text, year) {
                 Ok(()) => Response::json(Status::Created, obj([("ingested", id.into())]).to_json()),
                 Err(e) => Response::error(Status::BadRequest, &e.to_string()),
             }
         });
     }
 
+    {
+        let system = Arc::clone(&system);
+        router.route("POST", "/search_batch", move |req, _| {
+            let Some(body) = req.body_str() else {
+                return Response::error(Status::BadRequest, "body must be UTF-8");
+            };
+            let parsed = match parse_json(body) {
+                Ok(v) => v,
+                Err(e) => return Response::error(Status::BadRequest, &e.to_string()),
+            };
+            let Some(queries) = parsed.get("queries").and_then(Value::as_array) else {
+                return Response::error(Status::BadRequest, "need a queries array");
+            };
+            let queries: Vec<&str> = match queries
+                .iter()
+                .map(|q| q.as_str().ok_or(()))
+                .collect::<Result<_, _>>()
+            {
+                Ok(qs) => qs,
+                Err(()) => return Response::error(Status::BadRequest, "queries must be strings"),
+            };
+            let k = parsed
+                .get("k")
+                .and_then(Value::as_i64)
+                .unwrap_or(10)
+                .clamp(1, 100) as usize;
+            let policy = match policy_from(parsed.get("policy").and_then(Value::as_str)) {
+                Ok(p) => p,
+                Err(m) => return Response::error(Status::BadRequest, &m),
+            };
+            let guard = system.read().expect("system lock poisoned");
+            let all_hits = guard.search_many_with_policy(&queries, k, policy);
+            let results: Vec<Value> = queries
+                .iter()
+                .zip(all_hits)
+                .map(|(q, hits)| {
+                    let hits_json: Vec<Value> = hits.iter().map(hit_json).collect();
+                    obj([
+                        ("query", (*q).into()),
+                        ("hits", Value::Array(hits_json)),
+                    ])
+                })
+                .collect();
+            Response::json(Status::Ok, obj([("results", Value::Array(results))]).to_json())
+        });
+    }
+
+    {
+        let system = Arc::clone(&system);
+        router.route("POST", "/submit_batch", move |req, _| {
+            let Some(body) = req.body_str() else {
+                return Response::error(Status::BadRequest, "body must be UTF-8");
+            };
+            let parsed = match parse_json(body) {
+                Ok(v) => v,
+                Err(e) => return Response::error(Status::BadRequest, &e.to_string()),
+            };
+            let Some(docs) = parsed.get("documents").and_then(Value::as_array) else {
+                return Response::error(Status::BadRequest, "need a documents array");
+            };
+            let mut submissions = Vec::with_capacity(docs.len());
+            for doc in docs {
+                let (Some(id), Some(title), Some(text)) = (
+                    doc.get("id").and_then(Value::as_str),
+                    doc.get("title").and_then(Value::as_str),
+                    doc.get("text").and_then(Value::as_str),
+                ) else {
+                    return Response::error(
+                        Status::BadRequest,
+                        "every document needs id, title, text fields",
+                    );
+                };
+                submissions.push(create_core::TextSubmission {
+                    id: id.to_string(),
+                    title: title.to_string(),
+                    text: text.to_string(),
+                    year: doc.get("year").and_then(Value::as_i64).unwrap_or(2020) as u32,
+                });
+            }
+            let mut guard = system.write().expect("system lock poisoned");
+            match guard.ingest_text_batch(&submissions, 0) {
+                Ok(count) => Response::json(
+                    Status::Created,
+                    obj([("ingested", (count as i64).into())]).to_json(),
+                ),
+                Err(e) => Response::error(Status::BadRequest, &e.to_string()),
+            }
+        });
+    }
+
     router
+}
+
+fn hit_json(h: &create_core::SearchHit) -> Value {
+    obj([
+        ("reportId", h.report_id.clone().into()),
+        ("score", h.score.into()),
+        (
+            "source",
+            match h.source {
+                create_core::SearchSource::Graph => "graph".into(),
+                create_core::SearchSource::Keyword => "keyword".into(),
+            },
+        ),
+        ("patternMatched", h.pattern_matched.into()),
+    ])
 }
 
 #[cfg(test)]
@@ -260,7 +351,7 @@ mod tests {
     fn report_endpoints() {
         let sys = system();
         let id = {
-            let guard = sys.read();
+            let guard = sys.read().expect("system lock poisoned");
             let hits = guard.search("fever", 1);
             hits.first()
                 .map(|h| h.report_id.clone())
@@ -289,6 +380,56 @@ mod tests {
         // No tagger attached in this fixture → 400 with a clear error.
         assert_eq!(resp.status, Status::BadRequest);
         assert!(String::from_utf8(resp.body).unwrap().contains("tagger"));
+    }
+
+    #[test]
+    fn search_batch_matches_individual_searches() {
+        let api = build_api(system());
+        let mut req = get("/search_batch", &[]);
+        req.method = "POST".to_string();
+        req.body = br#"{"queries": ["fever and cough", "chest pain"], "k": 5}"#.to_vec();
+        let resp = api.dispatch(&req);
+        assert_eq!(resp.status, Status::Ok);
+        let doc = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let results = doc.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        // Each batched result equals the corresponding single-query call.
+        for result in results {
+            let q = result.get("query").unwrap().as_str().unwrap();
+            let single = api.dispatch(&get("/search", &[("q", q), ("k", "5")]));
+            let single_doc = parse_json(std::str::from_utf8(&single.body).unwrap()).unwrap();
+            assert_eq!(result.get("hits"), single_doc.get("hits"), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn search_batch_validates_input() {
+        let api = build_api(system());
+        let mut req = get("/search_batch", &[]);
+        req.method = "POST".to_string();
+        req.body = b"{not json".to_vec();
+        assert_eq!(api.dispatch(&req).status, Status::BadRequest);
+        req.body = br#"{"queries": "not an array"}"#.to_vec();
+        assert_eq!(api.dispatch(&req).status, Status::BadRequest);
+        req.body = br#"{"queries": [1, 2]}"#.to_vec();
+        assert_eq!(api.dispatch(&req).status, Status::BadRequest);
+        req.body = br#"{"queries": ["x"], "policy": "bogus"}"#.to_vec();
+        assert_eq!(api.dispatch(&req).status, Status::BadRequest);
+    }
+
+    #[test]
+    fn submit_batch_without_tagger_fails_cleanly() {
+        let api = build_api(system());
+        let mut req = get("/submit_batch", &[]);
+        req.method = "POST".to_string();
+        req.body =
+            br#"{"documents": [{"id": "user:1", "title": "t", "text": "fever."}]}"#.to_vec();
+        let resp = api.dispatch(&req);
+        assert_eq!(resp.status, Status::BadRequest);
+        assert!(String::from_utf8(resp.body).unwrap().contains("tagger"));
+        // Malformed documents are rejected before touching the system.
+        req.body = br#"{"documents": [{"id": "user:2"}]}"#.to_vec();
+        assert_eq!(api.dispatch(&req).status, Status::BadRequest);
     }
 
     #[test]

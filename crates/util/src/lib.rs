@@ -5,8 +5,10 @@
 //! the corpus generator, the ML trainers, and the benchmarks, plus small
 //! descriptive-statistics helpers used by the experiment harness.
 
+pub mod pool;
 pub mod rng;
 pub mod stats;
 
+pub use pool::ThreadPool;
 pub use rng::Rng;
 pub use stats::Summary;

@@ -9,7 +9,7 @@ use create::core::{Create, CreateConfig};
 use create::corpus::{CorpusConfig, Generator};
 use create::server::server::{http_get, http_post};
 use create::server::{build_api, Server};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::sync::Arc;
 
 fn main() {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline verification gate: tier-1 build+tests, the parallel-determinism
+# suite, and a bench smoke run. No network access required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: test suite =="
+cargo test -q
+
+echo "== determinism: parallel batch ingestion =="
+cargo test -q --test parallel_determinism
+
+echo "== bench smoke: ingest throughput (200 docs) =="
+out="$(mktemp)"
+cargo run -q --release -p create-bench --bin bench_ingest -- 200 "$out"
+rm -f "$out"
+
+echo "== verify: OK =="

@@ -6,7 +6,7 @@ use create::corpus::{CorpusConfig, Generator, QueryFamily, QuerySet};
 use create::graphdb::exec::run;
 use create::server::server::{http_get, http_post};
 use create::server::{build_api, Server};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::sync::Arc;
 
 fn loaded(n: usize, seed: u64) -> (Create, Vec<create::corpus::CaseReport>) {

@@ -1,0 +1,92 @@
+//! Parallel batch ingestion must be bit-for-bit indistinguishable from
+//! sequential ingestion: identical system stats, identical postings, and
+//! identical rankings (score bits included) for a panel of generated
+//! queries, at every thread count.
+
+use create::core::{Create, CreateConfig};
+use create::corpus::{CorpusConfig, Generator, QuerySet};
+
+fn corpus(n: usize, seed: u64) -> Vec<create::corpus::CaseReport> {
+    Generator::new(CorpusConfig {
+        num_reports: n,
+        seed,
+        ..Default::default()
+    })
+    .generate()
+}
+
+#[test]
+fn batch_ingestion_is_deterministic_across_thread_counts() {
+    let reports = corpus(120, 4242);
+    let queries = QuerySet::generate(&reports, 4243, 16);
+
+    // Sequential per-document ingestion is the reference.
+    let mut reference = Create::new(CreateConfig::default());
+    for r in &reports {
+        reference.ingest_gold(r).expect("sequential ingest");
+    }
+    let ref_stats = reference.stats();
+    let ref_bytes = reference.index().postings_bytes();
+    let ref_rankings: Vec<Vec<(String, u64)>> = queries
+        .queries
+        .iter()
+        .map(|q| {
+            reference
+                .search(&q.text, 10)
+                .into_iter()
+                .map(|h| (h.report_id, h.score.to_bits()))
+                .collect()
+        })
+        .collect();
+
+    for threads in [1, 2, 8] {
+        let mut system = Create::new(CreateConfig::default());
+        let count = system
+            .ingest_gold_batch(&reports, threads)
+            .expect("batch ingest");
+        assert_eq!(count, reports.len());
+        assert_eq!(
+            system.stats(),
+            ref_stats,
+            "SystemStats diverged at {threads} threads"
+        );
+        assert_eq!(
+            system.index().postings_bytes(),
+            ref_bytes,
+            "postings diverged at {threads} threads"
+        );
+        for (q, expected) in queries.queries.iter().zip(&ref_rankings) {
+            let got: Vec<(String, u64)> = system
+                .search(&q.text, 10)
+                .into_iter()
+                .map(|h| (h.report_id, h.score.to_bits()))
+                .collect();
+            assert_eq!(
+                &got, expected,
+                "ranking diverged at {threads} threads for query {:?}",
+                q.text
+            );
+        }
+    }
+}
+
+#[test]
+fn search_many_is_deterministic() {
+    let reports = corpus(60, 7);
+    let mut system = Create::new(CreateConfig::default());
+    system.ingest_gold_batch(&reports, 4).expect("batch ingest");
+
+    let queries = QuerySet::generate(&reports, 8, 12);
+    let texts: Vec<&str> = queries.queries.iter().map(|q| q.text.as_str()).collect();
+
+    let batched = system.search_many(&texts, 10);
+    assert_eq!(batched.len(), texts.len());
+    for (text, hits) in texts.iter().zip(&batched) {
+        let individual = system.search(text, 10);
+        assert_eq!(individual.len(), hits.len());
+        for (a, b) in individual.iter().zip(hits) {
+            assert_eq!(a.report_id, b.report_id);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+}
