@@ -1,0 +1,200 @@
+//! Generation-stamped LRU cache for merged search results.
+//!
+//! [`Create::search_with_policy`](crate::Create::search_with_policy) is a
+//! pure function of `(query text, k, merge policy)` and the system state —
+//! which only changes on ingest or graph mutation. The cache exploits
+//! that: every entry is stamped with the *index generation* current when
+//! it was computed, and the [`Create`](crate::Create) facade bumps the
+//! generation on every write path. A lookup whose stamp no longer matches
+//! is treated as a miss and evicted, so a cached result can never outlive
+//! the state it was computed from — no TTLs, no explicit flushes.
+//!
+//! Eviction is least-recently-used via a monotonic touch tick; the scan is
+//! O(entries) but runs only when a full cache inserts a new key, and the
+//! capacity is small (hundreds).
+
+use crate::search::{MergePolicy, SearchHit};
+use std::collections::HashMap;
+
+/// Cache key: everything the merged result depends on besides system state.
+type CacheKey = (String, usize, MergePolicy);
+
+struct CacheEntry {
+    /// Index generation at compute time; a mismatch invalidates the entry.
+    generation: u64,
+    /// Touch tick for LRU eviction.
+    last_used: u64,
+    hits: Vec<SearchHit>,
+}
+
+/// Counters and sizing for the REST stats surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to execution (including stale entries).
+    pub misses: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Current index generation (bumped on every ingest/graph write).
+    pub generation: u64,
+}
+
+/// The LRU store. The facade wraps it in a `Mutex` for interior
+/// mutability under `&self` search calls.
+pub(crate) struct QueryCache {
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    map: HashMap<CacheKey, CacheEntry>,
+}
+
+impl QueryCache {
+    pub(crate) fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Returns the cached hits for the key when present *and* computed at
+    /// `generation`; stale entries are dropped and counted as misses.
+    pub(crate) fn get(
+        &mut self,
+        query: &str,
+        k: usize,
+        policy: MergePolicy,
+        generation: u64,
+    ) -> Option<Vec<SearchHit>> {
+        let key = (query.to_string(), k, policy);
+        match self.map.get_mut(&key) {
+            Some(entry) if entry.generation == generation => {
+                self.tick += 1;
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(entry.hits.clone())
+            }
+            Some(_) => {
+                self.map.remove(&key);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a computed result stamped with the generation it was
+    /// computed under, evicting the least-recently-used entry on overflow.
+    pub(crate) fn insert(
+        &mut self,
+        query: &str,
+        k: usize,
+        policy: MergePolicy,
+        generation: u64,
+        hits: Vec<SearchHit>,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (query.to_string(), k, policy);
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(
+            key,
+            CacheEntry {
+                generation,
+                last_used: self.tick,
+                hits,
+            },
+        );
+    }
+
+    pub(crate) fn stats(&self, generation: u64) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+            generation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::SearchSource;
+
+    fn hit(id: &str) -> SearchHit {
+        SearchHit {
+            report_id: id.to_string(),
+            score: 1.0,
+            source: SearchSource::Keyword,
+            pattern_matched: false,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_same_generation() {
+        let mut cache = QueryCache::new(4);
+        assert!(cache.get("q", 5, MergePolicy::Neo4jFirst, 0).is_none());
+        cache.insert("q", 5, MergePolicy::Neo4jFirst, 0, vec![hit("a")]);
+        let got = cache.get("q", 5, MergePolicy::Neo4jFirst, 0).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].report_id, "a");
+        let stats = cache.stats(0);
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn generation_mismatch_is_a_miss_and_evicts() {
+        let mut cache = QueryCache::new(4);
+        cache.insert("q", 5, MergePolicy::Neo4jFirst, 0, vec![hit("a")]);
+        assert!(cache.get("q", 5, MergePolicy::Neo4jFirst, 1).is_none());
+        assert_eq!(cache.stats(1).entries, 0, "stale entry dropped");
+    }
+
+    #[test]
+    fn key_includes_k_and_policy() {
+        let mut cache = QueryCache::new(8);
+        cache.insert("q", 5, MergePolicy::Neo4jFirst, 0, vec![hit("a")]);
+        assert!(cache.get("q", 6, MergePolicy::Neo4jFirst, 0).is_none());
+        assert!(cache.get("q", 5, MergePolicy::EsOnly, 0).is_none());
+        assert!(cache.get("q", 5, MergePolicy::Neo4jFirst, 0).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = QueryCache::new(2);
+        cache.insert("a", 5, MergePolicy::Neo4jFirst, 0, vec![]);
+        cache.insert("b", 5, MergePolicy::Neo4jFirst, 0, vec![]);
+        // Touch "a" so "b" becomes the eviction victim.
+        assert!(cache.get("a", 5, MergePolicy::Neo4jFirst, 0).is_some());
+        cache.insert("c", 5, MergePolicy::Neo4jFirst, 0, vec![]);
+        assert!(cache.get("a", 5, MergePolicy::Neo4jFirst, 0).is_some());
+        assert!(cache.get("b", 5, MergePolicy::Neo4jFirst, 0).is_none());
+        assert!(cache.get("c", 5, MergePolicy::Neo4jFirst, 0).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut cache = QueryCache::new(0);
+        cache.insert("q", 5, MergePolicy::Neo4jFirst, 0, vec![hit("a")]);
+        assert!(cache.get("q", 5, MergePolicy::Neo4jFirst, 0).is_none());
+    }
+}

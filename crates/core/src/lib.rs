@@ -17,14 +17,17 @@
 //! * [`graph_build`] — report → property-graph projection;
 //! * [`search`] — keyword engine, graph engine, merge policies;
 //! * [`eval`] — retrieval metrics (P@k, MRR, nDCG@k);
+//! * [`cache`] — generation-stamped LRU cache over merged search results;
 //! * [`system`] — the [`Create`] facade tying it all together.
 
+pub mod cache;
 pub mod eval;
 pub mod graph_build;
 pub mod pipeline;
 pub mod search;
 pub mod system;
 
+pub use cache::CacheStats;
 pub use pipeline::{ExtractedAnnotations, QueryIE};
 pub use search::{MergePolicy, SearchHit, SearchSource};
 pub use system::{Create, CreateConfig, IngestError, SystemStats, TextSubmission};

@@ -40,7 +40,8 @@ pub struct SearchHit {
 }
 
 /// Result-merge policies (Fig. 6 and its ablation, experiment E6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `Hash` lets a policy participate in query-cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MergePolicy {
     /// The paper's default: graph results on top, keyword results after.
     Neo4jFirst,

@@ -6,6 +6,7 @@
 //! text, or PDF submissions), CREATe-IR search with a merge policy,
 //! report/annotation retrieval, and Fig-7 visualization.
 
+use crate::cache::{CacheStats, QueryCache};
 use crate::graph_build::{GraphBuilder, ReportMeta};
 use crate::pipeline::{ExtractedAnnotations, QueryIE};
 use crate::search::{keyword_search, GraphSearcher, MergePolicy, SearchHit};
@@ -21,7 +22,11 @@ use create_ontology::Ontology;
 use create_util::ThreadPool;
 use create_viz::{render_svg, SvgOptions, VizEdge, VizGraph, VizNode};
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Query-cache capacity: enough for a busy console session's working set,
+/// small enough that the O(entries) LRU eviction scan never matters.
+const QUERY_CACHE_CAPACITY: usize = 256;
 
 /// System configuration.
 #[derive(Debug, Clone)]
@@ -63,6 +68,10 @@ pub struct Create {
     graph_builder: GraphBuilder,
     index: Index,
     tagger: Option<CrfTagger>,
+    /// Bumped on every write path (ingest, graph mutation); stamps query
+    /// cache entries so stale results can never be served.
+    index_generation: u64,
+    query_cache: Mutex<QueryCache>,
 }
 
 impl std::fmt::Debug for Create {
@@ -88,6 +97,8 @@ impl Create {
             graph_builder: GraphBuilder::new(),
             index: Index::clinical(),
             tagger: None,
+            index_generation: 0,
+            query_cache: Mutex::new(QueryCache::new(QUERY_CACHE_CAPACITY)),
         }
     }
 
@@ -109,6 +120,8 @@ impl Create {
             graph_builder: GraphBuilder::new(),
             index: Index::clinical(),
             tagger: None,
+            index_generation: 0,
+            query_cache: Mutex::new(QueryCache::new(QUERY_CACHE_CAPACITY)),
         };
         let reports = system.store.find("reports", &Filter::All);
         for doc in reports {
@@ -182,7 +195,9 @@ impl Create {
     }
 
     /// Mutable graph access (for the Cypher executor which may CREATE).
+    /// Conservatively invalidates the query cache — the borrow may write.
     pub fn graph_mut(&mut self) -> &mut PropertyGraph {
+        self.index_generation += 1;
         &mut self.graph
     }
 
@@ -398,6 +413,7 @@ impl Create {
                 .merge_segment(segment)
                 .map_err(|e| IngestError::Store(e.to_string()))?;
         }
+        self.index_generation += 1;
         Ok(count)
     }
 
@@ -518,6 +534,7 @@ impl Create {
                 &[("title", title), ("body", text), ("body_ngram", text)],
             )
             .map_err(|e| IngestError::Store(e.to_string()))?;
+        self.index_generation += 1;
         Ok(())
     }
 
@@ -536,7 +553,28 @@ impl Create {
     }
 
     /// CREATe-IR search with an explicit merge policy (Fig. 6 ablation).
+    ///
+    /// Results are cached by `(query, k, policy)` and stamped with the
+    /// current index generation; any ingest or graph write invalidates
+    /// them wholesale (see [`crate::cache`]). The lock is dropped during
+    /// execution, so concurrent `search_many` workers never serialize on
+    /// the cache while computing.
     pub fn search_with_policy(&self, query: &str, k: usize, policy: MergePolicy) -> Vec<SearchHit> {
+        let generation = self.index_generation;
+        if let Ok(mut cache) = self.query_cache.lock() {
+            if let Some(hits) = cache.get(query, k, policy, generation) {
+                return hits;
+            }
+        }
+        let hits = self.execute_search(query, k, policy);
+        if let Ok(mut cache) = self.query_cache.lock() {
+            cache.insert(query, k, policy, generation, hits.clone());
+        }
+        hits
+    }
+
+    /// The uncached execution path behind [`Create::search_with_policy`].
+    fn execute_search(&self, query: &str, k: usize, policy: MergePolicy) -> Vec<SearchHit> {
         let parsed = self.parse_query(query);
         let graph_hits = match policy {
             MergePolicy::EsOnly => Vec::new(),
@@ -642,6 +680,20 @@ impl Create {
             }
         }
         Some(render_svg(&viz, &SvgOptions::default()))
+    }
+
+    /// Query-cache counters (hits, misses, live entries) and the current
+    /// index generation, for the REST stats surface.
+    pub fn cache_stats(&self) -> CacheStats {
+        match self.query_cache.lock() {
+            Ok(cache) => cache.stats(self.index_generation),
+            Err(_) => CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+                generation: self.index_generation,
+            },
+        }
     }
 
     /// System counters.
@@ -1048,6 +1100,59 @@ mod tests {
                 .collect();
             assert_eq!(a, b, "query {q:?}");
         }
+    }
+
+    #[test]
+    fn repeated_search_is_served_from_cache_with_identical_hits() {
+        let (system, _) = loaded_system(30, 26);
+        let cold = system.search("fever and cough", 10);
+        let after_cold = system.cache_stats();
+        assert_eq!(after_cold.hits, 0);
+        assert!(after_cold.misses >= 1);
+        let warm = system.search("fever and cough", 10);
+        let after_warm = system.cache_stats();
+        assert_eq!(after_warm.hits, 1, "second identical query hits the cache");
+        assert_eq!(cold.len(), warm.len());
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.report_id, b.report_id);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.source, b.source);
+        }
+        // Different k or policy must not be conflated with the cached key.
+        let _ = system.search("fever and cough", 3);
+        let _ = system.search_with_policy("fever and cough", 10, MergePolicy::EsOnly);
+        assert_eq!(system.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn ingest_invalidates_cached_results() {
+        let (mut system, _) = loaded_system(10, 27);
+        let stale = system.search("myocarditis zzqy", 10);
+        assert!(system.search("myocarditis zzqy", 10).len() == stale.len());
+        let gen_before = system.cache_stats().generation;
+        system
+            .ingest_gold(&{
+                let mut r = Generator::new(CorpusConfig {
+                    num_reports: 1,
+                    seed: 28,
+                    ..Default::default()
+                })
+                .generate()
+                .remove(0);
+                r.id = "fresh:1".to_string();
+                r.text = format!("{} myocarditis zzqy", r.text);
+                r
+            })
+            .unwrap();
+        assert!(
+            system.cache_stats().generation > gen_before,
+            "ingest bumps the generation"
+        );
+        let fresh = system.search("myocarditis zzqy", 10);
+        assert!(
+            fresh.iter().any(|h| h.report_id == "fresh:1"),
+            "post-ingest search must see the new report, not the cached result"
+        );
     }
 
     #[test]

@@ -1,0 +1,627 @@
+//! Document-at-a-time (DAAT) query execution with MaxScore top-k pruning.
+//!
+//! [`Index::search`](crate::Index::search) runs here. The executor walks
+//! the already-sorted postings with per-term cursors (galloping seeks)
+//! instead of materializing per-clause `HashMap`s, intersects `Bool::must`
+//! and phrase terms by merge, and — for the flat disjunctions the query
+//! console actually sends (`query_string` over one or more fields) —
+//! prunes with per-term score upper bounds in the MaxScore style.
+//!
+//! **Equivalence invariant.** Every path returns rankings bit-identical to
+//! [`Index::search_exhaustive`](crate::Index::search_exhaustive):
+//!
+//! * per-document scores are accumulated in *clause order* (the order the
+//!   exhaustive walker visits clauses), so the floating-point fold is the
+//!   same sequence of rounded additions;
+//! * a per-term upper bound is the exact maximum of that term's per-doc
+//!   scores (same formula, same bits), so `score ≤ bound` holds under the
+//!   same fold order by rounding monotonicity;
+//! * pruning only ever skips a document whose bound is *strictly* below
+//!   the current k-th entry score — a tie can never be dropped, so the
+//!   score/doc-id ordering is preserved exactly.
+//!
+//! The upper-bound sums used for pruning (both the at-candidate bound and
+//! the non-essential-set bound) are folded in clause order too: if
+//! `u_i ≥ s_i ≥ 0` termwise, then every partial sum satisfies
+//! `fl(U + u_i) ≥ fl(S + s_i)` because rounding is monotone — so the
+//! bound provably dominates the score it stands in for, ULPs included.
+
+use crate::index::{Index, Posting};
+use crate::query::QueryNode;
+use crate::score::{doc_score, top_k, Entry, ScoredDoc, Scorer};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable per-query scratch buffers, allocated once per `search` call
+/// and shared across all phrase nodes in the query tree.
+#[derive(Default)]
+struct Scratch {
+    starts: Vec<u32>,
+    tmp: Vec<u32>,
+}
+
+/// DAAT entry point: MaxScore pruning for flat disjunctions, merge-based
+/// evaluation for everything else.
+pub(crate) fn search_daat(
+    index: &Index,
+    query: &QueryNode,
+    k: usize,
+    scorer: Scorer,
+) -> Vec<ScoredDoc> {
+    let mut specs = Vec::new();
+    if flatten(index, query, &mut specs) {
+        return max_score_top_k(index, &specs, k, scorer);
+    }
+    let mut scratch = Scratch::default();
+    let (scored, mut exclusions) = eval_node(index, query, scorer, &mut scratch);
+    exclusions.sort_unstable();
+    exclusions.dedup();
+    top_k(
+        index,
+        scored
+            .into_iter()
+            .filter(|(d, _)| exclusions.binary_search(d).is_err()),
+        k,
+    )
+}
+
+/// One scoring cursor over a term's postings.
+struct TermCursor<'a> {
+    postings: &'a [Posting],
+    pos: usize,
+    doc_len: &'a [u32],
+    idf: f64,
+    avg_len: f64,
+    boost: f64,
+    /// Fuzzy-expansion damping (`1 / (1 + distance)`), applied after the
+    /// base score exactly as the exhaustive walker does.
+    damp: Option<f64>,
+}
+
+impl<'a> TermCursor<'a> {
+    /// `None` when the field or term is absent (the clause matches
+    /// nothing, mirroring an empty `term_scores`).
+    fn open(index: &'a Index, field: &str, term: &str, damp: Option<f64>) -> Option<Self> {
+        let fi = index.fields.get(field)?;
+        let postings = fi.dict.get(term)?;
+        Some(TermCursor {
+            postings,
+            pos: 0,
+            doc_len: &fi.doc_len,
+            idf: index.idf(field, term),
+            avg_len: fi.avg_len().max(1.0),
+            boost: fi.boost,
+            damp,
+        })
+    }
+
+    #[inline]
+    fn current(&self) -> Option<u32> {
+        self.postings.get(self.pos).map(|p| p.doc)
+    }
+
+    #[inline]
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Positions the cursor at the first posting with `doc >= target`
+    /// by galloping out of the current position, then binary-searching
+    /// the bracketed window.
+    fn seek(&mut self, target: u32) {
+        let ps = self.postings;
+        if self.pos >= ps.len() || ps[self.pos].doc >= target {
+            return;
+        }
+        let mut step = 1;
+        let mut lo = self.pos; // invariant: ps[lo].doc < target
+        let mut hi = lo + step;
+        while hi < ps.len() && ps[hi].doc < target {
+            lo = hi;
+            step *= 2;
+            hi = lo + step;
+        }
+        let hi = hi.min(ps.len());
+        self.pos = lo + ps[lo..hi].partition_point(|p| p.doc < target);
+    }
+
+    /// Term positions in the current document.
+    #[inline]
+    fn positions(&self) -> &'a [u32] {
+        &self.postings[self.pos].positions
+    }
+
+    /// This term's score contribution for the current document — the same
+    /// expression `term_scores` evaluates, so the bits match.
+    #[inline]
+    fn score_at(&self, scorer: Scorer) -> f64 {
+        let p = &self.postings[self.pos];
+        let s = doc_score(
+            scorer,
+            self.idf,
+            p.tf() as f64,
+            self.doc_len[p.doc as usize] as f64,
+            self.avg_len,
+            self.boost,
+        );
+        match self.damp {
+            Some(d) => s * d,
+            None => s,
+        }
+    }
+
+    /// Exact per-term score upper bound: the maximum per-doc score over
+    /// the posting list (one cheap pass, same formula as `score_at`).
+    fn max_score(&self, scorer: Scorer) -> f64 {
+        let mut ub = 0.0_f64;
+        for p in self.postings {
+            let s = doc_score(
+                scorer,
+                self.idf,
+                p.tf() as f64,
+                self.doc_len[p.doc as usize] as f64,
+                self.avg_len,
+                self.boost,
+            );
+            let s = match self.damp {
+                Some(d) => s * d,
+                None => s,
+            };
+            if s > ub {
+                ub = s;
+            }
+        }
+        ub
+    }
+}
+
+/// A flattened scoring clause: one term cursor to open.
+struct CursorSpec<'a> {
+    field: &'a str,
+    term: &'a str,
+    damp: Option<f64>,
+}
+
+/// Flattens a pure disjunction (terms, fuzzy expansions, and nested
+/// should-only bools) into cursor specs in clause order. Returns false —
+/// leaving `out` unusable — when the tree has `must`/`must_not`/phrase
+/// structure, which takes the general path instead.
+fn flatten<'a>(index: &'a Index, node: &'a QueryNode, out: &mut Vec<CursorSpec<'a>>) -> bool {
+    match node {
+        QueryNode::Term { field, term } => {
+            out.push(CursorSpec {
+                field,
+                term,
+                damp: None,
+            });
+            true
+        }
+        QueryNode::Fuzzy {
+            field,
+            term,
+            max_edits,
+        } => {
+            for (expanded, dist) in QueryNode::expand_fuzzy(index, field, term, *max_edits) {
+                out.push(CursorSpec {
+                    field,
+                    term: expanded,
+                    damp: Some(1.0 / (1.0 + dist as f64)),
+                });
+            }
+            true
+        }
+        QueryNode::Bool {
+            must,
+            should,
+            must_not,
+        } if must.is_empty() && must_not.is_empty() => {
+            should.iter().all(|sub| flatten(index, sub, out))
+        }
+        _ => false,
+    }
+}
+
+/// MaxScore-pruned DAAT union over flat term cursors.
+fn max_score_top_k(
+    index: &Index,
+    specs: &[CursorSpec],
+    k: usize,
+    scorer: Scorer,
+) -> Vec<ScoredDoc> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut cursors: Vec<TermCursor> = specs
+        .iter()
+        .filter_map(|s| TermCursor::open(index, s.field, s.term, s.damp))
+        .collect();
+    if cursors.is_empty() {
+        return Vec::new();
+    }
+    let n = cursors.len();
+    let ubs: Vec<f64> = cursors.iter().map(|c| c.max_score(scorer)).collect();
+    // Ascending upper-bound order decides which cursors become
+    // non-essential first; ties break on clause index for determinism.
+    let mut by_ub: Vec<usize> = (0..n).collect();
+    by_ub.sort_by(|&a, &b| ubs[a].total_cmp(&ubs[b]).then(a.cmp(&b)));
+    let mut non_essential = vec![false; n];
+    let mut selected = vec![false; n];
+    let mut partition_theta = f64::NEG_INFINITY;
+    let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::with_capacity(k + 1);
+    loop {
+        // Candidate: smallest current doc across the essential cursors.
+        // Docs living only in non-essential lists are the pruned ones.
+        let mut candidate: Option<u32> = None;
+        for (i, c) in cursors.iter().enumerate() {
+            if non_essential[i] {
+                continue;
+            }
+            if let Some(d) = c.current() {
+                candidate = Some(match candidate {
+                    Some(cd) if cd <= d => cd,
+                    _ => d,
+                });
+            }
+        }
+        let Some(candidate) = candidate else { break };
+        for (i, c) in cursors.iter_mut().enumerate() {
+            if non_essential[i] {
+                c.seek(candidate);
+            }
+        }
+        // Clause-order upper bound for this doc (dominates the clause-order
+        // score fold — see the module docs).
+        let mut bound = 0.0;
+        for (i, c) in cursors.iter().enumerate() {
+            if c.current() == Some(candidate) {
+                bound += ubs[i];
+            }
+        }
+        let full = heap.len() == k;
+        let prunable = full
+            && heap
+                .peek()
+                .is_some_and(|min| Entry(bound, candidate) <= min.0);
+        if !prunable {
+            let mut score = 0.0;
+            for c in cursors.iter() {
+                if c.current() == Some(candidate) {
+                    score += c.score_at(scorer);
+                }
+            }
+            if score > 0.0 {
+                heap.push(Reverse(Entry(score, candidate)));
+                if heap.len() > k {
+                    heap.pop();
+                }
+                if heap.len() == k {
+                    let theta = heap.peek().expect("heap is full").0 .0;
+                    if theta > partition_theta {
+                        partition_theta = theta;
+                        recompute_partition(&mut non_essential, &mut selected, &by_ub, &ubs, theta);
+                    }
+                }
+            }
+        }
+        for c in cursors.iter_mut() {
+            if c.current() == Some(candidate) {
+                c.advance();
+            }
+        }
+    }
+    let mut entries: Vec<Entry> = heap.into_iter().map(|r| r.0).collect();
+    entries.sort_by(|a, b| b.cmp(a));
+    entries
+        .into_iter()
+        .map(|Entry(score, doc)| ScoredDoc {
+            doc,
+            external_id: index
+                .external_id(doc)
+                .expect("scored doc exists")
+                .to_string(),
+            score,
+        })
+        .collect()
+}
+
+/// Greedily grows the non-essential set smallest-upper-bound-first, but
+/// admits each set only if its *clause-order* bound sum stays strictly
+/// below `theta` — the sound criterion (a pruned doc's score is a
+/// clause-order fold over a subset of that set).
+fn recompute_partition(
+    non_essential: &mut [bool],
+    selected: &mut [bool],
+    by_ub: &[usize],
+    ubs: &[f64],
+    theta: f64,
+) {
+    non_essential.fill(false);
+    selected.fill(false);
+    for &idx in by_ub {
+        selected[idx] = true;
+        let mut sum = 0.0;
+        for (i, &sel) in selected.iter().enumerate() {
+            if sel {
+                sum += ubs[i];
+            }
+        }
+        if sum < theta {
+            non_essential[idx] = true;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Evaluates a node into `(sorted scored docs, exclusion docs)`. The
+/// exclusion list propagates upward (the exhaustive walker shares one
+/// exclusion set across the whole tree) except across `must` boundaries,
+/// where it is applied locally — same semantics, merge-based execution.
+fn eval_node(
+    index: &Index,
+    node: &QueryNode,
+    scorer: Scorer,
+    scratch: &mut Scratch,
+) -> (Vec<(u32, f64)>, Vec<u32>) {
+    match node {
+        QueryNode::Term { field, term } => (index.term_scores(field, term, scorer), Vec::new()),
+        QueryNode::Fuzzy {
+            field,
+            term,
+            max_edits,
+        } => (
+            eval_fuzzy(index, field, term, *max_edits, scorer),
+            Vec::new(),
+        ),
+        QueryNode::Phrase { field, terms } => {
+            (eval_phrase(index, field, terms, scorer, scratch), Vec::new())
+        }
+        QueryNode::Bool {
+            must,
+            should,
+            must_not,
+        } => {
+            let mut exclusions = Vec::new();
+            let mut parts: Vec<Vec<(u32, f64)>> = Vec::new();
+            if !must.is_empty() {
+                let mut clause_lists = Vec::with_capacity(must.len());
+                for sub in must {
+                    let (mut list, mut sub_excl) = eval_node(index, sub, scorer, scratch);
+                    if !sub_excl.is_empty() {
+                        sub_excl.sort_unstable();
+                        sub_excl.dedup();
+                        list.retain(|(d, _)| sub_excl.binary_search(d).is_err());
+                    }
+                    clause_lists.push(list);
+                }
+                parts.push(intersect_sum(clause_lists));
+            }
+            for sub in should {
+                let (list, sub_excl) = eval_node(index, sub, scorer, scratch);
+                parts.push(list);
+                exclusions.extend(sub_excl);
+            }
+            for sub in must_not {
+                neg_docs(index, sub, scratch, &mut exclusions);
+            }
+            (union_sum(parts), exclusions)
+        }
+    }
+}
+
+/// Documents matching a node under `must_not` (scores irrelevant).
+fn neg_docs(index: &Index, node: &QueryNode, scratch: &mut Scratch, out: &mut Vec<u32>) {
+    match node {
+        QueryNode::Term { field, term } => {
+            if let Some(postings) = index.postings(field, term) {
+                out.extend(postings.iter().map(|p| p.doc));
+            }
+        }
+        QueryNode::Fuzzy {
+            field,
+            term,
+            max_edits,
+        } => {
+            for (expanded, _) in QueryNode::expand_fuzzy(index, field, term, *max_edits) {
+                if let Some(postings) = index.postings(field, expanded) {
+                    out.extend(postings.iter().map(|p| p.doc));
+                }
+            }
+        }
+        QueryNode::Phrase { field, terms } => {
+            out.extend(
+                eval_phrase(index, field, terms, scorer_for_neg(), scratch)
+                    .into_iter()
+                    .map(|(d, _)| d),
+            );
+        }
+        QueryNode::Bool { must, should, .. } => {
+            for sub in must.iter().chain(should) {
+                neg_docs(index, sub, scratch, out);
+            }
+        }
+    }
+}
+
+/// Scorer used when only match/no-match matters (phrase exclusion).
+fn scorer_for_neg() -> Scorer {
+    Scorer::default()
+}
+
+/// Fuzzy node: damped union over the (sorted) expansion terms, summed per
+/// doc in expansion order — the same fold the exhaustive walker performs.
+fn eval_fuzzy(
+    index: &Index,
+    field: &str,
+    term: &str,
+    max_edits: usize,
+    scorer: Scorer,
+) -> Vec<(u32, f64)> {
+    let lists: Vec<Vec<(u32, f64)>> = QueryNode::expand_fuzzy(index, field, term, max_edits)
+        .into_iter()
+        .map(|(expanded, dist)| {
+            let damp = 1.0 / (1.0 + dist as f64);
+            index
+                .term_scores(field, expanded, scorer)
+                .into_iter()
+                .map(|(doc, s)| (doc, s * damp))
+                .collect()
+        })
+        .collect();
+    union_sum(lists)
+}
+
+/// Phrase node: leapfrog intersection over the member-term cursors, with
+/// adjacency checked by merge over the (sorted) position lists and the
+/// member scores read straight off the cursors — one pass, no per-doc
+/// `term_scores` rescan.
+fn eval_phrase(
+    index: &Index,
+    field: &str,
+    terms: &[String],
+    scorer: Scorer,
+    scratch: &mut Scratch,
+) -> Vec<(u32, f64)> {
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    if terms.len() == 1 {
+        return index.term_scores(field, &terms[0], scorer);
+    }
+    let mut cursors = Vec::with_capacity(terms.len());
+    for t in terms {
+        match TermCursor::open(index, field, t, None) {
+            Some(c) => cursors.push(c),
+            None => return Vec::new(),
+        }
+    }
+    let mut out = Vec::new();
+    'outer: loop {
+        let Some(mut target) = cursors[0].current() else {
+            break;
+        };
+        let mut aligned = false;
+        while !aligned {
+            aligned = true;
+            for c in cursors.iter_mut() {
+                c.seek(target);
+                match c.current() {
+                    None => break 'outer,
+                    Some(d) if d > target => {
+                        target = d;
+                        aligned = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let matches = adjacency_matches(&cursors, scratch);
+        if matches > 0 {
+            let mut score = 0.0;
+            for c in &cursors {
+                score += c.score_at(scorer);
+            }
+            out.push((target, score * (1.0 + 0.5 * matches as f64)));
+        }
+        for c in cursors.iter_mut() {
+            c.advance();
+        }
+    }
+    out
+}
+
+/// Counts phrase occurrences in the aligned doc: start positions of the
+/// first term that every later term follows at the right offset.
+fn adjacency_matches(cursors: &[TermCursor], scratch: &mut Scratch) -> usize {
+    let Scratch { starts, tmp } = scratch;
+    starts.clear();
+    starts.extend_from_slice(cursors[0].positions());
+    for (offset, c) in cursors[1..].iter().enumerate() {
+        let shift = offset as u32 + 1;
+        let positions = c.positions();
+        tmp.clear();
+        let (mut i, mut j) = (0, 0);
+        while i < starts.len() && j < positions.len() {
+            let want = starts[i] + shift;
+            match positions[j].cmp(&want) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    tmp.push(starts[i]);
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Greater => i += 1,
+            }
+        }
+        std::mem::swap(starts, tmp);
+        if starts.is_empty() {
+            return 0;
+        }
+    }
+    starts.len()
+}
+
+/// Intersection of sorted scored lists; each surviving doc's score is the
+/// clause-order sum (first clause's score as the base, then each later
+/// clause's contribution in order).
+fn intersect_sum(mut lists: Vec<Vec<(u32, f64)>>) -> Vec<(u32, f64)> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    if lists.len() == 1 {
+        return lists.pop().expect("len checked");
+    }
+    let (first, rest) = lists.split_first().expect("len checked");
+    let mut pos = vec![0usize; rest.len()];
+    let mut out = Vec::new();
+    'outer: for &(doc, base) in first {
+        let mut total = base;
+        for (i, list) in rest.iter().enumerate() {
+            pos[i] += list[pos[i]..].partition_point(|&(d, _)| d < doc);
+            match list.get(pos[i]) {
+                Some(&(d, s)) if d == doc => total += s,
+                Some(_) => continue 'outer,
+                None => break 'outer,
+            }
+        }
+        out.push((doc, total));
+    }
+    out
+}
+
+/// Union of sorted scored lists; each doc's score is the sum of its
+/// per-list contributions, folded in list order from zero — identical to
+/// the exhaustive walker's map accumulation.
+fn union_sum(mut lists: Vec<Vec<(u32, f64)>>) -> Vec<(u32, f64)> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    if lists.len() == 1 {
+        return lists.pop().expect("len checked");
+    }
+    let mut pos = vec![0usize; lists.len()];
+    let mut out = Vec::new();
+    loop {
+        let mut min_doc: Option<u32> = None;
+        for (i, list) in lists.iter().enumerate() {
+            if let Some(&(d, _)) = list.get(pos[i]) {
+                min_doc = Some(match min_doc {
+                    Some(m) if m <= d => m,
+                    _ => d,
+                });
+            }
+        }
+        let Some(doc) = min_doc else { break };
+        let mut total = 0.0;
+        for (i, list) in lists.iter().enumerate() {
+            if let Some(&(d, s)) = list.get(pos[i]) {
+                if d == doc {
+                    total += s;
+                    pos[i] += 1;
+                }
+            }
+        }
+        out.push((doc, total));
+    }
+    out
+}

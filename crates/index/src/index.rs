@@ -47,9 +47,26 @@ pub(crate) struct FieldIndex {
     /// incrementally — `avg_len` sits on the BM25 hot path for every
     /// query term, so it must not rescan `doc_len`.
     pub(crate) docs_with_field: usize,
+    /// `(char length, first char)` → the field's distinct terms, appended
+    /// on first insertion. Fuzzy expansion scans only the buckets within
+    /// `max_edits` of the query term's length instead of the whole
+    /// vocabulary (see [`Index::fuzzy_candidates`]).
+    pub(crate) term_buckets: HashMap<(u16, char), Vec<String>>,
 }
 
 impl FieldIndex {
+    pub(crate) fn empty(analyzer: Arc<Analyzer>, boost: f64) -> FieldIndex {
+        FieldIndex {
+            analyzer,
+            boost,
+            dict: HashMap::new(),
+            doc_len: Vec::new(),
+            total_len: 0,
+            docs_with_field: 0,
+            term_buckets: HashMap::new(),
+        }
+    }
+
     pub(crate) fn avg_len(&self) -> f64 {
         if self.docs_with_field == 0 {
             0.0
@@ -58,9 +75,17 @@ impl FieldIndex {
         }
     }
 
+    /// Records a term new to this field's dictionary in its fuzzy bucket.
+    pub(crate) fn bucket_new_term(buckets: &mut HashMap<(u16, char), Vec<String>>, term: &str) {
+        let len = term.chars().count().min(u16::MAX as usize) as u16;
+        let first = term.chars().next().unwrap_or('\0');
+        buckets.entry((len, first)).or_default().push(term.to_string());
+    }
+
     /// Tokenizes `text` as document `doc` and appends its postings.
     /// `doc` must be the newest id (postings stay sorted by doc).
     pub(crate) fn index_text(&mut self, doc: u32, text: &str) {
+        use std::collections::hash_map::Entry;
         let tokens = self.analyzer.analyze(text);
         self.doc_len[doc as usize] = tokens.len() as u32;
         self.total_len += tokens.len() as u64;
@@ -73,13 +98,24 @@ impl FieldIndex {
             // phrase queries then respect the original word distance
             // (Lucene's position-increment behaviour).
             let pos = token.position as u32;
-            let postings = self.dict.entry(token.text).or_default();
-            match postings.last_mut() {
-                Some(last) if last.doc == doc => last.positions.push(pos),
-                _ => postings.push(Posting {
-                    doc,
-                    positions: vec![pos],
-                }),
+            match self.dict.entry(token.text) {
+                Entry::Occupied(mut entry) => {
+                    let postings = entry.get_mut();
+                    match postings.last_mut() {
+                        Some(last) if last.doc == doc => last.positions.push(pos),
+                        _ => postings.push(Posting {
+                            doc,
+                            positions: vec![pos],
+                        }),
+                    }
+                }
+                Entry::Vacant(entry) => {
+                    Self::bucket_new_term(&mut self.term_buckets, entry.key());
+                    entry.insert(vec![Posting {
+                        doc,
+                        positions: vec![pos],
+                    }]);
+                }
             }
         }
     }
@@ -108,17 +144,7 @@ impl Index {
     pub fn new(fields: Vec<FieldConfig>) -> Index {
         let mut map = HashMap::new();
         for f in fields {
-            map.insert(
-                f.name.clone(),
-                FieldIndex {
-                    analyzer: f.analyzer,
-                    boost: f.boost,
-                    dict: HashMap::new(),
-                    doc_len: Vec::new(),
-                    total_len: 0,
-                    docs_with_field: 0,
-                },
-            );
+            map.insert(f.name.clone(), FieldIndex::empty(f.analyzer, f.boost));
         }
         assert!(!map.is_empty(), "index needs at least one field");
         Index {
@@ -238,12 +264,77 @@ impl Index {
             .sum()
     }
 
-    /// Terms of a field within a length band — used for fuzzy expansion.
+    /// Terms of a field — the exhaustive fuzzy-expansion sweep (kept as
+    /// the reference baseline; see [`Index::fuzzy_candidates`]).
     pub(crate) fn terms_of_field(&self, field: &str) -> impl Iterator<Item = &String> {
         self.fields
             .get(field)
             .into_iter()
             .flat_map(|f| f.dict.keys())
+    }
+
+    /// Dictionary terms within `max_edits` of `term`, with their exact
+    /// distances, sorted by `(distance, term)`.
+    ///
+    /// Candidates come from the per-field length buckets: only lengths in
+    /// `[len - max_edits, len + max_edits]` can be within the bound, so
+    /// most of the vocabulary is never touched. Within a bucket the first
+    /// character routes each candidate to the cheapest sufficient check:
+    ///
+    /// * first chars equal — the DP runs on the affix-stripped remainder;
+    /// * first chars differ and `max_edits == 1` — the single edit must
+    ///   touch position 0, so the candidate must be exactly a leading
+    ///   substitution, deletion, or insertion (three `O(len)` comparisons,
+    ///   no DP at all);
+    /// * otherwise — the bounded DP.
+    ///
+    /// The result set is provably identical to sweeping the whole
+    /// dictionary with `levenshtein_bounded` (asserted by the equivalence
+    /// suite).
+    pub(crate) fn fuzzy_candidates<'a>(
+        &'a self,
+        field: &str,
+        term: &str,
+        max_edits: usize,
+    ) -> Vec<(&'a str, usize)> {
+        use create_text::distance::levenshtein_bounded_slices;
+        let Some(fi) = self.fields.get(field) else {
+            return Vec::new();
+        };
+        let q: Vec<char> = term.chars().collect();
+        let lo = q.len().saturating_sub(max_edits);
+        let hi = q.len() + max_edits;
+        let mut t_chars: Vec<char> = Vec::new();
+        let mut out: Vec<(&str, usize)> = Vec::new();
+        for (&(bucket_len, bucket_first), terms) in &fi.term_buckets {
+            let bucket_len = bucket_len as usize;
+            if bucket_len < lo || bucket_len > hi {
+                continue;
+            }
+            let same_first = q.first() == Some(&bucket_first);
+            for t in terms {
+                t_chars.clear();
+                t_chars.extend(t.chars());
+                let dist = if q.is_empty() || same_first {
+                    levenshtein_bounded_slices(&q, &t_chars, max_edits)
+                } else if max_edits == 1 {
+                    // Differing first chars under a budget of 1: the one
+                    // edit must produce the candidate's first char, so the
+                    // remainder is fixed by which edit it was.
+                    let sub = t_chars.len() == q.len() && t_chars[1..] == q[1..];
+                    let del = t_chars[..] == q[1..];
+                    let ins = t_chars.len() == q.len() + 1 && t_chars[1..] == q[..];
+                    (sub || del || ins).then_some(1)
+                } else {
+                    levenshtein_bounded_slices(&q, &t_chars, max_edits)
+                };
+                if let Some(d) = dist {
+                    out.push((t.as_str(), d));
+                }
+            }
+        }
+        out.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+        out
     }
 }
 

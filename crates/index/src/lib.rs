@@ -14,8 +14,12 @@
 //! * [`query`] — term, phrase, fuzzy, and boolean queries plus a
 //!   query-string convenience;
 //! * [`score`] — BM25 (default, k1=1.2, b=0.75) and TF-IDF scoring with
-//!   top-k heap retrieval.
+//!   top-k heap retrieval;
+//! * [`daat`] — document-at-a-time execution with galloping cursor
+//!   intersection and MaxScore top-k pruning, bit-identical to the
+//!   exhaustive baseline kept in [`score`].
 
+pub mod daat;
 pub mod index;
 pub mod query;
 pub mod score;

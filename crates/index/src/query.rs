@@ -89,17 +89,38 @@ impl QueryNode {
     }
 
     /// Expands fuzzy nodes against the index dictionary, returning the
-    /// matching `(term, distance)` pairs.
+    /// matching `(term, distance)` pairs sorted by `(distance, term)`.
+    ///
+    /// Candidates are drawn from per-length dictionary buckets with a
+    /// first-character fast path (see `Index::fuzzy_candidates`) instead
+    /// of sweeping the whole vocabulary; the result is identical to
+    /// [`QueryNode::expand_fuzzy_sweep`]. Terms are borrowed from the
+    /// index — expansion allocates nothing per matched term.
     pub fn expand_fuzzy<'a>(
         index: &'a Index,
         field: &str,
         term: &str,
         max_edits: usize,
-    ) -> Vec<(&'a String, usize)> {
-        index
+    ) -> Vec<(&'a str, usize)> {
+        index.fuzzy_candidates(field, term, max_edits)
+    }
+
+    /// The exhaustive fuzzy expansion: a bounded-Levenshtein sweep over
+    /// every term of the field, sorted by `(distance, term)`. Kept as the
+    /// reference baseline for the equivalence suite and `bench_search`;
+    /// production queries use [`QueryNode::expand_fuzzy`].
+    pub fn expand_fuzzy_sweep<'a>(
+        index: &'a Index,
+        field: &str,
+        term: &str,
+        max_edits: usize,
+    ) -> Vec<(&'a str, usize)> {
+        let mut out: Vec<(&str, usize)> = index
             .terms_of_field(field)
-            .filter_map(|t| levenshtein_bounded(term, t, max_edits).map(|d| (t, d)))
-            .collect()
+            .filter_map(|t| levenshtein_bounded(term, t, max_edits).map(|d| (t.as_str(), d)))
+            .collect();
+        out.sort_unstable_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+        out
     }
 }
 
@@ -138,12 +159,22 @@ mod tests {
     fn fuzzy_expansion_finds_neighbors() {
         let idx = index();
         let hits = QueryNode::expand_fuzzy(&idx, "body", "amiodaron", 1);
-        assert!(hits
-            .iter()
-            .any(|(t, d)| t.as_str() == "amiodaron" || *d <= 1));
-        assert!(hits
-            .iter()
-            .any(|(t, _)| t.as_str().starts_with("amiodaron")));
+        assert!(hits.iter().any(|(t, d)| *t == "amiodaron" || *d <= 1));
+        assert!(hits.iter().any(|(t, _)| t.starts_with("amiodaron")));
+    }
+
+    #[test]
+    fn pruned_expansion_matches_exhaustive_sweep() {
+        let idx = index();
+        for term in ["amiodaron", "fevr", "cough", "zzz", "", "a", "toxicty"] {
+            for max_edits in 0..=2 {
+                assert_eq!(
+                    QueryNode::expand_fuzzy(&idx, "body", term, max_edits),
+                    QueryNode::expand_fuzzy_sweep(&idx, "body", term, max_edits),
+                    "term {term:?} max_edits {max_edits}"
+                );
+            }
+        }
     }
 
     #[test]

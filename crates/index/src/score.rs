@@ -2,8 +2,14 @@
 //!
 //! BM25 with the Lucene-standard parameters (`k1 = 1.2`, `b = 0.75`) is the
 //! default; TF-IDF is provided for the ranking ablation (E4 extension).
-//! Query execution walks the query tree, accumulating per-document scores
-//! into a map, then selects the top-k with a heap.
+//!
+//! [`Index::search`] executes document-at-a-time via [`crate::daat`]:
+//! cursor intersection for `must` and phrases, MaxScore pruning for flat
+//! disjunctions. [`Index::search_exhaustive`] is the original map-based
+//! walker, kept as the reference baseline — the equivalence suite asserts
+//! the two return bit-identical rankings, and `bench_search` measures the
+//! gap. Both paths score through [`doc_score`], the single source of truth
+//! for the per-(term, doc) expression, so their floats cannot drift apart.
 
 use crate::index::Index;
 use crate::query::QueryNode;
@@ -40,53 +46,95 @@ pub struct ScoredDoc {
     pub score: f64,
 }
 
+/// The per-(term, document) score — the one expression both execution
+/// paths evaluate, so rankings agree bit-for-bit.
+#[inline]
+pub(crate) fn doc_score(
+    scorer: Scorer,
+    idf: f64,
+    tf: f64,
+    len: f64,
+    avg_len: f64,
+    boost: f64,
+) -> f64 {
+    let score = match scorer {
+        Scorer::Bm25 { k1, b } => idf * (tf * (k1 + 1.0)) / (tf + k1 * (1.0 - b + b * len / avg_len)),
+        Scorer::TfIdf => (1.0 + tf.ln()) * idf / len.max(1.0).sqrt(),
+    };
+    score * boost
+}
+
+/// Heap entry ordering hits by `(score, doc id descending)` so the max-heap
+/// pops highest score first with doc-ascending tiebreak. `total_cmp` makes
+/// the order total without assuming finiteness.
+#[derive(PartialEq)]
+pub(crate) struct Entry(pub(crate) f64, pub(crate) u32);
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(other.1.cmp(&self.1))
+    }
+}
+
+/// Top-k selection shared by both execution paths: keep positive scores,
+/// pop the k best from a max-heap over [`Entry`].
+pub(crate) fn top_k(
+    index: &Index,
+    scored: impl IntoIterator<Item = (u32, f64)>,
+    k: usize,
+) -> Vec<ScoredDoc> {
+    let mut heap: BinaryHeap<Entry> = scored
+        .into_iter()
+        .filter(|(_, s)| *s > 0.0)
+        .map(|(d, s)| Entry(s, d))
+        .collect();
+    let mut out = Vec::with_capacity(k.min(heap.len()));
+    while out.len() < k {
+        let Some(Entry(score, doc)) = heap.pop() else {
+            break;
+        };
+        out.push(ScoredDoc {
+            doc,
+            external_id: index
+                .external_id(doc)
+                .expect("scored doc exists")
+                .to_string(),
+            score,
+        });
+    }
+    out
+}
+
 impl Index {
     /// Runs a query and returns the top-`k` hits, highest score first.
     /// Ties break on internal doc id for determinism.
+    ///
+    /// Executes document-at-a-time (see [`crate::daat`]); rankings are
+    /// bit-identical to [`Index::search_exhaustive`].
     pub fn search(&self, query: &QueryNode, k: usize, scorer: Scorer) -> Vec<ScoredDoc> {
+        crate::daat::search_daat(self, query, k, scorer)
+    }
+
+    /// The original exhaustive executor: walks the query tree accumulating
+    /// per-document scores into a map, then heap-selects the top-k. Kept
+    /// as the reference baseline the DAAT path is verified against (the
+    /// equivalence suite and `bench_search` both run it).
+    pub fn search_exhaustive(&self, query: &QueryNode, k: usize, scorer: Scorer) -> Vec<ScoredDoc> {
         let mut scores: HashMap<u32, f64> = HashMap::new();
         let mut exclusions: HashSet<u32> = HashSet::new();
         self.score_node(query, scorer, &mut scores, &mut exclusions, true);
         for doc in exclusions {
             scores.remove(&doc);
         }
-        // Top-k selection with a max-heap over (score, -doc).
-        #[derive(PartialEq)]
-        struct Entry(f64, u32);
-        impl Eq for Entry {}
-        impl PartialOrd for Entry {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Entry {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0
-                    .partial_cmp(&other.0)
-                    .expect("scores are finite")
-                    .then(other.1.cmp(&self.1))
-            }
-        }
-        let mut heap: BinaryHeap<Entry> = scores
-            .into_iter()
-            .filter(|(_, s)| *s > 0.0)
-            .map(|(d, s)| Entry(s, d))
-            .collect();
-        let mut out = Vec::with_capacity(k.min(heap.len()));
-        while out.len() < k {
-            let Some(Entry(score, doc)) = heap.pop() else {
-                break;
-            };
-            out.push(ScoredDoc {
-                doc,
-                external_id: self
-                    .external_id(doc)
-                    .expect("scored doc exists")
-                    .to_string(),
-                score,
-            });
-        }
-        out
+        top_k(self, scores, k)
     }
 
     /// Scores a node into `scores`. `positive` is false under `must_not`.
@@ -113,16 +161,12 @@ impl Index {
                 term,
                 max_edits,
             } => {
-                let expansions: Vec<(String, usize)> =
-                    QueryNode::expand_fuzzy(self, field, term, *max_edits)
-                        .into_iter()
-                        .map(|(t, d)| (t.clone(), d))
-                        .collect();
-                for (expanded, dist) in expansions {
+                for (expanded, dist) in QueryNode::expand_fuzzy_sweep(self, field, term, *max_edits)
+                {
                     // Damp matches by edit distance, like Lucene's fuzzy
                     // similarity boost.
                     let damp = 1.0 / (1.0 + dist as f64);
-                    for (doc, score) in self.term_scores(field, &expanded, scorer) {
+                    for (doc, score) in self.term_scores(field, expanded, scorer) {
                         if positive {
                             *scores.entry(doc).or_insert(0.0) += score * damp;
                         } else {
@@ -186,7 +230,7 @@ impl Index {
         }
     }
 
-    fn idf(&self, field: &str, term: &str) -> f64 {
+    pub(crate) fn idf(&self, field: &str, term: &str) -> f64 {
         let n = self.num_docs() as f64;
         let df = self.doc_freq(field, term) as f64;
         if df == 0.0 {
@@ -196,7 +240,7 @@ impl Index {
         ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
     }
 
-    fn term_scores(&self, field: &str, term: &str, scorer: Scorer) -> Vec<(u32, f64)> {
+    pub(crate) fn term_scores(&self, field: &str, term: &str, scorer: Scorer) -> Vec<(u32, f64)> {
         let Some(fi) = self.fields.get(field) else {
             return Vec::new();
         };
@@ -208,19 +252,24 @@ impl Index {
         postings
             .iter()
             .map(|p| {
-                let tf = p.tf() as f64;
-                let len = fi.doc_len[p.doc as usize] as f64;
-                let score = match scorer {
-                    Scorer::Bm25 { k1, b } => {
-                        idf * (tf * (k1 + 1.0)) / (tf + k1 * (1.0 - b + b * len / avg_len))
-                    }
-                    Scorer::TfIdf => (1.0 + tf.ln()) * idf / len.max(1.0).sqrt(),
-                };
-                (p.doc, score * fi.boost)
+                (
+                    p.doc,
+                    doc_score(
+                        scorer,
+                        idf,
+                        p.tf() as f64,
+                        fi.doc_len[p.doc as usize] as f64,
+                        avg_len,
+                        fi.boost,
+                    ),
+                )
             })
             .collect()
     }
 
+    /// Phrase scoring for the exhaustive baseline: per-doc linear rescans
+    /// of every member posting list (the pre-DAAT implementation the
+    /// quadratic-blowup regression test pins down).
     fn phrase_scores(&self, field: &str, terms: &[String], scorer: Scorer) -> Vec<(u32, f64)> {
         if terms.is_empty() {
             return Vec::new();
@@ -311,10 +360,29 @@ mod tests {
         idx
     }
 
+    /// Runs through `search` and asserts the exhaustive baseline returns
+    /// the bit-identical ranking before handing the hits back.
+    fn checked_search(idx: &Index, q: &QueryNode, k: usize, scorer: Scorer) -> Vec<ScoredDoc> {
+        let daat = idx.search(q, k, scorer);
+        let exhaustive = idx.search_exhaustive(q, k, scorer);
+        assert_eq!(daat.len(), exhaustive.len(), "hit counts agree");
+        for (a, b) in daat.iter().zip(&exhaustive) {
+            assert_eq!(a.doc, b.doc, "doc order agrees");
+            assert_eq!(a.external_id, b.external_id);
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "score bits agree for {}",
+                a.external_id
+            );
+        }
+        daat
+    }
+
     #[test]
     fn term_search_ranks_by_tf() {
         let idx = index();
-        let hits = idx.search(&QueryNode::term("body", "fever"), 10, Scorer::default());
+        let hits = checked_search(&idx, &QueryNode::term("body", "fever"), 10, Scorer::default());
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].external_id, "d1", "doc with tf=2 ranks first");
         assert!(hits[0].score > hits[1].score);
@@ -323,15 +391,15 @@ mod tests {
     #[test]
     fn missing_term_returns_empty() {
         let idx = index();
-        assert!(idx
-            .search(&QueryNode::term("body", "zzz"), 10, Scorer::default())
+        assert!(checked_search(&idx, &QueryNode::term("body", "zzz"), 10, Scorer::default())
             .is_empty());
     }
 
     #[test]
     fn phrase_requires_adjacency() {
         let idx = index();
-        let hits = idx.search(
+        let hits = checked_search(
+            &idx,
             &QueryNode::phrase("body", &["chest", "pain"]),
             10,
             Scorer::default(),
@@ -352,7 +420,7 @@ mod tests {
             should: vec![],
             must_not: vec![],
         };
-        let hits = idx.search(&q, 10, Scorer::default());
+        let hits = checked_search(&idx, &q, 10, Scorer::default());
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].external_id, "d1");
     }
@@ -368,7 +436,7 @@ mod tests {
             ],
             must_not: vec![],
         };
-        let hits = idx.search(&q, 10, Scorer::default());
+        let hits = checked_search(&idx, &q, 10, Scorer::default());
         assert_eq!(hits.len(), 3);
     }
 
@@ -380,7 +448,7 @@ mod tests {
             should: vec![QueryNode::term("body", "fever")],
             must_not: vec![QueryNode::term("body", "cough")],
         };
-        let hits = idx.search(&q, 10, Scorer::default());
+        let hits = checked_search(&idx, &q, 10, Scorer::default());
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].external_id, "d2");
     }
@@ -388,7 +456,7 @@ mod tests {
     #[test]
     fn fuzzy_matches_typos() {
         let idx = index();
-        let hits = idx.search(&QueryNode::fuzzy("body", "fevr", 1), 10, Scorer::default());
+        let hits = checked_search(&idx, &QueryNode::fuzzy("body", "fevr", 1), 10, Scorer::default());
         assert!(!hits.is_empty());
         assert_eq!(hits[0].external_id, "d1");
     }
@@ -397,14 +465,14 @@ mod tests {
     fn k_limits_results() {
         let idx = index();
         let q = QueryNode::query_string(&idx, "body", "fever cough chest pain cardiac");
-        let hits = idx.search(&q, 2, Scorer::default());
+        let hits = checked_search(&idx, &q, 2, Scorer::default());
         assert_eq!(hits.len(), 2);
     }
 
     #[test]
     fn tfidf_scorer_works() {
         let idx = index();
-        let hits = idx.search(&QueryNode::term("body", "fever"), 10, Scorer::TfIdf);
+        let hits = checked_search(&idx, &QueryNode::term("body", "fever"), 10, Scorer::TfIdf);
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].external_id, "d1");
     }
@@ -418,7 +486,7 @@ mod tests {
         }]);
         idx.add_document("a", &[("body", "fever")]).unwrap();
         idx.add_document("b", &[("body", "fever")]).unwrap();
-        let hits = idx.search(&QueryNode::term("body", "fever"), 10, Scorer::default());
+        let hits = checked_search(&idx, &QueryNode::term("body", "fever"), 10, Scorer::default());
         assert_eq!(hits[0].external_id, "a", "ties break by doc id");
     }
 
@@ -433,9 +501,54 @@ mod tests {
             ],
             must_not: vec![],
         };
-        let hits = idx.search(&q, 10, Scorer::default());
+        let hits = checked_search(&idx, &q, 10, Scorer::default());
         let d3 = hits.iter().find(|h| h.external_id == "d3").unwrap();
         let d2 = hits.iter().find(|h| h.external_id == "d2").unwrap();
         assert!(d3.score > d2.score, "rare term should outweigh common term");
+    }
+
+    #[test]
+    fn nested_bool_with_exclusions_matches_exhaustive() {
+        let idx = index();
+        // should-subtree with its own must_not: the exhaustive walker
+        // applies that exclusion globally; the DAAT path must too.
+        let q = QueryNode::Bool {
+            must: vec![],
+            should: vec![
+                QueryNode::Bool {
+                    must: vec![],
+                    should: vec![QueryNode::term("body", "fever")],
+                    must_not: vec![QueryNode::term("body", "cough")],
+                },
+                QueryNode::term("body", "chest"),
+            ],
+            must_not: vec![],
+        };
+        let hits = checked_search(&idx, &q, 10, Scorer::default());
+        // d1 matches "chest" but is excluded by the nested must_not.
+        assert!(hits.iter().all(|h| h.external_id != "d1"));
+        assert!(hits.iter().any(|h| h.external_id == "d2"));
+        assert!(hits.iter().any(|h| h.external_id == "d4"));
+    }
+
+    #[test]
+    fn must_with_should_matches_exhaustive() {
+        let idx = index();
+        let q = QueryNode::Bool {
+            must: vec![
+                QueryNode::term("body", "chest"),
+                QueryNode::term("body", "pain"),
+            ],
+            should: vec![QueryNode::term("body", "cardiac")],
+            must_not: vec![],
+        };
+        checked_search(&idx, &q, 10, Scorer::default());
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let idx = index();
+        let q = QueryNode::query_string(&idx, "body", "fever chest");
+        assert!(checked_search(&idx, &q, 0, Scorer::default()).is_empty());
     }
 }

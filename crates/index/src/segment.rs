@@ -50,17 +50,7 @@ impl IndexSegment {
     pub fn new(fields: Vec<FieldConfig>) -> IndexSegment {
         let mut map = HashMap::new();
         for f in fields {
-            map.insert(
-                f.name.clone(),
-                FieldIndex {
-                    analyzer: f.analyzer,
-                    boost: f.boost,
-                    dict: HashMap::new(),
-                    doc_len: Vec::new(),
-                    total_len: 0,
-                    docs_with_field: 0,
-                },
-            );
+            map.insert(f.name.clone(), FieldIndex::empty(f.analyzer, f.boost));
         }
         IndexSegment {
             fields: map,
@@ -114,14 +104,7 @@ impl Index {
                 .map(|(name, fi)| {
                     (
                         name.clone(),
-                        FieldIndex {
-                            analyzer: fi.analyzer.clone(),
-                            boost: fi.boost,
-                            dict: HashMap::new(),
-                            doc_len: Vec::new(),
-                            total_len: 0,
-                            docs_with_field: 0,
-                        },
+                        FieldIndex::empty(fi.analyzer.clone(), fi.boost),
                     )
                 })
                 .collect(),
@@ -156,7 +139,11 @@ impl Index {
             fi.total_len += seg_field.total_len;
             fi.docs_with_field += seg_field.docs_with_field;
             for (term, seg_postings) in seg_field.dict {
-                let postings = fi.dict.entry(term).or_default();
+                let entry = fi.dict.entry(term);
+                if let std::collections::hash_map::Entry::Vacant(v) = &entry {
+                    FieldIndex::bucket_new_term(&mut fi.term_buckets, v.key());
+                }
+                let postings = entry.or_default();
                 postings.extend(seg_postings.into_iter().map(|mut p| {
                     p.doc += base;
                     p

@@ -43,12 +43,18 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
     {
         let system = Arc::clone(&system);
         router.route("GET", "/stats", move |_, _| {
-            let stats = system.read().expect("system lock poisoned").stats();
+            let guard = system.read().expect("system lock poisoned");
+            let stats = guard.stats();
+            let cache = guard.cache_stats();
             let doc = obj([
                 ("reports", (stats.reports as i64).into()),
                 ("graph_nodes", (stats.graph_nodes as i64).into()),
                 ("graph_edges", (stats.graph_edges as i64).into()),
                 ("index_terms", (stats.index_terms as i64).into()),
+                ("cache_hits", (cache.hits as i64).into()),
+                ("cache_misses", (cache.misses as i64).into()),
+                ("cache_entries", (cache.entries as i64).into()),
+                ("index_generation", (cache.generation as i64).into()),
             ]);
             Response::json(Status::Ok, doc.to_json())
         });
@@ -321,6 +327,72 @@ mod tests {
         let s = api.dispatch(&get("/stats", &[]));
         let doc = parse_json(std::str::from_utf8(&s.body).unwrap()).unwrap();
         assert_eq!(doc.get("reports").unwrap().as_i64(), Some(15));
+        for field in ["cache_hits", "cache_misses", "cache_entries", "index_generation"] {
+            assert!(doc.get(field).is_some(), "stats should expose {field}");
+        }
+    }
+
+    #[test]
+    fn stats_reflect_cache_hits_and_misses() {
+        let api = build_api(system());
+        let _ = api.dispatch(&get("/search", &[("q", "fever"), ("k", "5")]));
+        let _ = api.dispatch(&get("/search", &[("q", "fever"), ("k", "5")]));
+        let s = api.dispatch(&get("/stats", &[]));
+        let doc = parse_json(std::str::from_utf8(&s.body).unwrap()).unwrap();
+        assert_eq!(doc.get("cache_hits").unwrap().as_i64(), Some(1));
+        assert!(doc.get("cache_misses").unwrap().as_i64().unwrap() >= 1);
+        assert!(doc.get("cache_entries").unwrap().as_i64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn search_accepts_every_policy() {
+        let api = build_api(system());
+        for policy in ["neo4j_first", "es_first", "es_only", "graph_only", "interleave"] {
+            let resp = api.dispatch(&get(
+                "/search",
+                &[("q", "fever and cough"), ("k", "5"), ("policy", policy)],
+            ));
+            assert_eq!(resp.status, Status::Ok, "policy {policy}");
+            let doc = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            let hits = doc.get("hits").unwrap().as_array().unwrap();
+            for hit in hits {
+                let source = hit.get("source").unwrap().as_str().unwrap();
+                match policy {
+                    "es_only" => assert_eq!(source, "keyword", "policy {policy}"),
+                    "graph_only" => assert_eq!(source, "graph", "policy {policy}"),
+                    _ => assert!(source == "keyword" || source == "graph"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_batch_accepts_every_policy() {
+        let api = build_api(system());
+        for policy in ["neo4j_first", "es_first", "es_only", "graph_only", "interleave"] {
+            let mut req = get("/search_batch", &[]);
+            req.method = "POST".to_string();
+            req.body =
+                format!(r#"{{"queries": ["fever and cough"], "k": 5, "policy": "{policy}"}}"#)
+                    .into_bytes();
+            let resp = api.dispatch(&req);
+            assert_eq!(resp.status, Status::Ok, "policy {policy}");
+            let doc = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            let results = doc.get("results").unwrap().as_array().unwrap();
+            assert_eq!(results.len(), 1, "policy {policy}");
+            // The batched result matches the single-query endpoint under
+            // the same policy.
+            let single = api.dispatch(&get(
+                "/search",
+                &[("q", "fever and cough"), ("k", "5"), ("policy", policy)],
+            ));
+            let single_doc = parse_json(std::str::from_utf8(&single.body).unwrap()).unwrap();
+            assert_eq!(
+                results[0].get("hits"),
+                single_doc.get("hits"),
+                "policy {policy}"
+            );
+        }
     }
 
     #[test]

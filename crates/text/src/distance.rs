@@ -32,16 +32,40 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
     let a_chars: Vec<char> = a.chars().collect();
     let b_chars: Vec<char> = b.chars().collect();
-    let (la, lb) = (a_chars.len(), b_chars.len());
-    if la.abs_diff(lb) > max {
+    levenshtein_bounded_slices(&a_chars, &b_chars, max)
+}
+
+/// [`levenshtein_bounded`] over pre-decoded character slices. Dictionary
+/// scans decode each candidate once and strip shared affixes before the
+/// dynamic program, so the per-call `Vec<char>` allocations of the `&str`
+/// form dominate; this entry point avoids them.
+pub fn levenshtein_bounded_slices(a: &[char], b: &[char], max: usize) -> Option<usize> {
+    if a.len().abs_diff(b.len()) > max {
         return None;
     }
-    let mut prev: Vec<usize> = (0..=lb).collect();
-    let mut cur = vec![0usize; lb + 1];
-    for (i, ca) in a_chars.iter().enumerate() {
+    // Shared prefixes and suffixes never change the distance; stripping
+    // them shrinks the DP table (typo corrections share most characters).
+    let prefix = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+    let (a, b) = (&a[prefix..], &b[prefix..]);
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    let (a, b) = (&a[..a.len() - suffix], &b[..b.len() - suffix]);
+    if a.is_empty() {
+        return (b.len() <= max).then_some(b.len());
+    }
+    if b.is_empty() {
+        return (a.len() <= max).then_some(a.len());
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
         cur[0] = i + 1;
         let mut row_min = cur[0];
-        for (j, cb) in b_chars.iter().enumerate() {
+        for (j, cb) in b.iter().enumerate() {
             let sub = prev[j] + usize::from(ca != cb);
             cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
             row_min = row_min.min(cur[j + 1]);
@@ -51,7 +75,7 @@ pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
         }
         std::mem::swap(&mut prev, &mut cur);
     }
-    let d = prev[lb];
+    let d = prev[b.len()];
     (d <= max).then_some(d)
 }
 
@@ -114,6 +138,36 @@ mod tests {
     #[test]
     fn bounded_short_circuits_on_length() {
         assert_eq!(levenshtein_bounded("ab", "abcdefgh", 2), None);
+    }
+
+    #[test]
+    fn bounded_slices_matches_str_form() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("fever", "fevr"),
+            ("amiodarone", "amiodarona"),
+            ("", "ab"),
+            ("abc", ""),
+            ("same", "same"),
+            ("aaa", "aa"),
+            ("fièvre", "fievre"),
+        ];
+        for (a, b) in pairs {
+            for max in 0..4 {
+                let ac: Vec<char> = a.chars().collect();
+                let bc: Vec<char> = b.chars().collect();
+                assert_eq!(
+                    levenshtein_bounded_slices(&ac, &bc, max),
+                    levenshtein_bounded(a, b, max),
+                    "{a:?} vs {b:?} max {max}"
+                );
+                assert_eq!(
+                    levenshtein_bounded(a, b, max).is_some(),
+                    levenshtein(a, b) <= max,
+                    "{a:?} vs {b:?} max {max} agrees with exact"
+                );
+            }
+        }
     }
 
     #[test]

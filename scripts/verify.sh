@@ -13,9 +13,17 @@ cargo test -q
 echo "== determinism: parallel batch ingestion =="
 cargo test -q --test parallel_determinism
 
+echo "== equivalence: DAAT vs exhaustive query execution =="
+cargo test -q --test query_equivalence
+
 echo "== bench smoke: ingest throughput (200 docs) =="
 out="$(mktemp)"
 cargo run -q --release -p create-bench --bin bench_ingest -- 200 "$out"
+rm -f "$out"
+
+echo "== bench smoke: search throughput (200 docs) =="
+out="$(mktemp)"
+cargo run -q --release -p create-bench --bin bench_search -- 200 "$out"
 rm -f "$out"
 
 echo "== verify: OK =="

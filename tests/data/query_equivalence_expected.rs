@@ -1,0 +1,15 @@
+// Expected top hits for the phrase ["chest", "pain"] over the body field
+// of the 200-report corpus seeded with 7171, captured from the exhaustive
+// executor (`Index::search_exhaustive`). Scores are stored as `f64` bit
+// patterns so the comparison is exact, not approximate.
+const EXPECTED_PHRASE_TOP10: &[(&str, u64)] = &[
+    ("pmid:30000147", 4622600664512560175),
+    ("pmid:30000179", 4618761475480548278),
+    ("pmid:30000016", 4618701273057028123),
+    ("pmid:30000040", 4618642086470042641),
+    ("pmid:30000093", 4618583890223346019),
+    ("pmid:30000132", 4618583890223346019),
+    ("pmid:30000045", 4618526659666845790),
+    ("pmid:30000129", 4618526659666845790),
+    ("pmid:30000096", 4618470370961789680),
+];

@@ -1,0 +1,299 @@
+//! Pruned-vs-exhaustive query equivalence suite.
+//!
+//! The DAAT executor behind `Index::search` (galloping intersection,
+//! single-pass phrase scoring, MaxScore top-k pruning, bucketed fuzzy
+//! expansion) promises rankings *bit-identical* to the exhaustive
+//! baseline `Index::search_exhaustive`. This suite drives both executors
+//! with 100 seeded queries mixed across every node type and asserts
+//! score-bit and order equality, pins the phrase path against captured
+//! expected output on a 200-document corpus (the quadratic-blowup
+//! regression), checks the bucketed fuzzy expansion against the
+//! full-dictionary sweep, and proves the facade's query cache never
+//! serves stale results across an ingest.
+
+use create::corpus::{CaseReport, CorpusConfig, Generator};
+use create::core::{Create, CreateConfig};
+use create::index::score::Scorer;
+use create::index::{Index, QueryNode};
+use create::text::Analyzer;
+use create::util::Rng;
+
+fn corpus(n: usize, seed: u64) -> Vec<CaseReport> {
+    Generator::new(CorpusConfig {
+        num_reports: n,
+        seed,
+        ..Default::default()
+    })
+    .generate()
+}
+
+/// The production index layout over a generated corpus.
+fn clinical_index(reports: &[CaseReport]) -> Index {
+    let mut idx = Index::clinical();
+    for r in reports {
+        idx.add_document(
+            &r.id,
+            &[
+                ("title", r.title.as_str()),
+                ("body", r.text.as_str()),
+                ("body_ngram", r.text.as_str()),
+            ],
+        )
+        .unwrap();
+    }
+    idx
+}
+
+/// Asserts the DAAT and exhaustive executors agree hit-for-hit,
+/// score-bit-for-score-bit, and returns the hits.
+fn assert_equivalent(
+    idx: &Index,
+    q: &QueryNode,
+    k: usize,
+    scorer: Scorer,
+    label: &str,
+) -> Vec<create::index::ScoredDoc> {
+    let daat = idx.search(q, k, scorer);
+    let exhaustive = idx.search_exhaustive(q, k, scorer);
+    assert_eq!(
+        daat.len(),
+        exhaustive.len(),
+        "{label}: hit count {} vs {}",
+        daat.len(),
+        exhaustive.len()
+    );
+    for (i, (a, b)) in daat.iter().zip(&exhaustive).enumerate() {
+        assert_eq!(a.doc, b.doc, "{label}: doc order diverges at rank {i}");
+        assert_eq!(a.external_id, b.external_id, "{label}: id at rank {i}");
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "{label}: score bits at rank {i} ({} vs {})",
+            a.score,
+            b.score
+        );
+    }
+    daat
+}
+
+/// A random analyzed term drawn from a random report's body.
+fn random_term(rng: &mut Rng, analyzed: &[Vec<String>]) -> String {
+    loop {
+        let doc = &analyzed[rng.below(analyzed.len())];
+        if doc.is_empty() {
+            continue;
+        }
+        return doc[rng.below(doc.len())].clone();
+    }
+}
+
+/// A consecutive window of analyzed terms (a phrase that really occurs).
+fn random_phrase(rng: &mut Rng, analyzed: &[Vec<String>], len: usize) -> Vec<String> {
+    loop {
+        let doc = &analyzed[rng.below(analyzed.len())];
+        if doc.len() < len {
+            continue;
+        }
+        let start = rng.below(doc.len() - len + 1);
+        return doc[start..start + len].to_vec();
+    }
+}
+
+/// Mutates one character of a term to make a seeded typo.
+fn typo(rng: &mut Rng, term: &str) -> String {
+    let mut chars: Vec<char> = term.chars().collect();
+    if chars.is_empty() {
+        return "x".to_string();
+    }
+    let pos = rng.below(chars.len());
+    match rng.below(3) {
+        0 => chars[pos] = (b'a' + rng.below(26) as u8) as char, // substitute
+        1 => {
+            chars.remove(pos); // delete
+        }
+        _ => chars.insert(pos, (b'a' + rng.below(26) as u8) as char), // insert
+    }
+    chars.into_iter().collect()
+}
+
+#[test]
+fn hundred_seeded_queries_are_bit_identical() {
+    let reports = corpus(250, 4242);
+    let idx = clinical_index(&reports);
+    let analyzer = Analyzer::clinical_standard();
+    let analyzed: Vec<Vec<String>> = reports.iter().map(|r| analyzer.terms(&r.text)).collect();
+    let mut rng = Rng::seed_from_u64(990_017);
+    let ks = [1, 5, 10, 50];
+    for i in 0..100 {
+        let k = ks[rng.below(ks.len())];
+        let scorer = if rng.below(5) == 0 {
+            Scorer::TfIdf
+        } else {
+            Scorer::default()
+        };
+        let q = match i % 4 {
+            0 => QueryNode::Term {
+                field: "body".to_string(),
+                term: random_term(&mut rng, &analyzed),
+            },
+            1 => {
+                let len = 2 + rng.below(2);
+                QueryNode::Phrase {
+                    field: "body".to_string(),
+                    terms: random_phrase(&mut rng, &analyzed, len),
+                }
+            }
+            2 => QueryNode::Bool {
+                must: (0..1 + rng.below(2))
+                    .map(|_| QueryNode::Term {
+                        field: "body".to_string(),
+                        term: random_term(&mut rng, &analyzed),
+                    })
+                    .collect(),
+                should: (0..rng.below(3))
+                    .map(|_| QueryNode::Term {
+                        field: "body".to_string(),
+                        term: random_term(&mut rng, &analyzed),
+                    })
+                    .collect(),
+                must_not: if rng.below(3) == 0 {
+                    vec![QueryNode::Term {
+                        field: "body".to_string(),
+                        term: random_term(&mut rng, &analyzed),
+                    }]
+                } else {
+                    Vec::new()
+                },
+            },
+            _ => {
+                let base = random_term(&mut rng, &analyzed);
+                QueryNode::Fuzzy {
+                    field: "body".to_string(),
+                    term: typo(&mut rng, &base),
+                    max_edits: 1 + rng.below(2),
+                }
+            }
+        };
+        assert_equivalent(&idx, &q, k, scorer, &format!("query {i} ({q:?})"));
+    }
+}
+
+#[test]
+fn flat_disjunctions_prune_identically() {
+    // The MaxScore path proper: multi-field query_string disjunctions,
+    // exactly what `keyword_search` sends.
+    let reports = corpus(250, 4242);
+    let idx = clinical_index(&reports);
+    let mut rng = Rng::seed_from_u64(661_331);
+    let analyzer = Analyzer::clinical_standard();
+    let analyzed: Vec<Vec<String>> = reports.iter().map(|r| analyzer.terms(&r.text)).collect();
+    for i in 0..30 {
+        let n_terms = 1 + rng.below(5);
+        let text = (0..n_terms)
+            .map(|_| random_term(&mut rng, &analyzed))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let q = QueryNode::Bool {
+            must: Vec::new(),
+            should: vec![
+                QueryNode::query_string(&idx, "title", &text),
+                QueryNode::query_string(&idx, "body", &text),
+                QueryNode::query_string(&idx, "body_ngram", &text),
+            ],
+            must_not: Vec::new(),
+        };
+        for k in [1, 3, 10] {
+            assert_equivalent(&idx, &q, k, Scorer::default(), &format!("qs {i} k={k}"));
+        }
+    }
+}
+
+/// The quadratic-blowup regression (satellite 1): on a 200-document
+/// corpus, the phrase executor must return exactly the output the
+/// pre-DAAT implementation produced — captured below as literal expected
+/// data (external ids + f64 score bits) — while no longer rescanning
+/// every posting list per candidate document.
+#[test]
+fn phrase_search_matches_captured_expected_output() {
+    let reports = corpus(200, 7171);
+    let idx = clinical_index(&reports);
+    let analyzer = Analyzer::clinical_standard();
+    let phrase_terms = analyzer.terms("chest pain");
+    assert_eq!(phrase_terms.len(), 2, "analyzer keeps both phrase words");
+    let q = QueryNode::Phrase {
+        field: "body".to_string(),
+        terms: phrase_terms,
+    };
+    let hits = assert_equivalent(&idx, &q, 10, Scorer::default(), "phrase regression");
+    let got: Vec<(&str, u64)> = hits
+        .iter()
+        .map(|h| (h.external_id.as_str(), h.score.to_bits()))
+        .collect();
+    // Captured from the exhaustive implementation on this exact corpus;
+    // any ranking or scoring drift fails here.
+    let expected: &[(&str, u64)] = EXPECTED_PHRASE_TOP10;
+    assert_eq!(got, expected, "phrase top-10 drifted from captured output");
+}
+
+// Captured expected data for `phrase_search_matches_captured_expected_output`.
+include!("data/query_equivalence_expected.rs");
+
+#[test]
+fn bucketed_fuzzy_expansion_equals_dictionary_sweep() {
+    let reports = corpus(200, 7171);
+    let idx = clinical_index(&reports);
+    let analyzer = Analyzer::clinical_standard();
+    let analyzed: Vec<Vec<String>> = reports.iter().map(|r| analyzer.terms(&r.text)).collect();
+    let mut rng = Rng::seed_from_u64(41_872);
+    for _ in 0..40 {
+        let base = random_term(&mut rng, &analyzed);
+        let probe = if rng.below(2) == 0 {
+            base
+        } else {
+            typo(&mut rng, &base)
+        };
+        for max_edits in 1..=2 {
+            let pruned = QueryNode::expand_fuzzy(&idx, "body", &probe, max_edits);
+            let sweep = QueryNode::expand_fuzzy_sweep(&idx, "body", &probe, max_edits);
+            assert_eq!(pruned, sweep, "term {probe:?} max_edits {max_edits}");
+        }
+    }
+}
+
+/// Satellite 5's cache-invalidation proof at the facade level: a cached
+/// query must reflect a subsequent ingest, with the hit/miss counters
+/// showing the cache actually served the repeat.
+#[test]
+fn query_cache_never_serves_stale_results() {
+    let reports = corpus(20, 1313);
+    let mut system = Create::new(CreateConfig::default());
+    for r in &reports[..19] {
+        system.ingest_gold(r).unwrap();
+    }
+    let query = "fever and cough";
+    let cold = system.search(query, 10);
+    let warm = system.search(query, 10);
+    let stats = system.cache_stats();
+    assert_eq!(stats.hits, 1, "repeat query served from cache");
+    assert_eq!(cold.len(), warm.len());
+    for (a, b) in cold.iter().zip(&warm) {
+        assert_eq!(a.report_id, b.report_id);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+    }
+    // Ingest one more report; the generation bump must invalidate.
+    let generation_before = stats.generation;
+    system.ingest_gold(&reports[19]).unwrap();
+    let stats = system.cache_stats();
+    assert!(stats.generation > generation_before);
+    let fresh = system.search(query, 10);
+    let mut reference = Create::new(CreateConfig::default());
+    for r in &reports {
+        reference.ingest_gold(r).unwrap();
+    }
+    let expected = reference.search(query, 10);
+    assert_eq!(fresh.len(), expected.len(), "post-ingest results are fresh");
+    for (a, b) in fresh.iter().zip(&expected) {
+        assert_eq!(a.report_id, b.report_id);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+    }
+}
