@@ -109,12 +109,23 @@ fn main() {
 
     let report = obj([
         ("bench", "ingest_gold_batch".into()),
+        ("meta", create_bench::meta_json(n)),
         ("n_docs", (n as i64).into()),
         ("corpus_seed", 1234_i64.into()),
         ("cpus", (cpus as i64).into()),
         ("sequential_docs_per_sec", seq_rate.into()),
         ("deterministic", true.into()),
         ("runs", Value::Array(rows)),
+        // Per-stage latency distributions accumulated in the obs
+        // registry across every run above (gold ingest exercises
+        // graph_build and index_write; the text stages stay zero).
+        (
+            "pipeline_stages",
+            create_bench::stage_histograms_json(
+                create_obs::names::PIPELINE_STAGE_SECONDS,
+                &create_obs::names::PIPELINE_STAGES,
+            ),
+        ),
     ]);
     std::fs::write(&out_path, report.to_json_pretty()).expect("write bench report");
     eprintln!("wrote {out_path}");

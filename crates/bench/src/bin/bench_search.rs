@@ -200,11 +200,21 @@ fn main() {
 
     let report = obj([
         ("bench", "search".into()),
+        ("meta", create_bench::meta_json(n)),
         ("n_docs", (n as i64).into()),
         ("corpus_seed", 1234_i64.into()),
         ("k", (K as i64).into()),
         ("bit_identical_to_exhaustive", true.into()),
         ("runs", Value::Array(rows)),
+        // Query-stage latency distributions from the obs registry,
+        // accumulated across the facade (cached) workload above.
+        (
+            "query_stages",
+            create_bench::stage_histograms_json(
+                create_obs::names::QUERY_STAGE_SECONDS,
+                &create_obs::names::QUERY_STAGES,
+            ),
+        ),
     ]);
     std::fs::write(&out_path, report.to_json_pretty()).expect("write bench report");
     eprintln!("wrote {out_path}");

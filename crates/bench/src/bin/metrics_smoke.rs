@@ -1,0 +1,66 @@
+//! Observability smoke check: ingest a small corpus, run a few facade
+//! searches, then assert the obs registry saw every layer (pipeline
+//! stages, DAAT executor, query cache, graph executor) and print the
+//! Prometheus exposition to stdout for `scripts/verify.sh` to grep.
+//!
+//! ```bash
+//! cargo run --release -p create-bench --bin metrics_smoke
+//! ```
+
+use create_core::{Create, CreateConfig};
+use create_corpus::QuerySet;
+use create_obs::names;
+
+fn main() {
+    assert!(
+        create_obs::enabled(),
+        "metrics_smoke must run with the obs feature (default features)"
+    );
+    let reports = create_bench::corpus(60, 99);
+    let mut system = Create::new(CreateConfig::default());
+    system.ingest_gold_batch(&reports, 0).expect("ingest");
+
+    let queries = QuerySet::generate(&reports, 7, 12).queries;
+    for q in &queries {
+        let _ = system.search(&q.text, 10);
+    }
+    // Repeat one query so the cache-hit counter moves too.
+    if let Some(q) = queries.first() {
+        let _ = system.search(&q.text, 10);
+    }
+
+    let registry = create_obs::Registry::global();
+    for (counter, why) in [
+        (names::DAAT_POSTINGS_ADVANCED_TOTAL, "keyword searches ran"),
+        (names::QUERY_CACHE_MISSES_TOTAL, "cold queries missed the cache"),
+        (names::QUERY_CACHE_HITS_TOTAL, "the repeated query hit the cache"),
+        (names::GRAPH_EXEC_NODES_VISITED_TOTAL, "graph searches walked nodes"),
+    ] {
+        assert!(
+            registry.counter(counter).get() > 0,
+            "{counter} should be nonzero: {why}"
+        );
+    }
+    for stage in [names::STAGE_GRAPH_BUILD, names::STAGE_INDEX_WRITE] {
+        let h = registry.histogram_with(names::PIPELINE_STAGE_SECONDS, &[("stage", stage)]);
+        assert!(h.count() > 0, "pipeline stage {stage} should have samples");
+    }
+    for stage in names::QUERY_STAGES {
+        let h = registry.histogram_with(names::QUERY_STAGE_SECONDS, &[("stage", stage)]);
+        assert!(h.count() > 0, "query stage {stage} should have samples");
+    }
+    let total = registry.histogram(names::QUERY_SECONDS);
+    assert_eq!(
+        total.count(),
+        (queries.len() + 1) as u64,
+        "every facade search lands in {}",
+        names::QUERY_SECONDS
+    );
+
+    eprintln!(
+        "metrics_smoke: {} queries over {} reports, all layers recorded",
+        queries.len() + 1,
+        reports.len()
+    );
+    print!("{}", create_obs::render_prometheus());
+}

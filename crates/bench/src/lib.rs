@@ -8,9 +8,56 @@
 
 use create_core::{Create, CreateConfig};
 use create_corpus::{CaseReport, CorpusConfig, Generator};
+use create_docstore::json::obj;
+use create_docstore::Value;
 use create_ner::{CrfTagger, CrfTaggerConfig, FlairFeatures, NerDataset};
 use create_ontology::Ontology;
 use std::sync::Arc;
+
+/// Provenance block for bench JSON reports: host size, pool width, git
+/// revision (from the `GIT_REV` env var — `scripts/verify.sh` exports
+/// it), and whether the obs instrumentation was compiled in.
+pub fn meta_json(n_docs: usize) -> Value {
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    obj([
+        ("cpus", (cpus as i64).into()),
+        (
+            "pool_threads",
+            (create_util::ThreadPool::global().threads() as i64).into(),
+        ),
+        (
+            "git_rev",
+            std::env::var("GIT_REV")
+                .unwrap_or_else(|_| "unknown".to_string())
+                .into(),
+        ),
+        ("n_docs", (n_docs as i64).into()),
+        ("obs_enabled", create_obs::enabled().into()),
+    ])
+}
+
+/// Reads `metric{stage=...}` latency histograms out of the global obs
+/// registry: per stage, the observation count and p50/p95/p99 in
+/// seconds. Stages with no observations report zeros; with the obs
+/// feature compiled out every stage reads zero.
+pub fn stage_histograms_json(metric: &str, stages: &[&str]) -> Value {
+    let rows: Vec<Value> = stages
+        .iter()
+        .map(|stage| {
+            let h = create_obs::histogram_with(metric, &[("stage", stage)]);
+            obj([
+                ("stage", (*stage).into()),
+                ("count", (h.count() as i64).into()),
+                ("p50_seconds", h.quantile(0.50).into()),
+                ("p95_seconds", h.quantile(0.95).into()),
+                ("p99_seconds", h.quantile(0.99).into()),
+            ])
+        })
+        .collect();
+    Value::Array(rows)
+}
 
 /// Generates the standard experiment corpus.
 pub fn corpus(num_reports: usize, seed: u64) -> Vec<CaseReport> {

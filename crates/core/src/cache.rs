@@ -15,6 +15,7 @@
 
 use crate::search::{MergePolicy, SearchHit};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Cache key: everything the merged result depends on besides system state.
 type CacheKey = (String, usize, MergePolicy);
@@ -48,6 +49,11 @@ pub(crate) struct QueryCache {
     hits: u64,
     misses: u64,
     map: HashMap<CacheKey, CacheEntry>,
+    /// Registry mirrors of `hits`/`misses` (`/stats` keeps reading the
+    /// plain fields, so its shape is unchanged). `None` when the obs
+    /// feature is compiled out.
+    obs_hits: Option<Arc<create_obs::Counter>>,
+    obs_misses: Option<Arc<create_obs::Counter>>,
 }
 
 impl QueryCache {
@@ -58,6 +64,24 @@ impl QueryCache {
             hits: 0,
             misses: 0,
             map: HashMap::new(),
+            obs_hits: create_obs::enabled()
+                .then(|| create_obs::counter(create_obs::names::QUERY_CACHE_HITS_TOTAL)),
+            obs_misses: create_obs::enabled()
+                .then(|| create_obs::counter(create_obs::names::QUERY_CACHE_MISSES_TOTAL)),
+        }
+    }
+
+    fn count_hit(&mut self) {
+        self.hits += 1;
+        if let Some(c) = &self.obs_hits {
+            c.inc();
+        }
+    }
+
+    fn count_miss(&mut self) {
+        self.misses += 1;
+        if let Some(c) = &self.obs_misses {
+            c.inc();
         }
     }
 
@@ -75,16 +99,17 @@ impl QueryCache {
             Some(entry) if entry.generation == generation => {
                 self.tick += 1;
                 entry.last_used = self.tick;
-                self.hits += 1;
-                Some(entry.hits.clone())
+                let hits = entry.hits.clone();
+                self.count_hit();
+                Some(hits)
             }
             Some(_) => {
                 self.map.remove(&key);
-                self.misses += 1;
+                self.count_miss();
                 None
             }
             None => {
-                self.misses += 1;
+                self.count_miss();
                 None
             }
         }

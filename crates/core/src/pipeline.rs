@@ -13,8 +13,10 @@
 
 use create_corpus::CaseReport;
 use create_ner::{CrfTagger, Mention};
+use create_obs::names as obs_names;
 use create_ontology::{ConceptId, EntityType, Ontology, RelationType};
 use create_text::{split_sentences, Span};
+use std::time::{Duration, Instant};
 
 /// One concept-resolved mention.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,7 +77,15 @@ impl ExtractedAnnotations {
     pub fn from_text(text: &str, tagger: &CrfTagger, ontology: &Ontology) -> ExtractedAnnotations {
         let mut mentions = Vec::new();
         let mut step = 1u32;
-        for (si, sspan) in split_sentences(text).into_iter().enumerate() {
+        let split_started = Instant::now();
+        let sentences = split_sentences(text);
+        create_obs::observe_stage(
+            obs_names::PIPELINE_STAGE_SECONDS,
+            obs_names::STAGE_SECTION_SPLIT,
+            split_started.elapsed().as_secs_f64(),
+        );
+        let mut ner_elapsed = Duration::ZERO;
+        for (si, sspan) in sentences.into_iter().enumerate() {
             let sentence = sspan.slice(text);
             if si > 0 {
                 step += 1;
@@ -90,7 +100,10 @@ impl ExtractedAnnotations {
             let history = ["history of", "long-term", "previously", "prior"]
                 .iter()
                 .any(|cue| lower.contains(cue));
-            for m in tagger.tag(sentence) {
+            let ner_started = Instant::now();
+            let tagged = tagger.tag(sentence);
+            ner_elapsed += ner_started.elapsed();
+            for m in tagged {
                 let normalized = ontology.normalize(&m.text, Some(m.etype));
                 let this_step = if m.etype.is_event() {
                     Some(if history { 0 } else { step })
@@ -106,7 +119,18 @@ impl ExtractedAnnotations {
                 });
             }
         }
+        create_obs::observe_stage(
+            obs_names::PIPELINE_STAGE_SECONDS,
+            obs_names::STAGE_NER,
+            ner_elapsed.as_secs_f64(),
+        );
+        let relations_started = Instant::now();
         let relations = derive_relations(&mentions);
+        create_obs::observe_stage(
+            obs_names::PIPELINE_STAGE_SECONDS,
+            obs_names::STAGE_TEMPORAL_RE,
+            relations_started.elapsed().as_secs_f64(),
+        );
         ExtractedAnnotations {
             mentions,
             relations,

@@ -55,6 +55,28 @@ pub enum MergePolicy {
     Interleave,
 }
 
+impl MergePolicy {
+    /// Stable lower-snake label — the REST API's policy names, reused as
+    /// the metrics `policy` label and in slow-query records.
+    pub fn label(self) -> &'static str {
+        match self {
+            MergePolicy::Neo4jFirst => "neo4j_first",
+            MergePolicy::EsFirst => "es_first",
+            MergePolicy::EsOnly => "es_only",
+            MergePolicy::GraphOnly => "graph_only",
+            MergePolicy::Interleave => "interleave",
+        }
+    }
+}
+
+/// Local traversal tally for one graph search, flushed to the obs
+/// registry in a single call.
+#[derive(Debug, Default)]
+struct Traversal {
+    nodes: u64,
+    edges: u64,
+}
+
 /// The graph-side searcher. Holds the concept→node registry shared with
 /// [`crate::graph_build::GraphBuilder`].
 #[derive(Debug)]
@@ -81,12 +103,18 @@ impl GraphSearcher {
     }
 
     /// Reports (by node) mentioning a concept.
-    fn reports_mentioning(&self, graph: &PropertyGraph, concept: ConceptId) -> Vec<NodeId> {
+    fn reports_mentioning(
+        &self,
+        graph: &PropertyGraph,
+        concept: ConceptId,
+        traversal: &mut Traversal,
+    ) -> Vec<NodeId> {
         let Some(&cnode) = self.concept_nodes.get(&concept) else {
             return Vec::new();
         };
-        graph
-            .incoming(cnode)
+        let incoming = graph.incoming(cnode);
+        traversal.edges += incoming.len() as u64;
+        incoming
             .into_iter()
             .filter(|e| e.rel_type == "MENTIONS")
             .map(|e| e.source)
@@ -94,13 +122,23 @@ impl GraphSearcher {
     }
 
     /// Timeline steps at which `concept` occurs in the report.
-    fn concept_steps(&self, graph: &PropertyGraph, report: NodeId, concept: ConceptId) -> Vec<f64> {
+    fn concept_steps(
+        &self,
+        graph: &PropertyGraph,
+        report: NodeId,
+        concept: ConceptId,
+        traversal: &mut Traversal,
+    ) -> Vec<f64> {
         let cui = concept.to_string();
-        graph
-            .outgoing(report)
+        let outgoing = graph.outgoing(report);
+        traversal.edges += outgoing.len() as u64;
+        outgoing
             .into_iter()
             .filter(|e| e.rel_type == "CONTAINS")
-            .filter_map(|e| graph.node(e.target))
+            .filter_map(|e| {
+                traversal.nodes += 1;
+                graph.node(e.target)
+            })
             .filter(|event| {
                 event
                     .props
@@ -120,9 +158,10 @@ impl GraphSearcher {
         c1: ConceptId,
         c2: ConceptId,
         rel: RelationType,
+        traversal: &mut Traversal,
     ) -> bool {
-        let s1 = self.concept_steps(graph, report, c1);
-        let s2 = self.concept_steps(graph, report, c2);
+        let s1 = self.concept_steps(graph, report, c1, traversal);
+        let s2 = self.concept_steps(graph, report, c2, traversal);
         for &a in &s1 {
             for &b in &s2 {
                 let ok = match rel {
@@ -145,11 +184,12 @@ impl GraphSearcher {
         if concepts.is_empty() {
             return Vec::new();
         }
+        let mut traversal = Traversal::default();
         // Candidate reports: intersection over per-concept mention lists,
         // seeded from the rarest concept.
         let mut lists: Vec<Vec<NodeId>> = concepts
             .iter()
-            .map(|&c| self.reports_mentioning(graph, c))
+            .map(|&c| self.reports_mentioning(graph, c, &mut traversal))
             .collect();
         lists.sort_by_key(Vec::len);
         let Some((seed, rest)) = lists.split_first() else {
@@ -157,11 +197,14 @@ impl GraphSearcher {
         };
         let mut hits = Vec::new();
         for &report in seed {
+            traversal.nodes += 1;
             if !rest.iter().all(|l| l.contains(&report)) {
                 continue;
             }
             let pattern_matched = match query.pattern {
-                Some((c1, c2, rel)) => self.pattern_matches(graph, report, c1, c2, rel),
+                Some((c1, c2, rel)) => {
+                    self.pattern_matches(graph, report, c1, c2, rel, &mut traversal)
+                }
                 None => false,
             };
             let node = graph.node(report).expect("report node exists");
@@ -185,6 +228,7 @@ impl GraphSearcher {
                 pattern_matched,
             });
         }
+        create_obs::record_graph_exec(traversal.nodes, traversal.edges);
         hits.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)

@@ -19,10 +19,13 @@ use create_index::Index;
 use create_index::IndexSegment;
 use create_ner::CrfTagger;
 use create_ontology::Ontology;
+use create_obs::names as obs_names;
+use create_obs::{QueryCapture, Span};
 use create_util::ThreadPool;
 use create_viz::{render_svg, SvgOptions, VizEdge, VizGraph, VizNode};
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Query-cache capacity: enough for a busy console session's working set,
 /// small enough that the O(entries) LRU eviction scan never matters.
@@ -85,10 +88,70 @@ impl std::fmt::Debug for Create {
     }
 }
 
+/// Pre-registers every instrument the facade can emit so `/metrics`
+/// renders the full series set (zero-valued) from the first scrape,
+/// before any ingest or query traffic arrives.
+fn register_metrics() {
+    if !create_obs::enabled() {
+        return;
+    }
+    for stage in obs_names::PIPELINE_STAGES {
+        create_obs::histogram_with(obs_names::PIPELINE_STAGE_SECONDS, &[("stage", stage)]);
+    }
+    for stage in obs_names::QUERY_STAGES {
+        create_obs::histogram_with(obs_names::QUERY_STAGE_SECONDS, &[("stage", stage)]);
+    }
+    create_obs::histogram(obs_names::QUERY_SECONDS);
+    for name in [
+        obs_names::DAAT_POSTINGS_ADVANCED_TOTAL,
+        obs_names::DAAT_CANDIDATES_PRUNED_TOTAL,
+        obs_names::DAAT_FUZZY_EXPANSIONS_TOTAL,
+        obs_names::DAAT_HEAP_EVICTIONS_TOTAL,
+        obs_names::QUERY_CACHE_HITS_TOTAL,
+        obs_names::QUERY_CACHE_MISSES_TOTAL,
+        obs_names::GRAPH_EXEC_NODES_VISITED_TOTAL,
+        obs_names::GRAPH_EXEC_EDGES_TRAVERSED_TOTAL,
+    ] {
+        create_obs::counter(name);
+    }
+    for policy in ALL_POLICIES {
+        create_obs::counter_with(obs_names::SEARCH_POLICY_TOTAL, &[("policy", policy.label())]);
+    }
+}
+
+/// Every merge policy, in [`count_policy`] index order.
+const ALL_POLICIES: [MergePolicy; 5] = [
+    MergePolicy::Neo4jFirst,
+    MergePolicy::EsFirst,
+    MergePolicy::EsOnly,
+    MergePolicy::GraphOnly,
+    MergePolicy::Interleave,
+];
+
+/// Bumps `create_search_policy_total{policy=...}` through cached
+/// handles — no registry lock on the warm search path.
+fn count_policy(policy: MergePolicy) {
+    if !create_obs::enabled() {
+        return;
+    }
+    static COUNTERS: OnceLock<[Arc<create_obs::Counter>; 5]> = OnceLock::new();
+    let counters = COUNTERS.get_or_init(|| {
+        ALL_POLICIES.map(|p| {
+            create_obs::counter_with(obs_names::SEARCH_POLICY_TOTAL, &[("policy", p.label())])
+        })
+    });
+    let idx = ALL_POLICIES
+        .iter()
+        .position(|p| *p == policy)
+        .expect("ALL_POLICIES is exhaustive");
+    counters[idx].inc();
+}
+
 impl Create {
     /// Builds an empty in-memory platform over the built-in clinical
     /// ontology.
     pub fn new(config: CreateConfig) -> Create {
+        register_metrics();
         Create {
             config,
             ontology: Arc::new(create_ontology::clinical_ontology()),
@@ -111,6 +174,7 @@ impl Create {
         dir: impl AsRef<std::path::Path>,
         config: CreateConfig,
     ) -> Result<Create, IngestError> {
+        register_metrics();
         let store = DocStore::open(dir).map_err(|e| IngestError::Store(e.to_string()))?;
         let mut system = Create {
             config,
@@ -382,8 +446,10 @@ impl Create {
             pool.parallel_map(&ranges, |_, range| {
                 let mut segment = index.segment();
                 let mut prepared = Vec::with_capacity(range.len());
+                let mut index_elapsed = std::time::Duration::ZERO;
                 for i in range.clone() {
                     let doc = prepare(i);
+                    let t0 = Instant::now();
                     segment
                         .add_document(
                             &doc.id,
@@ -394,8 +460,14 @@ impl Create {
                             ],
                         )
                         .map_err(|e| IngestError::Store(e.to_string()))?;
+                    index_elapsed += t0.elapsed();
                     prepared.push(doc);
                 }
+                create_obs::observe_stage(
+                    obs_names::PIPELINE_STAGE_SECONDS,
+                    obs_names::STAGE_INDEX_WRITE,
+                    index_elapsed.as_secs_f64(),
+                );
                 Ok((prepared, segment))
             });
         // Apply phase: single writer, deterministic document order. Shard
@@ -409,6 +481,8 @@ impl Create {
                 self.apply_prepared(doc)?;
                 count += 1;
             }
+            let _span =
+                Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_INDEX_WRITE);
             self.index
                 .merge_segment(segment)
                 .map_err(|e| IngestError::Store(e.to_string()))?;
@@ -452,6 +526,7 @@ impl Create {
                 ]),
             )
             .map_err(|e| IngestError::Store(e.to_string()))?;
+        let _span = Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_GRAPH_BUILD);
         self.graph_builder.add_report(
             &mut self.graph,
             &self.ontology,
@@ -516,18 +591,23 @@ impl Create {
             )
             .map_err(|e| IngestError::Store(e.to_string()))?;
         // 2) Property graph.
-        self.graph_builder.add_report(
-            &mut self.graph,
-            &self.ontology,
-            &ReportMeta {
-                report_id: id.to_string(),
-                title: title.to_string(),
-                year,
-                category: category.to_string(),
-            },
-            &annotations,
-        );
+        {
+            let _span =
+                Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_GRAPH_BUILD);
+            self.graph_builder.add_report(
+                &mut self.graph,
+                &self.ontology,
+                &ReportMeta {
+                    report_id: id.to_string(),
+                    title: title.to_string(),
+                    year,
+                    category: category.to_string(),
+                },
+                &annotations,
+            );
+        }
         // 3) Inverted index.
+        let _span = Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_INDEX_WRITE);
         self.index
             .add_document(
                 id,
@@ -560,30 +640,51 @@ impl Create {
     /// execution, so concurrent `search_many` workers never serialize on
     /// the cache while computing.
     pub fn search_with_policy(&self, query: &str, k: usize, policy: MergePolicy) -> Vec<SearchHit> {
+        let capture = QueryCapture::begin();
+        count_policy(policy);
         let generation = self.index_generation;
-        if let Ok(mut cache) = self.query_cache.lock() {
-            if let Some(hits) = cache.get(query, k, policy, generation) {
-                return hits;
+        let cached = self
+            .query_cache
+            .lock()
+            .ok()
+            .and_then(|mut cache| cache.get(query, k, policy, generation));
+        let hits = match cached {
+            Some(hits) => hits,
+            None => {
+                let hits = self.execute_search(query, k, policy);
+                if let Ok(mut cache) = self.query_cache.lock() {
+                    cache.insert(query, k, policy, generation, hits.clone());
+                }
+                hits
             }
-        }
-        let hits = self.execute_search(query, k, policy);
-        if let Ok(mut cache) = self.query_cache.lock() {
-            cache.insert(query, k, policy, generation, hits.clone());
-        }
+        };
+        capture.finish(query, k, policy.label());
         hits
     }
 
     /// The uncached execution path behind [`Create::search_with_policy`].
     fn execute_search(&self, query: &str, k: usize, policy: MergePolicy) -> Vec<SearchHit> {
-        let parsed = self.parse_query(query);
+        let parsed = {
+            let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_PARSE);
+            self.parse_query(query)
+        };
         let graph_hits = match policy {
             MergePolicy::EsOnly => Vec::new(),
-            _ => GraphSearcher::from_graph(&self.graph).search(&self.graph, &parsed, k),
+            _ => {
+                let _span =
+                    Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_GRAPH_SEARCH);
+                GraphSearcher::from_graph(&self.graph).search(&self.graph, &parsed, k)
+            }
         };
         let keyword_hits = match policy {
             MergePolicy::GraphOnly => Vec::new(),
-            _ => keyword_search(&self.index, query, k),
+            _ => {
+                let _span =
+                    Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_KEYWORD_SEARCH);
+                keyword_search(&self.index, query, k)
+            }
         };
+        let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_MERGE);
         crate::search::merge(graph_hits, keyword_hits, policy, k)
     }
 

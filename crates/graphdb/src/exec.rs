@@ -60,6 +60,14 @@ enum Binding {
 
 type Bindings = HashMap<String, Binding>;
 
+/// Traversal counters for one query, flushed to the obs registry in a
+/// single call when execution finishes.
+#[derive(Debug, Default)]
+struct ExecStats {
+    nodes_visited: u64,
+    edges_traversed: u64,
+}
+
 /// Executes a query.
 pub fn execute(graph: &mut PropertyGraph, query: &Query) -> Result<QueryOutput, ExecError> {
     match query {
@@ -71,15 +79,21 @@ pub fn execute(graph: &mut PropertyGraph, query: &Query) -> Result<QueryOutput, 
             distinct,
             order_by,
             limit,
-        } => execute_match(
-            graph,
-            patterns,
-            where_clause.as_ref(),
-            ret,
-            *distinct,
-            order_by.as_ref(),
-            *limit,
-        ),
+        } => {
+            let mut stats = ExecStats::default();
+            let result = execute_match(
+                graph,
+                patterns,
+                where_clause.as_ref(),
+                ret,
+                *distinct,
+                order_by.as_ref(),
+                *limit,
+                &mut stats,
+            );
+            create_obs::record_graph_exec(stats.nodes_visited, stats.edges_traversed);
+            result
+        }
     }
 }
 
@@ -133,25 +147,24 @@ fn node_matches(graph: &PropertyGraph, id: NodeId, pattern: &NodePattern) -> boo
             .all(|(k, v)| node.props.get(k) == Some(v))
 }
 
-fn seed_candidates(graph: &PropertyGraph, pattern: &NodePattern) -> Vec<NodeId> {
+fn seed_candidates(
+    graph: &PropertyGraph,
+    pattern: &NodePattern,
+    stats: &mut ExecStats,
+) -> Vec<NodeId> {
     // Best index: (label, prop) pair; then label; then full scan.
-    if let Some(label) = pattern.labels.first() {
+    let candidates: Vec<NodeId> = if let Some(label) = pattern.labels.first() {
         if let Some((k, v)) = pattern.props.first() {
-            return graph
-                .nodes_with_prop(label, k, v)
-                .into_iter()
-                .filter(|&id| node_matches(graph, id, pattern))
-                .collect();
+            graph.nodes_with_prop(label, k, v)
+        } else {
+            graph.nodes_with_label(label)
         }
-        return graph
-            .nodes_with_label(label)
-            .into_iter()
-            .filter(|&id| node_matches(graph, id, pattern))
-            .collect();
-    }
-    graph
-        .nodes()
-        .map(|n| n.id)
+    } else {
+        graph.nodes().map(|n| n.id).collect()
+    };
+    stats.nodes_visited += candidates.len() as u64;
+    candidates
+        .into_iter()
         .filter(|&id| node_matches(graph, id, pattern))
         .collect()
 }
@@ -176,6 +189,7 @@ fn match_hops(
     hops: &[(RelPattern, NodePattern)],
     bindings: &Bindings,
     out: &mut Vec<Bindings>,
+    stats: &mut ExecStats,
 ) {
     let Some(((rel, node), rest)) = hops.split_first() else {
         out.push(bindings.clone());
@@ -192,6 +206,7 @@ fn match_hops(
             candidates.push((e.id, e.source));
         }
     }
+    stats.edges_traversed += candidates.len() as u64;
     for (edge_id, next_node) in candidates {
         let edge = graph.edge(edge_id).expect("edge exists");
         if let Some(required) = &rel.rel_type {
@@ -218,7 +233,8 @@ fn match_hops(
         if !bind_node(&mut next_bindings, &node.var, next_node) {
             continue;
         }
-        match_hops(graph, next_node, rest, &next_bindings, out);
+        stats.nodes_visited += 1;
+        match_hops(graph, next_node, rest, &next_bindings, out, stats);
     }
 }
 
@@ -226,6 +242,7 @@ fn match_pattern(
     graph: &PropertyGraph,
     pattern: &PathPattern,
     seeds: &[Bindings],
+    stats: &mut ExecStats,
 ) -> Vec<Bindings> {
     let mut results = Vec::new();
     for base in seeds {
@@ -233,14 +250,14 @@ fn match_pattern(
         let candidates: Vec<NodeId> = match pattern.start.var.as_ref().and_then(|v| base.get(v)) {
             Some(Binding::Node(id)) if node_matches(graph, *id, &pattern.start) => vec![*id],
             Some(_) => Vec::new(),
-            None => seed_candidates(graph, &pattern.start),
+            None => seed_candidates(graph, &pattern.start, stats),
         };
         for start in candidates {
             let mut bindings = base.clone();
             if !bind_node(&mut bindings, &pattern.start.var, start) {
                 continue;
             }
-            match_hops(graph, start, &pattern.hops, &bindings, &mut results);
+            match_hops(graph, start, &pattern.hops, &bindings, &mut results, stats);
         }
     }
     results
@@ -313,10 +330,11 @@ fn execute_match(
     distinct: bool,
     order_by: Option<&(String, String, bool)>,
     limit: Option<usize>,
+    stats: &mut ExecStats,
 ) -> Result<QueryOutput, ExecError> {
     let mut bindings: Vec<Bindings> = vec![Bindings::new()];
     for pattern in patterns {
-        bindings = match_pattern(graph, pattern, &bindings);
+        bindings = match_pattern(graph, pattern, &bindings, stats);
         if bindings.is_empty() {
             break;
         }

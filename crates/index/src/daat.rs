@@ -29,6 +29,7 @@
 use crate::index::{Index, Posting};
 use crate::query::QueryNode;
 use crate::score::{doc_score, top_k, Entry, ScoredDoc, Scorer};
+use create_obs::DaatStats;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -48,21 +49,28 @@ pub(crate) fn search_daat(
     k: usize,
     scorer: Scorer,
 ) -> Vec<ScoredDoc> {
+    // Executor statistics, accumulated locally and flushed to the obs
+    // registry in one call at the end (a no-op without the `obs` feature).
+    let mut stats = DaatStats::default();
     let mut specs = Vec::new();
-    if flatten(index, query, &mut specs) {
-        return max_score_top_k(index, &specs, k, scorer);
+    if flatten(index, query, &mut specs, &mut stats) {
+        let hits = max_score_top_k(index, &specs, k, scorer, &mut stats);
+        create_obs::record_daat(stats);
+        return hits;
     }
     let mut scratch = Scratch::default();
-    let (scored, mut exclusions) = eval_node(index, query, scorer, &mut scratch);
+    let (scored, mut exclusions) = eval_node(index, query, scorer, &mut scratch, &mut stats);
     exclusions.sort_unstable();
     exclusions.dedup();
-    top_k(
+    let hits = top_k(
         index,
         scored
             .into_iter()
             .filter(|(d, _)| exclusions.binary_search(d).is_err()),
         k,
-    )
+    );
+    create_obs::record_daat(stats);
+    hits
 }
 
 /// One scoring cursor over a term's postings.
@@ -76,6 +84,9 @@ struct TermCursor<'a> {
     /// Fuzzy-expansion damping (`1 / (1 + distance)`), applied after the
     /// base score exactly as the exhaustive walker does.
     damp: Option<f64>,
+    /// Postings this cursor moved past (advances + seek deltas), for the
+    /// `daat_postings_advanced` counter.
+    moves: u64,
 }
 
 impl<'a> TermCursor<'a> {
@@ -92,6 +103,7 @@ impl<'a> TermCursor<'a> {
             avg_len: fi.avg_len().max(1.0),
             boost: fi.boost,
             damp,
+            moves: 0,
         })
     }
 
@@ -103,6 +115,7 @@ impl<'a> TermCursor<'a> {
     #[inline]
     fn advance(&mut self) {
         self.pos += 1;
+        self.moves += 1;
     }
 
     /// Positions the cursor at the first posting with `doc >= target`
@@ -113,6 +126,7 @@ impl<'a> TermCursor<'a> {
         if self.pos >= ps.len() || ps[self.pos].doc >= target {
             return;
         }
+        let start = self.pos;
         let mut step = 1;
         let mut lo = self.pos; // invariant: ps[lo].doc < target
         let mut hi = lo + step;
@@ -123,6 +137,7 @@ impl<'a> TermCursor<'a> {
         }
         let hi = hi.min(ps.len());
         self.pos = lo + ps[lo..hi].partition_point(|p| p.doc < target);
+        self.moves += (self.pos - start) as u64;
     }
 
     /// Term positions in the current document.
@@ -186,7 +201,12 @@ struct CursorSpec<'a> {
 /// should-only bools) into cursor specs in clause order. Returns false —
 /// leaving `out` unusable — when the tree has `must`/`must_not`/phrase
 /// structure, which takes the general path instead.
-fn flatten<'a>(index: &'a Index, node: &'a QueryNode, out: &mut Vec<CursorSpec<'a>>) -> bool {
+fn flatten<'a>(
+    index: &'a Index,
+    node: &'a QueryNode,
+    out: &mut Vec<CursorSpec<'a>>,
+    stats: &mut DaatStats,
+) -> bool {
     match node {
         QueryNode::Term { field, term } => {
             out.push(CursorSpec {
@@ -201,7 +221,9 @@ fn flatten<'a>(index: &'a Index, node: &'a QueryNode, out: &mut Vec<CursorSpec<'
             term,
             max_edits,
         } => {
-            for (expanded, dist) in QueryNode::expand_fuzzy(index, field, term, *max_edits) {
+            let expansions = QueryNode::expand_fuzzy(index, field, term, *max_edits);
+            stats.fuzzy_expansions += expansions.len() as u64;
+            for (expanded, dist) in expansions {
                 out.push(CursorSpec {
                     field,
                     term: expanded,
@@ -215,7 +237,7 @@ fn flatten<'a>(index: &'a Index, node: &'a QueryNode, out: &mut Vec<CursorSpec<'
             should,
             must_not,
         } if must.is_empty() && must_not.is_empty() => {
-            should.iter().all(|sub| flatten(index, sub, out))
+            should.iter().all(|sub| flatten(index, sub, out, stats))
         }
         _ => false,
     }
@@ -227,6 +249,7 @@ fn max_score_top_k(
     specs: &[CursorSpec],
     k: usize,
     scorer: Scorer,
+    stats: &mut DaatStats,
 ) -> Vec<ScoredDoc> {
     if k == 0 {
         return Vec::new();
@@ -282,6 +305,7 @@ fn max_score_top_k(
             && heap
                 .peek()
                 .is_some_and(|min| Entry(bound, candidate) <= min.0);
+        stats.candidates_pruned += prunable as u64;
         if !prunable {
             let mut score = 0.0;
             for c in cursors.iter() {
@@ -293,6 +317,7 @@ fn max_score_top_k(
                 heap.push(Reverse(Entry(score, candidate)));
                 if heap.len() > k {
                     heap.pop();
+                    stats.heap_evictions += 1;
                 }
                 if heap.len() == k {
                     let theta = heap.peek().expect("heap is full").0 .0;
@@ -309,6 +334,7 @@ fn max_score_top_k(
             }
         }
     }
+    stats.postings_advanced += cursors.iter().map(|c| c.moves).sum::<u64>();
     let mut entries: Vec<Entry> = heap.into_iter().map(|r| r.0).collect();
     entries.sort_by(|a, b| b.cmp(a));
     entries
@@ -362,6 +388,7 @@ fn eval_node(
     node: &QueryNode,
     scorer: Scorer,
     scratch: &mut Scratch,
+    stats: &mut DaatStats,
 ) -> (Vec<(u32, f64)>, Vec<u32>) {
     match node {
         QueryNode::Term { field, term } => (index.term_scores(field, term, scorer), Vec::new()),
@@ -370,12 +397,13 @@ fn eval_node(
             term,
             max_edits,
         } => (
-            eval_fuzzy(index, field, term, *max_edits, scorer),
+            eval_fuzzy(index, field, term, *max_edits, scorer, stats),
             Vec::new(),
         ),
-        QueryNode::Phrase { field, terms } => {
-            (eval_phrase(index, field, terms, scorer, scratch), Vec::new())
-        }
+        QueryNode::Phrase { field, terms } => (
+            eval_phrase(index, field, terms, scorer, scratch, stats),
+            Vec::new(),
+        ),
         QueryNode::Bool {
             must,
             should,
@@ -386,7 +414,7 @@ fn eval_node(
             if !must.is_empty() {
                 let mut clause_lists = Vec::with_capacity(must.len());
                 for sub in must {
-                    let (mut list, mut sub_excl) = eval_node(index, sub, scorer, scratch);
+                    let (mut list, mut sub_excl) = eval_node(index, sub, scorer, scratch, stats);
                     if !sub_excl.is_empty() {
                         sub_excl.sort_unstable();
                         sub_excl.dedup();
@@ -397,12 +425,12 @@ fn eval_node(
                 parts.push(intersect_sum(clause_lists));
             }
             for sub in should {
-                let (list, sub_excl) = eval_node(index, sub, scorer, scratch);
+                let (list, sub_excl) = eval_node(index, sub, scorer, scratch, stats);
                 parts.push(list);
                 exclusions.extend(sub_excl);
             }
             for sub in must_not {
-                neg_docs(index, sub, scratch, &mut exclusions);
+                neg_docs(index, sub, scratch, stats, &mut exclusions);
             }
             (union_sum(parts), exclusions)
         }
@@ -410,7 +438,13 @@ fn eval_node(
 }
 
 /// Documents matching a node under `must_not` (scores irrelevant).
-fn neg_docs(index: &Index, node: &QueryNode, scratch: &mut Scratch, out: &mut Vec<u32>) {
+fn neg_docs(
+    index: &Index,
+    node: &QueryNode,
+    scratch: &mut Scratch,
+    stats: &mut DaatStats,
+    out: &mut Vec<u32>,
+) {
     match node {
         QueryNode::Term { field, term } => {
             if let Some(postings) = index.postings(field, term) {
@@ -422,7 +456,9 @@ fn neg_docs(index: &Index, node: &QueryNode, scratch: &mut Scratch, out: &mut Ve
             term,
             max_edits,
         } => {
-            for (expanded, _) in QueryNode::expand_fuzzy(index, field, term, *max_edits) {
+            let expansions = QueryNode::expand_fuzzy(index, field, term, *max_edits);
+            stats.fuzzy_expansions += expansions.len() as u64;
+            for (expanded, _) in expansions {
                 if let Some(postings) = index.postings(field, expanded) {
                     out.extend(postings.iter().map(|p| p.doc));
                 }
@@ -430,14 +466,14 @@ fn neg_docs(index: &Index, node: &QueryNode, scratch: &mut Scratch, out: &mut Ve
         }
         QueryNode::Phrase { field, terms } => {
             out.extend(
-                eval_phrase(index, field, terms, scorer_for_neg(), scratch)
+                eval_phrase(index, field, terms, scorer_for_neg(), scratch, stats)
                     .into_iter()
                     .map(|(d, _)| d),
             );
         }
         QueryNode::Bool { must, should, .. } => {
             for sub in must.iter().chain(should) {
-                neg_docs(index, sub, scratch, out);
+                neg_docs(index, sub, scratch, stats, out);
             }
         }
     }
@@ -456,8 +492,11 @@ fn eval_fuzzy(
     term: &str,
     max_edits: usize,
     scorer: Scorer,
+    stats: &mut DaatStats,
 ) -> Vec<(u32, f64)> {
-    let lists: Vec<Vec<(u32, f64)>> = QueryNode::expand_fuzzy(index, field, term, max_edits)
+    let expansions = QueryNode::expand_fuzzy(index, field, term, max_edits);
+    stats.fuzzy_expansions += expansions.len() as u64;
+    let lists: Vec<Vec<(u32, f64)>> = expansions
         .into_iter()
         .map(|(expanded, dist)| {
             let damp = 1.0 / (1.0 + dist as f64);
@@ -481,6 +520,7 @@ fn eval_phrase(
     terms: &[String],
     scorer: Scorer,
     scratch: &mut Scratch,
+    stats: &mut DaatStats,
 ) -> Vec<(u32, f64)> {
     if terms.is_empty() {
         return Vec::new();
@@ -527,6 +567,7 @@ fn eval_phrase(
             c.advance();
         }
     }
+    stats.postings_advanced += cursors.iter().map(|c| c.moves).sum::<u64>();
     out
 }
 

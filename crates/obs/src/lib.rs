@@ -1,0 +1,124 @@
+//! Std-only observability layer for the CREATe workspace.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! - **Metrics registry** ([`metrics`]): atomic counters, gauges, and
+//!   fixed-bucket latency histograms with p50/p95/p99 extraction,
+//!   rendered in the Prometheus text exposition format.
+//! - **Spans and traces** ([`trace`]): `Span::enter(metric, stage)`
+//!   RAII guards that record wall time into stage histograms, a
+//!   thread-local per-request trace ID, and a per-query capture frame.
+//! - **Event + slow-query logs** ([`events`], [`slowlog`]): a
+//!   severity-filtered ring buffer of events, and a ring of queries
+//!   that crossed a configurable latency threshold, captured with
+//!   their trace ID, per-stage timings, and DAAT stats.
+//!
+//! The `enabled` feature (default on) compiles the recording paths
+//! in. Downstream crates forward it through their own `obs` feature,
+//! so `--no-default-features` builds measure the uninstrumented
+//! system — `scripts/verify.sh` gates instrumentation overhead that
+//! way. The registry itself stays live either way so `/metrics`
+//! always renders.
+
+pub mod events;
+pub mod metrics;
+pub mod names;
+pub mod slowlog;
+pub mod trace;
+
+pub use events::{log, log_level, recent_events, set_log_level, Event, Level};
+pub use metrics::{escape_label_value, Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS};
+pub use slowlog::{
+    clear_slow_queries, set_slow_query_threshold, slow_queries, slow_query_threshold,
+    SlowQueryRecord,
+};
+pub use trace::{
+    current_trace_id, next_trace_id, observe_stage, record_daat, record_graph_exec,
+    set_current_trace, DaatStats, QueryCapture, Span, TraceGuard,
+};
+
+use std::sync::Arc;
+
+/// Whether the recording paths are compiled in.
+pub const fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Global counter handle (see [`Registry::counter`]).
+pub fn counter(name: &str) -> Arc<Counter> {
+    Registry::global().counter(name)
+}
+
+/// Global labelled counter handle.
+pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    Registry::global().counter_with(name, labels)
+}
+
+/// Global gauge handle.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    Registry::global().gauge(name)
+}
+
+/// Global latency histogram handle.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    Registry::global().histogram(name)
+}
+
+/// Global labelled latency histogram handle.
+pub fn histogram_with(name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    Registry::global().histogram_with(name, labels)
+}
+
+/// Renders the global registry in Prometheus text format.
+pub fn render_prometheus() -> String {
+    Registry::global().render_prometheus()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_flag_is_visible() {
+        // The crate's own test build uses default features.
+        assert!(enabled());
+    }
+
+    #[test]
+    fn concurrent_counter_increments_sum_exactly() {
+        // Hammer one counter from the create-util work-stealing pool:
+        // every increment must land (satellite requirement).
+        let registry = Registry::new();
+        let counter = registry.counter("concurrent_total");
+        let pool = create_util::ThreadPool::new(4);
+        const TASKS: usize = 64;
+        const PER_TASK: u64 = 1_000;
+        let items: Vec<usize> = (0..TASKS).collect();
+        let results = pool.parallel_map(&items, |_, _| {
+            for _ in 0..PER_TASK {
+                counter.inc();
+            }
+            1u64
+        });
+        assert_eq!(results.len(), TASKS);
+        assert_eq!(counter.get(), TASKS as u64 * PER_TASK);
+    }
+
+    #[test]
+    fn concurrent_histogram_observations_sum_exactly() {
+        let registry = Registry::new();
+        let hist = registry.histogram("concurrent_seconds");
+        let pool = create_util::ThreadPool::new(4);
+        const TASKS: usize = 32;
+        const PER_TASK: usize = 500;
+        let items: Vec<usize> = (0..TASKS).collect();
+        pool.parallel_map(&items, |_, _| {
+            for _ in 0..PER_TASK {
+                hist.observe(0.001);
+            }
+        });
+        assert_eq!(hist.count(), (TASKS * PER_TASK) as u64);
+        let expected = 0.001 * (TASKS * PER_TASK) as f64;
+        assert!((hist.sum() - expected).abs() < 1e-6, "sum {}", hist.sum());
+    }
+}

@@ -1,0 +1,65 @@
+//! Canonical metric and stage names, shared by the instrumented
+//! crates, the `/metrics` endpoint, and the bench readouts so the
+//! series line up everywhere.
+
+/// Ingest pipeline stage latency, labelled `stage=...`.
+pub const PIPELINE_STAGE_SECONDS: &str = "create_pipeline_stage_seconds";
+/// `stage` values for [`PIPELINE_STAGE_SECONDS`], in pipeline order.
+pub const PIPELINE_STAGES: [&str; 5] = [
+    STAGE_SECTION_SPLIT,
+    STAGE_NER,
+    STAGE_TEMPORAL_RE,
+    STAGE_GRAPH_BUILD,
+    STAGE_INDEX_WRITE,
+];
+pub const STAGE_SECTION_SPLIT: &str = "section_split";
+pub const STAGE_NER: &str = "ner";
+pub const STAGE_TEMPORAL_RE: &str = "temporal_re";
+pub const STAGE_GRAPH_BUILD: &str = "graph_build";
+pub const STAGE_INDEX_WRITE: &str = "index_write";
+
+/// End-to-end facade query latency (cache hits included).
+pub const QUERY_SECONDS: &str = "create_query_seconds";
+/// Query stage latency, labelled `stage=...`.
+pub const QUERY_STAGE_SECONDS: &str = "create_query_stage_seconds";
+/// `stage` values for [`QUERY_STAGE_SECONDS`], in execution order.
+pub const QUERY_STAGES: [&str; 4] = [QSTAGE_PARSE, QSTAGE_GRAPH_SEARCH, QSTAGE_KEYWORD_SEARCH, QSTAGE_MERGE];
+pub const QSTAGE_PARSE: &str = "parse";
+pub const QSTAGE_GRAPH_SEARCH: &str = "graph_search";
+pub const QSTAGE_KEYWORD_SEARCH: &str = "keyword_search";
+pub const QSTAGE_MERGE: &str = "merge";
+
+/// DAAT executor counters (flushed once per `Index::search`).
+pub const DAAT_POSTINGS_ADVANCED_TOTAL: &str = "create_daat_postings_advanced_total";
+pub const DAAT_CANDIDATES_PRUNED_TOTAL: &str = "create_daat_candidates_pruned_total";
+pub const DAAT_FUZZY_EXPANSIONS_TOTAL: &str = "create_daat_fuzzy_expansions_total";
+pub const DAAT_HEAP_EVICTIONS_TOTAL: &str = "create_daat_heap_evictions_total";
+
+/// Query-cache counters (mirror of the `/stats` fields).
+pub const QUERY_CACHE_HITS_TOTAL: &str = "create_query_cache_hits_total";
+pub const QUERY_CACHE_MISSES_TOTAL: &str = "create_query_cache_misses_total";
+
+/// Graph executor counters (flushed once per graph query).
+pub const GRAPH_EXEC_NODES_VISITED_TOTAL: &str = "create_graph_exec_nodes_visited_total";
+pub const GRAPH_EXEC_EDGES_TRAVERSED_TOTAL: &str = "create_graph_exec_edges_traversed_total";
+
+/// Per-merge-policy search counts, labelled `policy=...`.
+pub const SEARCH_POLICY_TOTAL: &str = "create_search_policy_total";
+
+/// Poisoned-lock recoveries (server keeps serving instead of crashing).
+pub const LOCK_POISONED_TOTAL: &str = "create_lock_poisoned_total";
+
+/// HTTP layer, labelled `route=...` (+ `status=...` on the counter).
+pub const HTTP_REQUESTS_TOTAL: &str = "create_http_requests_total";
+pub const HTTP_REQUEST_SECONDS: &str = "create_http_request_seconds";
+
+/// Log events by severity, labelled `level=...`.
+pub const LOG_EVENTS_TOTAL: &str = "create_log_events_total";
+
+/// Corpus/system size gauges, refreshed at `/metrics` scrape time.
+pub const REPORTS_GAUGE: &str = "create_reports";
+pub const GRAPH_NODES_GAUGE: &str = "create_graph_nodes";
+pub const GRAPH_EDGES_GAUGE: &str = "create_graph_edges";
+pub const INDEX_TERMS_GAUGE: &str = "create_index_terms";
+pub const QUERY_CACHE_ENTRIES_GAUGE: &str = "create_query_cache_entries";
+pub const INDEX_GENERATION_GAUGE: &str = "create_index_generation";

@@ -1,0 +1,305 @@
+//! Span/tracing layer: per-request trace IDs, RAII stage spans, and
+//! the per-query capture frame the slow-query log reads from.
+//!
+//! Trace IDs are process-unique 64-bit splitmix64 outputs rendered as
+//! 16 hex chars. The *current* trace is thread-local: the server's
+//! router installs it for the duration of a request, so anything the
+//! handler logs or records downstream can attach it. Batch searches
+//! that hop onto `create-util` pool workers run without the dispatch
+//! thread's trace ID — those records carry an empty trace (documented
+//! limitation; a thread-local can't follow a work-stealing deque).
+
+use crate::metrics::Registry;
+use crate::names;
+use crate::Histogram;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn trace_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        splitmix64(nanos ^ u64::from(std::process::id()))
+    })
+}
+
+/// Generates a fresh 16-hex-char trace ID.
+pub fn next_trace_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("{:016x}", splitmix64(trace_seed().wrapping_add(n)))
+}
+
+thread_local! {
+    static CURRENT_TRACE: RefCell<Option<String>> = const { RefCell::new(None) };
+    static CAPTURE: RefCell<Option<CaptureFrame>> = const { RefCell::new(None) };
+}
+
+/// RAII guard restoring the previous thread-local trace on drop.
+pub struct TraceGuard {
+    prev: Option<String>,
+}
+
+/// Installs `id` as the current thread's trace for the guard's
+/// lifetime (requests are handled on one thread end to end).
+pub fn set_current_trace(id: String) -> TraceGuard {
+    let prev = CURRENT_TRACE.with(|t| t.borrow_mut().replace(id));
+    TraceGuard { prev }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT_TRACE.with(|t| *t.borrow_mut() = prev);
+    }
+}
+
+/// The trace ID installed on this thread, if any.
+pub fn current_trace_id() -> Option<String> {
+    CURRENT_TRACE.with(|t| t.borrow().clone())
+}
+
+/// DAAT executor statistics for one query, batched into the registry
+/// (and the active capture frame) in a single flush per search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaatStats {
+    /// Postings positions cursors moved past (advance + seek deltas).
+    pub postings_advanced: u64,
+    /// Candidates discarded by the MaxScore upper-bound test.
+    pub candidates_pruned: u64,
+    /// Dictionary terms produced by fuzzy expansion.
+    pub fuzzy_expansions: u64,
+    /// Top-k heap evictions (pops past capacity).
+    pub heap_evictions: u64,
+}
+
+impl DaatStats {
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &DaatStats) {
+        self.postings_advanced += other.postings_advanced;
+        self.candidates_pruned += other.candidates_pruned;
+        self.fuzzy_expansions += other.fuzzy_expansions;
+        self.heap_evictions += other.heap_evictions;
+    }
+}
+
+#[derive(Debug, Default)]
+struct CaptureFrame {
+    stages: Vec<(&'static str, f64)>,
+    daat: DaatStats,
+}
+
+/// Flushes one query's DAAT stats into the global counters and the
+/// active capture frame. Call once per `Index::search`.
+pub fn record_daat(stats: DaatStats) {
+    if !crate::enabled() || stats == DaatStats::default() {
+        return;
+    }
+    static COUNTERS: OnceLock<[Arc<crate::Counter>; 4]> = OnceLock::new();
+    let [advanced, pruned, fuzzy, evicted] = COUNTERS.get_or_init(|| {
+        let r = Registry::global();
+        [
+            r.counter(names::DAAT_POSTINGS_ADVANCED_TOTAL),
+            r.counter(names::DAAT_CANDIDATES_PRUNED_TOTAL),
+            r.counter(names::DAAT_FUZZY_EXPANSIONS_TOTAL),
+            r.counter(names::DAAT_HEAP_EVICTIONS_TOTAL),
+        ]
+    });
+    advanced.inc_by(stats.postings_advanced);
+    pruned.inc_by(stats.candidates_pruned);
+    fuzzy.inc_by(stats.fuzzy_expansions);
+    evicted.inc_by(stats.heap_evictions);
+    CAPTURE.with(|c| {
+        if let Some(frame) = c.borrow_mut().as_mut() {
+            frame.daat.merge(&stats);
+        }
+    });
+}
+
+/// Flushes one graph query's traversal counts into the registry.
+pub fn record_graph_exec(nodes_visited: u64, edges_traversed: u64) {
+    if !crate::enabled() || (nodes_visited == 0 && edges_traversed == 0) {
+        return;
+    }
+    static COUNTERS: OnceLock<[Arc<crate::Counter>; 2]> = OnceLock::new();
+    let [nodes, edges] = COUNTERS.get_or_init(|| {
+        let r = Registry::global();
+        [
+            r.counter(names::GRAPH_EXEC_NODES_VISITED_TOTAL),
+            r.counter(names::GRAPH_EXEC_EDGES_TRAVERSED_TOTAL),
+        ]
+    });
+    nodes.inc_by(nodes_visited);
+    edges.inc_by(edges_traversed);
+}
+
+/// Records `seconds` into `metric{stage="..."}` and appends the stage
+/// to the active capture frame (if a query capture is open).
+pub fn observe_stage(metric: &'static str, stage: &'static str, seconds: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    Registry::global()
+        .histogram_with(metric, &[("stage", stage)])
+        .observe(seconds);
+    CAPTURE.with(|c| {
+        if let Some(frame) = c.borrow_mut().as_mut() {
+            frame.stages.push((stage, seconds));
+        }
+    });
+}
+
+/// RAII stage span: records wall time into `metric{stage=...}` on drop.
+///
+/// ```
+/// let _span = create_obs::Span::enter(create_obs::names::PIPELINE_STAGE_SECONDS, "ner");
+/// // ... stage work ...
+/// ```
+#[must_use = "a span records on drop; binding it to _ drops it immediately"]
+pub struct Span {
+    start: Option<Instant>,
+    metric: &'static str,
+    stage: &'static str,
+}
+
+impl Span {
+    /// Opens a span over `metric{stage=...}`. No-op (and no clock
+    /// read) when the `enabled` feature is off.
+    pub fn enter(metric: &'static str, stage: &'static str) -> Span {
+        Span {
+            start: crate::enabled().then(Instant::now),
+            metric,
+            stage,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            observe_stage(self.metric, self.stage, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Per-query capture: times the whole query, opens a capture frame so
+/// stage spans and DAAT flushes on this thread attach to it, then on
+/// `finish` records the total latency and hands the frame to the
+/// slow-query log.
+#[must_use = "call finish(..) to record the query"]
+pub struct QueryCapture {
+    start: Option<Instant>,
+}
+
+impl QueryCapture {
+    /// Opens a capture frame on this thread. Two `Instant` reads and a
+    /// thread-local swap on the warm-cache path; everything else is
+    /// deferred to `finish`.
+    pub fn begin() -> QueryCapture {
+        if !crate::enabled() {
+            return QueryCapture { start: None };
+        }
+        CAPTURE.with(|c| *c.borrow_mut() = Some(CaptureFrame::default()));
+        QueryCapture {
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Closes the frame, records total query latency, and offers the
+    /// query to the slow-query log.
+    pub fn finish(self, query: &str, k: usize, policy: &'static str) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let total = start.elapsed();
+        let frame = CAPTURE
+            .with(|c| c.borrow_mut().take())
+            .unwrap_or_default();
+        static QUERY_HIST: OnceLock<Arc<Histogram>> = OnceLock::new();
+        QUERY_HIST
+            .get_or_init(|| Registry::global().histogram(names::QUERY_SECONDS))
+            .observe(total.as_secs_f64());
+        crate::slowlog::maybe_record(total, query, k, policy, &frame.stages, frame.daat);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_hex() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn trace_guard_restores_previous() {
+        assert_eq!(current_trace_id(), None);
+        {
+            let _outer = set_current_trace("outer".to_string());
+            assert_eq!(current_trace_id().as_deref(), Some("outer"));
+            {
+                let _inner = set_current_trace("inner".to_string());
+                assert_eq!(current_trace_id().as_deref(), Some("inner"));
+            }
+            assert_eq!(current_trace_id().as_deref(), Some("outer"));
+        }
+        assert_eq!(current_trace_id(), None);
+    }
+
+    #[test]
+    fn daat_stats_merge_adds_fields() {
+        let mut a = DaatStats {
+            postings_advanced: 1,
+            candidates_pruned: 2,
+            fuzzy_expansions: 3,
+            heap_evictions: 4,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.postings_advanced, 2);
+        assert_eq!(a.heap_evictions, 8);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn span_records_into_global_histogram() {
+        let h = Registry::global().histogram_with("test_span_seconds", &[("stage", "unit")]);
+        let before = h.count();
+        {
+            let _span = Span::enter("test_span_seconds", "unit");
+        }
+        assert_eq!(h.count(), before + 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn capture_collects_stages_and_daat() {
+        let _cap = QueryCapture::begin();
+        observe_stage("test_capture_seconds", "alpha", 0.001);
+        record_daat(DaatStats {
+            postings_advanced: 5,
+            ..DaatStats::default()
+        });
+        let frame = CAPTURE.with(|c| c.borrow_mut().take()).expect("frame open");
+        assert_eq!(frame.stages, vec![("alpha", 0.001)]);
+        assert_eq!(frame.daat.postings_advanced, 5);
+    }
+}

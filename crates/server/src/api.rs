@@ -13,13 +13,44 @@
 //! | POST   | `/submit`                     | raw-text submission (JSON) |
 //! | POST   | `/search_batch`               | batched queries, answered in parallel |
 //! | POST   | `/submit_batch`               | batched raw-text submissions, extracted in parallel |
+//! | GET    | `/metrics`                    | Prometheus text exposition of the obs registry |
+//! | GET    | `/slowlog`                    | captured slow queries (trace ID, stages, DAAT stats) |
 
 use crate::http::{Response, Status};
 use crate::router::Router;
 use create_core::{Create, MergePolicy};
 use create_docstore::json::{obj, parse_json, Value};
-use std::sync::RwLock;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::Arc;
+
+/// Counts a poisoned-lock recovery and leaves a warning in the event
+/// log. A panicking writer marks the lock poisoned, but the system's
+/// stores keep their invariants per operation — serving on is strictly
+/// better than taking the whole API down.
+fn note_poisoned() {
+    create_obs::counter(create_obs::names::LOCK_POISONED_TOTAL).inc();
+    create_obs::log(
+        create_obs::Level::Warn,
+        "server",
+        "recovered a poisoned system lock".to_string(),
+    );
+}
+
+/// Read-locks the system, recovering (and counting) poisoned locks.
+fn read_system(system: &RwLock<Create>) -> RwLockReadGuard<'_, Create> {
+    system.read().unwrap_or_else(|poisoned| {
+        note_poisoned();
+        poisoned.into_inner()
+    })
+}
+
+/// Write-locks the system, recovering (and counting) poisoned locks.
+fn write_system(system: &RwLock<Create>) -> RwLockWriteGuard<'_, Create> {
+    system.write().unwrap_or_else(|poisoned| {
+        note_poisoned();
+        poisoned.into_inner()
+    })
+}
 
 fn policy_from(name: Option<&str>) -> Result<MergePolicy, String> {
     match name.unwrap_or("neo4j_first") {
@@ -43,7 +74,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
     {
         let system = Arc::clone(&system);
         router.route("GET", "/stats", move |_, _| {
-            let guard = system.read().expect("system lock poisoned");
+            let guard = read_system(&system);
             let stats = guard.stats();
             let cache = guard.cache_stats();
             let doc = obj([
@@ -75,7 +106,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
                 Ok(p) => p,
                 Err(m) => return Response::error(Status::BadRequest, &m),
             };
-            let guard = system.read().expect("system lock poisoned");
+            let guard = read_system(&system);
             let parsed = guard.parse_query(q);
             let hits = guard.search_with_policy(q, k, policy);
             let hits_json: Vec<Value> = hits.iter().map(hit_json).collect();
@@ -120,7 +151,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
     {
         let system = Arc::clone(&system);
         router.route("GET", "/reports/:id", move |_, params| {
-            match system.read().expect("system lock poisoned").report(&params["id"]) {
+            match read_system(&system).report(&params["id"]) {
                 Some(doc) => Response::json(Status::Ok, doc.to_json()),
                 None => Response::error(Status::NotFound, "no such report"),
             }
@@ -132,7 +163,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
         router.route(
             "GET",
             "/reports/:id/annotations",
-            move |_, params| match system.read().expect("system lock poisoned").annotations(&params["id"]) {
+            move |_, params| match read_system(&system).annotations(&params["id"]) {
                 Some(brat) => Response::text(Status::Ok, brat.serialize()),
                 None => Response::error(Status::NotFound, "no annotations"),
             },
@@ -144,7 +175,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
         router.route(
             "GET",
             "/reports/:id/graph.svg",
-            move |_, params| match system.read().expect("system lock poisoned").visualize(&params["id"]) {
+            move |_, params| match read_system(&system).visualize(&params["id"]) {
                 Some(svg) => Response::svg(svg),
                 None => Response::error(Status::NotFound, "no graph for report"),
             },
@@ -169,7 +200,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
                 return Response::error(Status::BadRequest, "need id, title, text fields");
             };
             let year = parsed.get("year").and_then(Value::as_i64).unwrap_or(2020) as u32;
-            match system.write().expect("system lock poisoned").ingest_text(id, title, text, year) {
+            match write_system(&system).ingest_text(id, title, text, year) {
                 Ok(()) => Response::json(Status::Created, obj([("ingested", id.into())]).to_json()),
                 Err(e) => Response::error(Status::BadRequest, &e.to_string()),
             }
@@ -206,7 +237,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
                 Ok(p) => p,
                 Err(m) => return Response::error(Status::BadRequest, &m),
             };
-            let guard = system.read().expect("system lock poisoned");
+            let guard = read_system(&system);
             let all_hits = guard.search_many_with_policy(&queries, k, policy);
             let results: Vec<Value> = queries
                 .iter()
@@ -255,7 +286,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
                     year: doc.get("year").and_then(Value::as_i64).unwrap_or(2020) as u32,
                 });
             }
-            let mut guard = system.write().expect("system lock poisoned");
+            let mut guard = write_system(&system);
             match guard.ingest_text_batch(&submissions, 0) {
                 Ok(count) => Response::json(
                     Status::Created,
@@ -265,6 +296,76 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
             }
         });
     }
+
+    {
+        let system = Arc::clone(&system);
+        router.route("GET", "/metrics", move |_, _| {
+            // Size gauges are refreshed at scrape time — the counters
+            // and histograms maintain themselves as traffic flows.
+            {
+                let guard = read_system(&system);
+                let stats = guard.stats();
+                let cache = guard.cache_stats();
+                use create_obs::names as n;
+                create_obs::gauge(n::REPORTS_GAUGE).set(stats.reports as i64);
+                create_obs::gauge(n::GRAPH_NODES_GAUGE).set(stats.graph_nodes as i64);
+                create_obs::gauge(n::GRAPH_EDGES_GAUGE).set(stats.graph_edges as i64);
+                create_obs::gauge(n::INDEX_TERMS_GAUGE).set(stats.index_terms as i64);
+                create_obs::gauge(n::QUERY_CACHE_ENTRIES_GAUGE).set(cache.entries as i64);
+                create_obs::gauge(n::INDEX_GENERATION_GAUGE).set(cache.generation as i64);
+            }
+            let mut resp = Response::text(Status::Ok, create_obs::render_prometheus());
+            resp.content_type = "text/plain; version=0.0.4; charset=utf-8".to_string();
+            resp
+        });
+    }
+
+    router.route("GET", "/slowlog", |_, _| {
+        let entries: Vec<Value> = create_obs::slow_queries()
+            .iter()
+            .map(|r| {
+                let stages: Vec<Value> = r
+                    .stages
+                    .iter()
+                    .map(|(stage, seconds)| {
+                        obj([
+                            ("stage", stage.clone().into()),
+                            ("seconds", (*seconds).into()),
+                        ])
+                    })
+                    .collect();
+                obj([
+                    ("seq", (r.seq as i64).into()),
+                    (
+                        "trace_id",
+                        r.trace_id.clone().map(Value::String).unwrap_or(Value::Null),
+                    ),
+                    ("query", r.query.clone().into()),
+                    ("k", (r.k as i64).into()),
+                    ("policy", r.policy.clone().into()),
+                    ("total_seconds", r.total_seconds.into()),
+                    ("stages", Value::Array(stages)),
+                    (
+                        "daat",
+                        obj([
+                            ("postings_advanced", (r.daat.postings_advanced as i64).into()),
+                            ("candidates_pruned", (r.daat.candidates_pruned as i64).into()),
+                            ("fuzzy_expansions", (r.daat.fuzzy_expansions as i64).into()),
+                            ("heap_evictions", (r.daat.heap_evictions as i64).into()),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = obj([
+            (
+                "threshold_seconds",
+                create_obs::slow_query_threshold().as_secs_f64().into(),
+            ),
+            ("entries", Value::Array(entries)),
+        ]);
+        Response::json(Status::Ok, doc.to_json())
+    });
 
     router
 }
@@ -423,7 +524,7 @@ mod tests {
     fn report_endpoints() {
         let sys = system();
         let id = {
-            let guard = sys.read().expect("system lock poisoned");
+            let guard = read_system(&sys);
             let hits = guard.search("fever", 1);
             hits.first()
                 .map(|h| h.report_id.clone())
@@ -502,6 +603,129 @@ mod tests {
         // Malformed documents are rejected before touching the system.
         req.body = br#"{"documents": [{"id": "user:2"}]}"#.to_vec();
         assert_eq!(api.dispatch(&req).status, Status::BadRequest);
+    }
+
+    #[test]
+    fn stats_payload_keeps_its_key_order() {
+        // The /stats JSON is a stable surface: the serializer emits keys
+        // alphabetically, so any drift in the key set or order is a
+        // byte-level break for consumers diffing against prior releases.
+        let api = build_api(system());
+        let resp = api.dispatch(&get("/stats", &[]));
+        let text = String::from_utf8(resp.body).unwrap();
+        let expected = [
+            "cache_entries",
+            "cache_hits",
+            "cache_misses",
+            "graph_edges",
+            "graph_nodes",
+            "index_generation",
+            "index_terms",
+            "reports",
+        ];
+        let mut pos = 0;
+        for key in expected {
+            let idx = text.find(&format!("\"{key}\":")).unwrap_or_else(|| panic!("missing {key}"));
+            assert!(idx >= pos, "{key} appears out of order in {text}");
+            pos = idx;
+        }
+    }
+
+    #[test]
+    fn every_route_sets_a_unique_trace_id() {
+        let api = build_api(system());
+        let mut ids = std::collections::HashSet::new();
+        for path in ["/health", "/stats", "/metrics", "/slowlog", "/no_such_route"] {
+            let resp = api.dispatch(&get(path, &[]));
+            let id = resp
+                .header("X-Trace-Id")
+                .unwrap_or_else(|| panic!("{path} missing X-Trace-Id"))
+                .to_string();
+            assert_eq!(id.len(), 16, "{path} trace id {id:?}");
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{path}");
+            assert!(ids.insert(id), "{path} reused a trace id");
+        }
+    }
+
+    #[test]
+    fn metrics_renders_valid_exposition_after_traffic() {
+        let api = build_api(system());
+        let _ = api.dispatch(&get("/search", &[("q", "fever and cough"), ("k", "5")]));
+        let resp = api.dispatch(&get("/metrics", &[]));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4; charset=utf-8");
+        let text = String::from_utf8(resp.body).unwrap();
+        // Every pipeline stage histogram renders (pre-registered even
+        // when gold ingest skipped the text pipeline), the DAAT/cache/
+        // graph counters exist, and the size gauges carry /stats values.
+        for stage in create_obs::names::PIPELINE_STAGES {
+            assert!(
+                text.contains(&format!("create_pipeline_stage_seconds_bucket{{stage=\"{stage}\"")),
+                "missing pipeline stage {stage}"
+            );
+        }
+        for stage in create_obs::names::QUERY_STAGES {
+            assert!(
+                text.contains(&format!("create_query_stage_seconds_bucket{{stage=\"{stage}\"")),
+                "missing query stage {stage}"
+            );
+        }
+        for series in [
+            "create_daat_postings_advanced_total",
+            "create_query_cache_hits_total",
+            "create_query_cache_misses_total",
+            "create_graph_exec_nodes_visited_total",
+            "create_search_policy_total{policy=\"neo4j_first\"}",
+            "create_http_requests_total",
+            "create_query_seconds_count",
+        ] {
+            assert!(text.contains(series), "missing series {series}");
+        }
+        assert!(text.contains("create_reports 15"), "reports gauge: {text}");
+        // Exposition-format sanity: every line is a comment or
+        // `name{labels} value` with a numeric value.
+        for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "unparseable sample line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn slowlog_captures_at_threshold_zero_with_trace_id() {
+        let api = build_api(system());
+        let prior = create_obs::slow_query_threshold();
+        create_obs::set_slow_query_threshold(std::time::Duration::ZERO);
+        let q = "fever slowlog probe";
+        let resp = api.dispatch(&get("/search", &[("q", q), ("k", "5")]));
+        create_obs::set_slow_query_threshold(prior);
+        let trace = resp.header("X-Trace-Id").expect("trace header").to_string();
+        let slow = api.dispatch(&get("/slowlog", &[]));
+        assert_eq!(slow.status, Status::Ok);
+        let doc = parse_json(std::str::from_utf8(&slow.body).unwrap()).unwrap();
+        assert!(doc.get("threshold_seconds").is_some());
+        let entries = doc.get("entries").unwrap().as_array().unwrap();
+        let rec = entries
+            .iter()
+            .find(|e| e.get("query").and_then(Value::as_str) == Some(q))
+            .expect("slow query captured at threshold zero");
+        assert_eq!(
+            rec.get("trace_id").and_then(Value::as_str),
+            Some(trace.as_str()),
+            "slowlog record carries the request's trace id"
+        );
+        let stages = rec.get("stages").unwrap().as_array().unwrap();
+        assert!(
+            stages
+                .iter()
+                .any(|s| s.get("stage").and_then(Value::as_str) == Some("parse")),
+            "per-stage timings recorded: {stages:?}"
+        );
+        let daat = rec.get("daat").expect("daat stats present");
+        assert!(daat.get("postings_advanced").unwrap().as_i64().is_some());
+        assert!(rec.get("total_seconds").unwrap().as_f64().is_some());
     }
 
     #[test]

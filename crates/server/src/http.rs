@@ -84,6 +84,8 @@ pub struct Response {
     pub status: Status,
     /// Content type.
     pub content_type: String,
+    /// Extra headers `(name, value)`, serialized after `Content-Type`.
+    pub headers: Vec<(String, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
 }
@@ -94,6 +96,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json".to_string(),
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -103,6 +106,7 @@ impl Response {
         Response {
             status: Status::Ok,
             content_type: "image/svg+xml".to_string(),
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -112,6 +116,7 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8".to_string(),
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -122,16 +127,34 @@ impl Response {
         Response::json(status, doc.to_json())
     }
 
+    /// Appends a header (builder style).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// First value of `name`, compared case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Serializes the full HTTP response.
     pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status.code(),
             self.status.reason(),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        write!(out, "Connection: close\r\n\r\n")?;
         out.write_all(&self.body)?;
         out.flush()
     }

@@ -10,6 +10,9 @@ type Handler = Box<dyn Fn(&Request, &PathParams) -> Response + Send + Sync>;
 
 struct Route {
     method: String,
+    /// Original pattern string — the `route` label on HTTP metrics, so
+    /// `/reports/:id` stays one series instead of one per report.
+    pattern: String,
     segments: Vec<Segment>,
     handler: Handler,
 }
@@ -61,6 +64,7 @@ impl Router {
     ) -> &mut Self {
         self.routes.push(Route {
             method: method.to_uppercase(),
+            pattern: pattern.to_string(),
             segments: parse_segments(pattern),
             handler: Box::new(handler),
         });
@@ -69,7 +73,37 @@ impl Router {
 
     /// Dispatches a request; 404 when no path matches, 405 when the path
     /// matches under a different method.
+    ///
+    /// Every dispatch runs under a fresh trace ID (installed as the
+    /// thread's current trace for handler-side logging and slow-query
+    /// capture) and is echoed back in an `X-Trace-Id` response header —
+    /// including 404/405 responses. Latency and status land in
+    /// `create_http_request_seconds{route=...}` and
+    /// `create_http_requests_total{route=...,status=...}`, labelled by
+    /// route *pattern* so parameterized paths stay one series.
     pub fn dispatch(&self, request: &Request) -> Response {
+        let trace_id = create_obs::next_trace_id();
+        let _trace = create_obs::set_current_trace(trace_id.clone());
+        let start = std::time::Instant::now();
+        let (response, route_label) = self.dispatch_inner(request);
+        if create_obs::enabled() {
+            let status = response.status.code().to_string();
+            create_obs::counter_with(
+                create_obs::names::HTTP_REQUESTS_TOTAL,
+                &[("route", route_label), ("status", &status)],
+            )
+            .inc();
+            create_obs::histogram_with(
+                create_obs::names::HTTP_REQUEST_SECONDS,
+                &[("route", route_label)],
+            )
+            .observe(start.elapsed().as_secs_f64());
+        }
+        response.with_header("X-Trace-Id", trace_id)
+    }
+
+    /// Routing proper; returns the response plus the route-pattern label.
+    fn dispatch_inner(&self, request: &Request) -> (Response, &str) {
         let path_segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
         let mut path_matched = false;
         for route in &self.routes {
@@ -78,13 +112,16 @@ impl Router {
             };
             path_matched = true;
             if route.method == request.method {
-                return (route.handler)(request, &params);
+                return ((route.handler)(request, &params), route.pattern.as_str());
             }
         }
         if path_matched {
-            Response::error(Status::MethodNotAllowed, "method not allowed")
+            (
+                Response::error(Status::MethodNotAllowed, "method not allowed"),
+                "(method_not_allowed)",
+            )
         } else {
-            Response::error(Status::NotFound, "no such route")
+            (Response::error(Status::NotFound, "no such route"), "(unmatched)")
         }
     }
 }

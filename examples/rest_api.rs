@@ -2,7 +2,7 @@
 //! and exercise every endpoint with a plain TCP client.
 //!
 //! ```bash
-//! cargo run --release --example rest_api
+//! cargo run --release --example rest_api -- --log-level debug
 //! ```
 
 use create::core::{Create, CreateConfig};
@@ -13,6 +13,21 @@ use std::sync::RwLock;
 use std::sync::Arc;
 
 fn main() {
+    // `--log-level error|warn|info|debug` tunes the obs event log.
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--log-level" {
+            let value = args.next().unwrap_or_default();
+            match create::obs::Level::parse(&value) {
+                Some(level) => create::obs::set_log_level(level),
+                None => {
+                    eprintln!("unknown log level {value:?} (use error|warn|info|debug)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
     // Load the platform with a tagger so POST /submit works.
     let reports = Generator::new(CorpusConfig {
         num_reports: 80,
@@ -82,6 +97,8 @@ fn main() {
         "GET /search?q=chest+pain (finds the submission)",
         http_get(addr, "/search?q=chest+pain+myocardial+infarction&k=3"),
     );
+    show("GET /metrics (Prometheus exposition)", http_get(addr, "/metrics"));
+    show("GET /slowlog", http_get(addr, "/slowlog"));
 
     handle.shutdown();
     server_thread.join().expect("server thread");

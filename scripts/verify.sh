@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Offline verification gate: tier-1 build+tests, the parallel-determinism
-# suite, and a bench smoke run. No network access required.
+# suite, a bench smoke run, the observability smoke check, and the
+# instrumentation-overhead gate. No network access required.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+export GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 echo "== tier-1: release build =="
 cargo build --release
@@ -25,5 +28,58 @@ echo "== bench smoke: search throughput (200 docs) =="
 out="$(mktemp)"
 cargo run -q --release -p create-bench --bin bench_search -- 200 "$out"
 rm -f "$out"
+
+echo "== obs smoke: /metrics series from every instrumented layer =="
+metrics="$(mktemp)"
+cargo run -q --release -p create-bench --bin metrics_smoke > "$metrics"
+for series in \
+    'create_pipeline_stage_seconds_bucket{stage="section_split"' \
+    'create_pipeline_stage_seconds_bucket{stage="ner"' \
+    'create_pipeline_stage_seconds_bucket{stage="temporal_re"' \
+    'create_pipeline_stage_seconds_bucket{stage="graph_build"' \
+    'create_pipeline_stage_seconds_bucket{stage="index_write"' \
+    'create_query_stage_seconds_bucket{stage="parse"' \
+    'create_daat_postings_advanced_total' \
+    'create_query_cache_hits_total' \
+    'create_graph_exec_nodes_visited_total'
+do
+    grep -qF "$series" "$metrics" || {
+        echo "verify: FAIL — missing metrics series $series" >&2
+        exit 1
+    }
+done
+rm -f "$metrics"
+
+echo "== obs overhead gate: instrumented vs --no-default-features (300 docs) =="
+# The same bench binary, instrumentation compiled in vs out. The term and
+# bool DAAT workloads are the hot paths the obs layer touches per-cursor;
+# instrumented throughput must stay within 5% of the stripped build.
+extract_qps() { # $1=json $2=workload
+    python3 - "$1" "$2" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+for run in report["runs"]:
+    if run["workload"] == sys.argv[2]:
+        print(run["daat_qps"])
+        break
+EOF
+}
+on="$(mktemp)"; off="$(mktemp)"
+cargo run -q --release -p create-bench --bin bench_search -- 300 "$on"
+cargo run -q --release -p create-bench --no-default-features --bin bench_search -- 300 "$off"
+for workload in term bool; do
+    qps_on="$(extract_qps "$on" "$workload")"
+    qps_off="$(extract_qps "$off" "$workload")"
+    python3 - "$workload" "$qps_on" "$qps_off" <<'EOF'
+import sys
+workload, qps_on, qps_off = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+ratio = qps_on / qps_off
+print(f"  {workload}: instrumented {qps_on:.1f} q/s vs stripped {qps_off:.1f} q/s (ratio {ratio:.3f})")
+if ratio < 0.95:
+    print(f"verify: FAIL — obs overhead on {workload} exceeds 5%", file=sys.stderr)
+    sys.exit(1)
+EOF
+done
+rm -f "$on" "$off"
 
 echo "== verify: OK =="

@@ -14,6 +14,7 @@ pub use create_grobid as grobid;
 pub use create_index as index;
 pub use create_ml as ml;
 pub use create_ner as ner;
+pub use create_obs as obs;
 pub use create_ontology as ontology;
 pub use create_server as server;
 pub use create_temporal as temporal;
