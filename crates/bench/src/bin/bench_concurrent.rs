@@ -1,0 +1,194 @@
+//! Concurrent read/write harness for the snapshot-isolated facade.
+//!
+//! Pre-fills a `Create` system with half the corpus, then streams the
+//! remaining half through `ingest_gold_batch` on a writer thread while
+//! reader threads run a seeded search workload the whole time. Because
+//! reads execute against Arc-published immutable snapshots, searches
+//! never block on the writer: the harness records search throughput and
+//! latency percentiles, how many searches completed while a batch ingest
+//! was in flight, and the snapshot-publish latency histogram from the obs
+//! registry. Writes `BENCH_concurrent.json`; scripts/verify.sh gates on
+//! searches overlapping ingest and on read p99 staying well below a
+//! single batch-ingest duration.
+//!
+//! ```bash
+//! cargo run --release -p create-bench --bin bench_concurrent            # 600 docs
+//! cargo run --release -p create-bench --bin bench_concurrent -- 200 out.json
+//! ```
+
+use create_core::{Create, CreateConfig};
+use create_corpus::QuerySet;
+use create_docstore::json::obj;
+use create_util::Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const K: usize = 10;
+const READERS: usize = 4;
+const STREAM_BATCH: usize = 25;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("N must be an integer"))
+        .unwrap_or(600);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_concurrent.json".to_string());
+
+    eprintln!("generating {n} synthetic reports...");
+    let reports = create_bench::corpus(n, 1234);
+    let prefill = n / 2;
+    let (base, stream) = reports.split_at(prefill);
+
+    let system = Arc::new(Create::new(CreateConfig::default()));
+    system
+        .ingest_gold_batch(base, 0)
+        .expect("prefill ingest");
+    let query_texts: Vec<String> = QuerySet::generate(&reports, 4321, 20)
+        .queries
+        .into_iter()
+        .map(|q| q.text)
+        .collect();
+
+    // One warm pass so readers start from a realistic mixed cache state.
+    for q in &query_texts {
+        system.search(q, K);
+    }
+
+    let ingest_in_flight = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(query_texts);
+
+    eprintln!(
+        "streaming {} docs in batches of {STREAM_BATCH} under {READERS} readers...",
+        stream.len()
+    );
+    let mut readers = Vec::new();
+    for r in 0..READERS {
+        let system = Arc::clone(&system);
+        let queries = Arc::clone(&queries);
+        let ingest_in_flight = Arc::clone(&ingest_in_flight);
+        let done = Arc::clone(&done);
+        readers.push(std::thread::spawn(move || {
+            let mut rng = Rng::seed_from_u64(1000 + r as u64);
+            // (latency_nanos, started while a batch ingest was in flight)
+            let mut samples: Vec<(u64, bool)> = Vec::new();
+            while !done.load(Ordering::SeqCst) {
+                let q = &queries[rng.below(queries.len())];
+                let during = ingest_in_flight.load(Ordering::SeqCst);
+                let started = Instant::now();
+                let hits = system.search(q, K);
+                let nanos = started.elapsed().as_nanos() as u64;
+                std::hint::black_box(hits);
+                samples.push((nanos, during));
+            }
+            samples
+        }));
+    }
+
+    let writer = {
+        let system = Arc::clone(&system);
+        let ingest_in_flight = Arc::clone(&ingest_in_flight);
+        let done = Arc::clone(&done);
+        let stream: Vec<_> = stream.to_vec();
+        std::thread::spawn(move || {
+            let mut batch_secs: Vec<f64> = Vec::new();
+            for batch in stream.chunks(STREAM_BATCH) {
+                ingest_in_flight.store(true, Ordering::SeqCst);
+                let started = Instant::now();
+                system.ingest_gold_batch(batch, 2).expect("stream ingest");
+                batch_secs.push(started.elapsed().as_secs_f64());
+                ingest_in_flight.store(false, Ordering::SeqCst);
+            }
+            done.store(true, Ordering::SeqCst);
+            batch_secs
+        })
+    };
+
+    let batch_secs = writer.join().expect("writer thread");
+    let mut samples: Vec<(u64, bool)> = Vec::new();
+    for reader in readers {
+        samples.extend(reader.join().expect("reader thread"));
+    }
+
+    let searches_total = samples.len();
+    let searches_during_ingest = samples.iter().filter(|(_, during)| *during).count();
+    let window_secs: f64 = batch_secs.iter().sum();
+    let search_qps = searches_total as f64 / window_secs.max(f64::MIN_POSITIVE);
+
+    let mut latencies: Vec<u64> = samples.iter().map(|(nanos, _)| *nanos).collect();
+    latencies.sort_unstable();
+    let p50 = percentile_secs(&latencies, 0.50);
+    let p99 = percentile_secs(&latencies, 0.99);
+    let max_batch = batch_secs.iter().cloned().fold(0.0f64, f64::max);
+    let min_batch = batch_secs.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    let publishes = create_obs::counter(create_obs::names::SNAPSHOT_PUBLISH_TOTAL).get();
+    let publish_hist = create_obs::histogram(create_obs::names::SNAPSHOT_PUBLISH_SECONDS);
+
+    eprintln!(
+        "searches: {searches_total} total ({searches_during_ingest} during ingest)  \
+         {search_qps:.1} q/s  p50 {:.3} ms  p99 {:.3} ms",
+        p50 * 1e3,
+        p99 * 1e3
+    );
+    eprintln!(
+        "ingest batches: {} ({:.3}-{:.3} s each)  snapshot publishes: {publishes}",
+        batch_secs.len(),
+        min_batch,
+        max_batch
+    );
+
+    assert!(
+        searches_during_ingest > 0,
+        "no search completed while a batch ingest was in flight — reads are \
+         blocking on the writer"
+    );
+
+    let report = obj([
+        ("bench", "concurrent".into()),
+        ("meta", create_bench::meta_json(n)),
+        ("n_docs", (n as i64).into()),
+        ("corpus_seed", 1234_i64.into()),
+        ("k", (K as i64).into()),
+        ("readers", (READERS as i64).into()),
+        ("prefill_docs", (prefill as i64).into()),
+        ("stream_docs", (stream.len() as i64).into()),
+        ("stream_batch_size", (STREAM_BATCH as i64).into()),
+        ("searches_total", (searches_total as i64).into()),
+        (
+            "searches_during_ingest",
+            (searches_during_ingest as i64).into(),
+        ),
+        ("search_qps", search_qps.into()),
+        ("read_p50_seconds", p50.into()),
+        ("read_p99_seconds", p99.into()),
+        ("min_batch_ingest_seconds", min_batch.into()),
+        ("max_batch_ingest_seconds", max_batch.into()),
+        (
+            "publish_latency",
+            obj([
+                ("count", (publish_hist.count() as i64).into()),
+                ("sum_seconds", publish_hist.sum().into()),
+                ("p50_seconds", publish_hist.quantile(0.50).into()),
+                ("p95_seconds", publish_hist.quantile(0.95).into()),
+                ("p99_seconds", publish_hist.quantile(0.99).into()),
+            ]),
+        ),
+        ("snapshot_publishes", (publishes as i64).into()),
+    ]);
+    std::fs::write(&out_path, report.to_json_pretty()).expect("write bench report");
+    eprintln!("wrote {out_path}");
+}
+
+/// Nearest-rank percentile over sorted latencies, in seconds.
+fn percentile_secs(sorted_nanos: &[u64], q: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_nanos.len() as f64).ceil() as usize).clamp(1, sorted_nanos.len());
+    sorted_nanos[rank - 1] as f64 / 1e9
+}

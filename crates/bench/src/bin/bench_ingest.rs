@@ -33,7 +33,7 @@ fn main() {
 
     // Per-document baseline: the pre-batch `ingest_gold` path.
     let started = Instant::now();
-    let mut sequential = Create::new(CreateConfig::default());
+    let sequential = Create::new(CreateConfig::default());
     for r in &reports {
         sequential.ingest_gold(r).expect("sequential ingest");
     }
@@ -54,7 +54,7 @@ fn main() {
     // best-of-R per configuration to shed scheduler noise.
     let reps: usize = 3;
     {
-        let mut warmup = Create::new(CreateConfig::default());
+        let warmup = Create::new(CreateConfig::default());
         warmup
             .ingest_gold_batch(&reports, *thread_counts.last().expect("nonempty"))
             .expect("warm-up ingest");
@@ -65,7 +65,7 @@ fn main() {
         let mut best_secs = f64::INFINITY;
         for _ in 0..reps {
             let started = Instant::now();
-            let mut system = Create::new(CreateConfig::default());
+            let system = Create::new(CreateConfig::default());
             let count = system
                 .ingest_gold_batch(&reports, threads)
                 .expect("batch ingest");

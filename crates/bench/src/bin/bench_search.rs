@@ -158,7 +158,7 @@ fn main() {
     // keyword + merge). The cold pass computes and fills the cache; warm
     // passes repeat the same queries and are served from it.
     eprintln!("building Create facade for the cache workload...");
-    let mut system = Create::new(CreateConfig::default());
+    let system = Create::new(CreateConfig::default());
     system
         .ingest_gold_batch(&reports, 0)
         .expect("facade ingest");

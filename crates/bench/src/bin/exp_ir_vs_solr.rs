@@ -33,7 +33,7 @@ fn main() {
     // annotations — the realistic operating point; the gold system is the
     // upper bound where graph semantics and judgments coincide.
     eprintln!("building auto-extracted variant (training tagger)…");
-    let mut auto_system = create_core::Create::new(Default::default());
+    let auto_system = create_core::Create::new(Default::default());
     let tagger_reports = corpus(120, 424242); // disjoint seed for training
     let tagger_dataset =
         create_ner::NerDataset::from_reports(&tagger_reports, create_ner::LabelSet::ner_targets());
@@ -156,8 +156,8 @@ fn main() {
                 let node = QueryNode::Bool {
                     must: vec![],
                     should: vec![
-                        QueryNode::query_string(system.index(), "title", &q.text),
-                        QueryNode::query_string(system.index(), "body", &q.text),
+                        QueryNode::query_string(&system.index(), "title", &q.text),
+                        QueryNode::query_string(&system.index(), "body", &q.text),
                     ],
                     must_not: vec![],
                 };

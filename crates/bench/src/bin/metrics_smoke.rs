@@ -17,7 +17,7 @@ fn main() {
         "metrics_smoke must run with the obs feature (default features)"
     );
     let reports = create_bench::corpus(60, 99);
-    let mut system = Create::new(CreateConfig::default());
+    let system = Create::new(CreateConfig::default());
     system.ingest_gold_batch(&reports, 0).expect("ingest");
 
     let queries = QuerySet::generate(&reports, 7, 12).queries;

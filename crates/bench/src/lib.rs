@@ -72,7 +72,7 @@ pub fn corpus(num_reports: usize, seed: u64) -> Vec<CaseReport> {
 /// Builds a platform pre-loaded with `n` gold reports.
 pub fn loaded_create(num_reports: usize, seed: u64) -> (Create, Vec<CaseReport>) {
     let reports = corpus(num_reports, seed);
-    let mut system = Create::new(CreateConfig::default());
+    let system = Create::new(CreateConfig::default());
     for r in &reports {
         system.ingest_gold(r).expect("gold reports always ingest");
     }

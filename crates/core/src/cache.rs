@@ -9,9 +9,10 @@
 //! is treated as a miss and evicted, so a cached result can never outlive
 //! the state it was computed from — no TTLs, no explicit flushes.
 //!
-//! Eviction is least-recently-used via a monotonic touch tick; the scan is
-//! O(entries) but runs only when a full cache inserts a new key, and the
-//! capacity is small (hundreds).
+//! Eviction is least-recently-used via an intrusive doubly-linked list
+//! threaded through a slab of entries: the list head is the most recently
+//! touched entry and the tail is the eviction victim, so every cache
+//! operation — lookup, touch, insert, evict — is O(1).
 
 use crate::search::{MergePolicy, SearchHit};
 use std::collections::HashMap;
@@ -20,12 +21,20 @@ use std::sync::Arc;
 /// Cache key: everything the merged result depends on besides system state.
 type CacheKey = (String, usize, MergePolicy);
 
+/// Sentinel slab index for "no neighbour" / "empty list".
+const NIL: usize = usize::MAX;
+
+/// A slab slot: the cached result plus its recency-list links. The key is
+/// `Arc`-shared with the lookup map so it is stored once.
 struct CacheEntry {
+    key: Arc<CacheKey>,
     /// Index generation at compute time; a mismatch invalidates the entry.
     generation: u64,
-    /// Touch tick for LRU eviction.
-    last_used: u64,
     hits: Vec<SearchHit>,
+    /// More recently used neighbour (`NIL` at the head).
+    prev: usize,
+    /// Less recently used neighbour (`NIL` at the tail).
+    next: usize,
 }
 
 /// Counters and sizing for the REST stats surface.
@@ -45,10 +54,17 @@ pub struct CacheStats {
 /// mutability under `&self` search calls.
 pub(crate) struct QueryCache {
     capacity: usize,
-    tick: u64,
     hits: u64,
     misses: u64,
-    map: HashMap<CacheKey, CacheEntry>,
+    /// key → slab slot.
+    map: HashMap<Arc<CacheKey>, usize>,
+    /// Entry storage; slots are recycled through `free`, never shrunk.
+    slab: Vec<Option<CacheEntry>>,
+    free: Vec<usize>,
+    /// Most recently used slot (`NIL` when empty).
+    head: usize,
+    /// Least recently used slot — the eviction victim (`NIL` when empty).
+    tail: usize,
     /// Registry mirrors of `hits`/`misses` (`/stats` keeps reading the
     /// plain fields, so its shape is unchanged). `None` when the obs
     /// feature is compiled out.
@@ -60,10 +76,13 @@ impl QueryCache {
     pub(crate) fn new(capacity: usize) -> QueryCache {
         QueryCache {
             capacity,
-            tick: 0,
             hits: 0,
             misses: 0,
             map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             obs_hits: create_obs::enabled()
                 .then(|| create_obs::counter(create_obs::names::QUERY_CACHE_HITS_TOTAL)),
             obs_misses: create_obs::enabled()
@@ -85,6 +104,53 @@ impl QueryCache {
         }
     }
 
+    fn entry(&self, slot: usize) -> &CacheEntry {
+        self.slab[slot].as_ref().expect("linked slot is live")
+    }
+
+    fn entry_mut(&mut self, slot: usize) -> &mut CacheEntry {
+        self.slab[slot].as_mut().expect("linked slot is live")
+    }
+
+    /// Detaches `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = {
+            let e = self.entry(slot);
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.entry_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.entry_mut(n).prev = prev,
+        }
+    }
+
+    /// Attaches `slot` at the head (most recently used).
+    fn push_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let e = self.entry_mut(slot);
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = slot,
+            h => self.entry_mut(h).prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Removes `slot` entirely: list, map, and slab.
+    fn remove(&mut self, slot: usize) {
+        self.unlink(slot);
+        let entry = self.slab[slot].take().expect("removed slot was live");
+        self.map.remove(&entry.key);
+        self.free.push(slot);
+    }
+
     /// Returns the cached hits for the key when present *and* computed at
     /// `generation`; stale entries are dropped and counted as misses.
     pub(crate) fn get(
@@ -95,16 +161,16 @@ impl QueryCache {
         generation: u64,
     ) -> Option<Vec<SearchHit>> {
         let key = (query.to_string(), k, policy);
-        match self.map.get_mut(&key) {
-            Some(entry) if entry.generation == generation => {
-                self.tick += 1;
-                entry.last_used = self.tick;
-                let hits = entry.hits.clone();
+        match self.map.get(&key).copied() {
+            Some(slot) if self.entry(slot).generation == generation => {
+                self.unlink(slot);
+                self.push_front(slot);
+                let hits = self.entry(slot).hits.clone();
                 self.count_hit();
                 Some(hits)
             }
-            Some(_) => {
-                self.map.remove(&key);
+            Some(slot) => {
+                self.remove(slot);
                 self.count_miss();
                 None
             }
@@ -129,25 +195,40 @@ impl QueryCache {
             return;
         }
         let key = (query.to_string(), k, policy);
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&oldest);
-            }
+        if let Some(slot) = self.map.get(&key).copied() {
+            // Refresh in place and move to the front.
+            let e = self.entry_mut(slot);
+            e.generation = generation;
+            e.hits = hits;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
         }
-        self.tick += 1;
-        self.map.insert(
-            key,
-            CacheEntry {
-                generation,
-                last_used: self.tick,
-                hits,
-            },
-        );
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "full cache has a tail");
+            self.remove(victim);
+        }
+        let key = Arc::new(key);
+        let entry = CacheEntry {
+            key: Arc::clone(&key),
+            generation,
+            hits,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Some(entry);
+                slot
+            }
+            None => {
+                self.slab.push(Some(entry));
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
     }
 
     pub(crate) fn stats(&self, generation: u64) -> CacheStats {
@@ -221,5 +302,40 @@ mod tests {
         let mut cache = QueryCache::new(0);
         cache.insert("q", 5, MergePolicy::Neo4jFirst, 0, vec![hit("a")]);
         assert!(cache.get("q", 5, MergePolicy::Neo4jFirst, 0).is_none());
+    }
+
+    #[test]
+    fn reinsert_same_key_refreshes_in_place() {
+        let mut cache = QueryCache::new(2);
+        cache.insert("q", 5, MergePolicy::Neo4jFirst, 0, vec![hit("a")]);
+        cache.insert("q", 5, MergePolicy::Neo4jFirst, 1, vec![hit("b")]);
+        assert_eq!(cache.stats(1).entries, 1, "refresh does not duplicate");
+        let got = cache.get("q", 5, MergePolicy::Neo4jFirst, 1).unwrap();
+        assert_eq!(got[0].report_id, "b");
+    }
+
+    #[test]
+    fn eviction_order_survives_slot_recycling() {
+        // Fill, evict, refill repeatedly: the recycled slab slots must
+        // keep strict LRU order across generations of entries.
+        let mut cache = QueryCache::new(3);
+        for round in 0u64..5 {
+            for name in ["x", "y", "z"] {
+                let q = format!("{name}{round}");
+                cache.insert(&q, 1, MergePolicy::Neo4jFirst, 0, vec![]);
+            }
+            // Touch in reverse so "z{round}" is LRU, then overflow once.
+            for name in ["y", "x"] {
+                let q = format!("{name}{round}");
+                assert!(cache.get(&q, 1, MergePolicy::Neo4jFirst, 0).is_some());
+            }
+            cache.insert("overflow", 1, MergePolicy::Neo4jFirst, 0, vec![]);
+            let z = format!("z{round}");
+            assert!(
+                cache.get(&z, 1, MergePolicy::Neo4jFirst, 0).is_none(),
+                "round {round}: LRU entry evicted"
+            );
+            assert_eq!(cache.stats(0).entries, 3);
+        }
     }
 }

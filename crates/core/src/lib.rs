@@ -30,4 +30,6 @@ pub mod system;
 pub use cache::CacheStats;
 pub use pipeline::{ExtractedAnnotations, QueryIE};
 pub use search::{MergePolicy, SearchHit, SearchSource};
-pub use system::{Create, CreateConfig, IngestError, SystemStats, TextSubmission};
+pub use system::{
+    Create, CreateConfig, GraphWriteGuard, IngestError, Snapshot, SystemStats, TextSubmission,
+};

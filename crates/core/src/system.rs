@@ -1,10 +1,16 @@
 //! The [`Create`] facade — the public API of the platform.
 //!
-//! Owns the three stores (document store, property graph, inverted index),
-//! the ontology, and optionally a trained NER tagger, and exposes the
-//! user-facing operations of the demo: ingest (gold corpus entries, raw
-//! text, or PDF submissions), CREATe-IR search with a merge policy,
-//! report/annotation retrieval, and Fig-7 visualization.
+//! State is split snapshot/writer: a [`Writer`] (behind a `Mutex`) owns
+//! the mutable stores — document store, property graph, inverted index —
+//! and the ingestion pipeline, while readers run against an immutable
+//! [`Snapshot`] published through an [`ArcCell`]. Every completed write
+//! batch clones the writer's state (structurally — the stores share
+//! unchanged substructure through `Arc`s) and swaps the new snapshot in
+//! atomically, so reads never block on ingest and always observe exactly
+//! one generation. The facade exposes the user-facing operations of the
+//! demo: ingest (gold corpus entries, raw text, or PDF submissions),
+//! CREATe-IR search with a merge policy, report/annotation retrieval, and
+//! Fig-7 visualization.
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::graph_build::{GraphBuilder, ReportMeta};
@@ -12,7 +18,7 @@ use crate::pipeline::{ExtractedAnnotations, QueryIE};
 use crate::search::{keyword_search, GraphSearcher, MergePolicy, SearchHit};
 use create_annotate::{case_report_to_brat, BratDocument};
 use create_corpus::CaseReport;
-use create_docstore::{json::obj, DocStore, Filter, Value};
+use create_docstore::{json::obj, DocStore, Filter, StoreSnapshot, Value};
 use create_graphdb::PropertyGraph;
 use create_grobid::{process_pdf, ExtractedDocument, PdfError};
 use create_index::Index;
@@ -21,14 +27,15 @@ use create_ner::CrfTagger;
 use create_ontology::Ontology;
 use create_obs::names as obs_names;
 use create_obs::{QueryCapture, Span};
-use create_util::ThreadPool;
+use create_util::{ArcCell, ThreadPool};
 use create_viz::{render_svg, SvgOptions, VizEdge, VizGraph, VizNode};
 use std::collections::HashSet;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
-/// Query-cache capacity: enough for a busy console session's working set,
-/// small enough that the O(entries) LRU eviction scan never matters.
+/// Query-cache capacity: enough for a busy console session's working set;
+/// every cache operation is O(1) so the cap is purely a memory bound.
 const QUERY_CACHE_CAPACITY: usize = 256;
 
 /// System configuration.
@@ -62,18 +69,94 @@ pub struct SystemStats {
     pub index_terms: usize,
 }
 
-/// The CREATe platform.
-pub struct Create {
-    config: CreateConfig,
-    ontology: Arc<Ontology>,
+/// An immutable, internally consistent view of the platform at a single
+/// write generation.
+///
+/// Published by the writer after every completed write batch and held by
+/// readers for the duration of one operation: everything read through one
+/// snapshot — postings, graph neighbourhoods, stored documents — comes
+/// from the same moment, so a concurrent ingest can never produce a torn
+/// result. Old snapshots stay valid (and allocated) until the last reader
+/// drops its `Arc`; reclamation is plain reference counting.
+pub struct Snapshot {
+    /// Write generation this snapshot was published at; stamps query-cache
+    /// entries so results computed against it die once it is superseded.
+    generation: u64,
+    store: StoreSnapshot,
+    graph: Arc<PropertyGraph>,
+    index: Arc<Index>,
+    tagger: Option<Arc<CrfTagger>>,
+}
+
+impl Snapshot {
+    /// The write generation this snapshot was published at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The property graph as of this snapshot.
+    pub fn graph(&self) -> &PropertyGraph {
+        &self.graph
+    }
+
+    /// The inverted index as of this snapshot.
+    pub fn index(&self) -> &Index {
+        &self.index
+    }
+}
+
+/// The mutable half: owns the live stores and the ingestion pipeline.
+/// Exactly one write batch runs at a time (the facade's `Mutex` is the
+/// serialization point); nothing reads these fields outside the lock.
+struct Writer {
     store: DocStore,
     graph: PropertyGraph,
     graph_builder: GraphBuilder,
     index: Index,
-    tagger: Option<CrfTagger>,
-    /// Bumped on every write path (ingest, graph mutation); stamps query
-    /// cache entries so stale results can never be served.
-    index_generation: u64,
+    tagger: Option<Arc<CrfTagger>>,
+    /// Bumped on every write batch (ingest, graph mutation); copied into
+    /// the published snapshot and onto query-cache entries.
+    generation: u64,
+}
+
+impl Writer {
+    /// Rejects a batch containing an already-ingested or repeated id —
+    /// checked before any mutation so a failed batch leaves the system
+    /// untouched.
+    fn check_batch_ids<'a>(&self, ids: impl Iterator<Item = &'a str>) -> Result<(), IngestError> {
+        let mut seen = HashSet::new();
+        for id in ids {
+            if self.store.get("reports", id).is_some() || !seen.insert(id) {
+                return Err(IngestError::Duplicate(id.to_string()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Clones the writer's state into a fresh immutable snapshot. The clones
+/// are structural: postings lists, graph nodes, and stored documents all
+/// sit behind `Arc`s, so the cost scales with pointer-table sizes, not
+/// corpus bytes.
+fn snapshot_of(writer: &Writer) -> Arc<Snapshot> {
+    Arc::new(Snapshot {
+        generation: writer.generation,
+        store: writer.store.snapshot(),
+        graph: Arc::new(writer.graph.clone()),
+        index: Arc::new(writer.index.clone()),
+        tagger: writer.tagger.clone(),
+    })
+}
+
+/// The CREATe platform.
+pub struct Create {
+    config: CreateConfig,
+    ontology: Arc<Ontology>,
+    /// Serialized write half; every mutation locks this.
+    writer: Mutex<Writer>,
+    /// The published snapshot; every read loads this (lock-free with
+    /// respect to the writer — a load never waits on an in-flight batch).
+    current: ArcCell<Snapshot>,
     query_cache: Mutex<QueryCache>,
 }
 
@@ -83,7 +166,7 @@ impl std::fmt::Debug for Create {
         f.debug_struct("Create")
             .field("reports", &stats.reports)
             .field("graph_nodes", &stats.graph_nodes)
-            .field("tagger", &self.tagger.is_some())
+            .field("tagger", &self.current.load().tagger.is_some())
             .finish()
     }
 }
@@ -102,6 +185,7 @@ fn register_metrics() {
         create_obs::histogram_with(obs_names::QUERY_STAGE_SECONDS, &[("stage", stage)]);
     }
     create_obs::histogram(obs_names::QUERY_SECONDS);
+    create_obs::histogram(obs_names::SNAPSHOT_PUBLISH_SECONDS);
     for name in [
         obs_names::DAAT_POSTINGS_ADVANCED_TOTAL,
         obs_names::DAAT_CANDIDATES_PRUNED_TOTAL,
@@ -111,6 +195,8 @@ fn register_metrics() {
         obs_names::QUERY_CACHE_MISSES_TOTAL,
         obs_names::GRAPH_EXEC_NODES_VISITED_TOTAL,
         obs_names::GRAPH_EXEC_EDGES_TRAVERSED_TOTAL,
+        obs_names::SNAPSHOT_PUBLISH_TOTAL,
+        obs_names::OPEN_MALFORMED_FIELDS_TOTAL,
     ] {
         create_obs::counter(name);
     }
@@ -147,20 +233,54 @@ fn count_policy(policy: MergePolicy) {
     counters[idx].inc();
 }
 
+/// Write access to the property graph, for the Cypher executor (which may
+/// `CREATE`). Holds the writer lock for its lifetime; dropping the guard
+/// bumps the generation (the borrow may have written) and publishes a
+/// fresh snapshot so readers observe the mutation.
+pub struct GraphWriteGuard<'a> {
+    system: &'a Create,
+    writer: MutexGuard<'a, Writer>,
+}
+
+impl Deref for GraphWriteGuard<'_> {
+    type Target = PropertyGraph;
+    fn deref(&self) -> &PropertyGraph {
+        &self.writer.graph
+    }
+}
+
+impl DerefMut for GraphWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut PropertyGraph {
+        &mut self.writer.graph
+    }
+}
+
+impl Drop for GraphWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.writer.generation += 1;
+        self.system.publish(&self.writer);
+    }
+}
+
 impl Create {
     /// Builds an empty in-memory platform over the built-in clinical
     /// ontology.
     pub fn new(config: CreateConfig) -> Create {
         register_metrics();
-        Create {
-            config,
-            ontology: Arc::new(create_ontology::clinical_ontology()),
+        let writer = Writer {
             store: DocStore::in_memory(),
             graph: PropertyGraph::new(),
             graph_builder: GraphBuilder::new(),
             index: Index::clinical(),
             tagger: None,
-            index_generation: 0,
+            generation: 0,
+        };
+        let current = ArcCell::new(snapshot_of(&writer));
+        Create {
+            config,
+            ontology: Arc::new(create_ontology::clinical_ontology()),
+            writer: Mutex::new(writer),
+            current,
             query_cache: Mutex::new(QueryCache::new(QUERY_CACHE_CAPACITY)),
         }
     }
@@ -176,18 +296,16 @@ impl Create {
     ) -> Result<Create, IngestError> {
         register_metrics();
         let store = DocStore::open(dir).map_err(|e| IngestError::Store(e.to_string()))?;
-        let mut system = Create {
-            config,
-            ontology: Arc::new(create_ontology::clinical_ontology()),
+        let ontology = Arc::new(create_ontology::clinical_ontology());
+        let mut writer = Writer {
             store,
             graph: PropertyGraph::new(),
             graph_builder: GraphBuilder::new(),
             index: Index::clinical(),
             tagger: None,
-            index_generation: 0,
-            query_cache: Mutex::new(QueryCache::new(QUERY_CACHE_CAPACITY)),
+            generation: 0,
         };
-        let reports = system.store.find("reports", &Filter::All);
+        let reports = writer.store.find("reports", &Filter::All);
         for doc in reports {
             let (Some(id), Some(title), Some(text)) = (
                 doc.get("_id").and_then(Value::as_str),
@@ -196,13 +314,31 @@ impl Create {
             ) else {
                 return Err(IngestError::Store("malformed stored report".to_string()));
             };
-            let year = doc.get("year").and_then(Value::as_i64).unwrap_or(2020) as u32;
+            let year = match doc.get("year").and_then(Value::as_i64) {
+                Some(y) => y as u32,
+                None => {
+                    // A recoverable corruption: the report is still usable,
+                    // but the silent default must be visible to operators.
+                    if create_obs::enabled() {
+                        create_obs::counter(obs_names::OPEN_MALFORMED_FIELDS_TOTAL).inc();
+                        create_obs::log(
+                            create_obs::Level::Warn,
+                            "create-core",
+                            format!(
+                                "stored report {id:?} has a missing or malformed \"year\"; \
+                                 defaulting to 2020"
+                            ),
+                        );
+                    }
+                    2020
+                }
+            };
             let category = doc
                 .get("category")
                 .and_then(Value::as_str)
                 .unwrap_or("other")
                 .to_string();
-            let annotations = system
+            let annotations = writer
                 .store
                 .get("extractions", id)
                 .and_then(|e| {
@@ -210,9 +346,9 @@ impl Create {
                         .and_then(ExtractedAnnotations::from_json)
                 })
                 .unwrap_or_default();
-            system.graph_builder.add_report(
-                &mut system.graph,
-                &system.ontology,
+            writer.graph_builder.add_report(
+                &mut writer.graph,
+                &ontology,
                 &ReportMeta {
                     report_id: id.to_string(),
                     title: title.to_string(),
@@ -221,7 +357,7 @@ impl Create {
                 },
                 &annotations,
             );
-            system
+            writer
                 .index
                 .add_document(
                     id,
@@ -229,13 +365,60 @@ impl Create {
                 )
                 .map_err(|e| IngestError::Store(e.to_string()))?;
         }
-        Ok(system)
+        let current = ArcCell::new(snapshot_of(&writer));
+        Ok(Create {
+            config,
+            ontology,
+            writer: Mutex::new(writer),
+            current,
+            query_cache: Mutex::new(QueryCache::new(QUERY_CACHE_CAPACITY)),
+        })
+    }
+
+    /// Locks the write half, recovering (and counting) poisoned locks: a
+    /// panicking batch leaves per-operation invariants intact, so serving
+    /// on is strictly better than wedging every future write.
+    fn lock_writer(&self) -> MutexGuard<'_, Writer> {
+        self.writer.lock().unwrap_or_else(|poisoned| {
+            if create_obs::enabled() {
+                create_obs::counter(obs_names::LOCK_POISONED_TOTAL).inc();
+                create_obs::log(
+                    create_obs::Level::Warn,
+                    "create-core",
+                    "recovered a poisoned writer lock".to_string(),
+                );
+            }
+            poisoned.into_inner()
+        })
+    }
+
+    /// Builds an immutable [`Snapshot`] from the writer's state and swaps
+    /// it in as the published view. Readers that loaded the previous
+    /// snapshot keep using it undisturbed; its memory is reclaimed when
+    /// the last `Arc` drops.
+    fn publish(&self, writer: &Writer) {
+        let started = Instant::now();
+        self.current.store(snapshot_of(writer));
+        if create_obs::enabled() {
+            create_obs::counter(obs_names::SNAPSHOT_PUBLISH_TOTAL).inc();
+            create_obs::histogram(obs_names::SNAPSHOT_PUBLISH_SECONDS)
+                .observe(started.elapsed().as_secs_f64());
+        }
+    }
+
+    /// The currently published snapshot. Everything read through one
+    /// snapshot is mutually consistent — it observes exactly one
+    /// generation, no matter what the writer does concurrently.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.current.load()
     }
 
     /// Persists the document store (reports, annotations, extractions) to
     /// its backing directory. No-op for in-memory instances.
     pub fn flush(&self) -> Result<(), IngestError> {
-        self.store
+        let writer = self.lock_writer();
+        writer
+            .store
             .flush()
             .map_err(|e| IngestError::Store(e.to_string()))
     }
@@ -247,36 +430,47 @@ impl Create {
     }
 
     /// Attaches a trained NER tagger, enabling automatic extraction for
-    /// raw-text/PDF ingestion and model-based query parsing.
-    pub fn attach_tagger(&mut self, tagger: CrfTagger) {
-        self.tagger = Some(tagger);
+    /// raw-text/PDF ingestion and model-based query parsing. Published
+    /// without a generation bump: cached results stay valid, exactly as
+    /// reads observed tagger attachment before the snapshot split.
+    pub fn attach_tagger(&self, tagger: CrfTagger) {
+        let mut writer = self.lock_writer();
+        writer.tagger = Some(Arc::new(tagger));
+        self.publish(&writer);
     }
 
-    /// Read-only access to the property graph (for Cypher-level queries
-    /// and diagnostics).
-    pub fn graph(&self) -> &PropertyGraph {
-        &self.graph
+    /// The property graph as of the current snapshot (for Cypher-level
+    /// read queries and diagnostics).
+    pub fn graph(&self) -> Arc<PropertyGraph> {
+        Arc::clone(&self.current.load().graph)
     }
 
     /// Mutable graph access (for the Cypher executor which may CREATE).
-    /// Conservatively invalidates the query cache — the borrow may write.
-    pub fn graph_mut(&mut self) -> &mut PropertyGraph {
-        self.index_generation += 1;
-        &mut self.graph
+    /// The returned guard serializes against all other writes and
+    /// publishes a generation-bumped snapshot on drop — which also
+    /// conservatively invalidates the query cache, since the borrow may
+    /// have written.
+    pub fn graph_mut(&self) -> GraphWriteGuard<'_> {
+        GraphWriteGuard {
+            system: self,
+            writer: self.lock_writer(),
+        }
     }
 
-    /// Read-only access to the inverted index.
-    pub fn index(&self) -> &Index {
-        &self.index
+    /// The inverted index as of the current snapshot.
+    pub fn index(&self) -> Arc<Index> {
+        Arc::clone(&self.current.load().index)
     }
 
     /// Ingests a gold-annotated corpus report (the curated literature
     /// path): stores the document and its BRAT export, projects the graph,
     /// and indexes the text.
-    pub fn ingest_gold(&mut self, report: &CaseReport) -> Result<(), IngestError> {
+    pub fn ingest_gold(&self, report: &CaseReport) -> Result<(), IngestError> {
         let annotations = ExtractedAnnotations::from_gold(report);
         let brat = case_report_to_brat(report);
+        let mut writer = self.lock_writer();
         self.ingest_common(
+            &mut writer,
             &report.id,
             &report.title,
             &report.text,
@@ -290,31 +484,53 @@ impl Create {
                 .collect::<Vec<_>>(),
             annotations,
             Some(brat),
-        )
+        )?;
+        self.publish(&writer);
+        Ok(())
     }
 
     /// Ingests raw text with automatic extraction (requires a tagger).
     pub fn ingest_text(
-        &mut self,
+        &self,
         id: &str,
         title: &str,
         text: &str,
         year: u32,
     ) -> Result<(), IngestError> {
-        let tagger = self.tagger.as_ref().ok_or(IngestError::NoTagger)?;
-        let annotations = ExtractedAnnotations::from_text(text, tagger, &self.ontology);
+        let mut writer = self.lock_writer();
+        self.ingest_text_locked(&mut writer, id, title, text, year)?;
+        self.publish(&writer);
+        Ok(())
+    }
+
+    /// The raw-text pipeline body, run under an already-held writer lock
+    /// (shared by [`Create::ingest_text`] and [`Create::ingest_pdf`] so
+    /// the PDF path can fold its metadata update into the same publish).
+    fn ingest_text_locked(
+        &self,
+        writer: &mut Writer,
+        id: &str,
+        title: &str,
+        text: &str,
+        year: u32,
+    ) -> Result<(), IngestError> {
+        let tagger = writer.tagger.clone().ok_or(IngestError::NoTagger)?;
+        let annotations = ExtractedAnnotations::from_text(text, &tagger, &self.ontology);
         let brat = annotations.to_brat();
-        self.ingest_common(id, title, text, year, "user", &[], annotations, Some(brat))
+        self.ingest_common(writer, id, title, text, year, "user", &[], annotations, Some(brat))
     }
 
     /// Ingests a PDF submission: Grobid-style extraction, then the raw
     /// text path. Returns the extracted header/sections for display.
-    pub fn ingest_pdf(&mut self, id: &str, bytes: &[u8]) -> Result<ExtractedDocument, IngestError> {
+    pub fn ingest_pdf(&self, id: &str, bytes: &[u8]) -> Result<ExtractedDocument, IngestError> {
         let doc = process_pdf(bytes).map_err(IngestError::Pdf)?;
         let body = doc.body_text();
-        self.ingest_text(id, &doc.title, &body, 2020)?;
-        // Attach extracted metadata to the stored document.
-        self.store
+        let mut writer = self.lock_writer();
+        self.ingest_text_locked(&mut writer, id, &doc.title, &body, 2020)?;
+        // Attach extracted metadata to the stored document before the
+        // publish so the snapshot includes it.
+        writer
+            .store
             .update(
                 "reports",
                 &Filter::eq("_id", id),
@@ -333,6 +549,7 @@ impl Create {
                 ]),
             )
             .map_err(|e| IngestError::Store(e.to_string()))?;
+        self.publish(&writer);
         Ok(doc)
     }
 
@@ -346,17 +563,19 @@ impl Create {
     /// (document store, property graph) and merges the segments in shard
     /// order. The result is identical to calling [`Create::ingest_gold`]
     /// per report, for any thread count: same [`SystemStats`], same graph,
-    /// same postings.
+    /// same postings. Searches keep running against the previous snapshot
+    /// throughout; the batch becomes visible in one publish at the end.
     ///
     /// The whole batch is validated for duplicates up front, before any
     /// store mutation. Returns the number of reports ingested.
     pub fn ingest_gold_batch(
-        &mut self,
+        &self,
         reports: &[CaseReport],
         threads: usize,
     ) -> Result<usize, IngestError> {
-        self.check_batch_ids(reports.iter().map(|r| r.id.as_str()))?;
-        self.ingest_batch_prepared(reports.len(), threads, |i| {
+        let mut writer = self.lock_writer();
+        writer.check_batch_ids(reports.iter().map(|r| r.id.as_str()))?;
+        let count = self.ingest_batch_prepared(&mut writer, reports.len(), threads, |i| {
             let report = &reports[i];
             PreparedDoc {
                 id: report.id.clone(),
@@ -368,7 +587,9 @@ impl Create {
                 annotations: ExtractedAnnotations::from_gold(report),
                 brat: case_report_to_brat(report),
             }
-        })
+        })?;
+        self.publish(&writer);
+        Ok(count)
     }
 
     /// Parallel batch ingestion of raw-text submissions with automatic
@@ -377,17 +598,15 @@ impl Create {
     /// phase is identical to [`Create::ingest_gold_batch`] and equally
     /// deterministic.
     pub fn ingest_text_batch(
-        &mut self,
+        &self,
         docs: &[TextSubmission],
         threads: usize,
     ) -> Result<usize, IngestError> {
-        if self.tagger.is_none() {
-            return Err(IngestError::NoTagger);
-        }
-        self.check_batch_ids(docs.iter().map(|d| d.id.as_str()))?;
-        let tagger = self.tagger.take().expect("checked above");
+        let mut writer = self.lock_writer();
+        let tagger = writer.tagger.clone().ok_or(IngestError::NoTagger)?;
+        writer.check_batch_ids(docs.iter().map(|d| d.id.as_str()))?;
         let ontology = Arc::clone(&self.ontology);
-        let result = self.ingest_batch_prepared(docs.len(), threads, |i| {
+        let count = self.ingest_batch_prepared(&mut writer, docs.len(), threads, |i| {
             let doc = &docs[i];
             let annotations = ExtractedAnnotations::from_text(&doc.text, &tagger, &ontology);
             let brat = annotations.to_brat();
@@ -401,31 +620,16 @@ impl Create {
                 annotations,
                 brat,
             }
-        });
-        self.tagger = Some(tagger);
-        result
-    }
-
-    /// Rejects a batch containing an already-ingested or repeated id —
-    /// checked before any mutation so a failed batch leaves the system
-    /// untouched.
-    fn check_batch_ids<'a>(
-        &self,
-        ids: impl Iterator<Item = &'a str>,
-    ) -> Result<(), IngestError> {
-        let mut seen = HashSet::new();
-        for id in ids {
-            if self.store.get("reports", id).is_some() || !seen.insert(id) {
-                return Err(IngestError::Duplicate(id.to_string()));
-            }
-        }
-        Ok(())
+        })?;
+        self.publish(&writer);
+        Ok(count)
     }
 
     /// The shared batch machinery: fan `prepare` across shards on the
     /// global pool, then apply results single-writer in document order.
     fn ingest_batch_prepared<F>(
-        &mut self,
+        &self,
+        writer: &mut Writer,
         n: usize,
         threads: usize,
         prepare: F,
@@ -441,7 +645,7 @@ impl Create {
         let ranges = shard_ranges(n, shards);
         // Parallel phase: extraction + shard-local segment build. Only
         // immutable state is shared; each shard owns its outputs.
-        let index = &self.index;
+        let index = &writer.index;
         let outputs: Vec<Result<(Vec<PreparedDoc>, IndexSegment), IngestError>> =
             pool.parallel_map(&ranges, |_, range| {
                 let mut segment = index.segment();
@@ -478,22 +682,23 @@ impl Create {
         for output in outputs {
             let (prepared, segment) = output?;
             for doc in prepared {
-                self.apply_prepared(doc)?;
+                self.apply_prepared(writer, doc)?;
                 count += 1;
             }
             let _span =
                 Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_INDEX_WRITE);
-            self.index
+            writer
+                .index
                 .merge_segment(segment)
                 .map_err(|e| IngestError::Store(e.to_string()))?;
         }
-        self.index_generation += 1;
+        writer.generation += 1;
         Ok(count)
     }
 
     /// Applies one prepared document to the store and graph (everything
     /// but the index, which arrives via segment merge).
-    fn apply_prepared(&mut self, doc: PreparedDoc) -> Result<(), IngestError> {
+    fn apply_prepared(&self, writer: &mut Writer, doc: PreparedDoc) -> Result<(), IngestError> {
         let stored = obj([
             ("_id", doc.id.clone().into()),
             ("title", doc.title.clone().into()),
@@ -505,10 +710,12 @@ impl Create {
                 Value::Array(doc.authors.into_iter().map(Value::String).collect()),
             ),
         ]);
-        self.store
+        writer
+            .store
             .insert("reports", stored)
             .map_err(|e| IngestError::Store(e.to_string()))?;
-        self.store
+        writer
+            .store
             .insert(
                 "annotations",
                 obj([
@@ -517,7 +724,8 @@ impl Create {
                 ]),
             )
             .map_err(|e| IngestError::Store(e.to_string()))?;
-        self.store
+        writer
+            .store
             .insert(
                 "extractions",
                 obj([
@@ -527,8 +735,8 @@ impl Create {
             )
             .map_err(|e| IngestError::Store(e.to_string()))?;
         let _span = Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_GRAPH_BUILD);
-        self.graph_builder.add_report(
-            &mut self.graph,
+        writer.graph_builder.add_report(
+            &mut writer.graph,
             &self.ontology,
             &ReportMeta {
                 report_id: doc.id,
@@ -543,7 +751,8 @@ impl Create {
 
     #[allow(clippy::too_many_arguments)]
     fn ingest_common(
-        &mut self,
+        &self,
+        writer: &mut Writer,
         id: &str,
         title: &str,
         text: &str,
@@ -553,7 +762,7 @@ impl Create {
         annotations: ExtractedAnnotations,
         brat: Option<BratDocument>,
     ) -> Result<(), IngestError> {
-        if self.store.get("reports", id).is_some() {
+        if writer.store.get("reports", id).is_some() {
             return Err(IngestError::Duplicate(id.to_string()));
         }
         // 1) Document store.
@@ -573,18 +782,21 @@ impl Create {
                 ),
             ),
         ]);
-        self.store
+        writer
+            .store
             .insert("reports", doc)
             .map_err(|e| IngestError::Store(e.to_string()))?;
         if let Some(brat) = &brat {
-            self.store
+            writer
+                .store
                 .insert(
                     "annotations",
                     obj([("_id", id.into()), ("ann", brat.serialize().into())]),
                 )
                 .map_err(|e| IngestError::Store(e.to_string()))?;
         }
-        self.store
+        writer
+            .store
             .insert(
                 "extractions",
                 obj([("_id", id.into()), ("extraction", annotations.to_json())]),
@@ -594,8 +806,8 @@ impl Create {
         {
             let _span =
                 Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_GRAPH_BUILD);
-            self.graph_builder.add_report(
-                &mut self.graph,
+            writer.graph_builder.add_report(
+                &mut writer.graph,
                 &self.ontology,
                 &ReportMeta {
                     report_id: id.to_string(),
@@ -608,20 +820,27 @@ impl Create {
         }
         // 3) Inverted index.
         let _span = Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_INDEX_WRITE);
-        self.index
+        writer
+            .index
             .add_document(
                 id,
                 &[("title", title), ("body", text), ("body_ngram", text)],
             )
             .map_err(|e| IngestError::Store(e.to_string()))?;
-        self.index_generation += 1;
+        writer.generation += 1;
         Ok(())
     }
 
     /// Parses a query through the IE pipeline (model-based when a tagger is
     /// attached, gazetteer otherwise).
     pub fn parse_query(&self, query: &str) -> QueryIE {
-        match &self.tagger {
+        self.parse_query_against(&self.current.load(), query)
+    }
+
+    /// Query parsing against an explicit snapshot's tagger, so search and
+    /// parse see the same state.
+    fn parse_query_against(&self, snapshot: &Snapshot, query: &str) -> QueryIE {
+        match &snapshot.tagger {
             Some(t) => QueryIE::parse(query, t, &self.ontology),
             None => QueryIE::parse_gazetteer(query, &self.ontology),
         }
@@ -634,15 +853,18 @@ impl Create {
 
     /// CREATe-IR search with an explicit merge policy (Fig. 6 ablation).
     ///
-    /// Results are cached by `(query, k, policy)` and stamped with the
-    /// current index generation; any ingest or graph write invalidates
-    /// them wholesale (see [`crate::cache`]). The lock is dropped during
-    /// execution, so concurrent `search_many` workers never serialize on
-    /// the cache while computing.
+    /// The whole search runs against one loaded snapshot, so a concurrent
+    /// ingest can never produce a torn result (graph hits from one
+    /// generation, keyword hits from another). Results are cached by
+    /// `(query, k, policy)` and stamped with the snapshot's generation;
+    /// any publish invalidates them wholesale on first touch (see
+    /// [`crate::cache`]). The cache lock is dropped during execution, so
+    /// concurrent `search_many` workers never serialize while computing.
     pub fn search_with_policy(&self, query: &str, k: usize, policy: MergePolicy) -> Vec<SearchHit> {
         let capture = QueryCapture::begin();
         count_policy(policy);
-        let generation = self.index_generation;
+        let snapshot = self.current.load();
+        let generation = snapshot.generation;
         let cached = self
             .query_cache
             .lock()
@@ -651,7 +873,7 @@ impl Create {
         let hits = match cached {
             Some(hits) => hits,
             None => {
-                let hits = self.execute_search(query, k, policy);
+                let hits = self.execute_search(&snapshot, query, k, policy);
                 if let Ok(mut cache) = self.query_cache.lock() {
                     cache.insert(query, k, policy, generation, hits.clone());
                 }
@@ -662,18 +884,25 @@ impl Create {
         hits
     }
 
-    /// The uncached execution path behind [`Create::search_with_policy`].
-    fn execute_search(&self, query: &str, k: usize, policy: MergePolicy) -> Vec<SearchHit> {
+    /// The uncached execution path behind [`Create::search_with_policy`],
+    /// reading exclusively from the given snapshot.
+    fn execute_search(
+        &self,
+        snapshot: &Snapshot,
+        query: &str,
+        k: usize,
+        policy: MergePolicy,
+    ) -> Vec<SearchHit> {
         let parsed = {
             let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_PARSE);
-            self.parse_query(query)
+            self.parse_query_against(snapshot, query)
         };
         let graph_hits = match policy {
             MergePolicy::EsOnly => Vec::new(),
             _ => {
                 let _span =
                     Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_GRAPH_SEARCH);
-                GraphSearcher::from_graph(&self.graph).search(&self.graph, &parsed, k)
+                GraphSearcher::from_graph(&snapshot.graph).search(&snapshot.graph, &parsed, k)
             }
         };
         let keyword_hits = match policy {
@@ -681,7 +910,7 @@ impl Create {
             _ => {
                 let _span =
                     Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_KEYWORD_SEARCH);
-                keyword_search(&self.index, query, k)
+                keyword_search(&snapshot.index, query, k)
             }
         };
         let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_MERGE);
@@ -711,31 +940,32 @@ impl Create {
 
     /// Fetches a stored report document.
     pub fn report(&self, id: &str) -> Option<Value> {
-        self.store.get("reports", id)
+        self.current.load().store.get("reports", id).cloned()
     }
 
     /// Fetches a report's BRAT annotation export.
     pub fn annotations(&self, id: &str) -> Option<BratDocument> {
-        let doc = self.store.get("annotations", id)?;
+        let snapshot = self.current.load();
+        let doc = snapshot.store.get("annotations", id)?;
         let ann = doc.get("ann")?.as_str()?;
         BratDocument::parse(ann).ok()
     }
 
     /// Renders the Fig-7 network-graph visualization of a report's events.
     pub fn visualize(&self, id: &str) -> Option<String> {
-        let report_node = self
-            .graph
+        let snapshot = self.current.load();
+        let graph = &snapshot.graph;
+        let report_node = graph
             .nodes_with_label("Report")
             .into_iter()
             .find(|&n| {
-                self.graph
+                graph
                     .node(n)
                     .and_then(|node| node.props.get("reportId"))
                     .and_then(|v| v.as_str())
                     .is_some_and(|rid| rid == id)
             })?;
-        let events: Vec<_> = self
-            .graph
+        let events: Vec<_> = graph
             .outgoing(report_node)
             .into_iter()
             .filter(|e| e.rel_type == "CONTAINS")
@@ -747,7 +977,7 @@ impl Create {
         let mut viz = VizGraph::default();
         let mut node_index = std::collections::HashMap::new();
         for &ev in &events {
-            let node = self.graph.node(ev)?;
+            let node = graph.node(ev)?;
             node_index.insert(ev, viz.nodes.len());
             viz.nodes.push(VizNode {
                 label: node
@@ -765,7 +995,7 @@ impl Create {
             });
         }
         for &ev in &events {
-            for edge in self.graph.outgoing(ev) {
+            for edge in graph.outgoing(ev) {
                 if edge.rel_type != "BEFORE" && edge.rel_type != "OVERLAP" {
                     continue;
                 }
@@ -786,26 +1016,28 @@ impl Create {
     /// Query-cache counters (hits, misses, live entries) and the current
     /// index generation, for the REST stats surface.
     pub fn cache_stats(&self) -> CacheStats {
+        let generation = self.current.load().generation;
         match self.query_cache.lock() {
-            Ok(cache) => cache.stats(self.index_generation),
+            Ok(cache) => cache.stats(generation),
             Err(_) => CacheStats {
                 hits: 0,
                 misses: 0,
                 entries: 0,
-                generation: self.index_generation,
+                generation,
             },
         }
     }
 
-    /// System counters.
+    /// System counters, read from one snapshot (mutually consistent).
     pub fn stats(&self) -> SystemStats {
+        let snapshot = self.current.load();
         SystemStats {
-            reports: self.store.count("reports", &Filter::All),
-            graph_nodes: self.graph.node_count(),
-            graph_edges: self.graph.edge_count(),
-            index_terms: self.index.vocabulary_size("body")
-                + self.index.vocabulary_size("title")
-                + self.index.vocabulary_size("body_ngram"),
+            reports: snapshot.store.count("reports", &Filter::All),
+            graph_nodes: snapshot.graph.node_count(),
+            graph_edges: snapshot.graph.edge_count(),
+            index_terms: snapshot.index.vocabulary_size("body")
+                + snapshot.index.vocabulary_size("title")
+                + snapshot.index.vocabulary_size("body_ngram"),
         }
     }
 }
@@ -883,7 +1115,7 @@ mod tests {
             ..Default::default()
         });
         let reports = generator.generate();
-        let mut system = Create::new(CreateConfig::default());
+        let system = Create::new(CreateConfig::default());
         for r in &reports {
             system.ingest_gold(r).unwrap();
         }
@@ -903,7 +1135,7 @@ mod tests {
 
     #[test]
     fn duplicate_ingest_rejected() {
-        let (mut system, reports) = loaded_system(1, 2);
+        let (system, reports) = loaded_system(1, 2);
         assert!(matches!(
             system.ingest_gold(&reports[0]),
             Err(IngestError::Duplicate(_))
@@ -971,7 +1203,7 @@ mod tests {
 
     #[test]
     fn pdf_ingestion_extracts_metadata() {
-        let mut system = Create::new(CreateConfig::default());
+        let system = Create::new(CreateConfig::default());
         // A gazetteer-less system cannot auto-extract; attach a tiny tagger.
         let reports = Generator::new(CorpusConfig {
             num_reports: 15,
@@ -1021,19 +1253,121 @@ mod tests {
 
     #[test]
     fn text_ingest_without_tagger_errors() {
-        let mut system = Create::new(CreateConfig::default());
+        let system = Create::new(CreateConfig::default());
         assert!(matches!(
             system.ingest_text("x", "t", "body", 2020),
             Err(IngestError::NoTagger)
         ));
     }
 
-    /// `Create` is shared behind an `RwLock` by the server and fanned
+    /// `Create` is shared behind a plain `Arc` by the server and fanned
     /// across pool workers by `search_many` — it must stay `Sync`.
+    #[test]
+    fn open_flush_round_trip_and_malformed_year_defaults() {
+        let dir = std::env::temp_dir().join(format!(
+            "create-core-open-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Ingest into a disk-backed system and flush it.
+        let reports = Generator::new(CorpusConfig {
+            num_reports: 3,
+            seed: 11,
+            ..Default::default()
+        })
+        .generate();
+        {
+            let system = Create::open(&dir, CreateConfig::default()).unwrap();
+            for r in &reports {
+                system.ingest_gold(r).unwrap();
+            }
+            system.flush().unwrap();
+        }
+
+        // Corrupt the persisted store with a report missing its `year`,
+        // as an older writer (or a partial migration) could leave behind.
+        {
+            let store = DocStore::open(&dir).unwrap();
+            store
+                .insert(
+                    "reports",
+                    obj([
+                        ("_id", "broken-year".into()),
+                        ("title", "Report without a year".into()),
+                        ("text", "A patient was admitted with fever.".into()),
+                    ]),
+                )
+                .unwrap();
+            store.flush().unwrap();
+        }
+
+        let malformed_before =
+            create_obs::counter(obs_names::OPEN_MALFORMED_FIELDS_TOTAL).get();
+        let system = Create::open(&dir, CreateConfig::default()).unwrap();
+        assert_eq!(
+            create_obs::counter(obs_names::OPEN_MALFORMED_FIELDS_TOTAL).get(),
+            malformed_before + 1,
+            "the malformed year is counted, not silently defaulted"
+        );
+
+        // The recovery is non-fatal: all reports (including the broken
+        // one) are served, and the reopened system answers searches.
+        assert_eq!(system.stats().reports, reports.len() + 1);
+        assert!(system.report("broken-year").is_some());
+        assert!(system
+            .search(&reports[0].title, 5)
+            .iter()
+            .any(|h| h.report_id == reports[0].id));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn create_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Create>();
+        assert_send_sync::<Snapshot>();
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let (system, _) = loaded_system(5, 30);
+        let snapshot = system.snapshot();
+        assert_eq!(snapshot.generation(), 5);
+        let nodes_before = snapshot.graph().node_count();
+        let mut extra = Generator::new(CorpusConfig {
+            num_reports: 1,
+            seed: 31,
+            ..Default::default()
+        })
+        .generate()
+        .remove(0);
+        extra.id = "extra:1".to_string();
+        system.ingest_gold(&extra).unwrap();
+        // The old snapshot still sees exactly the pre-ingest state...
+        assert_eq!(snapshot.generation(), 5);
+        assert_eq!(snapshot.graph().node_count(), nodes_before);
+        // ...while new reads observe the publish.
+        assert_eq!(system.snapshot().generation(), 6);
+        assert!(system.stats().graph_nodes > nodes_before);
+    }
+
+    #[test]
+    fn graph_mut_guard_publishes_on_drop() {
+        let system = Create::new(CreateConfig::default());
+        let before = system.cache_stats().generation;
+        {
+            let mut guard = system.graph_mut();
+            guard.create_node(["Probe"], Vec::<(&str, Value)>::new());
+        }
+        assert_eq!(
+            system.cache_stats().generation,
+            before + 1,
+            "guard drop bumps the generation"
+        );
+        assert_eq!(system.stats().graph_nodes, 1, "guard drop publishes");
     }
 
     #[test]
@@ -1042,7 +1376,7 @@ mod tests {
         let seq_stats = sequential.stats();
         let seq_bytes = sequential.index().postings_bytes();
         for threads in [1, 2, 8] {
-            let mut batched = Create::new(CreateConfig::default());
+            let batched = Create::new(CreateConfig::default());
             assert_eq!(batched.ingest_gold_batch(&reports, threads).unwrap(), 40);
             assert_eq!(batched.stats(), seq_stats, "stats at {threads} threads");
             assert_eq!(
@@ -1068,7 +1402,7 @@ mod tests {
 
     #[test]
     fn batch_ingest_rejects_duplicates_without_mutation() {
-        let (mut system, reports) = loaded_system(5, 22);
+        let (system, reports) = loaded_system(5, 22);
         let before = system.stats();
         // Re-ingesting an existing report fails the whole batch...
         assert!(matches!(
@@ -1092,7 +1426,7 @@ mod tests {
 
     #[test]
     fn text_batch_requires_tagger_and_ingests_with_one() {
-        let mut system = Create::new(CreateConfig::default());
+        let system = Create::new(CreateConfig::default());
         let submissions = vec![
             TextSubmission {
                 id: "user:1".into(),
@@ -1136,10 +1470,10 @@ mod tests {
         system.attach_tagger(tagger);
         assert_eq!(system.ingest_text_batch(&submissions, 2).unwrap(), 2);
         assert_eq!(system.stats().reports, 2);
-        // Tagger survives the batch (it is moved out and back).
+        // Tagger survives the batch (workers share it by `Arc`).
         assert!(system.ingest_text("user:3", "t", "More fever.", 2023).is_ok());
         // And the batch path matches the per-document text path.
-        let mut sequential = Create::new(CreateConfig::default());
+        let sequential = Create::new(CreateConfig::default());
         let dataset2 =
             create_ner::NerDataset::from_reports(&reports, create_ner::LabelSet::ner_targets());
         let tagger2 = CrfTagger::train(
@@ -1160,7 +1494,7 @@ mod tests {
             sequential.ingest_text(&s.id, &s.title, &s.text, s.year).unwrap();
         }
         let batched_stats = {
-            let mut fresh = Create::new(CreateConfig::default());
+            let fresh = Create::new(CreateConfig::default());
             let dataset3 =
                 create_ner::NerDataset::from_reports(&reports, create_ner::LabelSet::ner_targets());
             let tagger3 = CrfTagger::train(
@@ -1227,7 +1561,7 @@ mod tests {
 
     #[test]
     fn ingest_invalidates_cached_results() {
-        let (mut system, _) = loaded_system(10, 27);
+        let (system, _) = loaded_system(10, 27);
         let stale = system.search("myocarditis zzqy", 10);
         assert!(system.search("myocarditis zzqy", 10).len() == stale.len());
         let gen_before = system.cache_stats().generation;
@@ -1258,7 +1592,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_noop() {
-        let mut system = Create::new(CreateConfig::default());
+        let system = Create::new(CreateConfig::default());
         assert_eq!(system.ingest_gold_batch(&[], 4).unwrap(), 0);
         assert_eq!(system.stats().reports, 0);
     }

@@ -8,6 +8,7 @@
 
 use crate::json::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A query predicate over documents.
 #[derive(Debug, Clone)]
@@ -97,9 +98,14 @@ pub struct UpdateResult {
 }
 
 /// An in-memory ordered collection of JSON documents.
-#[derive(Debug, Default)]
+///
+/// Documents sit behind `Arc`, so `Clone` shares them structurally: a
+/// snapshot of the collection copies the id → pointer map, never the
+/// JSON trees. Mutations go through [`Arc::make_mut`], copying only the
+/// touched document when a snapshot still shares it.
+#[derive(Debug, Default, Clone)]
 pub struct Collection {
-    docs: BTreeMap<String, Value>,
+    docs: BTreeMap<String, Arc<Value>>,
     next_id: u64,
 }
 
@@ -135,28 +141,28 @@ impl Collection {
                 id
             }
         };
-        self.docs.insert(id.clone(), doc);
+        self.docs.insert(id.clone(), Arc::new(doc));
         Ok(id)
     }
 
     /// Fetches a document by id.
     pub fn get(&self, id: &str) -> Option<&Value> {
-        self.docs.get(id)
+        self.docs.get(id).map(|d| &**d)
     }
 
     /// Returns all matching documents in id order.
     pub fn find(&self, filter: &Filter) -> Vec<&Value> {
-        self.docs.values().filter(|d| filter.matches(d)).collect()
+        self.iter().filter(|d| filter.matches(d)).collect()
     }
 
     /// Returns the first matching document.
     pub fn find_one(&self, filter: &Filter) -> Option<&Value> {
-        self.docs.values().find(|d| filter.matches(d))
+        self.iter().find(|d| filter.matches(d))
     }
 
     /// Counts matching documents.
     pub fn count(&self, filter: &Filter) -> usize {
-        self.docs.values().filter(|d| filter.matches(d)).count()
+        self.iter().filter(|d| filter.matches(d)).count()
     }
 
     /// Applies `set` fields (shallow merge of top-level keys) to every
@@ -174,7 +180,9 @@ impl Collection {
                 continue;
             }
             matched += 1;
-            let map = doc.as_object_mut().expect("stored docs are objects");
+            let map = Arc::make_mut(doc)
+                .as_object_mut()
+                .expect("stored docs are objects");
             let mut changed = false;
             for (k, v) in set_map {
                 if k == "_id" {
@@ -208,7 +216,7 @@ impl Collection {
 
     /// Iterates documents in id order.
     pub fn iter(&self) -> impl Iterator<Item = &Value> {
-        self.docs.values()
+        self.docs.values().map(|d| &**d)
     }
 }
 

@@ -18,4 +18,4 @@ pub mod store;
 
 pub use collection::{Collection, Filter, UpdateResult};
 pub use json::{parse_json, JsonError, Value};
-pub use store::DocStore;
+pub use store::{DocStore, StoreSnapshot};

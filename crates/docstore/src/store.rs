@@ -9,15 +9,63 @@
 use crate::collection::{Collection, CollectionError, Filter, UpdateResult};
 use crate::json::{parse_json, Value};
 use std::collections::BTreeMap;
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use std::io::{BufRead, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 /// A multi-collection document store.
+///
+/// Collections sit behind `Arc` so [`DocStore::snapshot`] can hand out a
+/// point-in-time [`StoreSnapshot`] by cloning the name → pointer map;
+/// writers mutate through [`Arc::make_mut`], copying a collection's
+/// structure only when a live snapshot still shares it.
 #[derive(Debug)]
 pub struct DocStore {
-    inner: RwLock<BTreeMap<String, Collection>>,
+    inner: RwLock<BTreeMap<String, Arc<Collection>>>,
     data_dir: Option<PathBuf>,
+}
+
+/// An immutable point-in-time view of every collection.
+///
+/// Reads need no lock: the snapshot owns `Arc` handles to the
+/// collections as they were at [`DocStore::snapshot`] time, so accessors
+/// can return borrowed documents instead of cloning them out of a lock.
+#[derive(Debug, Default, Clone)]
+pub struct StoreSnapshot {
+    collections: BTreeMap<String, Arc<Collection>>,
+}
+
+impl StoreSnapshot {
+    /// Lists collection names.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.keys().cloned().collect()
+    }
+
+    /// Fetches a document by id.
+    pub fn get(&self, collection: &str, id: &str) -> Option<&Value> {
+        self.collections.get(collection)?.get(id)
+    }
+
+    /// Runs a filter query, borrowing matches from the snapshot.
+    pub fn find(&self, collection: &str, filter: &Filter) -> Vec<&Value> {
+        self.collections
+            .get(collection)
+            .map(|c| c.find(filter))
+            .unwrap_or_default()
+    }
+
+    /// First match, if any.
+    pub fn find_one(&self, collection: &str, filter: &Filter) -> Option<&Value> {
+        self.collections.get(collection)?.find_one(filter)
+    }
+
+    /// Counts matches.
+    pub fn count(&self, collection: &str, filter: &Filter) -> usize {
+        self.collections
+            .get(collection)
+            .map(|c| c.count(filter))
+            .unwrap_or(0)
+    }
 }
 
 /// Errors from store operations.
@@ -107,7 +155,7 @@ impl DocStore {
                 })?;
                 collection.insert(doc)?;
             }
-            collections.insert(name, collection);
+            collections.insert(name, Arc::new(collection));
         }
         Ok(DocStore {
             inner: RwLock::new(collections),
@@ -120,11 +168,19 @@ impl DocStore {
         self.inner.read().expect("docstore lock poisoned").keys().cloned().collect()
     }
 
+    /// A point-in-time view of every collection (cheap: clones the
+    /// name → `Arc` map, not the documents).
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            collections: self.inner.read().expect("docstore lock poisoned").clone(),
+        }
+    }
+
     /// Inserts a document, creating the collection on demand. Returns the
     /// assigned id.
     pub fn insert(&self, collection: &str, doc: Value) -> Result<String, StoreError> {
         let mut inner = self.inner.write().expect("docstore lock poisoned");
-        let c = inner.entry(collection.to_string()).or_default();
+        let c = Arc::make_mut(inner.entry(collection.to_string()).or_default());
         Ok(c.insert(doc)?)
     }
 
@@ -167,7 +223,7 @@ impl DocStore {
     ) -> Result<UpdateResult, StoreError> {
         let mut inner = self.inner.write().expect("docstore lock poisoned");
         match inner.get_mut(collection) {
-            Some(c) => Ok(c.update(filter, set)?),
+            Some(c) => Ok(Arc::make_mut(c).update(filter, set)?),
             None => Ok(UpdateResult {
                 matched: 0,
                 modified: 0,
@@ -180,7 +236,7 @@ impl DocStore {
         let mut inner = self.inner.write().expect("docstore lock poisoned");
         inner
             .get_mut(collection)
-            .map(|c| c.delete(filter))
+            .map(|c| Arc::make_mut(c).delete(filter))
             .unwrap_or(0)
     }
 

@@ -7,6 +7,7 @@
 
 use create_docstore::Value;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Node identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,20 +44,27 @@ pub struct Edge {
 }
 
 /// The in-memory property graph.
-#[derive(Debug, Default)]
+///
+/// Nodes, edges, and index posting vectors sit behind `Arc`, so `Clone`
+/// is structural sharing: a graph snapshot costs pointer-table copies,
+/// never a deep copy of properties. Nodes and edges are append-only
+/// (the Cypher executor only ever `CREATE`s), so shared `Arc`s are
+/// never mutated; the index vectors append through [`Arc::make_mut`],
+/// copying a single vector on first touch after a snapshot was taken.
+#[derive(Debug, Default, Clone)]
 pub struct PropertyGraph {
-    nodes: BTreeMap<u64, Node>,
-    edges: BTreeMap<u64, Edge>,
+    nodes: BTreeMap<u64, Arc<Node>>,
+    edges: BTreeMap<u64, Arc<Edge>>,
     next_node: u64,
     next_edge: u64,
     /// label → node ids.
-    label_index: HashMap<String, Vec<NodeId>>,
+    label_index: HashMap<String, Arc<Vec<NodeId>>>,
     /// (label, key, serialized value) → node ids.
-    prop_index: HashMap<(String, String, String), Vec<NodeId>>,
+    prop_index: HashMap<(String, String, String), Arc<Vec<NodeId>>>,
     /// node → outgoing edge ids.
-    outgoing: HashMap<NodeId, Vec<EdgeId>>,
+    outgoing: HashMap<NodeId, Arc<Vec<EdgeId>>>,
     /// node → incoming edge ids.
-    incoming: HashMap<NodeId, Vec<EdgeId>>,
+    incoming: HashMap<NodeId, Arc<Vec<EdgeId>>>,
 }
 
 impl PropertyGraph {
@@ -90,21 +98,23 @@ impl PropertyGraph {
         let props: BTreeMap<String, Value> =
             props.into_iter().map(|(k, v)| (k.into(), v)).collect();
         for label in &label_vec {
-            self.label_index.entry(label.clone()).or_default().push(id);
+            Arc::make_mut(self.label_index.entry(label.clone()).or_default()).push(id);
             for (k, v) in &props {
-                self.prop_index
-                    .entry((label.clone(), k.clone(), v.to_json()))
-                    .or_default()
-                    .push(id);
+                Arc::make_mut(
+                    self.prop_index
+                        .entry((label.clone(), k.clone(), v.to_json()))
+                        .or_default(),
+                )
+                .push(id);
             }
         }
         self.nodes.insert(
             id.0,
-            Node {
+            Arc::new(Node {
                 id,
                 labels: label_vec,
                 props,
-            },
+            }),
         );
         id
     }
@@ -126,49 +136,52 @@ impl PropertyGraph {
         self.next_edge += 1;
         self.edges.insert(
             id.0,
-            Edge {
+            Arc::new(Edge {
                 id,
                 source,
                 target,
                 rel_type: rel_type.into(),
                 props: props.into_iter().map(|(k, v)| (k.into(), v)).collect(),
-            },
+            }),
         );
-        self.outgoing.entry(source).or_default().push(id);
-        self.incoming.entry(target).or_default().push(id);
+        Arc::make_mut(self.outgoing.entry(source).or_default()).push(id);
+        Arc::make_mut(self.incoming.entry(target).or_default()).push(id);
         id
     }
 
     /// Node accessor.
     pub fn node(&self, id: NodeId) -> Option<&Node> {
-        self.nodes.get(&id.0)
+        self.nodes.get(&id.0).map(|n| &**n)
     }
 
     /// Edge accessor.
     pub fn edge(&self, id: EdgeId) -> Option<&Edge> {
-        self.edges.get(&id.0)
+        self.edges.get(&id.0).map(|e| &**e)
     }
 
     /// All nodes, in id order.
     pub fn nodes(&self) -> impl Iterator<Item = &Node> {
-        self.nodes.values()
+        self.nodes.values().map(|n| &**n)
     }
 
     /// All edges, in id order.
     pub fn edges(&self) -> impl Iterator<Item = &Edge> {
-        self.edges.values()
+        self.edges.values().map(|e| &**e)
     }
 
     /// Nodes carrying a label.
     pub fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
-        self.label_index.get(label).cloned().unwrap_or_default()
+        self.label_index
+            .get(label)
+            .map(|ids| ids.as_slice().to_vec())
+            .unwrap_or_default()
     }
 
     /// Index lookup: nodes with `label` whose property `key` equals `value`.
     pub fn nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Vec<NodeId> {
         self.prop_index
             .get(&(label.to_string(), key.to_string(), value.to_json()))
-            .cloned()
+            .map(|ids| ids.as_slice().to_vec())
             .unwrap_or_default()
     }
 
@@ -176,7 +189,7 @@ impl PropertyGraph {
     pub fn outgoing(&self, node: NodeId) -> Vec<&Edge> {
         self.outgoing
             .get(&node)
-            .map(|ids| ids.iter().map(|e| &self.edges[&e.0]).collect())
+            .map(|ids| ids.iter().map(|e| &*self.edges[&e.0]).collect())
             .unwrap_or_default()
     }
 
@@ -184,7 +197,7 @@ impl PropertyGraph {
     pub fn incoming(&self, node: NodeId) -> Vec<&Edge> {
         self.incoming
             .get(&node)
-            .map(|ids| ids.iter().map(|e| &self.edges[&e.0]).collect())
+            .map(|ids| ids.iter().map(|e| &*self.edges[&e.0]).collect())
             .unwrap_or_default()
     }
 }

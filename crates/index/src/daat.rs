@@ -94,7 +94,7 @@ impl<'a> TermCursor<'a> {
     /// nothing, mirroring an empty `term_scores`).
     fn open(index: &'a Index, field: &str, term: &str, damp: Option<f64>) -> Option<Self> {
         let fi = index.fields.get(field)?;
-        let postings = fi.dict.get(term)?;
+        let postings: &[Posting] = fi.dict.get(term)?;
         Some(TermCursor {
             postings,
             pos: 0,

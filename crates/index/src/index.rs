@@ -35,11 +35,19 @@ pub struct FieldConfig {
 }
 
 /// Per-field index data.
+///
+/// Posting lists and fuzzy buckets sit behind `Arc` so a `clone()` of
+/// the field (and thus of the whole [`Index`]) is structural sharing:
+/// only the dictionary's pointer table is copied, never the postings
+/// themselves. The writer mutates through [`Arc::make_mut`], which
+/// copies a single term's list on first touch after a snapshot was
+/// published and mutates in place otherwise.
+#[derive(Clone)]
 pub(crate) struct FieldIndex {
     pub(crate) analyzer: Arc<Analyzer>,
     pub(crate) boost: f64,
     /// term → postings sorted by doc id.
-    pub(crate) dict: HashMap<String, Vec<Posting>>,
+    pub(crate) dict: HashMap<String, Arc<Vec<Posting>>>,
     /// token count per document (0 when the doc lacks the field).
     pub(crate) doc_len: Vec<u32>,
     pub(crate) total_len: u64,
@@ -51,7 +59,7 @@ pub(crate) struct FieldIndex {
     /// on first insertion. Fuzzy expansion scans only the buckets within
     /// `max_edits` of the query term's length instead of the whole
     /// vocabulary (see [`Index::fuzzy_candidates`]).
-    pub(crate) term_buckets: HashMap<(u16, char), Vec<String>>,
+    pub(crate) term_buckets: HashMap<(u16, char), Arc<Vec<String>>>,
 }
 
 impl FieldIndex {
@@ -76,10 +84,13 @@ impl FieldIndex {
     }
 
     /// Records a term new to this field's dictionary in its fuzzy bucket.
-    pub(crate) fn bucket_new_term(buckets: &mut HashMap<(u16, char), Vec<String>>, term: &str) {
+    pub(crate) fn bucket_new_term(
+        buckets: &mut HashMap<(u16, char), Arc<Vec<String>>>,
+        term: &str,
+    ) {
         let len = term.chars().count().min(u16::MAX as usize) as u16;
         let first = term.chars().next().unwrap_or('\0');
-        buckets.entry((len, first)).or_default().push(term.to_string());
+        Arc::make_mut(buckets.entry((len, first)).or_default()).push(term.to_string());
     }
 
     /// Tokenizes `text` as document `doc` and appends its postings.
@@ -100,7 +111,9 @@ impl FieldIndex {
             let pos = token.position as u32;
             match self.dict.entry(token.text) {
                 Entry::Occupied(mut entry) => {
-                    let postings = entry.get_mut();
+                    // Copy-on-write: clones this one term's list only if a
+                    // published snapshot still shares it.
+                    let postings = Arc::make_mut(entry.get_mut());
                     match postings.last_mut() {
                         Some(last) if last.doc == doc => last.positions.push(pos),
                         _ => postings.push(Posting {
@@ -111,10 +124,10 @@ impl FieldIndex {
                 }
                 Entry::Vacant(entry) => {
                     Self::bucket_new_term(&mut self.term_buckets, entry.key());
-                    entry.insert(vec![Posting {
+                    entry.insert(Arc::new(vec![Posting {
                         doc,
                         positions: vec![pos],
-                    }]);
+                    }]));
                 }
             }
         }
@@ -122,12 +135,19 @@ impl FieldIndex {
 }
 
 /// The inverted index.
+///
+/// `Clone` is structural sharing (see [`FieldIndex`]): the id tables
+/// clone `Arc<str>` handles and the dictionaries clone `Arc` posting
+/// lists, so snapshotting the index costs pointer copies, not a deep
+/// copy of the postings.
+#[derive(Clone)]
 pub struct Index {
     pub(crate) fields: HashMap<String, FieldIndex>,
     /// Internal id → external id.
-    pub(crate) external_ids: Vec<String>,
-    /// External id → internal id.
-    pub(crate) id_map: HashMap<String, u32>,
+    pub(crate) external_ids: Vec<Arc<str>>,
+    /// External id → internal id (shares the `Arc<str>` with
+    /// `external_ids`; `Borrow<str>` keeps `&str` lookups working).
+    pub(crate) id_map: HashMap<Arc<str>, u32>,
 }
 
 impl std::fmt::Debug for Index {
@@ -183,7 +203,7 @@ impl Index {
 
     /// External id of an internal doc id.
     pub fn external_id(&self, doc: u32) -> Option<&str> {
-        self.external_ids.get(doc as usize).map(String::as_str)
+        self.external_ids.get(doc as usize).map(|s| &**s)
     }
 
     /// Internal id for an external id.
@@ -208,8 +228,9 @@ impl Index {
             }
         }
         let doc = self.external_ids.len() as u32;
-        self.external_ids.push(external_id.to_string());
-        self.id_map.insert(external_id.to_string(), doc);
+        let shared: Arc<str> = Arc::from(external_id);
+        self.external_ids.push(Arc::clone(&shared));
+        self.id_map.insert(shared, doc);
         // Every field gets a length slot for this doc.
         for fi in self.fields.values_mut() {
             fi.doc_len.push(0);
@@ -241,7 +262,7 @@ impl Index {
         self.fields
             .get(field)
             .and_then(|f| f.dict.get(term))
-            .map(Vec::as_slice)
+            .map(|p| p.as_slice())
     }
 
     /// Approximate memory footprint of the postings (bytes) — used by the
@@ -312,7 +333,7 @@ impl Index {
                 continue;
             }
             let same_first = q.first() == Some(&bucket_first);
-            for t in terms {
+            for t in terms.iter() {
                 t_chars.clear();
                 t_chars.extend(t.chars());
                 let dist = if q.is_empty() || same_first {

@@ -11,7 +11,7 @@
 //! gap. Both paths score through [`doc_score`], the single source of truth
 //! for the per-(term, doc) expression, so their floats cannot drift apart.
 
-use crate::index::Index;
+use crate::index::{Index, Posting};
 use crate::query::QueryNode;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -280,10 +280,10 @@ impl Index {
         let Some(fi) = self.fields.get(field) else {
             return Vec::new();
         };
-        let mut postings_lists = Vec::with_capacity(terms.len());
+        let mut postings_lists: Vec<&[Posting]> = Vec::with_capacity(terms.len());
         for t in terms {
             match fi.dict.get(t) {
-                Some(p) => postings_lists.push(p),
+                Some(p) => postings_lists.push(p.as_slice()),
                 None => return Vec::new(),
             }
         }

@@ -26,6 +26,7 @@
 
 use crate::index::{FieldConfig, FieldIndex, Index, IndexError};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A shard-local partial index: same fields/analyzers as its parent
 /// [`Index`], documents addressed by segment-local dense ids.
@@ -124,15 +125,16 @@ impl Index {
             }
         }
         for id in &segment.external_ids {
-            if self.id_map.contains_key(id) {
+            if self.id_map.contains_key(id.as_str()) {
                 return Err(IndexError::DuplicateDocument(id.clone()));
             }
         }
         let base = self.external_ids.len() as u32;
-        for (local, id) in segment.external_ids.iter().enumerate() {
-            self.id_map.insert(id.clone(), base + local as u32);
+        for (local, id) in segment.external_ids.into_iter().enumerate() {
+            let shared: Arc<str> = Arc::from(id);
+            self.external_ids.push(Arc::clone(&shared));
+            self.id_map.insert(shared, base + local as u32);
         }
-        self.external_ids.extend(segment.external_ids);
         for (name, seg_field) in segment.fields {
             let fi = self.fields.get_mut(&name).expect("checked above");
             fi.doc_len.extend(seg_field.doc_len);
@@ -143,8 +145,12 @@ impl Index {
                 if let std::collections::hash_map::Entry::Vacant(v) = &entry {
                     FieldIndex::bucket_new_term(&mut fi.term_buckets, v.key());
                 }
-                let postings = entry.or_default();
-                postings.extend(seg_postings.into_iter().map(|mut p| {
+                // Segment postings are worker-local, so the unwrap never
+                // deep-copies; the index side copies-on-write only when a
+                // published snapshot still shares the term's list.
+                let seg_postings =
+                    Arc::try_unwrap(seg_postings).unwrap_or_else(|shared| (*shared).clone());
+                Arc::make_mut(entry.or_default()).extend(seg_postings.into_iter().map(|mut p| {
                     p.doc += base;
                     p
                 }));
@@ -214,7 +220,11 @@ mod tests {
             );
             assert_eq!(fa.dict.len(), fb.dict.len(), "vocab of {name}");
             for (term, pa) in &fa.dict {
-                assert_eq!(Some(pa), fb.dict.get(term).as_deref(), "postings of {term}");
+                assert_eq!(
+                    Some(&**pa),
+                    fb.dict.get(term).map(|p| &**p),
+                    "postings of {term}"
+                );
             }
         }
     }

@@ -49,6 +49,15 @@ pub const SEARCH_POLICY_TOTAL: &str = "create_search_policy_total";
 /// Poisoned-lock recoveries (server keeps serving instead of crashing).
 pub const LOCK_POISONED_TOTAL: &str = "create_lock_poisoned_total";
 
+/// Snapshot publications (one per completed write batch) and the time
+/// spent building + swapping in the new snapshot.
+pub const SNAPSHOT_PUBLISH_TOTAL: &str = "create_snapshot_publish_total";
+pub const SNAPSHOT_PUBLISH_SECONDS: &str = "create_snapshot_publish_seconds";
+
+/// Stored documents whose fields failed to parse on `Create::open` and
+/// fell back to a default (e.g. a missing or non-integer `year`).
+pub const OPEN_MALFORMED_FIELDS_TOTAL: &str = "create_open_malformed_fields_total";
+
 /// HTTP layer, labelled `route=...` (+ `status=...` on the counter).
 pub const HTTP_REQUESTS_TOTAL: &str = "create_http_requests_total";
 pub const HTTP_REQUEST_SECONDS: &str = "create_http_request_seconds";

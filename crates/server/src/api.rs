@@ -13,44 +13,20 @@
 //! | POST   | `/submit`                     | raw-text submission (JSON) |
 //! | POST   | `/search_batch`               | batched queries, answered in parallel |
 //! | POST   | `/submit_batch`               | batched raw-text submissions, extracted in parallel |
+//! | POST   | `/flush`                      | persist the document store to disk |
 //! | GET    | `/metrics`                    | Prometheus text exposition of the obs registry |
 //! | GET    | `/slowlog`                    | captured slow queries (trace ID, stages, DAAT stats) |
+//!
+//! The platform is shared as a plain `Arc<Create>`: reads run against the
+//! currently published snapshot without any server-side locking, and
+//! writes serialize inside the facade's writer half — the API layer holds
+//! no lock of its own.
 
 use crate::http::{Response, Status};
 use crate::router::Router;
 use create_core::{Create, MergePolicy};
 use create_docstore::json::{obj, parse_json, Value};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::Arc;
-
-/// Counts a poisoned-lock recovery and leaves a warning in the event
-/// log. A panicking writer marks the lock poisoned, but the system's
-/// stores keep their invariants per operation — serving on is strictly
-/// better than taking the whole API down.
-fn note_poisoned() {
-    create_obs::counter(create_obs::names::LOCK_POISONED_TOTAL).inc();
-    create_obs::log(
-        create_obs::Level::Warn,
-        "server",
-        "recovered a poisoned system lock".to_string(),
-    );
-}
-
-/// Read-locks the system, recovering (and counting) poisoned locks.
-fn read_system(system: &RwLock<Create>) -> RwLockReadGuard<'_, Create> {
-    system.read().unwrap_or_else(|poisoned| {
-        note_poisoned();
-        poisoned.into_inner()
-    })
-}
-
-/// Write-locks the system, recovering (and counting) poisoned locks.
-fn write_system(system: &RwLock<Create>) -> RwLockWriteGuard<'_, Create> {
-    system.write().unwrap_or_else(|poisoned| {
-        note_poisoned();
-        poisoned.into_inner()
-    })
-}
 
 fn policy_from(name: Option<&str>) -> Result<MergePolicy, String> {
     match name.unwrap_or("neo4j_first") {
@@ -64,7 +40,7 @@ fn policy_from(name: Option<&str>) -> Result<MergePolicy, String> {
 }
 
 /// Builds the API router over a shared platform instance.
-pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
+pub fn build_api(system: Arc<Create>) -> Router {
     let mut router = Router::new();
 
     router.route("GET", "/health", |_, _| {
@@ -74,9 +50,8 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
     {
         let system = Arc::clone(&system);
         router.route("GET", "/stats", move |_, _| {
-            let guard = read_system(&system);
-            let stats = guard.stats();
-            let cache = guard.cache_stats();
+            let stats = system.stats();
+            let cache = system.cache_stats();
             let doc = obj([
                 ("reports", (stats.reports as i64).into()),
                 ("graph_nodes", (stats.graph_nodes as i64).into()),
@@ -106,9 +81,8 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
                 Ok(p) => p,
                 Err(m) => return Response::error(Status::BadRequest, &m),
             };
-            let guard = read_system(&system);
-            let parsed = guard.parse_query(q);
-            let hits = guard.search_with_policy(q, k, policy);
+            let parsed = system.parse_query(q);
+            let hits = system.search_with_policy(q, k, policy);
             let hits_json: Vec<Value> = hits.iter().map(hit_json).collect();
             let mentions: Vec<Value> = parsed
                 .mentions
@@ -151,7 +125,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
     {
         let system = Arc::clone(&system);
         router.route("GET", "/reports/:id", move |_, params| {
-            match read_system(&system).report(&params["id"]) {
+            match system.report(&params["id"]) {
                 Some(doc) => Response::json(Status::Ok, doc.to_json()),
                 None => Response::error(Status::NotFound, "no such report"),
             }
@@ -163,7 +137,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
         router.route(
             "GET",
             "/reports/:id/annotations",
-            move |_, params| match read_system(&system).annotations(&params["id"]) {
+            move |_, params| match system.annotations(&params["id"]) {
                 Some(brat) => Response::text(Status::Ok, brat.serialize()),
                 None => Response::error(Status::NotFound, "no annotations"),
             },
@@ -175,7 +149,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
         router.route(
             "GET",
             "/reports/:id/graph.svg",
-            move |_, params| match read_system(&system).visualize(&params["id"]) {
+            move |_, params| match system.visualize(&params["id"]) {
                 Some(svg) => Response::svg(svg),
                 None => Response::error(Status::NotFound, "no graph for report"),
             },
@@ -200,7 +174,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
                 return Response::error(Status::BadRequest, "need id, title, text fields");
             };
             let year = parsed.get("year").and_then(Value::as_i64).unwrap_or(2020) as u32;
-            match write_system(&system).ingest_text(id, title, text, year) {
+            match system.ingest_text(id, title, text, year) {
                 Ok(()) => Response::json(Status::Created, obj([("ingested", id.into())]).to_json()),
                 Err(e) => Response::error(Status::BadRequest, &e.to_string()),
             }
@@ -237,8 +211,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
                 Ok(p) => p,
                 Err(m) => return Response::error(Status::BadRequest, &m),
             };
-            let guard = read_system(&system);
-            let all_hits = guard.search_many_with_policy(&queries, k, policy);
+            let all_hits = system.search_many_with_policy(&queries, k, policy);
             let results: Vec<Value> = queries
                 .iter()
                 .zip(all_hits)
@@ -286,8 +259,7 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
                     year: doc.get("year").and_then(Value::as_i64).unwrap_or(2020) as u32,
                 });
             }
-            let mut guard = write_system(&system);
-            match guard.ingest_text_batch(&submissions, 0) {
+            match system.ingest_text_batch(&submissions, 0) {
                 Ok(count) => Response::json(
                     Status::Created,
                     obj([("ingested", (count as i64).into())]).to_json(),
@@ -299,13 +271,20 @@ pub fn build_api(system: Arc<RwLock<Create>>) -> Router {
 
     {
         let system = Arc::clone(&system);
+        router.route("POST", "/flush", move |_, _| match system.flush() {
+            Ok(()) => Response::json(Status::Ok, obj([("flushed", true.into())]).to_json()),
+            Err(e) => Response::error(Status::InternalServerError, &e.to_string()),
+        });
+    }
+
+    {
+        let system = Arc::clone(&system);
         router.route("GET", "/metrics", move |_, _| {
             // Size gauges are refreshed at scrape time — the counters
             // and histograms maintain themselves as traffic flows.
             {
-                let guard = read_system(&system);
-                let stats = guard.stats();
-                let cache = guard.cache_stats();
+                let stats = system.stats();
+                let cache = system.cache_stats();
                 use create_obs::names as n;
                 create_obs::gauge(n::REPORTS_GAUGE).set(stats.reports as i64);
                 create_obs::gauge(n::GRAPH_NODES_GAUGE).set(stats.graph_nodes as i64);
@@ -393,8 +372,8 @@ mod tests {
     use create_corpus::{CorpusConfig, Generator};
     use std::collections::HashMap;
 
-    fn system() -> Arc<RwLock<Create>> {
-        let mut create = Create::new(CreateConfig::default());
+    fn system() -> Arc<Create> {
+        let create = Create::new(CreateConfig::default());
         for r in Generator::new(CorpusConfig {
             num_reports: 15,
             seed: 77,
@@ -404,7 +383,7 @@ mod tests {
         {
             create.ingest_gold(&r).unwrap();
         }
-        Arc::new(RwLock::new(create))
+        Arc::new(create)
     }
 
     fn get(path: &str, query: &[(&str, &str)]) -> Request {
@@ -523,13 +502,11 @@ mod tests {
     #[test]
     fn report_endpoints() {
         let sys = system();
-        let id = {
-            let guard = read_system(&sys);
-            let hits = guard.search("fever", 1);
-            hits.first()
-                .map(|h| h.report_id.clone())
-                .unwrap_or_else(|| "pmid:30000000".to_string())
-        };
+        let id = sys
+            .search("fever", 1)
+            .first()
+            .map(|h| h.report_id.clone())
+            .unwrap_or_else(|| "pmid:30000000".to_string());
         let api = build_api(sys);
         let report = api.dispatch(&get(&format!("/reports/{id}"), &[]));
         assert_eq!(report.status, Status::Ok, "report {id} should exist");
@@ -603,6 +580,20 @@ mod tests {
         // Malformed documents are rejected before touching the system.
         req.body = br#"{"documents": [{"id": "user:2"}]}"#.to_vec();
         assert_eq!(api.dispatch(&req).status, Status::BadRequest);
+    }
+
+    #[test]
+    fn flush_endpoint_persists_in_memory_noop() {
+        let api = build_api(system());
+        let mut req = get("/flush", &[]);
+        req.method = "POST".to_string();
+        let resp = api.dispatch(&req);
+        // In-memory store: flush is a successful no-op.
+        assert_eq!(resp.status, Status::Ok);
+        let doc = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("flushed").unwrap().as_bool(), Some(true));
+        // GET on the admin route is not allowed.
+        assert_eq!(api.dispatch(&get("/flush", &[])).status, Status::MethodNotAllowed);
     }
 
     #[test]

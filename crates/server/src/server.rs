@@ -8,13 +8,16 @@ use crate::http::{parse_request, Response, Status};
 use crate::router::Router;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A running HTTP server.
 pub struct Server {
     listener: TcpListener,
     router: Arc<Router>,
     shutdown: Arc<AtomicBool>,
+    /// Run once when [`Server::serve`] exits gracefully (e.g. to flush
+    /// the document store to disk).
+    on_shutdown: Mutex<Option<Box<dyn FnOnce() + Send>>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -46,7 +49,19 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             router: Arc::new(router),
             shutdown: Arc::new(AtomicBool::new(false)),
+            on_shutdown: Mutex::new(None),
         })
+    }
+
+    /// Registers a hook that runs once when [`Server::serve`] exits after
+    /// a graceful shutdown — the place to persist state (the REST demo
+    /// flushes the document store here).
+    pub fn on_shutdown(&self, hook: impl FnOnce() + Send + 'static) {
+        let mut slot = self
+            .on_shutdown
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *slot = Some(Box::new(hook));
     }
 
     /// The bound address.
@@ -72,6 +87,14 @@ impl Server {
             let Ok(stream) = stream else { continue };
             let router = Arc::clone(&self.router);
             std::thread::spawn(move || handle_connection(stream, &router));
+        }
+        let hook = self
+            .on_shutdown
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
+        if let Some(hook) = hook {
+            hook();
         }
     }
 
@@ -186,6 +209,22 @@ mod tests {
         assert_eq!(status, 404);
         handle.shutdown();
         t.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_hook_runs_once_on_graceful_exit() {
+        let server = Server::bind("127.0.0.1:0", test_router()).unwrap();
+        let fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        server.on_shutdown(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        let handle = server.shutdown_handle();
+        let t = std::thread::spawn(move || server.serve());
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "hook waits for shutdown");
+        handle.shutdown();
+        t.join().unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "hook ran exactly once");
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //! the corpus generator, the ML trainers, and the benchmarks, plus small
 //! descriptive-statistics helpers used by the experiment harness.
 
+pub mod arc_cell;
 pub mod pool;
 pub mod rng;
 pub mod stats;
 
+pub use arc_cell::ArcCell;
 pub use pool::ThreadPool;
 pub use rng::Rng;
 pub use stats::Summary;

@@ -17,7 +17,7 @@ fn main() {
         ..Default::default()
     });
     let reports = generator.generate();
-    let mut system = Create::new(CreateConfig::default());
+    let system = Create::new(CreateConfig::default());
     for r in &reports {
         system.ingest_gold(r).expect("ingest");
     }
@@ -60,7 +60,7 @@ fn main() {
     // "all nodes and edges are put into Neo4j via cypher query").
     println!("\nCypher: reports mentioning the concept 'fever':");
     let output = run(
-        system.graph_mut(),
+        &mut *system.graph_mut(),
         "MATCH (r:Report)-[:MENTIONS]->(c:Concept {label: 'fever'}) RETURN r.reportId LIMIT 5",
     )
     .expect("cypher");
@@ -70,7 +70,7 @@ fn main() {
 
     println!("\nCypher: temporal chains fever → … (BEFORE edges):");
     let output = run(
-        system.graph_mut(),
+        &mut *system.graph_mut(),
         "MATCH (a:Event)-[:BEFORE]->(b:Event) WHERE a.label CONTAINS 'fever' \
          RETURN a.reportId, a.label, b.label LIMIT 5",
     )

@@ -20,7 +20,7 @@ fn main() {
     })
     .generate();
     let dataset = NerDataset::from_reports(&reports, LabelSet::ner_targets());
-    let mut system = Create::new(CreateConfig::default());
+    let system = Create::new(CreateConfig::default());
     println!("training NER tagger on {} sentences…", dataset.len());
     let tagger = CrfTagger::train(
         &dataset,

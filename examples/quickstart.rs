@@ -22,7 +22,7 @@ fn main() {
 
     // 2) Ingest into the platform: document store + property graph +
     //    inverted index.
-    let mut system = Create::new(CreateConfig::default());
+    let system = Create::new(CreateConfig::default());
     for report in &reports {
         system.ingest_gold(report).expect("ingest");
     }

@@ -9,7 +9,6 @@ use create::core::{Create, CreateConfig};
 use create::corpus::{CorpusConfig, Generator};
 use create::server::server::{http_get, http_post};
 use create::server::{build_api, Server};
-use std::sync::RwLock;
 use std::sync::Arc;
 
 fn main() {
@@ -35,7 +34,7 @@ fn main() {
         ..Default::default()
     })
     .generate();
-    let mut system = Create::new(CreateConfig::default());
+    let system = Create::new(CreateConfig::default());
     let dataset =
         create::ner::NerDataset::from_reports(&reports, create::ner::LabelSet::ner_targets());
     let tagger = create::ner::CrfTagger::train(
@@ -50,8 +49,17 @@ fn main() {
     }
     let first_id = reports[0].id.clone();
 
-    let shared = Arc::new(RwLock::new(system));
-    let server = Server::bind("127.0.0.1:0", build_api(shared)).expect("bind");
+    let shared = Arc::new(system);
+    let server = Server::bind("127.0.0.1:0", build_api(Arc::clone(&shared))).expect("bind");
+    // Graceful shutdown persists the document store (a no-op for this
+    // in-memory demo, but the wiring is what a disk-backed deployment
+    // relies on).
+    let flusher = Arc::clone(&shared);
+    server.on_shutdown(move || {
+        if let Err(e) = flusher.flush() {
+            eprintln!("flush on shutdown failed: {e}");
+        }
+    });
     let addr = server.local_addr();
     let handle = server.shutdown_handle();
     let server_thread = std::thread::spawn(move || server.serve());
@@ -97,6 +105,7 @@ fn main() {
         "GET /search?q=chest+pain (finds the submission)",
         http_get(addr, "/search?q=chest+pain+myocardial+infarction&k=3"),
     );
+    show("POST /flush (persist document store)", http_post(addr, "/flush", ""));
     show("GET /metrics (Prometheus exposition)", http_get(addr, "/metrics"));
     show("GET /slowlog", http_get(addr, "/slowlog"));
 

@@ -29,6 +29,31 @@ out="$(mktemp)"
 cargo run -q --release -p create-bench --bin bench_search -- 200 "$out"
 rm -f "$out"
 
+echo "== bench smoke: concurrent search under streaming ingest (200 docs) =="
+out="$(mktemp)"
+cargo run -q --release -p create-bench --bin bench_concurrent -- 200 "$out"
+python3 - "$out" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+during = r["searches_during_ingest"]
+p99 = r["read_p99_seconds"]
+ingest = r["max_batch_ingest_seconds"]
+print(f"  {during} searches during ingest; read p99 {p99*1e3:.3f} ms vs batch ingest {ingest*1e3:.1f} ms")
+if during <= 0:
+    print("verify: FAIL — no searches completed while ingest was in flight", file=sys.stderr)
+    sys.exit(1)
+if p99 >= ingest / 2:
+    print("verify: FAIL — read p99 not well below a single batch-ingest duration", file=sys.stderr)
+    sys.exit(1)
+if r["publish_latency"]["count"] < 1:
+    print("verify: FAIL — snapshot publish histogram recorded no observations", file=sys.stderr)
+    sys.exit(1)
+EOF
+rm -f "$out"
+
+echo "== snapshot isolation: concurrent readers, torn-read + cache checks =="
+cargo test -q --test snapshot_stress
+
 echo "== obs smoke: /metrics series from every instrumented layer =="
 metrics="$(mktemp)"
 cargo run -q --release -p create-bench --bin metrics_smoke > "$metrics"
@@ -41,7 +66,9 @@ for series in \
     'create_query_stage_seconds_bucket{stage="parse"' \
     'create_daat_postings_advanced_total' \
     'create_query_cache_hits_total' \
-    'create_graph_exec_nodes_visited_total'
+    'create_graph_exec_nodes_visited_total' \
+    'create_snapshot_publish_total' \
+    'create_snapshot_publish_seconds_bucket'
 do
     grep -qF "$series" "$metrics" || {
         echo "verify: FAIL — missing metrics series $series" >&2

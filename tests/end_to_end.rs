@@ -6,7 +6,6 @@ use create::corpus::{CorpusConfig, Generator, QueryFamily, QuerySet};
 use create::graphdb::exec::run;
 use create::server::server::{http_get, http_post};
 use create::server::{build_api, Server};
-use std::sync::RwLock;
 use std::sync::Arc;
 
 fn loaded(n: usize, seed: u64) -> (Create, Vec<create::corpus::CaseReport>) {
@@ -16,7 +15,7 @@ fn loaded(n: usize, seed: u64) -> (Create, Vec<create::corpus::CaseReport>) {
         ..Default::default()
     })
     .generate();
-    let mut system = Create::new(CreateConfig::default());
+    let system = Create::new(CreateConfig::default());
     for r in &reports {
         system.ingest_gold(r).expect("ingest");
     }
@@ -70,9 +69,9 @@ fn full_pipeline_search_quality() {
 
 #[test]
 fn graph_is_cypher_queryable_after_ingest() {
-    let (mut system, _) = loaded(30, 7);
+    let (system, _) = loaded(30, 7);
     let out = run(
-        system.graph_mut(),
+        &mut *system.graph_mut(),
         "MATCH (r:Report)-[:MENTIONS]->(c:Concept) RETURN COUNT(*)",
     )
     .expect("cypher");
@@ -84,7 +83,7 @@ fn graph_is_cypher_queryable_after_ingest() {
 
     // A relation-style query (the Fig-6 graph path) returns rows.
     let out = run(
-        system.graph_mut(),
+        &mut *system.graph_mut(),
         "MATCH (a:Event)-[:BEFORE]->(b:Event) RETURN a.reportId LIMIT 5",
     )
     .expect("cypher");
@@ -118,7 +117,7 @@ fn visualization_svg_is_wellformed_for_every_report() {
 fn rest_api_serves_the_whole_surface() {
     let (system, reports) = loaded(20, 10);
     let id = reports[0].id.clone();
-    let shared = Arc::new(RwLock::new(system));
+    let shared = Arc::new(system);
     let server = Server::bind("127.0.0.1:0", build_api(shared)).expect("bind");
     let addr = server.local_addr();
     let handle = server.shutdown_handle();
@@ -205,7 +204,7 @@ fn platform_persistence_round_trip() {
     let query = "A patient was admitted to the hospital because of fever and cough.";
     let before_hits: Vec<String>;
     {
-        let mut system = Create::open(&dir, CreateConfig::default()).unwrap();
+        let system = Create::open(&dir, CreateConfig::default()).unwrap();
         for r in &reports {
             system.ingest_gold(r).unwrap();
         }

@@ -141,7 +141,7 @@ fn automatic_ingestion_builds_searchable_system() {
     })
     .generate();
     let dataset = NerDataset::from_reports(&reports, LabelSet::ner_targets());
-    let mut system = Create::new(CreateConfig::default());
+    let system = Create::new(CreateConfig::default());
     let tagger = CrfTagger::train(&dataset, quick_config(5), Some(system.ontology()), None);
     system.attach_tagger(tagger);
 

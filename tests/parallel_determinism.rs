@@ -21,7 +21,7 @@ fn batch_ingestion_is_deterministic_across_thread_counts() {
     let queries = QuerySet::generate(&reports, 4243, 16);
 
     // Sequential per-document ingestion is the reference.
-    let mut reference = Create::new(CreateConfig::default());
+    let reference = Create::new(CreateConfig::default());
     for r in &reports {
         reference.ingest_gold(r).expect("sequential ingest");
     }
@@ -40,7 +40,7 @@ fn batch_ingestion_is_deterministic_across_thread_counts() {
         .collect();
 
     for threads in [1, 2, 8] {
-        let mut system = Create::new(CreateConfig::default());
+        let system = Create::new(CreateConfig::default());
         let count = system
             .ingest_gold_batch(&reports, threads)
             .expect("batch ingest");
@@ -73,7 +73,7 @@ fn batch_ingestion_is_deterministic_across_thread_counts() {
 #[test]
 fn search_many_is_deterministic() {
     let reports = corpus(60, 7);
-    let mut system = Create::new(CreateConfig::default());
+    let system = Create::new(CreateConfig::default());
     system.ingest_gold_batch(&reports, 4).expect("batch ingest");
 
     let queries = QuerySet::generate(&reports, 8, 12);

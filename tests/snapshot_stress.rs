@@ -1,0 +1,186 @@
+//! Stress test for snapshot-isolated reads.
+//!
+//! A writer thread batch-ingests the corpus one chunk at a time while
+//! reader threads hammer a fixed query panel. Every result set a reader
+//! observes must be *bit-identical* to what a quiescent system at exactly
+//! one generation would return — a ranking mixing graph hits from one
+//! generation with keyword hits from another (a torn read) matches no
+//! generation and fails the test. Readers also check that the generations
+//! they observe never roll backwards, and a separate test pins the cache
+//! contract: entries stamped with an old snapshot's generation survive the
+//! publish itself but die (as misses) on first touch afterwards.
+
+use create::core::{Create, CreateConfig};
+use create::corpus::{CaseReport, CorpusConfig, Generator, QuerySet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const BATCHES: usize = 5;
+const PER_BATCH: usize = 16;
+const READERS: usize = 4;
+const K: usize = 10;
+
+/// Rankings are compared at the bit level: report id + raw score bits.
+type Ranking = Vec<(String, u64)>;
+
+fn corpus(n: usize, seed: u64) -> Vec<CaseReport> {
+    Generator::new(CorpusConfig {
+        num_reports: n,
+        seed,
+        ..Default::default()
+    })
+    .generate()
+}
+
+fn ranking(system: &Create, query: &str) -> Ranking {
+    system
+        .search(query, K)
+        .into_iter()
+        .map(|h| (h.report_id, h.score.to_bits()))
+        .collect()
+}
+
+#[test]
+fn concurrent_readers_never_observe_torn_results() {
+    let reports = corpus(BATCHES * PER_BATCH, 20260806);
+    let queries: Vec<String> = QuerySet::generate(&reports, 77, 6)
+        .queries
+        .into_iter()
+        .map(|q| q.text)
+        .collect();
+
+    // Reference pass: replay the exact batch schedule on a quiescent
+    // system and record the expected rankings at every generation.
+    // `expected[g][qi]` is the panel's ranking with g batches applied.
+    let reference = Create::new(CreateConfig::default());
+    let mut expected: Vec<Vec<Ranking>> = Vec::with_capacity(BATCHES + 1);
+    expected.push(queries.iter().map(|q| ranking(&reference, q)).collect());
+    for (i, batch) in reports.chunks(PER_BATCH).enumerate() {
+        reference.ingest_gold_batch(batch, 0).expect("reference ingest");
+        assert_eq!(
+            reference.cache_stats().generation,
+            (i + 1) as u64,
+            "each batch publishes exactly one generation"
+        );
+        expected.push(queries.iter().map(|q| ranking(&reference, q)).collect());
+    }
+
+    // Live pass: one writer applying the same schedule, READERS threads
+    // searching concurrently against whatever snapshot is current.
+    let system = Arc::new(Create::new(CreateConfig::default()));
+    let done = Arc::new(AtomicBool::new(false));
+    let expected = Arc::new(expected);
+    let queries = Arc::new(queries);
+
+    let mut handles = Vec::new();
+    for reader in 0..READERS {
+        let system = Arc::clone(&system);
+        let done = Arc::clone(&done);
+        let expected = Arc::clone(&expected);
+        let queries = Arc::clone(&queries);
+        handles.push(std::thread::spawn(move || {
+            // Lower bound on the generation this reader has proven it saw,
+            // per query; observed generations must never roll backwards.
+            let mut floor = vec![0usize; queries.len()];
+            loop {
+                let finished = done.load(Ordering::SeqCst);
+                for (qi, query) in queries.iter().enumerate() {
+                    let got = ranking(&system, query);
+                    let matches: Vec<usize> = (0..expected.len())
+                        .filter(|&g| expected[g][qi] == got)
+                        .collect();
+                    assert!(
+                        !matches.is_empty(),
+                        "reader {reader} observed a ranking for {query:?} that matches \
+                         no single generation — torn read: {got:?}"
+                    );
+                    let candidate = matches.iter().copied().find(|&g| g >= floor[qi]);
+                    let Some(g) = candidate else {
+                        panic!(
+                            "reader {reader} observed {query:?} roll back below \
+                             generation {} (matches: {matches:?})",
+                            floor[qi]
+                        );
+                    };
+                    floor[qi] = g;
+                }
+                if finished {
+                    break;
+                }
+            }
+        }));
+    }
+
+    let writer = {
+        let system = Arc::clone(&system);
+        let done = Arc::clone(&done);
+        let reports = reports.clone();
+        std::thread::spawn(move || {
+            for batch in reports.chunks(PER_BATCH) {
+                system.ingest_gold_batch(batch, 2).expect("live ingest");
+                // Give readers a window to observe this generation.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    writer.join().expect("writer thread");
+    for handle in handles {
+        handle.join().expect("reader thread");
+    }
+
+    // The fully-ingested live system converges on the reference.
+    assert_eq!(system.cache_stats().generation, BATCHES as u64);
+    for (qi, query) in queries.iter().enumerate() {
+        assert_eq!(
+            ranking(&system, query),
+            expected[BATCHES][qi],
+            "final ranking for {query:?} diverged from the quiescent reference"
+        );
+    }
+}
+
+#[test]
+fn stale_cache_entries_die_on_first_touch_after_publish() {
+    let reports = corpus(30, 99);
+    let system = Create::new(CreateConfig::default());
+    system
+        .ingest_gold_batch(&reports[..20], 0)
+        .expect("initial ingest");
+
+    let query = "fever cough";
+    let cold = ranking(&system, query); // computed + cached
+    let warm = ranking(&system, query); // served from cache
+    assert_eq!(cold, warm);
+    let before = system.cache_stats();
+    assert_eq!(before.hits, 1);
+    assert_eq!(before.misses, 1);
+    assert_eq!(before.entries, 1);
+
+    // Publishing a new snapshot does not eagerly sweep the cache…
+    system
+        .ingest_gold_batch(&reports[20..], 0)
+        .expect("second ingest");
+    let published = system.cache_stats();
+    assert_eq!(published.generation, before.generation + 1);
+    assert_eq!(
+        published.entries, 1,
+        "publish leaves stale entries in place; they die lazily"
+    );
+    assert_eq!((published.hits, published.misses), (before.hits, before.misses));
+
+    // …the stale entry dies on its first touch: a miss, replaced in
+    // place (no duplicate entry for the same key).
+    let _ = ranking(&system, query);
+    let touched = system.cache_stats();
+    assert_eq!(touched.misses, published.misses + 1, "stale entry is a miss");
+    assert_eq!(touched.hits, published.hits, "stale entry never serves a hit");
+    assert_eq!(touched.entries, 1, "stale entry replaced, not duplicated");
+
+    // The refreshed entry is live again at the new generation.
+    let _ = ranking(&system, query);
+    let refreshed = system.cache_stats();
+    assert_eq!(refreshed.hits, touched.hits + 1);
+    assert_eq!(refreshed.misses, touched.misses);
+}
