@@ -7,9 +7,11 @@
 //! never block on the writer: the harness records search throughput and
 //! latency percentiles, how many searches completed while a batch ingest
 //! was in flight, and the snapshot-publish latency histogram from the obs
-//! registry. Writes `BENCH_concurrent.json`; scripts/verify.sh gates on
-//! searches overlapping ingest and on read p99 staying well below a
-//! single batch-ingest duration.
+//! registry. A final shard-count sweep (1/2/4/8 shards) records ingest
+//! throughput, search qps, and mean publish latency at each width.
+//! Writes `BENCH_concurrent.json`; scripts/verify.sh gates on searches
+//! overlapping ingest and on read p99 staying well below a single
+//! batch-ingest duration.
 //!
 //! ```bash
 //! cargo run --release -p create-bench --bin bench_concurrent            # 600 docs
@@ -19,6 +21,7 @@
 use create_core::{Create, CreateConfig};
 use create_corpus::QuerySet;
 use create_docstore::json::obj;
+use create_docstore::Value;
 use create_util::Rng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -148,6 +151,56 @@ fn main() {
          blocking on the writer"
     );
 
+    // Shard-count sweep: the same corpus and query workload against 1, 2,
+    // 4, and 8 shards, recording batch-ingest throughput, search qps, and
+    // mean publish latency (read as the delta the run adds to the global
+    // publish histogram). Rankings are bit-identical across shard counts
+    // (gated by tests/shard_equivalence.rs); this records what the
+    // fan-out costs and buys at each width.
+    let sweep_docs = prefill.min(200);
+    let sweep_reps = 3usize;
+    let mut sweep_rows: Vec<Value> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let sharded = Create::new(CreateConfig {
+            shards,
+            ..Default::default()
+        });
+        let pub_count_before = publish_hist.count();
+        let pub_sum_before = publish_hist.sum();
+        let started = Instant::now();
+        sharded
+            .ingest_gold_batch(&reports[..sweep_docs], 0)
+            .expect("sweep ingest");
+        let ingest_rate = sweep_docs as f64 / started.elapsed().as_secs_f64();
+        let publish_delta_count = publish_hist.count() - pub_count_before;
+        let publish_mean = if publish_delta_count > 0 {
+            (publish_hist.sum() - pub_sum_before) / publish_delta_count as f64
+        } else {
+            0.0
+        };
+        let started = Instant::now();
+        let mut sweep_searches = 0usize;
+        for _ in 0..sweep_reps {
+            for q in queries.iter() {
+                std::hint::black_box(sharded.search(q, K));
+                sweep_searches += 1;
+            }
+        }
+        let qps = sweep_searches as f64 / started.elapsed().as_secs_f64();
+        eprintln!(
+            "sweep @ {shards} shard(s): ingest {ingest_rate:8.1} docs/sec  \
+             search {qps:8.1} q/s  publish mean {:.3} ms",
+            publish_mean * 1e3
+        );
+        sweep_rows.push(obj([
+            ("shards", (shards as i64).into()),
+            ("ingest_docs_per_sec", ingest_rate.into()),
+            ("search_qps", qps.into()),
+            ("publish_mean_seconds", publish_mean.into()),
+            ("publishes", (publish_delta_count as i64).into()),
+        ]));
+    }
+
     let report = obj([
         ("bench", "concurrent".into()),
         ("meta", create_bench::meta_json(n)),
@@ -179,6 +232,7 @@ fn main() {
             ]),
         ),
         ("snapshot_publishes", (publishes as i64).into()),
+        ("shard_sweep", Value::Array(sweep_rows)),
     ]);
     std::fs::write(&out_path, report.to_json_pretty()).expect("write bench report");
     eprintln!("wrote {out_path}");

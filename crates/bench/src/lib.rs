@@ -35,6 +35,10 @@ pub fn meta_json(n_docs: usize) -> Value {
         ),
         ("n_docs", (n_docs as i64).into()),
         ("obs_enabled", create_obs::enabled().into()),
+        (
+            "shards",
+            (CreateConfig::default().shards as i64).into(),
+        ),
     ])
 }
 

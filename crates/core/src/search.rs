@@ -12,10 +12,12 @@
 //!   followed by results from ElasticSearch" (Section III-D).
 
 use crate::pipeline::QueryIE;
+use crate::system::ShardSnapshot;
 use create_graphdb::{NodeId, PropertyGraph};
-use create_index::{Index, QueryNode, Scorer};
+use create_index::{CorpusStats, Index, QueryNode, Scorer};
 use create_ontology::{ConceptId, RelationType};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which engine produced a hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,9 +242,12 @@ impl GraphSearcher {
     }
 }
 
-/// Runs the keyword engine: BM25 over title/body (+ n-gram field).
-pub fn keyword_search(index: &Index, query_text: &str, k: usize) -> Vec<SearchHit> {
-    let q = QueryNode::Bool {
+/// Builds the standard multi-field keyword query over title/body (+ the
+/// n-gram field). Analysis depends only on the index's field
+/// configuration, which is identical across shards, so a query built
+/// against any shard's index works against all of them.
+fn keyword_query(index: &Index, query_text: &str) -> QueryNode {
+    QueryNode::Bool {
         must: vec![],
         should: vec![
             QueryNode::query_string(index, "title", query_text),
@@ -250,7 +255,12 @@ pub fn keyword_search(index: &Index, query_text: &str, k: usize) -> Vec<SearchHi
             QueryNode::query_string(index, "body_ngram", query_text),
         ],
         must_not: vec![],
-    };
+    }
+}
+
+/// Runs the keyword engine: BM25 over title/body (+ n-gram field).
+pub fn keyword_search(index: &Index, query_text: &str, k: usize) -> Vec<SearchHit> {
+    let q = keyword_query(index, query_text);
     index
         .search(&q, k, Scorer::default())
         .into_iter()
@@ -261,6 +271,95 @@ pub fn keyword_search(index: &Index, query_text: &str, k: usize) -> Vec<SearchHi
             pattern_matched: false,
         })
         .collect()
+}
+
+/// Scatter-gather keyword search over every shard.
+///
+/// Each shard runs DAAT top-k against its own postings, but under
+/// **merged corpus statistics** ([`CorpusStats`]): document frequencies,
+/// document counts, and field lengths are summed across shards first, so
+/// every shard computes exactly the idf and average-length terms a
+/// single global index would — per-document BM25 scores come out
+/// bit-identical to the unsharded engine. The per-shard top-k lists are
+/// then merged under `(score descending by total_cmp, global ingest
+/// ordinal ascending)`. The ordinal tie-break reproduces the
+/// single-index internal-doc-id tie-break exactly (internal ids are
+/// assigned in ingest order), so the gathered ranking is bit-identical
+/// for any shard count — including the trivial N=1 deployment, which
+/// short-circuits to the plain single-index path.
+pub(crate) fn scatter_keyword_search(
+    shards: &[Arc<ShardSnapshot>],
+    query_text: &str,
+    k: usize,
+) -> Vec<SearchHit> {
+    if shards.len() == 1 {
+        return keyword_search(&shards[0].index, query_text, k);
+    }
+    let q = keyword_query(&shards[0].index, query_text);
+    let mut stats = CorpusStats::default();
+    for shard in shards {
+        stats.merge(&CorpusStats::collect(&shard.index, &q));
+    }
+    // (score, global ordinal, report id) per shard-local hit. Each
+    // shard's top-k under its local internal-id tie-break equals its
+    // top-k under the ordinal tie-break: routing preserves ingest order
+    // within a shard, so local internal ids are ordered exactly like the
+    // ordinals they map to.
+    let mut gathered: Vec<(f64, u64, String)> = Vec::with_capacity(shards.len() * k);
+    for shard in shards {
+        for scored in shard
+            .index
+            .search_with_stats(&q, k, Scorer::default(), Some(&stats))
+        {
+            gathered.push((
+                scored.score,
+                shard.ordinals[scored.doc as usize],
+                scored.external_id,
+            ));
+        }
+    }
+    gathered.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    gathered.truncate(k);
+    gathered
+        .into_iter()
+        .map(|(score, _, report_id)| SearchHit {
+            report_id,
+            score,
+            source: SearchSource::Keyword,
+            pattern_matched: false,
+        })
+        .collect()
+}
+
+/// Scatter-gather graph search over every shard.
+///
+/// A report's whole neighbourhood — its events, mentions, and temporal
+/// edges — lives in its owning shard, so a graph hit's score is computed
+/// entirely from shard-local state and is independent of the shard
+/// count. Gathering concatenates the per-shard hit lists and re-applies
+/// the engine's own ordering (score descending, report id ascending),
+/// which is total over distinct report ids — the merged ranking is
+/// exactly the single-graph ranking.
+pub(crate) fn scatter_graph_search(
+    shards: &[Arc<ShardSnapshot>],
+    query: &QueryIE,
+    k: usize,
+) -> Vec<SearchHit> {
+    if shards.len() == 1 {
+        return GraphSearcher::from_graph(&shards[0].graph).search(&shards[0].graph, query, k);
+    }
+    let mut hits: Vec<SearchHit> = Vec::new();
+    for shard in shards {
+        hits.extend(GraphSearcher::from_graph(&shard.graph).search(&shard.graph, query, k));
+    }
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then_with(|| a.report_id.cmp(&b.report_id))
+    });
+    hits.truncate(k);
+    hits
 }
 
 /// Merges the two engines' ranked lists under a policy, deduplicating by

@@ -1,21 +1,26 @@
 //! The [`Create`] facade — the public API of the platform.
 //!
-//! State is split snapshot/writer: a [`Writer`] (behind a `Mutex`) owns
-//! the mutable stores — document store, property graph, inverted index —
-//! and the ingestion pipeline, while readers run against an immutable
-//! [`Snapshot`] published through an [`ArcCell`]. Every completed write
-//! batch clones the writer's state (structurally — the stores share
-//! unchanged substructure through `Arc`s) and swaps the new snapshot in
-//! atomically, so reads never block on ingest and always observe exactly
-//! one generation. The facade exposes the user-facing operations of the
-//! demo: ingest (gold corpus entries, raw text, or PDF submissions),
-//! CREATe-IR search with a merge policy, report/annotation retrieval, and
-//! Fig-7 visualization.
+//! State is partitioned into independent **shards** keyed by
+//! `hash(report_id) % N`: each shard owns its own document store, property
+//! graph, inverted index, generation stamp, and query-cache partition,
+//! behind its own writer `Mutex`. A global write gate serializes write
+//! *operations* (and hands out global ingest ordinals), but the heavy
+//! per-shard apply work of a batch fans out across the pool with no
+//! cross-shard contention. Readers run against an immutable composite
+//! [`Snapshot`] — one `Arc` per shard — published through a single
+//! [`ArcCell`], so a publish clones only the touched shards' spines while
+//! reads stay lock-free and can never observe a torn mix of shard
+//! generations. Scatter-gather search (see [`crate::search`]) merges
+//! per-shard top-k lists under globally merged corpus statistics, so
+//! rankings are bit-identical for any shard count. The facade exposes the
+//! user-facing operations of the demo: ingest (gold corpus entries, raw
+//! text, or PDF submissions), CREATe-IR search with a merge policy,
+//! report/annotation retrieval, and Fig-7 visualization.
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::graph_build::{GraphBuilder, ReportMeta};
 use crate::pipeline::{ExtractedAnnotations, QueryIE};
-use crate::search::{keyword_search, GraphSearcher, MergePolicy, SearchHit};
+use crate::search::{scatter_graph_search, scatter_keyword_search, MergePolicy, SearchHit};
 use create_annotate::{case_report_to_brat, BratDocument};
 use create_corpus::CaseReport;
 use create_docstore::{json::obj, DocStore, Filter, StoreSnapshot, Value};
@@ -26,7 +31,7 @@ use create_index::IndexSegment;
 use create_ner::CrfTagger;
 use create_ontology::Ontology;
 use create_obs::names as obs_names;
-use create_obs::{QueryCapture, Span};
+use create_obs::{QueryCapture, Span, StageLog};
 use create_util::{ArcCell, ThreadPool};
 use create_viz::{render_svg, SvgOptions, VizEdge, VizGraph, VizNode};
 use std::collections::HashSet;
@@ -34,9 +39,14 @@ use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
-/// Query-cache capacity: enough for a busy console session's working set;
-/// every cache operation is O(1) so the cap is purely a memory bound.
+/// Per-shard query-cache capacity: enough for a busy console session's
+/// working set; every cache operation is O(1) so the cap is purely a
+/// memory bound.
 const QUERY_CACHE_CAPACITY: usize = 256;
+
+/// Upper bound on the shard count: beyond this the per-query scatter cost
+/// dwarfs any write-parallelism win, so larger requests are clamped.
+pub const MAX_SHARDS: usize = 64;
 
 /// System configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +55,11 @@ pub struct CreateConfig {
     pub merge_policy: MergePolicy,
     /// Default result count.
     pub default_k: usize,
+    /// Number of independent shards. Defaults to the machine's available
+    /// cores. `Create::new` clamps out-of-range values (with a warning and
+    /// a `create_open_bad_config_total` tick); `Create::open` rejects `0`
+    /// outright, since a zero-shard layout cannot describe stored data.
+    pub shards: usize,
 }
 
 impl Default for CreateConfig {
@@ -52,8 +67,49 @@ impl Default for CreateConfig {
         CreateConfig {
             merge_policy: MergePolicy::Neo4jFirst,
             default_k: 10,
+            shards: default_shards(),
         }
     }
+}
+
+/// One shard per available core, the sweet spot for write fan-out.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_SHARDS)
+}
+
+/// FNV-1a — deterministic across processes and platforms, unlike the
+/// std `RandomState` hasher, so a store written at shard count N reopens
+/// with every document routed to the same shard.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The owning shard for an external report id.
+fn shard_index(id: &str, shards: usize) -> usize {
+    (fnv1a(id.as_bytes()) % shards as u64) as usize
+}
+
+/// Clamps a requested shard count into `1..=MAX_SHARDS`, counting and
+/// logging any adjustment so a misconfigured deployment is visible.
+fn clamp_shards(requested: usize) -> usize {
+    let clamped = requested.clamp(1, MAX_SHARDS);
+    if clamped != requested && create_obs::enabled() {
+        create_obs::counter(obs_names::OPEN_BAD_CONFIG_TOTAL).inc();
+        create_obs::log(
+            create_obs::Level::Warn,
+            "create-core",
+            format!("shard count {requested} out of range; clamped to {clamped}"),
+        );
+    }
+    clamped
 }
 
 /// Counts describing the system state.
@@ -69,95 +125,159 @@ pub struct SystemStats {
     pub index_terms: usize,
 }
 
-/// An immutable, internally consistent view of the platform at a single
-/// write generation.
+/// One shard's immutable view at a single shard generation.
+pub(crate) struct ShardSnapshot {
+    /// This shard's write generation at publish time.
+    pub(crate) generation: u64,
+    pub(crate) store: StoreSnapshot,
+    pub(crate) graph: Arc<PropertyGraph>,
+    pub(crate) index: Arc<Index>,
+    pub(crate) tagger: Option<Arc<CrfTagger>>,
+    /// Shard-local internal doc id → global ingest ordinal. The scatter
+    /// merge tie-breaks equal scores on this, which reproduces the
+    /// single-shard internal-id tie-break exactly (see [`crate::search`]).
+    pub(crate) ordinals: Arc<Vec<u64>>,
+}
+
+/// An immutable, internally consistent view of the platform: one
+/// [`ShardSnapshot`] per shard, all published together in a single atomic
+/// swap.
 ///
-/// Published by the writer after every completed write batch and held by
-/// readers for the duration of one operation: everything read through one
-/// snapshot — postings, graph neighbourhoods, stored documents — comes
-/// from the same moment, so a concurrent ingest can never produce a torn
-/// result. Old snapshots stay valid (and allocated) until the last reader
-/// drops its `Arc`; reclamation is plain reference counting.
+/// Published by the write path after every completed write operation and
+/// held by readers for the duration of one operation: everything read
+/// through one snapshot — postings, graph neighbourhoods, stored
+/// documents — comes from the same moment, so a concurrent ingest can
+/// never produce a torn result (not even a torn mix of shard
+/// generations). Old snapshots stay valid (and allocated) until the last
+/// reader drops its `Arc`; reclamation is plain reference counting.
 pub struct Snapshot {
-    /// Write generation this snapshot was published at; stamps query-cache
-    /// entries so results computed against it die once it is superseded.
-    generation: u64,
-    store: StoreSnapshot,
-    graph: Arc<PropertyGraph>,
-    index: Arc<Index>,
-    tagger: Option<Arc<CrfTagger>>,
+    pub(crate) shards: Vec<Arc<ShardSnapshot>>,
 }
 
 impl Snapshot {
-    /// The write generation this snapshot was published at.
+    /// The composite write generation: the sum of all shard generations.
+    /// Every write operation bumps exactly the shards it touched, so this
+    /// advances by at least one per publish — query-cache entries stamped
+    /// with it die on the first write anywhere, exactly as before
+    /// sharding.
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.shards.iter().map(|s| s.generation).sum()
     }
 
-    /// The property graph as of this snapshot.
+    /// Per-shard generation stamps, in shard order.
+    pub fn shard_generations(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.generation).collect()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard 0's property graph (the whole graph in single-shard
+    /// deployments; Cypher-level access targets this shard).
     pub fn graph(&self) -> &PropertyGraph {
-        &self.graph
+        &self.shards[0].graph
     }
 
-    /// The inverted index as of this snapshot.
+    /// Shard 0's inverted index (the whole index in single-shard
+    /// deployments; field configuration is identical on every shard).
     pub fn index(&self) -> &Index {
-        &self.index
+        &self.shards[0].index
     }
 }
 
-/// The mutable half: owns the live stores and the ingestion pipeline.
-/// Exactly one write batch runs at a time (the facade's `Mutex` is the
-/// serialization point); nothing reads these fields outside the lock.
+/// The mutable half of one shard: owns its live stores and pipeline
+/// state. Exactly one write operation runs at a time (the facade's write
+/// gate is the serialization point); nothing reads these fields outside
+/// the shard's lock.
 struct Writer {
     store: DocStore,
     graph: PropertyGraph,
     graph_builder: GraphBuilder,
     index: Index,
     tagger: Option<Arc<CrfTagger>>,
-    /// Bumped on every write batch (ingest, graph mutation); copied into
-    /// the published snapshot and onto query-cache entries.
+    /// Bumped on every write operation touching this shard; copied into
+    /// the published shard snapshot.
     generation: u64,
+    /// Shard-local internal doc id → global ingest ordinal.
+    ordinals: Vec<u64>,
 }
 
-impl Writer {
-    /// Rejects a batch containing an already-ingested or repeated id —
-    /// checked before any mutation so a failed batch leaves the system
-    /// untouched.
-    fn check_batch_ids<'a>(&self, ids: impl Iterator<Item = &'a str>) -> Result<(), IngestError> {
-        let mut seen = HashSet::new();
-        for id in ids {
-            if self.store.get("reports", id).is_some() || !seen.insert(id) {
-                return Err(IngestError::Duplicate(id.to_string()));
-            }
-        }
-        Ok(())
+fn empty_writer(store: DocStore) -> Writer {
+    Writer {
+        store,
+        graph: PropertyGraph::new(),
+        graph_builder: GraphBuilder::new(),
+        index: Index::clinical(),
+        tagger: None,
+        generation: 0,
+        ordinals: Vec::new(),
     }
 }
 
-/// Clones the writer's state into a fresh immutable snapshot. The clones
-/// are structural: postings lists, graph nodes, and stored documents all
-/// sit behind `Arc`s, so the cost scales with pointer-table sizes, not
-/// corpus bytes.
-fn snapshot_of(writer: &Writer) -> Arc<Snapshot> {
-    Arc::new(Snapshot {
+/// Clones one shard writer's state into a fresh immutable snapshot. The
+/// clones are structural: postings lists, graph nodes, and stored
+/// documents all sit behind `Arc`s, so the cost scales with the *shard's*
+/// pointer-table sizes, not corpus bytes — untouched shards are not even
+/// visited (their published `Arc`s are reused).
+fn snapshot_of(writer: &Writer) -> Arc<ShardSnapshot> {
+    Arc::new(ShardSnapshot {
         generation: writer.generation,
         store: writer.store.snapshot(),
         graph: Arc::new(writer.graph.clone()),
         index: Arc::new(writer.index.clone()),
         tagger: writer.tagger.clone(),
+        ordinals: Arc::new(writer.ordinals.clone()),
     })
+}
+
+/// One shard: its serialized write half and its query-cache partition.
+struct Shard {
+    writer: Mutex<Writer>,
+    cache: Mutex<QueryCache>,
+}
+
+impl Shard {
+    fn new(writer: Writer) -> Shard {
+        Shard {
+            writer: Mutex::new(writer),
+            cache: Mutex::new(QueryCache::new(QUERY_CACHE_CAPACITY)),
+        }
+    }
+
+    /// Locks the shard's write half, recovering (and counting) poisoned
+    /// locks: a panicking batch leaves per-operation invariants intact,
+    /// so serving on is strictly better than wedging every future write.
+    fn lock_writer(&self) -> MutexGuard<'_, Writer> {
+        self.writer.lock().unwrap_or_else(|poisoned| {
+            if create_obs::enabled() {
+                create_obs::counter(obs_names::LOCK_POISONED_TOTAL).inc();
+                create_obs::log(
+                    create_obs::Level::Warn,
+                    "create-core",
+                    "recovered a poisoned writer lock".to_string(),
+                );
+            }
+            poisoned.into_inner()
+        })
+    }
 }
 
 /// The CREATe platform.
 pub struct Create {
     config: CreateConfig,
     ontology: Arc<Ontology>,
-    /// Serialized write half; every mutation locks this.
-    writer: Mutex<Writer>,
-    /// The published snapshot; every read loads this (lock-free with
-    /// respect to the writer — a load never waits on an in-flight batch).
+    /// The shards, routing key `fnv1a(report_id) % shards.len()`.
+    shards: Vec<Shard>,
+    /// The global write gate: every write operation holds it end-to-end
+    /// (shard writer locks nest inside, in ascending shard order). The
+    /// guarded value is the next global ingest ordinal.
+    gate: Mutex<u64>,
+    /// The published composite snapshot; every read loads this
+    /// (lock-free with respect to writers — a load never waits on an
+    /// in-flight batch).
     current: ArcCell<Snapshot>,
-    query_cache: Mutex<QueryCache>,
 }
 
 impl std::fmt::Debug for Create {
@@ -165,8 +285,9 @@ impl std::fmt::Debug for Create {
         let stats = self.stats();
         f.debug_struct("Create")
             .field("reports", &stats.reports)
+            .field("shards", &self.shards.len())
             .field("graph_nodes", &stats.graph_nodes)
-            .field("tagger", &self.current.load().tagger.is_some())
+            .field("tagger", &self.current.load().shards[0].tagger.is_some())
             .finish()
     }
 }
@@ -197,11 +318,26 @@ fn register_metrics() {
         obs_names::GRAPH_EXEC_EDGES_TRAVERSED_TOTAL,
         obs_names::SNAPSHOT_PUBLISH_TOTAL,
         obs_names::OPEN_MALFORMED_FIELDS_TOTAL,
+        obs_names::OPEN_BAD_CONFIG_TOTAL,
     ] {
         create_obs::counter(name);
     }
     for policy in ALL_POLICIES {
         create_obs::counter_with(obs_names::SEARCH_POLICY_TOTAL, &[("policy", policy.label())]);
+    }
+}
+
+/// Pre-registers the per-shard series for the instance's actual shard
+/// count, so `/metrics` shows every `shard=...` label from first scrape.
+fn register_shard_metrics(shards: usize) {
+    if !create_obs::enabled() {
+        return;
+    }
+    for i in 0..shards {
+        let label = i.to_string();
+        create_obs::gauge_with(obs_names::SHARD_GENERATION_GAUGE, &[("shard", &label)]);
+        create_obs::counter_with(obs_names::SHARD_PUBLISH_TOTAL, &[("shard", &label)]);
+        create_obs::gauge_with(obs_names::SHARD_CACHE_ENTRIES_GAUGE, &[("shard", &label)]);
     }
 }
 
@@ -234,11 +370,13 @@ fn count_policy(policy: MergePolicy) {
 }
 
 /// Write access to the property graph, for the Cypher executor (which may
-/// `CREATE`). Holds the writer lock for its lifetime; dropping the guard
-/// bumps the generation (the borrow may have written) and publishes a
-/// fresh snapshot so readers observe the mutation.
+/// `CREATE`). Targets shard 0's graph and holds the write gate for its
+/// lifetime; dropping the guard bumps shard 0's generation (the borrow
+/// may have written) and publishes a fresh composite snapshot so readers
+/// observe the mutation.
 pub struct GraphWriteGuard<'a> {
     system: &'a Create,
+    _gate: MutexGuard<'a, u64>,
     writer: MutexGuard<'a, Writer>,
 }
 
@@ -258,147 +396,284 @@ impl DerefMut for GraphWriteGuard<'_> {
 impl Drop for GraphWriteGuard<'_> {
     fn drop(&mut self) {
         self.writer.generation += 1;
-        self.system.publish(&self.writer);
+        self.system.publish_shards(&[(0, &self.writer)]);
     }
+}
+
+/// Work redistributed to one shard's apply task: documents in batch
+/// order, plus the index segments built for this shard (in worker-range
+/// order, which is also batch order).
+#[derive(Default)]
+struct ShardWork {
+    docs: Vec<(usize, PreparedDoc)>,
+    segments: Vec<IndexSegment>,
 }
 
 impl Create {
     /// Builds an empty in-memory platform over the built-in clinical
-    /// ontology.
+    /// ontology. An out-of-range `shards` value is clamped into
+    /// `1..=MAX_SHARDS` (with a warning and a bad-config tick).
     pub fn new(config: CreateConfig) -> Create {
         register_metrics();
-        let writer = Writer {
-            store: DocStore::in_memory(),
-            graph: PropertyGraph::new(),
-            graph_builder: GraphBuilder::new(),
-            index: Index::clinical(),
-            tagger: None,
-            generation: 0,
-        };
-        let current = ArcCell::new(snapshot_of(&writer));
+        let mut config = config;
+        config.shards = clamp_shards(config.shards);
+        register_shard_metrics(config.shards);
+        let writers = (0..config.shards)
+            .map(|_| empty_writer(DocStore::in_memory()))
+            .collect();
+        Create::build(
+            config,
+            Arc::new(create_ontology::clinical_ontology()),
+            writers,
+            0,
+        )
+    }
+
+    /// Assembles the facade from per-shard writers and the next global
+    /// ingest ordinal.
+    fn build(
+        config: CreateConfig,
+        ontology: Arc<Ontology>,
+        writers: Vec<Writer>,
+        next_ordinal: u64,
+    ) -> Create {
+        let published: Vec<Arc<ShardSnapshot>> = writers.iter().map(snapshot_of).collect();
         Create {
             config,
-            ontology: Arc::new(create_ontology::clinical_ontology()),
-            writer: Mutex::new(writer),
-            current,
-            query_cache: Mutex::new(QueryCache::new(QUERY_CACHE_CAPACITY)),
+            ontology,
+            shards: writers.into_iter().map(Shard::new).collect(),
+            gate: Mutex::new(next_ordinal),
+            current: ArcCell::new(Arc::new(Snapshot { shards: published })),
         }
     }
 
-    /// Opens a disk-backed platform: the document store loads from `dir`,
-    /// and the property graph and inverted index are rebuilt from the
-    /// persisted documents and their stored extractions (the same recovery
-    /// MongoDB-backed deployments perform — the derived stores are caches
-    /// over the durable one).
+    /// Opens a disk-backed platform: shard 0's document store loads from
+    /// `dir` itself (the pre-sharding flat layout, so single-shard
+    /// deployments keep their files), shard `i > 0` from `dir/shard-i`.
+    /// The property graphs and inverted indexes are rebuilt from the
+    /// persisted documents and their stored extractions (the same
+    /// recovery MongoDB-backed deployments perform — the derived stores
+    /// are caches over the durable one). Documents found in a store whose
+    /// hash routes them elsewhere — a shard-count change, or a file
+    /// written by an external tool — are moved to their owning shard.
+    ///
+    /// A zero shard count is rejected ([`IngestError::Config`]): unlike
+    /// [`Create::new`], silently clamping here could silently re-route a
+    /// store laid out under a different intent.
     pub fn open(
         dir: impl AsRef<std::path::Path>,
         config: CreateConfig,
     ) -> Result<Create, IngestError> {
         register_metrics();
-        let store = DocStore::open(dir).map_err(|e| IngestError::Store(e.to_string()))?;
-        let ontology = Arc::new(create_ontology::clinical_ontology());
-        let mut writer = Writer {
-            store,
-            graph: PropertyGraph::new(),
-            graph_builder: GraphBuilder::new(),
-            index: Index::clinical(),
-            tagger: None,
-            generation: 0,
-        };
-        let reports = writer.store.find("reports", &Filter::All);
-        for doc in reports {
-            let (Some(id), Some(title), Some(text)) = (
-                doc.get("_id").and_then(Value::as_str),
-                doc.get("title").and_then(Value::as_str),
-                doc.get("text").and_then(Value::as_str),
-            ) else {
-                return Err(IngestError::Store("malformed stored report".to_string()));
-            };
-            let year = match doc.get("year").and_then(Value::as_i64) {
-                Some(y) => y as u32,
-                None => {
-                    // A recoverable corruption: the report is still usable,
-                    // but the silent default must be visible to operators.
-                    if create_obs::enabled() {
-                        create_obs::counter(obs_names::OPEN_MALFORMED_FIELDS_TOTAL).inc();
-                        create_obs::log(
-                            create_obs::Level::Warn,
-                            "create-core",
-                            format!(
-                                "stored report {id:?} has a missing or malformed \"year\"; \
-                                 defaulting to 2020"
-                            ),
-                        );
-                    }
-                    2020
-                }
-            };
-            let category = doc
-                .get("category")
-                .and_then(Value::as_str)
-                .unwrap_or("other")
-                .to_string();
-            let annotations = writer
-                .store
-                .get("extractions", id)
-                .and_then(|e| {
-                    e.get("extraction")
-                        .and_then(ExtractedAnnotations::from_json)
-                })
-                .unwrap_or_default();
-            writer.graph_builder.add_report(
-                &mut writer.graph,
-                &ontology,
-                &ReportMeta {
-                    report_id: id.to_string(),
-                    title: title.to_string(),
-                    year,
-                    category,
-                },
-                &annotations,
-            );
-            writer
-                .index
-                .add_document(
-                    id,
-                    &[("title", title), ("body", text), ("body_ngram", text)],
-                )
-                .map_err(|e| IngestError::Store(e.to_string()))?;
+        let mut config = config;
+        if config.shards == 0 {
+            if create_obs::enabled() {
+                create_obs::counter(obs_names::OPEN_BAD_CONFIG_TOTAL).inc();
+                create_obs::log(
+                    create_obs::Level::Warn,
+                    "create-core",
+                    "rejected Create::open with shard count 0".to_string(),
+                );
+            }
+            return Err(IngestError::Config(
+                "shard count must be at least 1 (0 requested)".to_string(),
+            ));
         }
-        let current = ArcCell::new(snapshot_of(&writer));
-        Ok(Create {
-            config,
-            ontology,
-            writer: Mutex::new(writer),
-            current,
-            query_cache: Mutex::new(QueryCache::new(QUERY_CACHE_CAPACITY)),
-        })
+        config.shards = clamp_shards(config.shards);
+        register_shard_metrics(config.shards);
+        let dir = dir.as_ref();
+        let mut stores = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let store = if i == 0 {
+                DocStore::open(dir)
+            } else {
+                DocStore::open(dir.join(format!("shard-{i}")))
+            }
+            .map_err(|e| IngestError::Store(e.to_string()))?;
+            stores.push(store);
+        }
+        // Drain stores persisted by a wider deployment (`dir/shard-i`
+        // for i >= N) into the configured shards, then remove them —
+        // reopening narrower must not orphan documents. The drained
+        // documents are flushed into their new stores before the stale
+        // directory is deleted, so a crash mid-migration loses nothing.
+        let mut stale = config.shards;
+        loop {
+            let stale_dir = dir.join(format!("shard-{stale}"));
+            if !stale_dir.is_dir() {
+                break;
+            }
+            let source =
+                DocStore::open(&stale_dir).map_err(|e| IngestError::Store(e.to_string()))?;
+            let ids: Vec<String> = source
+                .find("reports", &Filter::All)
+                .iter()
+                .filter_map(|d| d.get("_id").and_then(Value::as_str).map(str::to_string))
+                .collect();
+            for id in &ids {
+                let target = shard_index(id, stores.len());
+                for coll in ["reports", "annotations", "extractions"] {
+                    if let Some(doc) = source.get(coll, id) {
+                        stores[target]
+                            .insert(coll, doc)
+                            .map_err(|e| IngestError::Store(e.to_string()))?;
+                    }
+                }
+            }
+            if !ids.is_empty() {
+                for store in &stores {
+                    store.flush().map_err(|e| IngestError::Store(e.to_string()))?;
+                }
+            }
+            drop(source);
+            std::fs::remove_dir_all(&stale_dir).map_err(|e| IngestError::Store(e.to_string()))?;
+            stale += 1;
+        }
+        // Re-route misplaced documents to their hash-owning shard so the
+        // per-shard lookup paths (report fetch, duplicate checks) stay
+        // complete without cross-shard scans.
+        for j in 0..stores.len() {
+            let ids: Vec<String> = stores[j]
+                .find("reports", &Filter::All)
+                .iter()
+                .filter_map(|d| d.get("_id").and_then(Value::as_str).map(str::to_string))
+                .collect();
+            for id in ids {
+                let target = shard_index(&id, stores.len());
+                if target == j {
+                    continue;
+                }
+                for coll in ["reports", "annotations", "extractions"] {
+                    if let Some(doc) = stores[j].get(coll, &id) {
+                        stores[target]
+                            .insert(coll, doc)
+                            .map_err(|e| IngestError::Store(e.to_string()))?;
+                        stores[j].delete(coll, &Filter::eq("_id", id.as_str()));
+                    }
+                }
+            }
+        }
+        let ontology = Arc::new(create_ontology::clinical_ontology());
+        let mut writers: Vec<Writer> = stores.into_iter().map(empty_writer).collect();
+        // Rebuild derived state shard by shard. Ordinals are assigned in
+        // scan order (shard 0's documents, then shard 1's, …), which is
+        // deterministic for a given on-disk state.
+        let mut next_ordinal = 0u64;
+        for writer in writers.iter_mut() {
+            let reports = writer.store.find("reports", &Filter::All);
+            for doc in reports {
+                let (Some(id), Some(title), Some(text)) = (
+                    doc.get("_id").and_then(Value::as_str),
+                    doc.get("title").and_then(Value::as_str),
+                    doc.get("text").and_then(Value::as_str),
+                ) else {
+                    return Err(IngestError::Store("malformed stored report".to_string()));
+                };
+                let year = match doc.get("year").and_then(Value::as_i64) {
+                    Some(y) => y as u32,
+                    None => {
+                        // A recoverable corruption: the report is still
+                        // usable, but the silent default must be visible
+                        // to operators.
+                        if create_obs::enabled() {
+                            create_obs::counter(obs_names::OPEN_MALFORMED_FIELDS_TOTAL).inc();
+                            create_obs::log(
+                                create_obs::Level::Warn,
+                                "create-core",
+                                format!(
+                                    "stored report {id:?} has a missing or malformed \"year\"; \
+                                     defaulting to 2020"
+                                ),
+                            );
+                        }
+                        2020
+                    }
+                };
+                let category = doc
+                    .get("category")
+                    .and_then(Value::as_str)
+                    .unwrap_or("other")
+                    .to_string();
+                let annotations = writer
+                    .store
+                    .get("extractions", id)
+                    .and_then(|e| {
+                        e.get("extraction")
+                            .and_then(ExtractedAnnotations::from_json)
+                    })
+                    .unwrap_or_default();
+                writer.graph_builder.add_report(
+                    &mut writer.graph,
+                    &ontology,
+                    &ReportMeta {
+                        report_id: id.to_string(),
+                        title: title.to_string(),
+                        year,
+                        category,
+                    },
+                    &annotations,
+                );
+                writer
+                    .index
+                    .add_document(
+                        id,
+                        &[("title", title), ("body", text), ("body_ngram", text)],
+                    )
+                    .map_err(|e| IngestError::Store(e.to_string()))?;
+                writer.ordinals.push(next_ordinal);
+                next_ordinal += 1;
+            }
+        }
+        Ok(Create::build(config, ontology, writers, next_ordinal))
     }
 
-    /// Locks the write half, recovering (and counting) poisoned locks: a
-    /// panicking batch leaves per-operation invariants intact, so serving
-    /// on is strictly better than wedging every future write.
-    fn lock_writer(&self) -> MutexGuard<'_, Writer> {
-        self.writer.lock().unwrap_or_else(|poisoned| {
+    /// The owning shard for an external report id.
+    fn shard_of(&self, id: &str) -> usize {
+        shard_index(id, self.shards.len())
+    }
+
+    /// The query-cache partition for a query string. Merged results are
+    /// cached whole (stamped with the composite generation); partitioning
+    /// only spreads lock contention across shards.
+    fn cache_partition(&self, query: &str) -> usize {
+        (fnv1a(query.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Locks the global write gate, recovering (and counting) poisoned
+    /// locks. The guarded value is the next global ingest ordinal.
+    fn lock_gate(&self) -> MutexGuard<'_, u64> {
+        self.gate.lock().unwrap_or_else(|poisoned| {
             if create_obs::enabled() {
                 create_obs::counter(obs_names::LOCK_POISONED_TOTAL).inc();
                 create_obs::log(
                     create_obs::Level::Warn,
                     "create-core",
-                    "recovered a poisoned writer lock".to_string(),
+                    "recovered a poisoned write gate".to_string(),
                 );
             }
             poisoned.into_inner()
         })
     }
 
-    /// Builds an immutable [`Snapshot`] from the writer's state and swaps
-    /// it in as the published view. Readers that loaded the previous
-    /// snapshot keep using it undisturbed; its memory is reclaimed when
-    /// the last `Arc` drops.
-    fn publish(&self, writer: &Writer) {
+    /// Rebuilds the composite snapshot — re-snapshotting exactly the
+    /// shards in `touched` and reusing the published `Arc`s for the
+    /// rest — and swaps it in atomically. One call per write operation,
+    /// so readers always observe a complete generation vector, never a
+    /// torn mix. Callers hold the write gate.
+    fn publish_shards(&self, touched: &[(usize, &Writer)]) {
         let started = Instant::now();
-        self.current.store(snapshot_of(writer));
+        let mut shards = self.current.load().shards.clone();
+        for &(i, writer) in touched {
+            shards[i] = snapshot_of(writer);
+            if create_obs::enabled() {
+                create_obs::counter_with(
+                    obs_names::SHARD_PUBLISH_TOTAL,
+                    &[("shard", &i.to_string())],
+                )
+                .inc();
+            }
+        }
+        self.current.store(Arc::new(Snapshot { shards }));
         if create_obs::enabled() {
             create_obs::counter(obs_names::SNAPSHOT_PUBLISH_TOTAL).inc();
             create_obs::histogram(obs_names::SNAPSHOT_PUBLISH_SECONDS)
@@ -408,19 +683,42 @@ impl Create {
 
     /// The currently published snapshot. Everything read through one
     /// snapshot is mutually consistent — it observes exactly one
-    /// generation, no matter what the writer does concurrently.
+    /// composite generation, no matter what writers do concurrently.
     pub fn snapshot(&self) -> Arc<Snapshot> {
         self.current.load()
     }
 
-    /// Persists the document store (reports, annotations, extractions) to
-    /// its backing directory. No-op for in-memory instances.
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard generation stamps from the published snapshot.
+    pub fn shard_generations(&self) -> Vec<u64> {
+        self.current.load().shard_generations()
+    }
+
+    /// Live query-cache entries per shard partition (for the `/metrics`
+    /// per-shard gauges).
+    pub fn shard_cache_entries(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.cache.lock().map(|c| c.stats(0).entries).unwrap_or(0))
+            .collect()
+    }
+
+    /// Persists every shard's document store to its backing directory.
+    /// No-op for in-memory instances.
     pub fn flush(&self) -> Result<(), IngestError> {
-        let writer = self.lock_writer();
-        writer
-            .store
-            .flush()
-            .map_err(|e| IngestError::Store(e.to_string()))
+        let _gate = self.lock_gate();
+        for shard in &self.shards {
+            let writer = shard.lock_writer();
+            writer
+                .store
+                .flush()
+                .map_err(|e| IngestError::Store(e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// The shared ontology (for training taggers against the same concept
@@ -434,43 +732,56 @@ impl Create {
     /// without a generation bump: cached results stay valid, exactly as
     /// reads observed tagger attachment before the snapshot split.
     pub fn attach_tagger(&self, tagger: CrfTagger) {
-        let mut writer = self.lock_writer();
-        writer.tagger = Some(Arc::new(tagger));
-        self.publish(&writer);
+        let tagger = Arc::new(tagger);
+        let _gate = self.lock_gate();
+        let mut guards: Vec<MutexGuard<'_, Writer>> =
+            self.shards.iter().map(|s| s.lock_writer()).collect();
+        for guard in guards.iter_mut() {
+            guard.tagger = Some(Arc::clone(&tagger));
+        }
+        let touched: Vec<(usize, &Writer)> =
+            guards.iter().enumerate().map(|(i, g)| (i, &**g)).collect();
+        self.publish_shards(&touched);
     }
 
-    /// The property graph as of the current snapshot (for Cypher-level
-    /// read queries and diagnostics).
+    /// Shard 0's property graph as of the current snapshot (for
+    /// Cypher-level read queries and diagnostics; the whole graph in
+    /// single-shard deployments).
     pub fn graph(&self) -> Arc<PropertyGraph> {
-        Arc::clone(&self.current.load().graph)
+        Arc::clone(&self.current.load().shards[0].graph)
     }
 
-    /// Mutable graph access (for the Cypher executor which may CREATE).
-    /// The returned guard serializes against all other writes and
-    /// publishes a generation-bumped snapshot on drop — which also
-    /// conservatively invalidates the query cache, since the borrow may
-    /// have written.
+    /// Mutable graph access (for the Cypher executor which may CREATE),
+    /// targeting shard 0. The returned guard serializes against all other
+    /// writes and publishes a generation-bumped snapshot on drop — which
+    /// also conservatively invalidates the query cache, since the borrow
+    /// may have written.
     pub fn graph_mut(&self) -> GraphWriteGuard<'_> {
         GraphWriteGuard {
             system: self,
-            writer: self.lock_writer(),
+            _gate: self.lock_gate(),
+            writer: self.shards[0].lock_writer(),
         }
     }
 
-    /// The inverted index as of the current snapshot.
+    /// Shard 0's inverted index as of the current snapshot (the whole
+    /// index in single-shard deployments).
     pub fn index(&self) -> Arc<Index> {
-        Arc::clone(&self.current.load().index)
+        Arc::clone(&self.current.load().shards[0].index)
     }
 
     /// Ingests a gold-annotated corpus report (the curated literature
     /// path): stores the document and its BRAT export, projects the graph,
-    /// and indexes the text.
+    /// and indexes the text — all in the report's owning shard.
     pub fn ingest_gold(&self, report: &CaseReport) -> Result<(), IngestError> {
         let annotations = ExtractedAnnotations::from_gold(report);
         let brat = case_report_to_brat(report);
-        let mut writer = self.lock_writer();
+        let mut gate = self.lock_gate();
+        let shard = self.shard_of(&report.id);
+        let mut writer = self.shards[shard].lock_writer();
         self.ingest_common(
             &mut writer,
+            &mut gate,
             &report.id,
             &report.title,
             &report.text,
@@ -485,7 +796,7 @@ impl Create {
             annotations,
             Some(brat),
         )?;
-        self.publish(&writer);
+        self.publish_shards(&[(shard, &writer)]);
         Ok(())
     }
 
@@ -497,18 +808,22 @@ impl Create {
         text: &str,
         year: u32,
     ) -> Result<(), IngestError> {
-        let mut writer = self.lock_writer();
-        self.ingest_text_locked(&mut writer, id, title, text, year)?;
-        self.publish(&writer);
+        let mut gate = self.lock_gate();
+        let shard = self.shard_of(id);
+        let mut writer = self.shards[shard].lock_writer();
+        self.ingest_text_locked(&mut writer, &mut gate, id, title, text, year)?;
+        self.publish_shards(&[(shard, &writer)]);
         Ok(())
     }
 
-    /// The raw-text pipeline body, run under an already-held writer lock
-    /// (shared by [`Create::ingest_text`] and [`Create::ingest_pdf`] so
-    /// the PDF path can fold its metadata update into the same publish).
+    /// The raw-text pipeline body, run under an already-held shard writer
+    /// lock (shared by [`Create::ingest_text`] and [`Create::ingest_pdf`]
+    /// so the PDF path can fold its metadata update into the same
+    /// publish).
     fn ingest_text_locked(
         &self,
         writer: &mut Writer,
+        next_ordinal: &mut u64,
         id: &str,
         title: &str,
         text: &str,
@@ -517,7 +832,18 @@ impl Create {
         let tagger = writer.tagger.clone().ok_or(IngestError::NoTagger)?;
         let annotations = ExtractedAnnotations::from_text(text, &tagger, &self.ontology);
         let brat = annotations.to_brat();
-        self.ingest_common(writer, id, title, text, year, "user", &[], annotations, Some(brat))
+        self.ingest_common(
+            writer,
+            next_ordinal,
+            id,
+            title,
+            text,
+            year,
+            "user",
+            &[],
+            annotations,
+            Some(brat),
+        )
     }
 
     /// Ingests a PDF submission: Grobid-style extraction, then the raw
@@ -525,8 +851,10 @@ impl Create {
     pub fn ingest_pdf(&self, id: &str, bytes: &[u8]) -> Result<ExtractedDocument, IngestError> {
         let doc = process_pdf(bytes).map_err(IngestError::Pdf)?;
         let body = doc.body_text();
-        let mut writer = self.lock_writer();
-        self.ingest_text_locked(&mut writer, id, &doc.title, &body, 2020)?;
+        let mut gate = self.lock_gate();
+        let shard = self.shard_of(id);
+        let mut writer = self.shards[shard].lock_writer();
+        self.ingest_text_locked(&mut writer, &mut gate, id, &doc.title, &body, 2020)?;
         // Attach extracted metadata to the stored document before the
         // publish so the snapshot includes it.
         writer
@@ -549,22 +877,24 @@ impl Create {
                 ]),
             )
             .map_err(|e| IngestError::Store(e.to_string()))?;
-        self.publish(&writer);
+        self.publish_shards(&[(shard, &writer)]);
         Ok(doc)
     }
 
     /// Parallel batch ingestion of gold-annotated reports.
     ///
-    /// The batch is split into `threads` contiguous shards (0 = one shard
-    /// per pool worker). Workers run the expensive per-document stages —
-    /// annotation conversion, BRAT export, tokenization, and shard-local
-    /// [`IndexSegment`] construction — with no shared state; the calling
-    /// thread then applies the completed extractions in document order
-    /// (document store, property graph) and merges the segments in shard
-    /// order. The result is identical to calling [`Create::ingest_gold`]
-    /// per report, for any thread count: same [`SystemStats`], same graph,
-    /// same postings. Searches keep running against the previous snapshot
-    /// throughout; the batch becomes visible in one publish at the end.
+    /// The batch is split into `threads` contiguous worker ranges (0 =
+    /// one per pool worker). Workers run the expensive per-document
+    /// stages — annotation conversion, BRAT export, tokenization, and
+    /// per-shard [`IndexSegment`] construction — with no shared mutable
+    /// state; the prepared work is then redistributed by owning shard and
+    /// applied by one pool task per shard, each locking only its own
+    /// shard's writer — no cross-shard write contention. The result is
+    /// identical to calling [`Create::ingest_gold`] per report, for any
+    /// thread count and any shard count: same [`SystemStats`], same
+    /// graphs, same postings, same ingest ordinals. Searches keep running
+    /// against the previous snapshot throughout; the batch becomes
+    /// visible in one composite publish at the end.
     ///
     /// The whole batch is validated for duplicates up front, before any
     /// store mutation. Returns the number of reports ingested.
@@ -573,9 +903,8 @@ impl Create {
         reports: &[CaseReport],
         threads: usize,
     ) -> Result<usize, IngestError> {
-        let mut writer = self.lock_writer();
-        writer.check_batch_ids(reports.iter().map(|r| r.id.as_str()))?;
-        let count = self.ingest_batch_prepared(&mut writer, reports.len(), threads, |i| {
+        let ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
+        self.ingest_batch(&ids, threads, |i| {
             let report = &reports[i];
             PreparedDoc {
                 id: report.id.clone(),
@@ -587,9 +916,7 @@ impl Create {
                 annotations: ExtractedAnnotations::from_gold(report),
                 brat: case_report_to_brat(report),
             }
-        })?;
-        self.publish(&writer);
-        Ok(count)
+        })
     }
 
     /// Parallel batch ingestion of raw-text submissions with automatic
@@ -602,11 +929,13 @@ impl Create {
         docs: &[TextSubmission],
         threads: usize,
     ) -> Result<usize, IngestError> {
-        let mut writer = self.lock_writer();
-        let tagger = writer.tagger.clone().ok_or(IngestError::NoTagger)?;
-        writer.check_batch_ids(docs.iter().map(|d| d.id.as_str()))?;
+        let tagger = self.current.load().shards[0]
+            .tagger
+            .clone()
+            .ok_or(IngestError::NoTagger)?;
         let ontology = Arc::clone(&self.ontology);
-        let count = self.ingest_batch_prepared(&mut writer, docs.len(), threads, |i| {
+        let ids: Vec<&str> = docs.iter().map(|d| d.id.as_str()).collect();
+        self.ingest_batch(&ids, threads, |i| {
             let doc = &docs[i];
             let annotations = ExtractedAnnotations::from_text(&doc.text, &tagger, &ontology);
             let brat = annotations.to_brat();
@@ -620,84 +949,200 @@ impl Create {
                 annotations,
                 brat,
             }
-        })?;
-        self.publish(&writer);
-        Ok(count)
+        })
     }
 
-    /// The shared batch machinery: fan `prepare` across shards on the
-    /// global pool, then apply results single-writer in document order.
-    fn ingest_batch_prepared<F>(
-        &self,
-        writer: &mut Writer,
-        n: usize,
-        threads: usize,
-        prepare: F,
-    ) -> Result<usize, IngestError>
+    /// Rejects a batch containing an already-ingested or repeated id —
+    /// checked before any mutation so a failed batch leaves the system
+    /// untouched. Shard writer locks are taken in ascending order (the
+    /// gate is held, so they are uncontended).
+    fn check_batch_ids(&self, ids: &[&str], routes: &[usize]) -> Result<(), IngestError> {
+        let guards: Vec<MutexGuard<'_, Writer>> =
+            self.shards.iter().map(|s| s.lock_writer()).collect();
+        let mut seen = HashSet::new();
+        for (id, &route) in ids.iter().zip(routes) {
+            if guards[route].store.get("reports", id).is_some() || !seen.insert(*id) {
+                return Err(IngestError::Duplicate(id.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The shared batch machinery, in two pool phases under one held
+    /// gate:
+    ///
+    /// 1. **Prepare** — `prepare` and per-(worker, shard) segment builds
+    ///    fan across contiguous batch ranges; workers buffer their stage
+    ///    observations locally ([`create_obs::buffered_stages`]) so the
+    ///    histograms are flushed once, atomically, at apply time.
+    /// 2. **Apply** — the prepared documents are regrouped by owning
+    ///    shard and applied by one pool task per shard; each task locks
+    ///    only its own shard's writer, so shards never contend.
+    ///
+    /// Global ingest ordinals are `base + batch position`, independent of
+    /// both the worker count and the shard count.
+    fn ingest_batch<F>(&self, ids: &[&str], threads: usize, prepare: F) -> Result<usize, IngestError>
     where
         F: Fn(usize) -> PreparedDoc + Sync,
     {
+        let n = ids.len();
         if n == 0 {
             return Ok(0);
         }
+        let mut gate = self.lock_gate();
+        let routes: Vec<usize> = ids.iter().map(|id| self.shard_of(id)).collect();
+        self.check_batch_ids(ids, &routes)?;
         let pool = ThreadPool::global();
-        let shards = if threads == 0 { pool.threads() } else { threads };
-        let ranges = shard_ranges(n, shards);
-        // Parallel phase: extraction + shard-local segment build. Only
-        // immutable state is shared; each shard owns its outputs.
-        let index = &writer.index;
-        let outputs: Vec<Result<(Vec<PreparedDoc>, IndexSegment), IngestError>> =
+        let workers = if threads == 0 { pool.threads() } else { threads };
+        let ranges = shard_ranges(n, workers);
+        let nshards = self.shards.len();
+        // Segment template: every shard's index has the same field
+        // configuration, so any published index can stamp out segments.
+        let template = Arc::clone(&self.current.load().shards[0].index);
+
+        // Phase 1: extraction + per-shard segment build, no shared
+        // mutable state.
+        type Prepared = (Vec<(usize, PreparedDoc)>, Vec<Option<IndexSegment>>);
+        let outputs: Vec<(Result<Prepared, IngestError>, StageLog)> =
             pool.parallel_map(&ranges, |_, range| {
-                let mut segment = index.segment();
-                let mut prepared = Vec::with_capacity(range.len());
-                let mut index_elapsed = std::time::Duration::ZERO;
-                for i in range.clone() {
-                    let doc = prepare(i);
-                    let t0 = Instant::now();
-                    segment
-                        .add_document(
-                            &doc.id,
-                            &[
-                                ("title", doc.title.as_str()),
-                                ("body", doc.text.as_str()),
-                                ("body_ngram", doc.text.as_str()),
-                            ],
-                        )
-                        .map_err(|e| IngestError::Store(e.to_string()))?;
-                    index_elapsed += t0.elapsed();
-                    prepared.push(doc);
-                }
-                create_obs::observe_stage(
-                    obs_names::PIPELINE_STAGE_SECONDS,
-                    obs_names::STAGE_INDEX_WRITE,
-                    index_elapsed.as_secs_f64(),
-                );
-                Ok((prepared, segment))
+                create_obs::buffered_stages(|| {
+                    let mut segments: Vec<Option<IndexSegment>> =
+                        (0..nshards).map(|_| None).collect();
+                    let mut prepared = Vec::with_capacity(range.len());
+                    let mut index_elapsed = std::time::Duration::ZERO;
+                    for i in range.clone() {
+                        let doc = prepare(i);
+                        let t0 = Instant::now();
+                        segments[routes[i]]
+                            .get_or_insert_with(|| template.segment())
+                            .add_document(
+                                &doc.id,
+                                &[
+                                    ("title", doc.title.as_str()),
+                                    ("body", doc.text.as_str()),
+                                    ("body_ngram", doc.text.as_str()),
+                                ],
+                            )
+                            .map_err(|e| IngestError::Store(e.to_string()))?;
+                        index_elapsed += t0.elapsed();
+                        prepared.push((i, doc));
+                    }
+                    create_obs::observe_stage(
+                        obs_names::PIPELINE_STAGE_SECONDS,
+                        obs_names::STAGE_INDEX_WRITE,
+                        index_elapsed.as_secs_f64(),
+                    );
+                    Ok((prepared, segments))
+                })
             });
-        // Apply phase: single writer, deterministic document order. Shard
-        // ranges are contiguous and merged in order, so internal doc ids
-        // and graph node ids come out exactly as sequential ingestion
-        // would assign them.
-        let mut count = 0;
-        for output in outputs {
-            let (prepared, segment) = output?;
-            for doc in prepared {
-                self.apply_prepared(writer, doc)?;
-                count += 1;
+
+        // Regroup by owning shard. Worker ranges are contiguous and
+        // iterated in order, so each shard sees its documents (and
+        // segments) in batch order — ordinals and internal doc ids come
+        // out exactly as sequential ingestion would assign them.
+        let mut stage_log = StageLog::default();
+        let mut per_shard: Vec<ShardWork> = (0..nshards).map(|_| ShardWork::default()).collect();
+        let mut failed = None;
+        for (result, log) in outputs {
+            stage_log.merge(log);
+            match result {
+                Ok((prepared, segments)) => {
+                    for (i, doc) in prepared {
+                        per_shard[routes[i]].docs.push((i, doc));
+                    }
+                    for (s, segment) in segments.into_iter().enumerate() {
+                        if let Some(segment) = segment {
+                            per_shard[s].segments.push(segment);
+                        }
+                    }
+                }
+                Err(e) => {
+                    failed.get_or_insert(e);
+                }
             }
-            let _span =
-                Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_INDEX_WRITE);
-            writer
-                .index
-                .merge_segment(segment)
-                .map_err(|e| IngestError::Store(e.to_string()))?;
         }
-        writer.generation += 1;
+        if let Some(e) = failed {
+            create_obs::flush_stages(stage_log);
+            return Err(e);
+        }
+
+        // Phase 2: per-shard apply — ownership of each shard's work moves
+        // to the pool task that locks that shard's writer.
+        let base = *gate;
+        let work: Vec<Mutex<Option<ShardWork>>> = per_shard
+            .into_iter()
+            .map(|w| Mutex::new((!w.docs.is_empty()).then_some(w)))
+            .collect();
+        let shard_ids: Vec<usize> = (0..nshards).collect();
+        let applied: Vec<(Result<usize, IngestError>, StageLog)> =
+            pool.parallel_map(&shard_ids, |_, &s| {
+                create_obs::buffered_stages(|| {
+                    let taken = work[s]
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .take();
+                    let Some(work) = taken else {
+                        return Ok(0usize);
+                    };
+                    let mut writer = self.shards[s].lock_writer();
+                    let mut count = 0usize;
+                    for (i, doc) in work.docs {
+                        self.apply_prepared(&mut writer, doc)?;
+                        writer.ordinals.push(base + i as u64);
+                        count += 1;
+                    }
+                    for segment in work.segments {
+                        let _span = Span::enter(
+                            obs_names::PIPELINE_STAGE_SECONDS,
+                            obs_names::STAGE_INDEX_WRITE,
+                        );
+                        writer
+                            .index
+                            .merge_segment(segment)
+                            .map_err(|e| IngestError::Store(e.to_string()))?;
+                    }
+                    writer.generation += 1;
+                    Ok(count)
+                })
+            });
+        let mut count = 0usize;
+        let mut touched = Vec::new();
+        let mut failed = None;
+        for (s, (result, log)) in applied.into_iter().enumerate() {
+            stage_log.merge(log);
+            match result {
+                Ok(0) => {}
+                Ok(c) => {
+                    count += c;
+                    touched.push(s);
+                }
+                Err(e) => {
+                    failed.get_or_insert(e);
+                }
+            }
+        }
+        create_obs::flush_stages(stage_log);
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        *gate = base + n as u64;
+        // One composite publish for the whole batch: re-snapshot exactly
+        // the touched shards, reuse the rest.
+        let guards: Vec<MutexGuard<'_, Writer>> = touched
+            .iter()
+            .map(|&s| self.shards[s].lock_writer())
+            .collect();
+        let touched_refs: Vec<(usize, &Writer)> = touched
+            .iter()
+            .zip(&guards)
+            .map(|(&s, g)| (s, &**g))
+            .collect();
+        self.publish_shards(&touched_refs);
         Ok(count)
     }
 
-    /// Applies one prepared document to the store and graph (everything
-    /// but the index, which arrives via segment merge).
+    /// Applies one prepared document to a shard's store and graph
+    /// (everything but the index, which arrives via segment merge).
     fn apply_prepared(&self, writer: &mut Writer, doc: PreparedDoc) -> Result<(), IngestError> {
         let stored = obj([
             ("_id", doc.id.clone().into()),
@@ -753,6 +1198,7 @@ impl Create {
     fn ingest_common(
         &self,
         writer: &mut Writer,
+        next_ordinal: &mut u64,
         id: &str,
         title: &str,
         text: &str,
@@ -827,6 +1273,8 @@ impl Create {
                 &[("title", title), ("body", text), ("body_ngram", text)],
             )
             .map_err(|e| IngestError::Store(e.to_string()))?;
+        writer.ordinals.push(*next_ordinal);
+        *next_ordinal += 1;
         writer.generation += 1;
         Ok(())
     }
@@ -840,7 +1288,7 @@ impl Create {
     /// Query parsing against an explicit snapshot's tagger, so search and
     /// parse see the same state.
     fn parse_query_against(&self, snapshot: &Snapshot, query: &str) -> QueryIE {
-        match &snapshot.tagger {
+        match &snapshot.shards[0].tagger {
             Some(t) => QueryIE::parse(query, t, &self.ontology),
             None => QueryIE::parse_gazetteer(query, &self.ontology),
         }
@@ -853,20 +1301,21 @@ impl Create {
 
     /// CREATe-IR search with an explicit merge policy (Fig. 6 ablation).
     ///
-    /// The whole search runs against one loaded snapshot, so a concurrent
-    /// ingest can never produce a torn result (graph hits from one
-    /// generation, keyword hits from another). Results are cached by
-    /// `(query, k, policy)` and stamped with the snapshot's generation;
-    /// any publish invalidates them wholesale on first touch (see
-    /// [`crate::cache`]). The cache lock is dropped during execution, so
-    /// concurrent `search_many` workers never serialize while computing.
+    /// The whole search runs against one loaded composite snapshot, so a
+    /// concurrent ingest can never produce a torn result (graph hits from
+    /// one generation, keyword hits from another). Results are cached by
+    /// `(query, k, policy)` in the query's cache partition and stamped
+    /// with the composite generation; any publish anywhere invalidates
+    /// them wholesale on first touch (see [`crate::cache`]). The cache
+    /// lock is dropped during execution, so concurrent `search_many`
+    /// workers never serialize while computing.
     pub fn search_with_policy(&self, query: &str, k: usize, policy: MergePolicy) -> Vec<SearchHit> {
         let capture = QueryCapture::begin();
         count_policy(policy);
         let snapshot = self.current.load();
-        let generation = snapshot.generation;
-        let cached = self
-            .query_cache
+        let generation = snapshot.generation();
+        let cache = &self.shards[self.cache_partition(query)].cache;
+        let cached = cache
             .lock()
             .ok()
             .and_then(|mut cache| cache.get(query, k, policy, generation));
@@ -874,7 +1323,7 @@ impl Create {
             Some(hits) => hits,
             None => {
                 let hits = self.execute_search(&snapshot, query, k, policy);
-                if let Ok(mut cache) = self.query_cache.lock() {
+                if let Ok(mut cache) = cache.lock() {
                     cache.insert(query, k, policy, generation, hits.clone());
                 }
                 hits
@@ -884,8 +1333,9 @@ impl Create {
         hits
     }
 
-    /// The uncached execution path behind [`Create::search_with_policy`],
-    /// reading exclusively from the given snapshot.
+    /// The uncached execution path behind [`Create::search_with_policy`]:
+    /// scatter both engines over every shard of the given snapshot and
+    /// gather deterministically (see [`crate::search`]).
     fn execute_search(
         &self,
         snapshot: &Snapshot,
@@ -902,7 +1352,7 @@ impl Create {
             _ => {
                 let _span =
                     Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_GRAPH_SEARCH);
-                GraphSearcher::from_graph(&snapshot.graph).search(&snapshot.graph, &parsed, k)
+                scatter_graph_search(&snapshot.shards, &parsed, k)
             }
         };
         let keyword_hits = match policy {
@@ -910,7 +1360,7 @@ impl Create {
             _ => {
                 let _span =
                     Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_KEYWORD_SEARCH);
-                keyword_search(&snapshot.index, query, k)
+                scatter_keyword_search(&snapshot.shards, query, k)
             }
         };
         let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_MERGE);
@@ -938,23 +1388,31 @@ impl Create {
         })
     }
 
-    /// Fetches a stored report document.
+    /// Fetches a stored report document from its owning shard.
     pub fn report(&self, id: &str) -> Option<Value> {
-        self.current.load().store.get("reports", id).cloned()
+        let snapshot = self.current.load();
+        snapshot.shards[self.shard_of(id)]
+            .store
+            .get("reports", id)
+            .cloned()
     }
 
-    /// Fetches a report's BRAT annotation export.
+    /// Fetches a report's BRAT annotation export from its owning shard.
     pub fn annotations(&self, id: &str) -> Option<BratDocument> {
         let snapshot = self.current.load();
-        let doc = snapshot.store.get("annotations", id)?;
+        let doc = snapshot.shards[self.shard_of(id)]
+            .store
+            .get("annotations", id)?;
         let ann = doc.get("ann")?.as_str()?;
         BratDocument::parse(ann).ok()
     }
 
-    /// Renders the Fig-7 network-graph visualization of a report's events.
+    /// Renders the Fig-7 network-graph visualization of a report's events
+    /// (read from the report's owning shard — its events and temporal
+    /// edges all live there).
     pub fn visualize(&self, id: &str) -> Option<String> {
         let snapshot = self.current.load();
-        let graph = &snapshot.graph;
+        let graph = &snapshot.shards[self.shard_of(id)].graph;
         let report_node = graph
             .nodes_with_label("Report")
             .into_iter()
@@ -1013,32 +1471,47 @@ impl Create {
         Some(render_svg(&viz, &SvgOptions::default()))
     }
 
-    /// Query-cache counters (hits, misses, live entries) and the current
-    /// index generation, for the REST stats surface.
+    /// Query-cache counters (hits, misses, live entries — summed across
+    /// the shard partitions) and the current composite generation, for
+    /// the REST stats surface.
     pub fn cache_stats(&self) -> CacheStats {
-        let generation = self.current.load().generation;
-        match self.query_cache.lock() {
-            Ok(cache) => cache.stats(generation),
-            Err(_) => CacheStats {
-                hits: 0,
-                misses: 0,
-                entries: 0,
-                generation,
-            },
+        let generation = self.current.load().generation();
+        let mut stats = CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+            generation,
+        };
+        for shard in &self.shards {
+            if let Ok(cache) = shard.cache.lock() {
+                let s = cache.stats(generation);
+                stats.hits += s.hits;
+                stats.misses += s.misses;
+                stats.entries += s.entries;
+            }
         }
+        stats
     }
 
-    /// System counters, read from one snapshot (mutually consistent).
+    /// System counters, read from one composite snapshot (mutually
+    /// consistent) and summed across shards.
     pub fn stats(&self) -> SystemStats {
         let snapshot = self.current.load();
-        SystemStats {
-            reports: snapshot.store.count("reports", &Filter::All),
-            graph_nodes: snapshot.graph.node_count(),
-            graph_edges: snapshot.graph.edge_count(),
-            index_terms: snapshot.index.vocabulary_size("body")
-                + snapshot.index.vocabulary_size("title")
-                + snapshot.index.vocabulary_size("body_ngram"),
+        let mut stats = SystemStats {
+            reports: 0,
+            graph_nodes: 0,
+            graph_edges: 0,
+            index_terms: 0,
+        };
+        for shard in &snapshot.shards {
+            stats.reports += shard.store.count("reports", &Filter::All);
+            stats.graph_nodes += shard.graph.node_count();
+            stats.graph_edges += shard.graph.edge_count();
+            stats.index_terms += shard.index.vocabulary_size("body")
+                + shard.index.vocabulary_size("title")
+                + shard.index.vocabulary_size("body_ngram");
         }
+        stats
     }
 }
 
@@ -1055,7 +1528,7 @@ pub struct TextSubmission {
     pub year: u32,
 }
 
-/// A fully extracted document waiting for the single-writer apply phase.
+/// A fully extracted document waiting for its shard's apply task.
 struct PreparedDoc {
     id: String,
     title: String,
@@ -1087,6 +1560,8 @@ pub enum IngestError {
     Pdf(PdfError),
     /// Storage layer failure.
     Store(String),
+    /// Rejected configuration (e.g. a zero shard count at `open`).
+    Config(String),
 }
 
 impl std::fmt::Display for IngestError {
@@ -1096,6 +1571,7 @@ impl std::fmt::Display for IngestError {
             IngestError::Duplicate(id) => write!(f, "report {id:?} already ingested"),
             IngestError::Pdf(e) => write!(f, "{e}"),
             IngestError::Store(m) => write!(f, "storage error: {m}"),
+            IngestError::Config(m) => write!(f, "invalid configuration: {m}"),
         }
     }
 }
@@ -1260,8 +1736,6 @@ mod tests {
         ));
     }
 
-    /// `Create` is shared behind a plain `Arc` by the server and fanned
-    /// across pool workers by `search_many` — it must stay `Sync`.
     #[test]
     fn open_flush_round_trip_and_malformed_year_defaults() {
         let dir = std::env::temp_dir().join(format!(
@@ -1324,6 +1798,8 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// `Create` is shared behind a plain `Arc` by the server and fanned
+    /// across pool workers by `search_many` — it must stay `Sync`.
     #[test]
     fn create_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
@@ -1624,6 +2100,136 @@ mod tests {
         assert!(
             checked,
             "no temporal query produced a pattern-matched top hit"
+        );
+    }
+
+    #[test]
+    fn zero_shards_clamped_on_new_and_rejected_on_open() {
+        let bad_before = create_obs::counter(obs_names::OPEN_BAD_CONFIG_TOTAL).get();
+        let system = Create::new(CreateConfig {
+            shards: 0,
+            ..Default::default()
+        });
+        assert_eq!(system.shard_count(), 1, "zero clamps to one shard");
+        assert!(
+            create_obs::counter(obs_names::OPEN_BAD_CONFIG_TOTAL).get() > bad_before,
+            "the clamp is counted"
+        );
+        let dir = std::env::temp_dir().join(format!(
+            "create-core-badcfg-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = Create::open(
+            &dir,
+            CreateConfig {
+                shards: 0,
+                ..Default::default()
+            },
+        );
+        assert!(
+            matches!(err, Err(IngestError::Config(_))),
+            "open rejects a zero shard count"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absurd_shard_count_is_clamped_to_max() {
+        let bad_before = create_obs::counter(obs_names::OPEN_BAD_CONFIG_TOTAL).get();
+        let system = Create::new(CreateConfig {
+            shards: 100_000,
+            ..Default::default()
+        });
+        assert_eq!(system.shard_count(), MAX_SHARDS);
+        assert!(create_obs::counter(obs_names::OPEN_BAD_CONFIG_TOTAL).get() > bad_before);
+    }
+
+    #[test]
+    fn reopening_at_a_different_shard_count_reroutes_documents() {
+        let dir = std::env::temp_dir().join(format!(
+            "create-core-reshard-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reports = Generator::new(CorpusConfig {
+            num_reports: 10,
+            seed: 42,
+            ..Default::default()
+        })
+        .generate();
+        let reference_ranking = {
+            let system = Create::open(
+                &dir,
+                CreateConfig {
+                    shards: 3,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(system.ingest_gold_batch(&reports, 2).unwrap(), 10);
+            system.flush().unwrap();
+            system
+                .search(&reports[0].title, 5)
+                .into_iter()
+                .map(|h| (h.report_id, h.score.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        // Reopen at a different width: every document whose hash routes
+        // it elsewhere is moved to its new owning shard; nothing is lost
+        // and searches still rank identically.
+        let system = Create::open(
+            &dir,
+            CreateConfig {
+                shards: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(system.shard_count(), 2);
+        assert_eq!(system.stats().reports, 10);
+        for r in &reports {
+            assert!(system.report(&r.id).is_some(), "report {} lost", r.id);
+            assert!(system.annotations(&r.id).is_some());
+        }
+        let reopened: Vec<(String, u64)> = system
+            .search(&reports[0].title, 5)
+            .into_iter()
+            .map(|h| (h.report_id, h.score.to_bits()))
+            .collect();
+        assert_eq!(reopened, reference_ranking);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_ingest_routes_and_answers_lookups() {
+        let generator = Generator::new(CorpusConfig {
+            num_reports: 12,
+            seed: 41,
+            ..Default::default()
+        });
+        let reports = generator.generate();
+        let system = Create::new(CreateConfig {
+            shards: 3,
+            ..Default::default()
+        });
+        assert_eq!(system.shard_count(), 3);
+        assert_eq!(system.ingest_gold_batch(&reports, 2).unwrap(), 12);
+        assert_eq!(system.stats().reports, 12);
+        // Per-shard lookups find every document, whichever shard owns it.
+        for r in &reports {
+            assert!(system.report(&r.id).is_some(), "report {} lost", r.id);
+            assert!(system.annotations(&r.id).is_some());
+        }
+        // The composite generation advanced once per touched shard; the
+        // sum of per-shard generations is the composite.
+        let gens = system.shard_generations();
+        assert_eq!(gens.len(), 3);
+        assert_eq!(
+            gens.iter().sum::<u64>(),
+            system.snapshot().generation()
         );
     }
 }

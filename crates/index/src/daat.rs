@@ -29,6 +29,7 @@
 use crate::index::{Index, Posting};
 use crate::query::QueryNode;
 use crate::score::{doc_score, top_k, Entry, ScoredDoc, Scorer};
+use crate::stats::CorpusStats;
 use create_obs::DaatStats;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -42,24 +43,27 @@ struct Scratch {
 }
 
 /// DAAT entry point: MaxScore pruning for flat disjunctions, merge-based
-/// evaluation for everything else.
+/// evaluation for everything else. `global`, when present, supplies
+/// cross-shard corpus statistics (idf / avg_len) in place of this
+/// index's own — see [`crate::stats`].
 pub(crate) fn search_daat(
     index: &Index,
     query: &QueryNode,
     k: usize,
     scorer: Scorer,
+    global: Option<&CorpusStats>,
 ) -> Vec<ScoredDoc> {
     // Executor statistics, accumulated locally and flushed to the obs
     // registry in one call at the end (a no-op without the `obs` feature).
     let mut stats = DaatStats::default();
     let mut specs = Vec::new();
     if flatten(index, query, &mut specs, &mut stats) {
-        let hits = max_score_top_k(index, &specs, k, scorer, &mut stats);
+        let hits = max_score_top_k(index, &specs, k, scorer, &mut stats, global);
         create_obs::record_daat(stats);
         return hits;
     }
     let mut scratch = Scratch::default();
-    let (scored, mut exclusions) = eval_node(index, query, scorer, &mut scratch, &mut stats);
+    let (scored, mut exclusions) = eval_node(index, query, scorer, &mut scratch, &mut stats, global);
     exclusions.sort_unstable();
     exclusions.dedup();
     let hits = top_k(
@@ -91,16 +95,27 @@ struct TermCursor<'a> {
 
 impl<'a> TermCursor<'a> {
     /// `None` when the field or term is absent (the clause matches
-    /// nothing, mirroring an empty `term_scores`).
-    fn open(index: &'a Index, field: &str, term: &str, damp: Option<f64>) -> Option<Self> {
+    /// nothing, mirroring an empty `term_scores`). With `global` set,
+    /// idf and avg_len come from the merged cross-shard statistics.
+    fn open(
+        index: &'a Index,
+        field: &str,
+        term: &str,
+        damp: Option<f64>,
+        global: Option<&CorpusStats>,
+    ) -> Option<Self> {
         let fi = index.fields.get(field)?;
         let postings: &[Posting] = fi.dict.get(term)?;
+        let (idf, avg_len) = match global {
+            Some(g) => (g.idf(field, term), g.avg_len(field)),
+            None => (index.idf(field, term), fi.avg_len()),
+        };
         Some(TermCursor {
             postings,
             pos: 0,
             doc_len: &fi.doc_len,
-            idf: index.idf(field, term),
-            avg_len: fi.avg_len().max(1.0),
+            idf,
+            avg_len: avg_len.max(1.0),
             boost: fi.boost,
             damp,
             moves: 0,
@@ -250,13 +265,14 @@ fn max_score_top_k(
     k: usize,
     scorer: Scorer,
     stats: &mut DaatStats,
+    global: Option<&CorpusStats>,
 ) -> Vec<ScoredDoc> {
     if k == 0 {
         return Vec::new();
     }
     let mut cursors: Vec<TermCursor> = specs
         .iter()
-        .filter_map(|s| TermCursor::open(index, s.field, s.term, s.damp))
+        .filter_map(|s| TermCursor::open(index, s.field, s.term, s.damp, global))
         .collect();
     if cursors.is_empty() {
         return Vec::new();
@@ -389,19 +405,23 @@ fn eval_node(
     scorer: Scorer,
     scratch: &mut Scratch,
     stats: &mut DaatStats,
+    global: Option<&CorpusStats>,
 ) -> (Vec<(u32, f64)>, Vec<u32>) {
     match node {
-        QueryNode::Term { field, term } => (index.term_scores(field, term, scorer), Vec::new()),
+        QueryNode::Term { field, term } => (
+            index.term_scores_with(field, term, scorer, global),
+            Vec::new(),
+        ),
         QueryNode::Fuzzy {
             field,
             term,
             max_edits,
         } => (
-            eval_fuzzy(index, field, term, *max_edits, scorer, stats),
+            eval_fuzzy(index, field, term, *max_edits, scorer, stats, global),
             Vec::new(),
         ),
         QueryNode::Phrase { field, terms } => (
-            eval_phrase(index, field, terms, scorer, scratch, stats),
+            eval_phrase(index, field, terms, scorer, scratch, stats, global),
             Vec::new(),
         ),
         QueryNode::Bool {
@@ -414,7 +434,8 @@ fn eval_node(
             if !must.is_empty() {
                 let mut clause_lists = Vec::with_capacity(must.len());
                 for sub in must {
-                    let (mut list, mut sub_excl) = eval_node(index, sub, scorer, scratch, stats);
+                    let (mut list, mut sub_excl) =
+                        eval_node(index, sub, scorer, scratch, stats, global);
                     if !sub_excl.is_empty() {
                         sub_excl.sort_unstable();
                         sub_excl.dedup();
@@ -425,7 +446,7 @@ fn eval_node(
                 parts.push(intersect_sum(clause_lists));
             }
             for sub in should {
-                let (list, sub_excl) = eval_node(index, sub, scorer, scratch, stats);
+                let (list, sub_excl) = eval_node(index, sub, scorer, scratch, stats, global);
                 parts.push(list);
                 exclusions.extend(sub_excl);
             }
@@ -465,8 +486,10 @@ fn neg_docs(
             }
         }
         QueryNode::Phrase { field, terms } => {
+            // Scores are discarded under must_not, so shard-local
+            // statistics are fine here.
             out.extend(
-                eval_phrase(index, field, terms, scorer_for_neg(), scratch, stats)
+                eval_phrase(index, field, terms, scorer_for_neg(), scratch, stats, None)
                     .into_iter()
                     .map(|(d, _)| d),
             );
@@ -493,6 +516,7 @@ fn eval_fuzzy(
     max_edits: usize,
     scorer: Scorer,
     stats: &mut DaatStats,
+    global: Option<&CorpusStats>,
 ) -> Vec<(u32, f64)> {
     let expansions = QueryNode::expand_fuzzy(index, field, term, max_edits);
     stats.fuzzy_expansions += expansions.len() as u64;
@@ -501,7 +525,7 @@ fn eval_fuzzy(
         .map(|(expanded, dist)| {
             let damp = 1.0 / (1.0 + dist as f64);
             index
-                .term_scores(field, expanded, scorer)
+                .term_scores_with(field, expanded, scorer, global)
                 .into_iter()
                 .map(|(doc, s)| (doc, s * damp))
                 .collect()
@@ -521,16 +545,17 @@ fn eval_phrase(
     scorer: Scorer,
     scratch: &mut Scratch,
     stats: &mut DaatStats,
+    global: Option<&CorpusStats>,
 ) -> Vec<(u32, f64)> {
     if terms.is_empty() {
         return Vec::new();
     }
     if terms.len() == 1 {
-        return index.term_scores(field, &terms[0], scorer);
+        return index.term_scores_with(field, &terms[0], scorer, global);
     }
     let mut cursors = Vec::with_capacity(terms.len());
     for t in terms {
-        match TermCursor::open(index, field, t, None) {
+        match TermCursor::open(index, field, t, None, global) {
             Some(c) => cursors.push(c),
             None => return Vec::new(),
         }

@@ -17,15 +17,20 @@
 //!   top-k heap retrieval;
 //! * [`daat`] — document-at-a-time execution with galloping cursor
 //!   intersection and MaxScore top-k pruning, bit-identical to the
-//!   exhaustive baseline kept in [`score`].
+//!   exhaustive baseline kept in [`score`];
+//! * [`stats`] — mergeable cross-shard corpus statistics so sharded
+//!   scatter-gather search scores bit-identically to one monolithic
+//!   index.
 
 pub mod daat;
 pub mod index;
 pub mod query;
 pub mod score;
 pub mod segment;
+pub mod stats;
 
 pub use index::{FieldConfig, Index};
 pub use query::QueryNode;
 pub use score::{ScoredDoc, Scorer};
 pub use segment::IndexSegment;
+pub use stats::CorpusStats;

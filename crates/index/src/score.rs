@@ -120,7 +120,25 @@ impl Index {
     /// Executes document-at-a-time (see [`crate::daat`]); rankings are
     /// bit-identical to [`Index::search_exhaustive`].
     pub fn search(&self, query: &QueryNode, k: usize, scorer: Scorer) -> Vec<ScoredDoc> {
-        crate::daat::search_daat(self, query, k, scorer)
+        crate::daat::search_daat(self, query, k, scorer, None)
+    }
+
+    /// Like [`Index::search`], but scoring with externally supplied
+    /// corpus statistics (idf / avg_len) instead of this index's own.
+    ///
+    /// This is the shard-local leg of a scatter-gather search: every
+    /// shard scores against the *merged* [`CorpusStats`] of all shards,
+    /// so per-document scores are bit-identical to what one monolithic
+    /// index holding the union of the shards would produce. With
+    /// `stats: None` this is exactly [`Index::search`].
+    pub fn search_with_stats(
+        &self,
+        query: &QueryNode,
+        k: usize,
+        scorer: Scorer,
+        stats: Option<&crate::stats::CorpusStats>,
+    ) -> Vec<ScoredDoc> {
+        crate::daat::search_daat(self, query, k, scorer, stats)
     }
 
     /// The original exhaustive executor: walks the query tree accumulating
@@ -241,14 +259,29 @@ impl Index {
     }
 
     pub(crate) fn term_scores(&self, field: &str, term: &str, scorer: Scorer) -> Vec<(u32, f64)> {
+        self.term_scores_with(field, term, scorer, None)
+    }
+
+    /// `term_scores` with optional cross-shard statistics overriding the
+    /// index's own idf / avg_len (see [`crate::stats`]).
+    pub(crate) fn term_scores_with(
+        &self,
+        field: &str,
+        term: &str,
+        scorer: Scorer,
+        global: Option<&crate::stats::CorpusStats>,
+    ) -> Vec<(u32, f64)> {
         let Some(fi) = self.fields.get(field) else {
             return Vec::new();
         };
         let Some(postings) = fi.dict.get(term) else {
             return Vec::new();
         };
-        let idf = self.idf(field, term);
-        let avg_len = fi.avg_len().max(1.0);
+        let (idf, avg_len) = match global {
+            Some(g) => (g.idf(field, term), g.avg_len(field)),
+            None => (self.idf(field, term), fi.avg_len()),
+        };
+        let avg_len = avg_len.max(1.0);
         postings
             .iter()
             .map(|p| {

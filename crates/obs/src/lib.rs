@@ -33,8 +33,8 @@ pub use slowlog::{
     SlowQueryRecord,
 };
 pub use trace::{
-    current_trace_id, next_trace_id, observe_stage, record_daat, record_graph_exec,
-    set_current_trace, DaatStats, QueryCapture, Span, TraceGuard,
+    buffered_stages, current_trace_id, flush_stages, next_trace_id, observe_stage, record_daat,
+    record_graph_exec, set_current_trace, DaatStats, QueryCapture, Span, StageLog, TraceGuard,
 };
 
 use std::sync::Arc;
@@ -57,6 +57,11 @@ pub fn counter_with(name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
 /// Global gauge handle.
 pub fn gauge(name: &str) -> Arc<Gauge> {
     Registry::global().gauge(name)
+}
+
+/// Global labelled gauge handle.
+pub fn gauge_with(name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    Registry::global().gauge_with(name, labels)
 }
 
 /// Global latency histogram handle.

@@ -218,8 +218,13 @@ impl Registry {
 
     /// Gauge handle for `name` with no labels.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// Gauge handle for `name` + labels, interning on first use.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let mut map = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
-        Arc::clone(map.entry(key(name, &[])).or_default())
+        Arc::clone(map.entry(key(name, labels)).or_default())
     }
 
     /// Latency histogram handle for `name` with no labels.

@@ -46,6 +46,65 @@ pub fn next_trace_id() -> String {
 thread_local! {
     static CURRENT_TRACE: RefCell<Option<String>> = const { RefCell::new(None) };
     static CAPTURE: RefCell<Option<CaptureFrame>> = const { RefCell::new(None) };
+    static STAGE_BUFFER: RefCell<Option<Vec<(&'static str, &'static str, f64)>>> =
+        const { RefCell::new(None) };
+}
+
+/// Stage observations diverted from the registry by [`buffered_stages`],
+/// waiting to be flushed on another thread via [`flush_stages`].
+#[derive(Debug, Default)]
+pub struct StageLog(Vec<(&'static str, &'static str, f64)>);
+
+impl StageLog {
+    /// Number of buffered observations.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the log holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Folds another log's observations onto the end of this one.
+    pub fn merge(&mut self, other: StageLog) {
+        self.0.extend(other.0);
+    }
+}
+
+/// Runs `f` with this thread's stage observations diverted into a
+/// [`StageLog`] instead of the global registry.
+///
+/// Pool workers use this so their span timings survive the hop back to
+/// the dispatching thread: `observe_stage` (and thus every [`Span`])
+/// inside `f` appends to the log, and the caller later applies the
+/// batch and calls [`flush_stages`] to land the timings in the registry
+/// (and the active capture frame) exactly once. Nesting restores the
+/// previous buffer on exit.
+pub fn buffered_stages<T>(f: impl FnOnce() -> T) -> (T, StageLog) {
+    if !crate::enabled() {
+        return (f(), StageLog::default());
+    }
+    let prev = STAGE_BUFFER.with(|b| b.borrow_mut().replace(Vec::new()));
+    let out = f();
+    let buffered = STAGE_BUFFER.with(|b| {
+        let mut slot = b.borrow_mut();
+        let buffered = slot.take().unwrap_or_default();
+        *slot = prev;
+        buffered
+    });
+    (out, StageLog(buffered))
+}
+
+/// Lands a [`StageLog`]'s observations in the global registry and the
+/// calling thread's active capture frame.
+pub fn flush_stages(log: StageLog) {
+    if !crate::enabled() {
+        return;
+    }
+    for (metric, stage, seconds) in log.0 {
+        observe_stage(metric, stage, seconds);
+    }
 }
 
 /// RAII guard restoring the previous thread-local trace on drop.
@@ -150,6 +209,21 @@ pub fn record_graph_exec(nodes_visited: u64, edges_traversed: u64) {
 /// to the active capture frame (if a query capture is open).
 pub fn observe_stage(metric: &'static str, stage: &'static str, seconds: f64) {
     if !crate::enabled() {
+        return;
+    }
+    // A worker running under `buffered_stages` defers to its log; the
+    // dispatching thread lands the observation at flush time.
+    let diverted = STAGE_BUFFER.with(|b| {
+        let mut slot = b.borrow_mut();
+        match slot.as_mut() {
+            Some(buf) => {
+                buf.push((metric, stage, seconds));
+                true
+            }
+            None => false,
+        }
+    });
+    if diverted {
         return;
     }
     Registry::global()
@@ -287,6 +361,35 @@ mod tests {
             let _span = Span::enter("test_span_seconds", "unit");
         }
         assert_eq!(h.count(), before + 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn buffered_stages_divert_then_flush_into_registry() {
+        let h = Registry::global().histogram_with("test_buffered_seconds", &[("stage", "unit")]);
+        let before = h.count();
+        let ((), log) = buffered_stages(|| {
+            observe_stage("test_buffered_seconds", "unit", 0.002);
+            observe_stage("test_buffered_seconds", "unit", 0.003);
+        });
+        assert_eq!(h.count(), before, "buffered observations bypass the registry");
+        assert_eq!(log.len(), 2);
+        flush_stages(log);
+        assert_eq!(h.count(), before + 2, "flush lands every observation");
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn buffered_stages_nest_and_restore() {
+        let ((), outer) = buffered_stages(|| {
+            observe_stage("test_nested_seconds", "outer", 0.001);
+            let ((), inner) = buffered_stages(|| {
+                observe_stage("test_nested_seconds", "inner", 0.001);
+            });
+            assert_eq!(inner.len(), 1);
+            observe_stage("test_nested_seconds", "outer", 0.001);
+        });
+        assert_eq!(outer.len(), 2, "outer buffer survives the nested scope");
     }
 
     #[cfg(feature = "enabled")]

@@ -52,6 +52,11 @@ pub fn build_api(system: Arc<Create>) -> Router {
         router.route("GET", "/stats", move |_, _| {
             let stats = system.stats();
             let cache = system.cache_stats();
+            let shard_generations: Vec<Value> = system
+                .shard_generations()
+                .into_iter()
+                .map(|g| Value::from(g as i64))
+                .collect();
             let doc = obj([
                 ("reports", (stats.reports as i64).into()),
                 ("graph_nodes", (stats.graph_nodes as i64).into()),
@@ -61,6 +66,8 @@ pub fn build_api(system: Arc<Create>) -> Router {
                 ("cache_misses", (cache.misses as i64).into()),
                 ("cache_entries", (cache.entries as i64).into()),
                 ("index_generation", (cache.generation as i64).into()),
+                ("shards", (system.shard_count() as i64).into()),
+                ("shard_generations", Value::Array(shard_generations)),
             ]);
             Response::json(Status::Ok, doc.to_json())
         });
@@ -292,6 +299,20 @@ pub fn build_api(system: Arc<Create>) -> Router {
                 create_obs::gauge(n::INDEX_TERMS_GAUGE).set(stats.index_terms as i64);
                 create_obs::gauge(n::QUERY_CACHE_ENTRIES_GAUGE).set(cache.entries as i64);
                 create_obs::gauge(n::INDEX_GENERATION_GAUGE).set(cache.generation as i64);
+                for (i, gen) in system.shard_generations().into_iter().enumerate() {
+                    create_obs::gauge_with(
+                        n::SHARD_GENERATION_GAUGE,
+                        &[("shard", &i.to_string())],
+                    )
+                    .set(gen as i64);
+                }
+                for (i, entries) in system.shard_cache_entries().into_iter().enumerate() {
+                    create_obs::gauge_with(
+                        n::SHARD_CACHE_ENTRIES_GAUGE,
+                        &[("shard", &i.to_string())],
+                    )
+                    .set(entries as i64);
+                }
             }
             let mut resp = Response::text(Status::Ok, create_obs::render_prometheus());
             resp.content_type = "text/plain; version=0.0.4; charset=utf-8".to_string();
@@ -613,6 +634,8 @@ mod tests {
             "index_generation",
             "index_terms",
             "reports",
+            "shard_generations",
+            "shards",
         ];
         let mut pos = 0;
         for key in expected {

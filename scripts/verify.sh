@@ -19,10 +19,24 @@ cargo test -q --test parallel_determinism
 echo "== equivalence: DAAT vs exhaustive query execution =="
 cargo test -q --test query_equivalence
 
+echo "== equivalence: scatter-gather across shard counts {1,2,4,7} =="
+cargo test -q --test shard_equivalence
+
 echo "== bench smoke: ingest throughput (200 docs) =="
 out="$(mktemp)"
 cargo run -q --release -p create-bench --bin bench_ingest -- 200 "$out"
+python3 - "$out" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+zeros = [s["stage"] for s in r["pipeline_stages"] if s["count"] == 0]
+for s in r["pipeline_stages"]:
+    print(f"  stage {s['stage']}: {s['count']} observations")
+if zeros:
+    print(f"verify: FAIL — pipeline stage histograms with zero observations: {zeros}", file=sys.stderr)
+    sys.exit(1)
+EOF
 rm -f "$out"
+
 
 echo "== bench smoke: search throughput (200 docs) =="
 out="$(mktemp)"
@@ -48,6 +62,22 @@ if p99 >= ingest / 2:
 if r["publish_latency"]["count"] < 1:
     print("verify: FAIL — snapshot publish histogram recorded no observations", file=sys.stderr)
     sys.exit(1)
+# Shard-sweep gate: every sweep width present, and batch ingest with
+# shards pinned to the core count must hold >=90% of the single-shard
+# throughput (within scheduler noise; on multi-core hosts it should win
+# outright).
+sweep = {row["shards"]: row for row in r["shard_sweep"]}
+if sorted(sweep) != [1, 2, 4, 8]:
+    print(f"verify: FAIL — shard sweep missing counts: {sorted(sweep)}", file=sys.stderr)
+    sys.exit(1)
+cores = r["meta"]["cpus"]
+native = min(sweep, key=lambda s: (abs(s - cores), s))
+base, shard = sweep[1]["ingest_docs_per_sec"], sweep[native]["ingest_docs_per_sec"]
+ratio = shard / base
+print(f"  ingest @ 1 shard {base:.1f} docs/s vs @ {native} shards {shard:.1f} docs/s (ratio {ratio:.3f}, {cores} cores)")
+if ratio < 0.90:
+    print("verify: FAIL — sharded batch ingest fell below the single-shard baseline", file=sys.stderr)
+    sys.exit(1)
 EOF
 rm -f "$out"
 
@@ -68,7 +98,11 @@ for series in \
     'create_query_cache_hits_total' \
     'create_graph_exec_nodes_visited_total' \
     'create_snapshot_publish_total' \
-    'create_snapshot_publish_seconds_bucket'
+    'create_snapshot_publish_seconds_bucket' \
+    'create_shard_generation{shard="0"' \
+    'create_shard_publish_total{shard="0"' \
+    'create_shard_cache_entries{shard="0"' \
+    'create_open_bad_config_total'
 do
     grep -qF "$series" "$metrics" || {
         echo "verify: FAIL — missing metrics series $series" >&2

@@ -266,7 +266,7 @@ fn bucketed_fuzzy_expansion_equals_dictionary_sweep() {
 #[test]
 fn query_cache_never_serves_stale_results() {
     let reports = corpus(20, 1313);
-    let mut system = Create::new(CreateConfig::default());
+    let system = Create::new(CreateConfig::default());
     for r in &reports[..19] {
         system.ingest_gold(r).unwrap();
     }
@@ -286,7 +286,7 @@ fn query_cache_never_serves_stale_results() {
     let stats = system.cache_stats();
     assert!(stats.generation > generation_before);
     let fresh = system.search(query, 10);
-    let mut reference = Create::new(CreateConfig::default());
+    let reference = Create::new(CreateConfig::default());
     for r in &reports {
         reference.ingest_gold(r).unwrap();
     }
