@@ -9,27 +9,47 @@
 //! was in flight, and the snapshot-publish latency histogram from the obs
 //! registry. A final shard-count sweep (1/2/4/8 shards) records ingest
 //! throughput, search qps, and mean publish latency at each width.
-//! Writes `BENCH_concurrent.json`; scripts/verify.sh gates on searches
-//! overlapping ingest and on read p99 staying well below a single
-//! batch-ingest duration.
+//! A connection-storm phase then drives the evented HTTP server with
+//! hundreds of concurrent keep-alive sockets (pipelined `GET /search`
+//! plus a `POST /submit_batch` writer mix), compares request throughput
+//! against a close-per-response baseline over the same routes, and
+//! probes graceful drain under load. Writes `BENCH_concurrent.json`;
+//! scripts/verify.sh gates on searches overlapping ingest, on read p99
+//! staying well below a single batch-ingest duration, and on the storm
+//! finishing with zero request errors inside its p99 bound.
 //!
 //! ```bash
 //! cargo run --release -p create-bench --bin bench_concurrent            # 600 docs
-//! cargo run --release -p create-bench --bin bench_concurrent -- 200 out.json
+//! cargo run --release -p create-bench --bin bench_concurrent -- 200 out.json 64
 //! ```
 
 use create_core::{Create, CreateConfig};
 use create_corpus::QuerySet;
 use create_docstore::json::obj;
 use create_docstore::Value;
+use create_server::{build_api, KeepAliveClient, Server, ServerConfig};
 use create_util::Rng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const K: usize = 10;
 const READERS: usize = 4;
 const STREAM_BATCH: usize = 25;
+/// Requests written back-to-back per keep-alive batch. Matches the
+/// server's per-unit dispatch cap so each batch is collected, executed,
+/// and flushed as one unit.
+const PIPELINE_DEPTH: usize = 32;
+/// Pipelined batches per storm connection — enough requests per socket
+/// that per-thread setup cost and transient host noise disappear into
+/// the measurement.
+const BATCHES_PER_CONN: usize = 12;
+/// Sequential `POST /submit_batch` round trips per writer connection.
+/// Writes are deliberately sparse (a read-heavy search console): each
+/// submit republishes the snapshot, which costs milliseconds and
+/// invalidates the query caches — real work, but the storm measures the
+/// connection layer, not the publish pipeline.
+const SUBMITS_PER_CONN: usize = 3;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -40,6 +60,10 @@ fn main() {
     let out_path = args
         .next()
         .unwrap_or_else(|| "BENCH_concurrent.json".to_string());
+    let storm_conns: usize = args
+        .next()
+        .map(|a| a.parse().expect("storm connections must be an integer"))
+        .unwrap_or(256);
 
     eprintln!("generating {n} synthetic reports...");
     let reports = create_bench::corpus(n, 1234);
@@ -201,9 +225,163 @@ fn main() {
         ]));
     }
 
+    // ---- Connection storm: keep-alive + pipelining vs close-per-response ----
+    //
+    // The same loaded system behind the REST API, hammered by
+    // `storm_conns` concurrent keep-alive sockets running pipelined
+    // `GET /search` (a small slice of them streaming `POST
+    // /submit_batch` writes), then by the same client count doing
+    // one-connection-per-request with `Connection: close`. The ratio is
+    // what the evented loop buys over the old thread-per-connection
+    // close-every-response server.
+    let dataset = create_ner::NerDataset::from_reports(
+        &reports[..prefill.min(50)],
+        create_ner::LabelSet::ner_targets(),
+    );
+    let tagger = create_bench::train_tagger(&dataset, Some(system.ontology()), None, 2);
+    system.attach_tagger(tagger);
+
+    let server =
+        Server::bind_with("127.0.0.1:0", build_api(Arc::clone(&system)), ServerConfig::default())
+            .expect("bind storm server");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.serve());
+
+    let submit_conns = (storm_conns / 64).max(1);
+    let get_conns = storm_conns - submit_conns;
+    let search_paths: Arc<Vec<String>> = Arc::new(
+        queries
+            .iter()
+            .map(|q| format!("/search?q={}&k={K}", url_encode(q)))
+            .collect(),
+    );
+
+    eprintln!(
+        "connection storm: {get_conns} keep-alive search conns (depth {PIPELINE_DEPTH} x \
+         {BATCHES_PER_CONN} batches) + {submit_conns} submit conns..."
+    );
+    // All sockets connect before the clock starts (standard load-gen
+    // methodology: the metric is steady-state request throughput at the
+    // target concurrency, not connection-establishment time).
+    let barrier = Arc::new(std::sync::Barrier::new(get_conns + submit_conns + 1));
+    let mut storm_threads = Vec::new();
+    for c in 0..get_conns {
+        let paths = Arc::clone(&search_paths);
+        let barrier = Arc::clone(&barrier);
+        storm_threads.push(std::thread::spawn(move || {
+            storm_search_client(addr, &paths, 7000 + c as u64, &barrier)
+        }));
+    }
+    for c in 0..submit_conns {
+        let barrier = Arc::clone(&barrier);
+        storm_threads.push(std::thread::spawn(move || storm_submit_client(addr, c, &barrier)));
+    }
+    barrier.wait();
+    let storm_started = Instant::now();
+    let mut storm = StormStats::default();
+    for t in storm_threads {
+        storm.merge(t.join().expect("storm client thread"));
+    }
+    let storm_secs = storm_started.elapsed().as_secs_f64();
+    let storm_total = storm.ok + storm.shed + storm.errors;
+    let storm_qps = storm_total as f64 / storm_secs.max(f64::MIN_POSITIVE);
+    storm.latencies.sort_unstable();
+    let storm_p50 = percentile_secs(&storm.latencies, 0.50);
+    let storm_p99 = percentile_secs(&storm.latencies, 0.99);
+    eprintln!(
+        "storm: {storm_total} requests in {storm_secs:.2}s = {storm_qps:.0} req/s  \
+         p50 {:.3} ms  p99 {:.3} ms  ok {}  shed {}  errors {}",
+        storm_p50 * 1e3,
+        storm_p99 * 1e3,
+        storm.ok,
+        storm.shed,
+        storm.errors
+    );
+
+    eprintln!(
+        "baseline: same workload, close-per-response ({get_conns} search + {submit_conns} \
+         submit clients)..."
+    );
+    let baseline_barrier = Arc::new(std::sync::Barrier::new(get_conns + submit_conns + 1));
+    let mut baseline_threads = Vec::new();
+    for c in 0..get_conns {
+        let paths = Arc::clone(&search_paths);
+        let barrier = Arc::clone(&baseline_barrier);
+        baseline_threads.push(std::thread::spawn(move || {
+            barrier.wait();
+            baseline_close_client(addr, &paths, 9000 + c as u64)
+        }));
+    }
+    for c in 0..submit_conns {
+        let barrier = Arc::clone(&baseline_barrier);
+        baseline_threads.push(std::thread::spawn(move || {
+            barrier.wait();
+            baseline_submit_client(addr, c)
+        }));
+    }
+    baseline_barrier.wait();
+    let baseline_started = Instant::now();
+    let mut baseline = StormStats::default();
+    for t in baseline_threads {
+        baseline.merge(t.join().expect("baseline client thread"));
+    }
+    let baseline_secs = baseline_started.elapsed().as_secs_f64();
+    let baseline_total = baseline.ok + baseline.shed + baseline.errors;
+    let baseline_qps = baseline_total as f64 / baseline_secs.max(f64::MIN_POSITIVE);
+    let speedup = storm_qps / baseline_qps.max(f64::MIN_POSITIVE);
+    eprintln!(
+        "baseline: {baseline_total} requests in {baseline_secs:.2}s = {baseline_qps:.0} req/s  \
+         keep-alive speedup {speedup:.1}x"
+    );
+
+    // Graceful drain under load: park requests on workers, fire shutdown,
+    // and require every in-flight response to still arrive.
+    let drain_clients = 16usize.min(storm_conns);
+    let mut probes = Vec::new();
+    for c in 0..drain_clients {
+        let path = search_paths[c % search_paths.len()].clone();
+        probes.push(std::thread::spawn(move || {
+            let mut client = KeepAliveClient::connect(addr).ok()?;
+            client.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+            client.send_get(&path).ok()?;
+            Some(client)
+        }));
+    }
+    let clients: Vec<Option<KeepAliveClient>> =
+        probes.into_iter().map(|t| t.join().expect("drain probe")).collect();
+    std::thread::sleep(Duration::from_millis(200)); // let the loop admit them
+    shutdown.shutdown();
+    let mut drain_completed = 0usize;
+    let mut drain_errors = 0usize;
+    for client in clients {
+        match client.map(|mut c| c.read_response()) {
+            Some(Ok(resp)) if resp.status == 200 => drain_completed += 1,
+            _ => drain_errors += 1,
+        }
+    }
+    server_thread.join().expect("server thread");
+    eprintln!(
+        "drain probe: {drain_completed}/{drain_clients} in-flight requests completed \
+         through shutdown ({drain_errors} errors)"
+    );
+    assert_eq!(
+        drain_errors, 0,
+        "graceful drain dropped in-flight requests on the floor"
+    );
+
+    let mut meta = create_bench::meta_json(n);
+    if let Value::Object(map) = &mut meta {
+        map.insert("storm_connections".to_string(), (storm_conns as i64).into());
+        map.insert(
+            "storm_pipeline_depth".to_string(),
+            (PIPELINE_DEPTH as i64).into(),
+        );
+    }
+
     let report = obj([
         ("bench", "concurrent".into()),
-        ("meta", create_bench::meta_json(n)),
+        ("meta", meta),
         ("n_docs", (n as i64).into()),
         ("corpus_seed", 1234_i64.into()),
         ("k", (K as i64).into()),
@@ -233,9 +411,211 @@ fn main() {
         ),
         ("snapshot_publishes", (publishes as i64).into()),
         ("shard_sweep", Value::Array(sweep_rows)),
+        (
+            "connection_storm",
+            obj([
+                ("connections", (storm_conns as i64).into()),
+                ("search_connections", (get_conns as i64).into()),
+                ("submit_connections", (submit_conns as i64).into()),
+                ("pipeline_depth", (PIPELINE_DEPTH as i64).into()),
+                ("batches_per_connection", (BATCHES_PER_CONN as i64).into()),
+                ("requests_total", (storm_total as i64).into()),
+                ("requests_ok", (storm.ok as i64).into()),
+                ("requests_shed", (storm.shed as i64).into()),
+                ("request_errors", (storm.errors as i64).into()),
+                ("keepalive_qps", storm_qps.into()),
+                ("keepalive_p50_seconds", storm_p50.into()),
+                ("keepalive_p99_seconds", storm_p99.into()),
+                ("baseline_requests", (baseline_total as i64).into()),
+                ("baseline_close_qps", baseline_qps.into()),
+                ("baseline_errors", (baseline.errors as i64).into()),
+                ("speedup_vs_close", speedup.into()),
+                (
+                    "drain_probe",
+                    obj([
+                        ("clients", (drain_clients as i64).into()),
+                        ("completed", (drain_completed as i64).into()),
+                        ("errors", (drain_errors as i64).into()),
+                    ]),
+                ),
+            ]),
+        ),
     ]);
     std::fs::write(&out_path, report.to_json_pretty()).expect("write bench report");
     eprintln!("wrote {out_path}");
+}
+
+/// Per-thread storm tallies, merged across clients at the end.
+#[derive(Default)]
+struct StormStats {
+    /// Per-response latency in nanos, measured from its batch's send.
+    latencies: Vec<u64>,
+    /// 2xx responses.
+    ok: usize,
+    /// Admission-control rejections (429/503) — none expected at default
+    /// limits.
+    shed: usize,
+    /// I/O failures or unexpected statuses.
+    errors: usize,
+}
+
+impl StormStats {
+    fn merge(&mut self, other: StormStats) {
+        self.latencies.extend(other.latencies);
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.errors += other.errors;
+    }
+
+    fn record(&mut self, status: u16, nanos: u64) {
+        self.latencies.push(nanos);
+        match status {
+            200 | 201 => self.ok += 1,
+            429 | 503 => self.shed += 1,
+            _ => self.errors += 1,
+        }
+    }
+}
+
+/// One keep-alive storm connection: `BATCHES_PER_CONN` batches of
+/// `PIPELINE_DEPTH` pipelined `GET /search` requests.
+fn storm_search_client(
+    addr: std::net::SocketAddr,
+    paths: &[String],
+    seed: u64,
+    barrier: &std::sync::Barrier,
+) -> StormStats {
+    let mut stats = StormStats::default();
+    let total = BATCHES_PER_CONN * PIPELINE_DEPTH;
+    let client = KeepAliveClient::connect(addr);
+    barrier.wait();
+    let Ok(mut client) = client else {
+        stats.errors = total;
+        return stats;
+    };
+    let _ = client.set_read_timeout(Some(Duration::from_secs(60)));
+    let mut rng = Rng::seed_from_u64(seed);
+    for _ in 0..BATCHES_PER_CONN {
+        let mut batch = String::new();
+        for _ in 0..PIPELINE_DEPTH {
+            let path = &paths[rng.below(paths.len())];
+            batch.push_str("GET ");
+            batch.push_str(path);
+            batch.push_str(" HTTP/1.1\r\nHost: localhost\r\n\r\n");
+        }
+        let started = Instant::now();
+        if client.send_raw(batch.as_bytes()).is_err() {
+            stats.errors += PIPELINE_DEPTH;
+            continue;
+        }
+        for _ in 0..PIPELINE_DEPTH {
+            // Lean status-only parse: the load generator must stay cheaper
+            // than the server or it becomes the bottleneck being measured.
+            match client.read_status() {
+                Ok(status) => stats.record(status, started.elapsed().as_nanos() as u64),
+                Err(_) => stats.errors += 1,
+            }
+        }
+    }
+    stats
+}
+
+/// One keep-alive writer connection: sequential `POST /submit_batch`
+/// round trips, one small document each.
+fn storm_submit_client(
+    addr: std::net::SocketAddr,
+    client_id: usize,
+    barrier: &std::sync::Barrier,
+) -> StormStats {
+    let mut stats = StormStats::default();
+    let client = KeepAliveClient::connect(addr);
+    barrier.wait();
+    let Ok(mut client) = client else {
+        stats.errors = SUBMITS_PER_CONN;
+        return stats;
+    };
+    let _ = client.set_read_timeout(Some(Duration::from_secs(60)));
+    for i in 0..SUBMITS_PER_CONN {
+        if i > 0 {
+            // Writes trickle: each one republishes the snapshot and
+            // invalidates the query caches, which is workload, not the
+            // connection layer under test.
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let body = submit_body("storm", client_id, i);
+        let started = Instant::now();
+        match client.post("/submit_batch", &body) {
+            Ok(resp) => stats.record(resp.status, started.elapsed().as_nanos() as u64),
+            Err(_) => stats.errors += 1,
+        }
+    }
+    stats
+}
+
+/// One small single-document `POST /submit_batch` body with a unique id.
+fn submit_body(prefix: &str, client_id: usize, i: usize) -> String {
+    format!(
+        "{{\"documents\":[{{\"id\":\"{prefix}-{client_id}-{i}\",\
+         \"title\":\"Storm submission\",\
+         \"text\":\"Patient presented with fever and cough on admission. \
+         Started antibiotics the next day with gradual improvement.\",\
+         \"year\":2021}}]}}"
+    )
+}
+
+/// One close-per-response baseline client: the same request sequence as a
+/// storm search client, but with a fresh TCP connection (and full
+/// teardown) for every request, like the old thread-per-connection server
+/// forced on clients.
+fn baseline_close_client(
+    addr: std::net::SocketAddr,
+    paths: &[String],
+    seed: u64,
+) -> StormStats {
+    let mut stats = StormStats::default();
+    let mut rng = Rng::seed_from_u64(seed);
+    for _ in 0..BATCHES_PER_CONN * PIPELINE_DEPTH {
+        let path = &paths[rng.below(paths.len())];
+        let started = Instant::now();
+        match create_server::server::http_get(addr, path) {
+            Ok((status, _)) => stats.record(status, started.elapsed().as_nanos() as u64),
+            Err(_) => stats.errors += 1,
+        }
+    }
+    stats
+}
+
+/// Close-per-response counterpart of [`storm_submit_client`]: the same
+/// writes, one fresh connection per `POST`.
+fn baseline_submit_client(addr: std::net::SocketAddr, client_id: usize) -> StormStats {
+    let mut stats = StormStats::default();
+    for i in 0..SUBMITS_PER_CONN {
+        if i > 0 {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let body = submit_body("storm-close", client_id, i);
+        let started = Instant::now();
+        match create_server::server::http_post(addr, "/submit_batch", &body) {
+            Ok((status, _)) => stats.record(status, started.elapsed().as_nanos() as u64),
+            Err(_) => stats.errors += 1,
+        }
+    }
+    stats
+}
+
+/// Percent-encodes a query string component (space as `+`).
+fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
 }
 
 /// Nearest-rank percentile over sorted latencies, in seconds.

@@ -44,6 +44,10 @@ use std::time::Instant;
 /// memory bound.
 const QUERY_CACHE_CAPACITY: usize = 256;
 
+/// Parsed-query cache capacity. Entries are small (a handful of resolved
+/// mentions), so this is a memory bound, not a tuning knob.
+const PARSE_CACHE_CAPACITY: usize = 512;
+
 /// Upper bound on the shard count: beyond this the per-query scatter cost
 /// dwarfs any write-parallelism win, so larger requests are clamped.
 pub const MAX_SHARDS: usize = 64;
@@ -278,6 +282,18 @@ pub struct Create {
     /// (lock-free with respect to writers — a load never waits on an
     /// in-flight batch).
     current: ArcCell<Snapshot>,
+    /// Parsed-query memo. A query's IE result depends only on the query
+    /// text, the attached tagger, and the (immutable) ontology, so
+    /// entries stay valid across ingests and are dropped wholesale when
+    /// a different tagger is attached.
+    parse_cache: Mutex<ParseCache>,
+}
+
+/// See [`Create::parse_cache`]. `stamp` identifies the tagger the cached
+/// entries were parsed with (the `Arc` pointer, `0` for gazetteer-only).
+struct ParseCache {
+    stamp: usize,
+    map: std::collections::HashMap<String, QueryIE>,
 }
 
 impl std::fmt::Debug for Create {
@@ -444,6 +460,10 @@ impl Create {
             shards: writers.into_iter().map(Shard::new).collect(),
             gate: Mutex::new(next_ordinal),
             current: ArcCell::new(Arc::new(Snapshot { shards: published })),
+            parse_cache: Mutex::new(ParseCache {
+                stamp: 0,
+                map: std::collections::HashMap::new(),
+            }),
         }
     }
 
@@ -1286,12 +1306,34 @@ impl Create {
     }
 
     /// Query parsing against an explicit snapshot's tagger, so search and
-    /// parse see the same state.
+    /// parse see the same state. Memoized per tagger: CRF decoding a
+    /// query costs hundreds of microseconds, which would dominate a
+    /// cache-hit search many times over on a hot repeated query.
     fn parse_query_against(&self, snapshot: &Snapshot, query: &str) -> QueryIE {
-        match &snapshot.shards[0].tagger {
+        let tagger = &snapshot.shards[0].tagger;
+        let stamp = tagger.as_ref().map_or(0, |t| Arc::as_ptr(t) as usize);
+        if let Ok(cache) = self.parse_cache.lock() {
+            if cache.stamp == stamp {
+                if let Some(hit) = cache.map.get(query) {
+                    return hit.clone();
+                }
+            }
+        }
+        let parsed = match tagger {
             Some(t) => QueryIE::parse(query, t, &self.ontology),
             None => QueryIE::parse_gazetteer(query, &self.ontology),
+        };
+        if let Ok(mut cache) = self.parse_cache.lock() {
+            if cache.stamp != stamp {
+                cache.map.clear();
+                cache.stamp = stamp;
+            }
+            if cache.map.len() >= PARSE_CACHE_CAPACITY {
+                cache.map.clear();
+            }
+            cache.map.insert(query.to_string(), parsed.clone());
         }
+        parsed
     }
 
     /// CREATe-IR search with the configured default policy.

@@ -73,6 +73,28 @@ pub const SHARD_CACHE_ENTRIES_GAUGE: &str = "create_shard_cache_entries";
 pub const HTTP_REQUESTS_TOTAL: &str = "create_http_requests_total";
 pub const HTTP_REQUEST_SECONDS: &str = "create_http_request_seconds";
 
+/// Evented-server connection lifecycle: currently open sockets (gauge,
+/// maintained by the event loop) and total accepted connections.
+pub const HTTP_CONNECTIONS_OPEN_GAUGE: &str = "create_http_connections_open";
+pub const HTTP_CONNECTIONS_ACCEPTED_TOTAL: &str = "create_http_connections_accepted_total";
+/// Admission-control rejections, labelled `reason=` (`connection_ceiling`,
+/// `route_limit`, `draining`) and, for route limits, `route=`.
+pub const HTTP_SHED_TOTAL: &str = "create_http_shed_total";
+/// Time a parsed request waited between admission and a dispatch worker
+/// picking it up, labelled `route=`.
+pub const HTTP_QUEUE_WAIT_SECONDS: &str = "create_http_queue_wait_seconds";
+/// Requests rejected with 413 because `Content-Length` exceeded the
+/// configured body cap.
+pub const HTTP_BODY_REJECTED_TOTAL: &str = "create_http_body_rejected_total";
+/// Requests rejected with 400 for malformed request lines or invalid /
+/// oversized headers.
+pub const HTTP_PARSE_ERROR_TOTAL: &str = "create_http_parse_error_total";
+/// Connections reaped by a deadline, labelled `kind=` (`header`, `body`,
+/// `idle`, `write`).
+pub const HTTP_TIMEOUTS_TOTAL: &str = "create_http_timeouts_total";
+/// Second-and-later requests served on a kept-alive connection.
+pub const HTTP_KEEPALIVE_REUSE_TOTAL: &str = "create_http_keepalive_reuse_total";
+
 /// Log events by severity, labelled `level=...`.
 pub const LOG_EVENTS_TOTAL: &str = "create_log_events_total";
 

@@ -26,7 +26,26 @@ use crate::http::{Response, Status};
 use crate::router::Router;
 use create_core::{Create, MergePolicy};
 use create_docstore::json::{obj, parse_json, Value};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Rendered-response memo for `GET /search`: the body for
+/// `(q, k, policy)` is deterministic at a fixed snapshot generation, so
+/// the JSON tree build + serialization (the dominant handler cost on a
+/// cache-hit search) runs once per generation. The underlying
+/// `search_with_policy` still runs on every request — its query cache and
+/// `/stats` counters behave exactly as without this memo.
+struct SearchBodyCache {
+    generation: u64,
+    /// Query text → rendered bodies per `(k, policy)` (a handful per
+    /// query, so a linear scan beats hashing a compound key — and lookup
+    /// by `&str` avoids allocating a key on the hot path).
+    map: HashMap<String, Vec<((usize, MergePolicy), String)>>,
+    entries: usize,
+}
+
+/// Rendered-body entries kept per generation (memory bound, not a knob).
+const SEARCH_BODY_CACHE_CAPACITY: usize = 512;
 
 fn policy_from(name: Option<&str>) -> Result<MergePolicy, String> {
     match name.unwrap_or("neo4j_first") {
@@ -75,6 +94,11 @@ pub fn build_api(system: Arc<Create>) -> Router {
 
     {
         let system = Arc::clone(&system);
+        let body_cache = Mutex::new(SearchBodyCache {
+            generation: 0,
+            map: HashMap::new(),
+            entries: 0,
+        });
         router.route("GET", "/search", move |req, _| {
             let Some(q) = req.param("q") else {
                 return Response::error(Status::BadRequest, "missing q parameter");
@@ -88,8 +112,20 @@ pub fn build_api(system: Arc<Create>) -> Router {
                 Ok(p) => p,
                 Err(m) => return Response::error(Status::BadRequest, &m),
             };
-            let parsed = system.parse_query(q);
+            let generation = system.snapshot().generation();
             let hits = system.search_with_policy(q, k, policy);
+            if let Ok(cache) = body_cache.lock() {
+                if cache.generation == generation {
+                    if let Some(bodies) = cache.map.get(q) {
+                        if let Some((_, body)) =
+                            bodies.iter().find(|(kp, _)| *kp == (k, policy))
+                        {
+                            return Response::json(Status::Ok, body.clone());
+                        }
+                    }
+                }
+            }
+            let parsed = system.parse_query(q);
             let hits_json: Vec<Value> = hits.iter().map(hit_json).collect();
             let mentions: Vec<Value> = parsed
                 .mentions
@@ -125,7 +161,18 @@ pub fn build_api(system: Arc<Create>) -> Router {
                 ),
                 ("hits", Value::Array(hits_json)),
             ]);
-            Response::json(Status::Ok, doc.to_json())
+            let body = doc.to_json();
+            if let Ok(mut cache) = body_cache.lock() {
+                if cache.generation != generation || cache.entries >= SEARCH_BODY_CACHE_CAPACITY
+                {
+                    cache.map.clear();
+                    cache.entries = 0;
+                    cache.generation = generation;
+                }
+                cache.map.entry(q.to_string()).or_default().push(((k, policy), body.clone()));
+                cache.entries += 1;
+            }
+            Response::json(Status::Ok, body)
         });
     }
 

@@ -5,18 +5,25 @@
 //! service surface: search, report retrieval, BRAT annotation export,
 //! Fig-7 SVG visualization, raw-text submission, and system stats.
 //!
-//! * [`http`] — request parsing / response serialization;
+//! * [`http`] — request parsing (incremental, pipelining-aware) and
+//!   response serialization;
 //! * [`router`] — path routing with `:param` captures;
 //! * [`api`] — the CREATe endpoint handlers over a shared [`create_core::Create`];
-//! * [`server`] — the TCP accept loop (thread-per-connection, graceful
-//!   shutdown).
+//! * [`server`] — the evented serving loop (epoll/poll readiness, a
+//!   dispatch worker pool, keep-alive, admission control, graceful
+//!   drain);
+//! * [`client`] — a blocking keep-alive/pipelining client for tests and
+//!   benches.
 
 pub mod api;
+pub mod client;
+mod conn;
 pub mod http;
 pub mod router;
 pub mod server;
 
 pub use api::build_api;
-pub use http::{Request, Response, Status};
+pub use client::KeepAliveClient;
+pub use http::{HttpLimits, Request, Response, Status};
 pub use router::Router;
-pub use server::Server;
+pub use server::{Server, ServerConfig};

@@ -102,6 +102,28 @@ impl Router {
         response.with_header("X-Trace-Id", trace_id)
     }
 
+    /// The route-pattern label a request would dispatch under, without
+    /// running the handler — the admission-control key for per-route
+    /// in-flight limits, so `/reports/:id` shares one budget.
+    pub fn route_label(&self, request: &Request) -> &str {
+        let path_segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let mut path_matched = false;
+        for route in &self.routes {
+            if match_segments(&route.segments, &path_segments).is_none() {
+                continue;
+            }
+            path_matched = true;
+            if route.method == request.method {
+                return route.pattern.as_str();
+            }
+        }
+        if path_matched {
+            "(method_not_allowed)"
+        } else {
+            "(unmatched)"
+        }
+    }
+
     /// Routing proper; returns the response plus the route-pattern label.
     fn dispatch_inner(&self, request: &Request) -> (Response, &str) {
         let path_segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
@@ -201,6 +223,17 @@ mod tests {
         let mut post = get("/health");
         post.method = "POST".to_string();
         assert_eq!(r.dispatch(&post).status, Status::MethodNotAllowed);
+    }
+
+    #[test]
+    fn route_label_matches_dispatch_pattern() {
+        let r = router();
+        assert_eq!(r.route_label(&get("/health")), "/health");
+        assert_eq!(r.route_label(&get("/reports/pmid:9")), "/reports/:id");
+        assert_eq!(r.route_label(&get("/nope")), "(unmatched)");
+        let mut post = get("/health");
+        post.method = "POST".to_string();
+        assert_eq!(r.route_label(&post), "(method_not_allowed)");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 pub mod arc_cell;
 pub mod pool;
+#[cfg(unix)]
+pub mod poller;
 pub mod rng;
 pub mod stats;
 

@@ -125,6 +125,14 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Submits a fire-and-forget job. Unlike [`ThreadPool::scope`] the
+    /// closure must be `'static`; nothing awaits its completion, but
+    /// dropping the pool drains every queued job before joining the
+    /// workers (the evented server relies on this for graceful drain).
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.inject(Box::new(f));
+    }
+
     fn inject(&self, job: Job) {
         self.shared
             .injector
@@ -401,6 +409,22 @@ mod tests {
             acc
         });
         assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn spawned_jobs_drain_before_drop_joins() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..64 {
+                let counter = Arc::clone(&counter);
+                pool.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Drop joins only after the queue drains.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
     }
 
     #[test]
