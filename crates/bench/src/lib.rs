@@ -14,9 +14,31 @@ use create_ner::{CrfTagger, CrfTaggerConfig, FlairFeatures, NerDataset};
 use create_ontology::Ontology;
 use std::sync::Arc;
 
+/// The git revision for provenance stamps: the `GIT_REV` env var when
+/// set (`scripts/verify.sh` exports it), otherwise `git rev-parse
+/// --short HEAD` run directly, otherwise `"unknown"` (e.g. outside a
+/// checkout).
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Provenance block for bench JSON reports: host size, pool width, git
-/// revision (from the `GIT_REV` env var — `scripts/verify.sh` exports
-/// it), and whether the obs instrumentation was compiled in.
+/// revision (see [`git_rev`]), and whether the obs instrumentation was
+/// compiled in.
 pub fn meta_json(n_docs: usize) -> Value {
     let cpus = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -27,12 +49,7 @@ pub fn meta_json(n_docs: usize) -> Value {
             "pool_threads",
             (create_util::ThreadPool::global().threads() as i64).into(),
         ),
-        (
-            "git_rev",
-            std::env::var("GIT_REV")
-                .unwrap_or_else(|_| "unknown".to_string())
-                .into(),
-        ),
+        ("git_rev", git_rev().into()),
         ("n_docs", (n_docs as i64).into()),
         ("obs_enabled", create_obs::enabled().into()),
         (
@@ -205,5 +222,14 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(f4(0.12345), "0.1235");
         assert_eq!(pct(0.2), "20.0%");
+    }
+
+    #[test]
+    fn git_rev_is_never_empty() {
+        // Whether GIT_REV is exported, git resolves HEAD, or neither,
+        // the provenance stamp must carry *something*.
+        let rev = git_rev();
+        assert!(!rev.is_empty());
+        assert_eq!(rev, rev.trim());
     }
 }

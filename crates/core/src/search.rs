@@ -293,6 +293,7 @@ pub(crate) fn scatter_keyword_search(
     k: usize,
 ) -> Vec<SearchHit> {
     if shards.len() == 1 {
+        let _span = create_obs::shard_span(create_obs::names::SPAN_KEYWORD_SHARD, 0);
         return keyword_search(&shards[0].index, query_text, k);
     }
     let q = keyword_query(&shards[0].index, query_text);
@@ -306,7 +307,8 @@ pub(crate) fn scatter_keyword_search(
     // within a shard, so local internal ids are ordered exactly like the
     // ordinals they map to.
     let mut gathered: Vec<(f64, u64, String)> = Vec::with_capacity(shards.len() * k);
-    for shard in shards {
+    for (shard_no, shard) in shards.iter().enumerate() {
+        let _span = create_obs::shard_span(create_obs::names::SPAN_KEYWORD_SHARD, shard_no as u32);
         for scored in shard
             .index
             .search_with_stats(&q, k, Scorer::default(), Some(&stats))
@@ -346,10 +348,12 @@ pub(crate) fn scatter_graph_search(
     k: usize,
 ) -> Vec<SearchHit> {
     if shards.len() == 1 {
+        let _span = create_obs::shard_span(create_obs::names::SPAN_GRAPH_SHARD, 0);
         return GraphSearcher::from_graph(&shards[0].graph).search(&shards[0].graph, query, k);
     }
     let mut hits: Vec<SearchHit> = Vec::new();
-    for shard in shards {
+    for (shard_no, shard) in shards.iter().enumerate() {
+        let _span = create_obs::shard_span(create_obs::names::SPAN_GRAPH_SHARD, shard_no as u32);
         hits.extend(GraphSearcher::from_graph(&shard.graph).search(&shard.graph, query, k));
     }
     hits.sort_by(|a, b| {

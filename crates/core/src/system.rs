@@ -1353,6 +1353,7 @@ impl Create {
     /// workers never serialize while computing.
     pub fn search_with_policy(&self, query: &str, k: usize, policy: MergePolicy) -> Vec<SearchHit> {
         let capture = QueryCapture::begin();
+        let span = create_obs::child_span(obs_names::SPAN_SEARCH);
         count_policy(policy);
         let snapshot = self.current.load();
         let generation = snapshot.generation();
@@ -1362,8 +1363,12 @@ impl Create {
             .ok()
             .and_then(|mut cache| cache.get(query, k, policy, generation));
         let hits = match cached {
-            Some(hits) => hits,
+            Some(hits) => {
+                create_obs::add_span_counter("cache_hit", 1);
+                hits
+            }
             None => {
+                create_obs::add_span_counter("cache_miss", 1);
                 let hits = self.execute_search(&snapshot, query, k, policy);
                 if let Ok(mut cache) = cache.lock() {
                     cache.insert(query, k, policy, generation, hits.clone());
@@ -1371,6 +1376,9 @@ impl Create {
                 hits
             }
         };
+        // Close the search span before `finish` so the query histogram
+        // exemplar attaches while the context is still this request's.
+        drop(span);
         capture.finish(query, k, policy.label());
         hits
     }

@@ -5,9 +5,16 @@
 //! - **Metrics registry** ([`metrics`]): atomic counters, gauges, and
 //!   fixed-bucket latency histograms with p50/p95/p99 extraction,
 //!   rendered in the Prometheus text exposition format.
-//! - **Spans and traces** ([`trace`]): `Span::enter(metric, stage)`
-//!   RAII guards that record wall time into stage histograms, a
-//!   thread-local per-request trace ID, and a per-query capture frame.
+//! - **Spans and traces** ([`trace`]): a propagated per-request
+//!   [`TraceContext`] (captured by `create-util::pool` when jobs are
+//!   injected, re-installed on the worker), `Span::enter(metric,
+//!   stage)` RAII guards that record wall time into stage histograms
+//!   *and* the request's span tree, histogram exemplars linking
+//!   latency buckets to trace IDs, and a per-query capture frame.
+//! - **Flight recorder** ([`recorder`]): completed span trees in two
+//!   fixed-size rings (general + always-retained slow), head-sampled
+//!   at a runtime-configurable rate, served as `GET /trace/{id}` and
+//!   `GET /debug/traces`.
 //! - **Event + slow-query logs** ([`events`], [`slowlog`]): a
 //!   severity-filtered ring buffer of events, and a ring of queries
 //!   that crossed a configurable latency threshold, captured with
@@ -23,18 +30,28 @@
 pub mod events;
 pub mod metrics;
 pub mod names;
+pub mod recorder;
 pub mod slowlog;
 pub mod trace;
 
 pub use events::{log, log_level, recent_events, set_log_level, Event, Level};
-pub use metrics::{escape_label_value, Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS};
+pub use metrics::{
+    escape_label_value, BucketExemplars, Counter, Exemplar, Gauge, Histogram, Registry,
+    LATENCY_BUCKETS,
+};
+pub use recorder::{
+    clear_recorded_traces, find_trace, set_trace_sample_rate, trace_sample_rate, trace_summaries,
+    SpanRecord, TraceRecord, TraceSummary, RECORDER_CAPACITY, RECORDER_SLOW_CAPACITY,
+};
 pub use slowlog::{
     clear_slow_queries, set_slow_query_threshold, slow_queries, slow_query_threshold,
     SlowQueryRecord,
 };
 pub use trace::{
-    buffered_stages, current_trace_id, flush_stages, next_trace_id, observe_stage, record_daat,
-    record_graph_exec, set_current_trace, DaatStats, QueryCapture, Span, StageLog, TraceGuard,
+    add_span_counter, buffered_stages, carry_context, child_span, current_context,
+    current_trace_id, current_trace_raw, flush_stages, install_context, next_trace_id,
+    observe_stage, parse_trace_hex, record_daat, record_graph_exec, shard_span, ContextGuard,
+    DaatStats, QueryCapture, RequestTrace, Span, StageLog, TraceContext, TreeSpan,
 };
 
 use std::sync::Arc;

@@ -69,6 +69,27 @@ pub const LATENCY_BUCKETS: [f64; 19] = [
     0.5, 1.0, 2.5, 5.0, 10.0,
 ];
 
+/// A histogram exemplar: the trace that produced an observation, so a
+/// latency bucket links back to a recorded span tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exemplar {
+    /// Raw trace ID (rendered as 16 hex chars in the exposition).
+    pub trace_id: u64,
+    /// The observed value.
+    pub value: f64,
+}
+
+/// Per-bucket exemplars: the most recent traced observation (rendered
+/// on `/metrics` — fresh traces are the ones still in the flight
+/// recorder) and the largest seen (kept for diagnostics/tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BucketExemplars {
+    /// Most recent traced observation landing in this bucket.
+    pub recent: Option<Exemplar>,
+    /// Largest traced observation landing in this bucket.
+    pub max: Option<Exemplar>,
+}
+
 /// Fixed-bucket histogram with atomic bucket counts.
 ///
 /// Bucket edges are `le`-inclusive, matching Prometheus: a value equal
@@ -82,6 +103,9 @@ pub struct Histogram {
     buckets: Vec<AtomicU64>, // bounds.len() + 1; last is the +Inf bucket
     count: AtomicU64,
     sum_bits: AtomicU64, // f64 bit pattern, CAS-accumulated
+    // Lazily sized to buckets.len() on the first traced observation;
+    // untraced histograms never touch (or allocate) this.
+    exemplars: Mutex<Vec<BucketExemplars>>,
 }
 
 impl Histogram {
@@ -97,6 +121,7 @@ impl Histogram {
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
+            exemplars: Mutex::new(Vec::new()),
         }
     }
 
@@ -122,6 +147,38 @@ impl Histogram {
                 Err(seen) => cur = seen,
             }
         }
+    }
+
+    /// Records one observation and, when a trace ID is supplied,
+    /// remembers it as the landing bucket's exemplar.
+    pub fn observe_traced(&self, v: f64, trace_id: Option<u64>) {
+        self.observe(v);
+        let Some(trace_id) = trace_id else {
+            return;
+        };
+        let idx = self.bounds.partition_point(|b| *b < v);
+        let mut exemplars = self.exemplars.lock().unwrap_or_else(|p| p.into_inner());
+        if exemplars.len() < self.buckets.len() {
+            exemplars.resize(self.buckets.len(), BucketExemplars::default());
+        }
+        let slot = &mut exemplars[idx];
+        slot.recent = Some(Exemplar { trace_id, value: v });
+        if slot.max.map_or(true, |m| v >= m.value) {
+            slot.max = Some(Exemplar { trace_id, value: v });
+        }
+    }
+
+    /// Per-bucket exemplars, index-aligned with the bucket list
+    /// (`bounds` then `+Inf`). Buckets with no traced observation
+    /// report empty slots.
+    pub fn bucket_exemplars(&self) -> Vec<BucketExemplars> {
+        let mut out = self
+            .exemplars
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        out.resize(self.buckets.len(), BucketExemplars::default());
+        out
     }
 
     /// Total observations.
@@ -275,16 +332,25 @@ impl Registry {
                 let _ = writeln!(out, "# TYPE {name} histogram");
                 last_name = Some(name.as_str());
             }
-            for (bound, cumulative) in histogram.cumulative_buckets() {
+            let exemplars = histogram.bucket_exemplars();
+            for (i, (bound, cumulative)) in histogram.cumulative_buckets().into_iter().enumerate()
+            {
                 let le = match bound {
                     Some(b) => format_bound(b),
                     None => "+Inf".to_string(),
                 };
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "{name}_bucket{} {cumulative}",
                     render_labels(labels, Some(&le))
                 );
+                // OpenMetrics exemplar syntax: the per-bucket trace that
+                // most recently landed here (fresh traces are the ones
+                // still in the flight recorder).
+                if let Some(e) = exemplars[i].recent {
+                    let _ = write!(out, " # {{trace_id=\"{:016x}\"}} {}", e.trace_id, e.value);
+                }
+                out.push('\n');
             }
             let _ = writeln!(
                 out,
@@ -478,6 +544,45 @@ mod tests {
         r.counter_with("odd", &[("q", "a\"b\\c\nd")]).inc();
         let text = r.render_prometheus();
         assert!(text.contains(r#"odd{q="a\"b\\c\nd"} 1"#));
+    }
+
+    #[test]
+    fn exemplars_track_recent_and_max_per_bucket() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe_traced(0.5, Some(0xaa));
+        h.observe_traced(0.9, Some(0xbb));
+        h.observe_traced(0.1, Some(0xcc));
+        h.observe_traced(10.0, None); // untraced: counted, no exemplar
+        let ex = h.bucket_exemplars();
+        assert_eq!(ex.len(), 3, "aligned with bounds + the +Inf bucket");
+        assert_eq!(ex[0].recent, Some(Exemplar { trace_id: 0xcc, value: 0.1 }));
+        assert_eq!(ex[0].max, Some(Exemplar { trace_id: 0xbb, value: 0.9 }));
+        assert_eq!(ex[1].recent, None);
+        assert_eq!(ex[2].recent, None, "untraced observation leaves no exemplar");
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn render_appends_exemplars_to_bucket_lines() {
+        let r = Registry::new();
+        let h = r.histogram("ex_seconds");
+        h.observe_traced(0.003, Some(0xdead_beef));
+        h.observe(0.004); // untraced observation in the same bucket
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("ex_seconds_bucket{le=\"0.005\"} 2 # {trace_id=\"00000000deadbeef\"} 0.003\n"),
+            "bucket line carries the exemplar: {text}"
+        );
+        assert!(
+            text.contains("ex_seconds_bucket{le=\"0.00001\"} 0\n"),
+            "buckets without exemplars render bare: {text}"
+        );
+        // Every bucket line still ends in a parseable f64 (scrape
+        // compatibility for the pre-exemplar assertions).
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let last = line.rsplit(' ').next().unwrap();
+            assert!(last.parse::<f64>().is_ok(), "unparseable tail in {line}");
+        }
     }
 
     #[test]

@@ -95,6 +95,26 @@ pub const HTTP_TIMEOUTS_TOTAL: &str = "create_http_timeouts_total";
 /// Second-and-later requests served on a kept-alive connection.
 pub const HTTP_KEEPALIVE_REUSE_TOTAL: &str = "create_http_keepalive_reuse_total";
 
+/// Work-stealing pool series, maintained by `create-util::pool`:
+/// live worker threads across all pools, jobs currently queued but not
+/// yet picked up, and jobs handed to an executor since process start.
+pub const POOL_WORKERS_GAUGE: &str = "create_pool_workers";
+pub const POOL_QUEUE_DEPTH_GAUGE: &str = "create_pool_queue_depth";
+pub const POOL_JOBS_EXECUTED_TOTAL: &str = "create_pool_jobs_executed_total";
+
+/// Flight-recorder accounting: completed request traces persisted into
+/// the recorder rings, and requests whose trace was head-sampled out.
+pub const TRACES_RECORDED_TOTAL: &str = "create_traces_recorded_total";
+pub const TRACES_SAMPLED_OUT_TOTAL: &str = "create_traces_sampled_out_total";
+
+/// Span-tree node names for the structural (non-stage) spans: the
+/// per-query span under a request root, and the per-shard children of
+/// the keyword/graph scatter stages. Stage spans reuse the `stage=`
+/// label values above.
+pub const SPAN_SEARCH: &str = "search";
+pub const SPAN_KEYWORD_SHARD: &str = "keyword_shard";
+pub const SPAN_GRAPH_SHARD: &str = "graph_shard";
+
 /// Log events by severity, labelled `level=...`.
 pub const LOG_EVENTS_TOTAL: &str = "create_log_events_total";
 

@@ -33,8 +33,9 @@ pub fn slow_query_threshold() -> Duration {
 pub struct SlowQueryRecord {
     /// Monotonic sequence number (process lifetime).
     pub seq: u64,
-    /// Trace active on the query thread, if any (batch queries run on
-    /// pool workers and carry no trace).
+    /// Trace active on the query thread, if any. Pool workers inherit
+    /// the submitting request's context, so batch queries carry the
+    /// dispatching request's trace ID.
     pub trace_id: Option<String>,
     /// Query text.
     pub query: String,

@@ -16,6 +16,8 @@
 //! | POST   | `/flush`                      | persist the document store to disk |
 //! | GET    | `/metrics`                    | Prometheus text exposition of the obs registry |
 //! | GET    | `/slowlog`                    | captured slow queries (trace ID, stages, DAAT stats) |
+//! | GET    | `/trace/:id`                  | recorded span tree for one request (flight recorder) |
+//! | GET    | `/debug/traces`               | recorder summaries + sampling config |
 //!
 //! The platform is shared as a plain `Arc<Create>`: reads run against the
 //! currently published snapshot without any server-side locking, and
@@ -367,6 +369,38 @@ pub fn build_api(system: Arc<Create>) -> Router {
         });
     }
 
+    router.route("GET", "/trace/:id", |_, params| {
+        match create_obs::find_trace(&params["id"]) {
+            Some(t) => Response::json(Status::Ok, trace_json(&t).to_json()),
+            None => Response::error(
+                Status::NotFound,
+                "no recorded trace with that id (evicted, unsampled, or never seen)",
+            ),
+        }
+    });
+
+    router.route("GET", "/debug/traces", |_, _| {
+        let traces: Vec<Value> = create_obs::trace_summaries()
+            .iter()
+            .map(|s| {
+                obj([
+                    ("traceId", s.trace_id.clone().into()),
+                    ("root", s.root.clone().into()),
+                    ("totalSeconds", s.total_seconds.into()),
+                    ("slow", s.slow.into()),
+                    ("spans", (s.spans as i64).into()),
+                ])
+            })
+            .collect();
+        let doc = obj([
+            ("sampleRate", create_obs::trace_sample_rate().into()),
+            ("capacity", (create_obs::RECORDER_CAPACITY as i64).into()),
+            ("slowCapacity", (create_obs::RECORDER_SLOW_CAPACITY as i64).into()),
+            ("traces", Value::Array(traces)),
+        ]);
+        Response::json(Status::Ok, doc.to_json())
+    });
+
     router.route("GET", "/slowlog", |_, _| {
         let entries: Vec<Value> = create_obs::slow_queries()
             .iter()
@@ -415,6 +449,46 @@ pub fn build_api(system: Arc<Create>) -> Router {
     });
 
     router
+}
+
+fn trace_json(t: &create_obs::TraceRecord) -> Value {
+    let spans: Vec<Value> = t
+        .spans
+        .iter()
+        .map(|s| {
+            let counters: Vec<Value> = s
+                .counters
+                .iter()
+                .map(|(name, value)| {
+                    obj([
+                        ("name", name.clone().into()),
+                        ("value", (*value as i64).into()),
+                    ])
+                })
+                .collect();
+            obj([
+                ("id", (s.id as i64).into()),
+                ("parent", (s.parent as i64).into()),
+                ("name", s.name.clone().into()),
+                (
+                    "shard",
+                    s.shard
+                        .map(|x| Value::from(x as i64))
+                        .unwrap_or(Value::Null),
+                ),
+                ("startSeconds", s.start_seconds.into()),
+                ("durationSeconds", s.duration_seconds.into()),
+                ("counters", Value::Array(counters)),
+            ])
+        })
+        .collect();
+    obj([
+        ("traceId", t.trace_id.clone().into()),
+        ("root", t.root.clone().into()),
+        ("totalSeconds", t.total_seconds.into()),
+        ("slow", t.slow.into()),
+        ("spans", Value::Array(spans)),
+    ])
 }
 
 fn hit_json(h: &create_core::SearchHit) -> Value {
@@ -787,6 +861,128 @@ mod tests {
         let daat = rec.get("daat").expect("daat stats present");
         assert!(daat.get("postings_advanced").unwrap().as_i64().is_some());
         assert!(rec.get("total_seconds").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn search_batch_trace_records_a_span_tree() {
+        let api = build_api(system());
+        let mut req = get("/search_batch", &[]);
+        req.method = "POST".to_string();
+        req.body = br#"{"queries": ["fever and cough", "chest pain"], "k": 5}"#.to_vec();
+        let resp = api.dispatch(&req);
+        assert_eq!(resp.status, Status::Ok);
+        let trace_id = resp.header("X-Trace-Id").expect("trace header").to_string();
+
+        let trace = api.dispatch(&get(&format!("/trace/{trace_id}"), &[]));
+        assert_eq!(trace.status, Status::Ok, "trace recorded for {trace_id}");
+        let doc = parse_json(std::str::from_utf8(&trace.body).unwrap()).unwrap();
+        assert_eq!(doc.get("traceId").and_then(Value::as_str), Some(trace_id.as_str()));
+        assert_eq!(doc.get("root").and_then(Value::as_str), Some("/search_batch"));
+        let spans = doc.get("spans").unwrap().as_array().unwrap();
+        let root = &spans[0];
+        assert_eq!(root.get("id").and_then(Value::as_i64), Some(1));
+        assert_eq!(root.get("parent").and_then(Value::as_i64), Some(0));
+        // One per-query "search" span per batched query, parented to the
+        // root even though they ran on pool workers.
+        let search_spans: Vec<&Value> = spans
+            .iter()
+            .filter(|s| s.get("name").and_then(Value::as_str) == Some("search"))
+            .collect();
+        assert_eq!(search_spans.len(), 2, "one search span per query: {spans:?}");
+        for span in &search_spans {
+            assert_eq!(span.get("parent").and_then(Value::as_i64), Some(1));
+        }
+        // Shard fan-out spans carry their shard index and chain up to a
+        // search span through the stage span.
+        let shard_spans: Vec<&Value> = spans
+            .iter()
+            .filter(|s| s.get("name").and_then(Value::as_str) == Some("keyword_shard"))
+            .collect();
+        assert!(!shard_spans.is_empty(), "keyword shard spans recorded: {spans:?}");
+        for span in &shard_spans {
+            assert!(span.get("shard").and_then(Value::as_i64).is_some());
+            // Walk parent links to the root.
+            let mut current = span.get("id").and_then(Value::as_i64).unwrap();
+            let mut hops = 0;
+            while current != 1 {
+                let parent = spans
+                    .iter()
+                    .find(|s| s.get("id").and_then(Value::as_i64) == Some(current))
+                    .and_then(|s| s.get("parent"))
+                    .and_then(Value::as_i64)
+                    .unwrap_or_else(|| panic!("span {current} missing parent"));
+                current = parent;
+                hops += 1;
+                assert!(hops < 16, "parent chain did not terminate");
+            }
+        }
+        // The recorder summary lists the trace too.
+        let summary = api.dispatch(&get("/debug/traces", &[]));
+        assert_eq!(summary.status, Status::Ok);
+        let doc = parse_json(std::str::from_utf8(&summary.body).unwrap()).unwrap();
+        assert!(doc.get("sampleRate").and_then(Value::as_f64).is_some());
+        assert!(doc
+            .get("traces")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|t| t.get("traceId").and_then(Value::as_str) == Some(trace_id.as_str())));
+    }
+
+    #[test]
+    fn inbound_trace_id_is_honored_and_recorded() {
+        let api = build_api(system());
+        let mut req = get("/search", &[("q", "fever"), ("k", "3")]);
+        req.headers
+            .insert("x-trace-id".to_string(), "abc123".to_string());
+        let resp = api.dispatch(&req);
+        assert_eq!(
+            resp.header("X-Trace-Id"),
+            Some("0000000000abc123"),
+            "inbound id echoed back zero-padded"
+        );
+        let trace = api.dispatch(&get("/trace/0000000000abc123", &[]));
+        assert_eq!(trace.status, Status::Ok, "client-correlated trace recorded");
+        // Garbage inbound values fall back to a fresh id.
+        let mut req = get("/health", &[]);
+        req.headers
+            .insert("x-trace-id".to_string(), "not-hex!".to_string());
+        let resp = api.dispatch(&req);
+        let id = resp.header("X-Trace-Id").unwrap();
+        assert_ne!(id, "not-hex!");
+        assert_eq!(id.len(), 16);
+    }
+
+    #[test]
+    fn trace_lookup_misses_return_404() {
+        let api = build_api(system());
+        let resp = api.dispatch(&get("/trace/fffffffffffffffe", &[]));
+        assert_eq!(resp.status, Status::NotFound);
+    }
+
+    #[test]
+    fn metrics_render_exemplars_after_traffic() {
+        let api = build_api(system());
+        let _ = api.dispatch(&get("/search", &[("q", "fever exemplar probe"), ("k", "5")]));
+        let resp = api.dispatch(&get("/metrics", &[]));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(
+            text.contains("# {trace_id=\""),
+            "at least one bucket line carries a trace exemplar"
+        );
+        // The exemplar's trace is resolvable in the flight recorder.
+        let line = text
+            .lines()
+            .find(|l| l.contains("create_http_request_seconds_bucket") && l.contains("# {trace_id=\""))
+            .expect("http latency histogram has an exemplar");
+        let id = line
+            .split("trace_id=\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("exemplar trace id parses");
+        let trace = api.dispatch(&get(&format!("/trace/{id}"), &[]));
+        assert_eq!(trace.status, Status::Ok, "exemplar {id} links to a recorded trace");
     }
 
     #[test]

@@ -74,18 +74,24 @@ impl Router {
     /// Dispatches a request; 404 when no path matches, 405 when the path
     /// matches under a different method.
     ///
-    /// Every dispatch runs under a fresh trace ID (installed as the
-    /// thread's current trace for handler-side logging and slow-query
-    /// capture) and is echoed back in an `X-Trace-Id` response header —
-    /// including 404/405 responses. Latency and status land in
-    /// `create_http_request_seconds{route=...}` and
+    /// Every dispatch runs under a [`create_obs::RequestTrace`]: a valid
+    /// inbound `X-Trace-Id` header (1–16 hex chars, nonzero) is honored
+    /// for client-correlated tracing, otherwise a fresh ID is minted;
+    /// either way the ID is echoed back in the `X-Trace-Id` response
+    /// header — including 404/405 responses. The installed context
+    /// follows pooled work (shard fan-out, batch search) onto workers,
+    /// and sampled requests persist their span tree into the flight
+    /// recorder (`GET /trace/{id}`) when dispatch completes. Latency
+    /// and status land in `create_http_request_seconds{route=...}`
+    /// (with a trace-ID exemplar) and
     /// `create_http_requests_total{route=...,status=...}`, labelled by
     /// route *pattern* so parameterized paths stay one series.
     pub fn dispatch(&self, request: &Request) -> Response {
-        let trace_id = create_obs::next_trace_id();
-        let _trace = create_obs::set_current_trace(trace_id.clone());
+        let mut trace =
+            create_obs::RequestTrace::begin(request.headers.get("x-trace-id").map(String::as_str));
         let start = std::time::Instant::now();
         let (response, route_label) = self.dispatch_inner(request);
+        trace.set_root(route_label);
         if create_obs::enabled() {
             let status = response.status.code().to_string();
             create_obs::counter_with(
@@ -97,8 +103,13 @@ impl Router {
                 create_obs::names::HTTP_REQUEST_SECONDS,
                 &[("route", route_label)],
             )
-            .observe(start.elapsed().as_secs_f64());
+            .observe_traced(start.elapsed().as_secs_f64(), create_obs::current_trace_raw());
         }
+        // The trace drops (and the recorder persists the span tree)
+        // before the response leaves, so a client can immediately GET
+        // /trace/{id} for the ID it just received.
+        let trace_id = trace.hex().to_string();
+        drop(trace);
         response.with_header("X-Trace-Id", trace_id)
     }
 

@@ -114,6 +114,22 @@ rm -f "$out"
 echo "== server smoke: keep-alive, pipelining, close, 400/413 (raw sockets) =="
 cargo run -q --release -p create-bench --bin server_smoke
 
+echo "== trace smoke: /trace/{id} span tree over live shard fan-out =="
+trace="$(mktemp)"
+cargo run -q --release -p create-bench --bin trace_smoke > "$trace"
+for needle in \
+    '"keyword_shard"' \
+    '"graph_shard"' \
+    '"parent":' \
+    '"traceId":'
+do
+    grep -qF "$needle" "$trace" || {
+        echo "verify: FAIL — trace_smoke span tree missing $needle" >&2
+        exit 1
+    }
+done
+rm -f "$trace"
+
 echo "== snapshot isolation: concurrent readers, torn-read + cache checks =="
 cargo test -q --test snapshot_stress
 
@@ -135,7 +151,10 @@ for series in \
     'create_shard_generation{shard="0"' \
     'create_shard_publish_total{shard="0"' \
     'create_shard_cache_entries{shard="0"' \
-    'create_open_bad_config_total'
+    'create_open_bad_config_total' \
+    'create_pool_workers' \
+    'create_pool_queue_depth' \
+    'create_pool_jobs_executed_total'
 do
     grep -qF "$series" "$metrics" || {
         echo "verify: FAIL — missing metrics series $series" >&2
@@ -147,33 +166,47 @@ rm -f "$metrics"
 echo "== obs overhead gate: instrumented vs --no-default-features (300 docs) =="
 # The same bench binary, instrumentation compiled in vs out. The term and
 # bool DAAT workloads are the hot paths the obs layer touches per-cursor;
-# instrumented throughput must stay within 5% of the stripped build.
-extract_qps() { # $1=json $2=workload
-    python3 - "$1" "$2" <<'EOF'
+# the stripped build also compiles out trace-context propagation, span
+# recording, and exemplars, so this gate bounds the whole tracing stack
+# at 5% alongside the metrics.
+best_qps() { # $1=workload $2...=json reports; prints the best daat_qps
+    python3 - "$@" <<'EOF'
 import json, sys
-report = json.load(open(sys.argv[1]))
-for run in report["runs"]:
-    if run["workload"] == sys.argv[2]:
-        print(run["daat_qps"])
-        break
+workload, best = sys.argv[1], 0.0
+for path in sys.argv[2:]:
+    for run in json.load(open(path))["runs"]:
+        if run["workload"] == workload:
+            best = max(best, run["daat_qps"])
+print(best)
 EOF
 }
-on="$(mktemp)"; off="$(mktemp)"
-cargo run -q --release -p create-bench --bin bench_search -- 300 "$on"
-cargo run -q --release -p create-bench --no-default-features --bin bench_search -- 300 "$off"
+# Best of 3 interleaved runs per variant: single runs swing well past
+# 5% on noisy CI hosts, which would drown the threshold in flakes. The
+# stripped build gets its own target dir so the two binaries coexist
+# (sharing one dir would rebuild the world on every feature flip).
+cargo build -q --release -p create-bench --bin bench_search
+CARGO_TARGET_DIR=target/stripped \
+    cargo build -q --release -p create-bench --no-default-features --bin bench_search
+on_bin="target/release/bench_search"
+off_bin="target/stripped/release/bench_search"
+on1="$(mktemp)"; on2="$(mktemp)"; on3="$(mktemp)"
+off1="$(mktemp)"; off2="$(mktemp)"; off3="$(mktemp)"
+"$on_bin" 300 "$on1"; "$off_bin" 300 "$off1"
+"$on_bin" 300 "$on2"; "$off_bin" 300 "$off2"
+"$on_bin" 300 "$on3"; "$off_bin" 300 "$off3"
 for workload in term bool; do
-    qps_on="$(extract_qps "$on" "$workload")"
-    qps_off="$(extract_qps "$off" "$workload")"
+    qps_on="$(best_qps "$workload" "$on1" "$on2" "$on3")"
+    qps_off="$(best_qps "$workload" "$off1" "$off2" "$off3")"
     python3 - "$workload" "$qps_on" "$qps_off" <<'EOF'
 import sys
 workload, qps_on, qps_off = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
 ratio = qps_on / qps_off
-print(f"  {workload}: instrumented {qps_on:.1f} q/s vs stripped {qps_off:.1f} q/s (ratio {ratio:.3f})")
+print(f"  {workload}: instrumented {qps_on:.1f} q/s vs stripped {qps_off:.1f} q/s (best-of-3 ratio {ratio:.3f})")
 if ratio < 0.95:
     print(f"verify: FAIL — obs overhead on {workload} exceeds 5%", file=sys.stderr)
     sys.exit(1)
 EOF
 done
-rm -f "$on" "$off"
+rm -f "$on1" "$on2" "$on3" "$off1" "$off2" "$off3"
 
 echo "== verify: OK =="
