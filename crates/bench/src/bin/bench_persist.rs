@@ -1,0 +1,162 @@
+//! Durable-storage benchmark: cold-open vs rebuild, on-disk footprint,
+//! and disk-vs-RAM search parity.
+//!
+//! Builds a flushed data directory of N synthetic reports, then times
+//! three paths:
+//!
+//! * **cold open** — `Create::open` over sealed segments + manifest
+//!   (the recovery path: decode + merge, no NLP pipeline);
+//! * **legacy rebuild** — the same JSONL store with the `storage/`
+//!   directory deleted, forcing the full re-ingest pipeline;
+//! * **search** — a query panel over the reopened (disk-born) system
+//!   vs a never-persisted in-memory twin, asserting bit-identical
+//!   rankings while measuring qps on both.
+//!
+//! The headline gate (enforced by scripts/verify.sh): cold open must
+//! be ≥5x faster than the legacy rebuild at 10k docs.
+//!
+//! ```bash
+//! cargo run --release -p create-bench --bin bench_persist              # 10000 docs
+//! cargo run --release -p create-bench --bin bench_persist -- 2000 out.json
+//! ```
+
+use create_core::{Create, CreateConfig, MergePolicy};
+use create_corpus::QuerySet;
+use create_docstore::json::obj;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const K: usize = 10;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("create-bench-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn build_flushed(dir: &Path, reports: &[create_corpus::CaseReport]) -> f64 {
+    let started = Instant::now();
+    let system = Create::open(dir, CreateConfig::default()).expect("open empty dir");
+    system.ingest_gold_batch(reports, 0).expect("batch ingest");
+    system.flush().expect("flush");
+    started.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("N must be an integer"))
+        .unwrap_or(10_000);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_persist.json".to_string());
+
+    eprintln!("generating {n} synthetic reports...");
+    let reports = create_bench::corpus(n, 4321);
+    let queries: Vec<String> = QuerySet::generate(&reports, 31, 20)
+        .queries
+        .into_iter()
+        .map(|q| q.text)
+        .collect();
+
+    // Build and flush the durable corpus once; everything below reopens it.
+    let dir = fresh_dir("main");
+    let build_secs = build_flushed(&dir, &reports);
+    eprintln!("build+flush: {build_secs:.2}s ({:.0} docs/sec)", n as f64 / build_secs);
+
+    // Cold open: manifest → segments → merge. Best-of-3 to shed noise.
+    let mut cold_open_secs = f64::INFINITY;
+    let mut segments = 0usize;
+    let mut segment_bytes = 0u64;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let system = Create::open(&dir, CreateConfig::default()).expect("cold open");
+        let secs = started.elapsed().as_secs_f64();
+        assert_eq!(system.stats().reports, n, "cold open recovers every doc");
+        let stats = system.storage_stats().expect("disk-backed");
+        segments = stats.segments;
+        segment_bytes = stats.segment_bytes;
+        cold_open_secs = cold_open_secs.min(secs);
+    }
+    eprintln!(
+        "cold open: {cold_open_secs:.3}s  ({segments} segment(s), {segment_bytes} bytes on disk)"
+    );
+
+    // Legacy rebuild: same JSONL store, storage/ deleted → the open
+    // path has no manifest and must re-run the whole ingest pipeline.
+    let legacy_dir = fresh_dir("legacy");
+    build_flushed(&legacy_dir, &reports);
+    std::fs::remove_dir_all(legacy_dir.join("storage")).expect("drop storage dir");
+    let started = Instant::now();
+    let rebuilt = Create::open(&legacy_dir, CreateConfig::default()).expect("legacy rebuild");
+    let legacy_rebuild_secs = started.elapsed().as_secs_f64();
+    assert_eq!(rebuilt.stats().reports, n, "legacy rebuild recovers every doc");
+    drop(rebuilt);
+    let speedup = legacy_rebuild_secs / cold_open_secs;
+    eprintln!("legacy rebuild: {legacy_rebuild_secs:.2}s  (cold open is {speedup:.1}x faster)");
+
+    // Disk-vs-RAM search parity: rankings must be bit-identical, and
+    // qps is reported for both so the disk path can't silently regress.
+    let disk = Create::open(&dir, CreateConfig::default()).expect("reopen for search");
+    let ram = Create::new(CreateConfig::default());
+    ram.ingest_gold_batch(&reports, 0).expect("RAM ingest");
+    let qps = |system: &Create| {
+        // Warm pass (fills caches identically on both), then timed.
+        for q in &queries {
+            let _ = system.search_with_policy(q, K, MergePolicy::Neo4jFirst);
+        }
+        let started = Instant::now();
+        let reps = 5;
+        for _ in 0..reps {
+            for q in &queries {
+                let _ = system.search_with_policy(q, K, MergePolicy::Neo4jFirst);
+            }
+        }
+        (reps * queries.len()) as f64 / started.elapsed().as_secs_f64()
+    };
+    for q in &queries {
+        let disk_hits: Vec<(String, u64)> = disk
+            .search_with_policy(q, K, MergePolicy::Neo4jFirst)
+            .into_iter()
+            .map(|h| (h.report_id, h.score.to_bits()))
+            .collect();
+        let ram_hits: Vec<(String, u64)> = ram
+            .search_with_policy(q, K, MergePolicy::Neo4jFirst)
+            .into_iter()
+            .map(|h| (h.report_id, h.score.to_bits()))
+            .collect();
+        assert_eq!(disk_hits, ram_hits, "disk-born ranking diverged for {q:?}");
+    }
+    let disk_qps = qps(&disk);
+    let ram_qps = qps(&ram);
+    eprintln!("search: disk-born {disk_qps:.0} qps vs RAM-born {ram_qps:.0} qps (bit-identical)");
+
+    let ram_postings_bytes = ram.index().postings_bytes();
+    let report = obj([
+        ("bench", "durable_storage".into()),
+        ("meta", create_bench::meta_json(n)),
+        ("n_docs", (n as i64).into()),
+        ("corpus_seed", 4321_i64.into()),
+        ("build_flush_secs", build_secs.into()),
+        ("cold_open_secs", cold_open_secs.into()),
+        ("legacy_rebuild_secs", legacy_rebuild_secs.into()),
+        ("cold_open_speedup_vs_rebuild", speedup.into()),
+        ("segments", (segments as i64).into()),
+        ("segment_bytes", (segment_bytes as i64).into()),
+        (
+            "segment_bytes_per_doc",
+            (segment_bytes as f64 / n as f64).into(),
+        ),
+        (
+            "ram_postings_bytes_per_doc",
+            (ram_postings_bytes as f64 / n as f64).into(),
+        ),
+        ("disk_search_qps", disk_qps.into()),
+        ("ram_search_qps", ram_qps.into()),
+        ("rankings_bit_identical", true.into()),
+    ]);
+    std::fs::write(&out_path, report.to_json_pretty()).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&legacy_dir);
+}

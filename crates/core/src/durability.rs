@@ -1,0 +1,313 @@
+//! Glue between the [`Create`](crate::Create) facade and the
+//! `create-storage` engine: WAL record shapes, segment seal/compaction
+//! helpers, and the storage metric emitters.
+//!
+//! The durable unit everywhere is the **document payload** — one JSON
+//! object bundling the three stored documents a report produces
+//! (`reports`, `annotations`, `extractions`):
+//!
+//! ```json
+//! {"report": {...}, "ann": {...}, "extraction": {...}}
+//! ```
+//!
+//! A WAL `doc` record wraps the payload with the report's global ingest
+//! ordinal; a sealed segment stores the identical payload per document
+//! (fetched back from the document store at seal time, so later updates
+//! — e.g. PDF metadata attachment — are baked in). Recovery re-applies
+//! payloads through the same store/graph/index plumbing live ingestion
+//! uses, which is what makes post-crash rankings bit-identical.
+
+use create_docstore::json::{parse_json, Value};
+use create_docstore::DocStore;
+use create_index::codec;
+use create_index::Index;
+use create_obs::names as obs_names;
+use create_storage::manifest::segment_file_name;
+use create_storage::{
+    segment, Manifest, SegmentData, SegmentMeta, ShardManifest, StorageError, StoredDoc, Wal,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A flush compacts a shard once it holds this many segments: every
+/// segment is decoded, merged through the deterministic
+/// [`Index::merge_segment`] order, and rewritten as one file.
+pub(crate) const COMPACT_SEGMENT_THRESHOLD: usize = 4;
+
+/// Per-shard durable state, owned by the shard's writer (so it shares
+/// the writer's serialization — WAL appends never race).
+pub(crate) struct ShardStorage {
+    /// The shard's write-ahead log.
+    pub wal: Wal,
+    /// The shard's storage directory (`<data>/storage/shard-<i>`).
+    pub dir: PathBuf,
+    /// Documents covered by sealed segments — index doc ids below this
+    /// are durable in segment files; ids at or above it live only in
+    /// the WAL until the next flush seals them.
+    pub sealed_docs: usize,
+}
+
+/// Engine-wide durable state, owned by the facade.
+pub(crate) struct StorageRoot {
+    /// The storage directory (`<data>/storage`).
+    pub dir: PathBuf,
+    /// The live manifest; mutated under the write gate only.
+    pub manifest: Mutex<Manifest>,
+}
+
+impl StorageRoot {
+    pub(crate) fn lock_manifest(&self) -> std::sync::MutexGuard<'_, Manifest> {
+        self.manifest
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// The three stored documents one report contributes, as recovered from
+/// a WAL record or a segment payload. `ann`/`extraction` are absent for
+/// documents that never had them (e.g. externally inserted rows).
+pub(crate) struct DocPayload {
+    pub report: Value,
+    pub ann: Option<Value>,
+    pub extraction: Option<Value>,
+}
+
+/// A parsed WAL record.
+pub(crate) enum WalRecord {
+    /// One ingested report (the common record).
+    Doc { ordinal: u64, payload: DocPayload },
+    /// A post-ingest document-store update (PDF metadata attachment).
+    Update {
+        collection: String,
+        id: String,
+        set: Value,
+    },
+}
+
+fn payload_fields(report: &Value, ann: Option<&Value>, extraction: Option<&Value>) -> Value {
+    let mut value = Value::object();
+    value.set("report", report.clone());
+    if let Some(ann) = ann {
+        value.set("ann", ann.clone());
+    }
+    if let Some(extraction) = extraction {
+        value.set("extraction", extraction.clone());
+    }
+    value
+}
+
+/// Builds a WAL `doc` record.
+pub(crate) fn doc_record(
+    ordinal: u64,
+    report: &Value,
+    ann: Option<&Value>,
+    extraction: Option<&Value>,
+) -> Value {
+    let mut record = payload_fields(report, ann, extraction);
+    record.set("t", "doc");
+    record.set("ordinal", ordinal as i64);
+    record
+}
+
+/// Builds a WAL `update` record.
+pub(crate) fn update_record(collection: &str, id: &str, set: &Value) -> Value {
+    let mut record = Value::object();
+    record.set("t", "update");
+    record.set("collection", collection);
+    record.set("id", id);
+    record.set("set", set.clone());
+    record
+}
+
+fn parse_payload(value: &Value) -> Result<DocPayload, String> {
+    Ok(DocPayload {
+        report: value
+            .get("report")
+            .cloned()
+            .ok_or("payload missing report")?,
+        ann: value.get("ann").cloned(),
+        extraction: value.get("extraction").cloned(),
+    })
+}
+
+/// Parses a segment stored-doc payload.
+pub(crate) fn parse_payload_bytes(bytes: &[u8]) -> Result<DocPayload, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "payload is not UTF-8".to_string())?;
+    let value = parse_json(text).map_err(|e| format!("payload is not valid JSON: {e}"))?;
+    parse_payload(&value)
+}
+
+/// Parses one WAL record.
+pub(crate) fn parse_wal_record(bytes: &[u8]) -> Result<WalRecord, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "WAL record is not UTF-8".to_string())?;
+    let value = parse_json(text).map_err(|e| format!("WAL record is not valid JSON: {e}"))?;
+    match value.get("t").and_then(Value::as_str) {
+        Some("doc") => {
+            let ordinal = value
+                .get("ordinal")
+                .and_then(Value::as_i64)
+                .ok_or("doc record missing ordinal")? as u64;
+            Ok(WalRecord::Doc {
+                ordinal,
+                payload: parse_payload(&value)?,
+            })
+        }
+        Some("update") => Ok(WalRecord::Update {
+            collection: value
+                .get("collection")
+                .and_then(Value::as_str)
+                .ok_or("update record missing collection")?
+                .to_string(),
+            id: value
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or("update record missing id")?
+                .to_string(),
+            set: value.get("set").cloned().ok_or("update record missing set")?,
+        }),
+        other => Err(format!("unknown WAL record type {other:?}")),
+    }
+}
+
+/// Assembles the segment data for index docs `[base..num_docs)`:
+/// payloads fetched from the live document store (so post-ingest
+/// updates are baked in) plus the codec-encoded postings tail.
+pub(crate) fn seal_data(
+    index: &Index,
+    store: &DocStore,
+    ordinals: &[u64],
+    base: usize,
+) -> Result<SegmentData, String> {
+    let num = index.num_docs();
+    let mut docs = Vec::with_capacity(num - base);
+    for local in base..num {
+        let id = index
+            .external_id(local as u32)
+            .ok_or("doc id out of range")?;
+        let report = store
+            .get("reports", id)
+            .ok_or_else(|| format!("indexed doc {id:?} missing from the reports store"))?;
+        let payload = payload_fields(
+            &report,
+            store.get("annotations", id).as_ref(),
+            store.get("extractions", id).as_ref(),
+        );
+        docs.push(StoredDoc {
+            ordinal: ordinals[local],
+            id: id.to_string(),
+            payload: payload.to_json().into_bytes(),
+        });
+    }
+    Ok(SegmentData {
+        docs,
+        postings: codec::encode_index_tail(index, base),
+    })
+}
+
+/// Rewrites a shard's segments as one: decode each file, merge through
+/// [`Index::merge_segment`] in manifest order (the same deterministic
+/// order recovery uses), re-encode, and replace the manifest entry.
+/// The old files stay on disk until the caller swaps the manifest and
+/// sweeps orphans — a crash mid-compaction changes nothing. Returns the
+/// number of documents rewritten.
+pub(crate) fn compact_shard(
+    shard_dir: &Path,
+    entry: &mut ShardManifest,
+) -> Result<u64, StorageError> {
+    let mut merged = Index::clinical();
+    let mut docs: Vec<StoredDoc> = Vec::new();
+    for meta in &entry.segments {
+        let path = shard_dir.join(&meta.file);
+        let data = segment::read_segment(&path)?;
+        let corrupt = |message: String| StorageError::Corrupt {
+            path: path.clone(),
+            message,
+        };
+        let seg = codec::decode_segment(&data.postings, &merged)
+            .map_err(|e| corrupt(e.to_string()))?;
+        if seg.num_docs() != data.docs.len() {
+            return Err(corrupt(format!(
+                "segment has {} stored docs but {} indexed docs",
+                data.docs.len(),
+                seg.num_docs()
+            )));
+        }
+        merged
+            .merge_segment(seg)
+            .map_err(|e| corrupt(e.to_string()))?;
+        docs.extend(data.docs);
+    }
+    let postings = codec::encode_index_tail(&merged, 0);
+    let count = docs.len() as u64;
+    let min_ordinal = docs.first().map(|d| d.ordinal).unwrap_or(0);
+    let max_ordinal = docs.last().map(|d| d.ordinal).unwrap_or(0);
+    let file = segment_file_name(entry.next_segment_id);
+    let info = segment::write_segment(&shard_dir.join(&file), &SegmentData { docs, postings })?;
+    entry.segments = vec![SegmentMeta {
+        file,
+        docs: count,
+        bytes: info.bytes,
+        crc: info.crc,
+        min_ordinal,
+        max_ordinal,
+    }];
+    entry.next_segment_id += 1;
+    Ok(count)
+}
+
+/// Counts a WAL append (framed bytes + latency, with a trace exemplar
+/// when the append runs under a traced request).
+pub(crate) fn note_wal_append(bytes: u64, seconds: f64) {
+    if !create_obs::enabled() {
+        return;
+    }
+    create_obs::counter(obs_names::WAL_APPENDED_BYTES_TOTAL).inc_by(bytes);
+    create_obs::histogram(obs_names::WAL_APPEND_SECONDS)
+        .observe_traced(seconds, create_obs::current_trace_raw());
+}
+
+/// Records a WAL fsync latency (the durability point of the append
+/// path) into the same histogram as the appends it covers.
+pub(crate) fn note_wal_sync(seconds: f64) {
+    if !create_obs::enabled() {
+        return;
+    }
+    create_obs::histogram(obs_names::WAL_APPEND_SECONDS)
+        .observe_traced(seconds, create_obs::current_trace_raw());
+}
+
+/// Records a segment seal latency.
+pub(crate) fn note_seal(seconds: f64) {
+    if !create_obs::enabled() {
+        return;
+    }
+    create_obs::histogram(obs_names::SEGMENT_SEAL_SECONDS)
+        .observe_traced(seconds, create_obs::current_trace_raw());
+}
+
+/// Counts one compaction run and the documents it rewrote.
+pub(crate) fn note_compaction(merged_docs: u64) {
+    if !create_obs::enabled() {
+        return;
+    }
+    create_obs::counter(obs_names::COMPACTION_RUNS_TOTAL).inc();
+    create_obs::counter(obs_names::COMPACTION_MERGED_DOCS_TOTAL).inc_by(merged_docs);
+}
+
+/// Counts WAL records replayed during recovery.
+pub(crate) fn note_recovery(records: u64) {
+    if create_obs::enabled() && records > 0 {
+        create_obs::counter(obs_names::RECOVERY_REPLAYED_RECORDS_TOTAL).inc_by(records);
+    }
+}
+
+/// Refreshes the segment gauges from the live manifest.
+pub(crate) fn refresh_segment_gauges(manifest: &Manifest) {
+    if !create_obs::enabled() {
+        return;
+    }
+    let segments: usize = manifest.shards.iter().map(|s| s.segments.len()).sum();
+    let bytes: u64 = manifest.shards.iter().map(ShardManifest::total_bytes).sum();
+    create_obs::gauge(obs_names::SEGMENT_COUNT_GAUGE).set(segments as i64);
+    create_obs::gauge(obs_names::SEGMENT_BYTES_GAUGE).set(bytes as i64);
+}

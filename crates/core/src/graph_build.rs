@@ -15,12 +15,12 @@ use crate::pipeline::ExtractedAnnotations;
 use create_docstore::Value;
 use create_graphdb::{NodeId, PropertyGraph};
 use create_ontology::{ConceptId, Ontology, RelationType};
-use std::collections::HashMap;
+use create_util::fxhash::{FxHashMap, FxHashSet};
 
 /// Maintains the concept-node registry while reports are ingested.
 #[derive(Debug, Default)]
 pub struct GraphBuilder {
-    concept_nodes: HashMap<ConceptId, NodeId>,
+    concept_nodes: FxHashMap<ConceptId, NodeId>,
 }
 
 /// Metadata attached to the report node.
@@ -90,16 +90,16 @@ impl GraphBuilder {
             ],
         );
         // Event nodes per mention with a concept + step.
-        let mut event_nodes: HashMap<usize, NodeId> = HashMap::new();
+        let mut event_nodes: FxHashMap<usize, NodeId> = FxHashMap::default();
+        // MENTIONS edge once per (report, concept). The report node is
+        // brand new, so a local set of linked concepts is equivalent to
+        // scanning its outgoing edges — without rebuilding the adjacency
+        // Vec on every mention.
+        let mut mentioned: FxHashSet<NodeId> = FxHashSet::default();
         for (mi, m) in annotations.mentions.iter().enumerate() {
             let Some(cui) = m.concept else { continue };
             let concept_node = self.concept_node(graph, ontology, cui);
-            // MENTIONS edge once per (report, concept).
-            let already_mentions = graph
-                .outgoing(report_node)
-                .iter()
-                .any(|e| e.rel_type == "MENTIONS" && e.target == concept_node);
-            if !already_mentions {
+            if mentioned.insert(concept_node) {
                 graph.create_edge::<&str>(report_node, concept_node, "MENTIONS", vec![]);
             }
             if m.etype.is_event() {

@@ -18,9 +18,11 @@
 //! * [`search`] — keyword engine, graph engine, merge policies;
 //! * [`eval`] — retrieval metrics (P@k, MRR, nDCG@k);
 //! * [`cache`] — generation-stamped LRU cache over merged search results;
+//! * [`durability`] — WAL/segment/manifest glue onto `create-storage`;
 //! * [`system`] — the [`Create`] facade tying it all together.
 
 pub mod cache;
+pub(crate) mod durability;
 pub mod eval;
 pub mod graph_build;
 pub mod pipeline;
@@ -31,5 +33,6 @@ pub use cache::CacheStats;
 pub use pipeline::{ExtractedAnnotations, QueryIE};
 pub use search::{MergePolicy, SearchHit, SearchSource};
 pub use system::{
-    Create, CreateConfig, GraphWriteGuard, IngestError, Snapshot, SystemStats, TextSubmission,
+    Create, CreateConfig, GraphWriteGuard, IngestError, Snapshot, StorageStats, SystemStats,
+    TextSubmission,
 };

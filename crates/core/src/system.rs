@@ -18,6 +18,7 @@
 //! report/annotation retrieval, and Fig-7 visualization.
 
 use crate::cache::{CacheStats, QueryCache};
+use crate::durability::{self, ShardStorage, StorageRoot, WalRecord};
 use crate::graph_build::{GraphBuilder, ReportMeta};
 use crate::pipeline::{ExtractedAnnotations, QueryIE};
 use crate::search::{scatter_graph_search, scatter_keyword_search, MergePolicy, SearchHit};
@@ -32,6 +33,9 @@ use create_ner::CrfTagger;
 use create_ontology::Ontology;
 use create_obs::names as obs_names;
 use create_obs::{QueryCapture, Span, StageLog};
+use create_storage::manifest::{segment_file_name, shard_dir_name, sweep_orphans};
+use create_storage::segment::{read_segment, read_segment_index, write_segment};
+use create_storage::{Manifest, SegmentMeta, ShardManifest, StorageError, Wal};
 use create_util::{ArcCell, ThreadPool};
 use create_viz::{render_svg, SvgOptions, VizEdge, VizGraph, VizNode};
 use std::collections::HashSet;
@@ -206,6 +210,40 @@ struct Writer {
     generation: u64,
     /// Shard-local internal doc id → global ingest ordinal.
     ordinals: Vec<u64>,
+    /// Durable state (WAL + sealed segments) — `None` for in-memory
+    /// instances, which skip the log entirely.
+    storage: Option<ShardStorage>,
+}
+
+impl Writer {
+    /// Appends one record to the shard's WAL. Called *before* the
+    /// corresponding in-memory apply, so any write the system goes on
+    /// to acknowledge is already recoverable from the log.
+    fn wal_log(&mut self, record: &Value) -> Result<(), IngestError> {
+        let Some(storage) = self.storage.as_mut() else {
+            return Ok(());
+        };
+        let started = Instant::now();
+        let bytes = storage
+            .wal
+            .append(record.to_json().as_bytes())
+            .map_err(IngestError::Storage)?;
+        durability::note_wal_append(bytes, started.elapsed().as_secs_f64());
+        Ok(())
+    }
+
+    /// Fsyncs the shard's WAL — the durability point of the write path,
+    /// reached once per operation before the publish that acknowledges
+    /// it.
+    fn wal_sync(&mut self) -> Result<(), IngestError> {
+        let Some(storage) = self.storage.as_mut() else {
+            return Ok(());
+        };
+        let started = Instant::now();
+        storage.wal.sync().map_err(IngestError::Storage)?;
+        durability::note_wal_sync(started.elapsed().as_secs_f64());
+        Ok(())
+    }
 }
 
 fn empty_writer(store: DocStore) -> Writer {
@@ -217,6 +255,7 @@ fn empty_writer(store: DocStore) -> Writer {
         tagger: None,
         generation: 0,
         ordinals: Vec::new(),
+        storage: None,
     }
 }
 
@@ -287,6 +326,9 @@ pub struct Create {
     /// entries stay valid across ingests and are dropped wholesale when
     /// a different tagger is attached.
     parse_cache: Mutex<ParseCache>,
+    /// Durable storage root (`None` for in-memory instances): the
+    /// storage directory and the live segment manifest.
+    storage: Option<StorageRoot>,
 }
 
 /// See [`Create::parse_cache`]. `stamp` identifies the tagger the cached
@@ -335,9 +377,17 @@ fn register_metrics() {
         obs_names::SNAPSHOT_PUBLISH_TOTAL,
         obs_names::OPEN_MALFORMED_FIELDS_TOTAL,
         obs_names::OPEN_BAD_CONFIG_TOTAL,
+        obs_names::WAL_APPENDED_BYTES_TOTAL,
+        obs_names::COMPACTION_RUNS_TOTAL,
+        obs_names::COMPACTION_MERGED_DOCS_TOTAL,
+        obs_names::RECOVERY_REPLAYED_RECORDS_TOTAL,
     ] {
         create_obs::counter(name);
     }
+    create_obs::histogram(obs_names::WAL_APPEND_SECONDS);
+    create_obs::histogram(obs_names::SEGMENT_SEAL_SECONDS);
+    create_obs::gauge(obs_names::SEGMENT_COUNT_GAUGE);
+    create_obs::gauge(obs_names::SEGMENT_BYTES_GAUGE);
     for policy in ALL_POLICIES {
         create_obs::counter_with(obs_names::SEARCH_POLICY_TOTAL, &[("policy", policy.label())]);
     }
@@ -442,16 +492,19 @@ impl Create {
             Arc::new(create_ontology::clinical_ontology()),
             writers,
             0,
+            None,
         )
     }
 
-    /// Assembles the facade from per-shard writers and the next global
-    /// ingest ordinal.
+    /// Assembles the facade from per-shard writers, the next global
+    /// ingest ordinal, and (for disk-backed instances) the durable
+    /// storage root.
     fn build(
         config: CreateConfig,
         ontology: Arc<Ontology>,
         writers: Vec<Writer>,
         next_ordinal: u64,
+        storage: Option<StorageRoot>,
     ) -> Create {
         let published: Vec<Arc<ShardSnapshot>> = writers.iter().map(snapshot_of).collect();
         Create {
@@ -464,18 +517,28 @@ impl Create {
                 stamp: 0,
                 map: std::collections::HashMap::new(),
             }),
+            storage,
         }
     }
 
     /// Opens a disk-backed platform: shard 0's document store loads from
     /// `dir` itself (the pre-sharding flat layout, so single-shard
-    /// deployments keep their files), shard `i > 0` from `dir/shard-i`.
-    /// The property graphs and inverted indexes are rebuilt from the
-    /// persisted documents and their stored extractions (the same
-    /// recovery MongoDB-backed deployments perform — the derived stores
-    /// are caches over the durable one). Documents found in a store whose
-    /// hash routes them elsewhere — a shard-count change, or a file
-    /// written by an external tool — are moved to their owning shard.
+    /// deployments keep their files), shard `i > 0` from `dir/shard-i`,
+    /// and the durable storage engine from `dir/storage`.
+    ///
+    /// When a storage manifest matching the configured shard count
+    /// exists, each shard recovers from its sealed segments (decoded
+    /// postings merged directly — no re-tokenization) plus a WAL-tail
+    /// replay of anything a flush had not yet sealed, so a kill-and-
+    /// reopen loses no acknowledged write and cold-open cost scales with
+    /// sealed bytes, not pipeline work. Without a manifest (a legacy
+    /// store) the graphs and indexes are rebuilt from the persisted
+    /// documents and their stored extractions, then sealed so the next
+    /// open takes the fast path. Documents found in a store whose hash
+    /// routes them elsewhere — a shard-count change, or a file written
+    /// by an external tool — are moved to their owning shard; a
+    /// shard-count change also folds the old layout's payloads back
+    /// into the stores before re-sealing under the new routing.
     ///
     /// A zero shard count is rejected ([`IngestError::Config`]): unlike
     /// [`Create::new`], silently clamping here could silently re-route a
@@ -502,6 +565,11 @@ impl Create {
         config.shards = clamp_shards(config.shards);
         register_shard_metrics(config.shards);
         let dir = dir.as_ref();
+        let storage_dir = dir.join(create_storage::STORAGE_DIR);
+        let prior = Manifest::load(&storage_dir).map_err(IngestError::Storage)?;
+        let recovering = prior
+            .as_ref()
+            .is_some_and(|m| m.shard_count == config.shards);
         let mut stores = Vec::with_capacity(config.shards);
         for i in 0..config.shards {
             let store = if i == 0 {
@@ -553,16 +621,19 @@ impl Create {
         // per-shard lookup paths (report fetch, duplicate checks) stay
         // complete without cross-shard scans.
         for j in 0..stores.len() {
+            // Collect only the ids that actually need to move — borrowing
+            // from a snapshot, since `DocStore::find` would deep-clone
+            // every report just to read its `_id`.
             let ids: Vec<String> = stores[j]
+                .snapshot()
                 .find("reports", &Filter::All)
                 .iter()
-                .filter_map(|d| d.get("_id").and_then(Value::as_str).map(str::to_string))
+                .filter_map(|d| d.get("_id").and_then(Value::as_str))
+                .filter(|id| shard_index(id, stores.len()) != j)
+                .map(str::to_string)
                 .collect();
             for id in ids {
                 let target = shard_index(&id, stores.len());
-                if target == j {
-                    continue;
-                }
                 for coll in ["reports", "annotations", "extractions"] {
                     if let Some(doc) = stores[j].get(coll, &id) {
                         stores[target]
@@ -573,50 +644,218 @@ impl Create {
                 }
             }
         }
+        // A storage layout sealed under a different shard count routes
+        // documents differently than this configuration will. Fold every
+        // payload it holds into the (re-routed) document stores — the WAL
+        // tails may hold acknowledged documents the stores never flushed —
+        // then drop the old layout; everything is re-sealed below.
+        if let Some(m) = &prior {
+            if !recovering {
+                for s in 0..m.shard_count {
+                    let shard_dir = storage_dir.join(shard_dir_name(s));
+                    for meta in &m.shards[s].segments {
+                        let data = read_segment(&shard_dir.join(&meta.file))
+                            .map_err(IngestError::Storage)?;
+                        for stored in &data.docs {
+                            let payload = durability::parse_payload_bytes(&stored.payload)
+                                .map_err(IngestError::Store)?;
+                            upsert_payload(&stores, payload)?;
+                        }
+                    }
+                    let wal_path = shard_dir.join(create_storage::WAL_FILE);
+                    if wal_path.exists() {
+                        let (_wal, replay) =
+                            Wal::open(&wal_path).map_err(IngestError::Storage)?;
+                        for record in &replay.records {
+                            match durability::parse_wal_record(record)
+                                .map_err(IngestError::Store)?
+                            {
+                                WalRecord::Doc { payload, .. } => {
+                                    upsert_payload(&stores, payload)?
+                                }
+                                WalRecord::Update {
+                                    collection,
+                                    id,
+                                    set,
+                                } => {
+                                    let target = shard_index(&id, stores.len());
+                                    stores[target]
+                                        .update(
+                                            &collection,
+                                            &Filter::eq("_id", id.as_str()),
+                                            &set,
+                                        )
+                                        .map_err(|e| IngestError::Store(e.to_string()))?;
+                                }
+                            }
+                        }
+                    }
+                }
+                for store in &stores {
+                    store.flush().map_err(|e| IngestError::Store(e.to_string()))?;
+                }
+                std::fs::remove_dir_all(&storage_dir)
+                    .map_err(|e| IngestError::Storage(StorageError::io(&storage_dir)(e)))?;
+            }
+        }
         let ontology = Arc::new(create_ontology::clinical_ontology());
         let mut writers: Vec<Writer> = stores.into_iter().map(empty_writer).collect();
-        // Rebuild derived state shard by shard. Ordinals are assigned in
-        // scan order (shard 0's documents, then shard 1's, …), which is
-        // deterministic for a given on-disk state.
         let mut next_ordinal = 0u64;
-        for writer in writers.iter_mut() {
-            let reports = writer.store.find("reports", &Filter::All);
-            for doc in reports {
-                let (Some(id), Some(title), Some(text)) = (
-                    doc.get("_id").and_then(Value::as_str),
-                    doc.get("title").and_then(Value::as_str),
-                    doc.get("text").and_then(Value::as_str),
-                ) else {
-                    return Err(IngestError::Store("malformed stored report".to_string()));
-                };
-                let year = match doc.get("year").and_then(Value::as_i64) {
-                    Some(y) => y as u32,
-                    None => {
-                        // A recoverable corruption: the report is still
-                        // usable, but the silent default must be visible
-                        // to operators.
-                        if create_obs::enabled() {
-                            create_obs::counter(obs_names::OPEN_MALFORMED_FIELDS_TOTAL).inc();
-                            create_obs::log(
-                                create_obs::Level::Warn,
-                                "create-core",
-                                format!(
-                                    "stored report {id:?} has a missing or malformed \"year\"; \
-                                     defaulting to 2020"
-                                ),
-                            );
-                        }
-                        2020
+        let mut manifest = match prior {
+            Some(m) if recovering => m,
+            _ => Manifest::new(config.shards),
+        };
+        // Shards whose document store was modified in memory during
+        // recovery (payload repair, WAL replay). Those stores are
+        // re-flushed before their WAL resets, preserving the invariant
+        // the segment fast path depends on: a reset WAL implies the
+        // JSONL files already hold everything the segments seal.
+        let mut store_dirty = vec![false; config.shards];
+        if recovering {
+            // Recovery: rebuild each shard from its sealed segments in
+            // manifest order — the original ingest order, so internal doc
+            // ids and ordinals come out exactly as the crashed process
+            // assigned them — then replay the WAL tail for everything a
+            // flush had not yet sealed. Cost is O(sealed bytes) to decode
+            // plus O(unflushed tail) to re-run the pipeline; no
+            // tokenization or extraction re-runs for sealed documents.
+            let mut replayed = 0u64;
+            for (i, writer) in writers.iter_mut().enumerate() {
+                let shard_dir = storage_dir.join(shard_dir_name(i));
+                for meta in &manifest.shards[i].segments {
+                    let path = shard_dir.join(&meta.file);
+                    let corrupt = |message: String| {
+                        IngestError::Storage(StorageError::Corrupt {
+                            path: path.clone(),
+                            message,
+                        })
+                    };
+                    let seg_index = read_segment_index(&path).map_err(IngestError::Storage)?;
+                    let segment =
+                        create_index::codec::decode_segment(&seg_index.postings, &writer.index)
+                            .map_err(|e| corrupt(e.to_string()))?;
+                    if segment.num_docs() != seg_index.docs.len() {
+                        return Err(corrupt(format!(
+                            "segment stores {} docs but indexes {}",
+                            seg_index.docs.len(),
+                            segment.num_docs()
+                        )));
                     }
-                };
-                let category = doc
-                    .get("category")
+                    // Fast path: when the JSONL store already holds every
+                    // document this segment seals (the common case — WALs
+                    // are only reset after a store flush lands, so a
+                    // sealed doc missing from the store means the store
+                    // files were damaged or removed), the payloads are
+                    // redundant: rebuild the graph straight from the
+                    // store's already-parsed values and never decompress
+                    // the stored-fields region.
+                    let snapshot = writer.store.snapshot();
+                    let in_sync = seg_index.docs.iter().all(|e| {
+                        snapshot.get("reports", &e.id).is_some()
+                            && snapshot.get("extractions", &e.id).is_some()
+                    });
+                    if in_sync {
+                        for entry in &seg_index.docs {
+                            let report =
+                                snapshot.get("reports", &entry.id).expect("checked above");
+                            let meta = parse_report_meta(report)?;
+                            let annotations = snapshot
+                                .get("extractions", &entry.id)
+                                .and_then(|e| {
+                                    e.get("extraction")
+                                        .and_then(ExtractedAnnotations::from_json)
+                                })
+                                .unwrap_or_default();
+                            writer.graph_builder.add_report(
+                                &mut writer.graph,
+                                &ontology,
+                                &meta,
+                                &annotations,
+                            );
+                            writer.ordinals.push(entry.ordinal);
+                            next_ordinal = next_ordinal.max(entry.ordinal + 1);
+                        }
+                    } else {
+                        // Repair path: the store is missing sealed
+                        // documents, so re-read the segment eagerly and
+                        // upsert every payload back into it.
+                        let data = read_segment(&path).map_err(IngestError::Storage)?;
+                        for stored in data.docs {
+                            let payload = durability::parse_payload_bytes(&stored.payload)
+                                .map_err(&corrupt)?;
+                            Self::recover_doc(&ontology, writer, payload, stored.ordinal, false)?;
+                            next_ordinal = next_ordinal.max(stored.ordinal + 1);
+                        }
+                        store_dirty[i] = true;
+                    }
+                    writer
+                        .index
+                        .merge_segment(segment)
+                        .map_err(|e| IngestError::Store(e.to_string()))?;
+                }
+                let sealed_docs = writer.index.num_docs();
+                let sealed_max = manifest.shards[i].segments.last().map(|s| s.max_ordinal);
+                let (wal, wal_replay) = Wal::open(shard_dir.join(create_storage::WAL_FILE))
+                    .map_err(IngestError::Storage)?;
+                for record in &wal_replay.records {
+                    match durability::parse_wal_record(record).map_err(IngestError::Store)? {
+                        WalRecord::Doc { ordinal, payload } => {
+                            if sealed_max.is_some_and(|max| ordinal <= max) {
+                                // Already durable in a sealed segment (the
+                                // crash hit between a seal and its WAL
+                                // reset); the replay is idempotent either
+                                // way, but skipping keeps recovery
+                                // O(unflushed tail).
+                                continue;
+                            }
+                            Self::recover_doc(&ontology, writer, payload, ordinal, true)?;
+                            next_ordinal = next_ordinal.max(ordinal + 1);
+                            replayed += 1;
+                            store_dirty[i] = true;
+                        }
+                        WalRecord::Update {
+                            collection,
+                            id,
+                            set,
+                        } => {
+                            writer
+                                .store
+                                .update(&collection, &Filter::eq("_id", id.as_str()), &set)
+                                .map_err(|e| IngestError::Store(e.to_string()))?;
+                            replayed += 1;
+                            store_dirty[i] = true;
+                        }
+                    }
+                }
+                writer.storage = Some(ShardStorage {
+                    wal,
+                    dir: shard_dir,
+                    sealed_docs,
+                });
+            }
+            durability::note_recovery(replayed);
+        }
+        // Index every stored report the segments and WAL did not cover:
+        // the whole corpus for a legacy (pre-manifest) store, externally
+        // inserted documents otherwise. Ordinals continue in scan order
+        // (shard 0's documents, then shard 1's, …), which is
+        // deterministic for a given on-disk state.
+        for writer in writers.iter_mut() {
+            // Borrow from a snapshot: `DocStore::find` would deep-clone
+            // every report just to discover (in the common case) that
+            // recovery already indexed all of them.
+            let snapshot = writer.store.snapshot();
+            for doc in snapshot.find("reports", &Filter::All) {
+                if doc
+                    .get("_id")
                     .and_then(Value::as_str)
-                    .unwrap_or("other")
-                    .to_string();
-                let annotations = writer
-                    .store
-                    .get("extractions", id)
+                    .is_some_and(|id| writer.index.internal_id(id).is_some())
+                {
+                    continue;
+                }
+                let fields = parse_report_fields(doc)?;
+                let annotations = snapshot
+                    .get("extractions", &fields.id)
                     .and_then(|e| {
                         e.get("extraction")
                             .and_then(ExtractedAnnotations::from_json)
@@ -626,25 +865,184 @@ impl Create {
                     &mut writer.graph,
                     &ontology,
                     &ReportMeta {
-                        report_id: id.to_string(),
-                        title: title.to_string(),
-                        year,
-                        category,
+                        report_id: fields.id.clone(),
+                        title: fields.title.clone(),
+                        year: fields.year,
+                        category: fields.category.clone(),
                     },
                     &annotations,
                 );
                 writer
                     .index
                     .add_document(
-                        id,
-                        &[("title", title), ("body", text), ("body_ngram", text)],
+                        &fields.id,
+                        &[
+                            ("title", fields.title.as_str()),
+                            ("body", fields.text.as_str()),
+                            ("body_ngram", fields.text.as_str()),
+                        ],
                     )
                     .map_err(|e| IngestError::Store(e.to_string()))?;
                 writer.ordinals.push(next_ordinal);
                 next_ordinal += 1;
             }
         }
-        Ok(Create::build(config, ontology, writers, next_ordinal))
+        // Attach fresh durable state where recovery did not (legacy and
+        // migrated layouts), then seal every unsealed tail so the whole
+        // acknowledged corpus is segment-durable — and the WALs can start
+        // empty — before the instance accepts writes.
+        let mut dirty = !recovering;
+        for (i, writer) in writers.iter_mut().enumerate() {
+            if writer.storage.is_none() {
+                let shard_dir = storage_dir.join(shard_dir_name(i));
+                let (wal, _replay) = Wal::open(shard_dir.join(create_storage::WAL_FILE))
+                    .map_err(IngestError::Storage)?;
+                writer.storage = Some(ShardStorage {
+                    wal,
+                    dir: shard_dir,
+                    sealed_docs: 0,
+                });
+            }
+            if Self::seal_shard_tail(writer, &mut manifest.shards[i])? {
+                dirty = true;
+            }
+        }
+        if dirty {
+            manifest.store(&storage_dir).map_err(IngestError::Storage)?;
+        }
+        for (i, writer) in writers.iter_mut().enumerate() {
+            // Resetting a WAL implies its shard's JSONL store is durable
+            // and current — flush first when recovery changed it, or the
+            // next open's fast path could trust stale files.
+            if store_dirty[i] {
+                writer
+                    .store
+                    .flush()
+                    .map_err(|e| IngestError::Store(e.to_string()))?;
+            }
+            let num_docs = writer.index.num_docs();
+            let storage = writer.storage.as_mut().expect("storage attached above");
+            storage.wal.reset().map_err(IngestError::Storage)?;
+            storage.sealed_docs = num_docs;
+            sweep_orphans(&storage.dir, &manifest.shards[i]);
+        }
+        durability::refresh_segment_gauges(&manifest);
+        Ok(Create::build(
+            config,
+            ontology,
+            writers,
+            next_ordinal,
+            Some(StorageRoot {
+                dir: storage_dir,
+                manifest: Mutex::new(manifest),
+            }),
+        ))
+    }
+
+    /// Re-applies one recovered document payload to a shard writer: the
+    /// stored documents (upserted — a crash between a store flush and a
+    /// WAL reset can leave the JSONL copy alongside the WAL record), the
+    /// graph projection, and — for WAL records, whose postings were
+    /// never sealed — the inverted index. Segment-recovered documents
+    /// get their postings via [`Index::merge_segment`] instead.
+    fn recover_doc(
+        ontology: &Ontology,
+        writer: &mut Writer,
+        payload: durability::DocPayload,
+        ordinal: u64,
+        index_too: bool,
+    ) -> Result<(), IngestError> {
+        let fields = parse_report_fields(&payload.report)?;
+        let id_filter = Filter::eq("_id", fields.id.as_str());
+        writer.store.delete("reports", &id_filter);
+        writer
+            .store
+            .insert("reports", payload.report)
+            .map_err(|e| IngestError::Store(e.to_string()))?;
+        if let Some(ann) = payload.ann {
+            writer.store.delete("annotations", &id_filter);
+            writer
+                .store
+                .insert("annotations", ann)
+                .map_err(|e| IngestError::Store(e.to_string()))?;
+        }
+        let annotations = payload
+            .extraction
+            .as_ref()
+            .and_then(|e| {
+                e.get("extraction")
+                    .and_then(ExtractedAnnotations::from_json)
+            })
+            .unwrap_or_default();
+        if let Some(extraction) = payload.extraction {
+            writer.store.delete("extractions", &id_filter);
+            writer
+                .store
+                .insert("extractions", extraction)
+                .map_err(|e| IngestError::Store(e.to_string()))?;
+        }
+        writer.graph_builder.add_report(
+            &mut writer.graph,
+            ontology,
+            &ReportMeta {
+                report_id: fields.id.clone(),
+                title: fields.title.clone(),
+                year: fields.year,
+                category: fields.category.clone(),
+            },
+            &annotations,
+        );
+        if index_too {
+            writer
+                .index
+                .add_document(
+                    &fields.id,
+                    &[
+                        ("title", fields.title.as_str()),
+                        ("body", fields.text.as_str()),
+                        ("body_ngram", fields.text.as_str()),
+                    ],
+                )
+                .map_err(|e| IngestError::Store(e.to_string()))?;
+        }
+        writer.ordinals.push(ordinal);
+        Ok(())
+    }
+
+    /// Seals a shard's unsealed tail (`[sealed_docs..num_docs)`) into a
+    /// new on-disk segment and registers it in the shard's manifest
+    /// entry. Returns whether a segment was written. The caller stores
+    /// the manifest before advancing `sealed_docs` and resetting the
+    /// WAL, so a crash at any point leaves a recoverable state.
+    fn seal_shard_tail(
+        writer: &mut Writer,
+        entry: &mut ShardManifest,
+    ) -> Result<bool, IngestError> {
+        let num = writer.index.num_docs();
+        let Some(storage) = writer.storage.as_ref() else {
+            return Ok(false);
+        };
+        if num <= storage.sealed_docs {
+            return Ok(false);
+        }
+        let started = Instant::now();
+        let base = storage.sealed_docs;
+        let data = durability::seal_data(&writer.index, &writer.store, &writer.ordinals, base)
+            .map_err(IngestError::Store)?;
+        let file = segment_file_name(entry.next_segment_id);
+        let info = write_segment(&storage.dir.join(&file), &data)
+            .map_err(IngestError::Storage)?;
+        entry.segments.push(SegmentMeta {
+            file,
+            docs: (num - base) as u64,
+            bytes: info.bytes,
+            crc: info.crc,
+            min_ordinal: writer.ordinals[base],
+            max_ordinal: writer.ordinals[num - 1],
+        });
+        entry.next_segment_id += 1;
+        durability::note_seal(started.elapsed().as_secs_f64());
+        Ok(true)
     }
 
     /// The owning shard for an external report id.
@@ -727,17 +1125,74 @@ impl Create {
             .collect()
     }
 
-    /// Persists every shard's document store to its backing directory.
-    /// No-op for in-memory instances.
+    /// Persists every shard: flushes the JSONL document stores, fsyncs
+    /// the WALs, seals each shard's unsealed tail into an immutable
+    /// on-disk segment registered by an atomic manifest swap (after
+    /// which the WALs reset — recovery cost returns to zero), and
+    /// compacts shards that accumulated enough segments. No-op for
+    /// in-memory instances.
     pub fn flush(&self) -> Result<(), IngestError> {
         let _gate = self.lock_gate();
-        for shard in &self.shards {
-            let writer = shard.lock_writer();
+        let mut guards: Vec<MutexGuard<'_, Writer>> =
+            self.shards.iter().map(|s| s.lock_writer()).collect();
+        for writer in guards.iter_mut() {
             writer
                 .store
                 .flush()
                 .map_err(|e| IngestError::Store(e.to_string()))?;
+            writer.wal_sync()?;
         }
+        let Some(root) = self.storage.as_ref() else {
+            return Ok(());
+        };
+        let mut manifest = root.lock_manifest();
+        let mut dirty = false;
+        for (i, writer) in guards.iter_mut().enumerate() {
+            if Self::seal_shard_tail(writer, &mut manifest.shards[i])? {
+                dirty = true;
+            }
+        }
+        if dirty {
+            // One swap registers every new segment; only after it lands
+            // do the WALs reset and `sealed_docs` advance — a crash
+            // before the swap replays the tail from the old WALs, a
+            // crash after it skips the (now sealed) records by ordinal.
+            manifest.store(&root.dir).map_err(IngestError::Storage)?;
+            for (i, writer) in guards.iter_mut().enumerate() {
+                let num_docs = writer.index.num_docs();
+                let Some(storage) = writer.storage.as_mut() else {
+                    continue;
+                };
+                storage.wal.reset().map_err(IngestError::Storage)?;
+                storage.sealed_docs = num_docs;
+                sweep_orphans(&storage.dir, &manifest.shards[i]);
+            }
+        }
+        // Compact shards that accumulated enough segments; the rewrite
+        // lands in a second manifest swap, after which the replaced
+        // files are orphans and are swept.
+        let mut compacted = false;
+        for (i, writer) in guards.iter().enumerate() {
+            let Some(storage) = writer.storage.as_ref() else {
+                continue;
+            };
+            if manifest.shards[i].segments.len() < durability::COMPACT_SEGMENT_THRESHOLD {
+                continue;
+            }
+            let merged = durability::compact_shard(&storage.dir, &mut manifest.shards[i])
+                .map_err(IngestError::Storage)?;
+            durability::note_compaction(merged);
+            compacted = true;
+        }
+        if compacted {
+            manifest.store(&root.dir).map_err(IngestError::Storage)?;
+            for (i, writer) in guards.iter().enumerate() {
+                if let Some(storage) = writer.storage.as_ref() {
+                    sweep_orphans(&storage.dir, &manifest.shards[i]);
+                }
+            }
+        }
+        durability::refresh_segment_gauges(&manifest);
         Ok(())
     }
 
@@ -816,6 +1271,7 @@ impl Create {
             annotations,
             Some(brat),
         )?;
+        writer.wal_sync()?;
         self.publish_shards(&[(shard, &writer)]);
         Ok(())
     }
@@ -832,6 +1288,7 @@ impl Create {
         let shard = self.shard_of(id);
         let mut writer = self.shards[shard].lock_writer();
         self.ingest_text_locked(&mut writer, &mut gate, id, title, text, year)?;
+        writer.wal_sync()?;
         self.publish_shards(&[(shard, &writer)]);
         Ok(())
     }
@@ -876,27 +1333,31 @@ impl Create {
         let mut writer = self.shards[shard].lock_writer();
         self.ingest_text_locked(&mut writer, &mut gate, id, &doc.title, &body, 2020)?;
         // Attach extracted metadata to the stored document before the
-        // publish so the snapshot includes it.
+        // publish so the snapshot includes it. The update is WAL-logged
+        // ahead of the apply (like the document itself) and covered by
+        // the same fsync, so recovery reattaches it.
+        let set = obj([
+            (
+                "authors",
+                Value::Array(
+                    doc.authors
+                        .iter()
+                        .map(|a| Value::String(a.clone()))
+                        .collect(),
+                ),
+            ),
+            ("affiliation", doc.affiliation.clone().into()),
+            ("source", "pdf".into()),
+        ]);
+        if writer.storage.is_some() {
+            let record = durability::update_record("reports", id, &set);
+            writer.wal_log(&record)?;
+        }
         writer
             .store
-            .update(
-                "reports",
-                &Filter::eq("_id", id),
-                &obj([
-                    (
-                        "authors",
-                        Value::Array(
-                            doc.authors
-                                .iter()
-                                .map(|a| Value::String(a.clone()))
-                                .collect(),
-                        ),
-                    ),
-                    ("affiliation", doc.affiliation.clone().into()),
-                    ("source", "pdf".into()),
-                ]),
-            )
+            .update("reports", &Filter::eq("_id", id), &set)
             .map_err(|e| IngestError::Store(e.to_string()))?;
+        writer.wal_sync()?;
         self.publish_shards(&[(shard, &writer)]);
         Ok(doc)
     }
@@ -1107,7 +1568,7 @@ impl Create {
                     let mut writer = self.shards[s].lock_writer();
                     let mut count = 0usize;
                     for (i, doc) in work.docs {
-                        self.apply_prepared(&mut writer, doc)?;
+                        self.apply_prepared(&mut writer, doc, base + i as u64)?;
                         writer.ordinals.push(base + i as u64);
                         count += 1;
                     }
@@ -1121,6 +1582,10 @@ impl Create {
                             .merge_segment(segment)
                             .map_err(|e| IngestError::Store(e.to_string()))?;
                     }
+                    // One fsync covers the shard's whole batch slice —
+                    // the records are on disk before the composite
+                    // publish acknowledges the batch.
+                    writer.wal_sync()?;
                     writer.generation += 1;
                     Ok(count)
                 })
@@ -1162,8 +1627,15 @@ impl Create {
     }
 
     /// Applies one prepared document to a shard's store and graph
-    /// (everything but the index, which arrives via segment merge).
-    fn apply_prepared(&self, writer: &mut Writer, doc: PreparedDoc) -> Result<(), IngestError> {
+    /// (everything but the index, which arrives via segment merge),
+    /// WAL-logging it first under the document's global ordinal. The
+    /// apply task fsyncs once per shard after its last document.
+    fn apply_prepared(
+        &self,
+        writer: &mut Writer,
+        doc: PreparedDoc,
+        ordinal: u64,
+    ) -> Result<(), IngestError> {
         let stored = obj([
             ("_id", doc.id.clone().into()),
             ("title", doc.title.clone().into()),
@@ -1175,29 +1647,30 @@ impl Create {
                 Value::Array(doc.authors.into_iter().map(Value::String).collect()),
             ),
         ]);
+        let ann_doc = obj([
+            ("_id", doc.id.clone().into()),
+            ("ann", doc.brat.serialize().into()),
+        ]);
+        let extraction_doc = obj([
+            ("_id", doc.id.clone().into()),
+            ("extraction", doc.annotations.to_json()),
+        ]);
+        if writer.storage.is_some() {
+            let record =
+                durability::doc_record(ordinal, &stored, Some(&ann_doc), Some(&extraction_doc));
+            writer.wal_log(&record)?;
+        }
         writer
             .store
             .insert("reports", stored)
             .map_err(|e| IngestError::Store(e.to_string()))?;
         writer
             .store
-            .insert(
-                "annotations",
-                obj([
-                    ("_id", doc.id.clone().into()),
-                    ("ann", doc.brat.serialize().into()),
-                ]),
-            )
+            .insert("annotations", ann_doc)
             .map_err(|e| IngestError::Store(e.to_string()))?;
         writer
             .store
-            .insert(
-                "extractions",
-                obj([
-                    ("_id", doc.id.clone().into()),
-                    ("extraction", doc.annotations.to_json()),
-                ]),
-            )
+            .insert("extractions", extraction_doc)
             .map_err(|e| IngestError::Store(e.to_string()))?;
         let _span = Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_GRAPH_BUILD);
         writer.graph_builder.add_report(
@@ -1231,7 +1704,6 @@ impl Create {
         if writer.store.get("reports", id).is_some() {
             return Err(IngestError::Duplicate(id.to_string()));
         }
-        // 1) Document store.
         let doc = obj([
             ("_id", id.into()),
             ("title", title.into()),
@@ -1248,27 +1720,38 @@ impl Create {
                 ),
             ),
         ]);
+        let ann_doc = brat
+            .as_ref()
+            .map(|b| obj([("_id", id.into()), ("ann", b.serialize().into())]));
+        let extraction_doc = obj([("_id", id.into()), ("extraction", annotations.to_json())]);
+        // 1) WAL — the record is appended (and later fsynced by the
+        //    caller) before any in-memory apply, so every write the
+        //    system acknowledges is recoverable from the log.
+        if writer.storage.is_some() {
+            let record = durability::doc_record(
+                *next_ordinal,
+                &doc,
+                ann_doc.as_ref(),
+                Some(&extraction_doc),
+            );
+            writer.wal_log(&record)?;
+        }
+        // 2) Document store.
         writer
             .store
             .insert("reports", doc)
             .map_err(|e| IngestError::Store(e.to_string()))?;
-        if let Some(brat) = &brat {
+        if let Some(ann_doc) = ann_doc {
             writer
                 .store
-                .insert(
-                    "annotations",
-                    obj([("_id", id.into()), ("ann", brat.serialize().into())]),
-                )
+                .insert("annotations", ann_doc)
                 .map_err(|e| IngestError::Store(e.to_string()))?;
         }
         writer
             .store
-            .insert(
-                "extractions",
-                obj([("_id", id.into()), ("extraction", annotations.to_json())]),
-            )
+            .insert("extractions", extraction_doc)
             .map_err(|e| IngestError::Store(e.to_string()))?;
-        // 2) Property graph.
+        // 3) Property graph.
         {
             let _span =
                 Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_GRAPH_BUILD);
@@ -1284,7 +1767,7 @@ impl Create {
                 &annotations,
             );
         }
-        // 3) Inverted index.
+        // 4) Inverted index.
         let _span = Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_INDEX_WRITE);
         writer
             .index
@@ -1563,6 +2046,141 @@ impl Create {
         }
         stats
     }
+
+    /// Sealed-segment totals from the live manifest (`None` for
+    /// in-memory instances). Takes only the manifest lock — never a
+    /// writer lock — so the metrics scrape path can call it while
+    /// writes are in flight. Also refreshes the segment gauges.
+    pub fn storage_stats(&self) -> Option<StorageStats> {
+        let root = self.storage.as_ref()?;
+        let manifest = root.lock_manifest();
+        durability::refresh_segment_gauges(&manifest);
+        Some(StorageStats {
+            segments: manifest.shards.iter().map(|s| s.segments.len()).sum(),
+            segment_bytes: manifest.shards.iter().map(ShardManifest::total_bytes).sum(),
+        })
+    }
+}
+
+/// Sealed on-disk segment totals (see [`Create::storage_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Live segment files across all shards.
+    pub segments: usize,
+    /// Their total size in bytes.
+    pub segment_bytes: u64,
+}
+
+/// The core fields of a stored report document, with the same
+/// malformed-year defaulting (and `create_open_malformed_fields_total`
+/// counting) the open path has always applied.
+struct ReportFields {
+    id: String,
+    title: String,
+    text: String,
+    year: u32,
+    category: String,
+}
+
+fn parse_report_year(doc: &Value, id: &str) -> u32 {
+    match doc.get("year").and_then(Value::as_i64) {
+        Some(y) => y as u32,
+        None => {
+            // A recoverable corruption: the report is still usable, but
+            // the silent default must be visible to operators.
+            if create_obs::enabled() {
+                create_obs::counter(obs_names::OPEN_MALFORMED_FIELDS_TOTAL).inc();
+                create_obs::log(
+                    create_obs::Level::Warn,
+                    "create-core",
+                    format!(
+                        "stored report {id:?} has a missing or malformed \"year\"; \
+                         defaulting to 2020"
+                    ),
+                );
+            }
+            2020
+        }
+    }
+}
+
+fn parse_report_fields(doc: &Value) -> Result<ReportFields, IngestError> {
+    let (Some(id), Some(title), Some(text)) = (
+        doc.get("_id").and_then(Value::as_str),
+        doc.get("title").and_then(Value::as_str),
+        doc.get("text").and_then(Value::as_str),
+    ) else {
+        return Err(IngestError::Store("malformed stored report".to_string()));
+    };
+    Ok(ReportFields {
+        id: id.to_string(),
+        title: title.to_string(),
+        text: text.to_string(),
+        year: parse_report_year(doc, id),
+        category: doc
+            .get("category")
+            .and_then(Value::as_str)
+            .unwrap_or("other")
+            .to_string(),
+    })
+}
+
+/// [`parse_report_fields`] minus the body text: the recovery graph
+/// rebuild never touches the text, and skipping its per-document
+/// allocation is measurable at corpus scale.
+fn parse_report_meta(doc: &Value) -> Result<ReportMeta, IngestError> {
+    let (Some(id), Some(title), Some(_)) = (
+        doc.get("_id").and_then(Value::as_str),
+        doc.get("title").and_then(Value::as_str),
+        doc.get("text").and_then(Value::as_str),
+    ) else {
+        return Err(IngestError::Store("malformed stored report".to_string()));
+    };
+    Ok(ReportMeta {
+        report_id: id.to_string(),
+        title: title.to_string(),
+        year: parse_report_year(doc, id),
+        category: doc
+            .get("category")
+            .and_then(Value::as_str)
+            .unwrap_or("other")
+            .to_string(),
+    })
+}
+
+/// Replaces a recovered payload's documents in their (re-)routed owning
+/// store — used when a storage layout from a different shard count is
+/// folded back into the document stores.
+fn upsert_payload(stores: &[DocStore], payload: durability::DocPayload) -> Result<(), IngestError> {
+    let Some(id) = payload
+        .report
+        .get("_id")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+    else {
+        return Err(IngestError::Store(
+            "recovered payload report missing _id".to_string(),
+        ));
+    };
+    let target = shard_index(&id, stores.len());
+    let filter = Filter::eq("_id", id.as_str());
+    stores[target].delete("reports", &filter);
+    stores[target]
+        .insert("reports", payload.report)
+        .map_err(|e| IngestError::Store(e.to_string()))?;
+    if let Some(ann) = payload.ann {
+        stores[target].delete("annotations", &filter);
+        stores[target]
+            .insert("annotations", ann)
+            .map_err(|e| IngestError::Store(e.to_string()))?;
+    }
+    if let Some(extraction) = payload.extraction {
+        stores[target].delete("extractions", &filter);
+        stores[target]
+            .insert("extractions", extraction)
+            .map_err(|e| IngestError::Store(e.to_string()))?;
+    }
+    Ok(())
 }
 
 /// A raw-text document queued for batch submission.
@@ -1610,8 +2228,20 @@ pub enum IngestError {
     Pdf(PdfError),
     /// Storage layer failure.
     Store(String),
+    /// Durable storage engine failure — a typed error distinguishing
+    /// I/O failures ([`StorageError::Io`]) from on-disk corruption
+    /// ([`StorageError::Corrupt`]).
+    Storage(StorageError),
     /// Rejected configuration (e.g. a zero shard count at `open`).
     Config(String),
+}
+
+impl IngestError {
+    /// Whether the error is detected on-disk corruption (as opposed to
+    /// an I/O failure or a request-level error).
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, IngestError::Storage(e) if e.is_corruption())
+    }
 }
 
 impl std::fmt::Display for IngestError {
@@ -1621,12 +2251,20 @@ impl std::fmt::Display for IngestError {
             IngestError::Duplicate(id) => write!(f, "report {id:?} already ingested"),
             IngestError::Pdf(e) => write!(f, "{e}"),
             IngestError::Store(m) => write!(f, "storage error: {m}"),
+            IngestError::Storage(e) => write!(f, "{e}"),
             IngestError::Config(m) => write!(f, "invalid configuration: {m}"),
         }
     }
 }
 
-impl std::error::Error for IngestError {}
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -175,8 +175,18 @@ impl Collection {
         let set_map = set.as_object().ok_or(CollectionError::NotAnObject)?;
         let mut matched = 0;
         let mut modified = 0;
-        for doc in self.docs.values_mut() {
-            if !filter.matches(doc) {
+        // Same `_id` fast path as `delete`: point updates touch exactly
+        // one map entry instead of scanning every document.
+        let point_target = match filter {
+            Filter::Eq(path, Value::String(id)) if path == "_id" => Some(id.clone()),
+            _ => None,
+        };
+        let docs: &mut dyn Iterator<Item = &mut Arc<Value>> = match &point_target {
+            Some(id) => &mut self.docs.get_mut(id).into_iter(),
+            None => &mut self.docs.values_mut(),
+        };
+        for doc in docs {
+            if point_target.is_none() && !filter.matches(doc) {
                 continue;
             }
             matched += 1;
@@ -201,7 +211,18 @@ impl Collection {
     }
 
     /// Deletes matching documents; returns how many were removed.
+    ///
+    /// An equality filter on `_id` is answered straight from the id
+    /// map (documents are keyed by their `_id`), so point deletes stay
+    /// `O(log n)` instead of scanning the collection — the ingest
+    /// upsert and crash-recovery paths delete by id in a loop, where a
+    /// scan would make reopening a large store quadratic.
     pub fn delete(&mut self, filter: &Filter) -> usize {
+        if let Filter::Eq(path, Value::String(id)) = filter {
+            if path == "_id" {
+                return usize::from(self.docs.remove(id).is_some());
+            }
+        }
         let ids: Vec<String> = self
             .docs
             .iter()

@@ -6,7 +6,8 @@
 //! pattern-match executor's seed lookups; adjacency lists drive expansion.
 
 use create_docstore::Value;
-use std::collections::{BTreeMap, HashMap};
+use create_util::fxhash::FxHashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Node identifier.
@@ -58,13 +59,27 @@ pub struct PropertyGraph {
     next_node: u64,
     next_edge: u64,
     /// label → node ids.
-    label_index: HashMap<String, Arc<Vec<NodeId>>>,
-    /// (label, key, serialized value) → node ids.
-    prop_index: HashMap<(String, String, String), Arc<Vec<NodeId>>>,
+    label_index: FxHashMap<String, Arc<Vec<NodeId>>>,
+    /// `label \0 key \0 serialized value` → node ids. The three parts
+    /// are flattened into one string so ingest can probe with a reused
+    /// scratch buffer (a borrowed `&str` lookup) and allocate only for
+    /// keys seen for the first time; `\0` cannot occur in any part
+    /// (labels and keys are identifiers, the JSON form escapes control
+    /// characters), so the flattening is unambiguous.
+    prop_index: FxHashMap<String, Arc<Vec<NodeId>>>,
     /// node → outgoing edge ids.
-    outgoing: HashMap<NodeId, Arc<Vec<EdgeId>>>,
+    outgoing: FxHashMap<NodeId, Arc<Vec<EdgeId>>>,
     /// node → incoming edge ids.
-    incoming: HashMap<NodeId, Arc<Vec<EdgeId>>>,
+    incoming: FxHashMap<NodeId, Arc<Vec<EdgeId>>>,
+}
+
+/// Builds the flattened `prop_index` key (see the field's docs).
+fn flatten_prop_key(out: &mut String, label: &str, key: &str, value: &Value) {
+    out.push_str(label);
+    out.push('\0');
+    out.push_str(key);
+    out.push('\0');
+    value.write_json(out);
 }
 
 impl PropertyGraph {
@@ -97,15 +112,23 @@ impl PropertyGraph {
         label_vec.dedup();
         let props: BTreeMap<String, Value> =
             props.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        let mut prop_key = String::new();
         for label in &label_vec {
-            Arc::make_mut(self.label_index.entry(label.clone()).or_default()).push(id);
+            match self.label_index.get_mut(label.as_str()) {
+                Some(ids) => Arc::make_mut(ids).push(id),
+                None => {
+                    self.label_index.insert(label.clone(), Arc::new(vec![id]));
+                }
+            }
             for (k, v) in &props {
-                Arc::make_mut(
-                    self.prop_index
-                        .entry((label.clone(), k.clone(), v.to_json()))
-                        .or_default(),
-                )
-                .push(id);
+                prop_key.clear();
+                flatten_prop_key(&mut prop_key, label, k, v);
+                match self.prop_index.get_mut(prop_key.as_str()) {
+                    Some(ids) => Arc::make_mut(ids).push(id),
+                    None => {
+                        self.prop_index.insert(prop_key.clone(), Arc::new(vec![id]));
+                    }
+                }
             }
         }
         self.nodes.insert(
@@ -179,8 +202,10 @@ impl PropertyGraph {
 
     /// Index lookup: nodes with `label` whose property `key` equals `value`.
     pub fn nodes_with_prop(&self, label: &str, key: &str, value: &Value) -> Vec<NodeId> {
+        let mut prop_key = String::new();
+        flatten_prop_key(&mut prop_key, label, key, value);
         self.prop_index
-            .get(&(label.to_string(), key.to_string(), value.to_json()))
+            .get(prop_key.as_str())
             .map(|ids| ids.as_slice().to_vec())
             .unwrap_or_default()
     }

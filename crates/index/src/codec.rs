@@ -1,0 +1,450 @@
+//! On-disk postings codec: serializes an index *tail* for segment files.
+//!
+//! A flush seals the documents ingested since the previous seal. Because
+//! doc ids are dense and append-only, those documents occupy the suffix
+//! `[base..num_docs)` of every posting list, so the codec can encode the
+//! sealed slice straight from the live index — no re-tokenization — by
+//! taking each term's postings past `partition_point(doc < base)`.
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! doc_count | per doc: external-id len, bytes
+//! field_count | per field (sorted by name):
+//!   name len, bytes
+//!   doc_len[0..doc_count]
+//!   term_count | per term (sorted, prefix-compressed):
+//!     shared-prefix len, suffix len, suffix bytes
+//!     posting_count
+//!     skip_count | per skip: local doc id, byte offset into postings
+//!     postings byte length
+//!     postings: doc gaps (first = local id), then per doc:
+//!       position count, position deltas (first absolute)
+//! ```
+//!
+//! Doc ids are stored *segment-local* (`doc - base`), so decoding yields
+//! an [`IndexSegment`] that [`Index::merge_segment`] remaps exactly as a
+//! live parallel-ingest segment — recovery reproduces the never-crashed
+//! index bit-for-bit. Terms and fields are sorted, making the encoding
+//! deterministic even though the live dictionaries are hash maps.
+//!
+//! Skip entries record `(local doc id, byte offset)` every
+//! [`SKIP_INTERVAL`] postings so long lists can be entered mid-stream;
+//! the decoder also uses them as an integrity cross-check.
+
+use crate::index::{FieldIndex, Index};
+use crate::segment::IndexSegment;
+use create_util::varint;
+use create_util::fxhash::{map_with_capacity, FxHashMap};
+use std::sync::Arc;
+
+/// One skip entry per this many postings.
+pub const SKIP_INTERVAL: usize = 128;
+
+/// A malformed postings blob. Segment files are CRC-guarded, so in
+/// practice this means a logic error or hand-edited file rather than
+/// disk rot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "postings codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err(message: impl Into<String>) -> CodecError {
+    CodecError(message.into())
+}
+
+/// Encodes documents `[base..num_docs)` of `index` as a segment blob.
+pub fn encode_index_tail(index: &Index, base: usize) -> Vec<u8> {
+    let num_docs = index.external_ids.len();
+    assert!(base <= num_docs, "tail base past end of index");
+    let tail = num_docs - base;
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, tail as u64);
+    for id in &index.external_ids[base..] {
+        let bytes = id.as_bytes();
+        varint::write_u64(&mut out, bytes.len() as u64);
+        out.extend_from_slice(bytes);
+    }
+
+    let mut field_names: Vec<&String> = index.fields.keys().collect();
+    field_names.sort();
+    varint::write_u64(&mut out, field_names.len() as u64);
+    for name in field_names {
+        let fi = &index.fields[name];
+        varint::write_u64(&mut out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+        for &len in &fi.doc_len[base..] {
+            varint::write_u32(&mut out, len);
+        }
+
+        // Terms whose posting lists reach into the tail. Postings are
+        // sorted by doc, so "last doc >= base" is the complete filter.
+        let mut terms: Vec<(&String, &[crate::index::Posting])> = fi
+            .dict
+            .iter()
+            .filter_map(|(term, postings)| {
+                if postings.last().is_some_and(|p| p.doc as usize >= base) {
+                    let cut = postings.partition_point(|p| (p.doc as usize) < base);
+                    Some((term, &postings[cut..]))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        terms.sort_by(|a, b| a.0.cmp(b.0));
+
+        varint::write_u64(&mut out, terms.len() as u64);
+        let mut prev_term = "";
+        for (term, postings) in terms {
+            let shared = common_prefix_len(prev_term, term);
+            varint::write_u64(&mut out, shared as u64);
+            let suffix = &term.as_bytes()[shared..];
+            varint::write_u64(&mut out, suffix.len() as u64);
+            out.extend_from_slice(suffix);
+            prev_term = term;
+
+            varint::write_u64(&mut out, postings.len() as u64);
+
+            // Encode postings into a scratch buffer first so skip
+            // entries can carry byte offsets into it.
+            let mut blob = Vec::new();
+            let mut skips: Vec<(u32, usize)> = Vec::new();
+            let mut prev_doc: u64 = 0;
+            for (i, posting) in postings.iter().enumerate() {
+                let local = (posting.doc as usize - base) as u64;
+                if i > 0 && i % SKIP_INTERVAL == 0 {
+                    skips.push((local as u32, blob.len()));
+                }
+                let gap = if i == 0 { local } else { local - prev_doc };
+                prev_doc = local;
+                varint::write_u64(&mut blob, gap);
+                varint::write_u64(&mut blob, posting.positions.len() as u64);
+                let mut prev_pos: u64 = 0;
+                for (j, &pos) in posting.positions.iter().enumerate() {
+                    let delta = if j == 0 { pos as u64 } else { pos as u64 - prev_pos };
+                    prev_pos = pos as u64;
+                    varint::write_u64(&mut blob, delta);
+                }
+            }
+            varint::write_u64(&mut out, skips.len() as u64);
+            for (doc, offset) in skips {
+                varint::write_u32(&mut out, doc);
+                varint::write_u64(&mut out, offset as u64);
+            }
+            varint::write_u64(&mut out, blob.len() as u64);
+            out.extend_from_slice(&blob);
+        }
+    }
+    out
+}
+
+fn common_prefix_len(a: &str, b: &str) -> usize {
+    a.as_bytes()
+        .iter()
+        .zip(b.as_bytes())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+/// Decodes a blob produced by [`encode_index_tail`] into a segment with
+/// `template`'s field configuration, ready for
+/// [`Index::merge_segment`].
+pub fn decode_segment(bytes: &[u8], template: &Index) -> Result<IndexSegment, CodecError> {
+    let mut pos = 0usize;
+    let read = |pos: &mut usize, what: &str| -> Result<u64, CodecError> {
+        varint::read_u64(bytes, pos).ok_or_else(|| err(format!("truncated {what}")))
+    };
+    let read_bytes = |pos: &mut usize, len: usize, what: &str| -> Result<&[u8], CodecError> {
+        let slice = bytes
+            .get(*pos..*pos + len)
+            .ok_or_else(|| err(format!("truncated {what}")))?;
+        *pos += len;
+        Ok(slice)
+    };
+
+    let doc_count = read(&mut pos, "doc count")? as usize;
+    let mut external_ids = Vec::with_capacity(doc_count);
+    let mut id_map = map_with_capacity(doc_count);
+    for i in 0..doc_count {
+        let len = read(&mut pos, "external id length")? as usize;
+        let id = std::str::from_utf8(read_bytes(&mut pos, len, "external id")?)
+            .map_err(|_| err("external id is not UTF-8"))?
+            .to_string();
+        if id_map.insert(id.clone(), i as u32).is_some() {
+            return Err(err(format!("duplicate external id {id:?}")));
+        }
+        external_ids.push(id);
+    }
+
+    let field_count = read(&mut pos, "field count")? as usize;
+    let mut fields: FxHashMap<String, FieldIndex> = map_with_capacity(field_count);
+    for _ in 0..field_count {
+        let len = read(&mut pos, "field name length")? as usize;
+        let name = std::str::from_utf8(read_bytes(&mut pos, len, "field name")?)
+            .map_err(|_| err("field name is not UTF-8"))?
+            .to_string();
+        let config = template
+            .fields
+            .get(&name)
+            .ok_or_else(|| err(format!("field {name:?} not in index configuration")))?;
+        let mut fi = FieldIndex::empty(config.analyzer.clone(), config.boost);
+
+        fi.doc_len = Vec::with_capacity(doc_count);
+        for _ in 0..doc_count {
+            let len = varint::read_u32(bytes, &mut pos)
+                .ok_or_else(|| err("truncated doc length"))?;
+            fi.doc_len.push(len);
+        }
+        fi.total_len = fi.doc_len.iter().map(|&l| l as u64).sum();
+        fi.docs_with_field = fi.doc_len.iter().filter(|&&l| l > 0).count();
+
+        let term_count = read(&mut pos, "term count")? as usize;
+        // Terms are reconstructed in a reused scratch buffer so each one
+        // costs exactly one allocation (the dictionary key); ngram
+        // fields make the vocabulary large enough for this to matter.
+        let mut prev_term: Vec<u8> = Vec::new();
+        for _ in 0..term_count {
+            let shared = read(&mut pos, "term prefix length")? as usize;
+            if shared > prev_term.len() {
+                return Err(err("term prefix longer than previous term"));
+            }
+            let suffix_len = read(&mut pos, "term suffix length")? as usize;
+            let suffix = read_bytes(&mut pos, suffix_len, "term suffix")?;
+            prev_term.truncate(shared);
+            prev_term.extend_from_slice(suffix);
+            let term = std::str::from_utf8(&prev_term)
+                .map_err(|_| err("term is not UTF-8"))?
+                .to_string();
+
+            let posting_count = read(&mut pos, "posting count")? as usize;
+            let skip_count = read(&mut pos, "skip count")? as usize;
+            let mut skips = Vec::with_capacity(skip_count);
+            for _ in 0..skip_count {
+                let doc = varint::read_u32(bytes, &mut pos)
+                    .ok_or_else(|| err("truncated skip doc"))?;
+                let offset = read(&mut pos, "skip offset")? as usize;
+                skips.push((doc, offset));
+            }
+            let blob_len = read(&mut pos, "postings length")? as usize;
+            let blob = read_bytes(&mut pos, blob_len, "postings blob")?;
+
+            let mut postings = Vec::with_capacity(posting_count);
+            let mut at = 0usize;
+            let mut prev_doc: u64 = 0;
+            for i in 0..posting_count {
+                if i > 0 && i % SKIP_INTERVAL == 0 {
+                    let (skip_doc, skip_offset) = skips
+                        .get(i / SKIP_INTERVAL - 1)
+                        .copied()
+                        .ok_or_else(|| err("missing skip entry"))?;
+                    if skip_offset != at {
+                        return Err(err("skip offset disagrees with postings stream"));
+                    }
+                    // The doc recorded in the skip is validated against
+                    // the decoded stream below.
+                    let _ = skip_doc;
+                }
+                let gap = varint::read_u64(blob, &mut at)
+                    .ok_or_else(|| err("truncated doc gap"))?;
+                let doc = if i == 0 { gap } else { prev_doc + gap };
+                prev_doc = doc;
+                if doc >= doc_count as u64 {
+                    return Err(err("posting doc id past segment doc count"));
+                }
+                if i > 0 && i % SKIP_INTERVAL == 0 && skips[i / SKIP_INTERVAL - 1].0 as u64 != doc
+                {
+                    return Err(err("skip doc disagrees with postings stream"));
+                }
+                let n_pos = varint::read_u64(blob, &mut at)
+                    .ok_or_else(|| err("truncated position count"))?
+                    as usize;
+                let mut positions = Vec::with_capacity(n_pos);
+                let mut prev_pos: u64 = 0;
+                for j in 0..n_pos {
+                    let delta = varint::read_u64(blob, &mut at)
+                        .ok_or_else(|| err("truncated position delta"))?;
+                    let p = if j == 0 { delta } else { prev_pos + delta };
+                    prev_pos = p;
+                    positions.push(
+                        u32::try_from(p).map_err(|_| err("position overflows u32"))?,
+                    );
+                }
+                postings.push(crate::index::Posting {
+                    doc: doc as u32,
+                    positions,
+                });
+            }
+            if at != blob.len() {
+                return Err(err("trailing bytes in postings blob"));
+            }
+            if fi.dict.insert(term, Arc::new(postings)).is_some() {
+                return Err(err(format!(
+                    "duplicate term {:?}",
+                    String::from_utf8_lossy(&prev_term)
+                )));
+            }
+        }
+        // term_buckets stay empty: merge_segment buckets new terms on
+        // the index side and never reads the segment's own buckets.
+        fields.insert(name, fi);
+    }
+    if pos != bytes.len() {
+        return Err(err("trailing bytes after last field"));
+    }
+    Ok(IndexSegment {
+        fields,
+        external_ids,
+        id_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::Index;
+
+    const DOCS: &[(&str, &str)] = &[
+        ("pmid:1", "Fever and cough persisted for three days."),
+        ("pmid:2", "The patient developed fever after admission."),
+        ("pmid:3", "Amiodarone-induced pulmonary toxicity was confirmed."),
+        ("pmid:4", "Cough resolved; fever recurred on day five."),
+        ("pmid:5", "Echocardiogram revealed myocarditis."),
+        ("pmid:6", ""),
+    ];
+
+    fn build(docs: &[(&str, &str)]) -> Index {
+        let mut idx = Index::clinical();
+        for (id, text) in docs {
+            idx.add_document(id, &[("title", id), ("body", text), ("body_ngram", text)])
+                .unwrap();
+        }
+        idx
+    }
+
+    fn assert_identical(a: &Index, b: &Index) {
+        assert_eq!(a.num_docs(), b.num_docs());
+        assert_eq!(a.postings_bytes(), b.postings_bytes());
+        for doc in 0..a.num_docs() as u32 {
+            assert_eq!(a.external_id(doc), b.external_id(doc));
+        }
+        for (name, fa) in &a.fields {
+            let fb = b.fields.get(name).expect("same fields");
+            assert_eq!(fa.doc_len, fb.doc_len, "doc_len of {name}");
+            assert_eq!(fa.total_len, fb.total_len, "total_len of {name}");
+            assert_eq!(fa.docs_with_field, fb.docs_with_field);
+            assert_eq!(fa.dict.len(), fb.dict.len(), "vocab of {name}");
+            for (term, pa) in &fa.dict {
+                assert_eq!(Some(&**pa), fb.dict.get(term).map(|p| &**p), "{term}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_index_round_trips_through_codec() {
+        let idx = build(DOCS);
+        let blob = encode_index_tail(&idx, 0);
+        let segment = decode_segment(&blob, &Index::clinical()).unwrap();
+        let mut rebuilt = Index::clinical();
+        rebuilt.merge_segment(segment).unwrap();
+        assert_identical(&idx, &rebuilt);
+    }
+
+    #[test]
+    fn tail_encoding_splices_back_exactly() {
+        let idx = build(DOCS);
+        // Seal at every possible boundary: head built live, tail from
+        // the codec, result must equal the uninterrupted build.
+        for base in 0..=DOCS.len() {
+            let blob = encode_index_tail(&idx, base);
+            let mut rebuilt = build(&DOCS[..base]);
+            let segment = decode_segment(&blob, &rebuilt).unwrap();
+            rebuilt.merge_segment(segment).unwrap();
+            assert_identical(&idx, &rebuilt);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let a = encode_index_tail(&build(DOCS), 0);
+        let b = encode_index_tail(&build(DOCS), 0);
+        assert_eq!(a, b, "sorted fields/terms make the blob byte-stable");
+    }
+
+    #[test]
+    fn empty_tail_is_valid() {
+        let idx = build(DOCS);
+        let blob = encode_index_tail(&idx, DOCS.len());
+        let segment = decode_segment(&blob, &idx).unwrap();
+        assert_eq!(segment.num_docs(), 0);
+        let mut rebuilt = build(DOCS);
+        rebuilt.merge_segment(segment).unwrap();
+        assert_identical(&idx, &rebuilt);
+    }
+
+    #[test]
+    fn long_posting_lists_exercise_skip_entries() {
+        let mut idx = Index::clinical();
+        for i in 0..(SKIP_INTERVAL * 3 + 17) {
+            idx.add_document(
+                &format!("pmid:{i}"),
+                &[("body", "fever recurred with fever spikes")],
+            )
+            .unwrap();
+        }
+        let blob = encode_index_tail(&idx, 0);
+        let segment = decode_segment(&blob, &Index::clinical()).unwrap();
+        let mut rebuilt = Index::clinical();
+        rebuilt.merge_segment(segment).unwrap();
+        assert_identical(&idx, &rebuilt);
+    }
+
+    #[test]
+    fn compresses_against_in_memory_representation() {
+        let mut idx = Index::clinical();
+        for i in 0..400 {
+            let text = format!(
+                "patient {i} presented with fever cough and chest pain on day {}",
+                i % 9
+            );
+            idx.add_document(&format!("pmid:{i}"), &[("body", &text), ("body_ngram", &text)])
+                .unwrap();
+        }
+        let blob = encode_index_tail(&idx, 0);
+        assert!(
+            blob.len() < idx.postings_bytes() / 2,
+            "delta/varint should beat the in-RAM layout >2x: {} of {}",
+            blob.len(),
+            idx.postings_bytes()
+        );
+    }
+
+    #[test]
+    fn corrupt_blobs_are_rejected() {
+        let idx = build(DOCS);
+        let blob = encode_index_tail(&idx, 0);
+        // Truncations at assorted depths.
+        for keep in [0, 1, blob.len() / 3, blob.len() / 2, blob.len() - 1] {
+            assert!(
+                decode_segment(&blob[..keep], &idx).is_err(),
+                "kept {keep} bytes"
+            );
+        }
+        // Trailing garbage.
+        let mut padded = blob.clone();
+        padded.push(0);
+        assert!(decode_segment(&padded, &idx).is_err());
+        // A field the template does not know.
+        let other = Index::new(vec![crate::index::FieldConfig {
+            name: "unrelated".into(),
+            analyzer: std::sync::Arc::new(create_text::Analyzer::clinical_standard()),
+            boost: 1.0,
+        }]);
+        assert!(decode_segment(&blob, &other).is_err());
+    }
+}

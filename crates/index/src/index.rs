@@ -5,7 +5,7 @@
 //! externally by caller-supplied string ids (`pmid:…`).
 
 use create_text::Analyzer;
-use std::collections::HashMap;
+use create_util::fxhash::FxHashMap;
 use std::sync::Arc;
 
 /// One posting: a document and the term's occurrences in it.
@@ -47,7 +47,7 @@ pub(crate) struct FieldIndex {
     pub(crate) analyzer: Arc<Analyzer>,
     pub(crate) boost: f64,
     /// term → postings sorted by doc id.
-    pub(crate) dict: HashMap<String, Arc<Vec<Posting>>>,
+    pub(crate) dict: FxHashMap<String, Arc<Vec<Posting>>>,
     /// token count per document (0 when the doc lacks the field).
     pub(crate) doc_len: Vec<u32>,
     pub(crate) total_len: u64,
@@ -59,7 +59,7 @@ pub(crate) struct FieldIndex {
     /// on first insertion. Fuzzy expansion scans only the buckets within
     /// `max_edits` of the query term's length instead of the whole
     /// vocabulary (see [`Index::fuzzy_candidates`]).
-    pub(crate) term_buckets: HashMap<(u16, char), Arc<Vec<String>>>,
+    pub(crate) term_buckets: FxHashMap<(u16, char), Arc<Vec<String>>>,
 }
 
 impl FieldIndex {
@@ -67,11 +67,11 @@ impl FieldIndex {
         FieldIndex {
             analyzer,
             boost,
-            dict: HashMap::new(),
+            dict: FxHashMap::default(),
             doc_len: Vec::new(),
             total_len: 0,
             docs_with_field: 0,
-            term_buckets: HashMap::new(),
+            term_buckets: FxHashMap::default(),
         }
     }
 
@@ -85,7 +85,7 @@ impl FieldIndex {
 
     /// Records a term new to this field's dictionary in its fuzzy bucket.
     pub(crate) fn bucket_new_term(
-        buckets: &mut HashMap<(u16, char), Arc<Vec<String>>>,
+        buckets: &mut FxHashMap<(u16, char), Arc<Vec<String>>>,
         term: &str,
     ) {
         let len = term.chars().count().min(u16::MAX as usize) as u16;
@@ -142,12 +142,12 @@ impl FieldIndex {
 /// copy of the postings.
 #[derive(Clone)]
 pub struct Index {
-    pub(crate) fields: HashMap<String, FieldIndex>,
+    pub(crate) fields: FxHashMap<String, FieldIndex>,
     /// Internal id → external id.
     pub(crate) external_ids: Vec<Arc<str>>,
     /// External id → internal id (shares the `Arc<str>` with
     /// `external_ids`; `Borrow<str>` keeps `&str` lookups working).
-    pub(crate) id_map: HashMap<Arc<str>, u32>,
+    pub(crate) id_map: FxHashMap<Arc<str>, u32>,
 }
 
 impl std::fmt::Debug for Index {
@@ -162,7 +162,7 @@ impl std::fmt::Debug for Index {
 impl Index {
     /// Creates an index with the given fields.
     pub fn new(fields: Vec<FieldConfig>) -> Index {
-        let mut map = HashMap::new();
+        let mut map = FxHashMap::default();
         for f in fields {
             map.insert(f.name.clone(), FieldIndex::empty(f.analyzer, f.boost));
         }
@@ -170,7 +170,7 @@ impl Index {
         Index {
             fields: map,
             external_ids: Vec::new(),
-            id_map: HashMap::new(),
+            id_map: FxHashMap::default(),
         }
     }
 

@@ -11,6 +11,9 @@
 //! * [`segment`] — shard-local segments for parallel ingestion, merged
 //!   deterministically into one searchable index (the Lucene-segment
 //!   analogue);
+//! * [`codec`] — delta/varint on-disk postings encoding of an index
+//!   tail, decoded back into a mergeable segment (used by the durable
+//!   storage engine's sealed segment files);
 //! * [`query`] — term, phrase, fuzzy, and boolean queries plus a
 //!   query-string convenience;
 //! * [`score`] — BM25 (default, k1=1.2, b=0.75) and TF-IDF scoring with
@@ -22,6 +25,7 @@
 //!   scatter-gather search scores bit-identically to one monolithic
 //!   index.
 
+pub mod codec;
 pub mod daat;
 pub mod index;
 pub mod query;

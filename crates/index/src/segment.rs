@@ -25,15 +25,15 @@
 //! rejected before any mutation, keeping the merge atomic.
 
 use crate::index::{FieldConfig, FieldIndex, Index, IndexError};
-use std::collections::HashMap;
+use create_util::fxhash::FxHashMap;
 use std::sync::Arc;
 
 /// A shard-local partial index: same fields/analyzers as its parent
 /// [`Index`], documents addressed by segment-local dense ids.
 pub struct IndexSegment {
-    pub(crate) fields: HashMap<String, FieldIndex>,
+    pub(crate) fields: FxHashMap<String, FieldIndex>,
     pub(crate) external_ids: Vec<String>,
-    pub(crate) id_map: HashMap<String, u32>,
+    pub(crate) id_map: FxHashMap<String, u32>,
 }
 
 impl std::fmt::Debug for IndexSegment {
@@ -49,14 +49,14 @@ impl IndexSegment {
     /// Creates a segment with the given fields (analyzer `Arc`s are
     /// shared, not recompiled).
     pub fn new(fields: Vec<FieldConfig>) -> IndexSegment {
-        let mut map = HashMap::new();
+        let mut map = FxHashMap::default();
         for f in fields {
             map.insert(f.name.clone(), FieldIndex::empty(f.analyzer, f.boost));
         }
         IndexSegment {
             fields: map,
             external_ids: Vec::new(),
-            id_map: HashMap::new(),
+            id_map: FxHashMap::default(),
         }
     }
 
@@ -110,7 +110,7 @@ impl Index {
                 })
                 .collect(),
             external_ids: Vec::new(),
-            id_map: HashMap::new(),
+            id_map: FxHashMap::default(),
         }
     }
 
@@ -141,19 +141,39 @@ impl Index {
             fi.total_len += seg_field.total_len;
             fi.docs_with_field += seg_field.docs_with_field;
             for (term, seg_postings) in seg_field.dict {
-                let entry = fi.dict.entry(term);
-                if let std::collections::hash_map::Entry::Vacant(v) = &entry {
-                    FieldIndex::bucket_new_term(&mut fi.term_buckets, v.key());
+                match fi.dict.entry(term) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        FieldIndex::bucket_new_term(&mut fi.term_buckets, v.key());
+                        if base == 0 {
+                            // First merge into an empty index (the
+                            // recovery path): ids need no remap, so the
+                            // segment's list is adopted wholesale.
+                            v.insert(seg_postings);
+                        } else {
+                            // Segment postings are worker-local, so the
+                            // unwrap never deep-copies; remap in place
+                            // and adopt the same buffer.
+                            let mut postings = Arc::try_unwrap(seg_postings)
+                                .unwrap_or_else(|shared| (*shared).clone());
+                            for p in &mut postings {
+                                p.doc += base;
+                            }
+                            v.insert(Arc::new(postings));
+                        }
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        let seg_postings = Arc::try_unwrap(seg_postings)
+                            .unwrap_or_else(|shared| (*shared).clone());
+                        // The index side copies-on-write only when a
+                        // published snapshot still shares the term's list.
+                        Arc::make_mut(o.get_mut()).extend(seg_postings.into_iter().map(
+                            |mut p| {
+                                p.doc += base;
+                                p
+                            },
+                        ));
+                    }
                 }
-                // Segment postings are worker-local, so the unwrap never
-                // deep-copies; the index side copies-on-write only when a
-                // published snapshot still shares the term's list.
-                let seg_postings =
-                    Arc::try_unwrap(seg_postings).unwrap_or_else(|shared| (*shared).clone());
-                Arc::make_mut(entry.or_default()).extend(seg_postings.into_iter().map(|mut p| {
-                    p.doc += base;
-                    p
-                }));
             }
         }
         Ok(())

@@ -118,6 +118,20 @@ pub const SPAN_GRAPH_SHARD: &str = "graph_shard";
 /// Log events by severity, labelled `level=...`.
 pub const LOG_EVENTS_TOTAL: &str = "create_log_events_total";
 
+/// Durable storage engine series. The WAL counter totals framed bytes
+/// appended across shards; the segment gauges reflect the live manifest
+/// (refreshed at scrape and after every flush/compaction); compaction
+/// counters total merge runs and the documents they rewrote; the
+/// recovery counter totals WAL records replayed by `Create::open`.
+pub const WAL_APPENDED_BYTES_TOTAL: &str = "create_wal_appended_bytes_total";
+pub const WAL_APPEND_SECONDS: &str = "create_wal_append_seconds";
+pub const SEGMENT_COUNT_GAUGE: &str = "create_segment_count";
+pub const SEGMENT_BYTES_GAUGE: &str = "create_segment_bytes";
+pub const SEGMENT_SEAL_SECONDS: &str = "create_segment_seal_seconds";
+pub const COMPACTION_RUNS_TOTAL: &str = "create_compaction_runs_total";
+pub const COMPACTION_MERGED_DOCS_TOTAL: &str = "create_compaction_merged_docs_total";
+pub const RECOVERY_REPLAYED_RECORDS_TOTAL: &str = "create_recovery_replayed_records_total";
+
 /// Corpus/system size gauges, refreshed at `/metrics` scrape time.
 pub const REPORTS_GAUGE: &str = "create_reports";
 pub const GRAPH_NODES_GAUGE: &str = "create_graph_nodes";

@@ -78,6 +78,7 @@ pub fn build_api(system: Arc<Create>) -> Router {
                 .into_iter()
                 .map(|g| Value::from(g as i64))
                 .collect();
+            let storage = system.storage_stats();
             let doc = obj([
                 ("reports", (stats.reports as i64).into()),
                 ("graph_nodes", (stats.graph_nodes as i64).into()),
@@ -89,6 +90,14 @@ pub fn build_api(system: Arc<Create>) -> Router {
                 ("index_generation", (cache.generation as i64).into()),
                 ("shards", (system.shard_count() as i64).into()),
                 ("shard_generations", Value::Array(shard_generations)),
+                (
+                    "segments",
+                    (storage.map_or(0, |s| s.segments) as i64).into(),
+                ),
+                (
+                    "segment_bytes",
+                    storage.map_or(0, |s| s.segment_bytes as i64).into(),
+                ),
             ]);
             Response::json(Status::Ok, doc.to_json())
         });
@@ -328,8 +337,36 @@ pub fn build_api(system: Arc<Create>) -> Router {
     {
         let system = Arc::clone(&system);
         router.route("POST", "/flush", move |_, _| match system.flush() {
-            Ok(()) => Response::json(Status::Ok, obj([("flushed", true.into())]).to_json()),
-            Err(e) => Response::error(Status::InternalServerError, &e.to_string()),
+            Ok(()) => {
+                // Flush now also seals segments; report what is durable
+                // so operators can see the swap landed.
+                let storage = system.storage_stats();
+                Response::json(
+                    Status::Ok,
+                    obj([
+                        ("flushed", true.into()),
+                        (
+                            "segments",
+                            (storage.map_or(0, |s| s.segments) as i64).into(),
+                        ),
+                        (
+                            "segment_bytes",
+                            storage.map_or(0, |s| s.segment_bytes as i64).into(),
+                        ),
+                    ])
+                    .to_json(),
+                )
+            }
+            Err(e) => {
+                // The typed storage error distinguishes an I/O failure
+                // (retryable, disk-level) from detected corruption
+                // (needs operator attention); surface the class.
+                let kind = if e.is_corruption() { "corruption" } else { "io" };
+                Response::error(
+                    Status::InternalServerError,
+                    &format!("flush failed ({kind}): {e}"),
+                )
+            }
         });
     }
 
@@ -362,6 +399,9 @@ pub fn build_api(system: Arc<Create>) -> Router {
                     )
                     .set(entries as i64);
                 }
+                // Refreshes the segment count/bytes gauges from the
+                // live manifest (no-op for in-memory instances).
+                let _ = system.storage_stats();
             }
             let mut resp = Response::text(Status::Ok, create_obs::render_prometheus());
             resp.content_type = "text/plain; version=0.0.4; charset=utf-8".to_string();
@@ -755,6 +795,8 @@ mod tests {
             "index_generation",
             "index_terms",
             "reports",
+            "segment_bytes",
+            "segments",
             "shard_generations",
             "shards",
         ];

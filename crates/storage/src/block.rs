@@ -1,0 +1,263 @@
+//! Block compression for segment files.
+//!
+//! A small, std-only byte-oriented LZ77 (Snappy/LZ4 family): greedy
+//! hash-table matching over a 64 KiB window, emitting literal runs and
+//! back-references as tagged tokens. Stored-field and postings blocks
+//! compress well under it (JSON keys and delta-varint runs repeat
+//! heavily); truly incompressible blocks are stored raw behind a
+//! one-byte header so compression never inflates a block by more than
+//! that byte.
+//!
+//! Token stream (after the header byte):
+//!
+//! * `0x00, len-1 varint, bytes…` — a literal run;
+//! * `0x01, len-4 varint, dist varint` — copy `len` bytes from `dist`
+//!   bytes back (overlapping copies allowed, RLE-style).
+//!
+//! The format is self-terminating: decompression runs until the
+//! declared uncompressed length is produced and rejects anything that
+//! would read past either buffer, so a corrupt block fails loudly
+//! instead of producing garbage.
+
+use create_util::varint;
+
+/// Header byte: the block is stored raw (incompressible).
+const RAW: u8 = 0;
+/// Header byte: the block is an LZ token stream.
+const COMPRESSED: u8 = 1;
+
+const MIN_MATCH: usize = 4;
+const MAX_DISTANCE: usize = 1 << 16;
+const HASH_BITS: u32 = 14;
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`, preferring the raw encoding when matching finds
+/// nothing to exploit.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.push(COMPRESSED);
+    let mut heads = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let candidate = heads[h];
+        heads[h] = i;
+        let matched = candidate != usize::MAX
+            && i - candidate <= MAX_DISTANCE
+            && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH];
+        if !matched {
+            i += 1;
+            continue;
+        }
+        // Extend the match as far as it goes.
+        let mut len = MIN_MATCH;
+        while i + len < input.len() && input[candidate + len] == input[i + len] {
+            len += 1;
+        }
+        flush_literals(&mut out, &input[literal_start..i]);
+        out.push(0x01);
+        varint::write_u64(&mut out, (len - MIN_MATCH) as u64);
+        varint::write_u64(&mut out, (i - candidate) as u64);
+        // Seed the table through the matched region (sparsely: every
+        // other position keeps the cost linear without hurting ratio
+        // much on this workload).
+        let end = (i + len).min(input.len().saturating_sub(MIN_MATCH - 1));
+        let mut j = i + 1;
+        while j < end {
+            heads[hash4(&input[j..])] = j;
+            j += 2;
+        }
+        i += len;
+        literal_start = i;
+    }
+    flush_literals(&mut out, &input[literal_start..]);
+    if out.len() >= input.len() + 1 {
+        let mut raw = Vec::with_capacity(input.len() + 1);
+        raw.push(RAW);
+        raw.extend_from_slice(input);
+        return raw;
+    }
+    out
+}
+
+fn flush_literals(out: &mut Vec<u8>, literals: &[u8]) {
+    if literals.is_empty() {
+        return;
+    }
+    out.push(0x00);
+    varint::write_u64(out, (literals.len() - 1) as u64);
+    out.extend_from_slice(literals);
+}
+
+/// Decompression failure: the token stream is inconsistent with the
+/// declared uncompressed length (i.e. the block is corrupt).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCorrupt(pub &'static str);
+
+impl std::fmt::Display for BlockCorrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt compressed block: {}", self.0)
+    }
+}
+
+impl std::error::Error for BlockCorrupt {}
+
+/// Decompresses a block produced by [`compress`] into exactly
+/// `uncompressed_len` bytes.
+pub fn decompress(block: &[u8], uncompressed_len: usize) -> Result<Vec<u8>, BlockCorrupt> {
+    let (&header, body) = block.split_first().ok_or(BlockCorrupt("empty block"))?;
+    match header {
+        RAW => {
+            if body.len() != uncompressed_len {
+                return Err(BlockCorrupt("raw block length mismatch"));
+            }
+            Ok(body.to_vec())
+        }
+        COMPRESSED => {
+            let mut out = Vec::with_capacity(uncompressed_len);
+            let mut pos = 0usize;
+            while pos < body.len() {
+                let tag = body[pos];
+                pos += 1;
+                match tag {
+                    0x00 => {
+                        let len = varint::read_u64(body, &mut pos)
+                            .ok_or(BlockCorrupt("literal length"))?
+                            as usize
+                            + 1;
+                        let run = body
+                            .get(pos..pos + len)
+                            .ok_or(BlockCorrupt("literal run past end"))?;
+                        out.extend_from_slice(run);
+                        pos += len;
+                    }
+                    0x01 => {
+                        let len = varint::read_u64(body, &mut pos)
+                            .ok_or(BlockCorrupt("match length"))?
+                            as usize
+                            + MIN_MATCH;
+                        let dist = varint::read_u64(body, &mut pos)
+                            .ok_or(BlockCorrupt("match distance"))?
+                            as usize;
+                        if dist == 0 || dist > out.len() {
+                            return Err(BlockCorrupt("match distance out of range"));
+                        }
+                        // Byte-at-a-time copy keeps overlapping
+                        // (RLE-style) references correct.
+                        let start = out.len() - dist;
+                        for k in 0..len {
+                            let b = out[start + k];
+                            out.push(b);
+                        }
+                    }
+                    _ => return Err(BlockCorrupt("unknown token tag")),
+                }
+                if out.len() > uncompressed_len {
+                    return Err(BlockCorrupt("output overruns declared length"));
+                }
+            }
+            if out.len() != uncompressed_len {
+                return Err(BlockCorrupt("output shorter than declared length"));
+            }
+            Ok(out)
+        }
+        _ => Err(BlockCorrupt("unknown block header")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_util::Rng;
+
+    fn round_trip(data: &[u8]) {
+        let packed = compress(data);
+        let unpacked = decompress(&packed, data.len()).expect("decompress");
+        assert_eq!(unpacked, data);
+    }
+
+    #[test]
+    fn round_trips_empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abc");
+        round_trip(b"abcd");
+    }
+
+    #[test]
+    fn compresses_repetitive_input() {
+        let data: Vec<u8> = b"{\"_id\":\"pmid:1\",\"title\":\"fever\"}\n"
+            .iter()
+            .cycle()
+            .take(8192)
+            .copied()
+            .collect();
+        let packed = compress(&data);
+        assert!(
+            packed.len() < data.len() / 4,
+            "repetitive JSON should compress >4x, got {} of {}",
+            packed.len(),
+            data.len()
+        );
+        round_trip(&data);
+    }
+
+    #[test]
+    fn handles_overlapping_rle_matches() {
+        let data = vec![0x41u8; 10_000];
+        let packed = compress(&data);
+        assert!(packed.len() < 64);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn random_input_falls_back_to_raw() {
+        let mut rng = Rng::seed_from_u64(7);
+        let data: Vec<u8> = (0..4096).map(|_| rng.below(256) as u8).collect();
+        let packed = compress(&data);
+        assert!(packed.len() <= data.len() + 1, "raw fallback caps inflation");
+        round_trip(&data);
+    }
+
+    #[test]
+    fn seeded_fuzz_round_trips() {
+        let mut rng = Rng::seed_from_u64(0xc0ffee);
+        for case in 0..50 {
+            let len = rng.below(5000);
+            // Mix of runs and noise to exercise both token kinds.
+            let mut data = Vec::with_capacity(len);
+            while data.len() < len {
+                if rng.below(2) == 0 {
+                    let run = rng.range(1, 40);
+                    let byte = rng.below(8) as u8;
+                    data.extend(std::iter::repeat(byte).take(run.min(len - data.len())));
+                } else {
+                    data.push(rng.below(256) as u8);
+                }
+            }
+            let packed = compress(&data);
+            let unpacked = decompress(&packed, data.len()).expect("decompress");
+            assert_eq!(unpacked, data, "case {case}");
+        }
+    }
+
+    #[test]
+    fn corrupt_blocks_fail_loudly() {
+        let data: Vec<u8> = b"abcdabcdabcdabcdabcdabcd".repeat(20);
+        let packed = compress(&data);
+        // Wrong declared length.
+        assert!(decompress(&packed, data.len() + 1).is_err());
+        assert!(decompress(&packed, data.len().saturating_sub(1)).is_err());
+        // Truncated stream.
+        assert!(decompress(&packed[..packed.len() / 2], data.len()).is_err());
+        // Unknown header.
+        let mut bad = packed.clone();
+        bad[0] = 9;
+        assert!(decompress(&bad, data.len()).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//!
+//! Every durable artifact — WAL records, segment blocks, segment
+//! footers — carries a CRC so recovery can distinguish a torn write
+//! (expected after a crash; truncate and continue) from silent
+//! corruption (refuse to serve wrong data).
+
+/// The reflected IEEE polynomial, as used by zlib/PNG/Ethernet.
+const POLY: u32 = 0xedb8_8320;
+
+/// Slice-by-8 lookup tables: `TABLES[0]` is the classic byte-at-a-time
+/// table; `TABLES[k]` advances a byte through `k` additional zero
+/// bytes. Processing eight input bytes per iteration roughly
+/// quadruples throughput over the single-table loop, which matters
+/// because cold open CRC-checks every sealed segment byte (footer plus
+/// per-block checksums — two passes over the file).
+fn tables() -> &'static [[u32; 256]; 8] {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut tables = [[0u32; 256]; 8];
+        for i in 0..256usize {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            tables[0][i] = crc;
+        }
+        for i in 0..256usize {
+            let mut crc = tables[0][i];
+            for t in 1..8 {
+                crc = (crc >> 8) ^ tables[0][(crc & 0xff) as usize];
+                tables[t][i] = crc;
+            }
+        }
+        tables
+    })
+}
+
+/// CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = tables();
+    let mut crc = !0u32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+        crc = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][((lo >> 24) & 0xff) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][((hi >> 24) & 0xff) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn sliced_path_agrees_with_byte_at_a_time() {
+        // Cross-check the 8-byte fast path against the scalar tail loop
+        // at every alignment and length straddling the chunk boundary.
+        let data: Vec<u8> = (0u32..64).map(|i| (i * 37 + 11) as u8).collect();
+        let scalar = |bytes: &[u8]| {
+            let t = tables();
+            let mut crc = !0u32;
+            for &b in bytes {
+                crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xff) as usize];
+            }
+            !crc
+        };
+        for start in 0..9 {
+            for end in start..data.len() {
+                assert_eq!(crc32(&data[start..end]), scalar(&data[start..end]));
+            }
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"a write-ahead log record".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

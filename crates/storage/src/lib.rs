@@ -1,0 +1,104 @@
+//! Durable storage engine for the CREATe reproduction.
+//!
+//! The engine gives the in-memory shards a Lucene-style persistence
+//! story with three moving parts:
+//!
+//! * **Write-ahead log** ([`wal`]) — every acknowledged write is
+//!   appended as a length-prefixed, checksummed record and fsynced
+//!   *before* the in-memory apply, so a crash loses nothing that was
+//!   acknowledged. Recovery cost is O(unflushed tail), not O(corpus).
+//! * **Segments** ([`segment`]) — a flush seals the memtable slice
+//!   accumulated since the last seal into an immutable, block-compressed
+//!   file: stored fields plus delta/varint postings, every block CRC'd,
+//!   the whole file footer-checksummed.
+//! * **Manifest** ([`manifest`]) — the atomically-swapped (write tmp +
+//!   fsync + rename) registry of live segments. A segment that the
+//!   manifest does not name does not exist; orphans are swept.
+//!
+//! Crash recovery = manifest segments (in ingest order) + WAL tail
+//! replay with torn-record truncation. Rankings after recovery are
+//! bit-identical to a process that never crashed, because segments
+//! preserve global ingest ordinals and per-shard doc-id order.
+//!
+//! On-disk layout, relative to the engine's data directory:
+//!
+//! ```text
+//! storage/
+//!   MANIFEST            atomically-swapped segment registry (JSON)
+//!   shard-<i>/
+//!     wal.log           per-shard write-ahead log
+//!     seg-NNNNNN.seg    immutable sealed segments
+//! ```
+//!
+//! This crate is storage-only: it knows bytes, files, and checksums.
+//! What goes *into* a WAL record or a stored-field payload is decided
+//! by `create-core`; how postings bytes encode an index tail is decided
+//! by `create-index`'s codec.
+
+pub mod block;
+pub mod checksum;
+pub mod manifest;
+pub mod segment;
+pub mod wal;
+
+pub use manifest::{Manifest, SegmentMeta, ShardManifest};
+pub use segment::{SegmentData, SegmentFileInfo, StoredDoc};
+pub use wal::{Wal, WalReplay};
+
+use std::path::{Path, PathBuf};
+
+/// Storage subdirectory name inside a data directory.
+pub const STORAGE_DIR: &str = "storage";
+/// WAL file name inside a shard's storage directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// A durable-storage failure, split so callers can react differently:
+/// I/O errors are environmental (disk full, permissions) and often
+/// transient; corruption means bytes on disk contradict their checksums
+/// and the engine refuses to serve wrong data.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The underlying filesystem operation failed.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    /// On-disk bytes failed validation (checksum, framing, or format).
+    Corrupt { path: PathBuf, message: String },
+}
+
+impl StorageError {
+    /// Adapter for `map_err`: tags an `io::Error` with the path it
+    /// happened on.
+    pub fn io(path: impl AsRef<Path>) -> impl FnOnce(std::io::Error) -> StorageError {
+        let path = path.as_ref().to_path_buf();
+        move |source| StorageError::Io { path, source }
+    }
+
+    /// True when the error is corruption rather than an I/O failure.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, StorageError::Corrupt { .. })
+    }
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io { path, source } => {
+                write!(f, "storage I/O error at {}: {source}", path.display())
+            }
+            StorageError::Corrupt { path, message } => {
+                write!(f, "storage corruption at {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            StorageError::Corrupt { .. } => None,
+        }
+    }
+}

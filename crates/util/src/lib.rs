@@ -6,11 +6,13 @@
 //! descriptive-statistics helpers used by the experiment harness.
 
 pub mod arc_cell;
+pub mod fxhash;
 pub mod pool;
 #[cfg(unix)]
 pub mod poller;
 pub mod rng;
 pub mod stats;
+pub mod varint;
 
 pub use arc_cell::ArcCell;
 pub use pool::ThreadPool;

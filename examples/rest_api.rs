@@ -3,6 +3,8 @@
 //!
 //! ```bash
 //! cargo run --release --example rest_api -- --log-level debug
+//! # durable mode: WAL + segments under DIR/storage, crash-recoverable
+//! cargo run --release --example rest_api -- --data-dir /tmp/create-data --addr 127.0.0.1:8745 --serve
 //! ```
 
 use create::core::{Create, CreateConfig};
@@ -13,16 +15,34 @@ use std::sync::Arc;
 
 fn main() {
     // `--log-level error|warn|info|debug` tunes the obs event log.
+    // `--data-dir DIR` opens a disk-backed (WAL + segment) platform at
+    // DIR instead of an in-memory one — killing the process and
+    // restarting recovers every acknowledged write.
+    // `--addr HOST:PORT` pins the listen address (default: an
+    // OS-assigned port). `--serve` keeps serving until killed instead
+    // of running the scripted endpoint tour.
     let mut args = std::env::args().skip(1);
+    let mut data_dir: Option<String> = None;
+    let mut addr_arg = "127.0.0.1:0".to_string();
+    let mut serve_forever = false;
     while let Some(arg) = args.next() {
-        if arg == "--log-level" {
-            let value = args.next().unwrap_or_default();
-            match create::obs::Level::parse(&value) {
-                Some(level) => create::obs::set_log_level(level),
-                None => {
-                    eprintln!("unknown log level {value:?} (use error|warn|info|debug)");
-                    std::process::exit(2);
+        match arg.as_str() {
+            "--log-level" => {
+                let value = args.next().unwrap_or_default();
+                match create::obs::Level::parse(&value) {
+                    Some(level) => create::obs::set_log_level(level),
+                    None => {
+                        eprintln!("unknown log level {value:?} (use error|warn|info|debug)");
+                        std::process::exit(2);
+                    }
                 }
+            }
+            "--data-dir" => data_dir = Some(args.next().unwrap_or_default()),
+            "--addr" => addr_arg = args.next().unwrap_or_default(),
+            "--serve" => serve_forever = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
             }
         }
     }
@@ -34,7 +54,16 @@ fn main() {
         ..Default::default()
     })
     .generate();
-    let system = Create::new(CreateConfig::default());
+    let system = match &data_dir {
+        Some(dir) => match Create::open(dir, CreateConfig::default()) {
+            Ok(system) => system,
+            Err(e) => {
+                eprintln!("failed to open {dir:?}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Create::new(CreateConfig::default()),
+    };
     let dataset =
         create::ner::NerDataset::from_reports(&reports, create::ner::LabelSet::ner_targets());
     let tagger = create::ner::CrfTagger::train(
@@ -44,13 +73,17 @@ fn main() {
         None,
     );
     system.attach_tagger(tagger);
-    for r in &reports {
-        system.ingest_gold(r).expect("ingest");
+    // A reopened data directory already holds the corpus — only seed it
+    // on first boot so repeated restarts don't duplicate work.
+    if system.stats().reports == 0 {
+        for r in &reports {
+            system.ingest_gold(r).expect("ingest");
+        }
     }
     let first_id = reports[0].id.clone();
 
     let shared = Arc::new(system);
-    let server = Server::bind("127.0.0.1:0", build_api(Arc::clone(&shared))).expect("bind");
+    let server = Server::bind(addr_arg.as_str(), build_api(Arc::clone(&shared))).expect("bind");
     // Graceful shutdown persists the document store (a no-op for this
     // in-memory demo, but the wiring is what a disk-backed deployment
     // relies on).
@@ -64,6 +97,13 @@ fn main() {
     let handle = server.shutdown_handle();
     let server_thread = std::thread::spawn(move || server.serve());
     println!("CREATe REST API listening on http://{addr}\n");
+
+    if serve_forever {
+        // Serve until killed — used by the crash-recovery smoke test,
+        // which SIGKILLs this process and expects a clean reopen.
+        server_thread.join().expect("server thread");
+        return;
+    }
 
     let show = |label: &str, result: std::io::Result<(u16, String)>| {
         let (status, body) = result.expect("request");

@@ -209,4 +209,116 @@ EOF
 done
 rm -f "$on1" "$on2" "$on3" "$off1" "$off2" "$off3"
 
+echo "== recovery smoke: ingest → SIGKILL → reopen → search =="
+cargo build -q --release --example rest_api
+rest_bin="target/release/examples/rest_api"
+data="$(mktemp -d)"
+port="$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()')"
+base="http://127.0.0.1:$port"
+rest_pid=""
+cleanup_rest() {
+    [ -n "$rest_pid" ] && kill -9 "$rest_pid" 2>/dev/null || true
+    rm -rf "$data"
+}
+trap cleanup_rest EXIT
+start_rest() { # boots the example against $data and waits for /health
+    "$rest_bin" --data-dir "$data" --addr "127.0.0.1:$port" --serve >/dev/null 2>&1 &
+    rest_pid=$!
+    for _ in $(seq 1 240); do
+        if curl -fsS -o /dev/null "$base/health" 2>/dev/null; then return 0; fi
+        if ! kill -0 "$rest_pid" 2>/dev/null; then
+            echo "verify: FAIL — rest_api exited during startup" >&2
+            exit 1
+        fi
+        sleep 0.5
+    done
+    echo "verify: FAIL — rest_api did not become healthy" >&2
+    exit 1
+}
+start_rest
+# One submission sealed into a segment by /flush, one acknowledged but
+# left in the WAL tail — SIGKILL must lose neither.
+curl -fsS -o /dev/null -X POST "$base/submit" -d \
+    '{"id": "user:smoke-flushed", "title": "Flushed case", "text": "Spontaneous pneumomediastinum was noted after vigorous coughing.", "year": 2022}'
+curl -fsS -o /dev/null -X POST "$base/flush" -d ''
+curl -fsS -o /dev/null -X POST "$base/submit" -d \
+    '{"id": "user:smoke-walonly", "title": "WAL-tail case", "text": "Severe hypoglycemia followed an accidental insulin overdose.", "year": 2022}'
+kill -9 "$rest_pid"
+wait "$rest_pid" 2>/dev/null || true
+start_rest
+stats="$(curl -fsS "$base/stats")"
+python3 - "$stats" <<'EOF'
+import json, sys
+stats = json.loads(sys.argv[1])
+if stats["reports"] != 82:  # 80 seeded + 2 submitted
+    print(f"verify: FAIL — reopened store has {stats['reports']} reports, expected 82", file=sys.stderr)
+    sys.exit(1)
+print(f"  reopened with {stats['reports']} reports")
+EOF
+for probe in \
+    'pneumomediastinum+vigorous+coughing|user:smoke-flushed' \
+    'hypoglycemia+insulin+overdose|user:smoke-walonly'
+do
+    query="${probe%%|*}"; want="${probe##*|}"
+    hits="$(curl -fsS "$base/search?q=$query&k=3")"
+    echo "$hits" | grep -qF "\"$want\"" || {
+        echo "verify: FAIL — post-recovery search for $query missing $want" >&2
+        exit 1
+    }
+    echo "  search $query → $want recovered"
+done
+metrics="$(curl -fsS "$base/metrics")"
+for series in \
+    'create_wal_appended_bytes_total' \
+    'create_wal_append_seconds_bucket' \
+    'create_segment_count' \
+    'create_segment_bytes' \
+    'create_segment_seal_seconds_bucket' \
+    'create_compaction_runs_total' \
+    'create_compaction_merged_docs_total' \
+    'create_recovery_replayed_records_total'
+do
+    echo "$metrics" | grep -qF "$series" || {
+        echo "verify: FAIL — missing storage metrics series $series" >&2
+        exit 1
+    }
+done
+# The WAL-tail submission must have been replayed on reopen.
+echo "$metrics" | grep -E '^create_recovery_replayed_records_total [1-9]' >/dev/null || {
+    echo "verify: FAIL — reopen replayed no WAL records" >&2
+    exit 1
+}
+kill -9 "$rest_pid"
+wait "$rest_pid" 2>/dev/null || true
+rest_pid=""
+cleanup_rest
+trap - EXIT
+
+echo "== persistence gate: cold open ≥5x faster than rebuild (10k docs) =="
+# Two attempts: the legacy-rebuild baseline swings ~±15% on noisy CI
+# hosts, so a single marginal run is retried once before failing.
+out="$(mktemp)"
+for attempt in 1 2; do
+    cargo run -q --release -p create-bench --bin bench_persist -- 10000 "$out"
+    rc=0
+    python3 - "$out" <<'EOF' || rc=$?
+import json, sys
+r = json.load(open(sys.argv[1]))
+speedup = r["cold_open_speedup_vs_rebuild"]
+print(f"  cold open {r['cold_open_secs']:.2f}s vs rebuild {r['legacy_rebuild_secs']:.2f}s ({speedup:.1f}x), "
+      f"{r['segments']} segment(s), {r['segment_bytes_per_doc']:.0f} bytes/doc on disk")
+if not r["rankings_bit_identical"]:
+    print("verify: FAIL — disk-born rankings diverged from the RAM-born twin", file=sys.stderr)
+    sys.exit(2)  # never retried: a correctness failure, not noise
+sys.exit(0 if speedup >= 5.0 else 1)
+EOF
+    if [ "$rc" = 0 ]; then break; fi
+    if [ "$rc" = 2 ] || [ "$attempt" = 2 ]; then
+        echo "verify: FAIL — cold open did not hold the 5x gate" >&2
+        exit 1
+    fi
+    echo "  speedup below 5x on attempt $attempt; retrying once"
+done
+rm -f "$out"
+
 echo "== verify: OK =="

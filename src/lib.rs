@@ -17,6 +17,7 @@ pub use create_ner as ner;
 pub use create_obs as obs;
 pub use create_ontology as ontology;
 pub use create_server as server;
+pub use create_storage as storage;
 pub use create_temporal as temporal;
 pub use create_text as text;
 pub use create_util as util;

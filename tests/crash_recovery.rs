@@ -1,0 +1,263 @@
+//! Kill-and-reopen durability: acknowledged writes survive a crash.
+//!
+//! Each scenario ingests a seeded corpus into a disk-backed platform,
+//! flushes mid-stream (so part of the corpus is segment-durable and the
+//! rest lives only in the WAL), then drops the system without any
+//! shutdown flush — the moral equivalent of SIGKILL, since nothing is
+//! persisted on drop. Reopening must recover every acknowledged write
+//! and produce rankings that are **bit-identical** (report id + raw
+//! score bits) to a never-crashed in-memory reference, at shard counts
+//! {1, 2, 4}.
+//!
+//! Torn-tail scenarios then vandalise the WAL the way a power cut
+//! would — truncating mid-frame or flipping a payload byte at seeded
+//! offsets — and assert recovery truncates at the damage point: every
+//! record before it survives, nothing after it does, and the reopened
+//! system is indistinguishable from one that only ever saw the
+//! surviving prefix.
+
+use create::core::{Create, CreateConfig, MergePolicy};
+use create::corpus::{CaseReport, CorpusConfig, Generator, QuerySet};
+use std::path::{Path, PathBuf};
+
+const K: usize = 10;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Rankings are compared at the bit level: id, raw score bits, source.
+type Ranking = Vec<(String, u64, bool)>;
+
+fn corpus(n: usize, seed: u64) -> Vec<CaseReport> {
+    Generator::new(CorpusConfig {
+        num_reports: n,
+        seed,
+        ..Default::default()
+    })
+    .generate()
+}
+
+fn query_panel(reports: &[CaseReport]) -> Vec<String> {
+    QuerySet::generate(reports, 77, 8)
+        .queries
+        .into_iter()
+        .map(|q| q.text)
+        .collect()
+}
+
+fn ranking(system: &Create, query: &str, policy: MergePolicy) -> Ranking {
+    system
+        .search_with_policy(query, K, policy)
+        .into_iter()
+        .map(|h| (h.report_id, h.score.to_bits(), h.pattern_matched))
+        .collect()
+}
+
+/// An in-memory reference that never crashed: the gold standard every
+/// recovered system is held to.
+fn reference(reports: &[CaseReport], shards: usize) -> Create {
+    let system = Create::new(CreateConfig {
+        shards,
+        ..Default::default()
+    });
+    for r in reports {
+        system.ingest_gold(r).expect("reference ingest");
+    }
+    system
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "create-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_same_rankings(recovered: &Create, reference: &Create, queries: &[String], label: &str) {
+    for q in queries {
+        for policy in [MergePolicy::Neo4jFirst, MergePolicy::EsOnly, MergePolicy::GraphOnly] {
+            assert_eq!(
+                ranking(recovered, q, policy),
+                ranking(reference, q, policy),
+                "{label}: ranking diverged for {q:?} under {policy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kill_and_reopen_recovers_every_acknowledged_write() {
+    let reports = corpus(40, 20260810);
+    let queries = query_panel(&reports);
+    let (sealed, tail) = reports.split_at(25);
+
+    for &shards in &SHARD_COUNTS {
+        let dir = fresh_dir(&format!("kill-{shards}"));
+        let config = CreateConfig {
+            shards,
+            ..Default::default()
+        };
+
+        // Ingest with a mid-stream flush: the first 25 docs become
+        // segment-durable, the last 15 are acknowledged but live only
+        // in the WAL when the "crash" hits.
+        {
+            let system = Create::open(&dir, config.clone()).expect("first open");
+            for r in sealed {
+                system.ingest_gold(r).expect("ingest sealed half");
+            }
+            system.flush().expect("mid-stream flush");
+            for r in tail {
+                system.ingest_gold(r).expect("ingest WAL tail");
+            }
+            // Dropped without flush: nothing else is persisted.
+        }
+
+        let never_crashed = reference(&reports, shards);
+
+        // Crash → reopen → verify, twice: the second cycle proves that
+        // recovery itself (seal-at-open, ordinal reassignment) is a
+        // fixed point and not a slow drift.
+        for cycle in 0..2 {
+            let recovered = Create::open(&dir, config.clone()).expect("reopen");
+            assert_eq!(
+                recovered.stats().reports,
+                reports.len(),
+                "{shards} shards, cycle {cycle}: zero acknowledged-write loss"
+            );
+            for r in &reports {
+                assert!(
+                    recovered.report(&r.id).is_some(),
+                    "{shards} shards, cycle {cycle}: report {} lost",
+                    r.id
+                );
+            }
+            assert_same_rankings(
+                &recovered,
+                &never_crashed,
+                &queries,
+                &format!("{shards} shards, cycle {cycle}"),
+            );
+            // Recovery sealed the WAL tail into segments, so the
+            // manifest must now account for every document.
+            let stats = recovered.storage_stats().expect("disk-backed");
+            assert!(stats.segments >= 1, "tail sealed into segments");
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Parse the WAL's `[len][crc][payload]` framing and return each
+/// record's byte offset, so damage can be aimed at a precise frame.
+fn wal_frame_offsets(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut offsets = Vec::new();
+    let mut at = 0usize;
+    while at + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        if at + 8 + len > bytes.len() {
+            break;
+        }
+        offsets.push((at, 8 + len));
+        at += 8 + len;
+    }
+    offsets
+}
+
+fn shard0_wal(dir: &Path) -> PathBuf {
+    dir.join(create::storage::STORAGE_DIR)
+        .join("shard-0")
+        .join(create::storage::WAL_FILE)
+}
+
+/// Build a single-shard durable system whose WAL holds exactly the
+/// last `wal_docs` documents, then crash it.
+fn crash_with_wal_tail(dir: &Path, reports: &[CaseReport], wal_docs: usize) {
+    let system = Create::open(dir, CreateConfig::default()).expect("open");
+    let sealed = reports.len() - wal_docs;
+    for r in &reports[..sealed] {
+        system.ingest_gold(r).expect("ingest sealed prefix");
+    }
+    system.flush().expect("flush");
+    for r in &reports[sealed..] {
+        system.ingest_gold(r).expect("ingest WAL tail");
+    }
+}
+
+#[test]
+fn torn_wal_tail_loses_only_the_torn_suffix() {
+    let reports = corpus(20, 20260811);
+    let queries = query_panel(&reports[..19]);
+    // Seeded cut points *inside* the final frame: mid-header and
+    // mid-payload tears from a seeded RNG.
+    let mut rng = create::util::Rng::seed_from_u64(20260811);
+
+    for case in 0..3 {
+        let dir = fresh_dir(&format!("torn-{case}"));
+        crash_with_wal_tail(&dir, &reports, 8);
+
+        let wal = shard0_wal(&dir);
+        let bytes = std::fs::read(&wal).expect("read WAL");
+        let frames = wal_frame_offsets(&bytes);
+        assert_eq!(frames.len(), 8, "one frame per WAL-tail doc");
+        let (last_at, last_len) = *frames.last().unwrap();
+        // Tear somewhere strictly inside the last frame (keep ≥1 byte
+        // so the reader sees a partial record, not a clean end).
+        let cut = last_at + 1 + rng.below(last_len - 1);
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .expect("open WAL for truncation");
+        f.set_len(cut as u64).expect("truncate");
+        drop(f);
+
+        let recovered = Create::open(&dir, CreateConfig::default()).expect("reopen after tear");
+        assert_eq!(
+            recovered.stats().reports,
+            19,
+            "case {case}: exactly the torn doc is lost"
+        );
+        assert!(
+            recovered.report(&reports[19].id).is_none(),
+            "case {case}: torn doc gone"
+        );
+        let never_crashed = reference(&reports[..19], 1);
+        assert_same_rankings(&recovered, &never_crashed, &queries, &format!("torn case {case}"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn corrupt_wal_byte_truncates_from_the_damage_point() {
+    let reports = corpus(20, 20260812);
+    // Flip a payload byte in the 6th of 8 WAL-tail frames: recovery
+    // must keep the 5 records before it and drop it plus the 2 after.
+    let dir = fresh_dir("flip");
+    crash_with_wal_tail(&dir, &reports, 8);
+
+    let wal = shard0_wal(&dir);
+    let mut bytes = std::fs::read(&wal).expect("read WAL");
+    let frames = wal_frame_offsets(&bytes);
+    assert_eq!(frames.len(), 8);
+    let (at, _) = frames[5];
+    bytes[at + 8 + 3] ^= 0x40; // payload byte: CRC mismatch, not a length lie
+    std::fs::write(&wal, &bytes).expect("write corrupted WAL");
+
+    let recovered = Create::open(&dir, CreateConfig::default()).expect("reopen after flip");
+    let survivors = 12 + 5; // sealed prefix + clean WAL records before the damage
+    assert_eq!(recovered.stats().reports, survivors);
+    for r in &reports[..survivors] {
+        assert!(recovered.report(&r.id).is_some(), "survivor {} lost", r.id);
+    }
+    for r in &reports[survivors..] {
+        assert!(recovered.report(&r.id).is_none(), "{} should be gone", r.id);
+    }
+
+    let queries = query_panel(&reports[..survivors]);
+    let never_crashed = reference(&reports[..survivors], 1);
+    assert_same_rankings(&recovered, &never_crashed, &queries, "flipped byte");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
