@@ -10,6 +10,7 @@
 
 pub mod brat;
 pub mod convert;
+pub mod facets;
 
 pub use brat::{
     Annotation, AttributeAnn, BratDocument, BratError, EventAnn, NormalizationAnn, NoteAnn,

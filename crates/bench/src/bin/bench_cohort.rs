@@ -1,0 +1,185 @@
+//! Cohort-retrieval throughput harness (plain Rust, offline).
+//!
+//! Builds the sharded platform over N synthetic case reports, then times
+//! the cohort executor's two physical plans against each other on
+//! filter-only, temporal, keyword-pushdown, and facet-aggregation
+//! workloads:
+//!
+//! * **Optimized** — facet-bitmap filter pushdown: the keyword ranker
+//!   scores eligible documents only (`search_filtered`), temporal checks
+//!   run on the filtered survivors;
+//! * **Naive** — rank-then-filter: score the whole shard, intersect with
+//!   the eligible set afterwards.
+//!
+//! Every workload query is first checked for bit-identical results under
+//! both plans — the speedup is only meaningful if pushdown changes
+//! nothing but the work done. Writes `BENCH_cohort.json` (pushdown
+//! speedups, facet-bitmap footprint, plan-stage latency quantiles) so
+//! `scripts/verify.sh` can gate on the keyword-pushdown ratio.
+//!
+//! ```bash
+//! cargo run --release -p create-bench --bin bench_cohort            # 1000 docs
+//! cargo run --release -p create-bench --bin bench_cohort -- 300 out.json
+//! ```
+
+use create_core::plan::parse_cohort_criteria;
+use create_core::{CohortCriteria, Create, CreateConfig, PlanMode};
+use create_docstore::json::{obj, parse_json};
+use create_docstore::Value;
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("N must be an integer"))
+        .unwrap_or(1000);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_cohort.json".to_string());
+
+    eprintln!("generating {n} synthetic reports...");
+    let reports = create_bench::corpus(n, 4321);
+    let system = Create::new(CreateConfig::default());
+    system.ingest_gold_batch(&reports, 0).expect("ingest");
+    let ontology = create_ontology::clinical_ontology();
+
+    // Selective criteria so pushdown has something to push: each
+    // workload's eligible sets are strict subsets of the corpus.
+    let workloads: [(&str, Vec<&str>); 4] = [
+        (
+            "filter",
+            vec![
+                r#"{"filters":[{"field":"category","values":["cancer"]}],"k":10}"#,
+                r#"{"filters":[{"field":"sex","values":["female"]}],"k":10}"#,
+                r#"{"filters":[{"field":"category","values":["cardiovascular","respiratory"]},{"field":"sex","values":["male"]}],"k":10}"#,
+                r#"{"filters":[{"field":"age_band","values":["60-69","70-79"]},{"field":"entity_type","values":["Medication"]}],"k":10}"#,
+            ],
+        ),
+        (
+            "temporal",
+            vec![
+                r#"{"temporal":[{"a":"weight loss","op":"before","b":"fatigue"}],"k":10}"#,
+                r#"{"temporal":[{"a":"fever","op":"overlaps","b":"malaise"}],"k":10}"#,
+                r#"{"temporal":[{"a":"chest pain","op":"within","days":90,"b":"palpitations"}],"k":10}"#,
+                r#"{"filters":[{"field":"sex","values":["female"]}],"temporal":[{"a":"weight loss","op":"before","b":"fatigue"}],"k":10}"#,
+            ],
+        ),
+        (
+            "keyword_pushdown",
+            vec![
+                r#"{"filters":[{"field":"category","values":["cancer"]}],"keywords":"weight loss and fatigue","k":10}"#,
+                r#"{"filters":[{"field":"sex","values":["female"]},{"field":"category","values":["cardiovascular"]}],"keywords":"chest pain","k":10}"#,
+                r#"{"filters":[{"field":"category","values":["infectious"]}],"keywords":"fever and malaise","k":10}"#,
+                r#"{"filters":[{"field":"age_band","values":["60-69","70-79","80-89"]}],"keywords":"dyspnea","k":10}"#,
+            ],
+        ),
+        (
+            "facets",
+            vec![
+                r#"{"filters":[{"field":"category","values":["cancer"]}],"facets":["sex","age_band","year"],"k":10}"#,
+                r#"{"filters":[{"field":"sex","values":["male"]}],"facets":["category","year","entity_type"],"k":10}"#,
+                r#"{"keywords":"fatigue","facets":["category","sex","age_band"],"k":10}"#,
+            ],
+        ),
+    ];
+
+    let parse = |criteria: &str| -> CohortCriteria {
+        parse_cohort_criteria(&parse_json(criteria).expect("criteria json"), &ontology)
+            .expect("criteria accepted")
+    };
+
+    // Untimed warm-up doubling as the equivalence gate: pushdown must
+    // change the work, never the answer.
+    let mut matched_total = 0u64;
+    for (name, criteria_set) in &workloads {
+        for criteria in criteria_set {
+            let parsed = parse(criteria);
+            let optimized = system.cohort_with_mode(&parsed, PlanMode::Optimized);
+            let naive = system.cohort_with_mode(&parsed, PlanMode::Naive);
+            assert_eq!(
+                optimized.to_json().to_json(),
+                naive.to_json().to_json(),
+                "{name}: plans disagree for {criteria}"
+            );
+            matched_total += optimized.total_matched;
+        }
+    }
+    eprintln!("equivalence verified: Optimized and Naive plans agree on every workload query");
+    assert!(matched_total > 0, "workloads matched nothing — selectivity probe is broken");
+
+    let mut rows: Vec<Value> = Vec::new();
+    for (name, criteria_set) in &workloads {
+        let parsed: Vec<CohortCriteria> = criteria_set.iter().map(|c| parse(c)).collect();
+        let optimized_qps = best_qps(&parsed, |c| {
+            system.cohort_with_mode(c, PlanMode::Optimized);
+        });
+        let naive_qps = best_qps(&parsed, |c| {
+            system.cohort_with_mode(c, PlanMode::Naive);
+        });
+        let speedup = optimized_qps / naive_qps;
+        eprintln!(
+            "{name:>16}: pushdown {optimized_qps:10.1} q/s  naive {naive_qps:10.1} q/s  (speedup {speedup:.2}x)"
+        );
+        rows.push(obj([
+            ("workload", (*name).into()),
+            ("queries", (criteria_set.len() as i64).into()),
+            ("optimized_qps", optimized_qps.into()),
+            ("naive_qps", naive_qps.into()),
+            ("speedup", speedup.into()),
+        ]));
+    }
+
+    let facets = system.facet_stats();
+    let bytes_per_doc = if facets.docs > 0 {
+        facets.postings_bytes as f64 / facets.docs as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "facet bitmaps: {} values over {} docs, {} bytes ({bytes_per_doc:.1} bytes/doc)",
+        facets.values, facets.docs, facets.postings_bytes
+    );
+
+    let report = obj([
+        ("bench", "cohort".into()),
+        ("meta", create_bench::meta_json(n)),
+        ("n_docs", (n as i64).into()),
+        ("corpus_seed", 4321_i64.into()),
+        ("plans_bit_identical", true.into()),
+        ("total_matched_across_workloads", (matched_total as i64).into()),
+        ("runs", Value::Array(rows)),
+        (
+            "facet_bitmaps",
+            obj([
+                ("values", (facets.values as i64).into()),
+                ("docs", (facets.docs as i64).into()),
+                ("postings_bytes", (facets.postings_bytes as i64).into()),
+                ("bytes_per_doc", bytes_per_doc.into()),
+            ]),
+        ),
+        // Plan-stage latency distributions accumulated across the run.
+        (
+            "plan_stages",
+            create_bench::stage_histograms_json(
+                create_obs::names::QUERY_STAGE_SECONDS,
+                &create_obs::names::QUERY_STAGES,
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, report.to_json_pretty()).expect("write bench report");
+    eprintln!("wrote {out_path}");
+}
+
+/// Best-of-R queries/sec for one plan mode over a workload.
+fn best_qps(criteria: &[CohortCriteria], mut run: impl FnMut(&CohortCriteria)) -> f64 {
+    let mut best_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        for c in criteria {
+            run(c);
+        }
+        best_secs = best_secs.min(started.elapsed().as_secs_f64());
+    }
+    criteria.len() as f64 / best_secs
+}

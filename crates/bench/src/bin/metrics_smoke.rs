@@ -28,6 +28,19 @@ fn main() {
     if let Some(q) = queries.first() {
         let _ = system.search(&q.text, 10);
     }
+    // One cohort query exercising every plan stage: filter pushdown,
+    // temporal constraints, keyword ranking, facet counting, merge.
+    let criteria = create_docstore::json::parse_json(
+        r#"{
+            "filters": [{"field": "sex", "values": ["female", "male"]}],
+            "keywords": "fatigue and weight loss",
+            "temporal": [{"a": "weight loss", "op": "within", "days": 365, "b": "fatigue"}],
+            "facets": ["category", "year"],
+            "k": 10
+        }"#,
+    )
+    .expect("criteria json");
+    let cohort = system.cohort_from_json(&criteria).expect("cohort query");
 
     let registry = create_obs::Registry::global();
     for (counter, why) in [
@@ -35,6 +48,8 @@ fn main() {
         (names::QUERY_CACHE_MISSES_TOTAL, "cold queries missed the cache"),
         (names::QUERY_CACHE_HITS_TOTAL, "the repeated query hit the cache"),
         (names::GRAPH_EXEC_NODES_VISITED_TOTAL, "graph searches walked nodes"),
+        (names::PLAN_NODES_TOTAL, "every query lowers to a plan"),
+        (names::BITMAP_INTERSECTIONS_TOTAL, "the cohort filter intersected bitmaps"),
     ] {
         assert!(
             registry.counter(counter).get() > 0,
@@ -58,8 +73,9 @@ fn main() {
     );
 
     eprintln!(
-        "metrics_smoke: {} queries over {} reports, all layers recorded",
+        "metrics_smoke: {} searches + 1 cohort query ({} matched) over {} reports, all layers recorded",
         queries.len() + 1,
+        cohort.total_matched,
         reports.len()
     );
     print!("{}", create_obs::render_prometheus());

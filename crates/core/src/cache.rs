@@ -1,13 +1,18 @@
 //! Generation-stamped LRU cache for merged search results.
 //!
 //! [`Create::search_with_policy`](crate::Create::search_with_policy) is a
-//! pure function of `(query text, k, merge policy)` and the system state —
-//! which only changes on ingest or graph mutation. The cache exploits
-//! that: every entry is stamped with the *index generation* current when
-//! it was computed, and the [`Create`](crate::Create) facade bumps the
-//! generation on every write path. A lookup whose stamp no longer matches
-//! is treated as a miss and evicted, so a cached result can never outlive
-//! the state it was computed from — no TTLs, no explicit flushes.
+//! pure function of its lowered query plan and the system state — which
+//! only changes on ingest or graph mutation. The cache exploits both
+//! halves: entries are keyed by the plan's **canonical key** (the
+//! deterministic rendering of the full normalized plan — see
+//! [`QueryPlan::canonical_key`](crate::plan::QueryPlan::canonical_key) —
+//! so equivalent plan spellings share an entry and distinct plans never
+//! collide) plus `k` and the merge policy, and every entry is stamped
+//! with the *index generation* current when it was computed; the
+//! [`Create`](crate::Create) facade bumps the generation on every write
+//! path. A lookup whose stamp no longer matches is treated as a miss and
+//! evicted, so a cached result can never outlive the state it was
+//! computed from — no TTLs, no explicit flushes.
 //!
 //! Eviction is least-recently-used via an intrusive doubly-linked list
 //! threaded through a slab of entries: the list head is the most recently
@@ -18,7 +23,10 @@ use crate::search::{MergePolicy, SearchHit};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Cache key: everything the merged result depends on besides system state.
+/// Cache key: everything the merged result depends on besides system
+/// state. The string element is the plan's canonical key, not the raw
+/// query text — `k` and the policy also appear inside it, but they stay
+/// explicit tuple elements so lookups stay type-checked.
 type CacheKey = (String, usize, MergePolicy);
 
 /// Sentinel slab index for "no neighbour" / "empty list".
@@ -155,12 +163,12 @@ impl QueryCache {
     /// `generation`; stale entries are dropped and counted as misses.
     pub(crate) fn get(
         &mut self,
-        query: &str,
+        plan_key: &str,
         k: usize,
         policy: MergePolicy,
         generation: u64,
     ) -> Option<Vec<SearchHit>> {
-        let key = (query.to_string(), k, policy);
+        let key = (plan_key.to_string(), k, policy);
         match self.map.get(&key).copied() {
             Some(slot) if self.entry(slot).generation == generation => {
                 self.unlink(slot);
@@ -185,7 +193,7 @@ impl QueryCache {
     /// computed under, evicting the least-recently-used entry on overflow.
     pub(crate) fn insert(
         &mut self,
-        query: &str,
+        plan_key: &str,
         k: usize,
         policy: MergePolicy,
         generation: u64,
@@ -194,7 +202,7 @@ impl QueryCache {
         if self.capacity == 0 {
             return;
         }
-        let key = (query.to_string(), k, policy);
+        let key = (plan_key.to_string(), k, policy);
         if let Some(slot) = self.map.get(&key).copied() {
             // Refresh in place and move to the front.
             let e = self.entry_mut(slot);

@@ -20,6 +20,7 @@
 use create_docstore::json::{parse_json, Value};
 use create_docstore::DocStore;
 use create_index::codec;
+use create_index::facets::FacetIndex;
 use create_index::Index;
 use create_obs::names as obs_names;
 use create_storage::manifest::segment_file_name;
@@ -171,14 +172,21 @@ pub(crate) fn parse_wal_record(bytes: &[u8]) -> Result<WalRecord, String> {
 
 /// Assembles the segment data for index docs `[base..num_docs)`:
 /// payloads fetched from the live document store (so post-ingest
-/// updates are baked in) plus the codec-encoded postings tail.
+/// updates are baked in), the codec-encoded postings tail, and the
+/// facet-bitmap tail over the same doc range (format-3 segments).
 pub(crate) fn seal_data(
     index: &Index,
+    facets: &FacetIndex,
     store: &DocStore,
     ordinals: &[u64],
     base: usize,
 ) -> Result<SegmentData, String> {
     let num = index.num_docs();
+    debug_assert_eq!(
+        facets.num_docs() as usize,
+        num,
+        "facet index must cover every indexed doc at seal time"
+    );
     let mut docs = Vec::with_capacity(num - base);
     for local in base..num {
         let id = index
@@ -201,6 +209,7 @@ pub(crate) fn seal_data(
     Ok(SegmentData {
         docs,
         postings: codec::encode_index_tail(index, base),
+        facets: facets.encode_tail(base as u32),
     })
 }
 
@@ -215,6 +224,7 @@ pub(crate) fn compact_shard(
     entry: &mut ShardManifest,
 ) -> Result<u64, StorageError> {
     let mut merged = Index::clinical();
+    let mut merged_facets = FacetIndex::new();
     let mut docs: Vec<StoredDoc> = Vec::new();
     for meta in &entry.segments {
         let path = shard_dir.join(&meta.file);
@@ -232,17 +242,53 @@ pub(crate) fn compact_shard(
                 seg.num_docs()
             )));
         }
+        let base = merged.num_docs() as u32;
+        if data.facets.is_empty() {
+            // A format-2 segment sealed before the facet region existed:
+            // recompute each doc's facets from its payload — the same
+            // derivation ingest runs, so the rewritten segment carries
+            // the bitmaps a fresh ingest would have produced.
+            for (pos, stored) in data.docs.iter().enumerate() {
+                let payload = parse_payload_bytes(&stored.payload).map_err(&corrupt)?;
+                let values = crate::facet_build::payload_facets(
+                    &payload.report,
+                    payload.extraction.as_ref(),
+                )
+                .map_err(&corrupt)?;
+                merged_facets.add_doc(base + pos as u32, values);
+            }
+            merged_facets.align_to(base + data.docs.len() as u32);
+        } else {
+            let seg_facets =
+                FacetIndex::decode(&data.facets).map_err(|e| corrupt(e.to_string()))?;
+            if seg_facets.num_docs() as usize != data.docs.len() {
+                return Err(corrupt(format!(
+                    "segment has {} stored docs but {} facet docs",
+                    data.docs.len(),
+                    seg_facets.num_docs()
+                )));
+            }
+            merged_facets.merge(seg_facets, base);
+        }
         merged
             .merge_segment(seg)
             .map_err(|e| corrupt(e.to_string()))?;
         docs.extend(data.docs);
     }
     let postings = codec::encode_index_tail(&merged, 0);
+    let facets = merged_facets.encode_tail(0);
     let count = docs.len() as u64;
     let min_ordinal = docs.first().map(|d| d.ordinal).unwrap_or(0);
     let max_ordinal = docs.last().map(|d| d.ordinal).unwrap_or(0);
     let file = segment_file_name(entry.next_segment_id);
-    let info = segment::write_segment(&shard_dir.join(&file), &SegmentData { docs, postings })?;
+    let info = segment::write_segment(
+        &shard_dir.join(&file),
+        &SegmentData {
+            docs,
+            postings,
+            facets,
+        },
+    )?;
     entry.segments = vec![SegmentMeta {
         file,
         docs: count,

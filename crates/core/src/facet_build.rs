@@ -1,0 +1,233 @@
+//! Deriving facet values for the ingest-time facet bitmaps.
+//!
+//! Every ingest path — single-document, batch, WAL replay, segment
+//! repair, legacy rebuild, compaction — must assign a document the same
+//! facet values, because the cohort planner's bitmap pushdown and the
+//! crash-recovery recomputation have to agree bit-for-bit with the
+//! facet region persisted in sealed segments. That is why everything
+//! here is a pure function of the ingest-time payload (metadata + body
+//! text + extracted mentions), never of post-hoc store state.
+//!
+//! Facet inventory (see [`create_index::facets::FacetField`]):
+//! * `category` — the report's coarse disease category;
+//! * `year` — publication year, as a decimal string;
+//! * `entity_type` — each distinct mention type in the extraction
+//!   (`"Sign_symptom"`, `"Medication"`, …);
+//! * `sex` — normalized to `"female"`/`"male"` from the first Sex
+//!   mention that matches a known pattern;
+//! * `age_band` — decade band (`"60-69"`) from the first Age mention
+//!   with a leading integer;
+//! * `tnm` / `icd` — rule-extracted staging components and dotted
+//!   ICD-10 codes from the body text
+//!   (see [`create_annotate::facets`]).
+
+use crate::pipeline::ExtractedAnnotations;
+use create_docstore::Value;
+use create_index::facets::FacetField;
+use create_ontology::EntityType;
+
+/// Computes the full facet-value list for one document, in canonical
+/// field order. Deterministic: same inputs, same output, always.
+pub(crate) fn facet_values(
+    category: &str,
+    year: u32,
+    text: &str,
+    annotations: &ExtractedAnnotations,
+) -> Vec<(FacetField, String)> {
+    let mut out: Vec<(FacetField, String)> = Vec::new();
+    out.push((FacetField::Category, category.to_string()));
+    out.push((FacetField::Year, year.to_string()));
+    for m in &annotations.mentions {
+        let label = m.etype.label().to_string();
+        if !out
+            .iter()
+            .any(|(f, v)| *f == FacetField::EntityType && *v == label)
+        {
+            out.push((FacetField::EntityType, label));
+        }
+    }
+    if let Some(sex) = annotations
+        .mentions
+        .iter()
+        .filter(|m| m.etype == EntityType::Sex)
+        .find_map(|m| normalize_sex(&m.text))
+    {
+        out.push((FacetField::Sex, sex.to_string()));
+    }
+    if let Some(band) = annotations
+        .mentions
+        .iter()
+        .filter(|m| m.etype == EntityType::Age)
+        .find_map(|m| age_band(&m.text))
+    {
+        out.push((FacetField::AgeBand, band));
+    }
+    for tnm in create_annotate::facets::extract_tnm(text) {
+        out.push((FacetField::Tnm, tnm));
+    }
+    for icd in create_annotate::facets::extract_icd(text) {
+        out.push((FacetField::Icd, icd));
+    }
+    out
+}
+
+/// Normalizes a Sex-mention surface form. Female patterns are checked
+/// first: "woman" contains "man", so the order is load-bearing.
+pub(crate) fn normalize_sex(surface: &str) -> Option<&'static str> {
+    let lower = surface.to_lowercase();
+    for female in ["female", "woman", "girl"] {
+        if lower.contains(female) {
+            return Some("female");
+        }
+    }
+    for male in ["male", "man", "boy"] {
+        if lower.contains(male) {
+            return Some("male");
+        }
+    }
+    None
+}
+
+/// Decade band from the leading integer of an Age mention
+/// (`"63-year-old"` → `"60-69"`).
+pub(crate) fn age_band(surface: &str) -> Option<String> {
+    let digits: String = surface
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    if digits.is_empty() || digits.len() > 3 {
+        return None;
+    }
+    let age: u32 = digits.parse().ok()?;
+    let lo = (age / 10) * 10;
+    Some(format!("{lo}-{}", lo + 9))
+}
+
+/// Recomputes a stored payload's facet values — the recovery path for
+/// format-2 segments (sealed before the facet region existed) and for
+/// compaction over mixed-format segment sets. Field defaults mirror the
+/// open path (`category` → `"other"`, malformed `year` → 2020) so a
+/// recomputed bitmap matches what ingest would have produced.
+pub(crate) fn payload_facets(
+    report: &Value,
+    extraction: Option<&Value>,
+) -> Result<Vec<(FacetField, String)>, String> {
+    let text = report
+        .get("text")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "stored report missing \"text\"".to_string())?;
+    let category = report
+        .get("category")
+        .and_then(Value::as_str)
+        .unwrap_or("other");
+    let year = report
+        .get("year")
+        .and_then(Value::as_i64)
+        .map(|y| y as u32)
+        .unwrap_or(2020);
+    let annotations = extraction
+        .and_then(|e| e.get("extraction"))
+        .and_then(ExtractedAnnotations::from_json)
+        .unwrap_or_default();
+    Ok(facet_values(category, year, text, &annotations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ResolvedMention;
+    use create_docstore::json::obj;
+
+    fn mention(text: &str, etype: EntityType) -> ResolvedMention {
+        ResolvedMention {
+            text: text.to_string(),
+            etype,
+            concept: None,
+            time_step: None,
+            span: None,
+        }
+    }
+
+    #[test]
+    fn sex_normalization_checks_female_first() {
+        assert_eq!(normalize_sex("a 63-year-old woman"), Some("female"));
+        assert_eq!(normalize_sex("Female"), Some("female"));
+        assert_eq!(normalize_sex("man"), Some("male"));
+        assert_eq!(normalize_sex("male patient"), Some("male"));
+        assert_eq!(normalize_sex("patient"), None);
+    }
+
+    #[test]
+    fn age_bands_are_decades() {
+        assert_eq!(age_band("63-year-old").as_deref(), Some("60-69"));
+        assert_eq!(age_band("7").as_deref(), Some("0-9"));
+        assert_eq!(age_band("104-year-old").as_deref(), Some("100-109"));
+        assert_eq!(age_band("year-old").is_none(), true);
+        assert_eq!(age_band("1234x").is_none(), true);
+    }
+
+    #[test]
+    fn facet_values_cover_every_field() {
+        let ann = ExtractedAnnotations {
+            mentions: vec![
+                mention("chest pain", EntityType::SignSymptom),
+                mention("aspirin", EntityType::Medication),
+                mention("chest pain", EntityType::SignSymptom),
+                mention("63-year-old", EntityType::Age),
+                mention("woman", EntityType::Sex),
+            ],
+            relations: Vec::new(),
+        };
+        let values = facet_values(
+            "cancer",
+            2019,
+            "Staging was pT2N0M0, coded C50.9.",
+            &ann,
+        );
+        assert!(values.contains(&(FacetField::Category, "cancer".into())));
+        assert!(values.contains(&(FacetField::Year, "2019".into())));
+        assert!(values.contains(&(FacetField::EntityType, "Sign_symptom".into())));
+        assert!(values.contains(&(FacetField::EntityType, "Medication".into())));
+        assert!(values.contains(&(FacetField::Sex, "female".into())));
+        assert!(values.contains(&(FacetField::AgeBand, "60-69".into())));
+        assert!(values.contains(&(FacetField::Tnm, "T2".into())));
+        assert!(values.contains(&(FacetField::Icd, "C50.9".into())));
+        // Entity types deduplicate.
+        let st = values
+            .iter()
+            .filter(|(f, v)| *f == FacetField::EntityType && v == "Sign_symptom")
+            .count();
+        assert_eq!(st, 1);
+    }
+
+    #[test]
+    fn payload_recompute_matches_direct_computation() {
+        let ann = ExtractedAnnotations {
+            mentions: vec![mention("fever", EntityType::SignSymptom)],
+            relations: Vec::new(),
+        };
+        let report = obj([
+            ("_id", "pmid:1".into()),
+            ("title", "t".into()),
+            ("text", "fever with J18.9".into()),
+            ("year", 2021_i64.into()),
+            ("category", "infectious".into()),
+        ]);
+        let extraction = obj([("_id", "pmid:1".into()), ("extraction", ann.to_json())]);
+        let direct = facet_values("infectious", 2021, "fever with J18.9", &ann);
+        let recomputed = payload_facets(&report, Some(&extraction)).unwrap();
+        assert_eq!(direct, recomputed);
+    }
+
+    #[test]
+    fn payload_recompute_defaults_mirror_open_path() {
+        let report = obj([
+            ("_id", "pmid:2".into()),
+            ("title", "t".into()),
+            ("text", "plain".into()),
+        ]);
+        let values = payload_facets(&report, None).unwrap();
+        assert!(values.contains(&(FacetField::Category, "other".into())));
+        assert!(values.contains(&(FacetField::Year, "2020".into())));
+    }
+}

@@ -17,22 +17,32 @@
 //! * [`graph_build`] — report → property-graph projection;
 //! * [`search`] — keyword engine, graph engine, merge policies;
 //! * [`eval`] — retrieval metrics (P@k, MRR, nDCG@k);
-//! * [`cache`] — generation-stamped LRU cache over merged search results;
+//! * [`cache`] — generation-stamped LRU cache over merged search results,
+//!   keyed by the canonical plan;
+//! * [`plan`] — the typed query-plan IR: lowering, normalization, and the
+//!   cohort-retrieval executor (filter pushdown over facet bitmaps plus
+//!   temporal-interval constraints);
 //! * [`durability`] — WAL/segment/manifest glue onto `create-storage`;
 //! * [`system`] — the [`Create`] facade tying it all together.
 
 pub mod cache;
 pub(crate) mod durability;
 pub mod eval;
+pub(crate) mod facet_build;
 pub mod graph_build;
 pub mod pipeline;
+pub mod plan;
 pub mod search;
 pub mod system;
 
 pub use cache::CacheStats;
 pub use pipeline::{ExtractedAnnotations, QueryIE};
+pub use plan::{
+    CohortCriteria, CohortResult, FacetCounts, FacetFilter, PlanMode, PlanNode, QueryPlan,
+    TemporalConstraint, TemporalOp,
+};
 pub use search::{MergePolicy, SearchHit, SearchSource};
 pub use system::{
-    Create, CreateConfig, GraphWriteGuard, IngestError, Snapshot, StorageStats, SystemStats,
-    TextSubmission,
+    Create, CreateConfig, FacetStats, GraphWriteGuard, IngestError, Snapshot, StorageStats,
+    SystemStats, TextSubmission,
 };

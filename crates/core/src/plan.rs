@@ -1,0 +1,1100 @@
+//! The typed logical query plan — one IR for both search surfaces.
+//!
+//! Every query, whether a plain `/search` string or a `/cohort` criteria
+//! document, is **lowered** into a [`QueryPlan`]: a flat list of typed
+//! [`PlanNode`]s (facet filters, keyword scoring, graph concept matching,
+//! temporal constraints, facet counting, and the final merge). The
+//! planner then **normalizes** the plan — filters are sorted into
+//! canonical field order with deduplicated values and pushed ahead of
+//! scoring, so two criteria documents that mean the same thing produce
+//! the same plan — and renders a [`QueryPlan::canonical_key`] used as the
+//! query-cache key (two spellings of one plan share a cache entry; two
+//! plans that differ anywhere never collide).
+//!
+//! Execution is per shard and bit-deterministic across shard counts:
+//!
+//! 1. **Filter** — each [`PlanNode::Filter`] unions its value runs from
+//!    the shard's [`FacetIndex`] and the filters intersect into one
+//!    sorted eligibility run (counted by
+//!    `create_bitmap_intersections_total`);
+//! 2. **Temporal** — each candidate report's events are lifted into a
+//!    [`TemporalGraph`] and every [`PlanNode::Temporal`] constraint must
+//!    be realized (transitively, Fig. 5) by some event pair;
+//! 3. **Keyword** — when the plan scores by keywords, each shard runs
+//!    BM25 under *merged* corpus statistics restricted to its eligible
+//!    run ([`Index::search_filtered`] — the pushdown). The naive mode
+//!    ([`PlanMode::Naive`]) ranks exhaustively and post-filters instead;
+//!    the two are bit-identical, which the equivalence suite asserts.
+//! 4. **FacetCount / Merge** — facet counts aggregate over the criteria-
+//!    eligible set (filters + temporal, independent of `k`), and the
+//!    per-shard top-k gather under `(score desc, ingest ordinal asc)` —
+//!    the same tie-break `shard_equivalence` locks in for search.
+
+use crate::search::{MergePolicy, SearchHit, SearchSource};
+use crate::system::ShardSnapshot;
+use create_docstore::json::obj;
+use create_docstore::Value;
+use create_graphdb::NodeId;
+use create_index::facets::{intersect, intersect_count, union, FacetField, FacetIndex};
+use create_index::{CorpusStats, Scorer};
+use create_obs::names as obs_names;
+use create_obs::Span;
+use create_ontology::{ConceptId, Ontology, RelationType};
+use create_temporal::TemporalGraph;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// One timeline step of the ingest pipeline's sentence clock spans about
+/// a month of narrative time — the conversion [`TemporalOp::Within`]
+/// uses to turn a day budget into a step budget.
+pub const STEP_DAYS: u32 = 30;
+
+/// A temporal-interval operator between two concepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemporalOp {
+    /// `a` strictly precedes `b`.
+    Before,
+    /// `a` strictly follows `b`.
+    After,
+    /// `a` and `b` happen within the same interval.
+    Overlaps,
+    /// `a` and `b` happen within the given number of days of each other
+    /// (symmetric; steps are ~[`STEP_DAYS`] apart).
+    Within(u32),
+}
+
+impl TemporalOp {
+    /// Stable wire label (the criteria-JSON `op` values).
+    pub fn label(self) -> &'static str {
+        match self {
+            TemporalOp::Before => "before",
+            TemporalOp::After => "after",
+            TemporalOp::Overlaps => "overlaps",
+            TemporalOp::Within(_) => "within",
+        }
+    }
+}
+
+/// A facet filter: the document must carry at least one of `values` for
+/// `field` (values OR together; separate filters AND together).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FacetFilter {
+    /// The facet field to filter on.
+    pub field: FacetField,
+    /// Accepted values (any-of).
+    pub values: Vec<String>,
+}
+
+/// A temporal constraint between two ontology concepts: some event pair
+/// mentioning them must realize `op` on the report's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemporalConstraint {
+    /// Surface text the first concept was resolved from.
+    pub a_text: String,
+    /// The first concept.
+    pub a: ConceptId,
+    /// Surface text the second concept was resolved from.
+    pub b_text: String,
+    /// The second concept.
+    pub b: ConceptId,
+    /// The required interval relation.
+    pub op: TemporalOp,
+}
+
+/// One node of the logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Restrict candidates by a facet bitmap.
+    Filter(FacetFilter),
+    /// Score candidates by BM25 over the raw query text.
+    Keyword {
+        /// The raw keyword text.
+        text: String,
+    },
+    /// Require every concept to be mentioned (the graph engine's leg of
+    /// a search plan), optionally with a temporal pattern.
+    GraphMatch {
+        /// Concepts every matching report must mention.
+        concepts: Vec<ConceptId>,
+        /// A detected temporal pattern between two of them.
+        pattern: Option<(ConceptId, ConceptId, RelationType)>,
+    },
+    /// Require a temporal-interval relation between two concepts.
+    Temporal(TemporalConstraint),
+    /// Count eligible documents per value of a facet field.
+    FacetCount {
+        /// The field to aggregate.
+        field: FacetField,
+    },
+    /// Merge the engine legs and cap the result.
+    Merge {
+        /// The result-merge policy.
+        policy: MergePolicy,
+        /// Result cap.
+        k: usize,
+    },
+}
+
+impl PlanNode {
+    /// Canonical-order rank: filters first (pushdown), then temporal
+    /// pruning, then the scoring legs, then aggregation, merge last.
+    fn rank(&self) -> u8 {
+        match self {
+            PlanNode::Filter(_) => 0,
+            PlanNode::Temporal(_) => 1,
+            PlanNode::GraphMatch { .. } => 2,
+            PlanNode::Keyword { .. } => 3,
+            PlanNode::FacetCount { .. } => 4,
+            PlanNode::Merge { .. } => 5,
+        }
+    }
+
+    /// Renders the node into the canonical key.
+    fn key_fragment(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            PlanNode::Filter(f) => {
+                let _ = write!(out, "filter:{}=", f.field.label());
+                for (i, v) in f.values.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(v);
+                }
+            }
+            PlanNode::Keyword { text } => {
+                let _ = write!(out, "keyword:{text}");
+            }
+            PlanNode::GraphMatch { concepts, pattern } => {
+                out.push_str("graph:");
+                for (i, c) in concepts.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{c}");
+                }
+                if let Some((a, b, rel)) = pattern {
+                    let _ = write!(out, ";pattern={a}~{rel:?}~{b}");
+                }
+            }
+            PlanNode::Temporal(t) => {
+                let _ = write!(out, "temporal:{}(", t.op.label());
+                if let TemporalOp::Within(days) = t.op {
+                    let _ = write!(out, "{days}d,");
+                }
+                let _ = write!(out, "{},{})", t.a, t.b);
+            }
+            PlanNode::FacetCount { field } => {
+                let _ = write!(out, "count:{}", field.label());
+            }
+            PlanNode::Merge { policy, k } => {
+                let _ = write!(out, "merge:{}:k={k}", policy.label());
+            }
+        }
+    }
+}
+
+/// Whether the physical executor may use the optimized operator order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Filter pushdown below keyword scoring (the default).
+    Optimized,
+    /// Rank exhaustively, then post-filter — the reference order the
+    /// equivalence tests compare against.
+    Naive,
+}
+
+/// A lowered logical plan: a flat node list, canonicalized by
+/// [`QueryPlan::optimize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// The plan's nodes, in execution order after `optimize`.
+    pub nodes: Vec<PlanNode>,
+}
+
+impl QueryPlan {
+    /// Normalizes the plan: filter values sorted + deduplicated, empty
+    /// filters dropped, nodes stably sorted into canonical rank order
+    /// (filters ahead of scoring — the logical form of the pushdown;
+    /// ties keep lowering order). Idempotent.
+    pub fn optimize(mut self) -> QueryPlan {
+        for node in &mut self.nodes {
+            if let PlanNode::Filter(f) = node {
+                f.values.sort();
+                f.values.dedup();
+            }
+        }
+        self.nodes.retain(|n| match n {
+            PlanNode::Filter(f) => !f.values.is_empty(),
+            _ => true,
+        });
+        self.nodes.sort_by_key(PlanNode::rank);
+        // Filters additionally sort by field so equal criteria sets
+        // canonicalize identically regardless of authoring order.
+        let filter_end = self
+            .nodes
+            .partition_point(|n| matches!(n, PlanNode::Filter(_)));
+        self.nodes[..filter_end].sort_by(|a, b| match (a, b) {
+            (PlanNode::Filter(x), PlanNode::Filter(y)) => {
+                x.field.cmp(&y.field).then_with(|| x.values.cmp(&y.values))
+            }
+            _ => std::cmp::Ordering::Equal,
+        });
+        self
+    }
+
+    /// The canonical cache key: a deterministic rendering of the
+    /// (optimized) plan. Every semantic element of the plan — filters,
+    /// concepts, operators, `k`, policy — appears in the key, so no two
+    /// distinct plans collide and equivalent spellings share.
+    pub fn canonical_key(&self) -> String {
+        let mut out = String::from("plan/1|");
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push('|');
+            }
+            node.key_fragment(&mut out);
+        }
+        out
+    }
+
+    /// Counts this plan's nodes into `create_plan_nodes_total`.
+    pub(crate) fn note_nodes(&self) {
+        if create_obs::enabled() {
+            create_obs::counter(obs_names::PLAN_NODES_TOTAL).inc_by(self.nodes.len() as u64);
+        }
+    }
+
+    /// True when the plan has a graph-engine leg.
+    pub(crate) fn has_graph(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| matches!(n, PlanNode::GraphMatch { .. }))
+    }
+
+    /// True when the plan has a keyword-scoring leg.
+    pub(crate) fn has_keyword(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| matches!(n, PlanNode::Keyword { .. }))
+    }
+}
+
+/// Lowers a plain search query (text + IE parse + merge policy) into the
+/// IR. The graph leg carries the parsed concepts and temporal pattern;
+/// policies that disable an engine simply omit its node.
+pub fn lower_search(
+    query: &str,
+    parsed: &crate::pipeline::QueryIE,
+    k: usize,
+    policy: MergePolicy,
+) -> QueryPlan {
+    let mut nodes = Vec::new();
+    if policy != MergePolicy::EsOnly {
+        nodes.push(PlanNode::GraphMatch {
+            concepts: parsed.event_concepts(),
+            pattern: parsed.pattern,
+        });
+    }
+    if policy != MergePolicy::GraphOnly {
+        nodes.push(PlanNode::Keyword {
+            text: query.to_string(),
+        });
+    }
+    nodes.push(PlanNode::Merge { policy, k });
+    QueryPlan { nodes }
+}
+
+/// A parsed `/cohort` criteria document (see [`parse_cohort_criteria`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortCriteria {
+    /// Facet filters (AND across filters, OR across one filter's values).
+    pub filters: Vec<FacetFilter>,
+    /// Optional keyword scoring text.
+    pub keywords: Option<String>,
+    /// Temporal constraints (all must hold).
+    pub temporal: Vec<TemporalConstraint>,
+    /// Facet fields to aggregate counts for.
+    pub facet_counts: Vec<FacetField>,
+    /// Result cap.
+    pub k: usize,
+}
+
+/// Lowers cohort criteria into the IR.
+pub fn lower_cohort(criteria: &CohortCriteria) -> QueryPlan {
+    let mut nodes = Vec::new();
+    for f in &criteria.filters {
+        nodes.push(PlanNode::Filter(f.clone()));
+    }
+    for t in &criteria.temporal {
+        nodes.push(PlanNode::Temporal(t.clone()));
+    }
+    if let Some(text) = &criteria.keywords {
+        nodes.push(PlanNode::Keyword { text: text.clone() });
+    }
+    for &field in &criteria.facet_counts {
+        nodes.push(PlanNode::FacetCount { field });
+    }
+    nodes.push(PlanNode::Merge {
+        policy: MergePolicy::EsOnly,
+        k: criteria.k,
+    });
+    QueryPlan { nodes }
+}
+
+/// Default result cap for criteria documents that omit `k`.
+const DEFAULT_COHORT_K: usize = 10;
+
+/// Parses a criteria JSON document:
+///
+/// ```json
+/// {
+///   "filters": [{"field": "category", "values": ["cancer"]}],
+///   "keywords": "chest pain",
+///   "temporal": [{"a": "fever", "op": "before", "b": "cough"},
+///                {"a": "fever", "op": "within", "days": 60, "b": "cough"}],
+///   "facets": ["sex", "age_band"],
+///   "k": 10
+/// }
+/// ```
+///
+/// Temporal endpoints are surface strings resolved against the ontology;
+/// an unresolvable term or unknown field/op label is an error (the
+/// server maps it to 400).
+pub fn parse_cohort_criteria(json: &Value, ontology: &Ontology) -> Result<CohortCriteria, String> {
+    let mut filters = Vec::new();
+    if let Some(list) = json.get("filters") {
+        let list = list
+            .as_array()
+            .ok_or_else(|| "\"filters\" must be an array".to_string())?;
+        for item in list {
+            let label = item
+                .get("field")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "filter missing \"field\"".to_string())?;
+            let field = FacetField::parse(label)
+                .ok_or_else(|| format!("unknown facet field {label:?}"))?;
+            let mut values = Vec::new();
+            match (item.get("values"), item.get("value")) {
+                (Some(vs), _) => {
+                    for v in vs
+                        .as_array()
+                        .ok_or_else(|| "filter \"values\" must be an array".to_string())?
+                    {
+                        values.push(
+                            v.as_str()
+                                .ok_or_else(|| "filter values must be strings".to_string())?
+                                .to_string(),
+                        );
+                    }
+                }
+                (None, Some(v)) => values.push(
+                    v.as_str()
+                        .ok_or_else(|| "filter \"value\" must be a string".to_string())?
+                        .to_string(),
+                ),
+                (None, None) => return Err(format!("filter on {label:?} has no values")),
+            }
+            filters.push(FacetFilter { field, values });
+        }
+    }
+    let keywords = match json.get("keywords") {
+        None => None,
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| "\"keywords\" must be a string".to_string())?
+                .to_string(),
+        ),
+    };
+    let mut temporal = Vec::new();
+    if let Some(list) = json.get("temporal") {
+        let list = list
+            .as_array()
+            .ok_or_else(|| "\"temporal\" must be an array".to_string())?;
+        for item in list {
+            let a_text = item
+                .get("a")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "temporal constraint missing \"a\"".to_string())?;
+            let b_text = item
+                .get("b")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "temporal constraint missing \"b\"".to_string())?;
+            let op_label = item
+                .get("op")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "temporal constraint missing \"op\"".to_string())?;
+            let op = match op_label {
+                "before" => TemporalOp::Before,
+                "after" => TemporalOp::After,
+                "overlaps" | "overlap" => TemporalOp::Overlaps,
+                "within" => {
+                    let days = item
+                        .get("days")
+                        .and_then(Value::as_i64)
+                        .filter(|&d| d >= 0)
+                        .ok_or_else(|| {
+                            "\"within\" constraint needs a non-negative \"days\"".to_string()
+                        })?;
+                    TemporalOp::Within(days as u32)
+                }
+                other => return Err(format!("unknown temporal op {other:?}")),
+            };
+            let resolve = |text: &str| -> Result<ConceptId, String> {
+                ontology
+                    .normalize(text, None)
+                    .map(|n| n.concept)
+                    .ok_or_else(|| format!("cannot resolve {text:?} to a concept"))
+            };
+            temporal.push(TemporalConstraint {
+                a_text: a_text.to_string(),
+                a: resolve(a_text)?,
+                b_text: b_text.to_string(),
+                b: resolve(b_text)?,
+                op,
+            });
+        }
+    }
+    let mut facet_counts = Vec::new();
+    if let Some(list) = json.get("facets") {
+        for v in list
+            .as_array()
+            .ok_or_else(|| "\"facets\" must be an array".to_string())?
+        {
+            let label = v
+                .as_str()
+                .ok_or_else(|| "facet labels must be strings".to_string())?;
+            let field = FacetField::parse(label)
+                .ok_or_else(|| format!("unknown facet field {label:?}"))?;
+            if !facet_counts.contains(&field) {
+                facet_counts.push(field);
+            }
+        }
+    }
+    let k = match json.get("k") {
+        None => DEFAULT_COHORT_K,
+        Some(v) => v
+            .as_i64()
+            .filter(|&k| k > 0)
+            .ok_or_else(|| "\"k\" must be a positive integer".to_string())? as usize,
+    };
+    if filters.is_empty() && keywords.is_none() && temporal.is_empty() {
+        return Err("criteria must include at least one filter, keyword, or temporal constraint"
+            .to_string());
+    }
+    Ok(CohortCriteria {
+        filters,
+        keywords,
+        temporal,
+        facet_counts,
+        k,
+    })
+}
+
+/// Per-value counts of one facet field over the eligible cohort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FacetCounts {
+    /// The aggregated field.
+    pub field: FacetField,
+    /// `(value, matching docs)`, in value order; zero counts omitted.
+    pub counts: Vec<(String, u64)>,
+}
+
+/// A cohort query answer: ranked reports plus aggregations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortResult {
+    /// Top-k reports (BM25-ranked when the criteria carry keywords,
+    /// ingest order otherwise).
+    pub hits: Vec<SearchHit>,
+    /// Total documents matching the criteria (independent of `k`).
+    pub total_matched: u64,
+    /// Requested facet aggregations over the matching set, in canonical
+    /// field order.
+    pub facets: Vec<FacetCounts>,
+}
+
+impl CohortResult {
+    /// Renders the REST answer body.
+    pub fn to_json(&self) -> Value {
+        let hits: Vec<Value> = self
+            .hits
+            .iter()
+            .map(|h| {
+                obj([
+                    ("reportId", h.report_id.as_str().into()),
+                    ("score", h.score.into()),
+                ])
+            })
+            .collect();
+        let facets: Vec<Value> = self
+            .facets
+            .iter()
+            .map(|f| {
+                let counts: Vec<Value> = f
+                    .counts
+                    .iter()
+                    .map(|(v, c)| {
+                        obj([("value", v.as_str().into()), ("count", (*c as f64).into())])
+                    })
+                    .collect();
+                obj([
+                    ("field", f.field.label().into()),
+                    ("counts", Value::Array(counts)),
+                ])
+            })
+            .collect();
+        obj([
+            ("hits", Value::Array(hits)),
+            ("totalMatched", (self.total_matched as f64).into()),
+            ("facets", Value::Array(facets)),
+        ])
+    }
+}
+
+/// One event of a report lifted out of the property graph for temporal
+/// checking.
+struct ReportEvent {
+    cui: Option<ConceptId>,
+    step: Option<f64>,
+}
+
+/// The per-shard temporal checker: resolves reports to graph nodes once,
+/// then evaluates constraints per candidate document.
+struct TemporalChecker<'a> {
+    shard: &'a ShardSnapshot,
+    report_nodes: HashMap<String, NodeId>,
+}
+
+impl<'a> TemporalChecker<'a> {
+    fn new(shard: &'a ShardSnapshot) -> TemporalChecker<'a> {
+        let graph = &shard.graph;
+        let mut report_nodes = HashMap::new();
+        for id in graph.nodes_with_label("Report") {
+            if let Some(rid) = graph
+                .node(id)
+                .and_then(|n| n.props.get("reportId"))
+                .and_then(|v| v.as_str())
+            {
+                report_nodes.insert(rid.to_string(), id);
+            }
+        }
+        TemporalChecker {
+            shard,
+            report_nodes,
+        }
+    }
+
+    /// Loads a document's events and the temporal graph over them.
+    fn events_of(&self, doc: u32) -> Option<(Vec<ReportEvent>, TemporalGraph)> {
+        let rid = self.shard.index.external_id(doc)?;
+        let graph = &self.shard.graph;
+        let &report = self.report_nodes.get(rid)?;
+        let event_nodes: Vec<NodeId> = graph
+            .outgoing(report)
+            .into_iter()
+            .filter(|e| e.rel_type == "CONTAINS")
+            .map(|e| e.target)
+            .collect();
+        let index_of: HashMap<NodeId, usize> = event_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+        let mut events = Vec::with_capacity(event_nodes.len());
+        let mut tg = TemporalGraph::new(
+            event_nodes
+                .iter()
+                .map(|&n| format!("event-{n:?}"))
+                .collect(),
+        );
+        for (i, &node) in event_nodes.iter().enumerate() {
+            let n = graph.node(node)?;
+            events.push(ReportEvent {
+                cui: n
+                    .props
+                    .get("cui")
+                    .and_then(|v| v.as_str())
+                    .and_then(ConceptId::parse),
+                step: n.props.get("step").and_then(|v| v.as_f64()),
+            });
+            for edge in graph.outgoing(node) {
+                let rel = match edge.rel_type.as_str() {
+                    "BEFORE" => RelationType::Before,
+                    "OVERLAP" => RelationType::Overlap,
+                    _ => continue,
+                };
+                if let Some(&j) = index_of.get(&edge.target) {
+                    if i != j {
+                        tg.add_edge(i, j, rel);
+                    }
+                }
+            }
+        }
+        Some((events, tg))
+    }
+
+    /// True when the document realizes every constraint: for each, some
+    /// event pair mentioning the two concepts must satisfy the operator —
+    /// derived transitively through the temporal graph when possible,
+    /// falling back to the events' timeline steps (the ground truth the
+    /// graph's edges were built from) when the relation is not derivable
+    /// from explicit edges.
+    fn satisfies_all(&self, doc: u32, constraints: &[&TemporalConstraint]) -> bool {
+        let Some((events, tg)) = self.events_of(doc) else {
+            return false;
+        };
+        constraints.iter().all(|c| {
+            let of = |concept: ConceptId| -> Vec<usize> {
+                events
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.cui == Some(concept))
+                    .map(|(i, _)| i)
+                    .collect()
+            };
+            let az = of(c.a);
+            let bz = of(c.b);
+            az.iter().any(|&ia| {
+                bz.iter().any(|&ib| match c.op {
+                    TemporalOp::Within(days) => match (events[ia].step, events[ib].step) {
+                        (Some(sa), Some(sb)) => {
+                            (sa - sb).abs() * f64::from(STEP_DAYS) <= f64::from(days)
+                        }
+                        _ => false,
+                    },
+                    op => {
+                        let rel = match op {
+                            TemporalOp::Before => RelationType::Before,
+                            TemporalOp::After => RelationType::After,
+                            TemporalOp::Overlaps => RelationType::Overlap,
+                            TemporalOp::Within(_) => unreachable!("handled above"),
+                        };
+                        if ia != ib {
+                            if let Some(derived) = tg.infer(ia, ib) {
+                                return derived == rel;
+                            }
+                        }
+                        match (events[ia].step, events[ib].step) {
+                            (Some(sa), Some(sb)) => match rel {
+                                RelationType::Before => sa < sb,
+                                RelationType::After => sa > sb,
+                                RelationType::Overlap => (sa - sb).abs() < f64::EPSILON,
+                                _ => false,
+                            },
+                            _ => false,
+                        }
+                    }
+                })
+            })
+        })
+    }
+}
+
+/// Counts a bitmap intersection into `create_bitmap_intersections_total`.
+fn note_intersections(n: u64) {
+    if create_obs::enabled() && n > 0 {
+        create_obs::counter(obs_names::BITMAP_INTERSECTIONS_TOTAL).inc_by(n);
+    }
+}
+
+/// The sorted doc-id run a shard's filters admit: per filter, the union
+/// of its value runs; across filters, the intersection. No filters means
+/// every document.
+fn shard_filter_run(facets: &FacetIndex, num_docs: u32, filters: &[&FacetFilter]) -> Vec<u32> {
+    if filters.is_empty() {
+        return (0..num_docs).collect();
+    }
+    let mut acc: Option<Vec<u32>> = None;
+    for filter in filters {
+        let runs: Vec<&[u32]> = filter
+            .values
+            .iter()
+            .filter_map(|v| facets.run(filter.field, v))
+            .collect();
+        let admitted = union(&runs);
+        acc = Some(match acc {
+            None => admitted,
+            Some(prev) => {
+                note_intersections(1);
+                intersect(&prev, &admitted)
+            }
+        });
+        if acc.as_ref().is_some_and(Vec::is_empty) {
+            return Vec::new();
+        }
+    }
+    acc.unwrap_or_default()
+}
+
+/// Executes a cohort plan over a snapshot's shards.
+///
+/// Stage spans (`filter`, `temporal`, `keyword_search`, `facet_count`,
+/// `merge`) record into the shared query-stage histogram; per-shard work
+/// runs under `cohort_shard` spans, mirroring the search scatter.
+pub(crate) fn execute_cohort(
+    shards: &[Arc<ShardSnapshot>],
+    plan: &QueryPlan,
+    mode: PlanMode,
+) -> CohortResult {
+    plan.note_nodes();
+    let mut filters: Vec<&FacetFilter> = Vec::new();
+    let mut temporals: Vec<&TemporalConstraint> = Vec::new();
+    let mut keyword: Option<&str> = None;
+    let mut facet_fields: Vec<FacetField> = Vec::new();
+    let mut k = DEFAULT_COHORT_K;
+    for node in &plan.nodes {
+        match node {
+            PlanNode::Filter(f) => filters.push(f),
+            PlanNode::Temporal(t) => temporals.push(t),
+            PlanNode::Keyword { text } => keyword = Some(text),
+            PlanNode::FacetCount { field } => facet_fields.push(*field),
+            PlanNode::Merge { k: cap, .. } => k = *cap,
+            PlanNode::GraphMatch { .. } => {}
+        }
+    }
+
+    // 1) Filter: one sorted eligibility run per shard.
+    let mut eligible: Vec<Vec<u32>> = {
+        let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_FILTER);
+        shards
+            .iter()
+            .enumerate()
+            .map(|(no, shard)| {
+                let _shard = create_obs::shard_span(obs_names::SPAN_COHORT_SHARD, no as u32);
+                shard_filter_run(&shard.facets, shard.index.num_docs() as u32, &filters)
+            })
+            .collect()
+    };
+
+    // 2) Temporal: prune candidates that fail any interval constraint.
+    if !temporals.is_empty() {
+        let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_TEMPORAL);
+        for (no, shard) in shards.iter().enumerate() {
+            let _shard = create_obs::shard_span(obs_names::SPAN_COHORT_SHARD, no as u32);
+            let checker = TemporalChecker::new(shard);
+            eligible[no].retain(|&doc| checker.satisfies_all(doc, &temporals));
+        }
+    }
+
+    // 3) Rank: BM25 under merged corpus statistics restricted to the
+    // eligible runs (pushdown), or exhaustively-then-filter (naive) —
+    // bit-identical by construction. Without keywords, ingest order.
+    let mut gathered: Vec<(f64, u64, String)> = Vec::new();
+    match keyword {
+        Some(text) => {
+            let _span = Span::enter(
+                obs_names::QUERY_STAGE_SECONDS,
+                obs_names::QSTAGE_KEYWORD_SEARCH,
+            );
+            let q = crate::search::keyword_query(&shards[0].index, text);
+            // Merged stats even at N=1 so the scoring formula's inputs
+            // are shard-count-invariant by construction.
+            let mut stats = CorpusStats::default();
+            for shard in shards {
+                stats.merge(&CorpusStats::collect(&shard.index, &q));
+            }
+            for (no, shard) in shards.iter().enumerate() {
+                let _shard = create_obs::shard_span(obs_names::SPAN_COHORT_SHARD, no as u32);
+                note_intersections(1);
+                let scored = match mode {
+                    PlanMode::Optimized => shard.index.search_filtered(
+                        &q,
+                        k,
+                        Scorer::default(),
+                        Some(&stats),
+                        &eligible[no],
+                    ),
+                    PlanMode::Naive => {
+                        let all = shard.index.search_with_stats(
+                            &q,
+                            shard.index.num_docs(),
+                            Scorer::default(),
+                            Some(&stats),
+                        );
+                        all.into_iter()
+                            .filter(|s| eligible[no].binary_search(&s.doc).is_ok())
+                            .take(k)
+                            .collect()
+                    }
+                };
+                for s in scored {
+                    gathered.push((s.score, shard.ordinals[s.doc as usize], s.external_id));
+                }
+            }
+        }
+        None => {
+            for (no, shard) in shards.iter().enumerate() {
+                for &doc in eligible[no].iter().take(k) {
+                    let id = shard
+                        .index
+                        .external_id(doc)
+                        .unwrap_or_default()
+                        .to_string();
+                    gathered.push((0.0, shard.ordinals[doc as usize], id));
+                }
+            }
+        }
+    }
+
+    // 4) Facet counts over the full criteria-eligible set (independent
+    // of k and of the keyword ranking).
+    let mut counts: BTreeMap<(FacetField, String), u64> = BTreeMap::new();
+    if !facet_fields.is_empty() {
+        let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_FACET_COUNT);
+        for (no, shard) in shards.iter().enumerate() {
+            let _shard = create_obs::shard_span(obs_names::SPAN_COHORT_SHARD, no as u32);
+            for &field in &facet_fields {
+                for (value, run) in shard.facets.values(field) {
+                    note_intersections(1);
+                    let c = intersect_count(run, &eligible[no]);
+                    if c > 0 {
+                        *counts.entry((field, value.to_string())).or_insert(0) += c;
+                    }
+                }
+            }
+        }
+    }
+
+    // 5) Merge: the shard_equivalence tie-break — score descending by
+    // total_cmp, global ingest ordinal ascending.
+    let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_MERGE);
+    gathered.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    gathered.truncate(k);
+    let hits = gathered
+        .into_iter()
+        .map(|(score, _, report_id)| SearchHit {
+            report_id,
+            score,
+            source: SearchSource::Keyword,
+            pattern_matched: false,
+        })
+        .collect();
+    let facets = facet_fields
+        .iter()
+        .map(|&field| FacetCounts {
+            field,
+            counts: counts
+                .iter()
+                .filter(|((f, _), _)| *f == field)
+                .map(|((_, v), c)| (v.clone(), *c))
+                .collect(),
+        })
+        .collect();
+    CohortResult {
+        hits,
+        total_matched: eligible.iter().map(|e| e.len() as u64).sum(),
+        facets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_docstore::json::parse_json;
+    use create_ontology::clinical_ontology;
+
+    fn filter(field: FacetField, values: &[&str]) -> PlanNode {
+        PlanNode::Filter(FacetFilter {
+            field,
+            values: values.iter().map(|v| v.to_string()).collect(),
+        })
+    }
+
+    #[test]
+    fn optimize_is_canonical_and_idempotent() {
+        let plan = QueryPlan {
+            nodes: vec![
+                PlanNode::Merge {
+                    policy: MergePolicy::EsOnly,
+                    k: 5,
+                },
+                PlanNode::Keyword {
+                    text: "fever".into(),
+                },
+                filter(FacetField::Year, &["2019", "2018", "2019"]),
+                filter(FacetField::Category, &["cancer"]),
+            ],
+        };
+        let optimized = plan.clone().optimize();
+        assert!(matches!(
+            optimized.nodes[0],
+            PlanNode::Filter(FacetFilter {
+                field: FacetField::Category,
+                ..
+            })
+        ));
+        if let PlanNode::Filter(f) = &optimized.nodes[1] {
+            assert_eq!(f.values, vec!["2018", "2019"], "sorted + deduped");
+        } else {
+            panic!("filter expected");
+        }
+        assert!(matches!(optimized.nodes.last(), Some(PlanNode::Merge { .. })));
+        assert_eq!(optimized.clone().optimize(), optimized, "idempotent");
+        // Authoring order must not leak into the canonical key.
+        let reordered = QueryPlan {
+            nodes: vec![
+                filter(FacetField::Category, &["cancer"]),
+                filter(FacetField::Year, &["2018", "2019"]),
+                PlanNode::Keyword {
+                    text: "fever".into(),
+                },
+                PlanNode::Merge {
+                    policy: MergePolicy::EsOnly,
+                    k: 5,
+                },
+            ],
+        }
+        .optimize();
+        assert_eq!(reordered.canonical_key(), optimized.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_every_dimension() {
+        let base = QueryPlan {
+            nodes: vec![
+                filter(FacetField::Sex, &["female"]),
+                PlanNode::Merge {
+                    policy: MergePolicy::EsOnly,
+                    k: 10,
+                },
+            ],
+        }
+        .optimize();
+        let other_value = QueryPlan {
+            nodes: vec![
+                filter(FacetField::Sex, &["male"]),
+                PlanNode::Merge {
+                    policy: MergePolicy::EsOnly,
+                    k: 10,
+                },
+            ],
+        }
+        .optimize();
+        let other_k = QueryPlan {
+            nodes: vec![
+                filter(FacetField::Sex, &["female"]),
+                PlanNode::Merge {
+                    policy: MergePolicy::EsOnly,
+                    k: 20,
+                },
+            ],
+        }
+        .optimize();
+        let keys = [
+            base.canonical_key(),
+            other_value.canonical_key(),
+            other_k.canonical_key(),
+        ];
+        assert_eq!(
+            keys.iter().collect::<std::collections::HashSet<_>>().len(),
+            3,
+            "{keys:?}"
+        );
+    }
+
+    #[test]
+    fn empty_filters_are_dropped() {
+        let plan = QueryPlan {
+            nodes: vec![
+                filter(FacetField::Tnm, &[]),
+                PlanNode::Merge {
+                    policy: MergePolicy::EsOnly,
+                    k: 3,
+                },
+            ],
+        }
+        .optimize();
+        assert_eq!(plan.nodes.len(), 1);
+    }
+
+    #[test]
+    fn criteria_parse_roundtrip() {
+        let ontology = clinical_ontology();
+        let json = parse_json(
+            r#"{
+                "filters": [{"field": "category", "values": ["cancer"]},
+                            {"field": "sex", "value": "female"}],
+                "keywords": "chest pain",
+                "temporal": [{"a": "fever", "op": "before", "b": "cough"},
+                             {"a": "fever", "op": "within", "days": 60, "b": "cough"}],
+                "facets": ["year", "sex", "year"],
+                "k": 7
+            }"#,
+        )
+        .unwrap();
+        let criteria = parse_cohort_criteria(&json, &ontology).unwrap();
+        assert_eq!(criteria.filters.len(), 2);
+        assert_eq!(criteria.filters[1].values, vec!["female"]);
+        assert_eq!(criteria.keywords.as_deref(), Some("chest pain"));
+        assert_eq!(criteria.temporal.len(), 2);
+        assert_eq!(criteria.temporal[0].op, TemporalOp::Before);
+        assert_eq!(criteria.temporal[1].op, TemporalOp::Within(60));
+        assert_eq!(
+            criteria.facet_counts,
+            vec![FacetField::Year, FacetField::Sex],
+            "deduplicated, order kept"
+        );
+        assert_eq!(criteria.k, 7);
+    }
+
+    #[test]
+    fn criteria_parse_rejects_bad_input() {
+        let ontology = clinical_ontology();
+        for bad in [
+            r#"{}"#,
+            r#"{"filters": [{"field": "nope", "values": ["x"]}]}"#,
+            r#"{"filters": [{"field": "sex"}]}"#,
+            r#"{"temporal": [{"a": "fever", "op": "sideways", "b": "cough"}]}"#,
+            r#"{"temporal": [{"a": "fever", "op": "within", "b": "cough"}]}"#,
+            r#"{"temporal": [{"a": "zzzz-not-a-term", "op": "before", "b": "cough"}]}"#,
+            r#"{"filters": [{"field": "sex", "value": "female"}], "k": 0}"#,
+        ] {
+            let json = parse_json(bad).unwrap();
+            assert!(
+                parse_cohort_criteria(&json, &ontology).is_err(),
+                "should reject {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowering_search_respects_policy() {
+        let ontology = clinical_ontology();
+        let parsed = crate::pipeline::QueryIE::parse_gazetteer("fever then cough", &ontology);
+        let both = lower_search("fever then cough", &parsed, 10, MergePolicy::Neo4jFirst);
+        assert!(both.has_graph() && both.has_keyword());
+        let es = lower_search("fever then cough", &parsed, 10, MergePolicy::EsOnly);
+        assert!(!es.has_graph() && es.has_keyword());
+        let graph = lower_search("fever then cough", &parsed, 10, MergePolicy::GraphOnly);
+        assert!(graph.has_graph() && !graph.has_keyword());
+    }
+
+    #[test]
+    fn cohort_result_json_shape() {
+        let result = CohortResult {
+            hits: vec![SearchHit {
+                report_id: "pmid:1".into(),
+                score: 1.5,
+                source: SearchSource::Keyword,
+                pattern_matched: false,
+            }],
+            total_matched: 3,
+            facets: vec![FacetCounts {
+                field: FacetField::Sex,
+                counts: vec![("female".into(), 2), ("male".into(), 1)],
+            }],
+        };
+        let json = result.to_json();
+        assert_eq!(
+            json.get("totalMatched").and_then(Value::as_i64),
+            Some(3)
+        );
+        let hits = json.get("hits").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            hits[0].get("reportId").and_then(Value::as_str),
+            Some("pmid:1")
+        );
+        let facets = json.get("facets").and_then(Value::as_array).unwrap();
+        assert_eq!(facets[0].get("field").and_then(Value::as_str), Some("sex"));
+    }
+}

@@ -246,7 +246,7 @@ impl GraphSearcher {
 /// n-gram field). Analysis depends only on the index's field
 /// configuration, which is identical across shards, so a query built
 /// against any shard's index works against all of them.
-fn keyword_query(index: &Index, query_text: &str) -> QueryNode {
+pub(crate) fn keyword_query(index: &Index, query_text: &str) -> QueryNode {
     QueryNode::Bool {
         must: vec![],
         should: vec![

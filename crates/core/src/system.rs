@@ -19,14 +19,17 @@
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::durability::{self, ShardStorage, StorageRoot, WalRecord};
+use crate::facet_build::facet_values;
 use crate::graph_build::{GraphBuilder, ReportMeta};
 use crate::pipeline::{ExtractedAnnotations, QueryIE};
+use crate::plan::{self, CohortCriteria, CohortResult, PlanMode, QueryPlan};
 use crate::search::{scatter_graph_search, scatter_keyword_search, MergePolicy, SearchHit};
 use create_annotate::{case_report_to_brat, BratDocument};
 use create_corpus::CaseReport;
 use create_docstore::{json::obj, DocStore, Filter, StoreSnapshot, Value};
 use create_graphdb::PropertyGraph;
 use create_grobid::{process_pdf, ExtractedDocument, PdfError};
+use create_index::facets::FacetIndex;
 use create_index::Index;
 use create_index::IndexSegment;
 use create_ner::CrfTagger;
@@ -145,6 +148,9 @@ pub(crate) struct ShardSnapshot {
     /// merge tie-breaks equal scores on this, which reproduces the
     /// single-shard internal-id tie-break exactly (see [`crate::search`]).
     pub(crate) ordinals: Arc<Vec<u64>>,
+    /// Ingest-time facet bitmaps over the shard's doc ids (the cohort
+    /// planner's filter-pushdown and facet-count substrate).
+    pub(crate) facets: Arc<FacetIndex>,
 }
 
 /// An immutable, internally consistent view of the platform: one
@@ -210,6 +216,8 @@ struct Writer {
     generation: u64,
     /// Shard-local internal doc id → global ingest ordinal.
     ordinals: Vec<u64>,
+    /// Facet bitmaps, maintained in lockstep with the index doc ids.
+    facets: FacetIndex,
     /// Durable state (WAL + sealed segments) — `None` for in-memory
     /// instances, which skip the log entirely.
     storage: Option<ShardStorage>,
@@ -255,6 +263,7 @@ fn empty_writer(store: DocStore) -> Writer {
         tagger: None,
         generation: 0,
         ordinals: Vec::new(),
+        facets: FacetIndex::new(),
         storage: None,
     }
 }
@@ -272,6 +281,7 @@ fn snapshot_of(writer: &Writer) -> Arc<ShardSnapshot> {
         index: Arc::new(writer.index.clone()),
         tagger: writer.tagger.clone(),
         ordinals: Arc::new(writer.ordinals.clone()),
+        facets: Arc::new(writer.facets.clone()),
     })
 }
 
@@ -381,6 +391,8 @@ fn register_metrics() {
         obs_names::COMPACTION_RUNS_TOTAL,
         obs_names::COMPACTION_MERGED_DOCS_TOTAL,
         obs_names::RECOVERY_REPLAYED_RECORDS_TOTAL,
+        obs_names::PLAN_NODES_TOTAL,
+        obs_names::BITMAP_INTERSECTIONS_TOTAL,
     ] {
         create_obs::counter(name);
     }
@@ -472,7 +484,10 @@ impl Drop for GraphWriteGuard<'_> {
 #[derive(Default)]
 struct ShardWork {
     docs: Vec<(usize, PreparedDoc)>,
-    segments: Vec<IndexSegment>,
+    /// Index segments paired with their facet twins: both are built over
+    /// the same worker-local doc range, so the apply task merges them at
+    /// the same base.
+    segments: Vec<(IndexSegment, FacetIndex)>,
 }
 
 impl Create {
@@ -788,10 +803,46 @@ impl Create {
                         }
                         store_dirty[i] = true;
                     }
+                    let facet_base = writer.index.num_docs() as u32;
                     writer
                         .index
                         .merge_segment(segment)
                         .map_err(|e| IngestError::Store(e.to_string()))?;
+                    if seg_index.facets.is_empty() {
+                        // Format-2 segment (sealed before the facet
+                        // region existed): recompute from the stored
+                        // payloads — by now in the document store on
+                        // both the fast and repair paths.
+                        let snapshot = writer.store.snapshot();
+                        for (pos, entry) in seg_index.docs.iter().enumerate() {
+                            let report = snapshot.get("reports", &entry.id).ok_or_else(|| {
+                                corrupt(format!(
+                                    "recovered doc {:?} missing from the reports store",
+                                    entry.id
+                                ))
+                            })?;
+                            let values = crate::facet_build::payload_facets(
+                                report,
+                                snapshot.get("extractions", &entry.id),
+                            )
+                            .map_err(&corrupt)?;
+                            writer.facets.add_doc(facet_base + pos as u32, values);
+                        }
+                        writer
+                            .facets
+                            .align_to(facet_base + seg_index.docs.len() as u32);
+                    } else {
+                        let decoded = FacetIndex::decode(&seg_index.facets)
+                            .map_err(|e| corrupt(e.to_string()))?;
+                        if decoded.num_docs() as usize != seg_index.docs.len() {
+                            return Err(corrupt(format!(
+                                "segment stores {} docs but facets cover {}",
+                                seg_index.docs.len(),
+                                decoded.num_docs()
+                            )));
+                        }
+                        writer.facets.merge(decoded, facet_base);
+                    }
                 }
                 let sealed_docs = writer.index.num_docs();
                 let sealed_max = manifest.shards[i].segments.last().map(|s| s.max_ordinal);
@@ -883,6 +934,11 @@ impl Create {
                         ],
                     )
                     .map_err(|e| IngestError::Store(e.to_string()))?;
+                let doc_id = writer.index.num_docs() as u32 - 1;
+                writer.facets.add_doc(
+                    doc_id,
+                    facet_values(&fields.category, fields.year, &fields.text, &annotations),
+                );
                 writer.ordinals.push(next_ordinal);
                 next_ordinal += 1;
             }
@@ -1004,6 +1060,11 @@ impl Create {
                     ],
                 )
                 .map_err(|e| IngestError::Store(e.to_string()))?;
+            let doc_id = writer.index.num_docs() as u32 - 1;
+            writer.facets.add_doc(
+                doc_id,
+                facet_values(&fields.category, fields.year, &fields.text, &annotations),
+            );
         }
         writer.ordinals.push(ordinal);
         Ok(())
@@ -1027,8 +1088,14 @@ impl Create {
         }
         let started = Instant::now();
         let base = storage.sealed_docs;
-        let data = durability::seal_data(&writer.index, &writer.store, &writer.ordinals, base)
-            .map_err(IngestError::Store)?;
+        let data = durability::seal_data(
+            &writer.index,
+            &writer.facets,
+            &writer.store,
+            &writer.ordinals,
+            base,
+        )
+        .map_err(IngestError::Store)?;
         let file = segment_file_name(entry.next_segment_id);
         let info = write_segment(&storage.dir.join(&file), &data)
             .map_err(IngestError::Storage)?;
@@ -1482,20 +1549,26 @@ impl Create {
         let template = Arc::clone(&self.current.load().shards[0].index);
 
         // Phase 1: extraction + per-shard segment build, no shared
-        // mutable state.
-        type Prepared = (Vec<(usize, PreparedDoc)>, Vec<Option<IndexSegment>>);
+        // mutable state. Each worker also builds the facet twin of every
+        // segment it starts, using the segment's local doc ids so the
+        // apply task can merge both at the same base.
+        type Prepared = (
+            Vec<(usize, PreparedDoc)>,
+            Vec<Option<(IndexSegment, FacetIndex)>>,
+        );
         let outputs: Vec<(Result<Prepared, IngestError>, StageLog)> =
             pool.parallel_map(&ranges, |_, range| {
                 create_obs::buffered_stages(|| {
-                    let mut segments: Vec<Option<IndexSegment>> =
+                    let mut segments: Vec<Option<(IndexSegment, FacetIndex)>> =
                         (0..nshards).map(|_| None).collect();
                     let mut prepared = Vec::with_capacity(range.len());
                     let mut index_elapsed = std::time::Duration::ZERO;
                     for i in range.clone() {
                         let doc = prepare(i);
                         let t0 = Instant::now();
-                        segments[routes[i]]
-                            .get_or_insert_with(|| template.segment())
+                        let (segment, facets) = segments[routes[i]]
+                            .get_or_insert_with(|| (template.segment(), FacetIndex::new()));
+                        segment
                             .add_document(
                                 &doc.id,
                                 &[
@@ -1505,6 +1578,11 @@ impl Create {
                                 ],
                             )
                             .map_err(|e| IngestError::Store(e.to_string()))?;
+                        let local = segment.num_docs() as u32 - 1;
+                        facets.add_doc(
+                            local,
+                            facet_values(&doc.category, doc.year, &doc.text, &doc.annotations),
+                        );
                         index_elapsed += t0.elapsed();
                         prepared.push((i, doc));
                     }
@@ -1532,8 +1610,8 @@ impl Create {
                         per_shard[routes[i]].docs.push((i, doc));
                     }
                     for (s, segment) in segments.into_iter().enumerate() {
-                        if let Some(segment) = segment {
-                            per_shard[s].segments.push(segment);
+                        if let Some(pair) = segment {
+                            per_shard[s].segments.push(pair);
                         }
                     }
                 }
@@ -1572,15 +1650,20 @@ impl Create {
                         writer.ordinals.push(base + i as u64);
                         count += 1;
                     }
-                    for segment in work.segments {
+                    for (segment, facets) in work.segments {
                         let _span = Span::enter(
                             obs_names::PIPELINE_STAGE_SECONDS,
                             obs_names::STAGE_INDEX_WRITE,
                         );
+                        // The segment's docs land at the current doc
+                        // count; its facet twin merges at the same base,
+                        // keeping bitmap ids aligned with index ids.
+                        let facet_base = writer.index.num_docs() as u32;
                         writer
                             .index
                             .merge_segment(segment)
                             .map_err(|e| IngestError::Store(e.to_string()))?;
+                        writer.facets.merge(facets, facet_base);
                     }
                     // One fsync covers the shard's whole batch slice —
                     // the records are on disk before the composite
@@ -1767,7 +1850,7 @@ impl Create {
                 &annotations,
             );
         }
-        // 4) Inverted index.
+        // 4) Inverted index + facet bitmaps (same doc id).
         let _span = Span::enter(obs_names::PIPELINE_STAGE_SECONDS, obs_names::STAGE_INDEX_WRITE);
         writer
             .index
@@ -1776,6 +1859,10 @@ impl Create {
                 &[("title", title), ("body", text), ("body_ngram", text)],
             )
             .map_err(|e| IngestError::Store(e.to_string()))?;
+        let doc_id = writer.index.num_docs() as u32 - 1;
+        writer
+            .facets
+            .add_doc(doc_id, facet_values(category, year, text, &annotations));
         writer.ordinals.push(*next_ordinal);
         *next_ordinal += 1;
         writer.generation += 1;
@@ -1828,23 +1915,35 @@ impl Create {
     ///
     /// The whole search runs against one loaded composite snapshot, so a
     /// concurrent ingest can never produce a torn result (graph hits from
-    /// one generation, keyword hits from another). Results are cached by
-    /// `(query, k, policy)` in the query's cache partition and stamped
-    /// with the composite generation; any publish anywhere invalidates
-    /// them wholesale on first touch (see [`crate::cache`]). The cache
-    /// lock is dropped during execution, so concurrent `search_many`
-    /// workers never serialize while computing.
+    /// one generation, keyword hits from another). The query is parsed
+    /// and lowered into its typed plan up front; results are cached by
+    /// the plan's **canonical key** (plus `k` and policy) in the query's
+    /// cache partition and stamped with the composite generation; any
+    /// publish anywhere invalidates them wholesale on first touch (see
+    /// [`crate::cache`]). The cache lock is dropped during execution, so
+    /// concurrent `search_many` workers never serialize while computing.
     pub fn search_with_policy(&self, query: &str, k: usize, policy: MergePolicy) -> Vec<SearchHit> {
         let capture = QueryCapture::begin();
         let span = create_obs::child_span(obs_names::SPAN_SEARCH);
         count_policy(policy);
         let snapshot = self.current.load();
         let generation = snapshot.generation();
+        let parsed = {
+            let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_PARSE);
+            self.parse_query_against(&snapshot, query)
+        };
+        let plan = {
+            let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_PLAN);
+            let plan = plan::lower_search(query, &parsed, k, policy).optimize();
+            plan.note_nodes();
+            plan
+        };
+        let plan_key = plan.canonical_key();
         let cache = &self.shards[self.cache_partition(query)].cache;
         let cached = cache
             .lock()
             .ok()
-            .and_then(|mut cache| cache.get(query, k, policy, generation));
+            .and_then(|mut cache| cache.get(&plan_key, k, policy, generation));
         let hits = match cached {
             Some(hits) => {
                 create_obs::add_span_counter("cache_hit", 1);
@@ -1852,9 +1951,9 @@ impl Create {
             }
             None => {
                 create_obs::add_span_counter("cache_miss", 1);
-                let hits = self.execute_search(&snapshot, query, k, policy);
+                let hits = self.execute_search(&snapshot, query, &parsed, &plan, k, policy);
                 if let Ok(mut cache) = cache.lock() {
-                    cache.insert(query, k, policy, generation, hits.clone());
+                    cache.insert(&plan_key, k, policy, generation, hits.clone());
                 }
                 hits
             }
@@ -1867,37 +1966,84 @@ impl Create {
     }
 
     /// The uncached execution path behind [`Create::search_with_policy`]:
-    /// scatter both engines over every shard of the given snapshot and
-    /// gather deterministically (see [`crate::search`]).
+    /// the lowered plan decides which engine legs run; each leg scatters
+    /// over every shard of the given snapshot and gathers
+    /// deterministically (see [`crate::search`]).
     fn execute_search(
         &self,
         snapshot: &Snapshot,
         query: &str,
+        parsed: &QueryIE,
+        plan: &QueryPlan,
         k: usize,
         policy: MergePolicy,
     ) -> Vec<SearchHit> {
-        let parsed = {
-            let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_PARSE);
-            self.parse_query_against(snapshot, query)
+        let graph_hits = if plan.has_graph() {
+            let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_GRAPH_SEARCH);
+            scatter_graph_search(&snapshot.shards, parsed, k)
+        } else {
+            Vec::new()
         };
-        let graph_hits = match policy {
-            MergePolicy::EsOnly => Vec::new(),
-            _ => {
-                let _span =
-                    Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_GRAPH_SEARCH);
-                scatter_graph_search(&snapshot.shards, &parsed, k)
-            }
-        };
-        let keyword_hits = match policy {
-            MergePolicy::GraphOnly => Vec::new(),
-            _ => {
-                let _span =
-                    Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_KEYWORD_SEARCH);
-                scatter_keyword_search(&snapshot.shards, query, k)
-            }
+        let keyword_hits = if plan.has_keyword() {
+            let _span =
+                Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_KEYWORD_SEARCH);
+            scatter_keyword_search(&snapshot.shards, query, k)
+        } else {
+            Vec::new()
         };
         let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_MERGE);
         crate::search::merge(graph_hits, keyword_hits, policy, k)
+    }
+
+    /// Cohort retrieval: answers a criteria set (facet filters, optional
+    /// keywords, temporal-interval constraints) with the ranked matching
+    /// reports plus facet aggregations over the full matching set.
+    ///
+    /// The criteria lower into the typed plan IR, normalize, and execute
+    /// per shard with bitmap filter pushdown (see [`crate::plan`]).
+    /// Results are bit-identical for any shard count.
+    pub fn cohort(&self, criteria: &CohortCriteria) -> CohortResult {
+        self.cohort_with_mode(criteria, PlanMode::Optimized)
+    }
+
+    /// Cohort retrieval with an explicit execution mode.
+    /// [`PlanMode::Naive`] ranks exhaustively and post-filters — the
+    /// reference order the plan-equivalence tests compare against.
+    pub fn cohort_with_mode(&self, criteria: &CohortCriteria, mode: PlanMode) -> CohortResult {
+        let _span = create_obs::child_span(obs_names::SPAN_COHORT);
+        let snapshot = self.current.load();
+        let plan = {
+            let _span = Span::enter(obs_names::QUERY_STAGE_SECONDS, obs_names::QSTAGE_PLAN);
+            match mode {
+                PlanMode::Optimized => plan::lower_cohort(criteria).optimize(),
+                PlanMode::Naive => plan::lower_cohort(criteria),
+            }
+        };
+        plan::execute_cohort(&snapshot.shards, &plan, mode)
+    }
+
+    /// Parses a criteria JSON document against this instance's ontology
+    /// and answers it — the `/cohort` endpoint's entry point.
+    pub fn cohort_from_json(&self, json: &Value) -> Result<CohortResult, String> {
+        let criteria = plan::parse_cohort_criteria(json, &self.ontology)?;
+        Ok(self.cohort(&criteria))
+    }
+
+    /// Facet-bitmap totals summed across the current snapshot's shards
+    /// (the bench's bytes/doc readout).
+    pub fn facet_stats(&self) -> FacetStats {
+        let snapshot = self.current.load();
+        let mut stats = FacetStats {
+            values: 0,
+            postings_bytes: 0,
+            docs: 0,
+        };
+        for shard in &snapshot.shards {
+            stats.values += shard.facets.num_values();
+            stats.postings_bytes += shard.facets.postings_bytes();
+            stats.docs += shard.facets.num_docs() as usize;
+        }
+        stats
     }
 
     /// Answers a batch of queries in parallel over the global pool with
@@ -2060,6 +2206,17 @@ impl Create {
             segment_bytes: manifest.shards.iter().map(ShardManifest::total_bytes).sum(),
         })
     }
+}
+
+/// Facet-bitmap size totals (see [`Create::facet_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FacetStats {
+    /// Distinct `(field, value)` runs across shards.
+    pub values: usize,
+    /// Total bytes held by the runs.
+    pub postings_bytes: usize,
+    /// Documents covered (equals the report count).
+    pub docs: usize,
 }
 
 /// Sealed on-disk segment totals (see [`Create::storage_stats`]).

@@ -18,14 +18,19 @@
 //! * [`temporal_data`] — I2B2-2012-like and TB-Dense-like pairwise
 //!   temporal-relation datasets with controlled transitivity structure;
 //! * [`queries`] — the retrieval workload: natural-language queries with
-//!   graded gold relevance.
+//!   graded gold relevance;
+//! * [`cohort`] — the cohort-retrieval workload: declarative criteria
+//!   queries (facet filters + temporal constraints) with exact gold
+//!   cohorts evaluated from the reports' gold labels.
 
+pub mod cohort;
 pub mod generator;
 pub mod narrative;
 pub mod queries;
 pub mod report;
 pub mod temporal_data;
 
+pub use cohort::{gold_cohorts, CohortSpec};
 pub use generator::{CorpusConfig, Generator};
 pub use queries::{QueryFamily, QuerySet, RelevanceGrade};
 pub use report::{CaseReport, GoldEntity, GoldRelation, ReportMetadata};

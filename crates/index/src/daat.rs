@@ -52,20 +52,25 @@ pub(crate) fn search_daat(
     k: usize,
     scorer: Scorer,
     global: Option<&CorpusStats>,
+    allowed: Option<&[u32]>,
 ) -> Vec<ScoredDoc> {
     // Executor statistics, accumulated locally and flushed to the obs
     // registry in one call at the end (a no-op without the `obs` feature).
     let mut stats = DaatStats::default();
     let mut specs = Vec::new();
     if flatten(index, query, &mut specs, &mut stats) {
-        let hits = max_score_top_k(index, &specs, k, scorer, &mut stats, global);
+        let hits = max_score_top_k(index, &specs, k, scorer, &mut stats, global, allowed);
         create_obs::record_daat(stats);
         return hits;
     }
     let mut scratch = Scratch::default();
-    let (scored, mut exclusions) = eval_node(index, query, scorer, &mut scratch, &mut stats, global);
+    let (mut scored, mut exclusions) =
+        eval_node(index, query, scorer, &mut scratch, &mut stats, global);
     exclusions.sort_unstable();
     exclusions.dedup();
+    if let Some(allowed) = allowed {
+        scored.retain(|(d, _)| allowed.binary_search(d).is_ok());
+    }
     let hits = top_k(
         index,
         scored
@@ -258,7 +263,12 @@ fn flatten<'a>(
     }
 }
 
-/// MaxScore-pruned DAAT union over flat term cursors.
+/// MaxScore-pruned DAAT union over flat term cursors. With `allowed`
+/// set, only docs in the (sorted) run are scored — candidates outside
+/// it are skipped *before* any score work, which is the filter
+/// pushdown the cohort planner relies on. Per-doc scores are
+/// independent sums, so surviving docs rank bit-identically to
+/// post-filtering an unfiltered search.
 fn max_score_top_k(
     index: &Index,
     specs: &[CursorSpec],
@@ -266,6 +276,7 @@ fn max_score_top_k(
     scorer: Scorer,
     stats: &mut DaatStats,
     global: Option<&CorpusStats>,
+    allowed: Option<&[u32]>,
 ) -> Vec<ScoredDoc> {
     if k == 0 {
         return Vec::new();
@@ -287,6 +298,8 @@ fn max_score_top_k(
     let mut selected = vec![false; n];
     let mut partition_theta = f64::NEG_INFINITY;
     let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::with_capacity(k + 1);
+    // Monotone cursor into the allowed run: candidates only increase.
+    let mut allowed_pos = 0usize;
     loop {
         // Candidate: smallest current doc across the essential cursors.
         // Docs living only in non-essential lists are the pruned ones.
@@ -303,6 +316,18 @@ fn max_score_top_k(
             }
         }
         let Some(candidate) = candidate else { break };
+        if let Some(allowed) = allowed {
+            allowed_pos += allowed[allowed_pos..].partition_point(|&d| d < candidate);
+            if allowed.get(allowed_pos) != Some(&candidate) {
+                // Filtered out: skip all score/bound work for this doc.
+                for c in cursors.iter_mut() {
+                    if c.current() == Some(candidate) {
+                        c.advance();
+                    }
+                }
+                continue;
+            }
+        }
         for (i, c) in cursors.iter_mut().enumerate() {
             if non_essential[i] {
                 c.seek(candidate);

@@ -27,12 +27,14 @@
 
 pub mod codec;
 pub mod daat;
+pub mod facets;
 pub mod index;
 pub mod query;
 pub mod score;
 pub mod segment;
 pub mod stats;
 
+pub use facets::{FacetField, FacetIndex};
 pub use index::{FieldConfig, Index};
 pub use query::QueryNode;
 pub use score::{ScoredDoc, Scorer};

@@ -120,7 +120,7 @@ impl Index {
     /// Executes document-at-a-time (see [`crate::daat`]); rankings are
     /// bit-identical to [`Index::search_exhaustive`].
     pub fn search(&self, query: &QueryNode, k: usize, scorer: Scorer) -> Vec<ScoredDoc> {
-        crate::daat::search_daat(self, query, k, scorer, None)
+        crate::daat::search_daat(self, query, k, scorer, None, None)
     }
 
     /// Like [`Index::search`], but scoring with externally supplied
@@ -138,7 +138,25 @@ impl Index {
         scorer: Scorer,
         stats: Option<&crate::stats::CorpusStats>,
     ) -> Vec<ScoredDoc> {
-        crate::daat::search_daat(self, query, k, scorer, stats)
+        crate::daat::search_daat(self, query, k, scorer, stats, None)
+    }
+
+    /// Like [`Index::search_with_stats`], but restricted to the sorted
+    /// `allowed` doc-id run (a facet bitmap intersection). Docs outside
+    /// the run are skipped before scoring — this is the planner's filter
+    /// pushdown. Because per-doc scores are independent, the result is
+    /// bit-identical to exhaustively searching then discarding docs not
+    /// in `allowed` (the naive post-filter order the equivalence tests
+    /// compare against).
+    pub fn search_filtered(
+        &self,
+        query: &QueryNode,
+        k: usize,
+        scorer: Scorer,
+        stats: Option<&crate::stats::CorpusStats>,
+        allowed: &[u32],
+    ) -> Vec<ScoredDoc> {
+        crate::daat::search_daat(self, query, k, scorer, stats, Some(allowed))
     }
 
     /// The original exhaustive executor: walks the query tree accumulating

@@ -22,11 +22,26 @@ pub const STAGE_INDEX_WRITE: &str = "index_write";
 pub const QUERY_SECONDS: &str = "create_query_seconds";
 /// Query stage latency, labelled `stage=...`.
 pub const QUERY_STAGE_SECONDS: &str = "create_query_stage_seconds";
-/// `stage` values for [`QUERY_STAGE_SECONDS`], in execution order.
-pub const QUERY_STAGES: [&str; 4] = [QSTAGE_PARSE, QSTAGE_GRAPH_SEARCH, QSTAGE_KEYWORD_SEARCH, QSTAGE_MERGE];
+/// `stage` values for [`QUERY_STAGE_SECONDS`], in execution order. The
+/// last four are the cohort plan stages (filter pushdown, temporal
+/// evaluation, facet counting run after the shared parse/search stages).
+pub const QUERY_STAGES: [&str; 8] = [
+    QSTAGE_PARSE,
+    QSTAGE_PLAN,
+    QSTAGE_GRAPH_SEARCH,
+    QSTAGE_KEYWORD_SEARCH,
+    QSTAGE_FILTER,
+    QSTAGE_TEMPORAL,
+    QSTAGE_FACET_COUNT,
+    QSTAGE_MERGE,
+];
 pub const QSTAGE_PARSE: &str = "parse";
+pub const QSTAGE_PLAN: &str = "plan";
 pub const QSTAGE_GRAPH_SEARCH: &str = "graph_search";
 pub const QSTAGE_KEYWORD_SEARCH: &str = "keyword_search";
+pub const QSTAGE_FILTER: &str = "filter";
+pub const QSTAGE_TEMPORAL: &str = "temporal";
+pub const QSTAGE_FACET_COUNT: &str = "facet_count";
 pub const QSTAGE_MERGE: &str = "merge";
 
 /// DAAT executor counters (flushed once per `Index::search`).
@@ -114,6 +129,16 @@ pub const TRACES_SAMPLED_OUT_TOTAL: &str = "create_traces_sampled_out_total";
 pub const SPAN_SEARCH: &str = "search";
 pub const SPAN_KEYWORD_SHARD: &str = "keyword_shard";
 pub const SPAN_GRAPH_SHARD: &str = "graph_shard";
+/// The per-request cohort-retrieval span (the `/cohort` analogue of
+/// [`SPAN_SEARCH`]) and its per-shard scatter children.
+pub const SPAN_COHORT: &str = "cohort";
+pub const SPAN_COHORT_SHARD: &str = "cohort_shard";
+
+/// Query-plan executor counters: logical plan nodes executed (every node
+/// of every optimized plan, keyword and cohort alike) and sorted-run
+/// bitmap intersections performed by the facet-filter pushdown.
+pub const PLAN_NODES_TOTAL: &str = "create_plan_nodes_total";
+pub const BITMAP_INTERSECTIONS_TOTAL: &str = "create_bitmap_intersections_total";
 
 /// Log events by severity, labelled `level=...`.
 pub const LOG_EVENTS_TOTAL: &str = "create_log_events_total";

@@ -10,6 +10,7 @@
 //! | GET    | `/reports/:id`                | stored report document |
 //! | GET    | `/reports/:id/annotations`    | BRAT standoff export |
 //! | GET    | `/reports/:id/graph.svg`      | Fig-7 visualization |
+//! | POST   | `/cohort`                     | cohort retrieval: criteria JSON (facet filters, keywords, temporal constraints, facet counts) |
 //! | POST   | `/submit`                     | raw-text submission (JSON) |
 //! | POST   | `/search_batch`               | batched queries, answered in parallel |
 //! | POST   | `/submit_batch`               | batched raw-text submissions, extracted in parallel |
@@ -219,6 +220,23 @@ pub fn build_api(system: Arc<Create>) -> Router {
                 None => Response::error(Status::NotFound, "no graph for report"),
             },
         );
+    }
+
+    {
+        let system = Arc::clone(&system);
+        router.route("POST", "/cohort", move |req, _| {
+            let Some(body) = req.body_str() else {
+                return Response::error(Status::BadRequest, "body must be UTF-8");
+            };
+            let criteria = match parse_json(body) {
+                Ok(v) => v,
+                Err(e) => return Response::error(Status::BadRequest, &e.to_string()),
+            };
+            match system.cohort_from_json(&criteria) {
+                Ok(result) => Response::json(Status::Ok, result.to_json().to_json()),
+                Err(e) => Response::error(Status::BadRequest, &e),
+            }
+        });
     }
 
     {
@@ -1025,6 +1043,64 @@ mod tests {
             .expect("exemplar trace id parses");
         let trace = api.dispatch(&get(&format!("/trace/{id}"), &[]));
         assert_eq!(trace.status, Status::Ok, "exemplar {id} links to a recorded trace");
+    }
+
+    #[test]
+    fn cohort_endpoint_returns_hits_and_facets() {
+        let sys = system();
+        let api = build_api(Arc::clone(&sys));
+        let mut req = get("/cohort", &[]);
+        req.method = "POST".to_string();
+        req.body = br#"{
+            "filters": [{"field": "sex", "values": ["female", "male"]}],
+            "facets": ["category"],
+            "k": 5
+        }"#
+        .to_vec();
+        let resp = api.dispatch(&req);
+        assert_eq!(resp.status, Status::Ok);
+        let doc = parse_json(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let total = doc.get("totalMatched").unwrap().as_i64().unwrap();
+        assert!(total > 0, "demographic filter should match reports");
+        let hits = doc.get("hits").unwrap().as_array().unwrap();
+        assert!(!hits.is_empty() && hits.len() <= 5);
+        for hit in hits {
+            assert!(hit.get("reportId").unwrap().as_str().is_some());
+            assert!(hit.get("score").unwrap().as_f64().is_some());
+        }
+        let facets = doc.get("facets").unwrap().as_array().unwrap();
+        assert_eq!(facets.len(), 1);
+        assert_eq!(facets[0].get("field").and_then(Value::as_str), Some("category"));
+        let counts = facets[0].get("counts").unwrap().as_array().unwrap();
+        let sum: i64 = counts
+            .iter()
+            .map(|c| c.get("count").unwrap().as_i64().unwrap())
+            .sum();
+        assert_eq!(sum, total, "category partitions the matched cohort");
+        // The endpoint answers from the same executor as the facade.
+        let direct = sys
+            .cohort_from_json(&parse_json(std::str::from_utf8(&req.body).unwrap()).unwrap())
+            .unwrap();
+        assert_eq!(doc.to_json(), direct.to_json().to_json());
+    }
+
+    #[test]
+    fn cohort_endpoint_validates_input() {
+        let api = build_api(system());
+        let mut req = get("/cohort", &[]);
+        req.method = "POST".to_string();
+        req.body = b"{not json".to_vec();
+        assert_eq!(api.dispatch(&req).status, Status::BadRequest);
+        // Criteria must constrain something.
+        req.body = br#"{"k": 5}"#.to_vec();
+        assert_eq!(api.dispatch(&req).status, Status::BadRequest);
+        // Unknown facet fields are rejected with a clear message.
+        req.body = br#"{"filters": [{"field": "bogus", "values": ["x"]}]}"#.to_vec();
+        let resp = api.dispatch(&req);
+        assert_eq!(resp.status, Status::BadRequest);
+        assert!(String::from_utf8(resp.body).unwrap().contains("bogus"));
+        // GET on the POST route is not allowed.
+        assert_eq!(api.dispatch(&get("/cohort", &[])).status, Status::MethodNotAllowed);
     }
 
     #[test]

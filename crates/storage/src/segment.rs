@@ -13,8 +13,17 @@
 //! stored-fields region: block framing, content is per doc
 //!     payload_len varint | payload bytes
 //! postings region:      block framing
+//! facets region:        block framing (format >= 3 only)
 //! footer: crc32(everything above) u32 LE | magic "GESC"
 //! ```
+//!
+//! **Format history.** Format 2 had three regions. Format 3 appends a
+//! fourth region holding the facet-bitmap tail for the segment's doc
+//! range (opaque here; `create-index::facets` encodes it). Readers
+//! accept both: a format-2 file simply yields empty facet bytes and the
+//! caller rebuilds facets from the stored payloads, so pre-upgrade data
+//! directories open unchanged. Writers always emit format 3
+//! ([`write_segment_legacy_v2`] exists for tests and migration smokes).
 //!
 //! Block framing is `block_count varint`, then per block
 //! `uncompressed_len varint | compressed_len varint | crc32(compressed)
@@ -42,7 +51,10 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"CSEG";
 const FOOTER_MAGIC: &[u8; 4] = b"GESC";
-const FORMAT: u32 = 2;
+/// Current segment format: four regions (facets appended).
+pub const FORMAT: u32 = 3;
+/// The previous three-region format, still readable.
+pub const FORMAT_V2: u32 = 2;
 /// Maximum uncompressed bytes per block.
 pub const BLOCK_TARGET: usize = 256 * 1024;
 
@@ -64,6 +76,9 @@ pub struct SegmentData {
     /// Codec-encoded postings for exactly these documents (opaque to
     /// the storage layer; `create-index` encodes and decodes it).
     pub postings: Vec<u8>,
+    /// Facet-bitmap tail for these documents (opaque; empty when the
+    /// file predates format 3).
+    pub facets: Vec<u8>,
 }
 
 /// One directory entry: everything known about a stored document
@@ -81,6 +96,8 @@ pub struct DocEntry {
 pub struct SegmentIndex {
     pub docs: Vec<DocEntry>,
     pub postings: Vec<u8>,
+    /// Facet-bitmap tail (empty for format-2 files).
+    pub facets: Vec<u8>,
 }
 
 /// Size and checksum of a written segment file, as the manifest records
@@ -94,6 +111,25 @@ pub struct SegmentFileInfo {
 /// Serializes `data`, writes it to `path`, and fsyncs the file. The
 /// file only becomes live once the manifest names it.
 pub fn write_segment(path: &Path, data: &SegmentData) -> Result<SegmentFileInfo, StorageError> {
+    write_segment_format(path, data, FORMAT)
+}
+
+/// Writes the legacy three-region format-2 layout (facet bytes are
+/// dropped). Kept so tests and the migration smoke can fabricate
+/// pre-upgrade data directories; production sealing always writes
+/// format 3.
+pub fn write_segment_legacy_v2(
+    path: &Path,
+    data: &SegmentData,
+) -> Result<SegmentFileInfo, StorageError> {
+    write_segment_format(path, data, FORMAT_V2)
+}
+
+fn write_segment_format(
+    path: &Path,
+    data: &SegmentData,
+    format: u32,
+) -> Result<SegmentFileInfo, StorageError> {
     let mut directory = Vec::new();
     varint::write_u64(&mut directory, data.docs.len() as u64);
     for doc in &data.docs {
@@ -109,10 +145,13 @@ pub fn write_segment(path: &Path, data: &SegmentData) -> Result<SegmentFileInfo,
 
     let mut image = Vec::with_capacity(stored.len() / 2 + data.postings.len() / 2 + 64);
     image.extend_from_slice(MAGIC);
-    image.extend_from_slice(&FORMAT.to_le_bytes());
+    image.extend_from_slice(&format.to_le_bytes());
     write_region(&mut image, &directory);
     write_region(&mut image, &stored);
     write_region(&mut image, &data.postings);
+    if format >= FORMAT {
+        write_region(&mut image, &data.facets);
+    }
     let file_crc = crc32(&image);
     image.extend_from_slice(&file_crc.to_le_bytes());
     image.extend_from_slice(FOOTER_MAGIC);
@@ -142,12 +181,14 @@ fn write_region(out: &mut Vec<u8>, payload: &[u8]) {
     }
 }
 
-/// Validated segment framing: the byte ranges of the three regions,
-/// ready to be decompressed (or merely CRC-checked) independently.
+/// Validated segment framing: the byte ranges of the regions, ready to
+/// be decompressed (or merely CRC-checked) independently. `facets` is
+/// absent for format-2 files.
 struct Frame<'a> {
     directory: Region<'a>,
     stored: Region<'a>,
     postings: Region<'a>,
+    facets: Option<Region<'a>>,
 }
 
 struct Region<'a> {
@@ -164,7 +205,7 @@ fn frame<'a>(path: &Path, bytes: &'a [u8]) -> Result<Frame<'a>, StorageError> {
         return Err(corrupt("missing segment magic"));
     }
     let format = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if format != FORMAT {
+    if format != FORMAT && format != FORMAT_V2 {
         return Err(corrupt(&format!("unsupported segment format {format}")));
     }
     let footer_at = bytes.len() - 8;
@@ -187,13 +228,19 @@ fn frame<'a>(path: &Path, bytes: &'a [u8]) -> Result<Frame<'a>, StorageError> {
     let directory = next_region()?;
     let stored = next_region()?;
     let postings = next_region()?;
+    let facets = if format >= FORMAT {
+        Some(next_region()?)
+    } else {
+        None
+    };
     if pos != body.len() {
-        return Err(corrupt("trailing bytes after postings region"));
+        return Err(corrupt("trailing bytes after final region"));
     }
     Ok(Frame {
         directory,
         stored,
         postings,
+        facets,
     })
 }
 
@@ -212,6 +259,10 @@ pub fn read_segment(path: &Path) -> Result<SegmentData, StorageError> {
     let directory = decompress_region(&regions.directory).map_err(|m| corrupt(m))?;
     let stored = decompress_region(&regions.stored).map_err(|m| corrupt(m))?;
     let postings = decompress_region(&regions.postings).map_err(|m| corrupt(m))?;
+    let facets = match &regions.facets {
+        Some(region) => decompress_region(region).map_err(|m| corrupt(m))?,
+        None => Vec::new(),
+    };
 
     let entries = parse_directory(&directory).map_err(|m| corrupt(m))?;
     let mut docs = Vec::with_capacity(entries.len());
@@ -233,7 +284,11 @@ pub fn read_segment(path: &Path) -> Result<SegmentData, StorageError> {
     if at != stored.len() {
         return Err(corrupt("trailing bytes after stored docs"));
     }
-    Ok(SegmentData { docs, postings })
+    Ok(SegmentData {
+        docs,
+        postings,
+        facets,
+    })
 }
 
 /// Reads a segment's doc directory and postings, verifying every block
@@ -251,8 +306,16 @@ pub fn read_segment_index(path: &Path) -> Result<SegmentIndex, StorageError> {
     verify_region(&regions.stored).map_err(|m| corrupt(m))?;
     let directory = decompress_region(&regions.directory).map_err(|m| corrupt(m))?;
     let postings = decompress_region(&regions.postings).map_err(|m| corrupt(m))?;
+    let facets = match &regions.facets {
+        Some(region) => decompress_region(region).map_err(|m| corrupt(m))?,
+        None => Vec::new(),
+    };
     let docs = parse_directory(&directory).map_err(|m| corrupt(m))?;
-    Ok(SegmentIndex { docs, postings })
+    Ok(SegmentIndex {
+        docs,
+        postings,
+        facets,
+    })
 }
 
 fn parse_directory(directory: &[u8]) -> Result<Vec<DocEntry>, &'static str> {
@@ -360,7 +423,23 @@ mod tests {
                 })
                 .collect(),
             postings: (0..9000u32).flat_map(|v| (v % 251).to_le_bytes()).collect(),
+            facets: (0..700u32).flat_map(|v| (v % 13).to_le_bytes()).collect(),
         }
+    }
+
+    #[test]
+    fn legacy_v2_files_open_with_empty_facets() {
+        let path = temp_path("legacyv2");
+        let data = sample(12);
+        write_segment_legacy_v2(&path, &data).unwrap();
+        let back = read_segment(&path).unwrap();
+        assert_eq!(back.docs, data.docs);
+        assert_eq!(back.postings, data.postings);
+        assert!(back.facets.is_empty(), "v2 files carry no facet region");
+        let index = read_segment_index(&path).unwrap();
+        assert!(index.facets.is_empty());
+        assert_eq!(index.postings, data.postings);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

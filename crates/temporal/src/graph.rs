@@ -149,6 +149,14 @@ impl TemporalGraph {
         }
     }
 
+    /// True when the relation derivable between `a` and `b` matches
+    /// `rel` — the cohort planner's temporal-constraint check. `After`
+    /// holds exactly when `infer` derives it (i.e. `b` BEFORE `a`), so
+    /// `satisfies(a, b, After) == satisfies(b, a, Before)`.
+    pub fn satisfies(&self, a: usize, b: usize, rel: RelationType) -> bool {
+        self.infer(a, b) == Some(rel)
+    }
+
     /// True when the graph is temporally consistent: no OVERLAP class can
     /// reach itself through one or more BEFORE edges.
     pub fn is_consistent(&self) -> bool {

@@ -1,0 +1,330 @@
+//! Cohort retrieval end to end: gold precision/recall, shard
+//! invariance, plan equivalence, staging/coding facets, and mixed
+//! segment-format migration.
+//!
+//! The gold workload ([`create::corpus::gold_cohorts`]) pairs each
+//! criteria query with an **independent** evaluator over the corpus's
+//! gold labels. The engine answers the same criteria from its facet
+//! bitmaps and property graph — so set agreement here is the paper-style
+//! retrieval experiment for cohort queries, measured exactly:
+//!
+//! * **Precision/recall = 1.0** against the gold evaluator (the specs
+//!   are keyword-free with `k` above every cohort size, so the engine's
+//!   eligible set must *equal* the gold set — no ranking slack);
+//! * **Bit-identical across shard counts** {1, 2, 4, 7} and between the
+//!   `Optimized` (bitmap pushdown) and `Naive` (rank-then-filter)
+//!   physical plans — sharding and plan choice are invisible;
+//! * **Staging/coding cohorts** answer from the rule extractors' `tnm`
+//!   and `icd` facets on crafted texts;
+//! * **Mixed-format data dirs** (a format-2 segment sealed before the
+//!   facet region existed, next to a format-3 one) reopen and answer
+//!   cohorts identically to a never-migrated reference.
+
+use create::core::{Create, CreateConfig, PlanMode};
+use create::corpus::{gold_cohorts, CaseReport, CorpusConfig, Generator};
+use create::docstore::json::parse_json;
+use create::ontology::clinical_ontology;
+use create::storage::segment::{read_segment, write_segment_legacy_v2};
+use create::storage::Manifest;
+use std::path::PathBuf;
+
+const N_DOCS: usize = 120;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn corpus(n: usize, seed: u64) -> Vec<CaseReport> {
+    Generator::new(CorpusConfig {
+        num_reports: n,
+        seed,
+        ..Default::default()
+    })
+    .generate()
+}
+
+fn sharded(reports: &[CaseReport], shards: usize) -> Create {
+    let system = Create::new(CreateConfig {
+        shards,
+        ..Default::default()
+    });
+    system.ingest_gold_batch(reports, 0).expect("ingest");
+    system
+}
+
+/// Runs a criteria-JSON string and returns the full rendered result —
+/// hit ids, raw score bits via the JSON float rendering, total, facet
+/// counts — as the comparison unit for every equivalence check.
+fn cohort_body(system: &Create, criteria: &str) -> String {
+    let json = parse_json(criteria).expect("criteria parses");
+    system
+        .cohort_from_json(&json)
+        .expect("criteria accepted")
+        .to_json()
+        .to_json()
+}
+
+fn hit_ids(system: &Create, criteria: &str) -> Vec<String> {
+    let json = parse_json(criteria).expect("criteria parses");
+    system
+        .cohort_from_json(&json)
+        .expect("criteria accepted")
+        .hits
+        .into_iter()
+        .map(|h| h.report_id)
+        .collect()
+}
+
+#[test]
+fn gold_cohorts_are_retrieved_with_perfect_precision_and_recall() {
+    let reports = corpus(N_DOCS, 20260815);
+    let ontology = clinical_ontology();
+    let system = sharded(&reports, 2);
+
+    let mut nonempty = 0usize;
+    for spec in gold_cohorts() {
+        let gold = {
+            let mut ids = spec.expected_ids(&reports, &ontology);
+            ids.sort();
+            ids
+        };
+        let json = parse_json(&spec.criteria_json()).expect("criteria parses");
+        let result = system.cohort_from_json(&json).expect("criteria accepted");
+        let engine = {
+            let mut ids: Vec<String> =
+                result.hits.iter().map(|h| h.report_id.clone()).collect();
+            ids.sort();
+            ids
+        };
+        // The specs are keyword-free with k above every cohort size, so
+        // the retrieved set must equal the gold set: any false positive
+        // is a precision miss, any dropped report a recall miss.
+        assert_eq!(
+            engine, gold,
+            "{}: engine cohort disagrees with gold evaluation",
+            spec.name
+        );
+        assert_eq!(
+            result.total_matched,
+            gold.len() as u64,
+            "{}: totalMatched must count the whole cohort",
+            spec.name
+        );
+        if !gold.is_empty() {
+            nonempty += 1;
+        }
+        // Facet aggregations count only matched reports: no value's
+        // count may exceed the cohort size, and a facet that covers
+        // every report (category, year) partitions it exactly.
+        for fc in &result.facets {
+            let sum: u64 = fc.counts.iter().map(|(_, c)| c).sum();
+            assert!(
+                sum <= result.total_matched,
+                "{}: facet {} counted {sum} > {} matched",
+                spec.name,
+                fc.field.label(),
+                result.total_matched
+            );
+            if matches!(fc.field.label(), "category" | "year") {
+                assert_eq!(
+                    sum, result.total_matched,
+                    "{}: {} must partition the cohort",
+                    spec.name,
+                    fc.field.label()
+                );
+            }
+        }
+    }
+    assert!(
+        nonempty >= 10,
+        "only {nonempty} gold cohorts matched — the experiment lost its teeth"
+    );
+}
+
+#[test]
+fn cohort_results_are_bit_identical_across_shard_counts() {
+    let reports = corpus(N_DOCS, 20260816);
+    // The gold specs (keyword-free) plus keyword-bearing criteria, so
+    // shard invariance covers both the ordinal-ordered and the
+    // score-ranked merge paths.
+    let mut panel: Vec<String> = gold_cohorts().iter().map(|s| s.criteria_json()).collect();
+    panel.push(
+        r#"{"filters":[{"field":"sex","values":["female"]}],
+            "keywords":"fatigue and weight loss","k":10}"#
+            .to_string(),
+    );
+    panel.push(
+        r#"{"filters":[{"field":"category","values":["cancer","cardiovascular"]}],
+            "keywords":"chest pain","facets":["year"],"k":7}"#
+            .to_string(),
+    );
+    panel.push(
+        r#"{"keywords":"fever","temporal":[{"a":"fever","op":"within","days":600,"b":"malaise"}],
+            "facets":["category","sex"],"k":5}"#
+            .to_string(),
+    );
+
+    let baseline = sharded(&reports, 1);
+    let expected: Vec<String> = panel.iter().map(|c| cohort_body(&baseline, c)).collect();
+    for &shards in &SHARD_COUNTS[1..] {
+        let system = sharded(&reports, shards);
+        for (criteria, want) in panel.iter().zip(&expected) {
+            assert_eq!(
+                &cohort_body(&system, criteria),
+                want,
+                "cohort diverged at {shards} shards for {criteria}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_and_naive_plans_return_identical_results() {
+    let reports = corpus(N_DOCS, 20260817);
+    let ontology = clinical_ontology();
+    let mut panel: Vec<String> = gold_cohorts().iter().map(|s| s.criteria_json()).collect();
+    panel.push(
+        r#"{"filters":[{"field":"category","values":["infectious"]}],
+            "keywords":"fever and malaise","facets":["sex"],"k":8}"#
+            .to_string(),
+    );
+
+    for &shards in &[1usize, 4] {
+        let system = sharded(&reports, shards);
+        for criteria in &panel {
+            let json = parse_json(criteria).unwrap();
+            let parsed =
+                create::core::plan::parse_cohort_criteria(&json, &ontology).expect("criteria");
+            let optimized = system.cohort_with_mode(&parsed, PlanMode::Optimized);
+            let naive = system.cohort_with_mode(&parsed, PlanMode::Naive);
+            assert_eq!(
+                optimized.to_json().to_json(),
+                naive.to_json().to_json(),
+                "pushdown changed answers at {shards} shards for {criteria}"
+            );
+        }
+    }
+}
+
+#[test]
+fn staging_and_coding_facets_answer_cohorts() {
+    // Plant staging/coding strings in report bodies: the `tnm`/`icd`
+    // facets are rule-extracted from text at ingest, so these cohorts
+    // exercise the extractor → bitmap → pushdown chain end to end.
+    let mut reports = corpus(12, 20260818);
+    for r in &mut reports[0..3] {
+        r.text.push_str(" Staging was pT2N0M0; the tumor was coded C50.9.");
+    }
+    for r in &mut reports[3..5] {
+        r.text.push_str(" Staging was pT4N1M1, coded as J18.9.");
+    }
+    let expect = |range: std::ops::Range<usize>| -> Vec<String> {
+        let mut ids: Vec<String> = reports[range].iter().map(|r| r.id.clone()).collect();
+        ids.sort();
+        ids
+    };
+    let system = sharded(&reports, 2);
+
+    let cases = [
+        (r#"{"filters":[{"field":"tnm","values":["T2"]}],"k":100}"#, expect(0..3)),
+        (r#"{"filters":[{"field":"icd","values":["C50.9"]}],"k":100}"#, expect(0..3)),
+        (r#"{"filters":[{"field":"tnm","values":["T4"]}],"k":100}"#, expect(3..5)),
+        (r#"{"filters":[{"field":"icd","values":["J18.9"]}],"k":100}"#, expect(3..5)),
+        (
+            r#"{"filters":[{"field":"tnm","values":["N0"]},{"field":"icd","values":["C50.9"]}],"k":100}"#,
+            expect(0..3),
+        ),
+        (r#"{"filters":[{"field":"tnm","values":["M1"]},{"field":"icd","values":["C50.9"]}],"k":100}"#, vec![]),
+    ];
+    for (criteria, want) in cases {
+        let mut got = hit_ids(&system, criteria);
+        got.sort();
+        assert_eq!(got, want, "criteria {criteria}");
+    }
+
+    // The staging facet aggregates over a staged sub-cohort.
+    let body = cohort_body(
+        &system,
+        r#"{"filters":[{"field":"entity_type","values":["Sign_symptom"]}],"facets":["tnm"],"k":100}"#,
+    );
+    let doc = parse_json(&body).unwrap();
+    let facets = doc.get("facets").unwrap().as_array().unwrap();
+    let counts = facets[0].get("counts").unwrap().as_array().unwrap();
+    assert!(
+        counts.iter().any(|c| {
+            c.get("value").and_then(create::docstore::Value::as_str) == Some("T2")
+        }),
+        "tnm facet counts surface the planted staging: {body}"
+    );
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "create-cohort-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn mixed_format_segments_reopen_and_answer_cohorts() {
+    let reports = corpus(40, 20260819);
+    let dir = fresh_dir("migrate");
+    let config = CreateConfig::default(); // single shard: both formats land in shard-0
+
+    // Seal two format-3 segments, then crash without a shutdown flush.
+    {
+        let system = Create::open(&dir, config.clone()).expect("open");
+        for r in &reports[..20] {
+            system.ingest_gold(r).expect("ingest");
+        }
+        system.flush().expect("first seal");
+        for r in &reports[20..] {
+            system.ingest_gold(r).expect("ingest");
+        }
+        system.flush().expect("second seal");
+    }
+
+    // Downgrade the FIRST sealed segment to the legacy format-2 layout
+    // (no facet region) and re-register its new size/checksum — the
+    // moral equivalent of a data directory written before the upgrade,
+    // with a post-upgrade segment sealed next to it.
+    let storage_dir = dir.join(create::storage::STORAGE_DIR);
+    let mut manifest = Manifest::load(&storage_dir)
+        .expect("manifest readable")
+        .expect("manifest present");
+    assert!(
+        manifest.shards[0].segments.len() >= 2,
+        "two flushes seal two segments"
+    );
+    let shard_dir = storage_dir.join("shard-0");
+    let meta = &mut manifest.shards[0].segments[0];
+    let seg_path = shard_dir.join(&meta.file);
+    let data = read_segment(&seg_path).expect("segment readable");
+    let info = write_segment_legacy_v2(&seg_path, &data).expect("rewrite as v2");
+    meta.bytes = info.bytes;
+    meta.crc = info.crc;
+    manifest.store(&storage_dir).expect("manifest swap");
+
+    // Reopen: the v2 segment's facets are recomputed from its stored
+    // payloads, the v3 segment's are decoded from its facet region, and
+    // every cohort answer is bit-identical to a never-migrated
+    // in-memory reference.
+    let reopened = Create::open(&dir, config).expect("mixed-format open");
+    assert_eq!(reopened.stats().reports, reports.len(), "no document lost");
+    let reference = sharded(&reports, 1);
+    let mut panel: Vec<String> = gold_cohorts().iter().map(|s| s.criteria_json()).collect();
+    panel.push(
+        r#"{"filters":[{"field":"sex","values":["female"]}],
+            "keywords":"fatigue","facets":["category"],"k":10}"#
+            .to_string(),
+    );
+    for criteria in &panel {
+        assert_eq!(
+            cohort_body(&reopened, criteria),
+            cohort_body(&reference, criteria),
+            "migrated data dir diverged for {criteria}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
